@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks.
+//!
+//! One group per experimental theme of the paper:
+//!
+//! * `fig9_*` — end-to-end query latency per strategy at a fixed size
+//!   (criterion-grade version of one Fig. 9 column);
+//! * `vii_b_boundary` — the §VII-B extensibility boundary in isolation:
+//!   translate + assign + verify per key, FUDJ proxy path vs native;
+//! * `fig12c_local_join` — plane-sweep vs nested-loop local join;
+//! * `substrate` — wire encode/decode and tokenizer throughput, the
+//!   utilities the engine leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fudj_bench::runner::{measure, RunConfig, Strategy};
+use fudj_bench::workloads::Workload;
+use fudj_core::{EngineJoin, FudjEngineJoin, ProxyJoin, Side};
+use fudj_geo::{plane_sweep_join, sweep::nested_loop_rect_join, Point, Polygon, Rect};
+use fudj_joins::builtin::BuiltinSpatialJoin;
+use fudj_joins::SpatialFudj;
+use fudj_types::{wire, Row, Value};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn fig9_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_query_latency");
+    group.sample_size(10);
+    for workload in [Workload::Spatial, Workload::Interval, Workload::Text] {
+        for strategy in [Strategy::Fudj, Strategy::Builtin, Strategy::OnTop] {
+            let n = if strategy == Strategy::OnTop { 500 } else { 2_000 };
+            let cfg = RunConfig {
+                workers: 4,
+                buckets: match workload {
+                    Workload::Spatial => Some(48),
+                    Workload::Interval => Some(256),
+                    Workload::Text => None,
+                },
+                ..RunConfig::new(workload, strategy, n)
+            };
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), format!("{}_{n}", strategy.name())),
+                &cfg,
+                |b, cfg| b.iter(|| black_box(measure(cfg).rows)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn vii_b_boundary(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let polys: Vec<Value> = (0..512)
+        .map(|_| {
+            let x = rng.gen_range(0.0..90.0);
+            let y = rng.gen_range(0.0..90.0);
+            Value::polygon(Polygon::from_rect(&Rect::new(x, y, x + 4.0, y + 4.0)))
+        })
+        .collect();
+
+    let fudj: Arc<dyn EngineJoin> =
+        Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new()))));
+    let native: Arc<dyn EngineJoin> = Arc::new(BuiltinSpatialJoin::new());
+
+    let mut group = c.benchmark_group("vii_b_boundary");
+    for (name, ej) in [("fudj_proxy", &fudj), ("builtin_native", &native)] {
+        // Summarize + divide once, outside the timed loop.
+        let mut s = ej.new_summary(Side::Left);
+        for p in &polys {
+            ej.local_aggregate(Side::Left, p, &mut s).unwrap();
+        }
+        let plan = ej.divide(&s, &s, &[Value::Int64(32)]).unwrap();
+
+        group.bench_function(BenchmarkId::new("assign_512_keys", name), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for p in &polys {
+                    out.clear();
+                    ej.assign(Side::Left, p, &plan, &mut out).unwrap();
+                    black_box(&out);
+                }
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("verify_512_pairs", name), |b| {
+            b.iter(|| {
+                for pair in polys.chunks_exact(2) {
+                    black_box(ej.verify(0, &pair[0], 0, &pair[1], &plan).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig12c_local_join(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut rects = |n: usize| -> Vec<Rect> {
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..100.0);
+                let y = rng.gen_range(0.0..100.0);
+                Rect::new(x, y, x + rng.gen_range(0.1..5.0), y + rng.gen_range(0.1..5.0))
+            })
+            .collect()
+    };
+    let left = rects(400);
+    let right = rects(400);
+
+    let mut group = c.benchmark_group("fig12c_local_join");
+    group.bench_function("nested_loop_400x400", |b| {
+        b.iter(|| black_box(nested_loop_rect_join(&left, &right).len()))
+    });
+    group.bench_function("plane_sweep_400x400", |b| {
+        b.iter(|| black_box(plane_sweep_join(&left, &right).len()))
+    });
+    group.finish();
+}
+
+fn substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    // Wire format round trip of a typical joined row.
+    let row = Row::new(vec![
+        Value::Uuid(42),
+        Value::polygon(Polygon::from_rect(&Rect::new(0.0, 0.0, 5.0, 5.0))),
+        Value::str("river, scenic, camping"),
+        Value::Point(Point::new(1.0, 2.0)),
+        Value::Int64(7),
+    ]);
+    group.bench_function("wire_roundtrip_row", |b| {
+        let mut buf = bytes::BytesMut::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            wire::encode_row(&row, &mut buf);
+            let mut bytes = buf.clone().freeze();
+            black_box(wire::decode_row(&mut bytes).unwrap());
+        })
+    });
+
+    // Tokenizer + Jaccard, the text join's verify hot path.
+    let a = fudj_text::token_set("great hiking trail with scenic river views near the lake");
+    let bset = fudj_text::token_set("scenic river hiking trail with great views of the peak");
+    group.bench_function("jaccard_of_sorted", |b| {
+        b.iter(|| black_box(fudj_text::jaccard_of_sorted(&a, &bset)))
+    });
+    group.bench_function("tokenize_review", |b| {
+        b.iter(|| {
+            black_box(fudj_text::token_set(
+                "the camping spot was quiet and clean, great views, would return",
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig9_queries, vii_b_boundary, fig12c_local_join, substrate);
+criterion_main!(benches);

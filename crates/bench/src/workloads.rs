@@ -1,0 +1,136 @@
+//! Experiment workloads: sized sessions for the three paper join types.
+
+use fudj_datagen::{amazon_reviews, nyctaxi, parks, wildfires, GeneratorConfig};
+use fudj_joins::standard_library;
+use fudj_sql::Session;
+
+/// Which join workload an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Parks × Wildfires, `ST_Contains` (Query 5's spatial query).
+    Spatial,
+    /// NYCTaxi self-join on overlapping ride intervals, split by vendor.
+    Interval,
+    /// AmazonReview self-join on Jaccard ≥ t, split by rating.
+    Text,
+}
+
+impl Workload {
+    /// Human name matching the paper's panel labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Spatial => "Spatial",
+            Workload::Interval => "Interval",
+            Workload::Text => "Set-similarity",
+        }
+    }
+
+    /// The experiment query (Query 5 of the paper, adapted to the synthetic
+    /// schemas). `t` is the text-similarity threshold (ignored otherwise).
+    pub fn sql(&self, threshold: f64) -> String {
+        match self {
+            Workload::Spatial => "SELECT p.id, COUNT(*) AS c \
+                                  FROM Parks p, Wildfires w \
+                                  WHERE st_contains(p.boundary, w.location) \
+                                  GROUP BY p.id"
+                .to_owned(),
+            Workload::Interval => "SELECT COUNT(*) FROM NYCTaxi n1, NYCTaxi n2 \
+                                   WHERE n1.Vendor = 1 AND n2.Vendor = 2 \
+                                     AND overlapping_interval(n1.ride_interval, n2.ride_interval)"
+                .to_owned(),
+            Workload::Text => format!(
+                "SELECT COUNT(*) FROM AmazonReview r1, AmazonReview r2 \
+                 WHERE r1.overall = 5 AND r2.overall = 4 \
+                   AND similarity_jaccard(r1.review, r2.review) >= {threshold}"
+            ),
+        }
+    }
+
+    /// The registered FUDJ predicate name this workload's query calls.
+    pub fn join_name(&self) -> &'static str {
+        match self {
+            Workload::Spatial => "st_contains",
+            Workload::Interval => "overlapping_interval",
+            Workload::Text => "similarity_jaccard",
+        }
+    }
+
+    /// Build a session with `total_records` rows of this workload's
+    /// datasets, on a `workers`-node cluster. Record splits follow the
+    /// paper's dataset ratios (Parks:Wildfires ≈ 10:18; the self-join
+    /// workloads put all records in one dataset).
+    pub fn session(
+        &self,
+        total_records: usize,
+        workers: usize,
+        dedup_class: Option<&str>,
+    ) -> Session {
+        let s = Session::new(workers);
+        s.install_library(standard_library());
+        let parts = workers.max(2);
+        match self {
+            Workload::Spatial => {
+                let parks_n = total_records * 10 / 28;
+                let fires_n = total_records - parks_n;
+                s.register_dataset(parks(GeneratorConfig::new(parks_n, 51, parts)).unwrap())
+                    .unwrap();
+                s.register_dataset(wildfires(GeneratorConfig::new(fires_n, 52, parts)).unwrap())
+                    .unwrap();
+                let class = dedup_class.unwrap_or("spatial.SpatialJoin");
+                s.execute(&format!(
+                    r#"CREATE JOIN st_contains(a: polygon, b: point)
+                       RETURNS boolean AS "{class}" AT flexiblejoins"#
+                ))
+                .unwrap();
+            }
+            Workload::Interval => {
+                s.register_dataset(nyctaxi(GeneratorConfig::new(total_records, 53, parts)).unwrap())
+                    .unwrap();
+                s.execute(
+                    r#"CREATE JOIN overlapping_interval(a: interval, b: interval)
+                       RETURNS boolean AS "interval.OverlappingIntervalJoin" AT flexiblejoins"#,
+                )
+                .unwrap();
+            }
+            Workload::Text => {
+                s.register_dataset(
+                    amazon_reviews(GeneratorConfig::new(total_records, 54, parts)).unwrap(),
+                )
+                .unwrap();
+                let class = dedup_class.unwrap_or("setsimilarity.SetSimilarityJoin");
+                s.execute(&format!(
+                    r#"CREATE JOIN similarity_jaccard(a: string, b: string, t: double)
+                       RETURNS boolean AS "{class}" AT flexiblejoins"#
+                ))
+                .unwrap();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_build_and_queries_run() {
+        for w in [Workload::Spatial, Workload::Interval, Workload::Text] {
+            // Spatial containment is sparse: give it enough records that the
+            // grouped result is reliably non-empty.
+            let n = if w == Workload::Spatial { 1_200 } else { 300 };
+            let s = w.session(n, 2, None);
+            let batch = s.query(&w.sql(0.8)).unwrap();
+            assert!(!batch.is_empty(), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn dedup_class_override_applies() {
+        let s = Workload::Text.session(200, 2, Some("setsimilarity.SetSimilarityJoinElimination"));
+        let a = s.query(&Workload::Text.sql(0.8)).unwrap();
+        let s2 = Workload::Text.session(200, 2, None);
+        let b = s2.query(&Workload::Text.sql(0.8)).unwrap();
+        assert_eq!(a.rows(), b.rows(), "dedup strategy does not change answers");
+    }
+}

@@ -1,0 +1,8 @@
+//! Library side of the FUDJ shell: command parsing, result rendering, and
+//! the REPL engine — separated from `main.rs` so everything is testable.
+
+pub mod render;
+pub mod repl;
+
+pub use render::render_batch;
+pub use repl::{Repl, ReplCommand};

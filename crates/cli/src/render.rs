@@ -1,0 +1,102 @@
+//! psql-style table rendering for result batches.
+
+use fudj_types::{Batch, Value};
+
+/// Maximum rendered width of one cell before truncation.
+const MAX_CELL: usize = 48;
+
+fn cell(v: &Value) -> String {
+    let mut s = match v {
+        // Strings render unquoted in tables.
+        Value::Str(s) => s.to_string(),
+        other => other.to_string(),
+    };
+    if s.chars().count() > MAX_CELL {
+        s = s.chars().take(MAX_CELL - 1).collect::<String>() + "…";
+    }
+    s
+}
+
+/// Render a batch as an aligned text table with a header and row count.
+pub fn render_batch(batch: &Batch) -> String {
+    let headers: Vec<String> =
+        batch.schema().fields().iter().map(|f| f.name.clone()).collect();
+    let rows: Vec<Vec<String>> =
+        batch.rows().iter().map(|r| r.values().iter().map(cell).collect()).collect();
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    out.push_str(&line(&headers, &widths));
+    out.push('\n');
+    out.push_str(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"),
+    );
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out.push_str(&format!("({} row{})\n", rows.len(), if rows.len() == 1 { "" } else { "s" }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_types::{DataType, Field, Row, Schema};
+
+    fn batch() -> Batch {
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("tags", DataType::String),
+        ]);
+        Batch::new(
+            schema,
+            vec![
+                Row::new(vec![Value::Int64(1), Value::str("river, camping")]),
+                Row::new(vec![Value::Int64(22), Value::str("x")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let text = render_batch(&batch());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "id | tags          ");
+        assert!(lines[1].starts_with("---+"));
+        assert_eq!(lines[2], "1  | river, camping");
+        assert_eq!(lines[4], "(2 rows)");
+    }
+
+    #[test]
+    fn truncates_long_cells() {
+        let schema = Schema::shared(vec![Field::new("t", DataType::String)]);
+        let long = "x".repeat(200);
+        let b = Batch::new(schema, vec![Row::new(vec![Value::str(&long)])]);
+        let text = render_batch(&b);
+        assert!(text.lines().nth(2).unwrap().chars().count() <= MAX_CELL);
+        assert!(text.contains('…'));
+    }
+
+    #[test]
+    fn empty_batch_renders_header_only() {
+        let schema = Schema::shared(vec![Field::new("c", DataType::Int64)]);
+        let text = render_batch(&Batch::empty(schema));
+        assert!(text.contains("(0 rows)"));
+    }
+}

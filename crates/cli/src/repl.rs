@@ -1,0 +1,382 @@
+//! The REPL engine: statement accumulation, meta commands, execution.
+
+use crate::render::render_batch;
+use fudj_datagen::GeneratorConfig;
+use fudj_joins::standard_library;
+use fudj_sql::{QueryOutput, Session};
+use std::fmt::Write as _;
+
+/// What one line of input amounts to.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReplCommand {
+    /// Keep buffering (statement not finished with `;` yet).
+    Incomplete,
+    /// A complete SQL statement to execute.
+    Statement(String),
+    /// Meta command (`\d`, `\joins`, `\timing`, `\help`, `\q`, `\sample N`).
+    Meta(String, Vec<String>),
+}
+
+/// The interactive session state.
+pub struct Repl {
+    session: Session,
+    buffer: String,
+    timing: bool,
+    show_metrics: bool,
+}
+
+impl Repl {
+    /// Fresh REPL over a cluster of `workers`, standard library installed.
+    pub fn new(workers: usize) -> Self {
+        let session = Session::new(workers);
+        session.install_library(standard_library());
+        Repl { session, buffer: String::new(), timing: true, show_metrics: false }
+    }
+
+    /// The underlying session (tests and embedding).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Classify one input line, buffering incomplete statements.
+    pub fn feed(&mut self, line: &str) -> ReplCommand {
+        let trimmed = line.trim();
+        if self.buffer.is_empty() && trimmed.starts_with('\\') {
+            let mut parts = trimmed[1..].split_whitespace();
+            let cmd = parts.next().unwrap_or("").to_string();
+            return ReplCommand::Meta(cmd, parts.map(str::to_owned).collect());
+        }
+        if !self.buffer.is_empty() {
+            self.buffer.push('\n');
+        }
+        self.buffer.push_str(line);
+        if self.buffer.trim_end().ends_with(';') {
+            let stmt = std::mem::take(&mut self.buffer);
+            ReplCommand::Statement(stmt)
+        } else {
+            ReplCommand::Incomplete
+        }
+    }
+
+    /// Execute a complete statement and render the outcome.
+    pub fn run_statement(&mut self, sql: &str) -> String {
+        let start = std::time::Instant::now();
+        match self.session.execute(sql) {
+            Ok(QueryOutput::Rows(batch, metrics)) => {
+                let mut out = render_batch(&batch);
+                if self.timing {
+                    let _ = writeln!(out, "Time: {:?}", start.elapsed());
+                }
+                if self.show_metrics {
+                    let _ = writeln!(
+                        out,
+                        "Network: {} bytes shuffled, {} broadcast, {} state; verify calls: {}",
+                        metrics.bytes_shuffled,
+                        metrics.bytes_broadcast,
+                        metrics.state_bytes,
+                        metrics.verify_calls,
+                    );
+                }
+                out
+            }
+            Ok(QueryOutput::Ack(msg)) => format!("{msg}\n"),
+            Ok(QueryOutput::Plan(plan)) => plan,
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    /// Execute a meta command and render the outcome.
+    pub fn run_meta(&mut self, cmd: &str, args: &[String]) -> String {
+        match cmd {
+            "d" | "datasets" => {
+                let mut out = String::new();
+                for name in self.session.catalog().names() {
+                    let ds = self.session.catalog().get(&name).expect("listed dataset");
+                    let _ = writeln!(
+                        out,
+                        "{name}  ({} rows, {} partitions): {}",
+                        ds.len(),
+                        ds.partition_count(),
+                        ds.schema()
+                    );
+                }
+                if out.is_empty() {
+                    out.push_str("no datasets; try \\sample 2000\n");
+                }
+                out
+            }
+            "joins" => {
+                let mut out = String::new();
+                for name in self.session.registry().join_names() {
+                    let def = self.session.registry().get(&name).expect("listed join");
+                    let _ = writeln!(out, "{def:?}");
+                }
+                if out.is_empty() {
+                    out.push_str("no joins registered; see \\help for a CREATE JOIN example\n");
+                }
+                out
+            }
+            "libraries" => {
+                format!("{:?}\n", self.session.registry().library_names())
+            }
+            "timing" => {
+                self.timing = !self.timing;
+                format!("timing {}\n", if self.timing { "on" } else { "off" })
+            }
+            "metrics" => {
+                self.show_metrics = !self.show_metrics;
+                format!("metrics {}\n", if self.show_metrics { "on" } else { "off" })
+            }
+            "sample" => {
+                let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+                match self.load_sample(n) {
+                    Ok(()) => format!("loaded sample datasets with ~{n} records each\n"),
+                    Err(e) => format!("error: {e}\n"),
+                }
+            }
+            "save" => match (args.first(), args.get(1)) {
+                (Some(name), Some(path)) => {
+                    match self
+                        .session
+                        .catalog()
+                        .get(name)
+                        .and_then(|ds| fudj_storage::write_csv(&ds, path))
+                    {
+                        Ok(rows) => format!("wrote {rows} rows to {path}\n"),
+                        Err(e) => format!("error: {e}\n"),
+                    }
+                }
+                _ => "usage: \\save <dataset> <file.csv>\n".to_owned(),
+            },
+            "load" => match (args.first(), args.get(1)) {
+                (Some(name), Some(path)) => match self.load_csv(name, path, args.get(2)) {
+                    Ok(rows) => format!("loaded {rows} rows into {name}\n"),
+                    Err(e) => format!("error: {e}\n"),
+                },
+                _ => {
+                    "usage: \\load <dataset> <file.csv> [col:type,col:type,...]\n                     (omit the column list to reuse an existing dataset's schema)\n"
+                        .to_owned()
+                }
+            },
+            "help" | "?" => HELP.to_owned(),
+            "q" | "quit" | "exit" => String::new(),
+            other => format!("unknown command \\{other}; try \\help\n"),
+        }
+    }
+
+    /// Load the synthetic sample datasets and register the paper's joins.
+    pub fn load_sample(&mut self, n: usize) -> fudj_types::Result<()> {
+        let parts = 4;
+        self.session.register_dataset(fudj_datagen::parks(GeneratorConfig::new(n, 1, parts))?)?;
+        self.session
+            .register_dataset(fudj_datagen::wildfires(GeneratorConfig::new(2 * n, 2, parts))?)?;
+        self.session.register_dataset(fudj_datagen::nyctaxi(GeneratorConfig::new(n, 3, parts))?)?;
+        self.session
+            .register_dataset(fudj_datagen::amazon_reviews(GeneratorConfig::new(n, 4, parts))?)?;
+        self.session.register_dataset(fudj_datagen::weather(GeneratorConfig::new(n, 5, parts))?)?;
+        for ddl in [
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins"#,
+            r#"CREATE JOIN overlapping_interval(a: interval, b: interval)
+               RETURNS boolean AS "interval.OverlappingIntervalJoin" AT flexiblejoins"#,
+            r#"CREATE JOIN similarity_jaccard(a: string, b: string, t: double)
+               RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins"#,
+            r#"CREATE JOIN jaccard_similarity(a: string, b: string, t: double)
+               RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins"#,
+        ] {
+            self.session.execute(ddl)?;
+        }
+        Ok(())
+    }
+
+    /// Load a CSV file into a (possibly new) dataset. With no explicit
+    /// column list the schema is copied from an existing dataset of the
+    /// same name pattern `<name>` (useful for re-importing a \\save).
+    fn load_csv(
+        &mut self,
+        name: &str,
+        path: &str,
+        columns: Option<&String>,
+    ) -> fudj_types::Result<usize> {
+        let schema = match columns {
+            Some(spec) => {
+                let mut fields = Vec::new();
+                for part in spec.split(',') {
+                    let (col, ty) = part.split_once(':').ok_or_else(|| {
+                        fudj_types::FudjError::Parse(format!("bad column spec {part:?}"))
+                    })?;
+                    fields.push(fudj_types::Field::new(col.trim(), parse_type(ty.trim())?));
+                }
+                std::sync::Arc::new(fudj_types::Schema::new(fields))
+            }
+            None => self.session.catalog().get(name).map(|ds| ds.schema().clone())?,
+        };
+        // Re-importing over an existing dataset replaces it.
+        let _ = self.session.catalog().drop_dataset(name);
+        let pk = schema.fields()[0].name.clone();
+        let ds = fudj_storage::read_csv(path, name, schema, &pk, 4)?;
+        let rows = ds.len();
+        self.session.register_dataset(ds)?;
+        Ok(rows)
+    }
+}
+
+/// Parse a column type name (the same vocabulary as CREATE JOIN).
+fn parse_type(name: &str) -> fudj_types::Result<fudj_types::DataType> {
+    use fudj_types::DataType as T;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "string" | "text" => T::String,
+        "double" | "float" => T::Float64,
+        "bigint" | "int" => T::Int64,
+        "boolean" | "bool" => T::Bool,
+        "uuid" => T::Uuid,
+        "datetime" => T::DateTime,
+        "interval" => T::Interval,
+        "point" => T::Point,
+        "polygon" => T::Polygon,
+        other => {
+            return Err(fudj_types::FudjError::Parse(format!("unknown type {other:?}")))
+        }
+    })
+}
+
+/// `\help` text.
+pub const HELP: &str = r#"FUDJ shell
+  statements end with ';' and may span lines:
+    SELECT ... FROM ds a, ds2 b WHERE ... GROUP BY ... ORDER BY ... LIMIT n;
+    EXPLAIN SELECT ...;
+    CREATE JOIN name(a: type, b: type[, p: type]) RETURNS boolean
+      AS "class.Name" AT library;
+    DROP JOIN name;
+  meta commands:
+    \sample [N]   load synthetic Parks/Wildfires/NYCTaxi/AmazonReview/Weather
+                  datasets (~N records each) and register the paper's joins
+    \d            list datasets        \joins     list registered joins
+    \libraries    list join libraries  \timing    toggle query timing
+    \metrics      toggle network/verify metrics after each query
+    \save <ds> <file.csv>             export a dataset to CSV
+    \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
+                                      existing dataset's)
+    \help         this text            \q         quit
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_buffers_until_semicolon() {
+        let mut r = Repl::new(2);
+        assert_eq!(r.feed("SELECT 1"), ReplCommand::Incomplete);
+        match r.feed("FROM t;") {
+            ReplCommand::Statement(s) => assert_eq!(s, "SELECT 1\nFROM t;"),
+            other => panic!("{other:?}"),
+        }
+        // Buffer resets afterwards.
+        assert_eq!(r.feed("\\q"), ReplCommand::Meta("q".into(), vec![]));
+    }
+
+    #[test]
+    fn meta_commands_parse_with_args() {
+        let mut r = Repl::new(2);
+        assert_eq!(
+            r.feed("\\sample 500"),
+            ReplCommand::Meta("sample".into(), vec!["500".into()])
+        );
+    }
+
+    #[test]
+    fn sample_load_and_query_end_to_end() {
+        let mut r = Repl::new(2);
+        let msg = r.run_meta("sample", &["300".into()]);
+        assert!(msg.contains("loaded"), "{msg}");
+        let out = r.run_statement(
+            "SELECT COUNT(*) AS c FROM NYCTaxi n1, NYCTaxi n2 \
+             WHERE n1.Vendor = 1 AND n2.Vendor = 2 \
+               AND overlapping_interval(n1.ride_interval, n2.ride_interval);",
+        );
+        assert!(out.contains("(1 row)"), "{out}");
+        assert!(out.contains("Time:"), "{out}");
+    }
+
+    #[test]
+    fn datasets_and_joins_listings() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("d", &[]).contains("no datasets"));
+        r.run_meta("sample", &["200".into()]);
+        let d = r.run_meta("d", &[]);
+        assert!(d.contains("Parks") && d.contains("Weather"), "{d}");
+        let j = r.run_meta("joins", &[]);
+        assert!(j.contains("st_contains"), "{j}");
+    }
+
+    #[test]
+    fn toggles_and_unknown_commands() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("timing", &[]).contains("off"));
+        assert!(r.run_meta("timing", &[]).contains("on"));
+        assert!(r.run_meta("metrics", &[]).contains("on"));
+        assert!(r.run_meta("nonsense", &[]).contains("unknown"));
+        assert!(r.run_meta("help", &[]).contains("CREATE JOIN"));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_via_meta_commands() {
+        let mut r = Repl::new(2);
+        r.run_meta("sample", &["150".into()]);
+        let path = std::env::temp_dir()
+            .join(format!("fudj-cli-save-{}.csv", std::process::id()))
+            .display()
+            .to_string();
+        let saved = r.run_meta("save", &["Parks".into(), path.clone()]);
+        assert!(saved.contains("wrote 150 rows"), "{saved}");
+
+        // Reload into a new dataset using an explicit schema.
+        let loaded = r.run_meta(
+            "load",
+            &["Parks2".into(), path.clone(), "id:uuid,boundary:polygon,tags:string".into()],
+        );
+        assert!(loaded.contains("loaded 150 rows"), "{loaded}");
+        let out = r.run_statement("SELECT COUNT(*) AS c FROM Parks2 p;");
+        assert!(out.contains("150"), "{out}");
+
+        // Reload over the original (schema inferred from the old dataset).
+        let reloaded = r.run_meta("load", &["Parks".into(), path.clone()]);
+        assert!(reloaded.contains("loaded 150 rows"), "{reloaded}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_load_usage_and_errors() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("save", &[]).contains("usage"));
+        assert!(r.run_meta("load", &[]).contains("usage"));
+        assert!(r
+            .run_meta("save", &["Ghost".into(), "/tmp/x.csv".into()])
+            .contains("error"));
+        assert!(r
+            .run_meta("load", &["t".into(), "/nonexistent.csv".into(), "a:bigint".into()])
+            .contains("error"));
+        assert!(r
+            .run_meta("load", &["t".into(), "/tmp/x.csv".into(), "a:wat".into()])
+            .contains("error"));
+    }
+
+    #[test]
+    fn errors_render_not_panic() {
+        let mut r = Repl::new(2);
+        let out = r.run_statement("SELECT x FROM Ghost g;");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let mut r = Repl::new(2);
+        r.run_meta("sample", &["200".into()]);
+        let out = r.run_statement(
+            "EXPLAIN SELECT COUNT(*) FROM Parks p, Wildfires w \
+             WHERE st_contains(p.boundary, w.location);",
+        );
+        assert!(out.contains("FudjJoin"), "{out}");
+    }
+}

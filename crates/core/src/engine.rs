@@ -1,0 +1,393 @@
+//! The engine-side join strategy interface.
+//!
+//! The execution engine drives distributed joins through [`EngineJoin`], a
+//! native-[`Value`] interface. Two families implement it:
+//!
+//! * [`FudjEngineJoin`] wraps a registered [`JoinAlgorithm`] (i.e. a user's
+//!   FUDJ library behind its proxy). Every key crossing into user code is
+//!   translated to an [`fudj_types::ExtValue`] first — the paper's Fig. 7
+//!   boundary. The adapter counts those translations so the §VII-B overhead
+//!   experiment can report the cost of the extensibility layer.
+//! * Hand-written *built-in* operators (in the `fudj-joins` crate) implement
+//!   `EngineJoin` directly on native values with concrete state types — the
+//!   paper's from-scratch baseline, which FUDJ is benchmarked against.
+//!
+//! `EngineJoin` also exposes [`EngineJoin::local_join_pairs`], the per-bucket
+//! local join. The default is the nested loop the plain FUDJ operator uses;
+//! the §VII-F "advanced" spatial operator overrides it with a plane sweep.
+
+use crate::model::{avoidance_accepts, BucketId, DedupMode, JoinAlgorithm, Side};
+use crate::state::{PPlanState, SummaryState};
+use fudj_types::{ext, Result, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A distributed partition-based join, as the engine sees it.
+pub trait EngineJoin: Send + Sync {
+    /// Name for plans and metrics.
+    fn name(&self) -> &str;
+
+    /// Fresh (identity) summary for one side.
+    fn new_summary(&self, side: Side) -> SummaryState;
+
+    /// Fold one key into a local summary.
+    fn local_aggregate(&self, side: Side, key: &Value, summary: &mut SummaryState) -> Result<()>;
+
+    /// Merge two partial summaries.
+    fn global_aggregate(&self, side: Side, a: SummaryState, b: SummaryState)
+        -> Result<SummaryState>;
+
+    /// Whether both sides share summarize/assign logic (self-join rewrite).
+    fn symmetric(&self) -> bool;
+
+    /// Build the partitioning plan from both summaries + query parameters.
+    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value])
+        -> Result<PPlanState>;
+
+    /// Bucket ids for a key, appended to `out`.
+    fn assign(&self, side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>)
+        -> Result<()>;
+
+    /// Bucket matching (default equality).
+    fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
+        b1 == b2
+    }
+
+    /// Whether `matches` is the default equality (hash-join eligibility).
+    fn uses_default_match(&self) -> bool {
+        true
+    }
+
+    /// Record-pair verification.
+    fn verify(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState)
+        -> Result<bool>;
+
+    /// Duplicate-handling strategy.
+    fn dedup_mode(&self) -> DedupMode {
+        DedupMode::Avoidance
+    }
+
+    /// Dedup predicate for [`DedupMode::Avoidance`] and [`DedupMode::Custom`]:
+    /// should the pair be emitted from this bucket pair?
+    fn dedup(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState)
+        -> Result<bool>;
+
+    /// Local join of one matched bucket pair: emit the indices of key pairs
+    /// that pass `verify` (dedup is applied by the caller). The default is
+    /// the nested loop; operators with local optimizations (plane sweep,
+    /// sort-merge) override this — the §VII-F hook.
+    fn local_join_pairs(
+        &self,
+        b1: BucketId,
+        left_keys: &[Value],
+        b2: BucketId,
+        right_keys: &[Value],
+        pplan: &PPlanState,
+        emit: &mut dyn FnMut(usize, usize),
+    ) -> Result<()> {
+        for (i, k1) in left_keys.iter().enumerate() {
+            for (j, k2) in right_keys.iter().enumerate() {
+                if self.verify(b1, k1, b2, k2, pplan)? {
+                    emit(i, j);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adapter: a registered FUDJ algorithm as an [`EngineJoin`].
+///
+/// Carries the per-call [`Value`] → [`fudj_types::ExtValue`] translation and
+/// counts every crossing of the boundary.
+pub struct FudjEngineJoin {
+    alg: Arc<dyn JoinAlgorithm>,
+    translations: AtomicU64,
+}
+
+impl FudjEngineJoin {
+    /// Wrap a registered algorithm.
+    pub fn new(alg: Arc<dyn JoinAlgorithm>) -> Self {
+        FudjEngineJoin { alg, translations: AtomicU64::new(0) }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &Arc<dyn JoinAlgorithm> {
+        &self.alg
+    }
+
+    /// How many engine→external value translations have happened — the
+    /// extensibility-boundary traffic the §VII-B experiment quantifies.
+    pub fn translation_count(&self) -> u64 {
+        self.translations.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn xlate(&self, v: &Value) -> Result<fudj_types::ExtValue> {
+        self.translations.fetch_add(1, Ordering::Relaxed);
+        ext::to_external(v)
+    }
+}
+
+impl EngineJoin for FudjEngineJoin {
+    fn name(&self) -> &str {
+        self.alg.name()
+    }
+
+    fn new_summary(&self, side: Side) -> SummaryState {
+        self.alg.new_summary(side)
+    }
+
+    fn local_aggregate(&self, side: Side, key: &Value, summary: &mut SummaryState) -> Result<()> {
+        let ek = self.xlate(key)?;
+        self.alg.local_aggregate(side, &ek, summary)
+    }
+
+    fn global_aggregate(
+        &self,
+        side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState> {
+        self.alg.global_aggregate(side, a, b)
+    }
+
+    fn symmetric(&self) -> bool {
+        self.alg.symmetric()
+    }
+
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState> {
+        let eparams: Vec<fudj_types::ExtValue> =
+            params.iter().map(|p| self.xlate(p)).collect::<Result<_>>()?;
+        self.alg.divide(left, right, &eparams)
+    }
+
+    fn assign(
+        &self,
+        side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
+        let ek = self.xlate(key)?;
+        self.alg.assign(side, &ek, pplan, out)
+    }
+
+    fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
+        self.alg.matches(b1, b2)
+    }
+
+    fn uses_default_match(&self) -> bool {
+        self.alg.uses_default_match()
+    }
+
+    fn verify(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
+        let e1 = self.xlate(k1)?;
+        let e2 = self.xlate(k2)?;
+        self.alg.verify(b1, &e1, b2, &e2, pplan)
+    }
+
+    fn dedup_mode(&self) -> DedupMode {
+        self.alg.dedup_mode()
+    }
+
+    fn dedup(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
+        let e1 = self.xlate(k1)?;
+        let e2 = self.xlate(k2)?;
+        match self.alg.dedup_mode() {
+            DedupMode::Custom => self.alg.dedup(b1, &e1, b2, &e2, pplan),
+            _ => avoidance_accepts(self.alg.as_ref(), b1, &e1, b2, &e2, pplan),
+        }
+    }
+}
+
+/// Sequential reference execution of an [`EngineJoin`] over in-memory keys:
+/// the [`crate::standalone`] runner's counterpart at the engine interface.
+///
+/// Returns sorted `(left_index, right_index)` result pairs. The distributed
+/// engine must produce exactly this set for the same inputs — its tests use
+/// this function as the oracle — and built-in operators are validated
+/// against their FUDJ twins through it.
+pub fn reference_execute(
+    ej: &dyn EngineJoin,
+    left_keys: &[Value],
+    right_keys: &[Value],
+    params: &[Value],
+) -> Result<Vec<(usize, usize)>> {
+    use std::collections::HashMap;
+
+    // SUMMARIZE
+    let mut ls = ej.new_summary(Side::Left);
+    for k in left_keys {
+        ej.local_aggregate(Side::Left, k, &mut ls)?;
+    }
+    let mut rs = ej.new_summary(Side::Right);
+    for k in right_keys {
+        ej.local_aggregate(Side::Right, k, &mut rs)?;
+    }
+
+    // DIVIDE
+    let pplan = ej.divide(&ls, &rs, params)?;
+
+    // PARTITION
+    let mut scratch = Vec::new();
+    let mut bucketize = |side: Side, keys: &[Value]| -> Result<HashMap<BucketId, Vec<usize>>> {
+        let mut m: HashMap<BucketId, Vec<usize>> = HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            scratch.clear();
+            ej.assign(side, k, &pplan, &mut scratch)?;
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &b in &scratch {
+                m.entry(b).or_default().push(i);
+            }
+        }
+        Ok(m)
+    };
+    let left_buckets = bucketize(Side::Left, left_keys)?;
+    let right_buckets = bucketize(Side::Right, right_keys)?;
+
+    // COMBINE
+    let mut matched: Vec<(BucketId, BucketId)> = Vec::new();
+    if ej.uses_default_match() {
+        for &b in left_buckets.keys() {
+            if right_buckets.contains_key(&b) {
+                matched.push((b, b));
+            }
+        }
+    } else {
+        for &b1 in left_buckets.keys() {
+            for &b2 in right_buckets.keys() {
+                if ej.matches(b1, b2) {
+                    matched.push((b1, b2));
+                }
+            }
+        }
+    }
+    matched.sort_unstable();
+
+    let mode = ej.dedup_mode();
+    let mut out = Vec::new();
+    for (b1, b2) in matched {
+        let lefts = &left_buckets[&b1];
+        let rights = &right_buckets[&b2];
+        let lkeys: Vec<Value> = lefts.iter().map(|&i| left_keys[i].clone()).collect();
+        let rkeys: Vec<Value> = rights.iter().map(|&j| right_keys[j].clone()).collect();
+        let mut verified: Vec<(usize, usize)> = Vec::new();
+        ej.local_join_pairs(b1, &lkeys, b2, &rkeys, &pplan, &mut |i, j| {
+            verified.push((lefts[i], rights[j]));
+        })?;
+        for (i, j) in verified {
+            let keep = match mode {
+                DedupMode::None | DedupMode::Elimination => true,
+                DedupMode::Avoidance | DedupMode::Custom => {
+                    ej.dedup(b1, &left_keys[i], b2, &right_keys[j], &pplan)?
+                }
+            };
+            if keep {
+                out.push((i, j));
+            }
+        }
+    }
+    out.sort_unstable();
+    if mode == DedupMode::Elimination {
+        out.dedup();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flexible::{FlexibleJoin, ProxyJoin};
+    use fudj_types::ExtValue;
+
+    struct EqJoin;
+    impl FlexibleJoin for EqJoin {
+        type Summary = i64;
+        type PPlan = i64;
+        fn name(&self) -> &str {
+            "eq"
+        }
+        fn summarize(&self, key: &ExtValue, s: &mut i64) -> Result<()> {
+            *s = (*s).max(key.as_long()?.abs());
+            Ok(())
+        }
+        fn merge_summaries(&self, a: i64, b: i64) -> i64 {
+            a.max(b)
+        }
+        fn divide(&self, _: &i64, _: &i64, _: &[ExtValue]) -> Result<i64> {
+            Ok(16)
+        }
+        fn assign(&self, key: &ExtValue, n: &i64, out: &mut Vec<BucketId>) -> Result<()> {
+            out.push(key.as_long()?.rem_euclid(*n) as BucketId);
+            Ok(())
+        }
+        fn verify(&self, k1: &ExtValue, k2: &ExtValue, _: &i64) -> Result<bool> {
+            Ok(k1.as_long()? == k2.as_long()?)
+        }
+        fn dedup_mode(&self) -> DedupMode {
+            DedupMode::None
+        }
+    }
+
+    #[test]
+    fn adapter_translates_and_counts() {
+        let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(EqJoin)));
+        let mut s = ej.new_summary(Side::Left);
+        ej.local_aggregate(Side::Left, &Value::Int64(42), &mut s).unwrap();
+        assert_eq!(ej.translation_count(), 1);
+
+        let plan = ej.divide(&s, &s, &[]).unwrap();
+        let mut out = Vec::new();
+        ej.assign(Side::Left, &Value::Int64(18), &plan, &mut out).unwrap();
+        assert_eq!(out, vec![2]);
+        assert!(ej.verify(2, &Value::Int64(18), 2, &Value::Int64(18), &plan).unwrap());
+        assert!(ej.translation_count() >= 4);
+    }
+
+    #[test]
+    fn default_local_join_is_verified_nested_loop() {
+        let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(EqJoin)));
+        let s = ej.new_summary(Side::Left);
+        let plan = ej.divide(&s, &s, &[]).unwrap();
+        let left = vec![Value::Int64(1), Value::Int64(2)];
+        let right = vec![Value::Int64(2), Value::Int64(1), Value::Int64(2)];
+        let mut pairs = Vec::new();
+        ej.local_join_pairs(0, &left, 0, &right, &plan, &mut |i, j| pairs.push((i, j)))
+            .unwrap();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn dedup_on_datetime_keys_goes_through_translation() {
+        let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(EqJoin)));
+        let s = ej.new_summary(Side::Left);
+        let plan = ej.divide(&s, &s, &[]).unwrap();
+        // DateTime translates to Long; dedup (avoidance) accepts the single
+        // matching bucket pair.
+        let k = Value::DateTime(33);
+        assert!(ej.dedup(1, &k, 1, &k, &plan).unwrap());
+        assert!(!ej.dedup(0, &k, 0, &k, &plan).unwrap());
+    }
+}

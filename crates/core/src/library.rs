@@ -1,0 +1,125 @@
+//! Join libraries — the "JAR package" of the paper's `CREATE JOIN`.
+//!
+//! A library is a named bundle of join-algorithm factories, keyed by class
+//! name. Installing a library and creating joins from it never touches the
+//! engine build: the paper's headline deployment claim ("new FUDJ packages
+//! within seconds without system disruption") holds here by construction.
+
+use crate::model::JoinAlgorithm;
+use fudj_types::{FudjError, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Factory producing a fresh algorithm instance for a query.
+pub type JoinFactory = Arc<dyn Fn() -> Arc<dyn JoinAlgorithm> + Send + Sync>;
+
+/// A named bundle of join implementations (the uploaded "library").
+pub struct JoinLibrary {
+    name: String,
+    factories: HashMap<String, JoinFactory>,
+}
+
+impl JoinLibrary {
+    /// Start building a library.
+    pub fn builder(name: impl Into<String>) -> JoinLibraryBuilder {
+        JoinLibraryBuilder { name: name.into(), factories: HashMap::new() }
+    }
+
+    /// The library's name (the `AT <library>` clause target).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Class names available in this library, sorted.
+    pub fn classes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Instantiate the algorithm registered under `class`.
+    pub fn instantiate(&self, class: &str) -> Result<Arc<dyn JoinAlgorithm>> {
+        self.factories
+            .get(class)
+            .map(|f| f())
+            .ok_or_else(|| {
+                FudjError::JoinNotFound(format!("class {class:?} in library {:?}", self.name))
+            })
+    }
+}
+
+impl fmt::Debug for JoinLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinLibrary({:?}, classes: {:?})", self.name, self.classes())
+    }
+}
+
+/// Builder for [`JoinLibrary`].
+pub struct JoinLibraryBuilder {
+    name: String,
+    factories: HashMap<String, JoinFactory>,
+}
+
+impl JoinLibraryBuilder {
+    /// Register an algorithm under a class name (the paper's
+    /// `"package.ClassName"` string).
+    pub fn with_class(
+        mut self,
+        class: impl Into<String>,
+        factory: impl Fn() -> Arc<dyn JoinAlgorithm> + Send + Sync + 'static,
+    ) -> Self {
+        self.factories.insert(class.into(), Arc::new(factory));
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> JoinLibrary {
+        JoinLibrary { name: self.name, factories: self.factories }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flexible::{FlexibleJoin, ProxyJoin};
+    use crate::model::BucketId;
+    use fudj_types::ExtValue;
+
+    struct Noop;
+    impl FlexibleJoin for Noop {
+        type Summary = i64;
+        type PPlan = i64;
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn summarize(&self, _: &ExtValue, _: &mut i64) -> Result<()> {
+            Ok(())
+        }
+        fn merge_summaries(&self, a: i64, _: i64) -> i64 {
+            a
+        }
+        fn divide(&self, _: &i64, _: &i64, _: &[ExtValue]) -> Result<i64> {
+            Ok(1)
+        }
+        fn assign(&self, _: &ExtValue, _: &i64, out: &mut Vec<BucketId>) -> Result<()> {
+            out.push(0);
+            Ok(())
+        }
+        fn verify(&self, _: &ExtValue, _: &ExtValue, _: &i64) -> Result<bool> {
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn build_and_instantiate() {
+        let lib = JoinLibrary::builder("flexiblejoins")
+            .with_class("noop.Noop", || Arc::new(ProxyJoin::new(Noop)))
+            .build();
+        assert_eq!(lib.name(), "flexiblejoins");
+        assert_eq!(lib.classes(), vec!["noop.Noop"]);
+        let alg = lib.instantiate("noop.Noop").unwrap();
+        assert_eq!(alg.name(), "noop");
+        assert!(lib.instantiate("missing.Class").is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! Type-erased, shippable join state.
+//!
+//! The engine must move two opaque things on behalf of a join library:
+//! `Summary` objects (gathered during SUMMARIZE) and the `PPlan` (broadcast
+//! to every worker before PARTITION). The paper handles these as regular
+//! records "with type Object"; here they are [`StateObject`] trait objects —
+//! cloneable (for broadcast), serializable (so exchanges can account for
+//! their bytes), and downcastable (so the owning library gets its concrete
+//! type back on the other side).
+
+use std::any::Any;
+use std::fmt;
+
+/// A cloneable, serializable, downcastable state blob.
+///
+/// Implemented automatically for any `Clone + Serialize + Debug` type, so a
+/// join library's `Summary`/`PPlan` structs qualify with zero ceremony.
+pub trait StateObject: Any + Send + Sync {
+    /// Clone behind the trait object.
+    fn clone_box(&self) -> Box<dyn StateObject>;
+    /// Serialized size in bytes — what shipping this state costs on the
+    /// (simulated) wire. Uses a compact self-describing encoding.
+    fn serialized_len(&self) -> usize;
+    /// Debug rendering for EXPLAIN output and error messages.
+    fn debug_string(&self) -> String;
+    /// Upcast for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast for in-place updates (hot path of local aggregation).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T> StateObject for T
+where
+    T: Any + Send + Sync + Clone + serde::Serialize + fmt::Debug,
+{
+    fn clone_box(&self) -> Box<dyn StateObject> {
+        Box::new(self.clone())
+    }
+
+    fn serialized_len(&self) -> usize {
+        // JSON is not the engine's wire format, but its length is a stable,
+        // format-agnostic proxy for "how big is this state" in metrics.
+        count_ser::to_vec_len(self)
+    }
+
+    fn debug_string(&self) -> String {
+        format!("{self:?}")
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Tiny internal serializer used only to measure state size: walks serde's
+/// data model and counts bytes a compact binary encoding would use. Avoids
+/// pulling in a full serde format crate for a metric.
+mod count_ser {
+    use serde::ser::{self, Serialize};
+
+    pub fn to_vec_len<T: Serialize>(v: &T) -> usize {
+        let mut c = Counter(0);
+        // Serialization of plain-old-data cannot fail; fall back to 0 if a
+        // pathological type sneaks in rather than poisoning metrics.
+        let _ = v.serialize(&mut c);
+        c.0
+    }
+
+    pub struct Counter(pub usize);
+
+    #[derive(Debug)]
+    pub struct NoErr;
+    impl std::fmt::Display for NoErr {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "counting serializer cannot fail")
+        }
+    }
+    impl std::error::Error for NoErr {}
+    impl ser::Error for NoErr {
+        fn custom<T: std::fmt::Display>(_: T) -> Self {
+            NoErr
+        }
+    }
+
+    macro_rules! count_prim {
+        ($f:ident, $t:ty, $n:expr) => {
+            fn $f(self, _v: $t) -> Result<(), NoErr> {
+                self.0 += $n;
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a> ser::Serializer for &'a mut Counter {
+        type Ok = ();
+        type Error = NoErr;
+        type SerializeSeq = &'a mut Counter;
+        type SerializeTuple = &'a mut Counter;
+        type SerializeTupleStruct = &'a mut Counter;
+        type SerializeTupleVariant = &'a mut Counter;
+        type SerializeMap = &'a mut Counter;
+        type SerializeStruct = &'a mut Counter;
+        type SerializeStructVariant = &'a mut Counter;
+
+        count_prim!(serialize_bool, bool, 1);
+        count_prim!(serialize_i8, i8, 1);
+        count_prim!(serialize_i16, i16, 2);
+        count_prim!(serialize_i32, i32, 4);
+        count_prim!(serialize_i64, i64, 8);
+        count_prim!(serialize_u8, u8, 1);
+        count_prim!(serialize_u16, u16, 2);
+        count_prim!(serialize_u32, u32, 4);
+        count_prim!(serialize_u64, u64, 8);
+        count_prim!(serialize_f32, f32, 4);
+        count_prim!(serialize_f64, f64, 8);
+        count_prim!(serialize_char, char, 4);
+
+        fn serialize_str(self, v: &str) -> Result<(), NoErr> {
+            self.0 += 4 + v.len();
+            Ok(())
+        }
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), NoErr> {
+            self.0 += 4 + v.len();
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), NoErr> {
+            self.0 += 1;
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<(), NoErr> {
+            self.0 += 1;
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), NoErr> {
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), NoErr> {
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+        ) -> Result<(), NoErr> {
+            self.0 += 4;
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: ?Sized + Serialize>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), NoErr> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + Serialize>(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), NoErr> {
+            self.0 += 4;
+            v.serialize(self)
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, NoErr> {
+            self.0 += 4;
+            Ok(self)
+        }
+        fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, NoErr> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleStruct, NoErr> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleVariant, NoErr> {
+            self.0 += 4;
+            Ok(self)
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, NoErr> {
+            self.0 += 4;
+            Ok(self)
+        }
+        fn serialize_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStruct, NoErr> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStructVariant, NoErr> {
+            self.0 += 4;
+            Ok(self)
+        }
+    }
+
+    macro_rules! impl_compound {
+        ($tr:path, $fn_name:ident) => {
+            impl<'a> $tr for &'a mut Counter {
+                type Ok = ();
+                type Error = NoErr;
+                fn $fn_name<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), NoErr> {
+                    v.serialize(&mut **self)
+                }
+                fn end(self) -> Result<(), NoErr> {
+                    Ok(())
+                }
+            }
+        };
+    }
+    impl_compound!(ser::SerializeSeq, serialize_element);
+    impl_compound!(ser::SerializeTuple, serialize_element);
+    impl_compound!(ser::SerializeTupleStruct, serialize_field);
+    impl_compound!(ser::SerializeTupleVariant, serialize_field);
+
+    impl ser::SerializeMap for &mut Counter {
+        type Ok = ();
+        type Error = NoErr;
+        fn serialize_key<T: ?Sized + Serialize>(&mut self, k: &T) -> Result<(), NoErr> {
+            k.serialize(&mut **self)
+        }
+        fn serialize_value<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), NoErr> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), NoErr> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStruct for &mut Counter {
+        type Ok = ();
+        type Error = NoErr;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), NoErr> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), NoErr> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStructVariant for &mut Counter {
+        type Ok = ();
+        type Error = NoErr;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), NoErr> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), NoErr> {
+            Ok(())
+        }
+    }
+}
+
+macro_rules! state_wrapper {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub struct $name(Box<dyn StateObject>);
+
+        impl $name {
+            /// Wrap a concrete state value.
+            pub fn new<T: StateObject>(value: T) -> Self {
+                $name(Box::new(value))
+            }
+
+            /// Borrow the concrete state, if it is a `T`.
+            pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+                self.0.as_any().downcast_ref::<T>()
+            }
+
+            /// Mutably borrow the concrete state, if it is a `T`.
+            pub fn downcast_mut<T: 'static>(&mut self) -> Option<&mut T> {
+                self.0.as_any_mut().downcast_mut::<T>()
+            }
+
+            /// Serialized size in bytes (for exchange metrics).
+            pub fn serialized_len(&self) -> usize {
+                self.0.serialized_len()
+            }
+        }
+
+        impl Clone for $name {
+            fn clone(&self) -> Self {
+                $name(self.0.clone_box())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0.debug_string())
+            }
+        }
+    };
+}
+
+state_wrapper! {
+    /// A join library's `Summary`, type-erased for the engine.
+    SummaryState
+}
+
+state_wrapper! {
+    /// A join library's `PPlan`, type-erased for the engine. Broadcast to
+    /// every worker between the SUMMARIZE and PARTITION phases.
+    PPlanState
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Clone, Debug, PartialEq, Serialize)]
+    struct Mbr {
+        min_x: f64,
+        min_y: f64,
+        max_x: f64,
+        max_y: f64,
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let m = Mbr { min_x: 0.0, min_y: 1.0, max_x: 2.0, max_y: 3.0 };
+        let s = SummaryState::new(m.clone());
+        assert_eq!(s.downcast_ref::<Mbr>(), Some(&m));
+        assert_eq!(s.downcast_ref::<String>(), None);
+    }
+
+    #[test]
+    fn clone_preserves_value() {
+        let s = PPlanState::new(vec![1u64, 2, 3]);
+        let c = s.clone();
+        assert_eq!(c.downcast_ref::<Vec<u64>>().unwrap(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serialized_len_tracks_payload() {
+        let small = SummaryState::new(vec![0u64; 1]);
+        let big = SummaryState::new(vec![0u64; 100]);
+        assert!(big.serialized_len() > small.serialized_len());
+        // 4-byte length prefix + 100 × 8 bytes.
+        assert_eq!(big.serialized_len(), 4 + 800);
+    }
+
+    #[test]
+    fn serialized_len_of_strings_and_maps() {
+        use std::collections::HashMap;
+        let mut m: HashMap<String, u64> = HashMap::new();
+        m.insert("tok".into(), 3);
+        let s = SummaryState::new(m);
+        // 4 (map) + 4+3 (key) + 8 (value)
+        assert_eq!(s.serialized_len(), 19);
+    }
+
+    #[test]
+    fn debug_string_shows_content() {
+        let s = SummaryState::new(42i64);
+        assert!(format!("{s:?}").contains("42"));
+    }
+}

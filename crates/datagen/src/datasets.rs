@@ -1,0 +1,348 @@
+//! The five synthetic datasets, as loadable [`Dataset`]s.
+
+use crate::text::ReviewGenerator;
+use fudj_geo::{Point, Polygon};
+use fudj_storage::{Dataset, DatasetBuilder};
+use fudj_temporal::Interval;
+use fudj_types::{DataType, Field, Result, Row, Schema, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Longitude range of the synthetic world (continental-US-like).
+pub const WORLD_LON: (f64, f64) = (-125.0, -65.0);
+/// Latitude range of the synthetic world.
+pub const WORLD_LAT: (f64, f64) = (25.0, 50.0);
+
+/// Epoch millis of 2022-01-01 (the Query 1 filter boundary).
+pub const JAN_2022_MS: i64 = 18_993 * 86_400_000;
+/// One year in milliseconds.
+pub const YEAR_MS: i64 = 365 * 86_400_000;
+
+/// Common generator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Record count.
+    pub rows: usize,
+    /// RNG seed — equal seeds give bit-identical datasets.
+    pub seed: u64,
+    /// Storage partitions of the produced dataset.
+    pub partitions: usize,
+}
+
+impl GeneratorConfig {
+    /// `rows` records under `seed`, stored in `partitions` partitions.
+    pub fn new(rows: usize, seed: u64, partitions: usize) -> Self {
+        GeneratorConfig { rows, seed, partitions }
+    }
+}
+
+fn rng_of(cfg: &GeneratorConfig) -> SmallRng {
+    SmallRng::seed_from_u64(cfg.seed)
+}
+
+/// Clustered random point: most points near one of `centers`, some uniform.
+fn clustered_point(rng: &mut SmallRng, centers: &[(f64, f64)]) -> Point {
+    if rng.gen_bool(0.85) {
+        let (cx, cy) = centers[rng.gen_range(0..centers.len())];
+        // Box-Muller-ish spread around the center.
+        let dx: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+        let dy: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+        Point::new(
+            (cx + dx * 1.5).clamp(WORLD_LON.0, WORLD_LON.1),
+            (cy + dy * 1.5).clamp(WORLD_LAT.0, WORLD_LAT.1),
+        )
+    } else {
+        Point::new(rng.gen_range(WORLD_LON.0..WORLD_LON.1), rng.gen_range(WORLD_LAT.0..WORLD_LAT.1))
+    }
+}
+
+fn fire_centers(rng: &mut SmallRng) -> Vec<(f64, f64)> {
+    (0..12)
+        .map(|_| (rng.gen_range(WORLD_LON.0..WORLD_LON.1), rng.gen_range(WORLD_LAT.0..WORLD_LAT.1)))
+        .collect()
+}
+
+/// `Wildfires(id uuid, location point, fire_start datetime, fire_end
+/// datetime)` — clustered ignition points over two years (so Query 1's
+/// `fire_start >= 01/01/2022` filter is selective).
+pub fn wildfires(cfg: GeneratorConfig) -> Result<Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Uuid),
+        Field::new("location", DataType::Point),
+        Field::new("fire_start", DataType::DateTime),
+        Field::new("fire_end", DataType::DateTime),
+    ]);
+    let d = DatasetBuilder::new("Wildfires", schema)
+        .primary_key("id")
+        .partitions(cfg.partitions)
+        .build()?;
+    let mut rng = rng_of(&cfg);
+    let centers = fire_centers(&mut rng);
+    for i in 0..cfg.rows {
+        let loc = clustered_point(&mut rng, &centers);
+        let start = JAN_2022_MS - YEAR_MS + rng.gen_range(0..2 * YEAR_MS);
+        let duration = rng.gen_range(3_600_000..30 * 86_400_000); // 1 h – 30 d
+        d.insert(Row::new(vec![
+            Value::Uuid(i as u128 | (1 << 96)),
+            Value::Point(loc),
+            Value::DateTime(start),
+            Value::DateTime(start + duration),
+        ]))?;
+    }
+    Ok(d)
+}
+
+/// Convex-ish park polygon around a center.
+fn park_polygon(rng: &mut SmallRng) -> Polygon {
+    let cx = rng.gen_range(WORLD_LON.0..WORLD_LON.1);
+    let cy = rng.gen_range(WORLD_LAT.0..WORLD_LAT.1);
+    // Log-uniform radius: many small parks, a few large ones. Radii are
+    // scaled up relative to real parks so that laptop-scale record counts
+    // (10³–10⁵ instead of the paper's 10M) still produce join matches at a
+    // density comparable to the full datasets.
+    let radius = 0.15 * (1.0f64 / rng.gen_range(0.001..1.0f64)).powf(0.5);
+    let radius = radius.min(3.0);
+    let vertices = rng.gen_range(4..10usize);
+    let ring = (0..vertices)
+        .map(|k| {
+            let angle = (k as f64 / vertices as f64) * std::f64::consts::TAU;
+            let r = radius * rng.gen_range(0.6..1.0);
+            Point::new(
+                (cx + r * angle.cos()).clamp(WORLD_LON.0, WORLD_LON.1),
+                (cy + r * angle.sin()).clamp(WORLD_LAT.0, WORLD_LAT.1),
+            )
+        })
+        .collect();
+    Polygon::new(ring)
+}
+
+/// Park-feature tag vocabulary (Query 2 joins on Jaccard similarity of tags).
+const PARK_TAGS: &[&str] = &[
+    "river", "scenic", "landscape", "camping", "backpacking", "hiking", "trail", "lake",
+    "fishing", "swimming", "picnic", "wildlife", "forest", "canyon", "waterfall", "desert",
+    "mountain", "beach", "playground", "dogs", "biking", "climbing", "caves", "historic",
+];
+
+/// `Parks(id uuid, boundary polygon, tags string)`.
+pub fn parks(cfg: GeneratorConfig) -> Result<Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Uuid),
+        Field::new("boundary", DataType::Polygon),
+        Field::new("tags", DataType::String),
+    ]);
+    let d = DatasetBuilder::new("Parks", schema)
+        .primary_key("id")
+        .partitions(cfg.partitions)
+        .build()?;
+    let mut rng = rng_of(&cfg);
+    for i in 0..cfg.rows {
+        let boundary = park_polygon(&mut rng);
+        let tag_count = rng.gen_range(2..7usize);
+        let mut tags: Vec<&str> =
+            (0..tag_count).map(|_| PARK_TAGS[rng.gen_range(0..PARK_TAGS.len())]).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        d.insert(Row::new(vec![
+            Value::Uuid(i as u128 | (2 << 96)),
+            Value::polygon(boundary),
+            Value::str(tags.join(", ")),
+        ]))?;
+    }
+    Ok(d)
+}
+
+/// `NYCTaxi(id uuid, vendor bigint, ride_interval interval)` — start times
+/// cluster at rush hours; durations are heavy-tailed.
+pub fn nyctaxi(cfg: GeneratorConfig) -> Result<Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Uuid),
+        Field::new("Vendor", DataType::Int64),
+        Field::new("ride_interval", DataType::Interval),
+    ]);
+    let d = DatasetBuilder::new("NYCTaxi", schema)
+        .primary_key("id")
+        .partitions(cfg.partitions)
+        .build()?;
+    let mut rng = rng_of(&cfg);
+    for i in 0..cfg.rows {
+        let day = rng.gen_range(0..365i64);
+        // Rush-hour mixture: 8am, 6pm, or uniform.
+        let hour_ms: i64 = match rng.gen_range(0..3u8) {
+            0 => 8 * 3_600_000 + rng.gen_range(-3_600_000..3_600_000),
+            1 => 18 * 3_600_000 + rng.gen_range(-3_600_000..3_600_000),
+            _ => rng.gen_range(0..86_400_000),
+        };
+        let start = JAN_2022_MS + day * 86_400_000 + hour_ms.clamp(0, 86_399_000);
+        // Heavy tail: median ~10 min, occasional multi-hour rides.
+        let u: f64 = rng.gen_range(0.001..1.0);
+        let duration = (600_000.0 * u.powf(-0.5)).min(4.0 * 3_600_000.0) as i64;
+        d.insert(Row::new(vec![
+            Value::Uuid(i as u128 | (3 << 96)),
+            Value::Int64(1 + (rng.gen_bool(0.5) as i64)),
+            Value::Interval(Interval::new(start, start + duration)),
+        ]))?;
+    }
+    Ok(d)
+}
+
+/// `AmazonReview(id uuid, overall bigint, review string)` — Zipf vocabulary
+/// with near-duplicate injection.
+pub fn amazon_reviews(cfg: GeneratorConfig) -> Result<Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Uuid),
+        Field::new("overall", DataType::Int64),
+        Field::new("review", DataType::String),
+    ]);
+    let d = DatasetBuilder::new("AmazonReview", schema)
+        .primary_key("id")
+        .partitions(cfg.partitions)
+        .build()?;
+    let mut rng = rng_of(&cfg);
+    let mut gen = ReviewGenerator::new(5_000);
+    for i in 0..cfg.rows {
+        // Real review corpora skew positive.
+        let overall = *[5i64, 5, 5, 4, 4, 3, 2, 1].get(rng.gen_range(0..8)).unwrap();
+        let review = gen.next_review(&mut rng);
+        d.insert(Row::new(vec![
+            Value::Uuid(i as u128 | (4 << 96)),
+            Value::Int64(overall),
+            Value::str(review),
+        ]))?;
+    }
+    Ok(d)
+}
+
+/// `Weather(id uuid, location point, reading_interval interval, temp bigint)`
+/// — for Query 3's combined spatial + interval join.
+pub fn weather(cfg: GeneratorConfig) -> Result<Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Uuid),
+        Field::new("location", DataType::Point),
+        Field::new("reading_interval", DataType::Interval),
+        Field::new("temp", DataType::Int64),
+    ]);
+    let d = DatasetBuilder::new("Weather", schema)
+        .primary_key("id")
+        .partitions(cfg.partitions)
+        .build()?;
+    let mut rng = rng_of(&cfg);
+    let centers = fire_centers(&mut rng);
+    for i in 0..cfg.rows {
+        let loc = clustered_point(&mut rng, &centers);
+        let start = JAN_2022_MS + rng.gen_range(0..YEAR_MS);
+        let duration = rng.gen_range(1..48i64) * 3_600_000; // 1–48 h readings
+        d.insert(Row::new(vec![
+            Value::Uuid(i as u128 | (5 << 96)),
+            Value::Point(loc),
+            Value::Interval(Interval::new(start, start + duration)),
+            Value::Int64(rng.gen_range(-20..45)),
+        ]))?;
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rows: usize) -> GeneratorConfig {
+        GeneratorConfig::new(rows, 7, 4)
+    }
+
+    #[test]
+    fn all_generators_produce_requested_rows() {
+        assert_eq!(wildfires(cfg(100)).unwrap().len(), 100);
+        assert_eq!(parks(cfg(100)).unwrap().len(), 100);
+        assert_eq!(nyctaxi(cfg(100)).unwrap().len(), 100);
+        assert_eq!(amazon_reviews(cfg(100)).unwrap().len(), 100);
+        assert_eq!(weather(cfg(100)).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_data() {
+        let a = wildfires(cfg(50)).unwrap();
+        let b = wildfires(cfg(50)).unwrap();
+        let mut ra = a.all_rows();
+        let mut rb = b.all_rows();
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+
+        let c = wildfires(GeneratorConfig::new(50, 8, 4)).unwrap();
+        let mut rc = c.all_rows();
+        rc.sort();
+        assert_ne!(ra, rc, "different seed, different data");
+    }
+
+    #[test]
+    fn wildfire_geometry_and_times_in_range() {
+        let d = wildfires(cfg(200)).unwrap();
+        for row in d.all_rows() {
+            let p = row.get(1).as_point().unwrap();
+            assert!((WORLD_LON.0..=WORLD_LON.1).contains(&p.x));
+            assert!((WORLD_LAT.0..=WORLD_LAT.1).contains(&p.y));
+            let start = match row.get(2) {
+                Value::DateTime(ms) => *ms,
+                other => panic!("{other:?}"),
+            };
+            let end = match row.get(3) {
+                Value::DateTime(ms) => *ms,
+                other => panic!("{other:?}"),
+            };
+            assert!(start < end);
+        }
+    }
+
+    #[test]
+    fn parks_have_valid_polygons_and_tags() {
+        let d = parks(cfg(200)).unwrap();
+        for row in d.all_rows() {
+            let poly = row.get(1).as_polygon().unwrap();
+            assert!(poly.len() >= 3);
+            assert!(poly.area() > 0.0);
+            let tags = row.get(2).as_str().unwrap();
+            assert!(!tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn taxi_vendors_split_and_intervals_valid() {
+        let d = nyctaxi(cfg(500)).unwrap();
+        let mut v1 = 0;
+        for row in d.all_rows() {
+            let v = row.get(1).as_i64().unwrap();
+            assert!(v == 1 || v == 2);
+            if v == 1 {
+                v1 += 1;
+            }
+            let iv = row.get(2).as_interval().unwrap();
+            assert!(iv.duration() > 0);
+        }
+        assert!((100..400).contains(&v1), "vendor 1 count {v1} of 500");
+    }
+
+    #[test]
+    fn reviews_skew_positive() {
+        let d = amazon_reviews(cfg(800)).unwrap();
+        let fives =
+            d.all_rows().iter().filter(|r| r.get(1).as_i64().unwrap() == 5).count();
+        assert!(fives > 200, "only {fives} five-star reviews of 800");
+    }
+
+    #[test]
+    fn spatial_clustering_is_present() {
+        // Clustered points should leave parts of the world nearly empty:
+        // compare occupancy of a coarse grid to the uniform expectation.
+        let d = wildfires(cfg(2000)).unwrap();
+        let mut cells = std::collections::HashSet::new();
+        for row in d.all_rows() {
+            let p = row.get(1).as_point().unwrap();
+            let cx = ((p.x - WORLD_LON.0) / (WORLD_LON.1 - WORLD_LON.0) * 20.0) as i64;
+            let cy = ((p.y - WORLD_LAT.0) / (WORLD_LAT.1 - WORLD_LAT.0) * 20.0) as i64;
+            cells.insert((cx.min(19), cy.min(19)));
+        }
+        // 2000 uniform points would occupy essentially all 400 cells
+        // (expected empty ≈ 400·e⁻⁵ ≈ 3); clustering leaves far more empty.
+        assert!(cells.len() < 360, "occupied {} of 400 cells — not clustered", cells.len());
+    }
+}

@@ -1,0 +1,187 @@
+//! Zipfian text generation for the review corpus.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A vocabulary with a Zipf rank-frequency law: word `k` (1-based) is drawn
+/// with probability proportional to `1 / k^s`.
+///
+/// Prefix filtering's effectiveness depends on exactly this shape — a few
+/// very common tokens that the prefix skips, and a long tail of rare tokens
+/// that make cheap buckets.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    /// Cumulative probabilities for inverse-CDF sampling.
+    cdf: Vec<f64>,
+}
+
+impl Vocabulary {
+    /// Build `size` synthetic words (`w0`, `w1`, ...) under Zipf exponent `s`.
+    pub fn zipf(size: usize, s: f64) -> Self {
+        assert!(size > 0, "vocabulary cannot be empty");
+        let words = (0..size).map(|i| format!("w{i}")).collect();
+        let mut cdf = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for k in 1..=size {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Vocabulary { words, cdf }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never: construction requires > 0).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Sample one word.
+    pub fn sample<'a>(&'a self, rng: &mut SmallRng) -> &'a str {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.words.len() - 1);
+        &self.words[idx]
+    }
+}
+
+/// Generates review texts, injecting near-duplicates.
+#[derive(Clone, Debug)]
+pub struct ReviewGenerator {
+    vocab: Vocabulary,
+    /// Words per review, inclusive range.
+    pub min_len: usize,
+    pub max_len: usize,
+    /// Probability that a review is a light perturbation of an earlier one.
+    pub near_dup_rate: f64,
+    /// Fraction of tokens replaced when perturbing.
+    pub perturbation: f64,
+    history: Vec<Vec<String>>,
+}
+
+impl ReviewGenerator {
+    /// Generator over a Zipf(1.05) vocabulary of `vocab_size` words.
+    pub fn new(vocab_size: usize) -> Self {
+        ReviewGenerator {
+            vocab: Vocabulary::zipf(vocab_size, 1.05),
+            min_len: 5,
+            max_len: 40,
+            near_dup_rate: 0.25,
+            perturbation: 0.1,
+            history: Vec::new(),
+        }
+    }
+
+    /// Produce the next review text.
+    pub fn next_review(&mut self, rng: &mut SmallRng) -> String {
+        let tokens = if !self.history.is_empty() && rng.gen_bool(self.near_dup_rate) {
+            // Perturb a random earlier review: swap ~perturbation of tokens.
+            let base = &self.history[rng.gen_range(0..self.history.len())];
+            let mut tokens = base.clone();
+            for t in tokens.iter_mut() {
+                if rng.gen_bool(self.perturbation) {
+                    *t = self.vocab.sample(rng).to_owned();
+                }
+            }
+            tokens
+        } else {
+            let len = rng.gen_range(self.min_len..=self.max_len);
+            (0..len).map(|_| self.vocab.sample(rng).to_owned()).collect()
+        };
+        // Cap history so memory stays bounded on large corpora.
+        if self.history.len() < 10_000 {
+            self.history.push(tokens.clone());
+        }
+        tokens.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let v = Vocabulary::zipf(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let w = v.sample(&mut rng);
+            // First 10 words of a 1000-word Zipf(1) cover ~39% of mass.
+            if let Some(num) = w.strip_prefix('w').and_then(|s| s.parse::<usize>().ok()) {
+                if num < 10 {
+                    head += 1;
+                }
+            }
+        }
+        let frac = head as f64 / N as f64;
+        assert!((0.3..0.5).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let v = Vocabulary::zipf(100, 1.0);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(v.sample(&mut a), v.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn reviews_have_configured_lengths() {
+        let mut g = ReviewGenerator::new(500);
+        g.near_dup_rate = 0.0;
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let r = g.next_review(&mut rng);
+            let words = r.split(' ').count();
+            assert!((g.min_len..=g.max_len).contains(&words), "{words} words");
+        }
+    }
+
+    #[test]
+    fn near_duplicates_actually_appear() {
+        use fudj_text_check::jaccard;
+        let mut g = ReviewGenerator::new(2000);
+        g.near_dup_rate = 0.5;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let reviews: Vec<String> = (0..200).map(|_| g.next_review(&mut rng)).collect();
+        let mut high_sim = 0;
+        for (i, a) in reviews.iter().enumerate() {
+            for b in reviews.iter().skip(i + 1) {
+                if jaccard(a, b) >= 0.8 {
+                    high_sim += 1;
+                }
+            }
+        }
+        assert!(high_sim > 10, "only {high_sim} high-similarity pairs");
+    }
+
+    /// Minimal local Jaccard so this crate's tests don't depend on
+    /// fudj-text (which is a separate substrate).
+    mod fudj_text_check {
+        use std::collections::HashSet;
+
+        pub fn jaccard(a: &str, b: &str) -> f64 {
+            let sa: HashSet<&str> = a.split(' ').collect();
+            let sb: HashSet<&str> = b.split(' ').collect();
+            let inter = sa.intersection(&sb).count();
+            let union = sa.union(&sb).count();
+            if union == 0 {
+                1.0
+            } else {
+                inter as f64 / union as f64
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The cluster executor.
+
+use crate::aggregate::Accumulator;
+use crate::exchange;
+use crate::metrics::QueryMetrics;
+use crate::plan::{Aggregate, PhysicalPlan, SortKey};
+use fudj_types::{Batch, DataType, FudjError, Result, Row, Value};
+use std::collections::HashMap;
+
+/// Rows, one vector per worker — the unit of data flow between operators.
+pub type PartitionedData = Vec<Vec<Row>>;
+
+/// A simulated shared-nothing cluster: `workers` nodes, each executing the
+/// per-partition side of every operator on its own OS thread, optionally
+/// connected by a [`crate::metrics::NetworkModel`] that charges wall-clock
+/// time for exchanged bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Cluster {
+    workers: usize,
+    network: Option<crate::metrics::NetworkModel>,
+}
+
+impl Cluster {
+    /// Cluster with `workers` nodes and a free (zero-cost) network.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "cluster needs at least one worker");
+        Cluster { workers, network: None }
+    }
+
+    /// Cluster whose exchanges pay for their bytes under `network`.
+    pub fn with_network(workers: usize, network: crate::metrics::NetworkModel) -> Self {
+        assert!(workers > 0, "cluster needs at least one worker");
+        Cluster { workers, network: Some(network) }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The network model, if any.
+    pub fn network(&self) -> Option<crate::metrics::NetworkModel> {
+        self.network
+    }
+
+    /// Execute a plan and gather the result on the coordinator.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryMetrics)> {
+        let metrics = QueryMetrics::with_network(self.network);
+        let parts = self.execute_partitioned(plan, &metrics)?;
+        let rows = exchange::gather(parts, &metrics)?;
+        Ok((Batch::new(plan.schema(), rows), metrics))
+    }
+
+    /// Execute a plan, leaving the result partitioned across workers.
+    pub fn execute_partitioned(
+        &self,
+        plan: &PhysicalPlan,
+        metrics: &QueryMetrics,
+    ) -> Result<PartitionedData> {
+        match plan {
+            PhysicalPlan::Scan { dataset } => {
+                // Map storage partitions onto workers round-robin: local
+                // disk reads, no network cost.
+                let mut parts: PartitionedData = vec![Vec::new(); self.workers];
+                for p in 0..dataset.partition_count() {
+                    parts[p % self.workers].extend(dataset.partition_rows(p));
+                }
+                Ok(parts)
+            }
+
+            PhysicalPlan::Filter { input, predicate } => {
+                let parts = self.execute_partitioned(input, metrics)?;
+                self.parallel_map(parts, |rows| {
+                    let mut out = Vec::with_capacity(rows.len() / 2);
+                    for row in rows {
+                        if predicate(&row)? {
+                            out.push(row);
+                        }
+                    }
+                    Ok(out)
+                })
+            }
+
+            PhysicalPlan::Project { input, mapper, .. } => {
+                let parts = self.execute_partitioned(input, metrics)?;
+                self.parallel_map(parts, |rows| {
+                    rows.iter().map(|r| mapper(r)).collect::<Result<Vec<Row>>>()
+                })
+            }
+
+            PhysicalPlan::FudjJoin(node) => crate::fudj_join::execute(self, node, metrics),
+
+            PhysicalPlan::NlJoin { left, right, predicate } => {
+                // On-top plan: broadcast the right side, nested-loop with
+                // the UDF predicate on every worker.
+                let left_parts = self.execute_partitioned(left, metrics)?;
+                let right_parts = self.execute_partitioned(right, metrics)?;
+                let right_all =
+                    exchange::broadcast(right_parts, self.workers, metrics)?;
+                let zipped: Vec<(Vec<Row>, Vec<Row>)> =
+                    left_parts.into_iter().zip(right_all).collect();
+                self.parallel_map(zipped, |(lrows, rrows)| {
+                    let mut out = Vec::new();
+                    for l in &lrows {
+                        for r in &rrows {
+                            if predicate(l, r)? {
+                                out.push(l.concat(r));
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            }
+
+            PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
+                self.execute_aggregate(input, group_by, aggregates, metrics)
+            }
+
+            PhysicalPlan::Sort { input, keys } => {
+                let parts = self.execute_partitioned(input, metrics)?;
+                let mut rows = exchange::gather(parts, metrics)?;
+                sort_rows(&mut rows, keys);
+                let mut out: PartitionedData = vec![Vec::new(); self.workers];
+                out[0] = rows;
+                Ok(out)
+            }
+
+            PhysicalPlan::Limit { input, limit } => {
+                let parts = self.execute_partitioned(input, metrics)?;
+                let mut rows = exchange::gather(parts, metrics)?;
+                rows.truncate(*limit);
+                let mut out: PartitionedData = vec![Vec::new(); self.workers];
+                out[0] = rows;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Run `f` over every partition in parallel, one thread per worker.
+    pub(crate) fn parallel_map<T: Send, R: Send>(
+        &self,
+        parts: Vec<T>,
+        f: impl Fn(T) -> Result<R> + Sync,
+    ) -> Result<Vec<R>> {
+        if parts.len() <= 1 {
+            return parts.into_iter().map(f).collect();
+        }
+        let results: Vec<Result<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                parts.into_iter().map(|part| scope.spawn(|| f(part))).collect();
+            handles.into_iter().map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(FudjError::Execution("worker thread panicked".into()))
+                })
+            }).collect()
+        });
+        results.into_iter().collect()
+    }
+
+    fn execute_aggregate(
+        &self,
+        input: &PhysicalPlan,
+        group_by: &[usize],
+        aggregates: &[Aggregate],
+        metrics: &QueryMetrics,
+    ) -> Result<PartitionedData> {
+        let in_schema = input.schema();
+        let float_sum: Vec<bool> = aggregates
+            .iter()
+            .map(|a| {
+                matches!(
+                    a.input.map(|i| &in_schema.fields()[i].data_type),
+                    Some(DataType::Float64)
+                )
+            })
+            .collect();
+        let parts = self.execute_partitioned(input, metrics)?;
+
+        // Step 1: per-worker partial aggregation.
+        let partials = self.parallel_map(parts, |rows| {
+            let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+            for row in &rows {
+                let key: Vec<Value> = group_by.iter().map(|&i| row.get(i).clone()).collect();
+                let accs = groups.entry(key).or_insert_with(|| {
+                    aggregates
+                        .iter()
+                        .zip(&float_sum)
+                        .map(|(a, &fs)| Accumulator::new(a, fs))
+                        .collect()
+                });
+                for (acc, agg) in accs.iter_mut().zip(aggregates) {
+                    acc.update(agg.input.map(|i| row.get(i)))?;
+                }
+            }
+            // Partial rows: group values then one partial value per agg.
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, accs) in groups {
+                let mut values = key;
+                values.extend(accs.iter().map(Accumulator::partial_value));
+                out.push(Row::new(values));
+            }
+            Ok(out)
+        })?;
+
+        // Step 2: shuffle partials by group key, merge, finalize.
+        let width = group_by.len();
+        let shuffled = exchange::shuffle_by(partials, self.workers, metrics, |row| {
+            (exchange::route_hash(&row.values()[..width]) as usize) % self.workers
+        })?;
+        self.parallel_map(shuffled, |rows| {
+            let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+            for row in &rows {
+                let key = row.values()[..width].to_vec();
+                let accs = groups.entry(key).or_insert_with(|| {
+                    aggregates
+                        .iter()
+                        .zip(&float_sum)
+                        .map(|(a, &fs)| Accumulator::new(a, fs))
+                        .collect()
+                });
+                for (i, acc) in accs.iter_mut().enumerate() {
+                    acc.merge_partial(row.get(width + i))?;
+                }
+            }
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, accs) in groups {
+                let mut values = key;
+                values.extend(accs.iter().map(Accumulator::finalize));
+                out.push(Row::new(values));
+            }
+            Ok(out)
+        })
+    }
+}
+
+/// Sort rows by the key list (stable between equal keys).
+pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let ord = a.get(k.column).cmp(b.get(k.column));
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggFunc;
+    use fudj_storage::DatasetBuilder;
+    use fudj_types::{Field, Schema};
+    use std::sync::Arc;
+
+    fn dataset(rows: usize, partitions: usize) -> Arc<fudj_storage::Dataset> {
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("grp", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let d = DatasetBuilder::new("t", schema)
+            .primary_key("id")
+            .partitions(partitions)
+            .build()
+            .unwrap();
+        for i in 0..rows {
+            d.insert(Row::new(vec![
+                Value::Int64(i as i64),
+                Value::Int64((i % 3) as i64),
+                Value::Int64((i * 2) as i64),
+            ]))
+            .unwrap();
+        }
+        Arc::new(d)
+    }
+
+    fn scan(rows: usize, parts: usize) -> PhysicalPlan {
+        PhysicalPlan::Scan { dataset: dataset(rows, parts) }
+    }
+
+    #[test]
+    fn scan_round_robins_partitions() {
+        let cluster = Cluster::new(2);
+        let (batch, _) = cluster.execute(&scan(100, 8)).unwrap();
+        assert_eq!(batch.len(), 100);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let cluster = Cluster::new(4);
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan(50, 4)),
+                predicate: Arc::new(|row| Ok(row.get(0).as_i64()? < 10)),
+            }),
+            mapper: Arc::new(|row| Ok(Row::new(vec![row.get(0).clone()]))),
+            schema: Schema::shared(vec![Field::new("id", DataType::Int64)]),
+        };
+        let (batch, _) = cluster.execute(&plan).unwrap();
+        assert_eq!(batch.len(), 10);
+        assert!(batch.rows().iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn filter_error_propagates_from_worker_threads() {
+        let cluster = Cluster::new(4);
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan(50, 4)),
+            predicate: Arc::new(|row| row.get(0).as_str().map(|_| true)), // type error
+        };
+        assert!(cluster.execute(&plan).is_err());
+    }
+
+    #[test]
+    fn aggregate_group_by_matches_sequential() {
+        for workers in [1, 2, 5] {
+            let cluster = Cluster::new(workers);
+            let plan = PhysicalPlan::HashAggregate {
+                input: Box::new(scan(90, 4)),
+                group_by: vec![1],
+                aggregates: vec![
+                    Aggregate::count_star("c"),
+                    Aggregate::on(AggFunc::Sum, 2, "s"),
+                    Aggregate::on(AggFunc::Avg, 2, "a"),
+                    Aggregate::on(AggFunc::Min, 0, "mn"),
+                    Aggregate::on(AggFunc::Max, 0, "mx"),
+                ],
+            };
+            let (batch, _) = cluster.execute(&plan).unwrap();
+            assert_eq!(batch.len(), 3, "workers={workers}");
+            for row in batch.rows() {
+                let g = row.get(0).as_i64().unwrap();
+                assert_eq!(row.get(1), &Value::Int64(30)); // count per group
+                // ids g, g+3, ..., g+87; v = 2*id.
+                let ids: Vec<i64> = (0..30).map(|k| g + 3 * k).collect();
+                let sum: i64 = ids.iter().map(|i| i * 2).sum();
+                assert_eq!(row.get(2), &Value::Int64(sum));
+                assert_eq!(row.get(3), &Value::Float64(sum as f64 / 30.0));
+                assert_eq!(row.get(4), &Value::Int64(g));
+                assert_eq!(row.get(5), &Value::Int64(g + 87));
+            }
+        }
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let cluster = Cluster::new(3);
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(scan(25, 2)),
+            group_by: vec![],
+            aggregates: vec![Aggregate::count_star("c")],
+        };
+        let (batch, _) = cluster.execute(&plan).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.rows()[0].get(0), &Value::Int64(25));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let cluster = Cluster::new(4);
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(scan(30, 4)),
+                keys: vec![SortKey::desc(0)],
+            }),
+            limit: 5,
+        };
+        let (batch, _) = cluster.execute(&plan).unwrap();
+        let ids: Vec<i64> = batch.rows().iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![29, 28, 27, 26, 25]);
+    }
+
+    #[test]
+    fn nl_join_on_top() {
+        let cluster = Cluster::new(3);
+        let plan = PhysicalPlan::NlJoin {
+            left: Box::new(scan(12, 2)),
+            right: Box::new(scan(12, 2)),
+            predicate: Arc::new(|l, r| {
+                Ok(l.get(0).as_i64()? == r.get(0).as_i64()? && l.get(1).as_i64()? == 0)
+            }),
+        };
+        let (batch, metrics) = cluster.execute(&plan).unwrap();
+        // ids ≡ 0 mod 3: 0, 3, 6, 9 → 4 matches.
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.schema().len(), 6);
+        assert!(metrics.snapshot().rows_broadcast > 0, "on-top broadcasts a side");
+    }
+
+    #[test]
+    fn sort_rows_multi_key() {
+        let mut rows = vec![
+            Row::new(vec![Value::Int64(1), Value::str("b")]),
+            Row::new(vec![Value::Int64(1), Value::str("a")]),
+            Row::new(vec![Value::Int64(0), Value::str("z")]),
+        ];
+        sort_rows(&mut rows, &[SortKey::asc(0), SortKey::asc(1)]);
+        assert_eq!(rows[0].get(1), &Value::str("z"));
+        assert_eq!(rows[1].get(1), &Value::str("a"));
+        assert_eq!(rows[2].get(1), &Value::str("b"));
+    }
+}

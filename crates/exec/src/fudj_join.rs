@@ -1,0 +1,846 @@
+//! Distributed execution of the FUDJ join — the physical Fig. 8 plan.
+//!
+//! Phase by phase:
+//!
+//! 1. **SUMMARIZE** — each worker folds its partition's keys into a local
+//!    summary in parallel; local summaries are gathered to the coordinator
+//!    (their serialized size is charged to the network) and merged with
+//!    `global_aggregate`. A self-join on a symmetric algorithm summarizes
+//!    one side only and reuses the result (§VI-C).
+//! 2. **DIVIDE** — the coordinator combines both summaries and the query
+//!    parameters into the `PPlan`, then broadcasts it to every worker.
+//! 3. **PARTITION** — each worker runs `assign` on each local row and tags
+//!    the row with each returned bucket id (the UNNEST of the logical plan).
+//!    *Default-match* joins hash-shuffle both sides by bucket — the hash
+//!    partitioning the optimizer unlocks when `match` is untouched.
+//!    *Theta* joins (interval, band) cannot hash-partition: the left side is
+//!    rebalanced and the right side broadcast, the strategy AsterixDB falls
+//!    back to and the cause of the interval join's scaling ceiling (§VII-C).
+//! 4. **COMBINE** — each worker groups its rows by bucket (hash map, or a
+//!    bucket-sorted merge under [`crate::CombineStrategy::SortMerge`]),
+//!    matches bucket pairs (map lookup for default match, NLJ over bucket
+//!    ids for theta), and runs the strategy's local join (`verify` inside)
+//!    plus duplicate avoidance. Duplicate *elimination* instead costs one
+//!    more shuffle of the joined output followed by a distinct pass — the
+//!    delta Fig. 12a measures. Workers whose inputs exceed
+//!    [`FudjJoinNode::memory_budget_rows`] grace-partition to temporary
+//!    files first (§III-B spilling).
+
+use crate::exchange;
+use crate::executor::{Cluster, PartitionedData};
+use crate::metrics::QueryMetrics;
+use crate::plan::FudjJoinNode;
+use fudj_core::{BucketId, DedupMode, EngineJoin, PPlanState, Side, SummaryState};
+use fudj_types::{FudjError, Result, Row, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Execute one FUDJ join node.
+pub fn execute(
+    cluster: &Cluster,
+    node: &FudjJoinNode,
+    metrics: &QueryMetrics,
+) -> Result<PartitionedData> {
+    let join = node.join.as_ref();
+    let workers = cluster.workers();
+
+    // Evaluate inputs (self-join: once).
+    let left_parts = cluster.execute_partitioned(&node.left, metrics)?;
+    let right_parts = if node.self_join {
+        left_parts.clone()
+    } else {
+        cluster.execute_partitioned(&node.right, metrics)?
+    };
+
+    // ---- SUMMARIZE -----------------------------------------------------
+    let summarize_once = node.self_join && join.symmetric();
+    let (left_summary, right_summary) = metrics.phase("summarize", || -> Result<_> {
+        let ls = summarize_side(cluster, join, Side::Left, &left_parts, node.left_key, metrics)?;
+        let rs = if summarize_once {
+            ls.clone()
+        } else {
+            summarize_side(cluster, join, Side::Right, &right_parts, node.right_key, metrics)?
+        };
+        Ok((ls, rs))
+    })?;
+
+    // ---- DIVIDE ----------------------------------------------------------
+    let pplan = metrics.phase("divide", || -> Result<PPlanState> {
+        let plan = join.divide(&left_summary, &right_summary, &node.params)?;
+        // Broadcast of the PPlan to every remote worker.
+        metrics.record_state_bytes(plan.serialized_len() as u64 * workers.saturating_sub(1) as u64);
+        Ok(plan)
+    })?;
+
+    // ---- PARTITION -------------------------------------------------------
+    let default_match = join.uses_default_match();
+    let (left_tagged, right_tagged) = metrics.phase("partition", || -> Result<_> {
+        let lt = assign_and_tag(cluster, join, Side::Left, left_parts, node.left_key, &pplan)?;
+        let rt = assign_and_tag(cluster, join, Side::Right, right_parts, node.right_key, &pplan)?;
+        if default_match {
+            // Hash partitioning by bucket id: matching buckets co-locate.
+            let bucket_col = |row: &Row| {
+                (exchange::route_hash(row.values().last().expect("tagged row")) as usize) % workers
+            };
+            let l = exchange::shuffle_by(lt, workers, metrics, bucket_col)?;
+            let r = exchange::shuffle_by(rt, workers, metrics, |row| {
+                (exchange::route_hash(row.values().last().expect("tagged row")) as usize) % workers
+            })?;
+            Ok((l, r))
+        } else {
+            // Theta multi-join: no partitioning scheme applies. Rebalance
+            // one side, broadcast the other.
+            let l = exchange::rebalance(lt, workers, metrics)?;
+            let r = exchange::broadcast(rt, workers, metrics)?;
+            Ok((l, r))
+        }
+    })?;
+
+    // ---- COMBINE -----------------------------------------------------------
+    let dedup_mode = join.dedup_mode();
+    let joined = metrics.phase("join", || -> Result<PartitionedData> {
+        let zipped: Vec<(Vec<Row>, Vec<Row>)> =
+            left_tagged.into_iter().zip(right_tagged).collect();
+        let ctx = CombineContext {
+            join,
+            left_key: node.left_key,
+            right_key: node.right_key,
+            pplan: &pplan,
+            default_match,
+            dedup_mode,
+            combine: node.combine,
+            metrics,
+        };
+        cluster.parallel_map(zipped, |(lrows, rrows)| {
+            // §III-B spilling: a worker whose tagged inputs exceed the
+            // memory budget grace-partitions them to disk first. Only
+            // default-match joins can grace-partition (theta matches span
+            // bucket-hash partitions).
+            match node.memory_budget_rows {
+                Some(budget) if default_match && lrows.len() + rrows.len() > budget => {
+                    spill_and_join(&ctx, lrows, rrows, budget)
+                }
+                _ => join_worker_partition(&ctx, lrows, rrows),
+            }
+        })
+    })?;
+
+    // ---- Duplicate elimination (extra stage) -----------------------------
+    if dedup_mode == DedupMode::Elimination {
+        return metrics.phase("dedup", || -> Result<PartitionedData> {
+            let shuffled = exchange::shuffle_by_row(joined, workers, metrics)?;
+            cluster.parallel_map(shuffled, |rows| {
+                let before = rows.len();
+                let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if seen.insert(row.clone()) {
+                        out.push(row);
+                    }
+                }
+                metrics.record_dedup_rejections((before - out.len()) as u64);
+                Ok(out)
+            })
+        });
+    }
+
+    Ok(joined)
+}
+
+/// SUMMARIZE one side: parallel local aggregation, gather, global merge.
+fn summarize_side(
+    cluster: &Cluster,
+    join: &dyn EngineJoin,
+    side: Side,
+    parts: &PartitionedData,
+    key_col: usize,
+    metrics: &QueryMetrics,
+) -> Result<SummaryState> {
+    let locals: Vec<SummaryState> = cluster.parallel_map(
+        parts.iter().collect::<Vec<&Vec<Row>>>(),
+        |rows| {
+            let mut summary = join.new_summary(side);
+            for row in rows {
+                join.local_aggregate(side, row.get(key_col), &mut summary)?;
+            }
+            Ok(summary)
+        },
+    )?;
+    // Gathering local summaries to the coordinator costs their bytes
+    // (all but the coordinator's own).
+    let state_bytes: u64 = locals.iter().skip(1).map(|s| s.serialized_len() as u64).sum();
+    metrics.record_state_bytes(state_bytes);
+
+    let mut iter = locals.into_iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| FudjError::Execution("no partitions to summarize".into()))?;
+    iter.try_fold(first, |acc, s| join.global_aggregate(side, acc, s))
+}
+
+/// ASSIGN/UNNEST one side: each row becomes one tagged row per bucket id,
+/// with the bucket appended as a trailing `Int64` column (bit-preserving).
+fn assign_and_tag(
+    cluster: &Cluster,
+    join: &dyn EngineJoin,
+    side: Side,
+    parts: PartitionedData,
+    key_col: usize,
+    pplan: &PPlanState,
+) -> Result<PartitionedData> {
+    cluster.parallel_map(parts, |rows| {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut buckets: Vec<BucketId> = Vec::new();
+        for row in rows {
+            buckets.clear();
+            join.assign(side, row.get(key_col), pplan, &mut buckets)?;
+            buckets.sort_unstable();
+            buckets.dedup();
+            for &b in &buckets {
+                let mut tagged = row.clone();
+                tagged.push(Value::Int64(b as i64));
+                out.push(tagged);
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Bucket id from a tagged row's trailing column.
+#[inline]
+fn bucket_of(row: &Row) -> BucketId {
+    match row.values().last() {
+        Some(Value::Int64(b)) => *b as BucketId,
+        other => unreachable!("tagged row must end with an Int64 bucket, got {other:?}"),
+    }
+}
+
+/// Group tagged rows by bucket; strip the tag.
+fn group_by_bucket(rows: Vec<Row>) -> (Vec<Row>, HashMap<BucketId, Vec<usize>>) {
+    let mut stripped = Vec::with_capacity(rows.len());
+    let mut groups: HashMap<BucketId, Vec<usize>> = HashMap::new();
+    for row in rows {
+        let b = bucket_of(&row);
+        let width = row.len() - 1;
+        let mut values = row.into_values();
+        values.truncate(width);
+        groups.entry(b).or_default().push(stripped.len());
+        stripped.push(Row::new(values));
+    }
+    (stripped, groups)
+}
+
+/// Everything one worker's COMBINE needs, bundled to keep signatures sane.
+struct CombineContext<'a> {
+    join: &'a dyn EngineJoin,
+    left_key: usize,
+    right_key: usize,
+    pplan: &'a PPlanState,
+    default_match: bool,
+    dedup_mode: DedupMode,
+    combine: crate::plan::CombineStrategy,
+    metrics: &'a QueryMetrics,
+}
+
+/// COMBINE on one worker: match local bucket pairs, run local joins, dedup.
+fn join_worker_partition(
+    ctx: &CombineContext<'_>,
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+) -> Result<Vec<Row>> {
+    if ctx.combine == crate::plan::CombineStrategy::SortMerge && ctx.default_match {
+        return sort_merge_partition(ctx, lrows, rrows);
+    }
+    let (lrows, lgroups) = group_by_bucket(lrows);
+    let (rrows, rgroups) = group_by_bucket(rrows);
+
+    // Matched bucket pairs, deterministic order.
+    let mut matched: Vec<(BucketId, BucketId)> = if ctx.default_match {
+        lgroups.keys().filter(|b| rgroups.contains_key(b)).map(|&b| (b, b)).collect()
+    } else {
+        let mut v = Vec::new();
+        for &b1 in lgroups.keys() {
+            for &b2 in rgroups.keys() {
+                if ctx.join.matches(b1, b2) {
+                    v.push((b1, b2));
+                }
+            }
+        }
+        v
+    };
+    matched.sort_unstable();
+
+    let mut out = Vec::new();
+    for (b1, b2) in matched {
+        let lidx = &lgroups[&b1];
+        let ridx = &rgroups[&b2];
+        join_bucket_pair(ctx, b1, &lrows, lidx, b2, &rrows, ridx, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Sort-merge COMBINE (default-match only): sort both sides by bucket id and
+/// merge equal runs — no hash table, sequential access (§VIII future work).
+fn sort_merge_partition(
+    ctx: &CombineContext<'_>,
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+) -> Result<Vec<Row>> {
+    let strip = |rows: Vec<Row>| -> (Vec<Row>, Vec<(BucketId, usize)>) {
+        let mut stripped = Vec::with_capacity(rows.len());
+        let mut tagged = Vec::with_capacity(rows.len());
+        for row in rows {
+            let b = bucket_of(&row);
+            let width = row.len() - 1;
+            let mut values = row.into_values();
+            values.truncate(width);
+            tagged.push((b, stripped.len()));
+            stripped.push(Row::new(values));
+        }
+        tagged.sort_unstable();
+        (stripped, tagged)
+    };
+    let (lrows, lsorted) = strip(lrows);
+    let (rrows, rsorted) = strip(rrows);
+
+    let mut out = Vec::new();
+    let mut l = 0usize;
+    let mut r = 0usize;
+    while l < lsorted.len() && r < rsorted.len() {
+        let lb = lsorted[l].0;
+        let rb = rsorted[r].0;
+        match lb.cmp(&rb) {
+            std::cmp::Ordering::Less => l += 1,
+            std::cmp::Ordering::Greater => r += 1,
+            std::cmp::Ordering::Equal => {
+                let le = lsorted[l..].iter().take_while(|(b, _)| *b == lb).count() + l;
+                let re = rsorted[r..].iter().take_while(|(b, _)| *b == rb).count() + r;
+                let lidx: Vec<usize> = lsorted[l..le].iter().map(|(_, i)| *i).collect();
+                let ridx: Vec<usize> = rsorted[r..re].iter().map(|(_, j)| *j).collect();
+                join_bucket_pair(ctx, lb, &lrows, &lidx, rb, &rrows, &ridx, &mut out)?;
+                l = le;
+                r = re;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Local join of one matched bucket pair: run the strategy's local join
+/// (`verify` inside), then duplicate handling; append joined rows to `out`.
+#[allow(clippy::too_many_arguments)]
+fn join_bucket_pair(
+    ctx: &CombineContext<'_>,
+    b1: BucketId,
+    lrows: &[Row],
+    lidx: &[usize],
+    b2: BucketId,
+    rrows: &[Row],
+    ridx: &[usize],
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let lkeys: Vec<Value> = lidx.iter().map(|&i| lrows[i].get(ctx.left_key).clone()).collect();
+    let rkeys: Vec<Value> = ridx.iter().map(|&j| rrows[j].get(ctx.right_key).clone()).collect();
+    ctx.metrics.record_verify_calls((lkeys.len() * rkeys.len()) as u64);
+
+    let mut verified: Vec<(usize, usize)> = Vec::new();
+    ctx.join.local_join_pairs(b1, &lkeys, b2, &rkeys, ctx.pplan, &mut |i, j| {
+        verified.push((i, j));
+    })?;
+
+    // Framework duplicate avoidance, engine-side: each key's bucket list is
+    // computed once per bucket group, not once per verified pair — for text
+    // joins, per-pair re-assignment means re-tokenizing both records and is
+    // the difference between avoidance beating or losing to elimination.
+    let mut lassign: Vec<Option<Vec<BucketId>>> = vec![None; lkeys.len()];
+    let mut rassign: Vec<Option<Vec<BucketId>>> = vec![None; rkeys.len()];
+    let cached_assign = |side: Side,
+                             keys: &[Value],
+                             cache: &mut Vec<Option<Vec<BucketId>>>,
+                             k: usize|
+     -> Result<Vec<BucketId>> {
+        if cache[k].is_none() {
+            let mut buckets = Vec::new();
+            ctx.join.assign(side, &keys[k], ctx.pplan, &mut buckets)?;
+            buckets.sort_unstable();
+            buckets.dedup();
+            cache[k] = Some(buckets);
+        }
+        Ok(cache[k].clone().expect("just filled"))
+    };
+
+    let mut rejections = 0u64;
+    for (i, j) in verified {
+        let keep = match ctx.dedup_mode {
+            DedupMode::None | DedupMode::Elimination => true,
+            DedupMode::Custom => ctx.join.dedup(b1, &lkeys[i], b2, &rkeys[j], ctx.pplan)?,
+            DedupMode::Avoidance => {
+                // Accept only from the first matching bucket pair — the
+                // same canonical order as `fudj_core::avoidance_accepts`.
+                let lb = cached_assign(Side::Left, &lkeys, &mut lassign, i)?;
+                let rb = cached_assign(Side::Right, &rkeys, &mut rassign, j)?;
+                let mut first = None;
+                'outer: for &x in &lb {
+                    for &y in &rb {
+                        if ctx.join.matches(x, y) {
+                            first = Some((x, y));
+                            break 'outer;
+                        }
+                    }
+                }
+                first == Some((b1, b2))
+            }
+        };
+        if keep {
+            out.push(lrows[lidx[i]].concat(&rrows[ridx[j]]));
+        } else {
+            rejections += 1;
+        }
+    }
+    ctx.metrics.record_dedup_rejections(rejections);
+    Ok(())
+}
+
+/// Grace-partition an over-budget worker input to temporary files, then join
+/// each sub-partition in memory — §III-B's memory-budget-aware spilling.
+///
+/// Bucket ids are hashed into a fan-out chosen so each sub-partition fits
+/// the budget on average; because the join is a default-match (equality)
+/// join, matching buckets always land in the same sub-partition.
+fn spill_and_join(
+    ctx: &CombineContext<'_>,
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    budget: usize,
+) -> Result<Vec<Row>> {
+    use std::io::{Read, Write};
+
+    let total = lrows.len() + rrows.len();
+    let fanout = total.div_ceil(budget.max(1)).max(2).min(256);
+
+    let dir = std::env::temp_dir();
+    static SPILL_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let run = SPILL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path_of = |side: &str, f: usize| {
+        dir.join(format!("fudj-spill-{}-{run}-{side}-{f}.bin", std::process::id()))
+    };
+
+    // Write both sides into fan-out files keyed by bucket hash.
+    let mut spilled_rows = 0u64;
+    let mut spilled_bytes = 0u64;
+    let mut write_side = |side: &str, rows: Vec<Row>| -> Result<()> {
+        let mut buffers: Vec<bytes::BytesMut> = vec![bytes::BytesMut::new(); fanout];
+        for row in rows {
+            let f = (exchange::route_hash(&bucket_of(&row)) as usize) % fanout;
+            fudj_types::wire::encode_row(&row, &mut buffers[f]);
+            spilled_rows += 1;
+        }
+        for (f, buf) in buffers.into_iter().enumerate() {
+            spilled_bytes += buf.len() as u64;
+            let mut file = std::fs::File::create(path_of(side, f))
+                .map_err(|e| FudjError::Execution(format!("spill create failed: {e}")))?;
+            file.write_all(&buf)
+                .map_err(|e| FudjError::Execution(format!("spill write failed: {e}")))?;
+        }
+        Ok(())
+    };
+    write_side("l", lrows)?;
+    write_side("r", rrows)?;
+    ctx.metrics.record_spill(spilled_rows, spilled_bytes);
+
+    // Join sub-partition by sub-partition; at most one is in memory at once.
+    let read_side = |side: &str, f: usize| -> Result<Vec<Row>> {
+        let path = path_of(side, f);
+        let mut data = Vec::new();
+        std::fs::File::open(&path)
+            .and_then(|mut file| file.read_to_end(&mut data))
+            .map_err(|e| FudjError::Execution(format!("spill read failed: {e}")))?;
+        let _ = std::fs::remove_file(&path);
+        let mut bytes = bytes::Bytes::from(data);
+        let mut rows = Vec::new();
+        while !bytes.is_empty() {
+            rows.push(fudj_types::wire::decode_row(&mut bytes)?);
+        }
+        Ok(rows)
+    };
+    let mut out = Vec::new();
+    for f in 0..fanout {
+        let l = read_side("l", f)?;
+        let r = read_side("r", f)?;
+        out.extend(join_worker_partition(ctx, l, r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PhysicalPlan;
+    use fudj_core::{reference_execute, FudjEngineJoin, ProxyJoin};
+    use fudj_geo::{Point, Polygon, Rect};
+    use fudj_joins::builtin::{AdvancedSpatialJoin, BuiltinIntervalJoin, BuiltinSpatialJoin};
+    use fudj_joins::{IntervalFudj, SpatialFudj, TextSimilarityFudj};
+    use fudj_storage::DatasetBuilder;
+    use fudj_temporal::Interval;
+    use fudj_types::{DataType, Field, Schema};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn geo_dataset(name: &str, rows: Vec<Value>, parts: usize) -> Arc<fudj_storage::Dataset> {
+        let dt = rows.first().map(Value::data_type).unwrap_or(DataType::Point);
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("geom", dt),
+        ]);
+        let d = DatasetBuilder::new(name, schema).partitions(parts).build().unwrap();
+        for (i, g) in rows.into_iter().enumerate() {
+            d.insert(Row::new(vec![Value::Int64(i as i64), g])).unwrap();
+        }
+        Arc::new(d)
+    }
+
+    fn spatial_values(seed: u64, polys: usize, pts: usize) -> (Vec<Value>, Vec<Value>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parks: Vec<Value> = (0..polys)
+            .map(|_| {
+                let x = rng.gen_range(0.0..90.0);
+                let y = rng.gen_range(0.0..90.0);
+                Value::polygon(Polygon::from_rect(&Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.5..10.0),
+                    y + rng.gen_range(0.5..10.0),
+                )))
+            })
+            .collect();
+        let fires: Vec<Value> = (0..pts)
+            .map(|_| Value::Point(Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))))
+            .collect();
+        (parks, fires)
+    }
+
+    /// Extract (left_id, right_id) pairs from a joined batch.
+    fn id_pairs(batch: &fudj_types::Batch) -> Vec<(i64, i64)> {
+        let mut v: Vec<(i64, i64)> = batch
+            .rows()
+            .iter()
+            .map(|r| (r.get(0).as_i64().unwrap(), r.get(2).as_i64().unwrap()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn fudj_plan(
+        left: Arc<fudj_storage::Dataset>,
+        right: Arc<fudj_storage::Dataset>,
+        join: Arc<dyn EngineJoin>,
+        params: Vec<Value>,
+    ) -> PhysicalPlan {
+        PhysicalPlan::FudjJoin(FudjJoinNode::new(
+            PhysicalPlan::Scan { dataset: left },
+            PhysicalPlan::Scan { dataset: right },
+            join,
+            1,
+            1,
+            params,
+        ))
+    }
+
+    /// The central correctness claim: for every join strategy and any worker
+    /// count, the distributed execution equals the sequential reference.
+    #[test]
+    fn distributed_spatial_equals_reference_all_worker_counts() {
+        let (parks, fires) = spatial_values(42, 30, 60);
+        let reference = {
+            let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())));
+            reference_execute(&ej, &parks, &fires, &[Value::Int64(8)]).unwrap()
+        };
+        assert!(!reference.is_empty());
+        let expected: Vec<(i64, i64)> =
+            reference.iter().map(|&(i, j)| (i as i64, j as i64)).collect();
+
+        for workers in [1, 2, 4, 7] {
+            let cluster = Cluster::new(workers);
+            let plan = fudj_plan(
+                geo_dataset("parks", parks.clone(), 4),
+                geo_dataset("fires", fires.clone(), 4),
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+                vec![Value::Int64(8)],
+            );
+            let (batch, _) = cluster.execute(&plan).unwrap();
+            assert_eq!(id_pairs(&batch), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn distributed_builtin_and_advanced_spatial_agree() {
+        let (parks, fires) = spatial_values(11, 25, 50);
+        let cluster = Cluster::new(3);
+        let mk = |join: Arc<dyn EngineJoin>| {
+            fudj_plan(
+                geo_dataset("parks", parks.clone(), 3),
+                geo_dataset("fires", fires.clone(), 3),
+                join,
+                vec![Value::Int64(6)],
+            )
+        };
+        let (b1, _) = cluster.execute(&mk(Arc::new(BuiltinSpatialJoin::new()))).unwrap();
+        let (b2, _) = cluster.execute(&mk(Arc::new(AdvancedSpatialJoin::new()))).unwrap();
+        let (b3, _) = cluster
+            .execute(&mk(Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                SpatialFudj::new(),
+            ))))))
+            .unwrap();
+        assert_eq!(id_pairs(&b1), id_pairs(&b2));
+        assert_eq!(id_pairs(&b1), id_pairs(&b3));
+        assert!(!b1.is_empty());
+    }
+
+    #[test]
+    fn theta_interval_join_broadcasts_and_matches_reference() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut side = |n: usize| -> Vec<Value> {
+            (0..n)
+                .map(|_| {
+                    let s = rng.gen_range(0i64..20_000);
+                    Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
+                })
+                .collect()
+        };
+        let l = side(60);
+        let r = side(40);
+        let reference = {
+            let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(IntervalFudj::new())));
+            reference_execute(&ej, &l, &r, &[Value::Int64(32)]).unwrap()
+        };
+        let expected: Vec<(i64, i64)> =
+            reference.iter().map(|&(i, j)| (i as i64, j as i64)).collect();
+
+        let cluster = Cluster::new(4);
+        let plan = fudj_plan(
+            geo_dataset("rides_a", l, 4),
+            geo_dataset("rides_b", r, 4),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(IntervalFudj::new())))),
+            vec![Value::Int64(32)],
+        );
+        let (batch, metrics) = cluster.execute(&plan).unwrap();
+        assert_eq!(id_pairs(&batch), expected);
+        assert!(
+            metrics.snapshot().rows_broadcast > 0,
+            "theta join must broadcast one side"
+        );
+        // Builtin agrees too.
+        let plan2 = fudj_plan(
+            geo_dataset("rides_a2", {
+                let mut rng = SmallRng::seed_from_u64(9);
+                (0..60)
+                    .map(|_| {
+                        let s = rng.gen_range(0i64..20_000);
+                        Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
+                    })
+                    .collect()
+            }, 4),
+            geo_dataset("rides_b2", {
+                let mut rng = SmallRng::seed_from_u64(9);
+                let _: Vec<Value> = (0..60)
+                    .map(|_| {
+                        let s = rng.gen_range(0i64..20_000);
+                        Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
+                    })
+                    .collect();
+                (0..40)
+                    .map(|_| {
+                        let s = rng.gen_range(0i64..20_000);
+                        Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
+                    })
+                    .collect()
+            }, 4),
+            Arc::new(BuiltinIntervalJoin::new()),
+            vec![Value::Int64(32)],
+        );
+        let (batch2, _) = cluster.execute(&plan2).unwrap();
+        assert_eq!(id_pairs(&batch2), expected);
+    }
+
+    #[test]
+    fn text_similarity_distributed_matches_reference() {
+        let vocab = ["river", "trail", "lake", "peak", "camp", "view", "rock"];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut side = |n: usize| -> Vec<Value> {
+            (0..n)
+                .map(|_| {
+                    let len = rng.gen_range(2..6);
+                    Value::str(
+                        (0..len).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect::<Vec<_>>().join(" "),
+                    )
+                })
+                .collect()
+        };
+        let l = side(40);
+        let r = side(30);
+        let reference = {
+            let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(TextSimilarityFudj::new())));
+            reference_execute(&ej, &l, &r, &[Value::Float64(0.6)]).unwrap()
+        };
+        let expected: Vec<(i64, i64)> =
+            reference.iter().map(|&(i, j)| (i as i64, j as i64)).collect();
+
+        let cluster = Cluster::new(3);
+        let plan = fudj_plan(
+            geo_dataset("rev_a", l, 3),
+            geo_dataset("rev_b", r, 3),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(TextSimilarityFudj::new())))),
+            vec![Value::Float64(0.6)],
+        );
+        let (batch, _) = cluster.execute(&plan).unwrap();
+        assert_eq!(id_pairs(&batch), expected);
+    }
+
+    #[test]
+    fn elimination_mode_runs_extra_stage_same_result() {
+        use fudj_joins::{SpatialDedup, TextDedup};
+        let _ = TextDedup::Avoidance; // silence unused import paths in some cfgs
+        let (parks, fires) = spatial_values(5, 20, 40);
+        let cluster = Cluster::new(3);
+        let avoid = fudj_plan(
+            geo_dataset("p1", parks.clone(), 3),
+            geo_dataset("f1", fires.clone(), 3),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            vec![Value::Int64(10)],
+        );
+        let elim = fudj_plan(
+            geo_dataset("p2", parks, 3),
+            geo_dataset("f2", fires, 3),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                SpatialFudj::with_dedup(SpatialDedup::Elimination),
+            )))),
+            vec![Value::Int64(10)],
+        );
+        let (b1, m1) = cluster.execute(&avoid).unwrap();
+        let (b2, m2) = cluster.execute(&elim).unwrap();
+        assert_eq!(id_pairs(&b1), id_pairs(&b2));
+        // Elimination pays an extra dedup stage with its own shuffle.
+        assert!(m2.snapshot().phase_total("dedup") > std::time::Duration::ZERO);
+        assert_eq!(m1.snapshot().phase_total("dedup"), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn self_join_summarizes_once() {
+        let (parks, _) = spatial_values(1, 25, 0);
+        let ds = geo_dataset("parks_self", parks, 3);
+        let cluster = Cluster::new(3);
+        let mut node = FudjJoinNode::new(
+            PhysicalPlan::Scan { dataset: ds.clone() },
+            PhysicalPlan::Scan { dataset: ds.clone() },
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            1,
+            1,
+            vec![Value::Int64(8)],
+        );
+        let (plain, _) = cluster.execute(&PhysicalPlan::FudjJoin(node)).unwrap();
+
+        node = FudjJoinNode::new(
+            PhysicalPlan::Scan { dataset: ds.clone() },
+            PhysicalPlan::Scan { dataset: ds },
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            1,
+            1,
+            vec![Value::Int64(8)],
+        );
+        node.self_join = true;
+        let (optimized, m_opt) = cluster.execute(&PhysicalPlan::FudjJoin(node)).unwrap();
+        assert_eq!(id_pairs(&plain), id_pairs(&optimized));
+        // A self-join includes every (i, i) pair.
+        assert!(id_pairs(&optimized).iter().filter(|(a, b)| a == b).count() >= 25);
+        assert!(m_opt.snapshot().phase_total("summarize") > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn sort_merge_combine_equals_hash_combine() {
+        let (parks, fires) = spatial_values(77, 35, 70);
+        let cluster = Cluster::new(3);
+        let mk = |combine: crate::plan::CombineStrategy| {
+            let mut node = FudjJoinNode::new(
+                PhysicalPlan::Scan { dataset: geo_dataset(&format!("p_{combine:?}"), parks.clone(), 3) },
+                PhysicalPlan::Scan { dataset: geo_dataset(&format!("f_{combine:?}"), fires.clone(), 3) },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+                1,
+                1,
+                vec![Value::Int64(10)],
+            );
+            node.combine = combine;
+            PhysicalPlan::FudjJoin(node)
+        };
+        let (hash, _) = cluster.execute(&mk(crate::plan::CombineStrategy::HashGroup)).unwrap();
+        let (merge, _) = cluster.execute(&mk(crate::plan::CombineStrategy::SortMerge)).unwrap();
+        assert_eq!(id_pairs(&hash), id_pairs(&merge));
+        assert!(!hash.is_empty());
+    }
+
+    #[test]
+    fn spilling_join_equals_in_memory_join() {
+        let (parks, fires) = spatial_values(55, 40, 80);
+        let cluster = Cluster::new(2);
+        let mk = |budget: Option<usize>| {
+            let mut node = FudjJoinNode::new(
+                PhysicalPlan::Scan { dataset: geo_dataset(&format!("ps_{budget:?}"), parks.clone(), 2) },
+                PhysicalPlan::Scan { dataset: geo_dataset(&format!("fs_{budget:?}"), fires.clone(), 2) },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+                1,
+                1,
+                vec![Value::Int64(8)],
+            );
+            node.memory_budget_rows = budget;
+            PhysicalPlan::FudjJoin(node)
+        };
+        let (in_memory, m1) = cluster.execute(&mk(None)).unwrap();
+        // A budget far below the input size forces grace partitioning.
+        let (spilled, m2) = cluster.execute(&mk(Some(10))).unwrap();
+        assert_eq!(id_pairs(&in_memory), id_pairs(&spilled));
+        assert!(!in_memory.is_empty());
+        assert_eq!(m1.snapshot().spilled_rows, 0);
+        assert!(m2.snapshot().spilled_rows > 0, "budget 10 must spill");
+        assert!(m2.snapshot().spilled_bytes > 0);
+    }
+
+    #[test]
+    fn theta_join_ignores_spill_budget() {
+        // Theta joins cannot grace-partition; a budget must not break them.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let ivs: Vec<Value> = (0..50)
+            .map(|_| {
+                let s = rng.gen_range(0i64..5_000);
+                Value::Interval(Interval::new(s, s + rng.gen_range(0..800)))
+            })
+            .collect();
+        let cluster = Cluster::new(2);
+        let mut node = FudjJoinNode::new(
+            PhysicalPlan::Scan { dataset: geo_dataset("iv_a", ivs.clone(), 2) },
+            PhysicalPlan::Scan { dataset: geo_dataset("iv_b", ivs.clone(), 2) },
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(IntervalFudj::new())))),
+            1,
+            1,
+            vec![Value::Int64(32)],
+        );
+        node.memory_budget_rows = Some(5);
+        let (batch, metrics) = cluster.execute(&PhysicalPlan::FudjJoin(node)).unwrap();
+        assert!(!batch.is_empty());
+        assert_eq!(metrics.snapshot().spilled_rows, 0);
+    }
+
+    #[test]
+    fn default_match_join_shuffles_not_broadcasts() {
+        let (parks, fires) = spatial_values(3, 20, 30);
+        let cluster = Cluster::new(4);
+        let plan = fudj_plan(
+            geo_dataset("p", parks, 4),
+            geo_dataset("f", fires, 4),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            vec![Value::Int64(12)],
+        );
+        let (_, metrics) = cluster.execute(&plan).unwrap();
+        let s = metrics.snapshot();
+        assert!(s.rows_shuffled > 0, "hash partitioning shuffles rows");
+        assert_eq!(s.rows_broadcast, 0, "single-join never broadcasts rows");
+        assert!(s.state_bytes > 0, "summaries and pplan cross the wire");
+    }
+}

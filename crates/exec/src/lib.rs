@@ -1,0 +1,42 @@
+//! Simulated shared-nothing execution engine.
+//!
+//! The paper evaluates FUDJ on a 12-node AsterixDB cluster. This crate
+//! stands in for that substrate: a [`Cluster`] of N workers (OS threads),
+//! each owning one horizontal partition of every intermediate result, with
+//! explicit [`exchange`] operators moving rows between them. Every row that
+//! crosses workers is serialized through the wire format and the bytes are
+//! accounted in [`QueryMetrics`] — the network cost that drives the paper's
+//! partitioning design discussion stays visible even though the "network"
+//! is a memcpy.
+//!
+//! Physical operators ([`plan::PhysicalPlan`]):
+//!
+//! * `Scan`, `Filter`, `Project`, `HashAggregate` (two-step: partial →
+//!   shuffle by group → final), `Sort`, `Limit` — the relational scaffolding
+//!   the paper's Queries 1–3 and 5 need around their joins;
+//! * [`plan::FudjJoinNode`] — the Fig. 8 plan: SUMMARIZE (parallel local
+//!   aggregate + gather + global aggregate), DIVIDE (coordinator) +
+//!   broadcast of the `PPlan`, ASSIGN/UNNEST + shuffle (hash by bucket for
+//!   default-match joins, broadcast of one side for theta multi-joins),
+//!   local bucket join with `verify`, and duplicate handling (avoidance
+//!   inline, elimination as an extra shuffle + distinct);
+//! * `NlJoin` — the *on-top* baseline: broadcast one side, nested-loop with
+//!   a UDF predicate.
+//!
+//! Execution is stage-synchronous (operators materialize partitioned
+//! results), matching how these plans execute as aggregation/repartition
+//! stages in the original system.
+
+pub mod aggregate;
+pub mod exchange;
+pub mod executor;
+pub mod fudj_join;
+pub mod metrics;
+pub mod plan;
+
+pub use executor::{Cluster, PartitionedData};
+pub use metrics::{MetricsSnapshot, NetworkModel, QueryMetrics};
+pub use plan::{
+    Aggregate, AggFunc, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,
+    RowPredicate, SortKey,
+};

@@ -1,0 +1,234 @@
+//! Query execution metrics.
+//!
+//! Exchanges report shuffled/broadcast rows and bytes; the FUDJ join
+//! operator reports phase timings and verify/dedup counters. A
+//! [`QueryMetrics`] is a cheap cloneable handle shared by every operator of
+//! one query execution.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A simulated network: exchanges charge wall-clock time for the bytes they
+/// move, per receiving worker, on that worker's thread — modelling one NIC
+/// per node. Without a model (the default), moving bytes costs only their
+/// serialization CPU, which understates the paper's cluster-scale effects
+/// (e.g. the price of duplicate elimination's extra shuffle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Fixed per-transfer latency (charged once per non-empty receive).
+    pub latency: Duration,
+}
+
+impl NetworkModel {
+    /// 1 GbE with 100 µs latency — a typical cluster interconnect.
+    pub fn gigabit() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 125_000_000,
+            latency: Duration::from_micros(100),
+        }
+    }
+
+    /// 100 Mb Ethernet with 200 µs latency — the paper's era of shared
+    /// cluster links, useful to magnify shuffle costs in experiments.
+    pub fn fast_ethernet() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 12_500_000,
+            latency: Duration::from_micros(200),
+        }
+    }
+
+    /// Transfer time of `bytes` bytes over this link.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        self.latency
+            + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+}
+
+/// Point-in-time copy of the counters.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Rows that crossed worker boundaries in hash/random shuffles.
+    pub rows_shuffled: u64,
+    /// Serialized bytes of those rows.
+    pub bytes_shuffled: u64,
+    /// Row deliveries performed by broadcasts (rows × receivers).
+    pub rows_broadcast: u64,
+    /// Serialized bytes delivered by broadcasts.
+    pub bytes_broadcast: u64,
+    /// Bytes of join state (summaries, PPlans) moved between workers.
+    pub state_bytes: u64,
+    /// `verify` invocations in join operators.
+    pub verify_calls: u64,
+    /// Output pairs dropped by duplicate handling.
+    pub dedup_rejections: u64,
+    /// Rows spilled to temporary files by memory-budgeted joins.
+    pub spilled_rows: u64,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Named phase durations, in completion order (phases repeat per join).
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl MetricsSnapshot {
+    /// Total duration of all phases with the given name.
+    pub fn phase_total(&self, name: &str) -> Duration {
+        self.phases.iter().filter(|(n, _)| n == name).map(|(_, d)| *d).sum()
+    }
+
+    /// Total bytes that touched the simulated network.
+    pub fn network_bytes(&self) -> u64 {
+        self.bytes_shuffled + self.bytes_broadcast + self.state_bytes
+    }
+}
+
+/// Shared, thread-safe metrics handle.
+#[derive(Clone, Default)]
+pub struct QueryMetrics {
+    inner: Arc<Mutex<MetricsSnapshot>>,
+    network: Option<NetworkModel>,
+}
+
+impl QueryMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Metrics whose exchanges charge time against a network model.
+    pub fn with_network(network: Option<NetworkModel>) -> Self {
+        QueryMetrics { inner: Arc::default(), network }
+    }
+
+    /// The active network model, if any.
+    pub fn network(&self) -> Option<NetworkModel> {
+        self.network
+    }
+
+    /// Charge the simulated network for one worker's receive of `bytes`
+    /// bytes: blocks the calling (worker) thread for the transfer time.
+    pub fn charge_network(&self, bytes: u64) {
+        if let Some(model) = self.network {
+            let t = model.transfer_time(bytes);
+            if !t.is_zero() {
+                std::thread::sleep(t);
+            }
+        }
+    }
+
+    /// Record a shuffle of `rows` rows totalling `bytes` serialized bytes.
+    pub fn record_shuffle(&self, rows: u64, bytes: u64) {
+        let mut m = self.inner.lock();
+        m.rows_shuffled += rows;
+        m.bytes_shuffled += bytes;
+    }
+
+    /// Record a broadcast delivering `rows` row-copies / `bytes` bytes.
+    pub fn record_broadcast(&self, rows: u64, bytes: u64) {
+        let mut m = self.inner.lock();
+        m.rows_broadcast += rows;
+        m.bytes_broadcast += bytes;
+    }
+
+    /// Record movement of join state (summary/PPlan) bytes.
+    pub fn record_state_bytes(&self, bytes: u64) {
+        self.inner.lock().state_bytes += bytes;
+    }
+
+    /// Count `n` verify calls.
+    pub fn record_verify_calls(&self, n: u64) {
+        self.inner.lock().verify_calls += n;
+    }
+
+    /// Count `n` pairs dropped by dedup.
+    pub fn record_dedup_rejections(&self, n: u64) {
+        self.inner.lock().dedup_rejections += n;
+    }
+
+    /// Record rows/bytes written to spill files.
+    pub fn record_spill(&self, rows: u64, bytes: u64) {
+        let mut m = self.inner.lock();
+        m.spilled_rows += rows;
+        m.spilled_bytes += bytes;
+    }
+
+    /// Time a phase and record it under `name`.
+    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.inner.lock().phases.push((name.to_owned(), start.elapsed()));
+        out
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = QueryMetrics::new();
+        m.record_shuffle(10, 100);
+        m.record_shuffle(5, 50);
+        m.record_broadcast(3, 30);
+        m.record_state_bytes(7);
+        m.record_verify_calls(2);
+        m.record_dedup_rejections(1);
+        let s = m.snapshot();
+        assert_eq!(s.rows_shuffled, 15);
+        assert_eq!(s.bytes_shuffled, 150);
+        assert_eq!(s.rows_broadcast, 3);
+        assert_eq!(s.network_bytes(), 150 + 30 + 7);
+        assert_eq!(s.verify_calls, 2);
+        assert_eq!(s.dedup_rejections, 1);
+    }
+
+    #[test]
+    fn phases_record_and_sum() {
+        let m = QueryMetrics::new();
+        let v = m.phase("summarize", || 42);
+        assert_eq!(v, 42);
+        m.phase("summarize", || ());
+        m.phase("join", || ());
+        let s = m.snapshot();
+        assert_eq!(s.phases.len(), 3);
+        assert!(s.phase_total("summarize") >= Duration::ZERO);
+        assert_eq!(s.phase_total("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn network_model_times() {
+        let m = NetworkModel::gigabit();
+        assert_eq!(m.transfer_time(0), Duration::ZERO);
+        // 125 MB at 125 MB/s = 1 s + latency.
+        let t = m.transfer_time(125_000_000);
+        assert!(t >= Duration::from_secs(1));
+        assert!(t < Duration::from_millis(1_001));
+    }
+
+    #[test]
+    fn charge_network_without_model_is_free() {
+        let m = QueryMetrics::new();
+        let start = Instant::now();
+        m.charge_network(u64::MAX / 2);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = QueryMetrics::new();
+        let m2 = m.clone();
+        m2.record_shuffle(1, 1);
+        assert_eq!(m.snapshot().rows_shuffled, 1);
+    }
+}

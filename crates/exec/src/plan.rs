@@ -1,0 +1,330 @@
+//! Physical plans: the operator tree the [`crate::Cluster`] executes.
+//!
+//! Predicates, projections, and aggregate inputs arrive as compiled
+//! closures: the planner crate lowers its expression trees into these, which
+//! keeps this crate free of any expression language and the hot loops free
+//! of interpretation overhead beyond one indirect call.
+
+use fudj_core::EngineJoin;
+use fudj_storage::Dataset;
+use fudj_types::{DataType, Field, Result, Row, Schema, SchemaRef, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Compiled row predicate (filters, NLJ join conditions applied post-concat).
+pub type RowPredicate = Arc<dyn Fn(&Row) -> Result<bool> + Send + Sync>;
+
+/// Compiled row transformation (projections, computed columns).
+pub type RowMapper = Arc<dyn Fn(&Row) -> Result<Row> + Send + Sync>;
+
+/// Compiled two-row join predicate (the on-top NLJ's UDF condition).
+pub type JoinPredicate = Arc<dyn Fn(&Row, &Row) -> Result<bool> + Send + Sync>;
+
+/// Aggregate function kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` when `input` is `None`, else `COUNT(col)` over non-nulls.
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate column spec.
+#[derive(Clone, Debug)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    /// Input column index; `None` only for `Count` (star form).
+    pub input: Option<usize>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl Aggregate {
+    /// `COUNT(*) AS name`.
+    pub fn count_star(name: impl Into<String>) -> Self {
+        Aggregate { func: AggFunc::Count, input: None, name: name.into() }
+    }
+
+    /// `func(column) AS name`.
+    pub fn on(func: AggFunc, column: usize, name: impl Into<String>) -> Self {
+        Aggregate { func, input: Some(column), name: name.into() }
+    }
+
+    /// Output type of this aggregate.
+    pub fn output_type(&self, input_schema: &Schema) -> DataType {
+        match self.func {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => match self.input.map(|i| &input_schema.fields()[i].data_type) {
+                Some(DataType::Float64) => DataType::Float64,
+                _ => DataType::Int64,
+            },
+            AggFunc::Min | AggFunc::Max => self
+                .input
+                .map(|i| input_schema.fields()[i].data_type.clone())
+                .unwrap_or(DataType::Null),
+        }
+    }
+}
+
+/// How a worker matches its local buckets during COMBINE (§III-B's local
+/// optimization space; `SortMerge` is the paper's §VIII "sort-merge-based
+/// joins" future work).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CombineStrategy {
+    /// Group rows by bucket in a hash map (the default).
+    #[default]
+    HashGroup,
+    /// Sort rows by bucket id and merge matching runs — no hash table,
+    /// lower memory footprint, sequential access.
+    SortMerge,
+}
+
+/// One sort key.
+#[derive(Clone, Copy, Debug)]
+pub struct SortKey {
+    pub column: usize,
+    pub descending: bool,
+}
+
+impl SortKey {
+    /// Ascending sort on a column.
+    pub fn asc(column: usize) -> Self {
+        SortKey { column, descending: false }
+    }
+
+    /// Descending sort on a column.
+    pub fn desc(column: usize) -> Self {
+        SortKey { column, descending: true }
+    }
+}
+
+/// The FUDJ distributed join node — the physical rendering of Fig. 8.
+pub struct FudjJoinNode {
+    pub left: Box<PhysicalPlan>,
+    pub right: Box<PhysicalPlan>,
+    /// The join strategy: a FUDJ library behind [`fudj_core::FudjEngineJoin`]
+    /// or a hand-built operator.
+    pub join: Arc<dyn EngineJoin>,
+    /// Join-key column index in the left input.
+    pub left_key: usize,
+    /// Join-key column index in the right input.
+    pub right_key: usize,
+    /// Query-time parameters forwarded to `divide`.
+    pub params: Vec<Value>,
+    /// Set by the optimizer when both inputs are identical and the join is
+    /// symmetric: evaluate and summarize the input once (§VI-C).
+    pub self_join: bool,
+    /// Local bucket-matching strategy.
+    pub combine: CombineStrategy,
+    /// When set, a worker whose tagged rows exceed this budget grace-
+    /// partitions them to temporary files and joins sub-partition by
+    /// sub-partition — §III-B's "memory budget-aware operators that can
+    /// spill to the disk". Applies to default-match joins.
+    pub memory_budget_rows: Option<usize>,
+    schema: SchemaRef,
+}
+
+impl FudjJoinNode {
+    /// Build a FUDJ join node; the output schema is `left ⨝ right`.
+    pub fn new(
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        join: Arc<dyn EngineJoin>,
+        left_key: usize,
+        right_key: usize,
+        params: Vec<Value>,
+    ) -> Self {
+        let schema = Arc::new(left.schema().join(&right.schema()));
+        FudjJoinNode {
+            left: Box::new(left),
+            right: Box::new(right),
+            join,
+            left_key,
+            right_key,
+            params,
+            self_join: false,
+            combine: CombineStrategy::default(),
+            memory_budget_rows: None,
+            schema,
+        }
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+}
+
+/// A physical operator tree.
+pub enum PhysicalPlan {
+    /// Scan a stored dataset.
+    Scan { dataset: Arc<Dataset> },
+    /// Keep rows satisfying the predicate.
+    Filter { input: Box<PhysicalPlan>, predicate: RowPredicate },
+    /// Map every row (projection / computed columns).
+    Project { input: Box<PhysicalPlan>, mapper: RowMapper, schema: SchemaRef },
+    /// The FUDJ distributed join.
+    FudjJoin(FudjJoinNode),
+    /// On-top baseline: broadcast right side, nested loop with a predicate.
+    NlJoin { left: Box<PhysicalPlan>, right: Box<PhysicalPlan>, predicate: JoinPredicate },
+    /// Two-step hash aggregation.
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<usize>,
+        aggregates: Vec<Aggregate>,
+    },
+    /// Global sort (gathers to one worker).
+    Sort { input: Box<PhysicalPlan>, keys: Vec<SortKey> },
+    /// Keep the first `limit` rows (after any sort).
+    Limit { input: Box<PhysicalPlan>, limit: usize },
+}
+
+impl PhysicalPlan {
+    /// The operator's output schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            PhysicalPlan::Scan { dataset } => dataset.schema().clone(),
+            PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::Project { schema, .. } => schema.clone(),
+            PhysicalPlan::FudjJoin(node) => node.schema(),
+            PhysicalPlan::NlJoin { left, right, .. } => {
+                Arc::new(left.schema().join(&right.schema()))
+            }
+            PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
+                let in_schema = input.schema();
+                let mut fields: Vec<Field> =
+                    group_by.iter().map(|&i| in_schema.fields()[i].clone()).collect();
+                for agg in aggregates {
+                    fields.push(Field::new(agg.name.clone(), agg.output_type(&in_schema)));
+                }
+                Arc::new(Schema::new(fields))
+            }
+            PhysicalPlan::Sort { input, .. } => input.schema(),
+            PhysicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Render the plan tree, one operator per line (EXPLAIN-style).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::Scan { dataset } => {
+                let _ = writeln!(out, "{pad}DataScan [{}]", dataset.name());
+            }
+            PhysicalPlan::Filter { input, .. } => {
+                let _ = writeln!(out, "{pad}Filter");
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Project { input, schema, .. } => {
+                let _ = writeln!(out, "{pad}Project [{schema}]");
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::FudjJoin(node) => {
+                let match_kind =
+                    if node.join.uses_default_match() { "hash" } else { "theta-nlj" };
+                let _ = writeln!(
+                    out,
+                    "{pad}FudjJoin [{} | match: {match_kind} | dedup: {:?}{}]",
+                    node.join.name(),
+                    node.join.dedup_mode(),
+                    if node.self_join { " | self-join: summarize once" } else { "" },
+                );
+                node.left.explain_into(depth + 1, out);
+                node.right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::NlJoin { left, right, .. } => {
+                let _ = writeln!(out, "{pad}NestedLoopJoin [on-top UDF predicate]");
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
+                let aggs: Vec<&str> = aggregates.iter().map(|a| a.name.as_str()).collect();
+                let _ = writeln!(out, "{pad}HashAggregate [group by {group_by:?}; {aggs:?}]");
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("#{}{}", k.column, if k.descending { " desc" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort [{}]", ks.join(", "));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Limit { input, limit } => {
+                let _ = writeln!(out, "{pad}Limit [{limit}]");
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_storage::DatasetBuilder;
+
+    fn scan() -> PhysicalPlan {
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Uuid),
+            Field::new("v", DataType::Int64),
+        ]);
+        PhysicalPlan::Scan {
+            dataset: Arc::new(DatasetBuilder::new("t", schema).build().unwrap()),
+        }
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(scan()),
+            group_by: vec![0],
+            aggregates: vec![
+                Aggregate::count_star("c"),
+                Aggregate::on(AggFunc::Avg, 1, "avg_v"),
+                Aggregate::on(AggFunc::Max, 1, "max_v"),
+            ],
+        };
+        let s = plan.schema();
+        assert_eq!(s.to_string(), "id: uuid, c: bigint, avg_v: double, max_v: bigint");
+    }
+
+    #[test]
+    fn filter_preserves_schema() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: Arc::new(|_| Ok(true)),
+        };
+        assert_eq!(plan.schema().len(), 2);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(scan()),
+                keys: vec![SortKey::desc(1)],
+            }),
+            limit: 10,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Limit [10]"));
+        assert!(text.contains("Sort [#1 desc]"));
+        assert!(text.contains("DataScan [t]"));
+    }
+}

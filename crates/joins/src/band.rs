@@ -1,0 +1,186 @@
+//! Band join — an extension join type demonstrating model generality.
+//!
+//! Not one of the paper's three examples; included to show that a fourth
+//! algorithm drops into the unchanged framework (the paper's central
+//! claim). A band join pairs numeric keys within a distance ε:
+//! `|a − b| ≤ ε`. Partitioning is single-assign into ε-wide cells; matching
+//! is the theta predicate "adjacent or equal cells" — a second multi-join
+//! exercising the NLJ bucket-matching path alongside the interval join.
+
+use fudj_core::{BucketId, DedupMode, FlexibleJoin};
+use fudj_types::{ExtValue, FudjError, Result};
+use serde::{Deserialize, Serialize};
+
+/// 1-D band join (`|a − b| ≤ ε`) as a FUDJ library class
+/// (`"band.BandJoin"` in [`crate::standard_library`]).
+#[derive(Clone, Debug, Default)]
+pub struct BandJoin;
+
+/// Min/max of the observed keys — the band join's `Summary`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MinMax {
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for MinMax {
+    fn default() -> Self {
+        MinMax { min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl MinMax {
+    fn observe(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(self, other: MinMax) -> MinMax {
+        MinMax { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+}
+
+/// The band join's `PPlan`: ε-wide cells over the joint domain.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BandPPlan {
+    pub origin: f64,
+    pub epsilon: f64,
+    pub cells: u64,
+}
+
+impl BandJoin {
+    /// New band join.
+    pub fn new() -> Self {
+        BandJoin
+    }
+}
+
+impl FlexibleJoin for BandJoin {
+    type Summary = MinMax;
+    type PPlan = BandPPlan;
+
+    fn name(&self) -> &str {
+        "band_join"
+    }
+
+    fn summarize(&self, key: &ExtValue, summary: &mut MinMax) -> Result<()> {
+        summary.observe(key.as_double()?);
+        Ok(())
+    }
+
+    fn merge_summaries(&self, a: MinMax, b: MinMax) -> MinMax {
+        a.merge(b)
+    }
+
+    fn divide(&self, left: &MinMax, right: &MinMax, params: &[ExtValue]) -> Result<BandPPlan> {
+        let epsilon = params
+            .first()
+            .ok_or_else(|| FudjError::JoinLibrary("band join requires an epsilon parameter".into()))?
+            .as_double()?;
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(FudjError::JoinLibrary(format!("epsilon must be finite and > 0, got {epsilon}")));
+        }
+        let m = left.merge(*right);
+        let (origin, span) =
+            if m.min > m.max { (0.0, 0.0) } else { (m.min, (m.max - m.min).max(0.0)) };
+        let cells = (span / epsilon).floor() as u64 + 1;
+        Ok(BandPPlan { origin, epsilon, cells })
+    }
+
+    fn assign(&self, key: &ExtValue, pplan: &BandPPlan, out: &mut Vec<BucketId>) -> Result<()> {
+        let v = key.as_double()?;
+        let cell = ((v - pplan.origin) / pplan.epsilon).floor();
+        out.push((cell.max(0.0) as u64).min(pplan.cells - 1));
+        Ok(())
+    }
+
+    fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
+        b1.abs_diff(b2) <= 1
+    }
+
+    fn uses_default_match(&self) -> bool {
+        false
+    }
+
+    fn verify(&self, k1: &ExtValue, k2: &ExtValue, pplan: &BandPPlan) -> Result<bool> {
+        Ok((k1.as_double()? - k2.as_double()?).abs() <= pplan.epsilon)
+    }
+
+    fn dedup_mode(&self) -> DedupMode {
+        DedupMode::None // single-assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_core::standalone::run_standalone;
+    use fudj_core::ProxyJoin;
+
+    fn vals(v: &[f64]) -> Vec<ExtValue> {
+        v.iter().map(|&x| ExtValue::Double(x)).collect()
+    }
+
+    fn oracle(l: &[f64], r: &[f64], eps: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, a) in l.iter().enumerate() {
+            for (j, b) in r.iter().enumerate() {
+                if (a - b).abs() <= eps {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn divide_validates_epsilon() {
+        let j = BandJoin::new();
+        let s = MinMax::default();
+        assert!(j.divide(&s, &s, &[]).is_err());
+        assert!(j.divide(&s, &s, &[ExtValue::Double(0.0)]).is_err());
+        assert!(j.divide(&s, &s, &[ExtValue::Double(-1.0)]).is_err());
+        assert!(j.divide(&s, &s, &[ExtValue::Double(2.0)]).is_ok());
+    }
+
+    #[test]
+    fn adjacent_cells_match() {
+        let j = BandJoin::new();
+        assert!(j.matches(5, 5));
+        assert!(j.matches(5, 6));
+        assert!(j.matches(6, 5));
+        assert!(!j.matches(5, 7));
+    }
+
+    #[test]
+    fn standalone_matches_oracle() {
+        let l = [0.0, 1.1, 5.7, 9.9, 23.4, 50.0];
+        let r = [0.5, 6.0, 10.0, 24.0, 49.1];
+        for eps in [0.5, 1.0, 3.0] {
+            let alg = ProxyJoin::new(BandJoin::new());
+            let got = run_standalone(&alg, &vals(&l), &vals(&r), &[ExtValue::Double(eps)]).unwrap();
+            assert_eq!(got, oracle(&l, &r, eps), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let l: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let r: Vec<f64> = (0..80).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let alg = ProxyJoin::new(BandJoin::new());
+        let got = run_standalone(&alg, &vals(&l), &vals(&r), &[ExtValue::Double(7.5)]).unwrap();
+        assert_eq!(got, oracle(&l, &r, 7.5));
+    }
+
+    #[test]
+    fn integer_keys_widen() {
+        // Long keys work via the widening as_double accessor.
+        let l = vec![ExtValue::Long(10), ExtValue::Long(20)];
+        let r = vec![ExtValue::Long(12)];
+        let alg = ProxyJoin::new(BandJoin::new());
+        let got = run_standalone(&alg, &l, &r, &[ExtValue::Double(2.0)]).unwrap();
+        assert_eq!(got, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Overlapping-Interval FUDJ — OIPJoin in the FUDJ programming model (§V-C).
+//!
+//! ```text
+//! SUMMARIZE(interval, S): S.minStart ← min(...); S.maxEnd ← max(...)
+//! DIVIDE(S1, S2, n):      unify timelines, split into n granules → PPlan
+//! ASSIGN(interval):       single bucket (startGranule << 16) | endGranule
+//! MATCH(b1, b2):          granule ranges overlap   ← theta, NOT equality!
+//! VERIFY(i1, i2):         i1.start ≤ i2.end ∧ i1.end ≥ i2.start
+//! ```
+//!
+//! Because `match` is a theta predicate, this join is a *multi-join*: the
+//! engine cannot hash-partition buckets and falls back to NLJ bucket
+//! matching — the scalability ceiling the paper observes in §VII-C.
+//! Assignment is single-assign, so no duplicate handling is needed.
+
+use fudj_core::{BucketId, DedupMode, FlexibleJoin};
+use fudj_temporal::granule::{buckets_overlap, MAX_GRANULES};
+use fudj_temporal::{GranuleTimeline, Interval, IntervalSummary};
+use fudj_types::{ExtValue, FudjError, Result};
+
+/// Default granule count when the query supplies no parameter.
+pub const DEFAULT_GRANULES: u32 = 1000;
+
+/// The OIP interval join as a FUDJ library class
+/// (`"interval.OverlappingIntervalJoin"` in [`crate::standard_library`]).
+#[derive(Clone, Debug, Default)]
+pub struct IntervalFudj;
+
+impl IntervalFudj {
+    /// New interval join.
+    pub fn new() -> Self {
+        IntervalFudj
+    }
+}
+
+impl FlexibleJoin for IntervalFudj {
+    type Summary = IntervalSummary;
+    type PPlan = GranuleTimeline;
+
+    fn name(&self) -> &str {
+        "interval_join"
+    }
+
+    fn summarize(&self, key: &ExtValue, summary: &mut IntervalSummary) -> Result<()> {
+        summary.observe(&key.as_interval()?);
+        Ok(())
+    }
+
+    fn merge_summaries(&self, a: IntervalSummary, b: IntervalSummary) -> IntervalSummary {
+        a.merge(&b)
+    }
+
+    fn divide(
+        &self,
+        left: &IntervalSummary,
+        right: &IntervalSummary,
+        params: &[ExtValue],
+    ) -> Result<GranuleTimeline> {
+        let n = match params.first() {
+            Some(p) => {
+                let n = p.as_long()?;
+                if n <= 0 || n > MAX_GRANULES as i64 {
+                    return Err(FudjError::JoinLibrary(format!(
+                        "granule count must be in 1..={MAX_GRANULES}, got {n}"
+                    )));
+                }
+                n as u32
+            }
+            None => DEFAULT_GRANULES,
+        };
+        let merged = left.merge(right);
+        // An empty side means an empty result; a degenerate single-point
+        // timeline keeps every downstream call well-defined.
+        let range = merged.range().unwrap_or_else(|| Interval::new(0, 0));
+        Ok(GranuleTimeline::new(range, n))
+    }
+
+    fn assign(
+        &self,
+        key: &ExtValue,
+        pplan: &GranuleTimeline,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
+        // Single-assign: the one bucket packing (startGranule, endGranule).
+        out.push(pplan.assign(&key.as_interval()?));
+        Ok(())
+    }
+
+    fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
+        buckets_overlap(b1, b2)
+    }
+
+    fn uses_default_match(&self) -> bool {
+        false // theta match ⇒ multi-join ⇒ NLJ bucket matching
+    }
+
+    fn verify(&self, k1: &ExtValue, k2: &ExtValue, _pplan: &GranuleTimeline) -> Result<bool> {
+        Ok(k1.as_interval()?.overlaps(&k2.as_interval()?))
+    }
+
+    fn dedup_mode(&self) -> DedupMode {
+        DedupMode::None // single-assign cannot duplicate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_core::standalone::{run_standalone, run_standalone_with_stats};
+    use fudj_core::ProxyJoin;
+
+    fn iv(s: i64, e: i64) -> ExtValue {
+        ExtValue::LongArray(vec![s, e])
+    }
+
+    fn oracle(l: &[(i64, i64)], r: &[(i64, i64)]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, a) in l.iter().enumerate() {
+            for (j, b) in r.iter().enumerate() {
+                if a.0 <= b.1 && a.1 >= b.0 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn theta_match_declared() {
+        let j = IntervalFudj::new();
+        assert!(!j.uses_default_match());
+        assert_eq!(j.dedup_mode(), DedupMode::None);
+    }
+
+    #[test]
+    fn divide_unifies_timelines() {
+        let j = IntervalFudj::new();
+        let mut l = IntervalSummary::default();
+        l.observe(&Interval::new(100, 500));
+        let mut r = IntervalSummary::default();
+        r.observe(&Interval::new(0, 300));
+        let tl = j.divide(&l, &r, &[ExtValue::Long(10)]).unwrap();
+        assert_eq!(tl.range(), Interval::new(0, 500));
+        assert_eq!(tl.granules(), 10);
+        assert!(j.divide(&l, &r, &[ExtValue::Long(0)]).is_err());
+        assert!(j.divide(&l, &r, &[ExtValue::Long(1 << 20)]).is_err());
+    }
+
+    #[test]
+    fn single_assign() {
+        let j = IntervalFudj::new();
+        let tl = GranuleTimeline::new(Interval::new(0, 1000), 10);
+        let mut out = Vec::new();
+        j.assign(&iv(150, 420), &tl, &mut out).unwrap();
+        assert_eq!(out.len(), 1, "single-assign");
+    }
+
+    #[test]
+    fn standalone_matches_oracle() {
+        let taxi_a = [(0, 50), (100, 180), (300, 320), (900, 1000), (240, 600)];
+        let taxi_b = [(40, 110), (175, 250), (590, 905), (10, 20)];
+        let l: Vec<ExtValue> = taxi_a.iter().map(|&(s, e)| iv(s, e)).collect();
+        let r: Vec<ExtValue> = taxi_b.iter().map(|&(s, e)| iv(s, e)).collect();
+        for n in [1i64, 4, 16, 100, 1000] {
+            let alg = ProxyJoin::new(IntervalFudj::new());
+            let got = run_standalone(&alg, &l, &r, &[ExtValue::Long(n)]).unwrap();
+            assert_eq!(got, oracle(&taxi_a, &taxi_b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut gen_side = |n: usize| -> Vec<(i64, i64)> {
+            (0..n)
+                .map(|_| {
+                    let s = rng.gen_range(0..10_000);
+                    (s, s + rng.gen_range(0..500))
+                })
+                .collect()
+        };
+        let a = gen_side(80);
+        let b = gen_side(60);
+        let l: Vec<ExtValue> = a.iter().map(|&(s, e)| iv(s, e)).collect();
+        let r: Vec<ExtValue> = b.iter().map(|&(s, e)| iv(s, e)).collect();
+        let alg = ProxyJoin::new(IntervalFudj::new());
+        let got = run_standalone(&alg, &l, &r, &[ExtValue::Long(64)]).unwrap();
+        assert_eq!(got, oracle(&a, &b));
+    }
+
+    #[test]
+    fn no_dedup_pass_runs() {
+        let alg = ProxyJoin::new(IntervalFudj::new());
+        let l = vec![iv(0, 1000)];
+        let r = vec![iv(0, 1000)];
+        let (pairs, stats) =
+            run_standalone_with_stats(&alg, &l, &r, &[ExtValue::Long(100)]).unwrap();
+        assert_eq!(pairs, vec![(0, 0)]);
+        assert_eq!(stats.deduped_pairs, 0);
+        assert_eq!(stats.left_assignments, 1);
+    }
+
+    #[test]
+    fn empty_side_yields_empty_result() {
+        let alg = ProxyJoin::new(IntervalFudj::new());
+        assert!(run_standalone(&alg, &[], &[iv(0, 5)], &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Join libraries for the FUDJ framework, plus the hand-built baselines.
+//!
+//! The `fudj_*` modules are the paper's §V example implementations, written
+//! against the [`fudj_core::FlexibleJoin`] programming model exactly as the
+//! paper's pseudocode describes them:
+//!
+//! * [`spatial::SpatialFudj`] — PBSM (Patel & DeWitt): MBR summaries, a
+//!   uniform grid `PPlan`, multi-assign to overlapping tiles, default
+//!   equality match, geometric `verify`. Three duplicate-handling flavors
+//!   (framework avoidance, reference-point custom, elimination) for the
+//!   Fig. 12 experiments.
+//! * [`interval::IntervalFudj`] — OIPJoin (Dignös et al.): min-start/max-end
+//!   summary, granule timeline `PPlan`, single-assign packed buckets, a
+//!   *theta* `match` (granule-range overlap) that forces NLJ bucket
+//!   matching — the scalability limit §VII-C observes.
+//! * [`textsim::TextSimilarityFudj`] — set-similarity with prefix filtering
+//!   (Vernica et al.): token-count summary, token-rank `PPlan`, multi-assign
+//!   to prefix buckets, default match, Jaccard `verify`.
+//! * [`band::BandJoin`] — an *extra* join type not in the paper, included to
+//!   show the model generalizes: a 1-D band join (`|a − b| ≤ ε`) with theta
+//!   matching of adjacent cells.
+//! * [`autotune`] — the paper's §VIII future work implemented: spatial and
+//!   interval variants that derive their bucket counts from statistics
+//!   gathered during SUMMARIZE instead of a query parameter.
+//!
+//! The [`builtin`] module contains the baselines: the same three algorithms
+//! hand-integrated against the engine's native [`fudj_core::EngineJoin`]
+//! interface (no external-type translation, concrete state types, local
+//! optimizations) — the "built-in operator" implementations whose LOC and
+//! runtime the paper compares FUDJ against, including the §VII-F advanced
+//! spatial operator with a plane-sweep local join.
+//!
+//! [`library::standard_library`] bundles every FUDJ class into the
+//! `"flexiblejoins"` library used by `CREATE JOIN` statements.
+
+pub mod autotune;
+pub mod band;
+pub mod builtin;
+pub mod interval;
+pub mod library;
+pub mod spatial;
+pub mod textsim;
+
+pub use autotune::{IntervalFudjAuto, SpatialFudjAuto};
+pub use band::BandJoin;
+pub use interval::IntervalFudj;
+pub use library::standard_library;
+pub use spatial::{SpatialDedup, SpatialFudj};
+pub use textsim::{TextDedup, TextSimilarityFudj};

@@ -1,0 +1,116 @@
+//! The `"flexiblejoins"` library bundle.
+//!
+//! The paper's experiments upload one JAR, `flexiblejoins`, containing the
+//! example join classes; this is its Rust counterpart. Register it once,
+//! then `CREATE JOIN` any of the classes:
+//!
+//! ```
+//! use fudj_core::JoinRegistry;
+//! use fudj_types::DataType;
+//!
+//! let registry = JoinRegistry::new();
+//! registry.install_library(fudj_joins::standard_library());
+//! registry
+//!     .create_join(
+//!         "text_similarity_join",
+//!         vec![DataType::String, DataType::String, DataType::Float64],
+//!         "setsimilarity.SetSimilarityJoin",
+//!         "flexiblejoins",
+//!     )
+//!     .unwrap();
+//! ```
+
+use crate::autotune::{IntervalFudjAuto, SpatialFudjAuto};
+use crate::band::BandJoin;
+use crate::interval::IntervalFudj;
+use crate::spatial::{SpatialDedup, SpatialFudj};
+use crate::textsim::{TextDedup, TextSimilarityFudj};
+use fudj_core::{JoinLibrary, ProxyJoin};
+use std::sync::Arc;
+
+/// Name of the standard library bundle.
+pub const LIBRARY_NAME: &str = "flexiblejoins";
+
+/// Build the standard join library with every example class:
+///
+/// | class | algorithm |
+/// |---|---|
+/// | `spatial.SpatialJoin` | PBSM, framework duplicate avoidance |
+/// | `spatial.SpatialJoinRefPoint` | PBSM, reference-point custom dedup |
+/// | `spatial.SpatialJoinElimination` | PBSM, post-join elimination |
+/// | `interval.OverlappingIntervalJoin` | OIP single-assign / theta match |
+/// | `setsimilarity.SetSimilarityJoin` | prefix filtering, avoidance |
+/// | `setsimilarity.SetSimilarityJoinElimination` | prefix filtering, elimination |
+/// | `band.BandJoin` | 1-D band join (extension) |
+/// | `spatial.SpatialJoinAuto` | PBSM with self-tuned grid side (§VIII) |
+/// | `interval.OverlappingIntervalJoinAuto` | OIP with self-tuned granules (§VIII) |
+pub fn standard_library() -> JoinLibrary {
+    JoinLibrary::builder(LIBRARY_NAME)
+        .with_class("spatial.SpatialJoin", || Arc::new(ProxyJoin::new(SpatialFudj::new())))
+        .with_class("spatial.SpatialJoinRefPoint", || {
+            Arc::new(ProxyJoin::new(SpatialFudj::with_dedup(SpatialDedup::ReferencePoint)))
+        })
+        .with_class("spatial.SpatialJoinElimination", || {
+            Arc::new(ProxyJoin::new(SpatialFudj::with_dedup(SpatialDedup::Elimination)))
+        })
+        .with_class("interval.OverlappingIntervalJoin", || {
+            Arc::new(ProxyJoin::new(IntervalFudj::new()))
+        })
+        .with_class("setsimilarity.SetSimilarityJoin", || {
+            Arc::new(ProxyJoin::new(TextSimilarityFudj::new()))
+        })
+        .with_class("setsimilarity.SetSimilarityJoinElimination", || {
+            Arc::new(ProxyJoin::new(TextSimilarityFudj::with_dedup(TextDedup::Elimination)))
+        })
+        .with_class("band.BandJoin", || Arc::new(ProxyJoin::new(BandJoin::new())))
+        .with_class("spatial.SpatialJoinAuto", || Arc::new(ProxyJoin::new(SpatialFudjAuto)))
+        .with_class("interval.OverlappingIntervalJoinAuto", || {
+            Arc::new(ProxyJoin::new(IntervalFudjAuto))
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_core::JoinRegistry;
+    use fudj_types::DataType;
+
+    #[test]
+    fn library_lists_all_classes() {
+        let lib = standard_library();
+        assert_eq!(lib.name(), LIBRARY_NAME);
+        assert_eq!(lib.classes().len(), 9);
+        for class in lib.classes() {
+            assert!(lib.instantiate(&class).is_ok(), "{class}");
+        }
+    }
+
+    #[test]
+    fn paper_query4_lifecycle() {
+        // CREATE JOIN text_similarity_join(a: string, b: string, t: double)
+        //   RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins;
+        let registry = JoinRegistry::new();
+        registry.install_library(standard_library());
+        let def = registry
+            .create_join(
+                "text_similarity_join",
+                vec![DataType::String, DataType::String, DataType::Float64],
+                "setsimilarity.SetSimilarityJoin",
+                LIBRARY_NAME,
+            )
+            .unwrap();
+        assert_eq!(def.algorithm().name(), "text_similarity_join");
+        assert!(def.algorithm().uses_default_match());
+        // DROP JOIN text_similarity_join(...);
+        registry.drop_join("text_similarity_join").unwrap();
+        assert!(registry.get("text_similarity_join").is_none());
+    }
+
+    #[test]
+    fn interval_class_is_theta() {
+        let lib = standard_library();
+        let alg = lib.instantiate("interval.OverlappingIntervalJoin").unwrap();
+        assert!(!alg.uses_default_match());
+    }
+}

@@ -1,0 +1,203 @@
+//! Logical plans.
+//!
+//! Scans qualify their columns with the query alias (`p.id`), so downstream
+//! expressions reference columns unambiguously even in self-joins.
+
+use crate::expr::Expr;
+use fudj_exec::AggFunc;
+use fudj_storage::Dataset;
+use fudj_types::{Field, Result, Schema, SchemaRef, Value};
+use std::sync::Arc;
+
+/// One aggregate in a logical Aggregate node.
+#[derive(Clone, Debug)]
+pub struct LogicalAggregate {
+    pub func: AggFunc,
+    /// Input expression; `None` = `COUNT(*)`.
+    pub input: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A sort key: a column expression plus direction.
+#[derive(Clone, Debug)]
+pub struct LogicalSortKey {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A logical operator tree.
+#[derive(Debug)]
+pub enum LogicalPlan {
+    /// Scan of a stored dataset under an alias; columns are exposed as
+    /// `alias.column`.
+    Scan { dataset: Arc<Dataset>, alias: String },
+    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    /// Projection with output names.
+    Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
+    /// Inner join under an arbitrary boolean condition. The optimizer
+    /// rewrites this into [`LogicalPlan::FudjJoin`] when the condition
+    /// carries a registered FUDJ predicate; otherwise it lowers to the
+    /// on-top NLJ.
+    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, condition: Expr },
+    /// Post-rewrite FUDJ join (produced by the optimizer, not by binders).
+    FudjJoin {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        /// Registered join name (`CREATE JOIN` name).
+        join_name: String,
+        /// Key expression over the left input.
+        left_key: Expr,
+        /// Key expression over the right input.
+        right_key: Expr,
+        /// Literal query-time parameters for `divide`.
+        params: Vec<Value>,
+        /// Residual non-FUDJ conjuncts applied after the join.
+        residual: Option<Expr>,
+        /// Self-join summarize-once annotation (§VI-C).
+        self_join: bool,
+    },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<LogicalAggregate>,
+    },
+    Sort { input: Box<LogicalPlan>, keys: Vec<LogicalSortKey> },
+    Limit { input: Box<LogicalPlan>, limit: usize },
+}
+
+impl LogicalPlan {
+    /// Scan helper.
+    pub fn scan(dataset: Arc<Dataset>, alias: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan { dataset, alias: alias.into() }
+    }
+
+    /// Filter helper.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Join helper.
+    pub fn join(self, right: LogicalPlan, condition: Expr) -> LogicalPlan {
+        LogicalPlan::Join { left: Box::new(self), right: Box::new(right), condition }
+    }
+
+    /// Project helper.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
+        LogicalPlan::Project { input: Box::new(self), exprs }
+    }
+
+    /// Output schema (qualified names).
+    pub fn schema(&self) -> Result<SchemaRef> {
+        Ok(match self {
+            LogicalPlan::Scan { dataset, alias } => Arc::new(Schema::new(
+                dataset
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| Field::new(format!("{alias}.{}", f.name), f.data_type.clone()))
+                    .collect(),
+            )),
+            LogicalPlan::Filter { input, .. } => input.schema()?,
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema()?;
+                Arc::new(Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, name)| {
+                            Ok(Field::new(name.clone(), e.data_type(&in_schema)?))
+                        })
+                        .collect::<Result<Vec<Field>>>()?,
+                ))
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                Arc::new(left.schema()?.join(right.schema()?.as_ref()))
+            }
+            LogicalPlan::FudjJoin { left, right, .. } => {
+                Arc::new(left.schema()?.join(right.schema()?.as_ref()))
+            }
+            LogicalPlan::Aggregate { input, group_by, aggregates } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggregates.len());
+                for (e, name) in group_by {
+                    fields.push(Field::new(name.clone(), e.data_type(&in_schema)?));
+                }
+                for agg in aggregates {
+                    let exec_agg = fudj_exec::Aggregate {
+                        func: agg.func,
+                        input: None,
+                        name: agg.name.clone(),
+                    };
+                    // Output type depends on the input expression's type.
+                    let dt = match (&agg.func, &agg.input) {
+                        (AggFunc::Count, _) => fudj_types::DataType::Int64,
+                        (AggFunc::Avg, _) => fudj_types::DataType::Float64,
+                        (_, Some(e)) => {
+                            let in_dt = e.data_type(&in_schema)?;
+                            match agg.func {
+                                AggFunc::Sum => match in_dt {
+                                    fudj_types::DataType::Float64 => fudj_types::DataType::Float64,
+                                    _ => fudj_types::DataType::Int64,
+                                },
+                                _ => in_dt,
+                            }
+                        }
+                        _ => fudj_types::DataType::Null,
+                    };
+                    let _ = exec_agg;
+                    fields.push(Field::new(agg.name.clone(), dt));
+                }
+                Arc::new(Schema::new(fields))
+            }
+            LogicalPlan::Sort { input, .. } => input.schema()?,
+            LogicalPlan::Limit { input, .. } => input.schema()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_storage::DatasetBuilder;
+    use fudj_types::DataType;
+
+    fn parks() -> Arc<Dataset> {
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Uuid),
+            Field::new("boundary", DataType::Polygon),
+            Field::new("tags", DataType::String),
+        ]);
+        Arc::new(DatasetBuilder::new("Parks", schema).build().unwrap())
+    }
+
+    #[test]
+    fn scan_qualifies_columns() {
+        let plan = LogicalPlan::scan(parks(), "p");
+        let s = plan.schema().unwrap();
+        assert_eq!(s.to_string(), "p.id: uuid, p.boundary: polygon, p.tags: string");
+    }
+
+    #[test]
+    fn self_join_schemas_do_not_collide() {
+        let plan = LogicalPlan::scan(parks(), "a").join(
+            LogicalPlan::scan(parks(), "b"),
+            Expr::col("a.id").eq(Expr::col("b.id")),
+        );
+        let s = plan.schema().unwrap();
+        assert!(s.index_of("a.id").is_ok());
+        assert!(s.index_of("b.id").is_ok());
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn project_and_aggregate_schema() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::scan(parks(), "p")),
+            group_by: vec![(Expr::col("p.id"), "id".into())],
+            aggregates: vec![
+                LogicalAggregate { func: AggFunc::Count, input: None, name: "c".into() },
+            ],
+        };
+        assert_eq!(plan.schema().unwrap().to_string(), "id: uuid, c: bigint");
+    }
+}

@@ -1,0 +1,140 @@
+//! Abstract syntax for the SQL subset.
+
+use fudj_types::DataType;
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE JOIN name(a: t, ...) RETURNS boolean AS "class" AT library`
+    CreateJoin {
+        name: String,
+        args: Vec<(String, DataType)>,
+        class: String,
+        library: String,
+    },
+    /// `DROP JOIN name(a: t, ...)`
+    DropJoin { name: String },
+    /// `SELECT ...`
+    Select(SelectStatement),
+    /// `EXPLAIN [ANALYZE] SELECT ...`
+    Explain { select: SelectStatement, analyze: bool },
+}
+
+/// A `SELECT` query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStatement {
+    pub items: Vec<SelectItem>,
+    /// `FROM dataset alias` entries (comma join, like the paper's queries).
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub order_by: Vec<(AstExpr, bool)>, // (expr, descending)
+    pub limit: Option<usize>,
+}
+
+/// One select-list item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectItem {
+    pub expr: AstExpr,
+    pub alias: Option<String>,
+}
+
+/// A `FROM` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub dataset: String,
+    pub alias: String,
+}
+
+/// Comparison / logical / arithmetic operators (mirrors the planner's
+/// `BinOp`, kept separate so the AST has no planner dependency direction
+/// issues).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstBinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified column (`p.id`) or bare identifier.
+    Column(String),
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    BoolLit(bool),
+    Binary { op: AstBinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Not(Box<AstExpr>),
+    /// Function call; aggregates (`count`, `sum`, `avg`, `min`, `max`) are
+    /// recognized during binding. `count(*)` / `count(1)` parse to
+    /// `CountStar`.
+    Call { name: String, args: Vec<AstExpr> },
+    /// `COUNT(*)` / `COUNT(1)`.
+    CountStar,
+    /// `SELECT *` (select-list only; expanded by the binder).
+    Wildcard,
+}
+
+impl AstExpr {
+    /// `a AND b` helper.
+    pub fn and(self, other: AstExpr) -> AstExpr {
+        AstExpr::Binary { op: AstBinOp::And, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Whether the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::CountStar => true,
+            AstExpr::Call { name, args } => {
+                is_aggregate_name(name) || args.iter().any(AstExpr::contains_aggregate)
+            }
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Not(inner) => inner.contains_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// Whether `name` is an aggregate function.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(AstExpr::CountStar.contains_aggregate());
+        assert!(AstExpr::Call { name: "AVG".into(), args: vec![AstExpr::Column("x".into())] }
+            .contains_aggregate());
+        assert!(!AstExpr::Call {
+            name: "st_contains".into(),
+            args: vec![AstExpr::Column("x".into())]
+        }
+        .contains_aggregate());
+        let nested = AstExpr::Binary {
+            op: AstBinOp::Add,
+            left: Box::new(AstExpr::IntLit(1)),
+            right: Box::new(AstExpr::CountStar),
+        };
+        assert!(nested.contains_aggregate());
+    }
+}

@@ -1,0 +1,372 @@
+//! Binder: AST → logical plans.
+
+use crate::ast::*;
+use fudj_exec::AggFunc;
+use fudj_planner::logical::{LogicalAggregate, LogicalSortKey};
+use fudj_planner::{BinOp, Expr, LogicalPlan};
+use fudj_storage::Catalog;
+use fudj_types::{FudjError, Result, Schema, Value};
+
+/// Bind a parsed SELECT against the catalog.
+pub fn bind_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalPlan> {
+    if stmt.from.is_empty() {
+        return Err(FudjError::Parse("FROM clause is required".into()));
+    }
+
+    // Resolve FROM entries and collect per-table schemas for qualification.
+    let mut tables = Vec::new();
+    for t in &stmt.from {
+        let dataset = catalog.get(&t.dataset)?;
+        tables.push((t.alias.clone(), dataset));
+    }
+    let resolver = Resolver::new(&tables)?;
+
+    // Left-deep join chain; the whole WHERE goes on top as a filter, which
+    // the optimizer merges into join conditions and pushes down.
+    let mut iter = tables.iter();
+    let (alias, ds) = iter.next().expect("non-empty FROM");
+    let mut plan = LogicalPlan::scan(ds.clone(), alias.clone());
+    for (alias, ds) in iter {
+        plan = plan.join(LogicalPlan::scan(ds.clone(), alias.clone()), Expr::lit(true));
+    }
+    if let Some(w) = &stmt.where_clause {
+        plan = plan.filter(resolver.expr(w)?);
+    }
+
+    // Select list: aggregate or plain projection.
+    let has_aggregates =
+        !stmt.group_by.is_empty() || stmt.items.iter().any(|i| i.expr.contains_aggregate());
+
+    let mut used_names: Vec<String> = Vec::new();
+    let unique = |base: String, used: &mut Vec<String>| -> String {
+        let mut name = base.clone();
+        let mut k = 2;
+        while used.contains(&name) {
+            name = format!("{base}_{k}");
+            k += 1;
+        }
+        used.push(name.clone());
+        name
+    };
+
+    if has_aggregates {
+        // Group keys, in GROUP BY order.
+        let mut group_by: Vec<(Expr, String)> = Vec::new();
+        for g in &stmt.group_by {
+            let e = resolver.expr(g)?;
+            let name = default_name(&e);
+            group_by.push((e, name));
+        }
+
+        // Select items: aggregates become LogicalAggregates; non-aggregates
+        // must match a group key.
+        let mut aggregates: Vec<LogicalAggregate> = Vec::new();
+        let mut output: Vec<(Expr, String)> = Vec::new();
+        for item in &stmt.items {
+            match &item.expr {
+                AstExpr::Wildcard => {
+                    return Err(FudjError::Plan(
+                        "SELECT * cannot be combined with GROUP BY".into(),
+                    ))
+                }
+                e if e.contains_aggregate() => {
+                    let (func, input) = unwrap_aggregate(e, &resolver)?;
+                    let base = item.alias.clone().unwrap_or_else(|| agg_default_name(func));
+                    let name = unique(base, &mut used_names);
+                    aggregates.push(LogicalAggregate { func, input, name: name.clone() });
+                    output.push((Expr::col(name.clone()), name));
+                }
+                e => {
+                    let bound = resolver.expr(e)?;
+                    let key = group_by.iter().find(|(g, _)| *g == bound).ok_or_else(|| {
+                        FudjError::Plan(format!(
+                            "select item {bound} is neither an aggregate nor in GROUP BY"
+                        ))
+                    })?;
+                    let base = item.alias.clone().unwrap_or_else(|| key.1.clone());
+                    let name = unique(base, &mut used_names);
+                    output.push((Expr::col(key.1.clone()), name));
+                }
+            }
+        }
+        // Aggregate over an implicit single group when GROUP BY is absent.
+        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggregates };
+        plan = plan.project(output);
+    } else {
+        let mut exprs: Vec<(Expr, String)> = Vec::new();
+        for item in &stmt.items {
+            match &item.expr {
+                AstExpr::Wildcard => {
+                    let schema = plan.schema()?;
+                    for f in schema.fields() {
+                        let name = unique(f.name.clone(), &mut used_names);
+                        exprs.push((Expr::col(f.name.clone()), name));
+                    }
+                }
+                e => {
+                    let bound = resolver.expr(e)?;
+                    let base = item.alias.clone().unwrap_or_else(|| default_name(&bound));
+                    let name = unique(base, &mut used_names);
+                    exprs.push((bound, name));
+                }
+            }
+        }
+        plan = plan.project(exprs);
+    }
+
+    // ORDER BY binds against the projected schema (aliases are visible).
+    if !stmt.order_by.is_empty() {
+        let keys = stmt
+            .order_by
+            .iter()
+            .map(|(e, desc)| {
+                Ok(LogicalSortKey { expr: resolver.expr(e)?, descending: *desc })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+    }
+
+    if let Some(n) = stmt.limit {
+        plan = LogicalPlan::Limit { input: Box::new(plan), limit: n };
+    }
+
+    Ok(plan)
+}
+
+/// Output name for an unaliased expression.
+fn default_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(name) => name.clone(),
+        Expr::Call { name, .. } => name.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn agg_default_name(func: AggFunc) -> String {
+    match func {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+        AggFunc::Avg => "avg",
+    }
+    .to_owned()
+}
+
+/// Unwrap a top-level aggregate call. Aggregates nested inside arithmetic
+/// (e.g. `COUNT(x) + 1`) are not supported.
+fn unwrap_aggregate(e: &AstExpr, resolver: &Resolver<'_>) -> Result<(AggFunc, Option<Expr>)> {
+    match e {
+        AstExpr::CountStar => Ok((AggFunc::Count, None)),
+        AstExpr::Call { name, args } if is_aggregate_name(name) => {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "count" => AggFunc::Count,
+                "sum" => AggFunc::Sum,
+                "avg" => AggFunc::Avg,
+                "min" => AggFunc::Min,
+                "max" => AggFunc::Max,
+                _ => unreachable!(),
+            };
+            if args.len() != 1 {
+                return Err(FudjError::Plan(format!("{name} takes exactly one argument")));
+            }
+            Ok((func, Some(resolver.expr(&args[0])?)))
+        }
+        other => Err(FudjError::Plan(format!(
+            "aggregates may only appear as top-level select items, got {other:?}"
+        ))),
+    }
+}
+
+/// Resolves bare column names against the FROM tables.
+struct Resolver<'a> {
+    /// (qualified name, bare name) pairs across all tables.
+    columns: Vec<(String, String)>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(tables: &'a [(String, std::sync::Arc<fudj_storage::Dataset>)]) -> Result<Self> {
+        let mut columns = Vec::new();
+        for (alias, ds) in tables {
+            let schema: &Schema = ds.schema();
+            for f in schema.fields() {
+                columns.push((format!("{alias}.{}", f.name), f.name.clone()));
+            }
+        }
+        Ok(Resolver { columns, _marker: std::marker::PhantomData })
+    }
+
+    /// Qualify a bare column name if it is unambiguous; leave qualified
+    /// names and unknown names (e.g. projection aliases) untouched.
+    fn column(&self, name: &str) -> Result<String> {
+        if name.contains('.') {
+            return Ok(name.to_owned());
+        }
+        let matches: Vec<&String> =
+            self.columns.iter().filter(|(_, bare)| bare == name).map(|(q, _)| q).collect();
+        match matches.len() {
+            0 => Ok(name.to_owned()), // alias of a projected column
+            1 => Ok(matches[0].clone()),
+            _ => Err(FudjError::Plan(format!(
+                "column {name:?} is ambiguous: {matches:?}"
+            ))),
+        }
+    }
+
+    /// Convert an AST expression, qualifying column references.
+    fn expr(&self, e: &AstExpr) -> Result<Expr> {
+        Ok(match e {
+            AstExpr::Column(name) => Expr::col(self.column(name)?),
+            AstExpr::IntLit(v) => Expr::lit(*v),
+            AstExpr::FloatLit(v) => Expr::lit(*v),
+            AstExpr::StrLit(s) => Expr::lit(Value::str(s)),
+            AstExpr::BoolLit(b) => Expr::lit(*b),
+            AstExpr::Binary { op, left, right } => Expr::binary(
+                convert_op(*op),
+                self.expr(left)?,
+                self.expr(right)?,
+            ),
+            AstExpr::Not(inner) => Expr::Not(Box::new(self.expr(inner)?)),
+            AstExpr::Call { name, args } => {
+                if is_aggregate_name(name) {
+                    return Err(FudjError::Plan(format!(
+                        "aggregate {name} is not allowed in this clause"
+                    )));
+                }
+                Expr::call(
+                    name.to_ascii_lowercase(),
+                    args.iter().map(|a| self.expr(a)).collect::<Result<_>>()?,
+                )
+            }
+            AstExpr::CountStar => {
+                return Err(FudjError::Plan("COUNT(*) is not allowed in this clause".into()))
+            }
+            AstExpr::Wildcard => {
+                return Err(FudjError::Plan("* is only allowed in the select list".into()))
+            }
+        })
+    }
+}
+
+fn convert_op(op: AstBinOp) -> BinOp {
+    match op {
+        AstBinOp::Eq => BinOp::Eq,
+        AstBinOp::NotEq => BinOp::NotEq,
+        AstBinOp::Lt => BinOp::Lt,
+        AstBinOp::LtEq => BinOp::LtEq,
+        AstBinOp::Gt => BinOp::Gt,
+        AstBinOp::GtEq => BinOp::GtEq,
+        AstBinOp::And => BinOp::And,
+        AstBinOp::Or => BinOp::Or,
+        AstBinOp::Add => BinOp::Add,
+        AstBinOp::Sub => BinOp::Sub,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use fudj_storage::DatasetBuilder;
+    use fudj_types::{DataType, Field};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            DatasetBuilder::new(
+                "Parks",
+                Schema::shared(vec![
+                    Field::new("id", DataType::Uuid),
+                    Field::new("boundary", DataType::Polygon),
+                    Field::new("tags", DataType::String),
+                ]),
+            )
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+        cat.register(
+            DatasetBuilder::new(
+                "Wildfires",
+                Schema::shared(vec![
+                    Field::new("id", DataType::Uuid),
+                    Field::new("location", DataType::Point),
+                ]),
+            )
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn bind(sql: &str) -> Result<LogicalPlan> {
+        let Statement::Select(sel) = parse(sql).unwrap() else { panic!("not a select") };
+        bind_select(&sel, &catalog())
+    }
+
+    #[test]
+    fn bare_columns_are_qualified() {
+        let plan = bind("SELECT tags FROM Parks p WHERE tags <> 'x'").unwrap();
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.to_string(), "p.tags: string");
+    }
+
+    #[test]
+    fn ambiguous_bare_column_is_an_error() {
+        // `id` exists in both tables.
+        let err = bind("SELECT id FROM Parks p, Wildfires w").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn aliases_rename_output() {
+        let plan = bind("SELECT p.tags AS t FROM Parks p").unwrap();
+        assert_eq!(plan.schema().unwrap().to_string(), "t: string");
+    }
+
+    #[test]
+    fn wildcard_expands() {
+        let plan = bind("SELECT * FROM Parks p").unwrap();
+        assert_eq!(plan.schema().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn group_by_with_count() {
+        let plan =
+            bind("SELECT p.tags, COUNT(p.id) AS n FROM Parks p GROUP BY p.tags ORDER BY n DESC")
+                .unwrap();
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.to_string(), "p.tags: string, n: bigint");
+    }
+
+    #[test]
+    fn global_count_without_group_by() {
+        let plan = bind("SELECT COUNT(*) FROM Parks p").unwrap();
+        assert_eq!(plan.schema().unwrap().to_string(), "count: bigint");
+    }
+
+    #[test]
+    fn non_grouped_select_item_rejected() {
+        let err = bind("SELECT p.tags, COUNT(*) FROM Parks p GROUP BY p.id").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn unknown_dataset_is_reported() {
+        let Statement::Select(sel) = parse("SELECT x FROM Ghost g").unwrap() else { panic!() };
+        assert!(matches!(
+            bind_select(&sel, &catalog()),
+            Err(FudjError::DatasetNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_output_names_are_deduplicated() {
+        let plan = bind("SELECT p.tags, p.tags FROM Parks p").unwrap();
+        assert_eq!(plan.schema().unwrap().to_string(), "p.tags: string, p.tags_2: string");
+    }
+}

@@ -1,0 +1,287 @@
+//! Tokenizer for the SQL subset.
+
+use fudj_types::{FudjError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (stored as written; keyword checks are
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl Token {
+    /// Whether this is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Colon => write!(f, ":"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenize SQL text. `--` line comments and `/* */` block comments are
+/// skipped.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(FudjError::Parse("unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some('=') => {
+                        out.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some('>') => {
+                        out.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(&ch) if ch == quote => {
+                            // Doubled quote = escaped quote.
+                            if bytes.get(i + 1) == Some(&quote) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(FudjError::Parse(format!(
+                                "unterminated string literal starting with {quote}"
+                            )))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    if bytes[i] == '.' {
+                        if is_float {
+                            break; // second dot belongs to something else
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| FudjError::Parse(format!("bad float {text:?}: {e}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| FudjError::Parse(format!("bad integer {text:?}: {e}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(FudjError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_operators_literals() {
+        let toks = tokenize("SELECT p.id, COUNT(*) FROM Parks p WHERE x >= 0.5 AND y <> 'a''b'")
+            .unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Float(0.5)));
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::Str("a'b".into())));
+        assert!(toks.contains(&Token::Star));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- inline\n 1 /* block */ + 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("SELECT".into()), Token::Int(1), Token::Plus, Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn qualified_names_tokenize_as_dot() {
+        let toks = tokenize("p.boundary").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("boundary".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("/* no end").is_err());
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = tokenize("42 42.5 .5").unwrap();
+        assert_eq!(toks, vec![Token::Int(42), Token::Float(42.5), Token::Float(0.5)]);
+    }
+}

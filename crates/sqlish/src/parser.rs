@@ -1,0 +1,527 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use fudj_types::{DataType, FudjError, Result};
+
+/// Parse one statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept(&Token::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| FudjError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn accept(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.accept(t) {
+            Ok(())
+        } else {
+            Err(FudjError::Parse(format!(
+                "expected {t}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(FudjError::Parse(format!(
+                "expected keyword {kw}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(FudjError::Parse(format!(
+                "trailing input starting at {}",
+                self.tokens[self.pos]
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(FudjError::Parse(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.accept_kw("explain") {
+            let analyze = self.accept_kw("analyze");
+            self.expect_kw("select")?;
+            return Ok(Statement::Explain { select: self.select_body()?, analyze });
+        }
+        if self.accept_kw("select") {
+            return Ok(Statement::Select(self.select_body()?));
+        }
+        if self.accept_kw("create") {
+            self.expect_kw("join")?;
+            return self.create_join();
+        }
+        if self.accept_kw("drop") {
+            self.expect_kw("join")?;
+            let name = self.ident()?;
+            // Optional signature list, accepted and ignored (the registry
+            // keys joins by name).
+            if self.accept(&Token::LParen) {
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.next()? {
+                        Token::LParen => depth += 1,
+                        Token::RParen => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            return Ok(Statement::DropJoin { name: name.to_ascii_lowercase() });
+        }
+        Err(FudjError::Parse(format!(
+            "expected SELECT, EXPLAIN, CREATE JOIN, or DROP JOIN, found {}",
+            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+        )))
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "string" | "text" | "varchar" => DataType::String,
+            "double" | "float" => DataType::Float64,
+            "bigint" | "int" | "integer" => DataType::Int64,
+            "boolean" | "bool" => DataType::Bool,
+            "uuid" => DataType::Uuid,
+            "datetime" | "timestamp" => DataType::DateTime,
+            "interval" => DataType::Interval,
+            "point" => DataType::Point,
+            "polygon" | "geometry" => DataType::Polygon,
+            other => return Err(FudjError::Parse(format!("unknown type {other:?}"))),
+        })
+    }
+
+    /// `name(a: type, ...) RETURNS boolean AS "class" AT library`
+    fn create_join(&mut self) -> Result<Statement> {
+        let name = self.ident()?.to_ascii_lowercase();
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !self.accept(&Token::RParen) {
+            loop {
+                let arg = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let dt = self.data_type()?;
+                args.push((arg, dt));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_kw("returns")?;
+        self.expect_kw("boolean")?;
+        self.expect_kw("as")?;
+        let class = match self.next()? {
+            Token::Str(s) => s,
+            other => return Err(FudjError::Parse(format!("expected class string, found {other}"))),
+        };
+        self.expect_kw("at")?;
+        let library = self.ident()?;
+        Ok(Statement::CreateJoin { name, args, class, library })
+    }
+
+    fn select_body(&mut self) -> Result<SelectStatement> {
+        // Select list.
+        let mut items = Vec::new();
+        loop {
+            if self.accept(&Token::Star) {
+                items.push(SelectItem { expr: AstExpr::Wildcard, alias: None });
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.accept_kw("as") { Some(self.ident()?) } else { None };
+                items.push(SelectItem { expr, alias });
+            }
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            let dataset = self.ident()?;
+            // Optional alias (must not be a clause keyword).
+            let alias = match self.peek() {
+                Some(Token::Ident(s))
+                    if !["where", "group", "order", "limit"]
+                        .iter()
+                        .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+                {
+                    self.ident()?
+                }
+                _ => dataset.clone(),
+            };
+            from.push(TableRef { dataset, alias });
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+
+        let where_clause = if self.accept_kw("where") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.accept_kw("desc") {
+                    true
+                } else {
+                    self.accept_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.accept_kw("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                other => return Err(FudjError::Parse(format!("expected LIMIT count, found {other}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStatement { items, from, where_clause, group_by, order_by, limit })
+    }
+
+    // ---- Expression grammar (precedence climbing) -----------------------
+    // or_expr := and_expr (OR and_expr)*
+    // and_expr := not_expr (AND not_expr)*
+    // not_expr := NOT not_expr | cmp_expr
+    // cmp_expr := add_expr ((= | <> | < | <= | > | >=) add_expr)?
+    // add_expr := mul_expr ((+|-) mul_expr)*
+    // mul_expr := atom ((*|/) atom)*
+    // atom := literal | call | column | ( or_expr ) | - atom
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw("and") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.accept_kw("not") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(AstBinOp::Eq),
+            Some(Token::NotEq) => Some(AstBinOp::NotEq),
+            Some(Token::Lt) => Some(AstBinOp::Lt),
+            Some(Token::LtEq) => Some(AstBinOp::LtEq),
+            Some(Token::Gt) => Some(AstBinOp::Gt),
+            Some(Token::GtEq) => Some(AstBinOp::GtEq),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let right = self.add_expr()?;
+                Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => AstBinOp::Add,
+                Some(Token::Minus) => AstBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => AstBinOp::Mul,
+                Some(Token::Slash) => AstBinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.atom()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<AstExpr> {
+        match self.next()? {
+            Token::Int(v) => Ok(AstExpr::IntLit(v)),
+            Token::Float(v) => Ok(AstExpr::FloatLit(v)),
+            Token::Str(s) => Ok(AstExpr::StrLit(s)),
+            Token::Minus => {
+                let inner = self.atom()?;
+                Ok(match inner {
+                    AstExpr::IntLit(v) => AstExpr::IntLit(-v),
+                    AstExpr::FloatLit(v) => AstExpr::FloatLit(-v),
+                    other => AstExpr::Binary {
+                        op: AstBinOp::Sub,
+                        left: Box::new(AstExpr::IntLit(0)),
+                        right: Box::new(other),
+                    },
+                })
+            }
+            Token::LParen => {
+                let e = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(AstExpr::BoolLit(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(AstExpr::BoolLit(false));
+                }
+                // Function call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    // COUNT(*) / COUNT(1)
+                    if name.eq_ignore_ascii_case("count") {
+                        if self.accept(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            return Ok(AstExpr::CountStar);
+                        }
+                        if self.peek() == Some(&Token::Int(1)) {
+                            self.pos += 1;
+                            self.expect(&Token::RParen)?;
+                            return Ok(AstExpr::CountStar);
+                        }
+                    }
+                    let mut args = Vec::new();
+                    if !self.accept(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.accept(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    return Ok(AstExpr::Call { name, args });
+                }
+                // Qualified column?
+                if self.accept(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column(format!("{name}.{col}")));
+                }
+                Ok(AstExpr::Column(name))
+            }
+            other => Err(FudjError::Parse(format!("unexpected token {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query4_create_join() {
+        let stmt = parse(
+            r#"CREATE JOIN text_similarity_join(a: string, b: string, t: double)
+               RETURNS boolean
+               AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateJoin {
+                name: "text_similarity_join".into(),
+                args: vec![
+                    ("a".into(), DataType::String),
+                    ("b".into(), DataType::String),
+                    ("t".into(), DataType::Float64),
+                ],
+                class: "setsimilarity.SetSimilarityJoin".into(),
+                library: "flexiblejoins".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_drop_join_with_signature() {
+        let stmt = parse("DROP JOIN text_similarity_join(a: string, b: string, t: double);")
+            .unwrap();
+        assert_eq!(stmt, Statement::DropJoin { name: "text_similarity_join".into() });
+    }
+
+    #[test]
+    fn parses_query1_shape() {
+        let stmt = parse(
+            "SELECT p.id, p.tags, COUNT(w.id) AS num_fires \
+             FROM Parks p, Wildfires w \
+             WHERE ST_Contains(p.boundary, w.location) \
+               AND w.fire_start >= parse_date('01/01/2022', 'M/D/Y') \
+             GROUP BY p.id, p.tags ORDER BY num_fires DESC LIMIT 20",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!("not a select") };
+        assert_eq!(sel.items.len(), 3);
+        assert_eq!(sel.items[2].alias.as_deref(), Some("num_fires"));
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.from[1], TableRef { dataset: "Wildfires".into(), alias: "w".into() });
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.group_by.len(), 2);
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(sel.order_by[0].1, "descending");
+        assert_eq!(sel.limit, Some(20));
+    }
+
+    #[test]
+    fn count_star_and_count_one() {
+        for sql in ["SELECT COUNT(*) FROM T", "SELECT COUNT(1) FROM T"] {
+            let Statement::Select(sel) = parse(sql).unwrap() else { panic!() };
+            assert_eq!(sel.items[0].expr, AstExpr::CountStar);
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let Statement::Select(sel) = parse("SELECT a + b * 2 >= 10 FROM T").unwrap() else {
+            panic!()
+        };
+        // Parses as (a + (b * 2)) >= 10.
+        match &sel.items[0].expr {
+            AstExpr::Binary { op: AstBinOp::GtEq, left, .. } => match left.as_ref() {
+                AstExpr::Binary { op: AstBinOp::Add, right, .. } => {
+                    assert!(matches!(right.as_ref(), AstExpr::Binary { op: AstBinOp::Mul, .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let Statement::Select(sel) = parse("SELECT * FROM T WHERE a OR b AND c").unwrap_or_else(|e| panic!("{e}")) else {
+            panic!()
+        };
+        let w = sel.where_clause.unwrap();
+        assert!(matches!(w, AstExpr::Binary { op: AstBinOp::Or, .. }));
+    }
+
+    #[test]
+    fn explain_prefix() {
+        let stmt = parse("EXPLAIN SELECT COUNT(*) FROM T t").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+        let stmt = parse("EXPLAIN ANALYZE SELECT COUNT(*) FROM T t").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: true, .. }));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse("SELEC x FROM t").is_err());
+        assert!(parse("SELECT x FROM").is_err());
+        assert!(parse("SELECT x FROM t WHERE").is_err());
+        assert!(parse("CREATE JOIN j(a string) RETURNS boolean AS \"c\" AT l").is_err());
+        assert!(parse("SELECT x FROM t extra garbage here").is_err());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let Statement::Select(sel) = parse("SELECT -5, -2.5 FROM T").unwrap() else { panic!() };
+        assert_eq!(sel.items[0].expr, AstExpr::IntLit(-5));
+        assert_eq!(sel.items[1].expr, AstExpr::FloatLit(-2.5));
+    }
+}

@@ -1,0 +1,359 @@
+//! The session façade: SQL text in, results out.
+
+use crate::ast::Statement;
+use crate::binder::bind_select;
+use crate::parser::parse;
+use fudj_core::{JoinLibrary, JoinRegistry};
+use fudj_exec::{Cluster, MetricsSnapshot, NetworkModel};
+use fudj_planner::PlanOptions;
+use fudj_storage::{Catalog, Dataset};
+use fudj_types::{Batch, Result};
+use std::sync::Arc;
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum QueryOutput {
+    /// SELECT result with its execution metrics.
+    Rows(Batch, MetricsSnapshot),
+    /// DDL acknowledgement.
+    Ack(String),
+    /// EXPLAIN output.
+    Plan(String),
+}
+
+impl QueryOutput {
+    /// The batch of a `Rows` output.
+    ///
+    /// # Panics
+    /// Panics when the statement did not produce rows.
+    pub fn batch(&self) -> &Batch {
+        match self {
+            QueryOutput::Rows(batch, _) => batch,
+            other => panic!("statement produced {other:?}, not rows"),
+        }
+    }
+
+    /// The metrics of a `Rows` output.
+    ///
+    /// # Panics
+    /// Panics when the statement did not produce rows.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        match self {
+            QueryOutput::Rows(_, m) => m,
+            other => panic!("statement produced {other:?}, not rows"),
+        }
+    }
+}
+
+/// A database session: catalog + join registry + cluster + planner options.
+pub struct Session {
+    catalog: Catalog,
+    registry: JoinRegistry,
+    cluster: Cluster,
+    options: PlanOptions,
+}
+
+impl Session {
+    /// Session over a fresh catalog/registry and a cluster of `workers`.
+    pub fn new(workers: usize) -> Self {
+        Session {
+            catalog: Catalog::new(),
+            registry: JoinRegistry::new(),
+            cluster: Cluster::new(workers),
+            options: PlanOptions::default(),
+        }
+    }
+
+    /// The catalog (register datasets here).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The join registry.
+    pub fn registry(&self) -> &JoinRegistry {
+        &self.registry
+    }
+
+    /// Register a dataset (convenience over `catalog()`).
+    pub fn register_dataset(&self, dataset: Dataset) -> Result<Arc<Dataset>> {
+        self.catalog.register(dataset)
+    }
+
+    /// Upload a join library (the paper's out-of-band JAR upload; `CREATE
+    /// JOIN` statements then reference it by name).
+    pub fn install_library(&self, library: JoinLibrary) {
+        self.registry.install_library(library);
+    }
+
+    /// Planner options (on-top forcing, parameter injection, overrides).
+    pub fn options(&self) -> &PlanOptions {
+        &self.options
+    }
+
+    /// Replace the planner options.
+    pub fn set_options(&mut self, options: PlanOptions) {
+        self.options = options;
+    }
+
+    /// Attach a simulated network: subsequent queries charge wall-clock
+    /// time for every byte their exchanges move between workers.
+    pub fn set_network(&mut self, network: Option<NetworkModel>) {
+        let workers = self.cluster.workers();
+        self.cluster = match network {
+            Some(model) => Cluster::with_network(workers, model),
+            None => Cluster::new(workers),
+        };
+    }
+
+    /// The cluster this session executes on.
+    pub fn cluster(&self) -> Cluster {
+        self.cluster
+    }
+
+    /// Parse, plan, and execute one statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput> {
+        match parse(sql)? {
+            Statement::CreateJoin { name, args, class, library } => {
+                let arg_types = args.into_iter().map(|(_, t)| t).collect();
+                self.registry.create_join(&name, arg_types, class, library)?;
+                Ok(QueryOutput::Ack(format!("created join {name}")))
+            }
+            Statement::DropJoin { name } => {
+                self.registry.drop_join(&name)?;
+                Ok(QueryOutput::Ack(format!("dropped join {name}")))
+            }
+            Statement::Select(sel) => {
+                let logical = bind_select(&sel, &self.catalog)?;
+                let physical = fudj_planner::plan(logical, &self.registry, &self.options)?;
+                let (batch, metrics) = self.cluster.execute(&physical)?;
+                Ok(QueryOutput::Rows(batch, metrics.snapshot()))
+            }
+            Statement::Explain { select, analyze } => {
+                let logical = bind_select(&select, &self.catalog)?;
+                let physical = fudj_planner::plan(logical, &self.registry, &self.options)?;
+                let mut text = physical.explain();
+                if analyze {
+                    use std::fmt::Write as _;
+                    let start = std::time::Instant::now();
+                    let (batch, metrics) = self.cluster.execute(&physical)?;
+                    let elapsed = start.elapsed();
+                    let m = metrics.snapshot();
+                    let _ = writeln!(text, "---");
+                    let _ = writeln!(text, "rows: {}; total: {elapsed:?}", batch.len());
+                    for (name, d) in &m.phases {
+                        let _ = writeln!(text, "phase {name}: {d:?}");
+                    }
+                    let _ = writeln!(
+                        text,
+                        "network: {} bytes shuffled, {} broadcast, {} state; \
+                         verify calls: {}; dedup rejections: {}; spilled rows: {}",
+                        m.bytes_shuffled,
+                        m.bytes_broadcast,
+                        m.state_bytes,
+                        m.verify_calls,
+                        m.dedup_rejections,
+                        m.spilled_rows,
+                    );
+                }
+                Ok(QueryOutput::Plan(text))
+            }
+        }
+    }
+
+    /// Execute and return the result batch (convenience for SELECTs).
+    pub fn query(&self, sql: &str) -> Result<Batch> {
+        match self.execute(sql)? {
+            QueryOutput::Rows(batch, _) => Ok(batch),
+            other => Err(fudj_types::FudjError::Execution(format!(
+                "expected a SELECT, statement produced {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_datagen::{amazon_reviews, nyctaxi, parks, wildfires, GeneratorConfig};
+    use fudj_joins::standard_library;
+    use fudj_types::Value;
+
+    fn session() -> Session {
+        let s = Session::new(3);
+        s.install_library(standard_library());
+        s.register_dataset(parks(GeneratorConfig::new(120, 1, 3)).unwrap()).unwrap();
+        s.register_dataset(wildfires(GeneratorConfig::new(300, 2, 3)).unwrap()).unwrap();
+        s.register_dataset(nyctaxi(GeneratorConfig::new(150, 3, 3)).unwrap()).unwrap();
+        s.register_dataset(amazon_reviews(GeneratorConfig::new(120, 4, 3)).unwrap()).unwrap();
+        s
+    }
+
+    #[test]
+    fn create_and_drop_join_via_sql() {
+        let s = session();
+        let out = s
+            .execute(
+                r#"CREATE JOIN st_contains(a: polygon, b: point)
+                   RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+            )
+            .unwrap();
+        assert!(matches!(out, QueryOutput::Ack(_)));
+        assert!(s.registry().get("st_contains").is_some());
+        s.execute("DROP JOIN st_contains(a: polygon, b: point);").unwrap();
+        assert!(s.registry().get("st_contains").is_none());
+    }
+
+    #[test]
+    fn query1_runs_fudj_vs_ontop_same_answer() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+
+        let sql = "SELECT p.id, COUNT(w.id) AS num_fires \
+                   FROM Parks p, Wildfires w \
+                   WHERE ST_Contains(p.boundary, w.location) \
+                     AND w.fire_start >= parse_date('01/01/2022', 'M/D/Y') \
+                   GROUP BY p.id ORDER BY num_fires DESC";
+
+        // FUDJ plan.
+        let explain = s.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let QueryOutput::Plan(text) = explain else { panic!() };
+        assert!(text.contains("FudjJoin"), "{text}");
+
+        let fudj = s.query(sql).unwrap();
+        assert!(!fudj.is_empty(), "spatial query produced results");
+
+        // On-top plan (same session data, forced NLJ).
+        let mut s2 = session();
+        s2.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        let ontop = s2.query(sql).unwrap();
+
+        let mut a = fudj.rows().to_vec();
+        let mut b = ontop.rows().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interval_query5_shape() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN overlapping_interval(a: interval, b: interval)
+               RETURNS boolean AS "interval.OverlappingIntervalJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM NYCTaxi n1, NYCTaxi n2 \
+                   WHERE n1.Vendor = 1 AND n2.Vendor = 2 \
+                     AND overlapping_interval(n1.ride_interval, n2.ride_interval)";
+        let QueryOutput::Plan(text) = s.execute(&format!("EXPLAIN {sql}")).unwrap() else {
+            panic!()
+        };
+        assert!(text.contains("theta-nlj"), "interval join is a multi-join: {text}");
+
+        let batch = s.query(sql).unwrap();
+        let fudj_count = batch.rows()[0].get(0).clone();
+
+        let mut s2 = session();
+        s2.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        let ontop_count = s2.query(sql).unwrap().rows()[0].get(0).clone();
+        assert_eq!(fudj_count, ontop_count);
+        assert!(fudj_count.as_i64().unwrap() > 0, "overlapping rides exist");
+    }
+
+    #[test]
+    fn text_similarity_query5_shape() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN similarity_jaccard(a: string, b: string, t: double)
+               RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM AmazonReview r1, AmazonReview r2 \
+                   WHERE r1.overall = 5 AND r2.overall = 4 \
+                     AND similarity_jaccard(r1.review, r2.review) >= 0.9";
+        let fudj_count = s.query(sql).unwrap().rows()[0].get(0).clone();
+
+        let mut s2 = session();
+        s2.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        let ontop_count = s2.query(sql).unwrap().rows()[0].get(0).clone();
+        assert_eq!(fudj_count, ontop_count);
+        assert!(fudj_count.as_i64().unwrap() > 0, "near-duplicate reviews exist");
+    }
+
+    #[test]
+    fn self_join_is_detected_in_plan() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_intersects(a: polygon, b: polygon)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let QueryOutput::Plan(text) = s
+            .execute(
+                "EXPLAIN SELECT COUNT(*) FROM Parks a, Parks b \
+                 WHERE st_intersects(a.boundary, b.boundary)",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(text.contains("summarize once"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_phases_and_metrics() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let QueryOutput::Plan(text) = s
+            .execute(
+                "EXPLAIN ANALYZE SELECT COUNT(*) FROM Parks p, Wildfires w \
+                 WHERE st_contains(p.boundary, w.location)",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(text.contains("FudjJoin"), "{text}");
+        assert!(text.contains("phase summarize:"), "{text}");
+        assert!(text.contains("phase divide:"), "{text}");
+        assert!(text.contains("phase join:"), "{text}");
+        assert!(text.contains("rows: 1"), "{text}");
+        assert!(text.contains("bytes shuffled"), "{text}");
+    }
+
+    #[test]
+    fn plain_select_with_limit() {
+        let s = session();
+        let batch = s.query("SELECT p.id, p.tags FROM Parks p LIMIT 7").unwrap();
+        assert_eq!(batch.len(), 7);
+        assert_eq!(batch.schema().to_string(), "p.id: uuid, p.tags: string");
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let s = session();
+        assert!(s.execute("SELECT x FROM Ghost g").is_err());
+        assert!(s.execute("DROP JOIN never_created").is_err());
+        assert!(s.query("CREATE JOIN j(a: string, b: string) RETURNS boolean AS \"x.Y\" AT nolib").is_err());
+    }
+
+    #[test]
+    fn aggregates_via_sql() {
+        let s = session();
+        let batch = s
+            .query("SELECT n1.Vendor, COUNT(*) AS c FROM NYCTaxi n1 GROUP BY n1.Vendor ORDER BY n1.Vendor")
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        let total: i64 = batch.rows().iter().map(|r| r.get(1).as_i64().unwrap()).sum();
+        assert_eq!(total, 150);
+        let _ = Value::Int64(0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the SQL front end: the lexer never panics, and
+//! generated well-formed SELECTs parse with the structure they were built
+//! from.
+
+use fudj_sql::ast::{AstExpr, Statement};
+use fudj_sql::parse;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "by" | "order" | "limit" | "as" | "and"
+                | "or" | "not" | "desc" | "asc" | "create" | "drop" | "join" | "returns"
+                | "boolean" | "at" | "explain" | "count" | "sum" | "avg" | "min" | "max"
+                | "true" | "false"
+        )
+    })
+}
+
+proptest! {
+    /// Arbitrary input must never panic the lexer/parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Bytes that look vaguely SQL-ish must never panic either.
+    #[test]
+    fn sqlish_soup_never_panics(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "(", ")", ",",
+                ";", "*", "=", "<>", ">=", "AND", "OR", "x", "t", "1", "0.5", "'s'", ".",
+            ]),
+            0..30,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+
+    /// A generated simple query round-trips its structure.
+    #[test]
+    fn generated_select_parses(
+        cols in prop::collection::vec(ident(), 1..4),
+        table in ident(),
+        alias in ident(),
+        filter_col in ident(),
+        lit in 0i64..1000,
+        limit in prop::option::of(0usize..100),
+    ) {
+        let mut sql = format!("SELECT {} FROM {table} {alias} WHERE {filter_col} >= {lit}",
+            cols.join(", "));
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        let Statement::Select(sel) = parse(&sql).unwrap() else { panic!("not select") };
+        prop_assert_eq!(sel.items.len(), cols.len());
+        for (item, name) in sel.items.iter().zip(&cols) {
+            prop_assert_eq!(&item.expr, &AstExpr::Column(name.clone()));
+        }
+        prop_assert_eq!(&sel.from[0].dataset, &table);
+        prop_assert_eq!(&sel.from[0].alias, &alias);
+        prop_assert!(sel.where_clause.is_some());
+        prop_assert_eq!(sel.limit, limit);
+    }
+
+    /// Integer and float literals survive parsing exactly.
+    #[test]
+    fn literals_roundtrip(i in -1_000_000i64..1_000_000, f in 0.001f64..1e6) {
+        let sql = format!("SELECT {i}, {f:?} FROM t");
+        let Statement::Select(sel) = parse(&sql).unwrap() else { panic!() };
+        prop_assert_eq!(&sel.items[0].expr, &AstExpr::IntLit(i));
+        match &sel.items[1].expr {
+            AstExpr::FloatLit(v) => prop_assert!((v - f).abs() < 1e-9 * f.abs().max(1.0)),
+            other => prop_assert!(false, "expected float, got {other:?}"),
+        }
+    }
+
+    /// String literals with embedded quotes round-trip through escaping.
+    #[test]
+    fn string_literals_roundtrip(s in "[a-zA-Z0-9 ']{0,24}") {
+        let quoted = s.replace('\'', "''");
+        let sql = format!("SELECT '{quoted}' FROM t");
+        let Statement::Select(sel) = parse(&sql).unwrap() else { panic!() };
+        prop_assert_eq!(&sel.items[0].expr, &AstExpr::StrLit(s));
+    }
+}

@@ -1,0 +1,99 @@
+//! The catalog: named datasets.
+//!
+//! FUDJ join metadata (`CREATE JOIN`) lives in `fudj_core::JoinRegistry`;
+//! the session layer composes both. Keeping them separate mirrors the
+//! paper's design, where join libraries are installed independently of the
+//! data they will run over.
+
+use crate::dataset::Dataset;
+use fudj_types::{FudjError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe name → dataset map.
+#[derive(Default)]
+pub struct Catalog {
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dataset under its own name. Fails on duplicates — matching
+    /// `CREATE DATASET` semantics.
+    pub fn register(&self, dataset: Dataset) -> Result<Arc<Dataset>> {
+        let name = dataset.name().to_owned();
+        let mut map = self.datasets.write();
+        if map.contains_key(&name) {
+            return Err(FudjError::Catalog(format!("dataset {name:?} already exists")));
+        }
+        let arc = Arc::new(dataset);
+        map.insert(name, arc.clone());
+        Ok(arc)
+    }
+
+    /// Look up a dataset.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>> {
+        self.datasets
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FudjError::DatasetNotFound(name.to_owned()))
+    }
+
+    /// Drop a dataset (`DROP DATASET`).
+    pub fn drop_dataset(&self, name: &str) -> Result<()> {
+        self.datasets
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| FudjError::DatasetNotFound(name.to_owned()))
+    }
+
+    /// Names of all registered datasets, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.datasets.read().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use fudj_types::{DataType, Field, Schema};
+
+    fn ds(name: &str) -> Dataset {
+        let schema = Schema::shared(vec![Field::new("id", DataType::Uuid)]);
+        DatasetBuilder::new(name, schema).build().unwrap()
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let cat = Catalog::new();
+        cat.register(ds("Parks")).unwrap();
+        cat.register(ds("Wildfires")).unwrap();
+        assert_eq!(cat.names(), vec!["Parks", "Wildfires"]);
+        assert_eq!(cat.get("Parks").unwrap().name(), "Parks");
+        cat.drop_dataset("Parks").unwrap();
+        assert!(matches!(cat.get("Parks"), Err(FudjError::DatasetNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let cat = Catalog::new();
+        cat.register(ds("Parks")).unwrap();
+        assert!(matches!(cat.register(ds("Parks")), Err(FudjError::Catalog(_))));
+    }
+
+    #[test]
+    fn drop_missing_errors() {
+        let cat = Catalog::new();
+        assert!(cat.drop_dataset("ghost").is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Horizontally partitioned in-memory datasets.
+
+use fudj_types::{FudjError, Result, Row, SchemaRef, Value};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A named dataset hash-partitioned by primary key across storage
+/// partitions, one partition per (simulated) cluster node.
+pub struct Dataset {
+    name: String,
+    schema: SchemaRef,
+    primary_key: usize,
+    partitions: RwLock<Vec<Vec<Row>>>,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset({:?}, {} rows, {} partitions)",
+            self.name,
+            self.len(),
+            self.partition_count()
+        )
+    }
+}
+
+impl Dataset {
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dataset schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Column index of the primary key.
+    pub fn primary_key(&self) -> usize {
+        self.primary_key
+    }
+
+    /// Number of storage partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.read().len()
+    }
+
+    /// Total row count across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.read().iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a row, routed by the hash of its primary key — the storage
+    /// partitioning AsterixDB applies on ingestion.
+    pub fn insert(&self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(FudjError::Execution(format!(
+                "row width {} does not match schema of dataset {:?}",
+                row.len(),
+                self.name
+            )));
+        }
+        let mut parts = self.partitions.write();
+        let idx = partition_of(row.get(self.primary_key), parts.len());
+        parts[idx].push(row);
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_all(&self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Run `f` over one partition's rows without copying them out.
+    pub fn with_partition<R>(&self, partition: usize, f: impl FnOnce(&[Row]) -> R) -> R {
+        let parts = self.partitions.read();
+        f(&parts[partition])
+    }
+
+    /// Rows of one partition, cloned (cheap: values are `Arc`-backed).
+    pub fn partition_rows(&self, partition: usize) -> Vec<Row> {
+        self.partitions.read()[partition].clone()
+    }
+
+    /// All rows in partition order — test/debug convenience.
+    pub fn all_rows(&self) -> Vec<Row> {
+        let parts = self.partitions.read();
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts.iter() {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Rows per partition — the skew diagnostics used by the experiments.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.read().iter().map(Vec::len).collect()
+    }
+}
+
+/// Which storage partition a primary-key value routes to.
+fn partition_of(key: &Value, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Builder for [`Dataset`].
+pub struct DatasetBuilder {
+    name: String,
+    schema: SchemaRef,
+    primary_key: String,
+    partitions: usize,
+}
+
+impl DatasetBuilder {
+    /// Start building a dataset with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: SchemaRef) -> Self {
+        DatasetBuilder {
+            name: name.into(),
+            schema,
+            primary_key: String::new(),
+            partitions: 1,
+        }
+    }
+
+    /// Set the primary-key column (defaults to the first column).
+    pub fn primary_key(mut self, column: impl Into<String>) -> Self {
+        self.primary_key = column.into();
+        self
+    }
+
+    /// Set the number of storage partitions (defaults to 1).
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Build the (empty) dataset.
+    pub fn build(self) -> Result<Dataset> {
+        if self.partitions == 0 {
+            return Err(FudjError::Catalog("dataset needs at least one partition".into()));
+        }
+        let pk_name = if self.primary_key.is_empty() {
+            self.schema
+                .fields()
+                .first()
+                .ok_or_else(|| FudjError::Catalog("dataset schema has no columns".into()))?
+                .name
+                .clone()
+        } else {
+            self.primary_key
+        };
+        let primary_key = self.schema.index_of(&pk_name)?;
+        Ok(Dataset {
+            name: self.name,
+            schema: self.schema,
+            primary_key,
+            partitions: RwLock::new(vec![Vec::new(); self.partitions]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_types::{DataType, Field, Schema};
+
+    fn make(parts: usize) -> Dataset {
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Uuid),
+            Field::new("v", DataType::Int64),
+        ]);
+        DatasetBuilder::new("t", schema).primary_key("id").partitions(parts).build().unwrap()
+    }
+
+    fn row(id: u128, v: i64) -> Row {
+        Row::new(vec![Value::Uuid(id), Value::Int64(v)])
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let d = make(4);
+        for i in 0..100 {
+            d.insert(row(i, i as i64)).unwrap();
+        }
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.partition_count(), 4);
+        assert_eq!(d.all_rows().len(), 100);
+        let total: usize = d.partition_sizes().iter().sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn same_key_routes_to_same_partition() {
+        let d = make(8);
+        d.insert(row(42, 1)).unwrap();
+        d.insert(row(42, 2)).unwrap();
+        let nonempty: Vec<usize> =
+            d.partition_sizes().iter().enumerate().filter(|(_, &s)| s > 0).map(|(i, _)| i).collect();
+        assert_eq!(nonempty.len(), 1, "both rows in one partition");
+        d.with_partition(nonempty[0], |rows| assert_eq!(rows.len(), 2));
+    }
+
+    #[test]
+    fn hash_partitioning_spreads_keys() {
+        let d = make(4);
+        for i in 0..1000 {
+            d.insert(row(i, 0)).unwrap();
+        }
+        for (i, s) in d.partition_sizes().into_iter().enumerate() {
+            assert!(s > 100, "partition {i} only got {s} of 1000 rows");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let d = make(1);
+        assert!(d.insert(Row::new(vec![Value::Uuid(1)])).is_err());
+    }
+
+    #[test]
+    fn builder_validation() {
+        let schema = Schema::shared(vec![Field::new("id", DataType::Uuid)]);
+        assert!(DatasetBuilder::new("t", schema.clone()).partitions(0).build().is_err());
+        assert!(DatasetBuilder::new("t", schema.clone()).primary_key("nope").build().is_err());
+        // Default pk is the first column.
+        let d = DatasetBuilder::new("t", schema).build().unwrap();
+        assert_eq!(d.primary_key(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! In-memory partitioned storage and the catalog.
+//!
+//! The paper runs on a 12-node shared-nothing cluster: every dataset is
+//! horizontally partitioned across the nodes, and the engine's exchanges
+//! move rows between them. This crate models that storage layer on one
+//! machine: a [`Dataset`] owns one row vector per storage partition
+//! (hash-partitioned by primary key, as AsterixDB does), and the
+//! [`Catalog`] names datasets for the planner and the SQL front end.
+
+pub mod catalog;
+pub mod csv;
+pub mod dataset;
+
+pub use catalog::Catalog;
+pub use csv::{read_csv, write_csv};
+pub use dataset::{Dataset, DatasetBuilder};

@@ -1,0 +1,143 @@
+//! Minimal date handling: the `parse_date("01/01/2022", "M/D/Y")` built-in
+//! used by Query 1's filter, and a formatter for readable output.
+//!
+//! Dates are represented as milliseconds since the Unix epoch (UTC), the
+//! same unit the `Interval` type uses.
+
+/// Milliseconds per day.
+pub const MS_PER_DAY: i64 = 86_400_000;
+
+/// Days in each month of a non-leap year.
+const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+#[inline]
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i64, month: i64) -> i64 {
+    if month == 2 && is_leap(year) { 29 } else { DAYS_IN_MONTH[(month - 1) as usize] }
+}
+
+/// Days from 1970-01-01 to `year`-`month`-`day` (proleptic Gregorian).
+fn days_from_epoch(year: i64, month: i64, day: i64) -> i64 {
+    let mut days: i64 = 0;
+    if year >= 1970 {
+        for y in 1970..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1970 {
+            days -= if is_leap(y) { 366 } else { 365 };
+        }
+    }
+    for m in 1..month {
+        days += days_in_month(year, m);
+    }
+    days + (day - 1)
+}
+
+/// Parse a date string under a format of `M`, `D`, `Y` separated by `/`
+/// (e.g. `parse_date("01/15/2022", "M/D/Y")`). Returns epoch milliseconds at
+/// midnight UTC, or `None` for malformed input or out-of-range fields.
+pub fn parse_date(text: &str, format: &str) -> Option<i64> {
+    let fields: Vec<&str> = format.split('/').collect();
+    let parts: Vec<&str> = text.split('/').collect();
+    if fields.len() != parts.len() || fields.is_empty() {
+        return None;
+    }
+    let (mut year, mut month, mut day) = (None, None, None);
+    for (f, p) in fields.iter().zip(parts.iter()) {
+        let v: i64 = p.trim().parse().ok()?;
+        match f.trim() {
+            "Y" | "YYYY" => year = Some(v),
+            "M" | "MM" => month = Some(v),
+            "D" | "DD" => day = Some(v),
+            _ => return None,
+        }
+    }
+    let (y, m, d) = (year?, month?, day?);
+    if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        return None;
+    }
+    Some(days_from_epoch(y, m, d) * MS_PER_DAY)
+}
+
+/// Format epoch milliseconds as `YYYY-MM-DD HH:MM:SS` (UTC).
+pub fn format_millis(ms: i64) -> String {
+    let days = ms.div_euclid(MS_PER_DAY);
+    let mut rem = ms.rem_euclid(MS_PER_DAY);
+    let hours = rem / 3_600_000;
+    rem %= 3_600_000;
+    let minutes = rem / 60_000;
+    let seconds = (rem % 60_000) / 1000;
+
+    let mut year = 1970i64;
+    let mut d = days;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if d >= len {
+            d -= len;
+            year += 1;
+        } else if d < 0 {
+            year -= 1;
+            d += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let mut month = 1i64;
+    while d >= days_in_month(year, month) {
+        d -= days_in_month(year, month);
+        month += 1;
+    }
+    format!("{year:04}-{month:02}-{:02} {hours:02}:{minutes:02}:{seconds:02}", d + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(parse_date("01/01/1970", "M/D/Y"), Some(0));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2022-01-01 is 18993 days after the epoch.
+        assert_eq!(parse_date("01/01/2022", "M/D/Y"), Some(18_993 * MS_PER_DAY));
+        // Leap day.
+        assert_eq!(parse_date("29/02/2020", "D/M/Y"), Some(18_321 * MS_PER_DAY));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(parse_date("13/40/2022", "M/D/Y"), None); // month 13
+        assert_eq!(parse_date("02/30/2021", "M/D/Y"), None); // Feb 30
+        assert_eq!(parse_date("1-1-2022", "M/D/Y"), None); // wrong separator
+        assert_eq!(parse_date("01/01", "M/D/Y"), None); // missing field
+        assert_eq!(parse_date("a/b/c", "M/D/Y"), None);
+    }
+
+    #[test]
+    fn format_roundtrip() {
+        let ms = parse_date("07/04/2023", "M/D/Y").unwrap();
+        assert_eq!(format_millis(ms), "2023-07-04 00:00:00");
+        assert_eq!(format_millis(ms + 3_723_000), "2023-07-04 01:02:03");
+    }
+
+    #[test]
+    fn format_pre_epoch() {
+        assert_eq!(format_millis(-MS_PER_DAY), "1969-12-31 00:00:00");
+    }
+
+    #[test]
+    fn parse_format_consistency_across_years() {
+        for (y, m, d) in [(1999, 12, 31), (2000, 2, 29), (2024, 2, 29), (2030, 6, 15)] {
+            let s = format!("{m:02}/{d:02}/{y}");
+            let ms = parse_date(&s, "M/D/Y").unwrap();
+            assert_eq!(format_millis(ms), format!("{y:04}-{m:02}-{d:02} 00:00:00"));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Closed intervals over an `i64` timeline (milliseconds since epoch in the
+//! datasets, but any monotone unit works).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed interval `[start, end]` with `start <= end`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    pub start: i64,
+    pub end: i64,
+}
+
+impl Interval {
+    /// Create an interval; `start` must not exceed `end`.
+    #[inline]
+    pub fn new(start: i64, end: i64) -> Self {
+        debug_assert!(start <= end, "inverted interval [{start}, {end}]");
+        Interval { start, end }
+    }
+
+    /// Duration `end - start`.
+    #[inline]
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// The paper's `overlapping_interval` predicate:
+    /// `i1.start <= i2.end AND i1.end >= i2.start` (closed-interval overlap,
+    /// touching endpoints count).
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && self.end >= other.start
+    }
+
+    /// Whether `t` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, t: i64) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    #[inline]
+    pub fn covers(&self, other: &Interval) -> bool {
+        self.start <= other.start && self.end >= other.end
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval::new(self.start.max(other.start), self.end.min(other.end)))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval covering both.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interval({}, {})", self.start, self.end)
+    }
+}
+
+/// The interval FUDJ's `Summary`: minimum start and maximum end observed.
+/// The empty summary is the identity of [`IntervalSummary::merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSummary {
+    pub min_start: i64,
+    pub max_end: i64,
+}
+
+impl Default for IntervalSummary {
+    fn default() -> Self {
+        IntervalSummary { min_start: i64::MAX, max_end: i64::MIN }
+    }
+}
+
+impl IntervalSummary {
+    /// Whether any interval has been observed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_start > self.max_end
+    }
+
+    /// Fold one interval into the summary (the paper's `SUMMARIZE`).
+    #[inline]
+    pub fn observe(&mut self, iv: &Interval) {
+        self.min_start = self.min_start.min(iv.start);
+        self.max_end = self.max_end.max(iv.end);
+    }
+
+    /// Merge two partial summaries (the paper's `global_aggregate`).
+    #[inline]
+    pub fn merge(&self, other: &IntervalSummary) -> IntervalSummary {
+        IntervalSummary {
+            min_start: self.min_start.min(other.min_start),
+            max_end: self.max_end.max(other.max_end),
+        }
+    }
+
+    /// The covered range as an interval, or `None` when empty.
+    pub fn range(&self) -> Option<Interval> {
+        if self.is_empty() { None } else { Some(Interval::new(self.min_start, self.max_end)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_cases() {
+        let a = Interval::new(0, 10);
+        assert!(a.overlaps(&Interval::new(5, 15)));
+        assert!(a.overlaps(&Interval::new(-5, 0))); // touching start
+        assert!(a.overlaps(&Interval::new(10, 20))); // touching end
+        assert!(a.overlaps(&Interval::new(2, 3))); // nested
+        assert!(!a.overlaps(&Interval::new(11, 20)));
+        assert!(!a.overlaps(&Interval::new(-20, -1)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(10, 12);
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersection(&b), Some(Interval::new(5, 10)));
+        assert_eq!(a.hull(&b), Interval::new(0, 15));
+        assert_eq!(a.intersection(&Interval::new(20, 30)), None);
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let a = Interval::new(0, 10);
+        assert!(a.contains(0) && a.contains(10) && a.contains(5));
+        assert!(!a.contains(-1) && !a.contains(11));
+        assert!(a.covers(&Interval::new(2, 8)));
+        assert!(a.covers(&a));
+        assert!(!a.covers(&Interval::new(2, 12)));
+    }
+
+    #[test]
+    fn summary_observe_and_merge() {
+        let mut s1 = IntervalSummary::default();
+        assert!(s1.is_empty());
+        s1.observe(&Interval::new(5, 10));
+        s1.observe(&Interval::new(1, 3));
+        assert_eq!(s1.range(), Some(Interval::new(1, 10)));
+
+        let mut s2 = IntervalSummary::default();
+        s2.observe(&Interval::new(-4, 2));
+        let merged = s1.merge(&s2);
+        assert_eq!(merged.range(), Some(Interval::new(-4, 10)));
+
+        // Empty is the merge identity.
+        assert_eq!(s1.merge(&IntervalSummary::default()), s1);
+    }
+}

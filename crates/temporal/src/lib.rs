@@ -1,0 +1,16 @@
+//! Intervals and time utilities for the FUDJ reproduction.
+//!
+//! The Overlapping-Interval FUDJ (OIPJoin-style, Dignös et al.) needs a
+//! half-numeric interval type, an overlap predicate, the min-start/max-end
+//! summary, granule (bucket) math over a divided timeline, and the paper's
+//! packed bucket encoding `(start_granule << 16) | end_granule`.
+
+pub mod datetime;
+pub mod granule;
+pub mod interval;
+pub mod sweep;
+
+pub use datetime::{format_millis, parse_date};
+pub use granule::{decode_bucket, encode_bucket, GranuleTimeline};
+pub use interval::{Interval, IntervalSummary};
+pub use sweep::forward_scan_join;

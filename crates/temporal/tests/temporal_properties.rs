@@ -1,0 +1,93 @@
+//! Property tests for intervals and the granule timeline.
+
+use fudj_temporal::granule::buckets_overlap;
+use fudj_temporal::{GranuleTimeline, Interval, IntervalSummary};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0i64..100_000, 0i64..5_000).prop_map(|(s, d)| Interval::new(s, s + d))
+}
+
+proptest! {
+    /// Overlap is symmetric and agrees with intersection existence.
+    #[test]
+    fn overlap_symmetric(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert_eq!(a.overlaps(&b), a.intersection(&b).is_some());
+    }
+
+    /// Hull covers both operands; intersection (when present) is covered by both.
+    #[test]
+    fn hull_and_intersection(a in arb_interval(), b in arb_interval()) {
+        let h = a.hull(&b);
+        prop_assert!(h.covers(&a) && h.covers(&b));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.covers(&i) && b.covers(&i));
+        }
+    }
+
+    /// Summary observes = summary of merge of singletons; range covers all.
+    #[test]
+    fn summary_merge_equals_fold(ivs in prop::collection::vec(arb_interval(), 1..32)) {
+        let mut folded = IntervalSummary::default();
+        for iv in &ivs {
+            folded.observe(iv);
+        }
+        let merged = ivs.iter().fold(IntervalSummary::default(), |acc, iv| {
+            let mut s = IntervalSummary::default();
+            s.observe(iv);
+            acc.merge(&s)
+        });
+        prop_assert_eq!(folded, merged);
+        let r = folded.range().unwrap();
+        for iv in &ivs {
+            prop_assert!(r.covers(iv));
+        }
+    }
+
+    /// *Partitioning soundness*: overlapping intervals always land in
+    /// matching (overlapping) buckets — otherwise the join would lose pairs.
+    #[test]
+    fn overlapping_intervals_buckets_match(
+        a in arb_interval(),
+        b in arb_interval(),
+        n in 1u32..2000,
+    ) {
+        let mut s = IntervalSummary::default();
+        s.observe(&a);
+        s.observe(&b);
+        let tl = GranuleTimeline::new(s.range().unwrap(), n);
+        if a.overlaps(&b) {
+            prop_assert!(buckets_overlap(tl.assign(&a), tl.assign(&b)));
+        }
+    }
+
+    /// Assigned bucket granule range covers the interval's time range.
+    #[test]
+    fn bucket_covers_interval(iv in arb_interval(), n in 1u32..2000) {
+        let mut s = IntervalSummary::default();
+        s.observe(&iv);
+        let tl = GranuleTimeline::new(s.range().unwrap(), n);
+        let (gs, ge) = fudj_temporal::decode_bucket(tl.assign(&iv));
+        prop_assert!(gs <= ge);
+        prop_assert!(ge < tl.granules().max(1));
+        // Start granule's interval begins at or before iv.start; end granule's
+        // interval finishes at or after iv.end (within the clamped range).
+        prop_assert!(tl.granule_interval(gs).start <= iv.start);
+        prop_assert!(tl.granule_interval(ge).end >= iv.end.min(tl.range().end));
+    }
+
+    /// Granule intervals tile the timeline without gaps.
+    #[test]
+    fn granules_tile_range(start in 0i64..1_000, span in 1i64..1_000_000, n in 1u32..500) {
+        let tl = GranuleTimeline::new(Interval::new(start, start + span), n);
+        prop_assert_eq!(tl.granule_interval(0).start, start);
+        prop_assert_eq!(tl.granule_interval(tl.granules() - 1).end, start + span);
+        for g in 0..tl.granules() - 1 {
+            prop_assert_eq!(
+                tl.granule_interval(g).end + 1,
+                tl.granule_interval(g + 1).start
+            );
+        }
+    }
+}

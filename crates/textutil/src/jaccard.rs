@@ -1,0 +1,87 @@
+//! Jaccard set similarity — the text FUDJ's `verify` predicate and the
+//! `jaccard_similarity` / `similarity_jaccard` SQL built-in.
+
+/// Jaccard similarity `|a ∩ b| / |a ∪ b|` of two *sorted, deduplicated*
+/// token slices (as produced by [`crate::token_set`]). Runs as a linear
+/// merge with no allocation. Two empty sets have similarity 1.
+pub fn jaccard_of_sorted<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()), "a not sorted/dedup");
+    debug_assert!(b.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()), "b not sorted/dedup");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].as_ref().cmp(b[j].as_ref()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity of two raw texts: tokenize to sets, then compare.
+pub fn jaccard_similarity_texts(a: &str, b: &str) -> f64 {
+    jaccard_of_sorted(&crate::token_set(a), &crate::token_set(b))
+}
+
+/// Alias used throughout the join code: Jaccard over prepared token sets.
+pub fn jaccard_similarity<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    jaccard_of_sorted(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token_set;
+
+    #[test]
+    fn identical_sets() {
+        let a = token_set("hiking river camping");
+        assert_eq!(jaccard_of_sorted(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a = token_set("alpha beta");
+        let b = token_set("gamma delta");
+        assert_eq!(jaccard_of_sorted(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = token_set("a b c");
+        let b = token_set("b c d");
+        // |∩| = 2, |∪| = 4
+        assert_eq!(jaccard_of_sorted(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let e: Vec<String> = vec![];
+        let a = token_set("x");
+        assert_eq!(jaccard_of_sorted(&e, &e), 1.0);
+        assert_eq!(jaccard_of_sorted(&e, &a), 0.0);
+        assert_eq!(jaccard_of_sorted(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = token_set("scenic river backpacking");
+        let b = token_set("river camping");
+        assert_eq!(jaccard_of_sorted(&a, &b), jaccard_of_sorted(&b, &a));
+    }
+
+    #[test]
+    fn texts_helper_ignores_duplicates_and_case() {
+        assert_eq!(jaccard_similarity_texts("Dog dog DOG cat", "cat dog"), 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Text/set-similarity utilities for the FUDJ reproduction.
+//!
+//! The Text-similarity FUDJ (Vernica et al.-style prefix filtering) needs:
+//! a tokenizer, global token-frequency counting (the `Summary`), token
+//! ranking by ascending frequency (the `PPlan`), the prefix-length formula
+//! `p = (l - ceil(t·l)) + 1`, and Jaccard set similarity for `verify`.
+
+pub mod jaccard;
+pub mod ranks;
+pub mod tokenize;
+
+pub use jaccard::{jaccard_of_sorted, jaccard_similarity, jaccard_similarity_texts};
+pub use ranks::{prefix_length, TokenCounts, TokenRanks};
+pub use tokenize::{tokenize, token_set};

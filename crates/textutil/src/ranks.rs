@@ -1,0 +1,231 @@
+//! Token frequency counting and ranking — the text-similarity FUDJ's
+//! `Summary` and the rank table inside its `PPlan`.
+//!
+//! `SUMMARIZE` counts token occurrences per side; `DIVIDE` merges both
+//! sides' counts and sorts tokens by ascending global frequency so that a
+//! record's *rarest* tokens get the smallest ranks. `ASSIGN` then sends each
+//! record to the buckets named by the first `p` ranks of its token set,
+//! where `p` is the prefix length for the similarity threshold.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Token-occurrence counts: the text FUDJ `Summary`.
+///
+/// Mergeable (the identity is the empty map), serializable, and cheap to
+/// update per record — exactly the two-step aggregate contract.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenCounts {
+    counts: HashMap<String, u64>,
+}
+
+impl TokenCounts {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one occurrence of `token` (the paper's `S[token] += 1`).
+    #[inline]
+    pub fn observe(&mut self, token: &str) {
+        if let Some(c) = self.counts.get_mut(token) {
+            *c += 1;
+        } else {
+            self.counts.insert(token.to_owned(), 1);
+        }
+    }
+
+    /// Count every token of a record.
+    pub fn observe_all<S: AsRef<str>>(&mut self, tokens: impl IntoIterator<Item = S>) {
+        for t in tokens {
+            self.observe(t.as_ref());
+        }
+    }
+
+    /// Merge another summary into this one (`global_aggregate`).
+    pub fn merge(&mut self, other: &TokenCounts) {
+        for (tok, c) in &other.counts {
+            *self.counts.entry(tok.clone()).or_insert(0) += c;
+        }
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrences of `token` (0 when unseen).
+    pub fn count(&self, token: &str) -> u64 {
+        self.counts.get(token).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(token, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(t, c)| (t.as_str(), *c))
+    }
+}
+
+/// Token → rank table: the paper's `sortByCount` output stored in `PPlan`.
+///
+/// Rank 0 is the globally rarest token. Ties break lexicographically so
+/// ranking is deterministic across runs and partitions.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenRanks {
+    ranks: HashMap<String, u32>,
+}
+
+impl TokenRanks {
+    /// Build the rank table from merged global counts.
+    pub fn from_counts(counts: &TokenCounts) -> Self {
+        let mut pairs: Vec<(&str, u64)> = counts.iter().collect();
+        pairs.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        let ranks = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tok, _))| (tok.to_owned(), i as u32))
+            .collect();
+        TokenRanks { ranks }
+    }
+
+    /// Rank of `token`; `None` for tokens absent from the global dictionary
+    /// (cannot happen when summaries cover the joined datasets, but callers
+    /// stay defensive).
+    #[inline]
+    pub fn rank(&self, token: &str) -> Option<u32> {
+        self.ranks.get(token).copied()
+    }
+
+    /// Number of ranked tokens (= number of similarity buckets).
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Ranks of a record's distinct tokens, ascending (rarest first).
+    /// Unknown tokens are skipped.
+    pub fn ranked_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<u32> {
+        let mut out: Vec<u32> =
+            tokens.iter().filter_map(|t| self.rank(t.as_ref())).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Prefix length for Jaccard threshold `t` over a record with `l` distinct
+/// tokens: `p = (l - ceil(t·l)) + 1` (the paper's ASSIGN, from prefix
+/// filtering). Records sharing no token among their first `p` ranks cannot
+/// reach similarity `t`.
+///
+/// Returns 0 for an empty record (no tokens ⇒ no buckets).
+#[inline]
+pub fn prefix_length(l: usize, threshold: f64) -> usize {
+    if l == 0 {
+        return 0;
+    }
+    let keep = (threshold * l as f64).ceil() as usize;
+    l.saturating_sub(keep) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_of(records: &[&str]) -> TokenCounts {
+        let mut c = TokenCounts::new();
+        for r in records {
+            c.observe_all(crate::tokenize(r));
+        }
+        c
+    }
+
+    #[test]
+    fn observe_and_count() {
+        let c = counts_of(&["a b b", "b c"]);
+        assert_eq!(c.count("a"), 1);
+        assert_eq!(c.count("b"), 3);
+        assert_eq!(c.count("c"), 1);
+        assert_eq!(c.count("zzz"), 0);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = counts_of(&["x y"]);
+        let b = counts_of(&["y z"]);
+        a.merge(&b);
+        assert_eq!(a.count("x"), 1);
+        assert_eq!(a.count("y"), 2);
+        assert_eq!(a.count("z"), 1);
+        // Merging the empty summary is a no-op.
+        let before = a.clone();
+        a.merge(&TokenCounts::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn ranks_rarest_first_ties_lexicographic() {
+        let c = counts_of(&["common common common rare", "common bare"]);
+        let r = TokenRanks::from_counts(&c);
+        // "bare" and "rare" both occur once; lexicographic tie-break.
+        assert_eq!(r.rank("bare"), Some(0));
+        assert_eq!(r.rank("rare"), Some(1));
+        assert_eq!(r.rank("common"), Some(2));
+        assert_eq!(r.rank("missing"), None);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn ranked_tokens_sorted_dedup() {
+        let c = counts_of(&["a a a b c"]);
+        let r = TokenRanks::from_counts(&c);
+        let toks = vec!["a".to_string(), "c".into(), "a".into(), "nope".into()];
+        let ranked = r.ranked_tokens(&toks);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prefix_length_formula() {
+        // l=10, t=0.9 → ceil(9)=9 → p=2
+        assert_eq!(prefix_length(10, 0.9), 2);
+        // l=10, t=0.5 → p=6
+        assert_eq!(prefix_length(10, 0.5), 6);
+        // l=1 → p=1 for any threshold in (0,1]
+        assert_eq!(prefix_length(1, 0.9), 1);
+        // t=1.0 → p=1 (exact duplicates share every token)
+        assert_eq!(prefix_length(7, 1.0), 1);
+        assert_eq!(prefix_length(0, 0.9), 0);
+    }
+
+    /// The completeness property behind prefix filtering: two sets with
+    /// Jaccard ≥ t must share a token within their length-p prefixes.
+    #[test]
+    fn prefix_filter_completeness_smoke() {
+        let t = 0.6;
+        let records = ["a b c d e", "a b c d x", "a b q r s", "m n o p q"];
+        let c = counts_of(&records);
+        let ranks = TokenRanks::from_counts(&c);
+        for (i, ri) in records.iter().enumerate() {
+            for rj in records.iter().skip(i + 1) {
+                let si = crate::token_set(ri);
+                let sj = crate::token_set(rj);
+                let sim = crate::jaccard_similarity(&si, &sj);
+                if sim >= t {
+                    let pi = prefix_length(si.len(), t);
+                    let pj = prefix_length(sj.len(), t);
+                    let rank_i = ranks.ranked_tokens(&si);
+                    let rank_j = ranks.ranked_tokens(&sj);
+                    let share = rank_i[..pi.min(rank_i.len())]
+                        .iter()
+                        .any(|x| rank_j[..pj.min(rank_j.len())].contains(x));
+                    assert!(share, "{ri:?} vs {rj:?} sim={sim}");
+                }
+            }
+        }
+    }
+}

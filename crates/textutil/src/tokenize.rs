@@ -1,0 +1,75 @@
+//! Tokenization: lowercase alphanumeric word splitting.
+//!
+//! This is the `word_tokens` / `tokenize` built-in the paper's queries use.
+//! Set semantics (each distinct token once) are what Jaccard similarity and
+//! prefix filtering operate on, so [`token_set`] is the join-facing variant.
+
+/// Split `text` into lowercase alphanumeric tokens, in order of appearance,
+/// duplicates preserved.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Distinct lowercase tokens of `text`, sorted lexicographically.
+///
+/// Sorted-vec-as-set keeps verification allocation-light: Jaccard over two
+/// sorted vectors is a linear merge with no hash set.
+pub fn token_set(text: &str) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("River, Scenic Landscape; Camping-Backpacking"),
+            vec!["river", "scenic", "landscape", "camping", "backpacking"]
+        );
+    }
+
+    #[test]
+    fn lowercases_and_keeps_digits() {
+        assert_eq!(tokenize("Route 66 ROCKS"), vec!["route", "66", "rocks"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!... --- ,,,").is_empty());
+    }
+
+    #[test]
+    fn preserves_duplicates_in_order() {
+        assert_eq!(tokenize("a b a"), vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn token_set_dedups_and_sorts() {
+        assert_eq!(token_set("b a b c a"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("Čamping in Åre"), vec!["čamping", "in", "åre"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for tokenization, ranking, prefix filtering, and Jaccard.
+
+use fudj_text::{
+    jaccard_similarity, prefix_length, token_set, tokenize, TokenCounts, TokenRanks,
+};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Small vocabulary so records actually overlap.
+    prop::collection::vec(prop::sample::select(vec![
+        "river", "scenic", "camping", "hiking", "lake", "trail", "forest", "peak", "view",
+        "backpacking", "fishing", "swim",
+    ]), 0..12)
+    .prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    /// Tokenizing is idempotent through a join-with-spaces round trip.
+    #[test]
+    fn tokenize_roundtrip(t in arb_text()) {
+        let toks = tokenize(&t);
+        prop_assert_eq!(tokenize(&toks.join(" ")), toks);
+    }
+
+    /// token_set is sorted, deduplicated, and a subset of tokenize output.
+    #[test]
+    fn token_set_invariants(t in "[a-z ]{0,60}") {
+        let set = token_set(&t);
+        prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
+        let all = tokenize(&t);
+        for s in &set {
+            prop_assert!(all.contains(s));
+        }
+    }
+
+    /// Jaccard is within [0,1], symmetric, and 1 on identical sets.
+    #[test]
+    fn jaccard_bounds(a in arb_text(), b in arb_text()) {
+        let sa = token_set(&a);
+        let sb = token_set(&b);
+        let s = jaccard_similarity(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, jaccard_similarity(&sb, &sa));
+        prop_assert_eq!(jaccard_similarity(&sa, &sa), 1.0);
+    }
+
+    /// Prefix length is in [1, l] for non-empty records and thresholds in (0,1].
+    #[test]
+    fn prefix_length_bounds(l in 1usize..200, t in 0.05f64..=1.0) {
+        let p = prefix_length(l, t);
+        prop_assert!(p >= 1, "p={p} l={l} t={t}");
+        prop_assert!(p <= l, "p={p} l={l} t={t}");
+    }
+
+    /// Completeness of prefix filtering: any pair with Jaccard >= t shares a
+    /// token within the length-p prefixes of their ascending rank lists.
+    #[test]
+    fn prefix_filter_complete(records in prop::collection::vec(arb_text(), 2..8), t in 0.3f64..0.95) {
+        let mut counts = TokenCounts::new();
+        for r in &records {
+            counts.observe_all(tokenize(r));
+        }
+        let ranks = TokenRanks::from_counts(&counts);
+        for (i, a) in records.iter().enumerate() {
+            for b in records.iter().skip(i + 1) {
+                let sa = token_set(a);
+                let sb = token_set(b);
+                if sa.is_empty() || sb.is_empty() {
+                    continue;
+                }
+                if jaccard_similarity(&sa, &sb) >= t {
+                    let ra = ranks.ranked_tokens(&sa);
+                    let rb = ranks.ranked_tokens(&sb);
+                    let pa = prefix_length(ra.len(), t);
+                    let pb = prefix_length(rb.len(), t);
+                    let shares = ra[..pa].iter().any(|x| rb[..pb].contains(x));
+                    prop_assert!(shares, "sim pair missed by prefixes: {a:?} / {b:?}");
+                }
+            }
+        }
+    }
+
+    /// Rank table is a bijection onto 0..distinct.
+    #[test]
+    fn ranks_are_dense(records in prop::collection::vec(arb_text(), 0..6)) {
+        let mut counts = TokenCounts::new();
+        for r in &records {
+            counts.observe_all(tokenize(r));
+        }
+        let ranks = TokenRanks::from_counts(&counts);
+        let mut seen: Vec<u32> = counts.iter().map(|(t, _)| ranks.rank(t).unwrap()).collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..counts.distinct() as u32).collect();
+        prop_assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,79 @@
+//! The engine-native type system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Data types supported by the engine — the analog of AsterixDB's type
+/// system restricted to what the paper's datasets and queries need.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// The type of `Value::Null` alone (columns are nullable regardless).
+    Null,
+    Bool,
+    Int64,
+    Float64,
+    /// UTF-8 string.
+    String,
+    /// 128-bit identifier (the datasets' `uuid` primary keys).
+    Uuid,
+    /// Epoch milliseconds.
+    DateTime,
+    /// Closed `[start, end]` interval of epoch milliseconds.
+    Interval,
+    /// 2-D point geometry.
+    Point,
+    /// Simple polygon geometry.
+    Polygon,
+    /// Homogeneous list.
+    List(Box<DataType>),
+}
+
+impl DataType {
+    /// Whether values of this type are geometries.
+    pub fn is_geometry(&self) -> bool {
+        matches!(self, DataType::Point | DataType::Polygon)
+    }
+
+    /// Whether this type supports arithmetic/ordering comparisons.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64 | DataType::DateTime)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Null => write!(f, "null"),
+            DataType::Bool => write!(f, "boolean"),
+            DataType::Int64 => write!(f, "bigint"),
+            DataType::Float64 => write!(f, "double"),
+            DataType::String => write!(f, "string"),
+            DataType::Uuid => write!(f, "uuid"),
+            DataType::DateTime => write!(f, "datetime"),
+            DataType::Interval => write!(f, "interval"),
+            DataType::Point => write!(f, "point"),
+            DataType::Polygon => write!(f, "polygon"),
+            DataType::List(inner) => write!(f, "list<{inner}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int64.to_string(), "bigint");
+        assert_eq!(DataType::List(Box::new(DataType::String)).to_string(), "list<string>");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DataType::Point.is_geometry());
+        assert!(DataType::Polygon.is_geometry());
+        assert!(!DataType::Interval.is_geometry());
+        assert!(DataType::DateTime.is_numeric());
+        assert!(!DataType::String.is_numeric());
+    }
+}

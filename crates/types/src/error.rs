@@ -1,0 +1,92 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by any layer of the FUDJ reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FudjError {
+    /// A value had an unexpected runtime type.
+    TypeMismatch { expected: String, found: String, context: String },
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound { name: String, schema: String },
+    /// A referenced dataset does not exist in the catalog.
+    DatasetNotFound(String),
+    /// A referenced FUDJ (or its library) is not registered.
+    JoinNotFound(String),
+    /// SQL text could not be lexed/parsed/bound.
+    Parse(String),
+    /// The planner could not produce a plan (unsupported shape, bad types).
+    Plan(String),
+    /// A runtime failure inside an operator or exchange.
+    Execution(String),
+    /// A FUDJ library misbehaved (bad assign output, failed translation...).
+    JoinLibrary(String),
+    /// Catalog-level conflicts (duplicate names, dropped objects in use).
+    Catalog(String),
+    /// Wire-format corruption during (de)serialization.
+    Wire(String),
+}
+
+impl FudjError {
+    /// Shorthand for a [`FudjError::TypeMismatch`].
+    pub fn type_mismatch(
+        expected: impl Into<String>,
+        found: impl fmt::Debug,
+        context: impl Into<String>,
+    ) -> Self {
+        FudjError::TypeMismatch {
+            expected: expected.into(),
+            found: format!("{found:?}"),
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for FudjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FudjError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            FudjError::ColumnNotFound { name, schema } => {
+                write!(f, "column {name:?} not found in schema [{schema}]")
+            }
+            FudjError::DatasetNotFound(name) => write!(f, "dataset {name:?} not found"),
+            FudjError::JoinNotFound(name) => write!(f, "join {name:?} is not registered"),
+            FudjError::Parse(msg) => write!(f, "parse error: {msg}"),
+            FudjError::Plan(msg) => write!(f, "planning error: {msg}"),
+            FudjError::Execution(msg) => write!(f, "execution error: {msg}"),
+            FudjError::JoinLibrary(msg) => write!(f, "join library error: {msg}"),
+            FudjError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            FudjError::Wire(msg) => write!(f, "wire format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FudjError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, FudjError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FudjError::type_mismatch("Int64", "hello", "filter predicate");
+        let s = e.to_string();
+        assert!(s.contains("Int64") && s.contains("filter predicate"));
+
+        assert_eq!(
+            FudjError::DatasetNotFound("Parks".into()).to_string(),
+            "dataset \"Parks\" not found"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FudjError::Plan("x".into()));
+    }
+}

@@ -1,0 +1,447 @@
+//! The engine-native runtime value.
+
+use crate::datatype::DataType;
+use crate::error::{FudjError, Result};
+use fudj_geo::{Point, Polygon};
+use fudj_temporal::Interval;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A runtime value. Large payloads (strings, polygons, lists) are behind
+/// `Arc` so rows can be cloned cheaply as they fan out to multiple buckets —
+/// the multi-assign path duplicates rows per bucket, and PBSM's duplication
+/// factor makes shallow clones matter.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int64(i64),
+    Float64(f64),
+    Str(Arc<str>),
+    Uuid(u128),
+    /// Epoch milliseconds.
+    DateTime(i64),
+    Interval(Interval),
+    Point(Point),
+    Polygon(Arc<Polygon>),
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// String value from anything stringy.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Polygon value (wraps in `Arc`).
+    pub fn polygon(p: Polygon) -> Value {
+        Value::Polygon(Arc::new(p))
+    }
+
+    /// List value (wraps in `Arc`).
+    pub fn list(vs: Vec<Value>) -> Value {
+        Value::List(Arc::new(vs))
+    }
+
+    /// The value's runtime type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Str(_) => DataType::String,
+            Value::Uuid(_) => DataType::Uuid,
+            Value::DateTime(_) => DataType::DateTime,
+            Value::Interval(_) => DataType::Interval,
+            Value::Point(_) => DataType::Point,
+            Value::Polygon(_) => DataType::Polygon,
+            Value::List(vs) => DataType::List(Box::new(
+                vs.first().map(Value::data_type).unwrap_or(DataType::Null),
+            )),
+        }
+    }
+
+    /// Whether this is `Null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Boolean payload, or a type error.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(FudjError::type_mismatch("boolean", other, "as_bool")),
+        }
+    }
+
+    /// Integer payload (`Int64`), or a type error.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int64(v) => Ok(*v),
+            other => Err(FudjError::type_mismatch("bigint", other, "as_i64")),
+        }
+    }
+
+    /// Float payload, widening `Int64` and `DateTime` as SQL comparison does.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Float64(v) => Ok(*v),
+            Value::Int64(v) => Ok(*v as f64),
+            Value::DateTime(v) => Ok(*v as f64),
+            other => Err(FudjError::type_mismatch("double", other, "as_f64")),
+        }
+    }
+
+    /// String payload, or a type error.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(FudjError::type_mismatch("string", other, "as_str")),
+        }
+    }
+
+    /// Interval payload, or a type error.
+    pub fn as_interval(&self) -> Result<Interval> {
+        match self {
+            Value::Interval(iv) => Ok(*iv),
+            other => Err(FudjError::type_mismatch("interval", other, "as_interval")),
+        }
+    }
+
+    /// Point payload, or a type error.
+    pub fn as_point(&self) -> Result<Point> {
+        match self {
+            Value::Point(p) => Ok(*p),
+            other => Err(FudjError::type_mismatch("point", other, "as_point")),
+        }
+    }
+
+    /// Polygon payload, or a type error.
+    pub fn as_polygon(&self) -> Result<&Polygon> {
+        match self {
+            Value::Polygon(p) => Ok(p),
+            other => Err(FudjError::type_mismatch("polygon", other, "as_polygon")),
+        }
+    }
+
+    /// List payload, or a type error.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(vs) => Ok(vs),
+            other => Err(FudjError::type_mismatch("list", other, "as_list")),
+        }
+    }
+
+    /// Variant discriminant used by ordering and the wire format.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int64(_) => 2,
+            Value::Float64(_) => 3,
+            Value::Str(_) => 4,
+            Value::Uuid(_) => 5,
+            Value::DateTime(_) => 6,
+            Value::Interval(_) => 7,
+            Value::Point(_) => 8,
+            Value::Polygon(_) => 9,
+            Value::List(_) => 10,
+        }
+    }
+}
+
+/// Equality is *total*: floats compare by bit pattern through `total_cmp`, so
+/// `Value` can key hash tables (group-by, hash join build sides).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order: `Null` sorts first; numeric variants (`Int64`, `Float64`,
+/// `DateTime`) compare by numeric value across variants (so ORDER BY mixes
+/// them sanely); everything else compares within its variant, with distinct
+/// variants ordered by tag.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Uuid(a), Uuid(b)) => a.cmp(b),
+            (Interval(a), Interval(b)) => a.cmp(b),
+            (Point(a), Point(b)) => {
+                a.x.total_cmp(&b.x).then_with(|| a.y.total_cmp(&b.y))
+            }
+            (Polygon(a), Polygon(b)) => {
+                let la = a.ring();
+                let lb = b.ring();
+                la.len().cmp(&lb.len()).then_with(|| {
+                    for (p, q) in la.iter().zip(lb.iter()) {
+                        let c = p.x.total_cmp(&q.x).then_with(|| p.y.total_cmp(&q.y));
+                        if c != Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    Ordering::Equal
+                })
+            }
+            (List(a), List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            // Cross-variant numeric comparison.
+            (a, b) if is_numeric_variant(a) && is_numeric_variant(b) => {
+                numeric_of(a).total_cmp(&numeric_of(b))
+            }
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+#[inline]
+fn is_numeric_variant(v: &Value) -> bool {
+    matches!(v, Value::Int64(_) | Value::Float64(_) | Value::DateTime(_))
+}
+
+#[inline]
+fn numeric_of(v: &Value) -> f64 {
+    match v {
+        Value::Int64(x) => *x as f64,
+        Value::Float64(x) => *x,
+        Value::DateTime(x) => *x as f64,
+        _ => unreachable!("numeric_of on non-numeric"),
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Numeric variants hash by canonical f64 bits so that values that
+            // compare equal across variants hash equally.
+            v @ (Value::Int64(_) | Value::Float64(_) | Value::DateTime(_)) => {
+                state.write_u8(2);
+                state.write_u64(numeric_of(v).to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            Value::Uuid(u) => {
+                state.write_u8(5);
+                u.hash(state);
+            }
+            Value::Interval(iv) => {
+                state.write_u8(7);
+                iv.hash(state);
+            }
+            Value::Point(p) => {
+                state.write_u8(8);
+                state.write_u64(p.x.to_bits());
+                state.write_u64(p.y.to_bits());
+            }
+            Value::Polygon(p) => {
+                state.write_u8(9);
+                for q in p.ring() {
+                    state.write_u64(q.x.to_bits());
+                    state.write_u64(q.y.to_bits());
+                }
+            }
+            Value::List(vs) => {
+                state.write_u8(10);
+                for v in vs.iter() {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Uuid(u) => write!(f, "uuid:{u:032x}"),
+            Value::DateTime(ms) => write!(f, "{}", fudj_temporal::format_millis(*ms)),
+            Value::Interval(iv) => write!(f, "{iv}"),
+            Value::Point(p) => write!(f, "{p}"),
+            Value::Polygon(p) => write!(f, "{p}"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+impl From<Interval> for Value {
+    fn from(iv: Interval) -> Self {
+        Value::Interval(iv)
+    }
+}
+impl From<Point> for Value {
+    fn from(p: Point) -> Self {
+        Value::Point(p)
+    }
+}
+impl From<Polygon> for Value {
+    fn from(p: Polygon) -> Self {
+        Value::polygon(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int64(7).as_i64().unwrap(), 7);
+        assert!(Value::Int64(7).as_str().is_err());
+        assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
+        assert!(Value::Null.as_bool().is_err());
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(Value::Int64(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::DateTime(1000).as_f64().unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn cross_variant_numeric_equality_and_hash() {
+        let a = Value::Int64(5);
+        let b = Value::Float64(5.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_null_first_then_numeric() {
+        let mut vs = vec![Value::Int64(2), Value::Null, Value::Float64(1.5), Value::Int64(-3)];
+        vs.sort();
+        assert_eq!(vs, vec![Value::Null, Value::Int64(-3), Value::Float64(1.5), Value::Int64(2)]);
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Value::str("apple") < Value::str("banana"));
+        assert_eq!(Value::str("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn interval_and_point_equality() {
+        assert_eq!(Value::Interval(Interval::new(1, 5)), Value::Interval(Interval::new(1, 5)));
+        assert_ne!(Value::Point(Point::new(0.0, 0.0)), Value::Point(Point::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn list_lexicographic_order() {
+        let a = Value::list(vec![Value::Int64(1), Value::Int64(2)]);
+        let b = Value::list(vec![Value::Int64(1), Value::Int64(3)]);
+        let c = Value::list(vec![Value::Int64(1)]);
+        assert!(a < b);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int64(42).to_string(), "42");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+        assert_eq!(
+            Value::list(vec![Value::Int64(1), Value::Int64(2)]).to_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn data_type_reporting() {
+        assert_eq!(Value::Uuid(9).data_type(), DataType::Uuid);
+        assert_eq!(
+            Value::list(vec![Value::str("x")]).data_type(),
+            DataType::List(Box::new(DataType::String))
+        );
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int64(11),
+            Value::str("token"),
+            Value::Uuid(123),
+            Value::Interval(Interval::new(0, 9)),
+            Value::Point(Point::new(1.0, 2.0)),
+        ];
+        for v in &vals {
+            assert_eq!(hash_of(v), hash_of(&v.clone()));
+        }
+    }
+}

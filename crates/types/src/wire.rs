@@ -1,0 +1,318 @@
+//! Compact binary row format.
+//!
+//! Exchange operators in the simulated cluster serialize every row they
+//! ship between workers. That keeps the shuffled-byte metrics honest (the
+//! paper's partitioning discussion is largely about network cost) and
+//! faithfully models the serialization work a real shared-nothing engine
+//! performs at each repartitioning.
+//!
+//! Format per value: a 1-byte tag, then a fixed- or length-prefixed payload.
+//! A row is its values back to back; a batch is a `u32` row count + rows.
+
+use crate::error::{FudjError, Result};
+use crate::row::{Batch, Row};
+use crate::schema::SchemaRef;
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fudj_geo::{Point, Polygon};
+use fudj_temporal::Interval;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT64: u8 = 2;
+const TAG_FLOAT64: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_UUID: u8 = 5;
+const TAG_DATETIME: u8 = 6;
+const TAG_INTERVAL: u8 = 7;
+const TAG_POINT: u8 = 8;
+const TAG_POLYGON: u8 = 9;
+const TAG_LIST: u8 = 10;
+
+/// Append one value.
+pub fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int64(x) => {
+            buf.put_u8(TAG_INT64);
+            buf.put_i64_le(*x);
+        }
+        Value::Float64(x) => {
+            buf.put_u8(TAG_FLOAT64);
+            buf.put_f64_le(*x);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Uuid(u) => {
+            buf.put_u8(TAG_UUID);
+            buf.put_u128_le(*u);
+        }
+        Value::DateTime(ms) => {
+            buf.put_u8(TAG_DATETIME);
+            buf.put_i64_le(*ms);
+        }
+        Value::Interval(iv) => {
+            buf.put_u8(TAG_INTERVAL);
+            buf.put_i64_le(iv.start);
+            buf.put_i64_le(iv.end);
+        }
+        Value::Point(p) => {
+            buf.put_u8(TAG_POINT);
+            buf.put_f64_le(p.x);
+            buf.put_f64_le(p.y);
+        }
+        Value::Polygon(poly) => {
+            buf.put_u8(TAG_POLYGON);
+            buf.put_u32_le(poly.ring().len() as u32);
+            for p in poly.ring() {
+                buf.put_f64_le(p.x);
+                buf.put_f64_le(p.y);
+            }
+        }
+        Value::List(vs) => {
+            buf.put_u8(TAG_LIST);
+            buf.put_u32_le(vs.len() as u32);
+            for v in vs.iter() {
+                encode_value(v, buf);
+            }
+        }
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(FudjError::Wire(format!("truncated input reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode one value.
+pub fn decode_value(buf: &mut impl Buf) -> Result<Value> {
+    need(buf, 1, "tag")?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => {
+            need(buf, 1, "bool")?;
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TAG_INT64 => {
+            need(buf, 8, "int64")?;
+            Value::Int64(buf.get_i64_le())
+        }
+        TAG_FLOAT64 => {
+            need(buf, 8, "float64")?;
+            Value::Float64(buf.get_f64_le())
+        }
+        TAG_STR => {
+            need(buf, 4, "string length")?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len, "string bytes")?;
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            let s = String::from_utf8(bytes)
+                .map_err(|e| FudjError::Wire(format!("invalid utf8 string: {e}")))?;
+            Value::str(s)
+        }
+        TAG_UUID => {
+            need(buf, 16, "uuid")?;
+            Value::Uuid(buf.get_u128_le())
+        }
+        TAG_DATETIME => {
+            need(buf, 8, "datetime")?;
+            Value::DateTime(buf.get_i64_le())
+        }
+        TAG_INTERVAL => {
+            need(buf, 16, "interval")?;
+            let start = buf.get_i64_le();
+            let end = buf.get_i64_le();
+            if start > end {
+                return Err(FudjError::Wire(format!("inverted interval [{start}, {end}]")));
+            }
+            Value::Interval(Interval::new(start, end))
+        }
+        TAG_POINT => {
+            need(buf, 16, "point")?;
+            let x = buf.get_f64_le();
+            let y = buf.get_f64_le();
+            Value::Point(Point::new(x, y))
+        }
+        TAG_POLYGON => {
+            need(buf, 4, "polygon vertex count")?;
+            let n = buf.get_u32_le() as usize;
+            if n < 3 {
+                return Err(FudjError::Wire(format!("polygon with {n} vertices")));
+            }
+            need(buf, n * 16, "polygon vertices")?;
+            let mut ring = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = buf.get_f64_le();
+                let y = buf.get_f64_le();
+                ring.push(Point::new(x, y));
+            }
+            Value::polygon(Polygon::new(ring))
+        }
+        TAG_LIST => {
+            need(buf, 4, "list length")?;
+            let n = buf.get_u32_le() as usize;
+            let mut vs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                vs.push(decode_value(buf)?);
+            }
+            Value::list(vs)
+        }
+        other => return Err(FudjError::Wire(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Append one row (its width is implied by the schema on the decode side).
+pub fn encode_row(row: &Row, buf: &mut BytesMut) {
+    buf.put_u32_le(row.len() as u32);
+    for v in row.values() {
+        encode_value(v, buf);
+    }
+}
+
+/// Decode one row.
+pub fn decode_row(buf: &mut impl Buf) -> Result<Row> {
+    need(buf, 4, "row width")?;
+    let n = buf.get_u32_le() as usize;
+    let mut values = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Row::new(values))
+}
+
+/// Serialize a whole batch to a frozen buffer.
+pub fn encode_batch(batch: &Batch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + batch.len() * 32);
+    buf.put_u32_le(batch.len() as u32);
+    for row in batch.rows() {
+        encode_row(row, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a batch under a known schema.
+pub fn decode_batch(mut bytes: Bytes, schema: SchemaRef) -> Result<Batch> {
+    need(&bytes, 4, "batch row count")?;
+    let n = bytes.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        rows.push(decode_row(&mut bytes)?);
+    }
+    if bytes.has_remaining() {
+        return Err(FudjError::Wire(format!("{} trailing bytes after batch", bytes.remaining())));
+    }
+    Ok(Batch::new(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::DataType;
+
+    fn every_value() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int64(-7),
+            Value::Float64(3.25),
+            Value::str("text with spaces ünicode"),
+            Value::Uuid(u128::MAX - 5),
+            Value::DateTime(1_700_000_000_000),
+            Value::Interval(Interval::new(-10, 10)),
+            Value::Point(Point::new(-1.5, 2.5)),
+            Value::polygon(Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ])),
+            Value::list(vec![Value::Int64(1), Value::str("x"), Value::Null]),
+        ]
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        for v in every_value() {
+            let mut buf = BytesMut::new();
+            encode_value(&v, &mut buf);
+            let mut b = buf.freeze();
+            let back = decode_value(&mut b).unwrap();
+            assert_eq!(back, v, "roundtrip of {v}");
+            assert!(!b.has_remaining(), "no trailing bytes for {v}");
+        }
+    }
+
+    #[test]
+    fn row_and_batch_roundtrip() {
+        let schema = Schema::shared(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::String),
+        ]);
+        let rows = vec![
+            Row::new(vec![Value::Int64(1), Value::str("one")]),
+            Row::new(vec![Value::Int64(2), Value::Null]),
+        ];
+        let batch = Batch::new(schema.clone(), rows);
+        let bytes = encode_batch(&batch);
+        let back = decode_batch(bytes, schema).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let mut buf = BytesMut::new();
+        encode_value(&Value::str("hello world"), &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            // Must error (or, for cut=0, error about the tag) — never panic.
+            assert!(decode_value(&mut partial).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let mut b = Bytes::from_static(&[200u8]);
+        assert!(matches!(decode_value(&mut b), Err(FudjError::Wire(_))));
+    }
+
+    #[test]
+    fn corrupt_interval_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_i64_le(10);
+        buf.put_i64_le(5); // end < start
+        assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_in_batch_rejected() {
+        let schema = Schema::shared(vec![Field::new("a", DataType::Int64)]);
+        let batch = Batch::new(schema.clone(), vec![Row::new(vec![Value::Int64(1)])]);
+        let mut bytes = BytesMut::from(&encode_batch(&batch)[..]);
+        bytes.put_u8(0xEE);
+        assert!(decode_batch(bytes.freeze(), schema).is_err());
+    }
+
+    #[test]
+    fn encoded_size_reflects_payload() {
+        // A sanity anchor for the byte-accounting metrics: a row of two i64s
+        // costs 4 (width) + 2 × (1 tag + 8 payload) = 22 bytes.
+        let row = Row::new(vec![Value::Int64(1), Value::Int64(2)]);
+        let mut buf = BytesMut::new();
+        encode_row(&row, &mut buf);
+        assert_eq!(buf.len(), 22);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: every value round-trips the wire format and the external
+//! translation protocol without loss.
+
+use bytes::{Buf, BytesMut};
+use fudj_geo::{Point, Polygon};
+use fudj_temporal::Interval;
+use fudj_types::{ext, wire, DataType, Value};
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int64),
+        // Finite floats only: the engine never stores NaN/inf.
+        (-1e15f64..1e15).prop_map(Value::Float64),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::str),
+        any::<u128>().prop_map(Value::Uuid),
+        any::<i64>().prop_map(Value::DateTime),
+        (any::<i32>(), 0i32..1_000_000)
+            .prop_map(|(s, d)| Value::Interval(Interval::new(s as i64, s as i64 + d as i64))),
+        (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y)| Value::Point(Point::new(x, y))),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => arb_scalar(),
+        1 => prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 3..10)
+            .prop_map(|pts| Value::polygon(Polygon::new(
+                pts.into_iter().map(|(x, y)| Point::new(x, y)).collect()
+            ))),
+        1 => prop::collection::vec(arb_scalar(), 0..6).prop_map(Value::list),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip(v in arb_value()) {
+        let mut buf = BytesMut::new();
+        wire::encode_value(&v, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = wire::decode_value(&mut bytes).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert!(!bytes.has_remaining());
+    }
+
+    /// Decoding arbitrary garbage must never panic — errors only.
+    #[test]
+    fn decode_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut b = bytes::Bytes::from(bytes);
+        let _ = wire::decode_value(&mut b);
+    }
+
+    /// Translation to external types and back is lossless for the key types
+    /// FUDJ libraries receive.
+    #[test]
+    fn external_translation_roundtrip(v in arb_value()) {
+        let target = v.data_type();
+        // Heterogeneous / non-simple lists legitimately fail translation.
+        if let Ok(ev) = ext::to_external(&v) {
+            if matches!(
+                target,
+                DataType::Int64
+                    | DataType::Float64
+                    | DataType::String
+                    | DataType::Bool
+                    | DataType::Uuid
+                    | DataType::DateTime
+                    | DataType::Interval
+                    | DataType::Point
+                    | DataType::Polygon
+            ) {
+                let back = ext::from_external(&ev, &target).unwrap();
+                prop_assert_eq!(back, v);
+            }
+        }
+    }
+}
