@@ -27,7 +27,11 @@ fn fig9_queries(c: &mut Criterion) {
     group.sample_size(10);
     for workload in [Workload::Spatial, Workload::Interval, Workload::Text] {
         for strategy in [Strategy::Fudj, Strategy::Builtin, Strategy::OnTop] {
-            let n = if strategy == Strategy::OnTop { 500 } else { 2_000 };
+            let n = if strategy == Strategy::OnTop {
+                500
+            } else {
+                2_000
+            };
             let cfg = RunConfig {
                 workers: 4,
                 buckets: match workload {
@@ -57,8 +61,9 @@ fn vii_b_boundary(c: &mut Criterion) {
         })
         .collect();
 
-    let fudj: Arc<dyn EngineJoin> =
-        Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new()))));
+    let fudj: Arc<dyn EngineJoin> = Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+        SpatialFudj::new(),
+    ))));
     let native: Arc<dyn EngineJoin> = Arc::new(BuiltinSpatialJoin::new());
 
     let mut group = c.benchmark_group("vii_b_boundary");
@@ -99,7 +104,12 @@ fn fig12c_local_join(c: &mut Criterion) {
             .map(|_| {
                 let x = rng.gen_range(0.0..100.0);
                 let y = rng.gen_range(0.0..100.0);
-                Rect::new(x, y, x + rng.gen_range(0.1..5.0), y + rng.gen_range(0.1..5.0))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.1..5.0),
+                    y + rng.gen_range(0.1..5.0),
+                )
             })
             .collect()
     };
@@ -153,5 +163,11 @@ fn substrate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig9_queries, vii_b_boundary, fig12c_local_join, substrate);
+criterion_group!(
+    benches,
+    fig9_queries,
+    vii_b_boundary,
+    fig12c_local_join,
+    substrate
+);
 criterion_main!(benches);

@@ -99,11 +99,13 @@ fn fig1() {
     for w in [Workload::Spatial, Workload::Interval, Workload::Text] {
         let loc_row = loc_rows
             .iter()
-            .find(|r| r.join.starts_with(match w {
-                Workload::Spatial => "Spatial",
-                Workload::Interval => "Interval",
-                Workload::Text => "Text",
-            }))
+            .find(|r| {
+                r.join.starts_with(match w {
+                    Workload::Spatial => "Spatial",
+                    Workload::Interval => "Interval",
+                    Workload::Text => "Text",
+                })
+            })
             .unwrap();
         for (strategy, loc) in [
             (Strategy::OnTop, 25usize), // the UDF predicate alone
@@ -126,7 +128,12 @@ fn fig1() {
     }
     print_table(
         &format!("Fig. 1 — productivity vs performance ({size} records, 4 workers)"),
-        &["Workload", "Method", "LOC (productivity)", "Runtime (performance)"],
+        &[
+            "Workload",
+            "Method",
+            "LOC (productivity)",
+            "Runtime (performance)",
+        ],
         &rows,
     );
     println!("  (expected shape: FUDJ ≈ built-in runtime at ~on-top LOC)");
@@ -170,7 +177,9 @@ fn fig9() {
 }
 
 fn fig10() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let workers_sweep = [1usize, 2, 4, 8];
     for w in [Workload::Spatial, Workload::Interval, Workload::Text] {
         let size = match w {
@@ -181,6 +190,7 @@ fn fig10() {
         for &workers in &workers_sweep {
             let mut row = vec![workers.to_string()];
             let mut secs = Vec::new();
+            let mut fudj_skew = String::from("—");
             for strategy in [Strategy::Fudj, Strategy::Builtin] {
                 let cfg = RunConfig {
                     workers,
@@ -190,13 +200,24 @@ fn fig10() {
                 let m = measure(&cfg);
                 secs.push(m.seconds);
                 row.push(fmt_secs(m.seconds));
+                if strategy == Strategy::Fudj {
+                    // COMBINE-phase load balance across the persistent
+                    // workers: max/mean busy time (1.00 = perfectly even).
+                    if let Some(s) = m.metrics.skew_report().iter().find(|s| s.phase == "join") {
+                        fudj_skew = format!("{:.2}", s.ratio());
+                    }
+                }
             }
             row.push(format!("{:.2}x", secs[0] / secs[1].max(1e-9)));
+            row.push(fudj_skew);
             rows.push(row);
         }
         print_table(
-            &format!("Fig. 10 — {} join: runtime vs workers ({size} records)", w.name()),
-            &["workers", "FUDJ", "Built-in", "FUDJ/built-in"],
+            &format!(
+                "Fig. 10 — {} join: runtime vs workers ({size} records)",
+                w.name()
+            ),
+            &["workers", "FUDJ", "Built-in", "FUDJ/built-in", "join skew"],
             &rows,
         );
     }
@@ -241,7 +262,11 @@ fn fig11() {
         };
         rows.push(vec![format!("{buckets}x{buckets}"), run(&cfg)]);
     }
-    print_table("Fig. 11a — Spatial FUDJ: effect of grid size (6000 records)", &["grid", "FUDJ"], &rows);
+    print_table(
+        "Fig. 11a — Spatial FUDJ: effect of grid size (6000 records)",
+        &["grid", "FUDJ"],
+        &rows,
+    );
 
     // (b) interval granule sweep
     let mut rows = Vec::new();
@@ -341,7 +366,10 @@ fn fig12() {
             buckets: Some(32),
             ..RunConfig::new(Workload::Spatial, Strategy::Fudj, n)
         };
-        let adv = RunConfig { strategy: Strategy::Advanced, ..fudj.clone() };
+        let adv = RunConfig {
+            strategy: Strategy::Advanced,
+            ..fudj.clone()
+        };
         let (mf, ma) = (measure(&fudj), measure(&adv));
         assert_eq!(mf.rows, ma.rows);
         rows.push(vec![
@@ -394,7 +422,13 @@ fn overhead() {
     }
     print_table(
         "§VII-B — framework overhead per record (FUDJ − built-in)",
-        &["Workload", "#records", "FUDJ", "Built-in", "overhead/record"],
+        &[
+            "Workload",
+            "#records",
+            "FUDJ",
+            "Built-in",
+            "overhead/record",
+        ],
         &rows,
     );
     println!(
@@ -469,10 +503,13 @@ fn extensions() {
         // Reuse the override plumbing via a session-level run.
         let mut session = Workload::Interval.session(n, 4, None);
         let mut options = fudj_planner::PlanOptions::default();
+        options.join_overrides.insert(
+            "overlapping_interval".into(),
+            std::sync::Arc::new(AdvancedIntervalJoin::new()),
+        );
         options
-            .join_overrides
-            .insert("overlapping_interval".into(), std::sync::Arc::new(AdvancedIntervalJoin::new()));
-        options.extra_join_params.push(fudj_types::Value::Int64(256));
+            .extra_join_params
+            .push(fudj_types::Value::Int64(256));
         session.set_options(options);
         let sql = Workload::Interval.sql(0.9);
         let start = std::time::Instant::now();
@@ -504,7 +541,9 @@ fn extensions() {
             let start = std::time::Instant::now();
             let out = session.execute(&sql).unwrap();
             let secs = start.elapsed().as_secs_f64();
-            let fudj_sql::QueryOutput::Rows(batch, m) = out else { unreachable!() };
+            let fudj_sql::QueryOutput::Rows(batch, m) = out else {
+                unreachable!()
+            };
             (secs, batch.len(), m.spilled_rows)
         };
         let (hash_s, hash_rows, _) = run_with(fudj_planner::PlanOptions::default());
@@ -528,7 +567,12 @@ fn extensions() {
     }
     print_table(
         "Ext. C — COMBINE strategies: hash group vs sort-merge vs budget-forced spill (spatial)",
-        &["#records", "hash group", "sort-merge", "spill (budget = n/8)"],
+        &[
+            "#records",
+            "hash group",
+            "sort-merge",
+            "spill (budget = n/8)",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,50 @@
+use fudj_bench::runner::{measure, RunConfig, Strategy};
+use fudj_bench::workloads::Workload;
+use fudj_exec::WorkerPool;
+use std::time::Instant;
+
+fn main() {
+    for workers in [1usize, 4] {
+        let cfg = RunConfig {
+            workers,
+            buckets: Some(32),
+            ..RunConfig::new(Workload::Spatial, Strategy::Fudj, 4000)
+        };
+        let _ = measure(&cfg);
+        let best = (0..3)
+            .map(|_| measure(&cfg).seconds)
+            .fold(f64::MAX, f64::min);
+        println!("end-to-end spatial FUDJ, workers={workers}: best {best:.4}s");
+    }
+
+    // Dispatch overhead: persistent pool vs a fresh thread batch per call
+    // (what exchange/operator fan-out used to do), 4 tasks x 2000 calls.
+    const CALLS: usize = 2000;
+    let pool = WorkerPool::new(4);
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let out = pool.run(vec![1u64, 2, 3, 4], |_, x| Ok(x * 2)).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+    let pooled = start.elapsed();
+
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let items = [1u64, 2, 3, 4];
+        let out: Vec<u64> = std::thread::scope(|s| {
+            items
+                .iter()
+                .map(|x| s.spawn(move || x * 2))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(out.len(), 4);
+    }
+    let spawned = start.elapsed();
+    println!(
+        "dispatch of 4 tasks x {CALLS} calls: pool {pooled:?}, fresh spawn {spawned:?} ({:.1}x)",
+        spawned.as_secs_f64() / pooled.as_secs_f64()
+    );
+}

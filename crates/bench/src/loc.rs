@@ -19,7 +19,10 @@ use std::path::{Path, PathBuf};
 
 /// Workspace root, resolved from this crate's manifest directory.
 pub fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
 }
 
 /// Count non-blank, non-comment lines, excluding `#[cfg(test)]` modules.
@@ -97,7 +100,9 @@ pub fn count_file(path: &Path) -> usize {
 pub fn count_section(path: &Path, start: &str, end: Option<&str>) -> usize {
     let src = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let from = src.find(start).unwrap_or_else(|| panic!("marker {start:?} in {}", path.display()));
+    let from = src
+        .find(start)
+        .unwrap_or_else(|| panic!("marker {start:?} in {}", path.display()));
     let section = match end {
         Some(end) => {
             let to = src[from..]
@@ -132,8 +137,11 @@ pub fn table2() -> Vec<LocRow> {
             "fn rewrite_join",
             None,
         );
-    let shared_helpers =
-        count_section(&builtin, "// Shared helpers", Some("// Built-in spatial join"));
+    let shared_helpers = count_section(
+        &builtin,
+        "// Shared helpers",
+        Some("// Built-in spatial join"),
+    );
     let share = shared_helpers / 3;
 
     vec![
@@ -160,8 +168,11 @@ pub fn table2() -> Vec<LocRow> {
         LocRow {
             join: "Text-similarity",
             fudj: count_file(&joins.join("textsim.rs")),
-            builtin: count_section(&builtin, "// Built-in text-similarity join", Some("#[cfg(test)]"))
-                + share
+            builtin: count_section(
+                &builtin,
+                "// Built-in text-similarity join",
+                Some("#[cfg(test)]"),
+            ) + share
                 + engine_side,
         },
     ]
@@ -204,7 +215,12 @@ mod tests {
         // The reproduction of Table II's headline: every FUDJ implementation
         // is several times smaller than its hand-integrated twin.
         for row in table2() {
-            assert!(row.fudj > 30, "{}: FUDJ {} LOC is suspiciously small", row.join, row.fudj);
+            assert!(
+                row.fudj > 30,
+                "{}: FUDJ {} LOC is suspiciously small",
+                row.join,
+                row.fudj
+            );
             assert!(
                 row.builtin as f64 / row.fudj as f64 > 2.0,
                 "{}: built-in {} vs FUDJ {} — ratio too small",

@@ -4,7 +4,9 @@
 use crate::workloads::Workload;
 use fudj_core::EngineJoin;
 use fudj_exec::{MetricsSnapshot, NetworkModel};
-use fudj_joins::builtin::{AdvancedSpatialJoin, BuiltinIntervalJoin, BuiltinSpatialJoin, BuiltinTextSimJoin};
+use fudj_joins::builtin::{
+    AdvancedSpatialJoin, BuiltinIntervalJoin, BuiltinSpatialJoin, BuiltinTextSimJoin,
+};
 use fudj_planner::PlanOptions;
 use fudj_types::Value;
 use std::sync::Arc;
@@ -98,8 +100,9 @@ impl RunConfig {
 /// Execute one configuration and return its measurement. Dataset
 /// generation/loading happens before the clock starts.
 pub fn measure(cfg: &RunConfig) -> Measurement {
-    let mut session =
-        cfg.workload.session(cfg.total_records, cfg.workers, cfg.dedup_class);
+    let mut session = cfg
+        .workload
+        .session(cfg.total_records, cfg.workers, cfg.dedup_class);
     session.set_network(cfg.network);
 
     let mut options = PlanOptions::default();
@@ -128,8 +131,14 @@ pub fn measure(cfg: &RunConfig) -> Measurement {
     let start = Instant::now();
     let out = session.execute(&sql).expect("experiment query must run");
     let seconds = start.elapsed().as_secs_f64();
-    let fudj_sql::QueryOutput::Rows(batch, metrics) = out else { unreachable!() };
-    Measurement { seconds, rows: batch.len(), metrics }
+    let fudj_sql::QueryOutput::Rows(batch, metrics) = out else {
+        unreachable!()
+    };
+    Measurement {
+        seconds,
+        rows: batch.len(),
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -144,9 +153,18 @@ mod tests {
             ..RunConfig::new(Workload::Spatial, Strategy::Fudj, 400)
         };
         let fudj = measure(&base);
-        let builtin = measure(&RunConfig { strategy: Strategy::Builtin, ..base.clone() });
-        let ontop = measure(&RunConfig { strategy: Strategy::OnTop, ..base.clone() });
-        let adv = measure(&RunConfig { strategy: Strategy::Advanced, ..base.clone() });
+        let builtin = measure(&RunConfig {
+            strategy: Strategy::Builtin,
+            ..base.clone()
+        });
+        let ontop = measure(&RunConfig {
+            strategy: Strategy::OnTop,
+            ..base.clone()
+        });
+        let adv = measure(&RunConfig {
+            strategy: Strategy::Advanced,
+            ..base.clone()
+        });
         assert_eq!(fudj.rows, builtin.rows);
         assert_eq!(fudj.rows, ontop.rows);
         assert_eq!(fudj.rows, adv.rows);
@@ -154,16 +172,45 @@ mod tests {
     }
 
     #[test]
+    fn measurement_reports_per_worker_metrics() {
+        let cfg = RunConfig {
+            workers: 2,
+            buckets: Some(16),
+            ..RunConfig::new(Workload::Spatial, Strategy::Fudj, 300)
+        };
+        let m = measure(&cfg);
+        assert_eq!(
+            m.metrics.per_worker.len(),
+            2,
+            "both workers reported activity"
+        );
+        assert!(m.metrics.per_worker.iter().any(|w| !w.busy.is_zero()));
+        let skew = m.metrics.skew_report();
+        assert!(skew.iter().any(|s| s.phase == "join"), "{skew:?}");
+        assert!(skew.iter().all(|s| s.ratio() >= 1.0 - 1e-9), "{skew:?}");
+    }
+
+    #[test]
     fn strategies_agree_on_interval_and_text() {
         for (w, n) in [(Workload::Interval, 250), (Workload::Text, 250)] {
             let base = RunConfig {
                 workers: 2,
-                buckets: if w == Workload::Interval { Some(64) } else { None },
+                buckets: if w == Workload::Interval {
+                    Some(64)
+                } else {
+                    None
+                },
                 ..RunConfig::new(w, Strategy::Fudj, n)
             };
             let fudj = measure(&base);
-            let builtin = measure(&RunConfig { strategy: Strategy::Builtin, ..base.clone() });
-            let ontop = measure(&RunConfig { strategy: Strategy::OnTop, ..base.clone() });
+            let builtin = measure(&RunConfig {
+                strategy: Strategy::Builtin,
+                ..base.clone()
+            });
+            let ontop = measure(&RunConfig {
+                strategy: Strategy::OnTop,
+                ..base.clone()
+            });
             assert_eq!(fudj.rows, builtin.rows, "{w:?}");
             assert_eq!(fudj.rows, ontop.rows, "{w:?}");
         }

@@ -84,8 +84,10 @@ impl Workload {
                 .unwrap();
             }
             Workload::Interval => {
-                s.register_dataset(nyctaxi(GeneratorConfig::new(total_records, 53, parts)).unwrap())
-                    .unwrap();
+                s.register_dataset(
+                    nyctaxi(GeneratorConfig::new(total_records, 53, parts)).unwrap(),
+                )
+                .unwrap();
                 s.execute(
                     r#"CREATE JOIN overlapping_interval(a: interval, b: interval)
                        RETURNS boolean AS "interval.OverlappingIntervalJoin" AT flexiblejoins"#,

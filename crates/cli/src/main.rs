@@ -23,9 +23,7 @@ fn main() {
                     .unwrap_or_else(|| die("--workers needs a number"));
             }
             "--sample" => {
-                sample = Some(
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or(2_000),
-                );
+                sample = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or(2_000));
             }
             "--help" | "-h" => {
                 println!("{}", fudj_cli::repl::HELP);
@@ -47,7 +45,14 @@ fn main() {
     let stdin = std::io::stdin();
     let mut prompt_continuation = false;
     loop {
-        print!("{}", if prompt_continuation { "   ...> " } else { "fudj> " });
+        print!(
+            "{}",
+            if prompt_continuation {
+                "   ...> "
+            } else {
+                "fudj> "
+            }
+        );
         let _ = std::io::stdout().flush();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {

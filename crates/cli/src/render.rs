@@ -19,10 +19,17 @@ fn cell(v: &Value) -> String {
 
 /// Render a batch as an aligned text table with a header and row count.
 pub fn render_batch(batch: &Batch) -> String {
-    let headers: Vec<String> =
-        batch.schema().fields().iter().map(|f| f.name.clone()).collect();
-    let rows: Vec<Vec<String>> =
-        batch.rows().iter().map(|r| r.values().iter().map(cell).collect()).collect();
+    let headers: Vec<String> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    let rows: Vec<Vec<String>> = batch
+        .rows()
+        .iter()
+        .map(|r| r.values().iter().map(cell).collect())
+        .collect();
 
     let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
     for row in &rows {
@@ -43,14 +50,22 @@ pub fn render_batch(batch: &Batch) -> String {
     out.push_str(&line(&headers, &widths));
     out.push('\n');
     out.push_str(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"),
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
     );
     out.push('\n');
     for row in &rows {
         out.push_str(&line(row, &widths));
         out.push('\n');
     }
-    out.push_str(&format!("({} row{})\n", rows.len(), if rows.len() == 1 { "" } else { "s" }));
+    out.push_str(&format!(
+        "({} row{})\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
     out
 }
 

@@ -30,7 +30,12 @@ impl Repl {
     pub fn new(workers: usize) -> Self {
         let session = Session::new(workers);
         session.install_library(standard_library());
-        Repl { session, buffer: String::new(), timing: true, show_metrics: false }
+        Repl {
+            session,
+            buffer: String::new(),
+            timing: true,
+            show_metrics: false,
+        }
     }
 
     /// The underlying session (tests and embedding).
@@ -76,6 +81,24 @@ impl Repl {
                         metrics.state_bytes,
                         metrics.verify_calls,
                     );
+                    for (w, stats) in metrics.per_worker.iter().enumerate() {
+                        let _ = writeln!(
+                            out,
+                            "  worker {w}: {} rows received, {} bytes received, busy {:?}",
+                            stats.rows, stats.bytes, stats.busy,
+                        );
+                    }
+                    for skew in metrics.skew_report() {
+                        let _ = writeln!(
+                            out,
+                            "  phase {}: max {:?} / mean {:?} across {} workers (skew {:.2})",
+                            skew.phase,
+                            skew.max,
+                            skew.mean,
+                            skew.workers,
+                            skew.ratio(),
+                        );
+                    }
                 }
                 out
             }
@@ -91,7 +114,11 @@ impl Repl {
             "d" | "datasets" => {
                 let mut out = String::new();
                 for name in self.session.catalog().names() {
-                    let ds = self.session.catalog().get(&name).expect("listed dataset");
+                    // A dataset dropped between names() and get() is not
+                    // worth a panic — just skip the stale name.
+                    let Ok(ds) = self.session.catalog().get(&name) else {
+                        continue;
+                    };
                     let _ = writeln!(
                         out,
                         "{name}  ({} rows, {} partitions): {}",
@@ -108,7 +135,9 @@ impl Repl {
             "joins" => {
                 let mut out = String::new();
                 for name in self.session.registry().join_names() {
-                    let def = self.session.registry().get(&name).expect("listed join");
+                    let Some(def) = self.session.registry().get(&name) else {
+                        continue;
+                    };
                     let _ = writeln!(out, "{def:?}");
                 }
                 if out.is_empty() {
@@ -167,13 +196,22 @@ impl Repl {
     /// Load the synthetic sample datasets and register the paper's joins.
     pub fn load_sample(&mut self, n: usize) -> fudj_types::Result<()> {
         let parts = 4;
-        self.session.register_dataset(fudj_datagen::parks(GeneratorConfig::new(n, 1, parts))?)?;
         self.session
-            .register_dataset(fudj_datagen::wildfires(GeneratorConfig::new(2 * n, 2, parts))?)?;
-        self.session.register_dataset(fudj_datagen::nyctaxi(GeneratorConfig::new(n, 3, parts))?)?;
+            .register_dataset(fudj_datagen::parks(GeneratorConfig::new(n, 1, parts))?)?;
         self.session
-            .register_dataset(fudj_datagen::amazon_reviews(GeneratorConfig::new(n, 4, parts))?)?;
-        self.session.register_dataset(fudj_datagen::weather(GeneratorConfig::new(n, 5, parts))?)?;
+            .register_dataset(fudj_datagen::wildfires(GeneratorConfig::new(
+                2 * n,
+                2,
+                parts,
+            ))?)?;
+        self.session
+            .register_dataset(fudj_datagen::nyctaxi(GeneratorConfig::new(n, 3, parts))?)?;
+        self.session
+            .register_dataset(fudj_datagen::amazon_reviews(GeneratorConfig::new(
+                n, 4, parts,
+            ))?)?;
+        self.session
+            .register_dataset(fudj_datagen::weather(GeneratorConfig::new(n, 5, parts))?)?;
         for ddl in [
             r#"CREATE JOIN st_contains(a: polygon, b: point)
                RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins"#,
@@ -209,7 +247,11 @@ impl Repl {
                 }
                 std::sync::Arc::new(fudj_types::Schema::new(fields))
             }
-            None => self.session.catalog().get(name).map(|ds| ds.schema().clone())?,
+            None => self
+                .session
+                .catalog()
+                .get(name)
+                .map(|ds| ds.schema().clone())?,
         };
         // Re-importing over an existing dataset replaces it.
         let _ = self.session.catalog().drop_dataset(name);
@@ -235,7 +277,9 @@ fn parse_type(name: &str) -> fudj_types::Result<fudj_types::DataType> {
         "point" => T::Point,
         "polygon" => T::Polygon,
         other => {
-            return Err(fudj_types::FudjError::Parse(format!("unknown type {other:?}")))
+            return Err(fudj_types::FudjError::Parse(format!(
+                "unknown type {other:?}"
+            )))
         }
     })
 }
@@ -334,7 +378,11 @@ mod tests {
         // Reload into a new dataset using an explicit schema.
         let loaded = r.run_meta(
             "load",
-            &["Parks2".into(), path.clone(), "id:uuid,boundary:polygon,tags:string".into()],
+            &[
+                "Parks2".into(),
+                path.clone(),
+                "id:uuid,boundary:polygon,tags:string".into(),
+            ],
         );
         assert!(loaded.contains("loaded 150 rows"), "{loaded}");
         let out = r.run_statement("SELECT COUNT(*) AS c FROM Parks2 p;");
@@ -355,11 +403,31 @@ mod tests {
             .run_meta("save", &["Ghost".into(), "/tmp/x.csv".into()])
             .contains("error"));
         assert!(r
-            .run_meta("load", &["t".into(), "/nonexistent.csv".into(), "a:bigint".into()])
+            .run_meta(
+                "load",
+                &["t".into(), "/nonexistent.csv".into(), "a:bigint".into()]
+            )
             .contains("error"));
         assert!(r
             .run_meta("load", &["t".into(), "/tmp/x.csv".into(), "a:wat".into()])
             .contains("error"));
+    }
+
+    #[test]
+    fn metrics_toggle_shows_per_worker_and_skew() {
+        let mut r = Repl::new(2);
+        r.run_meta("sample", &["200".into()]);
+        r.run_meta("metrics", &[]);
+        let out = r.run_statement(
+            "SELECT COUNT(*) AS c FROM Parks p, Wildfires w \
+             WHERE st_contains(p.boundary, w.location);",
+        );
+        assert!(out.contains("Network:"), "{out}");
+        assert!(
+            out.contains("worker 0:") && out.contains("worker 1:"),
+            "{out}"
+        );
+        assert!(out.contains("phase join:") && out.contains("skew"), "{out}");
     }
 
     #[test]

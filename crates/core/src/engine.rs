@@ -34,19 +34,32 @@ pub trait EngineJoin: Send + Sync {
     fn local_aggregate(&self, side: Side, key: &Value, summary: &mut SummaryState) -> Result<()>;
 
     /// Merge two partial summaries.
-    fn global_aggregate(&self, side: Side, a: SummaryState, b: SummaryState)
-        -> Result<SummaryState>;
+    fn global_aggregate(
+        &self,
+        side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState>;
 
     /// Whether both sides share summarize/assign logic (self-join rewrite).
     fn symmetric(&self) -> bool;
 
     /// Build the partitioning plan from both summaries + query parameters.
-    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value])
-        -> Result<PPlanState>;
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState>;
 
     /// Bucket ids for a key, appended to `out`.
-    fn assign(&self, side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>)
-        -> Result<()>;
+    fn assign(
+        &self,
+        side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()>;
 
     /// Bucket matching (default equality).
     fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
@@ -59,8 +72,14 @@ pub trait EngineJoin: Send + Sync {
     }
 
     /// Record-pair verification.
-    fn verify(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState)
-        -> Result<bool>;
+    fn verify(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool>;
 
     /// Duplicate-handling strategy.
     fn dedup_mode(&self) -> DedupMode {
@@ -69,8 +88,14 @@ pub trait EngineJoin: Send + Sync {
 
     /// Dedup predicate for [`DedupMode::Avoidance`] and [`DedupMode::Custom`]:
     /// should the pair be emitted from this bucket pair?
-    fn dedup(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState)
-        -> Result<bool>;
+    fn dedup(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool>;
 
     /// Local join of one matched bucket pair: emit the indices of key pairs
     /// that pass `verify` (dedup is applied by the caller). The default is
@@ -108,7 +133,10 @@ pub struct FudjEngineJoin {
 impl FudjEngineJoin {
     /// Wrap a registered algorithm.
     pub fn new(alg: Arc<dyn JoinAlgorithm>) -> Self {
-        FudjEngineJoin { alg, translations: AtomicU64::new(0) }
+        FudjEngineJoin {
+            alg,
+            translations: AtomicU64::new(0),
+        }
     }
 
     /// The wrapped algorithm.
@@ -162,8 +190,10 @@ impl EngineJoin for FudjEngineJoin {
         right: &SummaryState,
         params: &[Value],
     ) -> Result<PPlanState> {
-        let eparams: Vec<fudj_types::ExtValue> =
-            params.iter().map(|p| self.xlate(p)).collect::<Result<_>>()?;
+        let eparams: Vec<fudj_types::ExtValue> = params
+            .iter()
+            .map(|p| self.xlate(p))
+            .collect::<Result<_>>()?;
         self.alg.divide(left, right, &eparams)
     }
 
@@ -354,14 +384,18 @@ mod tests {
     fn adapter_translates_and_counts() {
         let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(EqJoin)));
         let mut s = ej.new_summary(Side::Left);
-        ej.local_aggregate(Side::Left, &Value::Int64(42), &mut s).unwrap();
+        ej.local_aggregate(Side::Left, &Value::Int64(42), &mut s)
+            .unwrap();
         assert_eq!(ej.translation_count(), 1);
 
         let plan = ej.divide(&s, &s, &[]).unwrap();
         let mut out = Vec::new();
-        ej.assign(Side::Left, &Value::Int64(18), &plan, &mut out).unwrap();
+        ej.assign(Side::Left, &Value::Int64(18), &plan, &mut out)
+            .unwrap();
         assert_eq!(out, vec![2]);
-        assert!(ej.verify(2, &Value::Int64(18), 2, &Value::Int64(18), &plan).unwrap());
+        assert!(ej
+            .verify(2, &Value::Int64(18), 2, &Value::Int64(18), &plan)
+            .unwrap());
         assert!(ej.translation_count() >= 4);
     }
 

@@ -113,7 +113,10 @@ pub struct ProxyJoin<J: FlexibleJoin> {
 impl<J: FlexibleJoin> ProxyJoin<J> {
     /// Wrap a join implementation.
     pub fn new(join: J) -> Self {
-        ProxyJoin { join, _marker: PhantomData }
+        ProxyJoin {
+            join,
+            _marker: PhantomData,
+        }
     }
 
     /// The wrapped implementation.
@@ -280,7 +283,11 @@ mod tests {
         }
 
         fn divide(&self, l: &i64, r: &i64, params: &[ExtValue]) -> Result<i64> {
-            let n = params.first().map(|p| p.as_long()).transpose()?.unwrap_or(8);
+            let n = params
+                .first()
+                .map(|p| p.as_long())
+                .transpose()?
+                .unwrap_or(8);
             Ok(n.min(l.max(r) + 1).max(1))
         }
 
@@ -308,17 +315,22 @@ mod tests {
         let mut s1 = p.new_summary(Side::Left);
         let mut s2 = p.new_summary(Side::Right);
         for k in [3i64, 15, 7] {
-            p.local_aggregate(Side::Left, &ExtValue::Long(k), &mut s1).unwrap();
+            p.local_aggregate(Side::Left, &ExtValue::Long(k), &mut s1)
+                .unwrap();
         }
-        p.local_aggregate(Side::Right, &ExtValue::Long(9), &mut s2).unwrap();
-        let merged = p.global_aggregate(Side::Left, s1.clone(), s2.clone()).unwrap();
+        p.local_aggregate(Side::Right, &ExtValue::Long(9), &mut s2)
+            .unwrap();
+        let merged = p
+            .global_aggregate(Side::Left, s1.clone(), s2.clone())
+            .unwrap();
         assert_eq!(merged.downcast_ref::<i64>(), Some(&15));
 
         let plan = p.divide(&s1, &s2, &[ExtValue::Long(4)]).unwrap();
         assert_eq!(plan.downcast_ref::<i64>(), Some(&4));
 
         let mut buckets = Vec::new();
-        p.assign(Side::Left, &ExtValue::Long(10), &plan, &mut buckets).unwrap();
+        p.assign(Side::Left, &ExtValue::Long(10), &plan, &mut buckets)
+            .unwrap();
         assert_eq!(buckets, vec![2]);
 
         assert!(p.matches(3, 3));
@@ -338,12 +350,16 @@ mod tests {
         let p = proxy();
         let bogus_summary = SummaryState::new(String::from("not an i64"));
         let good = p.new_summary(Side::Left);
-        let err = p.global_aggregate(Side::Left, bogus_summary, good).unwrap_err();
+        let err = p
+            .global_aggregate(Side::Left, bogus_summary, good)
+            .unwrap_err();
         assert!(matches!(err, FudjError::JoinLibrary(_)));
 
         let bogus_plan = PPlanState::new(vec![1u8]);
         let mut out = Vec::new();
-        assert!(p.assign(Side::Left, &ExtValue::Long(1), &bogus_plan, &mut out).is_err());
+        assert!(p
+            .assign(Side::Left, &ExtValue::Long(1), &bogus_plan, &mut out)
+            .is_err());
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct JoinLibrary {
 impl JoinLibrary {
     /// Start building a library.
     pub fn builder(name: impl Into<String>) -> JoinLibraryBuilder {
-        JoinLibraryBuilder { name: name.into(), factories: HashMap::new() }
+        JoinLibraryBuilder {
+            name: name.into(),
+            factories: HashMap::new(),
+        }
     }
 
     /// The library's name (the `AT <library>` clause target).
@@ -40,18 +43,20 @@ impl JoinLibrary {
 
     /// Instantiate the algorithm registered under `class`.
     pub fn instantiate(&self, class: &str) -> Result<Arc<dyn JoinAlgorithm>> {
-        self.factories
-            .get(class)
-            .map(|f| f())
-            .ok_or_else(|| {
-                FudjError::JoinNotFound(format!("class {class:?} in library {:?}", self.name))
-            })
+        self.factories.get(class).map(|f| f()).ok_or_else(|| {
+            FudjError::JoinNotFound(format!("class {class:?} in library {:?}", self.name))
+        })
     }
 }
 
 impl fmt::Debug for JoinLibrary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JoinLibrary({:?}, classes: {:?})", self.name, self.classes())
+        write!(
+            f,
+            "JoinLibrary({:?}, classes: {:?})",
+            self.name,
+            self.classes()
+        )
     }
 }
 
@@ -75,7 +80,10 @@ impl JoinLibraryBuilder {
 
     /// Finish building.
     pub fn build(self) -> JoinLibrary {
-        JoinLibrary { name: self.name, factories: self.factories }
+        JoinLibrary {
+            name: self.name,
+            factories: self.factories,
+        }
     }
 }
 

@@ -65,7 +65,11 @@ impl fmt::Debug for JoinDefinition {
             f,
             "JOIN {}({}) AS {:?} AT {}",
             self.name,
-            self.arg_types.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", "),
+            self.arg_types
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
             self.class,
             self.library
         )
@@ -90,7 +94,9 @@ impl JoinRegistry {
     /// new FUDJ packages within seconds" — without disturbing joins already
     /// created from the previous version (they hold their own instances).
     pub fn install_library(&self, library: JoinLibrary) {
-        self.libraries.write().insert(library.name().to_owned(), Arc::new(library));
+        self.libraries
+            .write()
+            .insert(library.name().to_owned(), Arc::new(library));
     }
 
     /// Installed library names, sorted.
@@ -132,7 +138,13 @@ impl JoinRegistry {
         if joins.contains_key(&name) {
             return Err(FudjError::Catalog(format!("join {name:?} already exists")));
         }
-        let def = Arc::new(JoinDefinition { name: name.clone(), arg_types, library, class, algorithm });
+        let def = Arc::new(JoinDefinition {
+            name: name.clone(),
+            arg_types,
+            library,
+            class,
+            algorithm,
+        });
         joins.insert(name, def.clone());
         Ok(def)
     }
@@ -194,7 +206,9 @@ mod tests {
     fn registry_with_lib() -> JoinRegistry {
         let reg = JoinRegistry::new();
         let lib = JoinLibrary::builder("flexiblejoins")
-            .with_class("setsimilarity.SetSimilarityJoin", || Arc::new(ProxyJoin::new(Dummy)))
+            .with_class("setsimilarity.SetSimilarityJoin", || {
+                Arc::new(ProxyJoin::new(Dummy))
+            })
             .build();
         reg.install_library(lib);
         reg
@@ -225,11 +239,21 @@ mod tests {
     fn create_requires_library_and_class() {
         let reg = registry_with_lib();
         assert!(matches!(
-            reg.create_join("j", vec![DataType::String, DataType::String], "x.Y", "missing"),
+            reg.create_join(
+                "j",
+                vec![DataType::String, DataType::String],
+                "x.Y",
+                "missing"
+            ),
             Err(FudjError::JoinNotFound(_))
         ));
         assert!(matches!(
-            reg.create_join("j", vec![DataType::String, DataType::String], "x.Y", "flexiblejoins"),
+            reg.create_join(
+                "j",
+                vec![DataType::String, DataType::String],
+                "x.Y",
+                "flexiblejoins"
+            ),
             Err(FudjError::JoinNotFound(_))
         ));
     }
@@ -238,7 +262,12 @@ mod tests {
     fn create_validates_arity_and_duplicates() {
         let reg = registry_with_lib();
         assert!(reg
-            .create_join("j", vec![DataType::String], "setsimilarity.SetSimilarityJoin", "flexiblejoins")
+            .create_join(
+                "j",
+                vec![DataType::String],
+                "setsimilarity.SetSimilarityJoin",
+                "flexiblejoins"
+            )
             .is_err());
         reg.create_join(
             "j",

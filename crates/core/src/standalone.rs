@@ -230,7 +230,11 @@ mod tests {
         fn summarize(&self, key: &ExtValue, s: &mut Span) -> Result<()> {
             let iv = key.as_interval()?;
             if !s.seen {
-                *s = Span { lo: iv.start, hi: iv.end, seen: true };
+                *s = Span {
+                    lo: iv.start,
+                    hi: iv.end,
+                    seen: true,
+                };
             } else {
                 s.lo = s.lo.min(iv.start);
                 s.hi = s.hi.max(iv.end);
@@ -242,14 +246,22 @@ mod tests {
             match (a.seen, b.seen) {
                 (false, _) => b,
                 (_, false) => a,
-                _ => Span { lo: a.lo.min(b.lo), hi: a.hi.max(b.hi), seen: true },
+                _ => Span {
+                    lo: a.lo.min(b.lo),
+                    hi: a.hi.max(b.hi),
+                    seen: true,
+                },
             }
         }
 
         fn divide(&self, l: &Span, r: &Span, _params: &[ExtValue]) -> Result<CellPlan> {
             let m = self.merge_summaries(l.clone(), r.clone());
             let width = ((m.hi - m.lo).max(1) / self.cells).max(1);
-            Ok(CellPlan { lo: m.lo, width, cells: self.cells })
+            Ok(CellPlan {
+                lo: m.lo,
+                width,
+                cells: self.cells,
+            })
         }
 
         fn assign(&self, key: &ExtValue, p: &CellPlan, out: &mut Vec<BucketId>) -> Result<()> {
@@ -291,7 +303,9 @@ mod tests {
     }
 
     fn ranges(data: &[(i64, i64)]) -> Vec<ExtValue> {
-        data.iter().map(|&(s, e)| ExtValue::LongArray(vec![s, e])).collect()
+        data.iter()
+            .map(|&(s, e)| ExtValue::LongArray(vec![s, e]))
+            .collect()
     }
 
     fn expected_pairs(l: &[(i64, i64)], r: &[(i64, i64)]) -> Vec<(usize, usize)> {
@@ -310,7 +324,10 @@ mod tests {
     fn avoidance_returns_exact_result_set() {
         let l = [(0, 50), (10, 15), (90, 100), (40, 60)];
         let r = [(5, 12), (55, 95), (200, 210)];
-        let alg = ProxyJoin::new(RangeJoin { cells: 8, mode: DedupMode::Avoidance });
+        let alg = ProxyJoin::new(RangeJoin {
+            cells: 8,
+            mode: DedupMode::Avoidance,
+        });
         let got = run_standalone(&alg, &ranges(&l), &ranges(&r), &[]).unwrap();
         assert_eq!(got, expected_pairs(&l, &r));
     }
@@ -319,8 +336,14 @@ mod tests {
     fn elimination_matches_avoidance_result() {
         let l = [(0, 30), (25, 80), (70, 99)];
         let r = [(10, 40), (50, 75)];
-        let a1 = ProxyJoin::new(RangeJoin { cells: 6, mode: DedupMode::Avoidance });
-        let a2 = ProxyJoin::new(RangeJoin { cells: 6, mode: DedupMode::Elimination });
+        let a1 = ProxyJoin::new(RangeJoin {
+            cells: 6,
+            mode: DedupMode::Avoidance,
+        });
+        let a2 = ProxyJoin::new(RangeJoin {
+            cells: 6,
+            mode: DedupMode::Elimination,
+        });
         let g1 = run_standalone(&a1, &ranges(&l), &ranges(&r), &[]).unwrap();
         let g2 = run_standalone(&a2, &ranges(&l), &ranges(&r), &[]).unwrap();
         assert_eq!(g1, g2);
@@ -331,8 +354,14 @@ mod tests {
     fn custom_dedup_matches_default() {
         let l = [(0, 70), (30, 35)];
         let r = [(20, 90), (0, 5)];
-        let a1 = ProxyJoin::new(RangeJoin { cells: 10, mode: DedupMode::Avoidance });
-        let a2 = ProxyJoin::new(RangeJoin { cells: 10, mode: DedupMode::Custom });
+        let a1 = ProxyJoin::new(RangeJoin {
+            cells: 10,
+            mode: DedupMode::Avoidance,
+        });
+        let a2 = ProxyJoin::new(RangeJoin {
+            cells: 10,
+            mode: DedupMode::Custom,
+        });
         let g1 = run_standalone(&a1, &ranges(&l), &ranges(&r), &[]).unwrap();
         let g2 = run_standalone(&a2, &ranges(&l), &ranges(&r), &[]).unwrap();
         assert_eq!(g1, g2);
@@ -345,7 +374,10 @@ mod tests {
         // framework defaults to avoidance.
         let l = [(0, 100)];
         let r = [(0, 100)];
-        let alg = ProxyJoin::new(RangeJoin { cells: 4, mode: DedupMode::None });
+        let alg = ProxyJoin::new(RangeJoin {
+            cells: 4,
+            mode: DedupMode::None,
+        });
         let got = run_standalone(&alg, &ranges(&l), &ranges(&r), &[]).unwrap();
         assert_eq!(got.len(), 4, "one emission per shared cell");
     }
@@ -354,7 +386,10 @@ mod tests {
     fn stats_reflect_multi_assign() {
         let l = [(0, 100), (10, 20)];
         let r = [(50, 60)];
-        let alg = ProxyJoin::new(RangeJoin { cells: 4, mode: DedupMode::Avoidance });
+        let alg = ProxyJoin::new(RangeJoin {
+            cells: 4,
+            mode: DedupMode::Avoidance,
+        });
         let (_pairs, stats) =
             run_standalone_with_stats(&alg, &ranges(&l), &ranges(&r), &[]).unwrap();
         assert!(stats.left_assignments > 2, "(0,100) spans all cells");
@@ -366,7 +401,10 @@ mod tests {
     fn agrees_with_nested_loop_reference() {
         let l = [(0, 10), (5, 25), (20, 30), (28, 28), (100, 120)];
         let r = [(8, 22), (29, 40), (95, 105), (50, 60)];
-        let alg = ProxyJoin::new(RangeJoin { cells: 5, mode: DedupMode::Avoidance });
+        let alg = ProxyJoin::new(RangeJoin {
+            cells: 5,
+            mode: DedupMode::Avoidance,
+        });
         let got = run_standalone(&alg, &ranges(&l), &ranges(&r), &[]).unwrap();
         let reference = nested_loop_reference(&alg, &ranges(&l), &ranges(&r), &[]).unwrap();
         assert_eq!(got, reference);
@@ -374,9 +412,16 @@ mod tests {
 
     #[test]
     fn empty_sides() {
-        let alg = ProxyJoin::new(RangeJoin { cells: 4, mode: DedupMode::Avoidance });
-        assert!(run_standalone(&alg, &[], &ranges(&[(0, 1)]), &[]).unwrap().is_empty());
-        assert!(run_standalone(&alg, &ranges(&[(0, 1)]), &[], &[]).unwrap().is_empty());
+        let alg = ProxyJoin::new(RangeJoin {
+            cells: 4,
+            mode: DedupMode::Avoidance,
+        });
+        assert!(run_standalone(&alg, &[], &ranges(&[(0, 1)]), &[])
+            .unwrap()
+            .is_empty());
+        assert!(run_standalone(&alg, &ranges(&[(0, 1)]), &[], &[])
+            .unwrap()
+            .is_empty());
         assert!(run_standalone(&alg, &[], &[], &[]).unwrap().is_empty());
     }
 }

@@ -345,7 +345,12 @@ mod tests {
 
     #[test]
     fn downcast_roundtrip() {
-        let m = Mbr { min_x: 0.0, min_y: 1.0, max_x: 2.0, max_y: 3.0 };
+        let m = Mbr {
+            min_x: 0.0,
+            min_y: 1.0,
+            max_x: 2.0,
+            max_y: 3.0,
+        };
         let s = SummaryState::new(m.clone());
         assert_eq!(s.downcast_ref::<Mbr>(), Some(&m));
         assert_eq!(s.downcast_ref::<String>(), None);

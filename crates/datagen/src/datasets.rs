@@ -32,7 +32,11 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// `rows` records under `seed`, stored in `partitions` partitions.
     pub fn new(rows: usize, seed: u64, partitions: usize) -> Self {
-        GeneratorConfig { rows, seed, partitions }
+        GeneratorConfig {
+            rows,
+            seed,
+            partitions,
+        }
     }
 }
 
@@ -52,13 +56,21 @@ fn clustered_point(rng: &mut SmallRng, centers: &[(f64, f64)]) -> Point {
             (cy + dy * 1.5).clamp(WORLD_LAT.0, WORLD_LAT.1),
         )
     } else {
-        Point::new(rng.gen_range(WORLD_LON.0..WORLD_LON.1), rng.gen_range(WORLD_LAT.0..WORLD_LAT.1))
+        Point::new(
+            rng.gen_range(WORLD_LON.0..WORLD_LON.1),
+            rng.gen_range(WORLD_LAT.0..WORLD_LAT.1),
+        )
     }
 }
 
 fn fire_centers(rng: &mut SmallRng) -> Vec<(f64, f64)> {
     (0..12)
-        .map(|_| (rng.gen_range(WORLD_LON.0..WORLD_LON.1), rng.gen_range(WORLD_LAT.0..WORLD_LAT.1)))
+        .map(|_| {
+            (
+                rng.gen_range(WORLD_LON.0..WORLD_LON.1),
+                rng.gen_range(WORLD_LAT.0..WORLD_LAT.1),
+            )
+        })
         .collect()
 }
 
@@ -81,7 +93,7 @@ pub fn wildfires(cfg: GeneratorConfig) -> Result<Dataset> {
     for i in 0..cfg.rows {
         let loc = clustered_point(&mut rng, &centers);
         let start = JAN_2022_MS - YEAR_MS + rng.gen_range(0..2 * YEAR_MS);
-        let duration = rng.gen_range(3_600_000..30 * 86_400_000); // 1 h – 30 d
+        let duration = rng.gen_range(3_600_000i64..30 * 86_400_000); // 1 h – 30 d
         d.insert(Row::new(vec![
             Value::Uuid(i as u128 | (1 << 96)),
             Value::Point(loc),
@@ -94,8 +106,8 @@ pub fn wildfires(cfg: GeneratorConfig) -> Result<Dataset> {
 
 /// Convex-ish park polygon around a center.
 fn park_polygon(rng: &mut SmallRng) -> Polygon {
-    let cx = rng.gen_range(WORLD_LON.0..WORLD_LON.1);
-    let cy = rng.gen_range(WORLD_LAT.0..WORLD_LAT.1);
+    let cx: f64 = rng.gen_range(WORLD_LON.0..WORLD_LON.1);
+    let cy: f64 = rng.gen_range(WORLD_LAT.0..WORLD_LAT.1);
     // Log-uniform radius: many small parks, a few large ones. Radii are
     // scaled up relative to real parks so that laptop-scale record counts
     // (10³–10⁵ instead of the paper's 10M) still produce join matches at a
@@ -106,7 +118,7 @@ fn park_polygon(rng: &mut SmallRng) -> Polygon {
     let ring = (0..vertices)
         .map(|k| {
             let angle = (k as f64 / vertices as f64) * std::f64::consts::TAU;
-            let r = radius * rng.gen_range(0.6..1.0);
+            let r = radius * rng.gen_range(0.6..1.0f64);
             Point::new(
                 (cx + r * angle.cos()).clamp(WORLD_LON.0, WORLD_LON.1),
                 (cy + r * angle.sin()).clamp(WORLD_LAT.0, WORLD_LAT.1),
@@ -118,9 +130,30 @@ fn park_polygon(rng: &mut SmallRng) -> Polygon {
 
 /// Park-feature tag vocabulary (Query 2 joins on Jaccard similarity of tags).
 const PARK_TAGS: &[&str] = &[
-    "river", "scenic", "landscape", "camping", "backpacking", "hiking", "trail", "lake",
-    "fishing", "swimming", "picnic", "wildlife", "forest", "canyon", "waterfall", "desert",
-    "mountain", "beach", "playground", "dogs", "biking", "climbing", "caves", "historic",
+    "river",
+    "scenic",
+    "landscape",
+    "camping",
+    "backpacking",
+    "hiking",
+    "trail",
+    "lake",
+    "fishing",
+    "swimming",
+    "picnic",
+    "wildlife",
+    "forest",
+    "canyon",
+    "waterfall",
+    "desert",
+    "mountain",
+    "beach",
+    "playground",
+    "dogs",
+    "biking",
+    "climbing",
+    "caves",
+    "historic",
 ];
 
 /// `Parks(id uuid, boundary polygon, tags string)`.
@@ -138,8 +171,9 @@ pub fn parks(cfg: GeneratorConfig) -> Result<Dataset> {
     for i in 0..cfg.rows {
         let boundary = park_polygon(&mut rng);
         let tag_count = rng.gen_range(2..7usize);
-        let mut tags: Vec<&str> =
-            (0..tag_count).map(|_| PARK_TAGS[rng.gen_range(0..PARK_TAGS.len())]).collect();
+        let mut tags: Vec<&str> = (0..tag_count)
+            .map(|_| PARK_TAGS[rng.gen_range(0..PARK_TAGS.len())])
+            .collect();
         tags.sort_unstable();
         tags.dedup();
         d.insert(Row::new(vec![
@@ -168,8 +202,8 @@ pub fn nyctaxi(cfg: GeneratorConfig) -> Result<Dataset> {
         let day = rng.gen_range(0..365i64);
         // Rush-hour mixture: 8am, 6pm, or uniform.
         let hour_ms: i64 = match rng.gen_range(0..3u8) {
-            0 => 8 * 3_600_000 + rng.gen_range(-3_600_000..3_600_000),
-            1 => 18 * 3_600_000 + rng.gen_range(-3_600_000..3_600_000),
+            0 => 8 * 3_600_000 + rng.gen_range(-3_600_000i64..3_600_000),
+            1 => 18 * 3_600_000 + rng.gen_range(-3_600_000i64..3_600_000),
             _ => rng.gen_range(0..86_400_000),
         };
         let start = JAN_2022_MS + day * 86_400_000 + hour_ms.clamp(0, 86_399_000);
@@ -201,7 +235,9 @@ pub fn amazon_reviews(cfg: GeneratorConfig) -> Result<Dataset> {
     let mut gen = ReviewGenerator::new(5_000);
     for i in 0..cfg.rows {
         // Real review corpora skew positive.
-        let overall = *[5i64, 5, 5, 4, 4, 3, 2, 1].get(rng.gen_range(0..8)).unwrap();
+        let overall = *[5i64, 5, 5, 4, 4, 3, 2, 1]
+            .get(rng.gen_range(0..8usize))
+            .unwrap();
         let review = gen.next_review(&mut rng);
         d.insert(Row::new(vec![
             Value::Uuid(i as u128 | (4 << 96)),
@@ -324,8 +360,11 @@ mod tests {
     #[test]
     fn reviews_skew_positive() {
         let d = amazon_reviews(cfg(800)).unwrap();
-        let fives =
-            d.all_rows().iter().filter(|r| r.get(1).as_i64().unwrap() == 5).count();
+        let fives = d
+            .all_rows()
+            .iter()
+            .filter(|r| r.get(1).as_i64().unwrap() == 5)
+            .count();
         assert!(fives > 200, "only {fives} five-star reviews of 800");
     }
 
@@ -343,6 +382,10 @@ mod tests {
         }
         // 2000 uniform points would occupy essentially all 400 cells
         // (expected empty ≈ 400·e⁻⁵ ≈ 3); clustering leaves far more empty.
-        assert!(cells.len() < 360, "occupied {} of 400 cells — not clustered", cells.len());
+        assert!(
+            cells.len() < 360,
+            "occupied {} of 400 cells — not clustered",
+            cells.len()
+        );
     }
 }

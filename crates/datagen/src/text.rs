@@ -47,7 +47,10 @@ impl Vocabulary {
     /// Sample one word.
     pub fn sample<'a>(&'a self, rng: &mut SmallRng) -> &'a str {
         let u: f64 = rng.gen();
-        let idx = self.cdf.partition_point(|&c| c < u).min(self.words.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.words.len() - 1);
         &self.words[idx]
     }
 }
@@ -93,7 +96,9 @@ impl ReviewGenerator {
             tokens
         } else {
             let len = rng.gen_range(self.min_len..=self.max_len);
-            (0..len).map(|_| self.vocab.sample(rng).to_owned()).collect()
+            (0..len)
+                .map(|_| self.vocab.sample(rng).to_owned())
+                .collect()
         };
         // Cap history so memory stays bounded on large corpora.
         if self.history.len() < 10_000 {

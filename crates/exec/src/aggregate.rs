@@ -147,8 +147,8 @@ trait CountInput {
 impl CountInput for Option<&Value> {
     fn is_none_or_nonnull(&self) -> bool {
         match self {
-            None => true,               // COUNT(*)
-            Some(v) => !v.is_null(),    // COUNT(col)
+            None => true,            // COUNT(*)
+            Some(v) => !v.is_null(), // COUNT(col)
         }
     }
 }
@@ -158,7 +158,11 @@ mod tests {
     use super::*;
 
     fn agg(func: AggFunc) -> Aggregate {
-        Aggregate { func, input: Some(0), name: "a".into() }
+        Aggregate {
+            func,
+            input: Some(0),
+            name: "a".into(),
+        }
     }
 
     #[test]
@@ -190,7 +194,12 @@ mod tests {
     fn min_max_ignore_nulls() {
         let mut mn = Accumulator::new(&agg(AggFunc::Min), false);
         let mut mx = Accumulator::new(&agg(AggFunc::Max), false);
-        for v in [Value::Int64(5), Value::Null, Value::Int64(2), Value::Int64(9)] {
+        for v in [
+            Value::Int64(5),
+            Value::Null,
+            Value::Int64(2),
+            Value::Int64(9),
+        ] {
             mn.update(Some(&v)).unwrap();
             mx.update(Some(&v)).unwrap();
         }

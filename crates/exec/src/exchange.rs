@@ -9,12 +9,18 @@
 //! Faithful to a real cluster, that serialization work happens *in
 //! parallel*: every source worker encodes its own outgoing traffic and
 //! every destination worker decodes its own incoming traffic on its own
-//! thread. (An earlier serial implementation made exchanges a coordinator
-//! bottleneck and produced anti-scaling worker sweeps.)
+//! [`WorkerPool`] thread. (An earlier serial implementation made exchanges
+//! a coordinator bottleneck and produced anti-scaling worker sweeps; a
+//! later one spawned fresh OS threads per exchange stage, which is why the
+//! pool now comes in as a parameter.)
+//!
+//! The number of exchange destinations is always the pool size — one
+//! partition per simulated worker.
 
 use crate::metrics::QueryMetrics;
+use crate::pool::WorkerPool;
 use bytes::{Bytes, BytesMut};
-use fudj_types::{wire, FudjError, Result, Row};
+use fudj_types::{wire, Result, Row};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -26,25 +32,6 @@ pub fn route_hash<T: Hash + ?Sized>(key: &T) -> u64 {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     h.finish()
-}
-
-/// Run `f` over every element in parallel, one thread each (our partition
-/// counts are small — one per worker).
-fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> Result<R> + Sync) -> Result<Vec<R>> {
-    if items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let results: Vec<Result<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = items.into_iter().map(|it| scope.spawn(|| f(it))).collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(FudjError::Execution("exchange thread panicked".into())))
-            })
-            .collect()
-    });
-    results.into_iter().collect()
 }
 
 /// What one source worker produced: rows staying local plus one encoded
@@ -67,33 +54,54 @@ fn decode_all(buf: &mut Bytes, out: &mut Vec<Row>) -> Result<usize> {
 /// Repartition by an arbitrary routing function `route(row) → destination`.
 pub fn shuffle_by(
     parts: Parts,
-    workers: usize,
+    pool: &WorkerPool,
     metrics: &QueryMetrics,
     route: impl Fn(&Row) -> usize + Sync,
 ) -> Result<Parts> {
-    debug_assert!(workers > 0);
+    shuffle_routed(parts, pool, metrics, |_src, _j, row| route(row))
+}
+
+/// Repartition with a *positional* routing function `route(src, j, row)`,
+/// where `j` is the row's index within its source partition. This lets
+/// position-based exchanges (rebalance) pick destinations without
+/// smuggling a routing tag through the wire format — only the row's real
+/// payload is serialized and counted.
+fn shuffle_routed(
+    parts: Parts,
+    pool: &WorkerPool,
+    metrics: &QueryMetrics,
+    route: impl Fn(usize, usize, &Row) -> usize + Sync,
+) -> Result<Parts> {
+    let workers = pool.size();
     // Stage 1 (parallel per source): route and encode outgoing rows.
     let indexed: Vec<(usize, Vec<Row>)> = parts.into_iter().enumerate().collect();
-    let outboxes = par_map(indexed, |(src, rows)| {
+    let outboxes = pool.run_metered(indexed, Some(metrics), |_, (src, rows)| {
         let mut local = Vec::new();
         let mut buffers: Vec<BytesMut> = vec![BytesMut::new(); workers];
-        for row in rows {
-            let dst = route(&row) % workers;
+        for (j, row) in rows.into_iter().enumerate() {
+            let dst = route(src, j, &row) % workers;
             if dst == src {
                 local.push(row);
             } else {
                 wire::encode_row(&row, &mut buffers[dst]);
             }
         }
-        Ok(Outbox { src, local, remote: buffers.into_iter().map(BytesMut::freeze).collect() })
+        Ok(Outbox {
+            src,
+            local,
+            remote: buffers.into_iter().map(BytesMut::freeze).collect(),
+        })
     })?;
 
-    let moved_bytes: u64 =
-        outboxes.iter().flat_map(|o| o.remote.iter().map(|b| b.len() as u64)).sum();
+    let moved_bytes: u64 = outboxes
+        .iter()
+        .flat_map(|o| o.remote.iter().map(|b| b.len() as u64))
+        .sum();
 
     // Stage 2 (parallel per destination): adopt local rows, decode inbound.
-    let mut inboxes: Vec<(usize, Vec<Row>, Vec<Bytes>)> =
-        (0..workers).map(|dst| (dst, Vec::new(), Vec::new())).collect();
+    let mut inboxes: Vec<(usize, Vec<Row>, Vec<Bytes>)> = (0..workers)
+        .map(|dst| (dst, Vec::new(), Vec::new()))
+        .collect();
     for outbox in outboxes {
         inboxes[outbox.src].1 = outbox.local;
         for (dst, buf) in outbox.remote.into_iter().enumerate() {
@@ -102,14 +110,16 @@ pub fn shuffle_by(
             }
         }
     }
-    let decoded = par_map(inboxes, |(_dst, local, bufs)| {
+    let decoded = pool.run_metered(inboxes, Some(metrics), |_, (dst, local, bufs)| {
         // Each destination worker pays for the bytes it receives.
-        metrics.charge_network(bufs.iter().map(|b| b.len() as u64).sum());
+        let inbound: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+        metrics.charge_network(inbound);
         let mut rows = local;
         let mut n = 0usize;
         for mut buf in bufs {
             n += decode_all(&mut buf, &mut rows)?;
         }
+        metrics.charge_worker_io(dst, n as u64, inbound);
         Ok((rows, n))
     })?;
 
@@ -126,61 +136,75 @@ pub fn shuffle_by(
 /// Hash-partition by one column's value.
 pub fn shuffle_by_column(
     parts: Parts,
-    workers: usize,
+    pool: &WorkerPool,
     column: usize,
     metrics: &QueryMetrics,
 ) -> Result<Parts> {
-    shuffle_by(parts, workers, metrics, move |row| {
+    let workers = pool.size();
+    shuffle_by(parts, pool, metrics, move |row| {
         (route_hash(row.get(column)) as usize) % workers
     })
 }
 
 /// Hash-partition by the whole row (used by duplicate elimination).
-pub fn shuffle_by_row(parts: Parts, workers: usize, metrics: &QueryMetrics) -> Result<Parts> {
-    shuffle_by(parts, workers, metrics, move |row| (route_hash(row) as usize) % workers)
+pub fn shuffle_by_row(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result<Parts> {
+    let workers = pool.size();
+    shuffle_by(parts, pool, metrics, move |row| {
+        (route_hash(row) as usize) % workers
+    })
 }
 
 /// Deliver every row to every worker. Each row is serialized once by its
 /// source; every remote receiver decodes its own copy.
-pub fn broadcast(parts: Parts, workers: usize, metrics: &QueryMetrics) -> Result<Parts> {
+pub fn broadcast(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result<Parts> {
+    let workers = pool.size();
     // Stage 1 (parallel per source): encode the partition once.
-    let encoded = par_map(parts.into_iter().collect::<Vec<_>>(), |rows| {
-        let mut buf = BytesMut::with_capacity(rows.len() * 32);
-        for row in &rows {
-            wire::encode_row(row, &mut buf);
-        }
-        Ok((rows, buf.freeze()))
-    })?;
+    let encoded = pool.run_metered(
+        parts.into_iter().collect::<Vec<_>>(),
+        Some(metrics),
+        |_, rows| {
+            let mut buf = BytesMut::with_capacity(rows.len() * 32);
+            for row in &rows {
+                wire::encode_row(row, &mut buf);
+            }
+            Ok((rows, buf.freeze()))
+        },
+    )?;
 
     let mut delivered_rows = 0u64;
     let mut delivered_bytes = 0u64;
-    for (src, (rows, buf)) in encoded.iter().enumerate() {
+    for (rows, buf) in encoded.iter() {
         let receivers = workers.saturating_sub(1) as u64;
-        let _ = src;
         delivered_rows += rows.len() as u64 * receivers;
         delivered_bytes += buf.len() as u64 * receivers;
     }
 
     // Stage 2 (parallel per destination): local clone + decode all remotes.
-    let out = par_map((0..workers).collect::<Vec<usize>>(), |dst| {
-        let inbound: u64 = encoded
-            .iter()
-            .enumerate()
-            .filter(|(src, _)| *src != dst)
-            .map(|(_, (_, buf))| buf.len() as u64)
-            .sum();
-        metrics.charge_network(inbound);
-        let mut rows = Vec::new();
-        for (src, (local, buf)) in encoded.iter().enumerate() {
-            if src == dst {
-                rows.extend(local.iter().cloned());
-            } else {
-                let mut b = buf.clone();
-                decode_all(&mut b, &mut rows)?;
+    let out = pool.run_metered(
+        (0..workers).collect::<Vec<usize>>(),
+        Some(metrics),
+        |_, dst| {
+            let inbound: u64 = encoded
+                .iter()
+                .enumerate()
+                .filter(|(src, _)| *src != dst)
+                .map(|(_, (_, buf))| buf.len() as u64)
+                .sum();
+            metrics.charge_network(inbound);
+            let mut rows = Vec::new();
+            let mut received = 0usize;
+            for (src, (local, buf)) in encoded.iter().enumerate() {
+                if src == dst {
+                    rows.extend(local.iter().cloned());
+                } else {
+                    let mut b = buf.clone();
+                    received += decode_all(&mut b, &mut rows)?;
+                }
             }
-        }
-        Ok(rows)
-    })?;
+            metrics.charge_worker_io(dst, received as u64, inbound);
+            Ok(rows)
+        },
+    )?;
 
     metrics.record_broadcast(delivered_rows, delivered_bytes);
     Ok(out)
@@ -188,9 +212,9 @@ pub fn broadcast(parts: Parts, workers: usize, metrics: &QueryMetrics) -> Result
 
 /// Move everything to worker 0 (final result collection, global sort).
 /// Sources encode in parallel; the coordinator decodes.
-pub fn gather(parts: Parts, metrics: &QueryMetrics) -> Result<Vec<Row>> {
+pub fn gather(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result<Vec<Row>> {
     let indexed: Vec<(usize, Vec<Row>)> = parts.into_iter().enumerate().collect();
-    let encoded = par_map(indexed, |(src, rows)| {
+    let encoded = pool.run_metered(indexed, Some(metrics), |_, (src, rows)| {
         if src == 0 {
             Ok((rows, Bytes::new()))
         } else {
@@ -213,47 +237,24 @@ pub fn gather(parts: Parts, metrics: &QueryMetrics) -> Result<Vec<Row>> {
     }
     // The coordinator receives everything over its single link.
     metrics.charge_network(moved_bytes);
+    metrics.charge_worker_io(0, moved_rows, moved_bytes);
     metrics.record_shuffle(moved_rows, moved_bytes);
     Ok(out)
 }
 
-/// Round-robin rows into `workers` partitions (random/rebalancing exchange —
-/// what the engine does when a theta join needs *some* partitioning).
-pub fn rebalance(parts: Parts, workers: usize, metrics: &QueryMetrics) -> Result<Parts> {
-    // Deterministic: row j of source partition i goes to (i + j) % workers.
-    let indexed: Vec<(usize, Vec<Row>)> = parts.into_iter().enumerate().collect();
-    let tagged: Parts = indexed
-        .into_iter()
-        .map(|(src, rows)| {
-            rows // destinations precomputed; shuffle_by routes on position
-                .into_iter()
-                .enumerate()
-                .map(|(j, row)| {
-                    let mut r = row;
-                    // Temporarily append the destination as a column so the
-                    // routing closure stays pure; removed after the shuffle.
-                    r.push(fudj_types::Value::Int64(((src + j) % workers) as i64));
-                    r
-                })
-                .collect()
-        })
-        .collect();
-    let shuffled = shuffle_by(tagged, workers, metrics, |row| match row.values().last() {
-        Some(fudj_types::Value::Int64(d)) => *d as usize,
-        _ => 0,
-    })?;
-    Ok(shuffled
-        .into_iter()
-        .map(|rows| {
-            rows.into_iter()
-                .map(|row| {
-                    let mut values = row.into_values();
-                    values.pop();
-                    Row::new(values)
-                })
-                .collect()
-        })
-        .collect())
+/// Round-robin rows into one partition per worker (random/rebalancing
+/// exchange — what the engine does when a theta join needs *some*
+/// partitioning). Deterministic: row `j` of source partition `i` goes to
+/// worker `(i + j) % workers`.
+///
+/// Routing is purely positional — no destination tag is appended to the
+/// row, so the shuffle serializes (and the metrics count) exactly the
+/// row's real payload. An earlier implementation smuggled the destination
+/// through a temporary `Int64` column, inflating `bytes_shuffled` by 9
+/// bytes per crossing row.
+pub fn rebalance(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result<Parts> {
+    let workers = pool.size();
+    shuffle_routed(parts, pool, metrics, |src, j, _row| (src + j) % workers)
 }
 
 #[cfg(test)]
@@ -262,7 +263,9 @@ mod tests {
     use fudj_types::Value;
 
     fn rows_of(vals: &[i64]) -> Vec<Row> {
-        vals.iter().map(|&v| Row::new(vec![Value::Int64(v)])).collect()
+        vals.iter()
+            .map(|&v| Row::new(vec![Value::Int64(v)]))
+            .collect()
     }
 
     fn flatten_sorted(parts: Parts) -> Vec<Row> {
@@ -275,7 +278,8 @@ mod tests {
     fn shuffle_preserves_multiset() {
         let parts = vec![rows_of(&[1, 2, 3]), rows_of(&[4, 5]), rows_of(&[6])];
         let m = QueryMetrics::new();
-        let out = shuffle_by_column(parts, 4, 0, &m).unwrap();
+        let pool = WorkerPool::new(4);
+        let out = shuffle_by_column(parts, &pool, 0, &m).unwrap();
         assert_eq!(out.len(), 4);
         assert_eq!(flatten_sorted(out), rows_of(&[1, 2, 3, 4, 5, 6]));
     }
@@ -284,7 +288,8 @@ mod tests {
     fn shuffle_routes_equal_keys_together() {
         let parts = vec![rows_of(&[7, 8]), rows_of(&[7, 9, 7])];
         let m = QueryMetrics::new();
-        let out = shuffle_by_column(parts, 3, 0, &m).unwrap();
+        let pool = WorkerPool::new(3);
+        let out = shuffle_by_column(parts, &pool, 0, &m).unwrap();
         let with_sevens: Vec<usize> = out
             .iter()
             .enumerate()
@@ -292,7 +297,13 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(with_sevens.len(), 1, "all 7s on one worker");
-        assert_eq!(out[with_sevens[0]].iter().filter(|r| r.get(0) == &Value::Int64(7)).count(), 3);
+        assert_eq!(
+            out[with_sevens[0]]
+                .iter()
+                .filter(|r| r.get(0) == &Value::Int64(7))
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -300,7 +311,8 @@ mod tests {
         // One worker: nothing can cross the network.
         let parts = vec![rows_of(&[1, 2, 3])];
         let m = QueryMetrics::new();
-        shuffle_by_column(parts, 1, 0, &m).unwrap();
+        let pool = WorkerPool::new(1);
+        shuffle_by_column(parts, &pool, 0, &m).unwrap();
         assert_eq!(m.snapshot().bytes_shuffled, 0);
     }
 
@@ -308,19 +320,24 @@ mod tests {
     fn cross_worker_rows_are_counted() {
         let parts = vec![rows_of(&[1]), rows_of(&[2])];
         let m = QueryMetrics::new();
+        let pool = WorkerPool::new(2);
         // Route everything to worker 0: the row from worker 1 crosses.
-        shuffle_by(parts, 2, &m, |_| 0).unwrap();
+        shuffle_by(parts, &pool, &m, |_| 0).unwrap();
         let s = m.snapshot();
         assert_eq!(s.rows_shuffled, 1);
         // i64 row: 4 (width) + 1 (tag) + 8 (payload) = 13 bytes.
         assert_eq!(s.bytes_shuffled, 13);
+        // The receiving worker's per-worker counters see the same row.
+        assert_eq!(s.per_worker[0].rows, 1);
+        assert_eq!(s.per_worker[0].bytes, 13);
     }
 
     #[test]
     fn broadcast_replicates_everywhere() {
         let parts = vec![rows_of(&[1]), rows_of(&[2]), Vec::new()];
         let m = QueryMetrics::new();
-        let out = broadcast(parts, 3, &m).unwrap();
+        let pool = WorkerPool::new(3);
+        let out = broadcast(parts, &pool, &m).unwrap();
         for p in &out {
             assert_eq!(flatten_sorted(vec![p.clone()]), rows_of(&[1, 2]));
         }
@@ -332,27 +349,53 @@ mod tests {
     fn gather_collects_all() {
         let parts = vec![rows_of(&[3]), rows_of(&[1]), rows_of(&[2])];
         let m = QueryMetrics::new();
-        let mut all = gather(parts, &m).unwrap();
+        let pool = WorkerPool::new(3);
+        let mut all = gather(parts, &pool, &m).unwrap();
         all.sort();
         assert_eq!(all, rows_of(&[1, 2, 3]));
-        assert_eq!(m.snapshot().rows_shuffled, 2, "worker 0's row is local");
+        let s = m.snapshot();
+        assert_eq!(s.rows_shuffled, 2, "worker 0's row is local");
+        assert_eq!(
+            s.per_worker[0].rows, 2,
+            "gathered rows land on the coordinator"
+        );
     }
 
     #[test]
     fn rebalance_levels_partitions() {
         let parts = vec![rows_of(&(0..10).collect::<Vec<_>>()), Vec::new()];
         let m = QueryMetrics::new();
-        let out = rebalance(parts, 2, &m).unwrap();
+        let pool = WorkerPool::new(2);
+        let out = rebalance(parts, &pool, &m).unwrap();
         assert_eq!(out[0].len(), 5);
         assert_eq!(out[1].len(), 5);
-        // Tags are stripped: rows keep their single column.
+        // Routing is positional: rows keep exactly their original column.
         assert!(out.iter().flatten().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn rebalance_counts_untagged_wire_bytes() {
+        // Regression: rebalance used to append an Int64 routing column
+        // before the shuffle, so every crossing row was serialized 9
+        // bytes (1 tag + 8 payload) too large. Row 1 of source 0 goes to
+        // worker (0 + 1) % 2 = 1 — exactly one single-column i64 row
+        // crosses, and it must be counted at its real wire size:
+        // 4 (width) + 1 (tag) + 8 (payload) = 13 bytes, not 22.
+        let parts = vec![rows_of(&[1, 2]), Vec::new()];
+        let m = QueryMetrics::new();
+        let pool = WorkerPool::new(2);
+        let out = rebalance(parts, &pool, &m).unwrap();
+        assert_eq!(flatten_sorted(out), rows_of(&[1, 2]));
+        let s = m.snapshot();
+        assert_eq!(s.rows_shuffled, 1);
+        assert_eq!(s.bytes_shuffled, 13);
     }
 
     #[test]
     fn empty_input_shuffles_to_empty() {
         let m = QueryMetrics::new();
-        let out = shuffle_by(vec![Vec::new(); 3], 3, &m, |_| 0).unwrap();
+        let pool = WorkerPool::new(3);
+        let out = shuffle_by(vec![Vec::new(); 3], &pool, &m, |_| 0).unwrap();
         assert!(out.iter().all(Vec::is_empty));
         assert_eq!(m.snapshot().rows_shuffled, 0);
     }

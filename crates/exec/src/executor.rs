@@ -4,20 +4,25 @@ use crate::aggregate::Accumulator;
 use crate::exchange;
 use crate::metrics::QueryMetrics;
 use crate::plan::{Aggregate, PhysicalPlan, SortKey};
-use fudj_types::{Batch, DataType, FudjError, Result, Row, Value};
+use crate::pool::WorkerPool;
+use fudj_types::{Batch, DataType, Result, Row, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Rows, one vector per worker — the unit of data flow between operators.
 pub type PartitionedData = Vec<Vec<Row>>;
 
-/// A simulated shared-nothing cluster: `workers` nodes, each executing the
-/// per-partition side of every operator on its own OS thread, optionally
-/// connected by a [`crate::metrics::NetworkModel`] that charges wall-clock
-/// time for exchanged bytes.
-#[derive(Clone, Copy, Debug)]
+/// A simulated shared-nothing cluster: `workers` nodes, each a persistent
+/// [`WorkerPool`] thread spawned once here and reused by every phase of
+/// every query, optionally connected by a
+/// [`crate::metrics::NetworkModel`] that charges wall-clock time for
+/// exchanged bytes. Cloning a `Cluster` shares the pool — clones are the
+/// same simulated cluster, not a new one.
+#[derive(Clone, Debug)]
 pub struct Cluster {
     workers: usize,
     network: Option<crate::metrics::NetworkModel>,
+    pool: Arc<WorkerPool>,
 }
 
 impl Cluster {
@@ -27,13 +32,18 @@ impl Cluster {
     /// Panics when `workers` is zero.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "cluster needs at least one worker");
-        Cluster { workers, network: None }
+        Cluster {
+            workers,
+            network: None,
+            pool: Arc::new(WorkerPool::new(workers)),
+        }
     }
 
     /// Cluster whose exchanges pay for their bytes under `network`.
     pub fn with_network(workers: usize, network: crate::metrics::NetworkModel) -> Self {
-        assert!(workers > 0, "cluster needs at least one worker");
-        Cluster { workers, network: Some(network) }
+        let mut c = Cluster::new(workers);
+        c.network = Some(network);
+        c
     }
 
     /// Number of workers.
@@ -46,11 +56,22 @@ impl Cluster {
         self.network
     }
 
+    /// Swap the network model without recreating the cluster — the worker
+    /// pool (and thus worker thread identity) is preserved.
+    pub fn set_network(&mut self, network: Option<crate::metrics::NetworkModel>) {
+        self.network = network;
+    }
+
+    /// The persistent worker pool backing this cluster.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     /// Execute a plan and gather the result on the coordinator.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryMetrics)> {
         let metrics = QueryMetrics::with_network(self.network);
         let parts = self.execute_partitioned(plan, &metrics)?;
-        let rows = exchange::gather(parts, &metrics)?;
+        let rows = exchange::gather(parts, &self.pool, &metrics)?;
         Ok((Batch::new(plan.schema(), rows), metrics))
     }
 
@@ -73,7 +94,7 @@ impl Cluster {
 
             PhysicalPlan::Filter { input, predicate } => {
                 let parts = self.execute_partitioned(input, metrics)?;
-                self.parallel_map(parts, |rows| {
+                self.parallel_map(metrics, parts, |rows| {
                     let mut out = Vec::with_capacity(rows.len() / 2);
                     for row in rows {
                         if predicate(&row)? {
@@ -86,23 +107,26 @@ impl Cluster {
 
             PhysicalPlan::Project { input, mapper, .. } => {
                 let parts = self.execute_partitioned(input, metrics)?;
-                self.parallel_map(parts, |rows| {
+                self.parallel_map(metrics, parts, |rows| {
                     rows.iter().map(|r| mapper(r)).collect::<Result<Vec<Row>>>()
                 })
             }
 
             PhysicalPlan::FudjJoin(node) => crate::fudj_join::execute(self, node, metrics),
 
-            PhysicalPlan::NlJoin { left, right, predicate } => {
+            PhysicalPlan::NlJoin {
+                left,
+                right,
+                predicate,
+            } => {
                 // On-top plan: broadcast the right side, nested-loop with
                 // the UDF predicate on every worker.
                 let left_parts = self.execute_partitioned(left, metrics)?;
                 let right_parts = self.execute_partitioned(right, metrics)?;
-                let right_all =
-                    exchange::broadcast(right_parts, self.workers, metrics)?;
+                let right_all = exchange::broadcast(right_parts, &self.pool, metrics)?;
                 let zipped: Vec<(Vec<Row>, Vec<Row>)> =
                     left_parts.into_iter().zip(right_all).collect();
-                self.parallel_map(zipped, |(lrows, rrows)| {
+                self.parallel_map(metrics, zipped, |(lrows, rrows)| {
                     let mut out = Vec::new();
                     for l in &lrows {
                         for r in &rrows {
@@ -115,13 +139,15 @@ impl Cluster {
                 })
             }
 
-            PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
-                self.execute_aggregate(input, group_by, aggregates, metrics)
-            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+            } => self.execute_aggregate(input, group_by, aggregates, metrics),
 
             PhysicalPlan::Sort { input, keys } => {
                 let parts = self.execute_partitioned(input, metrics)?;
-                let mut rows = exchange::gather(parts, metrics)?;
+                let mut rows = exchange::gather(parts, &self.pool, metrics)?;
                 sort_rows(&mut rows, keys);
                 let mut out: PartitionedData = vec![Vec::new(); self.workers];
                 out[0] = rows;
@@ -130,7 +156,7 @@ impl Cluster {
 
             PhysicalPlan::Limit { input, limit } => {
                 let parts = self.execute_partitioned(input, metrics)?;
-                let mut rows = exchange::gather(parts, metrics)?;
+                let mut rows = exchange::gather(parts, &self.pool, metrics)?;
                 rows.truncate(*limit);
                 let mut out: PartitionedData = vec![Vec::new(); self.workers];
                 out[0] = rows;
@@ -139,25 +165,17 @@ impl Cluster {
         }
     }
 
-    /// Run `f` over every partition in parallel, one thread per worker.
+    /// Run `f` over every partition on the persistent worker pool
+    /// (partition `i` on worker `i`), charging each worker's busy time to
+    /// the metrics' active phase.
     pub(crate) fn parallel_map<T: Send, R: Send>(
         &self,
+        metrics: &QueryMetrics,
         parts: Vec<T>,
         f: impl Fn(T) -> Result<R> + Sync,
     ) -> Result<Vec<R>> {
-        if parts.len() <= 1 {
-            return parts.into_iter().map(f).collect();
-        }
-        let results: Vec<Result<R>> = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                parts.into_iter().map(|part| scope.spawn(|| f(part))).collect();
-            handles.into_iter().map(|h| {
-                h.join().unwrap_or_else(|_| {
-                    Err(FudjError::Execution("worker thread panicked".into()))
-                })
-            }).collect()
-        });
-        results.into_iter().collect()
+        self.pool
+            .run_metered(parts, Some(metrics), |_, part| f(part))
     }
 
     fn execute_aggregate(
@@ -180,7 +198,7 @@ impl Cluster {
         let parts = self.execute_partitioned(input, metrics)?;
 
         // Step 1: per-worker partial aggregation.
-        let partials = self.parallel_map(parts, |rows| {
+        let partials = self.parallel_map(metrics, parts, |rows| {
             let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
             for row in &rows {
                 let key: Vec<Value> = group_by.iter().map(|&i| row.get(i).clone()).collect();
@@ -207,10 +225,10 @@ impl Cluster {
 
         // Step 2: shuffle partials by group key, merge, finalize.
         let width = group_by.len();
-        let shuffled = exchange::shuffle_by(partials, self.workers, metrics, |row| {
+        let shuffled = exchange::shuffle_by(partials, &self.pool, metrics, |row| {
             (exchange::route_hash(&row.values()[..width]) as usize) % self.workers
         })?;
-        self.parallel_map(shuffled, |rows| {
+        self.parallel_map(metrics, shuffled, |rows| {
             let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
             for row in &rows {
                 let key = row.values()[..width].to_vec();
@@ -281,7 +299,9 @@ mod tests {
     }
 
     fn scan(rows: usize, parts: usize) -> PhysicalPlan {
-        PhysicalPlan::Scan { dataset: dataset(rows, parts) }
+        PhysicalPlan::Scan {
+            dataset: dataset(rows, parts),
+        }
     }
 
     #[test]
@@ -337,7 +357,7 @@ mod tests {
             for row in batch.rows() {
                 let g = row.get(0).as_i64().unwrap();
                 assert_eq!(row.get(1), &Value::Int64(30)); // count per group
-                // ids g, g+3, ..., g+87; v = 2*id.
+                                                           // ids g, g+3, ..., g+87; v = 2*id.
                 let ids: Vec<i64> = (0..30).map(|k| g + 3 * k).collect();
                 let sum: i64 = ids.iter().map(|i| i * 2).sum();
                 assert_eq!(row.get(2), &Value::Int64(sum));
@@ -372,7 +392,11 @@ mod tests {
             limit: 5,
         };
         let (batch, _) = cluster.execute(&plan).unwrap();
-        let ids: Vec<i64> = batch.rows().iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let ids: Vec<i64> = batch
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
         assert_eq!(ids, vec![29, 28, 27, 26, 25]);
     }
 
@@ -390,7 +414,10 @@ mod tests {
         // ids ≡ 0 mod 3: 0, 3, 6, 9 → 4 matches.
         assert_eq!(batch.len(), 4);
         assert_eq!(batch.schema().len(), 6);
-        assert!(metrics.snapshot().rows_broadcast > 0, "on-top broadcasts a side");
+        assert!(
+            metrics.snapshot().rows_broadcast > 0,
+            "on-top broadcasts a side"
+        );
     }
 
     #[test]

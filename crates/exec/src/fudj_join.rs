@@ -34,6 +34,13 @@ use fudj_core::{BucketId, DedupMode, EngineJoin, PPlanState, Side, SummaryState}
 use fudj_types::{FudjError, Result, Row, Value};
 use std::collections::{HashMap, HashSet};
 
+/// Rows with their tag column stripped, plus a bucket → row-index map.
+type GroupedRows = (Vec<Row>, HashMap<BucketId, Vec<usize>>);
+
+/// Rows with their tag column stripped, plus `(bucket, row index)` pairs
+/// sorted by bucket (the merge order for [`sort_merge_partition`]).
+type SortedRows = (Vec<Row>, Vec<(BucketId, usize)>);
+
 /// Execute one FUDJ join node.
 pub fn execute(
     cluster: &Cluster,
@@ -54,11 +61,25 @@ pub fn execute(
     // ---- SUMMARIZE -----------------------------------------------------
     let summarize_once = node.self_join && join.symmetric();
     let (left_summary, right_summary) = metrics.phase("summarize", || -> Result<_> {
-        let ls = summarize_side(cluster, join, Side::Left, &left_parts, node.left_key, metrics)?;
+        let ls = summarize_side(
+            cluster,
+            join,
+            Side::Left,
+            &left_parts,
+            node.left_key,
+            metrics,
+        )?;
         let rs = if summarize_once {
             ls.clone()
         } else {
-            summarize_side(cluster, join, Side::Right, &right_parts, node.right_key, metrics)?
+            summarize_side(
+                cluster,
+                join,
+                Side::Right,
+                &right_parts,
+                node.right_key,
+                metrics,
+            )?
         };
         Ok((ls, rs))
     })?;
@@ -74,23 +95,41 @@ pub fn execute(
     // ---- PARTITION -------------------------------------------------------
     let default_match = join.uses_default_match();
     let (left_tagged, right_tagged) = metrics.phase("partition", || -> Result<_> {
-        let lt = assign_and_tag(cluster, join, Side::Left, left_parts, node.left_key, &pplan)?;
-        let rt = assign_and_tag(cluster, join, Side::Right, right_parts, node.right_key, &pplan)?;
+        let lt = assign_and_tag(
+            cluster,
+            join,
+            Side::Left,
+            left_parts,
+            node.left_key,
+            &pplan,
+            metrics,
+        )?;
+        let rt = assign_and_tag(
+            cluster,
+            join,
+            Side::Right,
+            right_parts,
+            node.right_key,
+            &pplan,
+            metrics,
+        )?;
         if default_match {
             // Hash partitioning by bucket id: matching buckets co-locate.
-            let bucket_col = |row: &Row| {
-                (exchange::route_hash(row.values().last().expect("tagged row")) as usize) % workers
+            // Total over any row shape — an untagged row (impossible
+            // after assign_and_tag, but not worth a panic on the query
+            // path) routes to worker 0.
+            let bucket_col = |row: &Row| match row.values().last() {
+                Some(bucket) => (exchange::route_hash(bucket) as usize) % workers,
+                None => 0,
             };
-            let l = exchange::shuffle_by(lt, workers, metrics, bucket_col)?;
-            let r = exchange::shuffle_by(rt, workers, metrics, |row| {
-                (exchange::route_hash(row.values().last().expect("tagged row")) as usize) % workers
-            })?;
+            let l = exchange::shuffle_by(lt, cluster.pool(), metrics, bucket_col)?;
+            let r = exchange::shuffle_by(rt, cluster.pool(), metrics, bucket_col)?;
             Ok((l, r))
         } else {
             // Theta multi-join: no partitioning scheme applies. Rebalance
             // one side, broadcast the other.
-            let l = exchange::rebalance(lt, workers, metrics)?;
-            let r = exchange::broadcast(rt, workers, metrics)?;
+            let l = exchange::rebalance(lt, cluster.pool(), metrics)?;
+            let r = exchange::broadcast(rt, cluster.pool(), metrics)?;
             Ok((l, r))
         }
     })?;
@@ -98,8 +137,7 @@ pub fn execute(
     // ---- COMBINE -----------------------------------------------------------
     let dedup_mode = join.dedup_mode();
     let joined = metrics.phase("join", || -> Result<PartitionedData> {
-        let zipped: Vec<(Vec<Row>, Vec<Row>)> =
-            left_tagged.into_iter().zip(right_tagged).collect();
+        let zipped: Vec<(Vec<Row>, Vec<Row>)> = left_tagged.into_iter().zip(right_tagged).collect();
         let ctx = CombineContext {
             join,
             left_key: node.left_key,
@@ -110,7 +148,7 @@ pub fn execute(
             combine: node.combine,
             metrics,
         };
-        cluster.parallel_map(zipped, |(lrows, rrows)| {
+        cluster.parallel_map(metrics, zipped, |(lrows, rrows)| {
             // §III-B spilling: a worker whose tagged inputs exceed the
             // memory budget grace-partitions them to disk first. Only
             // default-match joins can grace-partition (theta matches span
@@ -127,8 +165,8 @@ pub fn execute(
     // ---- Duplicate elimination (extra stage) -----------------------------
     if dedup_mode == DedupMode::Elimination {
         return metrics.phase("dedup", || -> Result<PartitionedData> {
-            let shuffled = exchange::shuffle_by_row(joined, workers, metrics)?;
-            cluster.parallel_map(shuffled, |rows| {
+            let shuffled = exchange::shuffle_by_row(joined, cluster.pool(), metrics)?;
+            cluster.parallel_map(metrics, shuffled, |rows| {
                 let before = rows.len();
                 let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
                 let mut out = Vec::with_capacity(rows.len());
@@ -155,19 +193,21 @@ fn summarize_side(
     key_col: usize,
     metrics: &QueryMetrics,
 ) -> Result<SummaryState> {
-    let locals: Vec<SummaryState> = cluster.parallel_map(
-        parts.iter().collect::<Vec<&Vec<Row>>>(),
-        |rows| {
+    let locals: Vec<SummaryState> =
+        cluster.parallel_map(metrics, parts.iter().collect::<Vec<&Vec<Row>>>(), |rows| {
             let mut summary = join.new_summary(side);
             for row in rows {
                 join.local_aggregate(side, row.get(key_col), &mut summary)?;
             }
             Ok(summary)
-        },
-    )?;
+        })?;
     // Gathering local summaries to the coordinator costs their bytes
     // (all but the coordinator's own).
-    let state_bytes: u64 = locals.iter().skip(1).map(|s| s.serialized_len() as u64).sum();
+    let state_bytes: u64 = locals
+        .iter()
+        .skip(1)
+        .map(|s| s.serialized_len() as u64)
+        .sum();
     metrics.record_state_bytes(state_bytes);
 
     let mut iter = locals.into_iter();
@@ -186,8 +226,9 @@ fn assign_and_tag(
     parts: PartitionedData,
     key_col: usize,
     pplan: &PPlanState,
+    metrics: &QueryMetrics,
 ) -> Result<PartitionedData> {
-    cluster.parallel_map(parts, |rows| {
+    cluster.parallel_map(metrics, parts, |rows| {
         let mut out = Vec::with_capacity(rows.len());
         let mut buckets: Vec<BucketId> = Vec::new();
         for row in rows {
@@ -205,28 +246,32 @@ fn assign_and_tag(
     })
 }
 
-/// Bucket id from a tagged row's trailing column.
+/// Bucket id from a tagged row's trailing column. A malformed row is an
+/// execution error, not a panic — this sits on the query path and a
+/// misbehaving UDF must not take the process down.
 #[inline]
-fn bucket_of(row: &Row) -> BucketId {
+fn bucket_of(row: &Row) -> Result<BucketId> {
     match row.values().last() {
-        Some(Value::Int64(b)) => *b as BucketId,
-        other => unreachable!("tagged row must end with an Int64 bucket, got {other:?}"),
+        Some(Value::Int64(b)) => Ok(*b as BucketId),
+        other => Err(FudjError::Execution(format!(
+            "tagged row must end with an Int64 bucket, got {other:?}"
+        ))),
     }
 }
 
 /// Group tagged rows by bucket; strip the tag.
-fn group_by_bucket(rows: Vec<Row>) -> (Vec<Row>, HashMap<BucketId, Vec<usize>>) {
+fn group_by_bucket(rows: Vec<Row>) -> Result<GroupedRows> {
     let mut stripped = Vec::with_capacity(rows.len());
     let mut groups: HashMap<BucketId, Vec<usize>> = HashMap::new();
     for row in rows {
-        let b = bucket_of(&row);
+        let b = bucket_of(&row)?;
         let width = row.len() - 1;
         let mut values = row.into_values();
         values.truncate(width);
         groups.entry(b).or_default().push(stripped.len());
         stripped.push(Row::new(values));
     }
-    (stripped, groups)
+    Ok((stripped, groups))
 }
 
 /// Everything one worker's COMBINE needs, bundled to keep signatures sane.
@@ -250,12 +295,16 @@ fn join_worker_partition(
     if ctx.combine == crate::plan::CombineStrategy::SortMerge && ctx.default_match {
         return sort_merge_partition(ctx, lrows, rrows);
     }
-    let (lrows, lgroups) = group_by_bucket(lrows);
-    let (rrows, rgroups) = group_by_bucket(rrows);
+    let (lrows, lgroups) = group_by_bucket(lrows)?;
+    let (rrows, rgroups) = group_by_bucket(rrows)?;
 
     // Matched bucket pairs, deterministic order.
     let mut matched: Vec<(BucketId, BucketId)> = if ctx.default_match {
-        lgroups.keys().filter(|b| rgroups.contains_key(b)).map(|&b| (b, b)).collect()
+        lgroups
+            .keys()
+            .filter(|b| rgroups.contains_key(b))
+            .map(|&b| (b, b))
+            .collect()
     } else {
         let mut v = Vec::new();
         for &b1 in lgroups.keys() {
@@ -285,11 +334,11 @@ fn sort_merge_partition(
     lrows: Vec<Row>,
     rrows: Vec<Row>,
 ) -> Result<Vec<Row>> {
-    let strip = |rows: Vec<Row>| -> (Vec<Row>, Vec<(BucketId, usize)>) {
+    let strip = |rows: Vec<Row>| -> Result<SortedRows> {
         let mut stripped = Vec::with_capacity(rows.len());
         let mut tagged = Vec::with_capacity(rows.len());
         for row in rows {
-            let b = bucket_of(&row);
+            let b = bucket_of(&row)?;
             let width = row.len() - 1;
             let mut values = row.into_values();
             values.truncate(width);
@@ -297,10 +346,10 @@ fn sort_merge_partition(
             stripped.push(Row::new(values));
         }
         tagged.sort_unstable();
-        (stripped, tagged)
+        Ok((stripped, tagged))
     };
-    let (lrows, lsorted) = strip(lrows);
-    let (rrows, rsorted) = strip(rrows);
+    let (lrows, lsorted) = strip(lrows)?;
+    let (rrows, rsorted) = strip(rrows)?;
 
     let mut out = Vec::new();
     let mut l = 0usize;
@@ -338,14 +387,22 @@ fn join_bucket_pair(
     ridx: &[usize],
     out: &mut Vec<Row>,
 ) -> Result<()> {
-    let lkeys: Vec<Value> = lidx.iter().map(|&i| lrows[i].get(ctx.left_key).clone()).collect();
-    let rkeys: Vec<Value> = ridx.iter().map(|&j| rrows[j].get(ctx.right_key).clone()).collect();
-    ctx.metrics.record_verify_calls((lkeys.len() * rkeys.len()) as u64);
+    let lkeys: Vec<Value> = lidx
+        .iter()
+        .map(|&i| lrows[i].get(ctx.left_key).clone())
+        .collect();
+    let rkeys: Vec<Value> = ridx
+        .iter()
+        .map(|&j| rrows[j].get(ctx.right_key).clone())
+        .collect();
+    ctx.metrics
+        .record_verify_calls((lkeys.len() * rkeys.len()) as u64);
 
     let mut verified: Vec<(usize, usize)> = Vec::new();
-    ctx.join.local_join_pairs(b1, &lkeys, b2, &rkeys, ctx.pplan, &mut |i, j| {
-        verified.push((i, j));
-    })?;
+    ctx.join
+        .local_join_pairs(b1, &lkeys, b2, &rkeys, ctx.pplan, &mut |i, j| {
+            verified.push((i, j));
+        })?;
 
     // Framework duplicate avoidance, engine-side: each key's bucket list is
     // computed once per bucket group, not once per verified pair — for text
@@ -354,18 +411,19 @@ fn join_bucket_pair(
     let mut lassign: Vec<Option<Vec<BucketId>>> = vec![None; lkeys.len()];
     let mut rassign: Vec<Option<Vec<BucketId>>> = vec![None; rkeys.len()];
     let cached_assign = |side: Side,
-                             keys: &[Value],
-                             cache: &mut Vec<Option<Vec<BucketId>>>,
-                             k: usize|
+                         keys: &[Value],
+                         cache: &mut Vec<Option<Vec<BucketId>>>,
+                         k: usize|
      -> Result<Vec<BucketId>> {
-        if cache[k].is_none() {
-            let mut buckets = Vec::new();
-            ctx.join.assign(side, &keys[k], ctx.pplan, &mut buckets)?;
-            buckets.sort_unstable();
-            buckets.dedup();
-            cache[k] = Some(buckets);
+        if let Some(cached) = &cache[k] {
+            return Ok(cached.clone());
         }
-        Ok(cache[k].clone().expect("just filled"))
+        let mut buckets = Vec::new();
+        ctx.join.assign(side, &keys[k], ctx.pplan, &mut buckets)?;
+        buckets.sort_unstable();
+        buckets.dedup();
+        cache[k] = Some(buckets.clone());
+        Ok(buckets)
     };
 
     let mut rejections = 0u64;
@@ -415,13 +473,16 @@ fn spill_and_join(
     use std::io::{Read, Write};
 
     let total = lrows.len() + rrows.len();
-    let fanout = total.div_ceil(budget.max(1)).max(2).min(256);
+    let fanout = total.div_ceil(budget.max(1)).clamp(2, 256);
 
     let dir = std::env::temp_dir();
     static SPILL_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let run = SPILL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let path_of = |side: &str, f: usize| {
-        dir.join(format!("fudj-spill-{}-{run}-{side}-{f}.bin", std::process::id()))
+        dir.join(format!(
+            "fudj-spill-{}-{run}-{side}-{f}.bin",
+            std::process::id()
+        ))
     };
 
     // Write both sides into fan-out files keyed by bucket hash.
@@ -430,7 +491,7 @@ fn spill_and_join(
     let mut write_side = |side: &str, rows: Vec<Row>| -> Result<()> {
         let mut buffers: Vec<bytes::BytesMut> = vec![bytes::BytesMut::new(); fanout];
         for row in rows {
-            let f = (exchange::route_hash(&bucket_of(&row)) as usize) % fanout;
+            let f = (exchange::route_hash(&bucket_of(&row)?) as usize) % fanout;
             fudj_types::wire::encode_row(&row, &mut buffers[f]);
             spilled_rows += 1;
         }
@@ -486,12 +547,18 @@ mod tests {
     use std::sync::Arc;
 
     fn geo_dataset(name: &str, rows: Vec<Value>, parts: usize) -> Arc<fudj_storage::Dataset> {
-        let dt = rows.first().map(Value::data_type).unwrap_or(DataType::Point);
+        let dt = rows
+            .first()
+            .map(Value::data_type)
+            .unwrap_or(DataType::Point);
         let schema = Schema::shared(vec![
             Field::new("id", DataType::Int64),
             Field::new("geom", dt),
         ]);
-        let d = DatasetBuilder::new(name, schema).partitions(parts).build().unwrap();
+        let d = DatasetBuilder::new(name, schema)
+            .partitions(parts)
+            .build()
+            .unwrap();
         for (i, g) in rows.into_iter().enumerate() {
             d.insert(Row::new(vec![Value::Int64(i as i64), g])).unwrap();
         }
@@ -513,7 +580,12 @@ mod tests {
             })
             .collect();
         let fires: Vec<Value> = (0..pts)
-            .map(|_| Value::Point(Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))))
+            .map(|_| {
+                Value::Point(Point::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                ))
+            })
             .collect();
         (parks, fires)
     }
@@ -555,15 +627,19 @@ mod tests {
             reference_execute(&ej, &parks, &fires, &[Value::Int64(8)]).unwrap()
         };
         assert!(!reference.is_empty());
-        let expected: Vec<(i64, i64)> =
-            reference.iter().map(|&(i, j)| (i as i64, j as i64)).collect();
+        let expected: Vec<(i64, i64)> = reference
+            .iter()
+            .map(|&(i, j)| (i as i64, j as i64))
+            .collect();
 
         for workers in [1, 2, 4, 7] {
             let cluster = Cluster::new(workers);
             let plan = fudj_plan(
                 geo_dataset("parks", parks.clone(), 4),
                 geo_dataset("fires", fires.clone(), 4),
-                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                    SpatialFudj::new(),
+                )))),
                 vec![Value::Int64(8)],
             );
             let (batch, _) = cluster.execute(&plan).unwrap();
@@ -583,12 +659,16 @@ mod tests {
                 vec![Value::Int64(6)],
             )
         };
-        let (b1, _) = cluster.execute(&mk(Arc::new(BuiltinSpatialJoin::new()))).unwrap();
-        let (b2, _) = cluster.execute(&mk(Arc::new(AdvancedSpatialJoin::new()))).unwrap();
+        let (b1, _) = cluster
+            .execute(&mk(Arc::new(BuiltinSpatialJoin::new())))
+            .unwrap();
+        let (b2, _) = cluster
+            .execute(&mk(Arc::new(AdvancedSpatialJoin::new())))
+            .unwrap();
         let (b3, _) = cluster
-            .execute(&mk(Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
-                SpatialFudj::new(),
-            ))))))
+            .execute(&mk(Arc::new(FudjEngineJoin::new(Arc::new(
+                ProxyJoin::new(SpatialFudj::new()),
+            )))))
             .unwrap();
         assert_eq!(id_pairs(&b1), id_pairs(&b2));
         assert_eq!(id_pairs(&b1), id_pairs(&b3));
@@ -602,7 +682,7 @@ mod tests {
             (0..n)
                 .map(|_| {
                     let s = rng.gen_range(0i64..20_000);
-                    Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
+                    Value::Interval(Interval::new(s, s + rng.gen_range(0i64..1500)))
                 })
                 .collect()
         };
@@ -612,14 +692,18 @@ mod tests {
             let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(IntervalFudj::new())));
             reference_execute(&ej, &l, &r, &[Value::Int64(32)]).unwrap()
         };
-        let expected: Vec<(i64, i64)> =
-            reference.iter().map(|&(i, j)| (i as i64, j as i64)).collect();
+        let expected: Vec<(i64, i64)> = reference
+            .iter()
+            .map(|&(i, j)| (i as i64, j as i64))
+            .collect();
 
         let cluster = Cluster::new(4);
         let plan = fudj_plan(
             geo_dataset("rides_a", l, 4),
             geo_dataset("rides_b", r, 4),
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(IntervalFudj::new())))),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                IntervalFudj::new(),
+            )))),
             vec![Value::Int64(32)],
         );
         let (batch, metrics) = cluster.execute(&plan).unwrap();
@@ -630,30 +714,38 @@ mod tests {
         );
         // Builtin agrees too.
         let plan2 = fudj_plan(
-            geo_dataset("rides_a2", {
-                let mut rng = SmallRng::seed_from_u64(9);
-                (0..60)
-                    .map(|_| {
-                        let s = rng.gen_range(0i64..20_000);
-                        Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
-                    })
-                    .collect()
-            }, 4),
-            geo_dataset("rides_b2", {
-                let mut rng = SmallRng::seed_from_u64(9);
-                let _: Vec<Value> = (0..60)
-                    .map(|_| {
-                        let s = rng.gen_range(0i64..20_000);
-                        Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
-                    })
-                    .collect();
-                (0..40)
-                    .map(|_| {
-                        let s = rng.gen_range(0i64..20_000);
-                        Value::Interval(Interval::new(s, s + rng.gen_range(0..1500)))
-                    })
-                    .collect()
-            }, 4),
+            geo_dataset(
+                "rides_a2",
+                {
+                    let mut rng = SmallRng::seed_from_u64(9);
+                    (0..60)
+                        .map(|_| {
+                            let s = rng.gen_range(0i64..20_000);
+                            Value::Interval(Interval::new(s, s + rng.gen_range(0i64..1500)))
+                        })
+                        .collect()
+                },
+                4,
+            ),
+            geo_dataset(
+                "rides_b2",
+                {
+                    let mut rng = SmallRng::seed_from_u64(9);
+                    let _: Vec<Value> = (0..60)
+                        .map(|_| {
+                            let s = rng.gen_range(0i64..20_000);
+                            Value::Interval(Interval::new(s, s + rng.gen_range(0i64..1500)))
+                        })
+                        .collect();
+                    (0..40)
+                        .map(|_| {
+                            let s = rng.gen_range(0i64..20_000);
+                            Value::Interval(Interval::new(s, s + rng.gen_range(0i64..1500)))
+                        })
+                        .collect()
+                },
+                4,
+            ),
             Arc::new(BuiltinIntervalJoin::new()),
             vec![Value::Int64(32)],
         );
@@ -670,7 +762,10 @@ mod tests {
                 .map(|_| {
                     let len = rng.gen_range(2..6);
                     Value::str(
-                        (0..len).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect::<Vec<_>>().join(" "),
+                        (0..len)
+                            .map(|_| vocab[rng.gen_range(0..vocab.len())])
+                            .collect::<Vec<_>>()
+                            .join(" "),
                     )
                 })
                 .collect()
@@ -681,14 +776,18 @@ mod tests {
             let ej = FudjEngineJoin::new(Arc::new(ProxyJoin::new(TextSimilarityFudj::new())));
             reference_execute(&ej, &l, &r, &[Value::Float64(0.6)]).unwrap()
         };
-        let expected: Vec<(i64, i64)> =
-            reference.iter().map(|&(i, j)| (i as i64, j as i64)).collect();
+        let expected: Vec<(i64, i64)> = reference
+            .iter()
+            .map(|&(i, j)| (i as i64, j as i64))
+            .collect();
 
         let cluster = Cluster::new(3);
         let plan = fudj_plan(
             geo_dataset("rev_a", l, 3),
             geo_dataset("rev_b", r, 3),
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(TextSimilarityFudj::new())))),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                TextSimilarityFudj::new(),
+            )))),
             vec![Value::Float64(0.6)],
         );
         let (batch, _) = cluster.execute(&plan).unwrap();
@@ -704,7 +803,9 @@ mod tests {
         let avoid = fudj_plan(
             geo_dataset("p1", parks.clone(), 3),
             geo_dataset("f1", fires.clone(), 3),
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                SpatialFudj::new(),
+            )))),
             vec![Value::Int64(10)],
         );
         let elim = fudj_plan(
@@ -720,7 +821,10 @@ mod tests {
         assert_eq!(id_pairs(&b1), id_pairs(&b2));
         // Elimination pays an extra dedup stage with its own shuffle.
         assert!(m2.snapshot().phase_total("dedup") > std::time::Duration::ZERO);
-        assert_eq!(m1.snapshot().phase_total("dedup"), std::time::Duration::ZERO);
+        assert_eq!(
+            m1.snapshot().phase_total("dedup"),
+            std::time::Duration::ZERO
+        );
     }
 
     #[test]
@@ -729,9 +833,15 @@ mod tests {
         let ds = geo_dataset("parks_self", parks, 3);
         let cluster = Cluster::new(3);
         let mut node = FudjJoinNode::new(
-            PhysicalPlan::Scan { dataset: ds.clone() },
-            PhysicalPlan::Scan { dataset: ds.clone() },
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            PhysicalPlan::Scan {
+                dataset: ds.clone(),
+            },
+            PhysicalPlan::Scan {
+                dataset: ds.clone(),
+            },
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                SpatialFudj::new(),
+            )))),
             1,
             1,
             vec![Value::Int64(8)],
@@ -739,9 +849,13 @@ mod tests {
         let (plain, _) = cluster.execute(&PhysicalPlan::FudjJoin(node)).unwrap();
 
         node = FudjJoinNode::new(
-            PhysicalPlan::Scan { dataset: ds.clone() },
+            PhysicalPlan::Scan {
+                dataset: ds.clone(),
+            },
             PhysicalPlan::Scan { dataset: ds },
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                SpatialFudj::new(),
+            )))),
             1,
             1,
             vec![Value::Int64(8)],
@@ -760,9 +874,15 @@ mod tests {
         let cluster = Cluster::new(3);
         let mk = |combine: crate::plan::CombineStrategy| {
             let mut node = FudjJoinNode::new(
-                PhysicalPlan::Scan { dataset: geo_dataset(&format!("p_{combine:?}"), parks.clone(), 3) },
-                PhysicalPlan::Scan { dataset: geo_dataset(&format!("f_{combine:?}"), fires.clone(), 3) },
-                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("p_{combine:?}"), parks.clone(), 3),
+                },
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("f_{combine:?}"), fires.clone(), 3),
+                },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                    SpatialFudj::new(),
+                )))),
                 1,
                 1,
                 vec![Value::Int64(10)],
@@ -770,8 +890,12 @@ mod tests {
             node.combine = combine;
             PhysicalPlan::FudjJoin(node)
         };
-        let (hash, _) = cluster.execute(&mk(crate::plan::CombineStrategy::HashGroup)).unwrap();
-        let (merge, _) = cluster.execute(&mk(crate::plan::CombineStrategy::SortMerge)).unwrap();
+        let (hash, _) = cluster
+            .execute(&mk(crate::plan::CombineStrategy::HashGroup))
+            .unwrap();
+        let (merge, _) = cluster
+            .execute(&mk(crate::plan::CombineStrategy::SortMerge))
+            .unwrap();
         assert_eq!(id_pairs(&hash), id_pairs(&merge));
         assert!(!hash.is_empty());
     }
@@ -782,9 +906,15 @@ mod tests {
         let cluster = Cluster::new(2);
         let mk = |budget: Option<usize>| {
             let mut node = FudjJoinNode::new(
-                PhysicalPlan::Scan { dataset: geo_dataset(&format!("ps_{budget:?}"), parks.clone(), 2) },
-                PhysicalPlan::Scan { dataset: geo_dataset(&format!("fs_{budget:?}"), fires.clone(), 2) },
-                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("ps_{budget:?}"), parks.clone(), 2),
+                },
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("fs_{budget:?}"), fires.clone(), 2),
+                },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                    SpatialFudj::new(),
+                )))),
                 1,
                 1,
                 vec![Value::Int64(8)],
@@ -809,14 +939,20 @@ mod tests {
         let ivs: Vec<Value> = (0..50)
             .map(|_| {
                 let s = rng.gen_range(0i64..5_000);
-                Value::Interval(Interval::new(s, s + rng.gen_range(0..800)))
+                Value::Interval(Interval::new(s, s + rng.gen_range(0i64..800)))
             })
             .collect();
         let cluster = Cluster::new(2);
         let mut node = FudjJoinNode::new(
-            PhysicalPlan::Scan { dataset: geo_dataset("iv_a", ivs.clone(), 2) },
-            PhysicalPlan::Scan { dataset: geo_dataset("iv_b", ivs.clone(), 2) },
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(IntervalFudj::new())))),
+            PhysicalPlan::Scan {
+                dataset: geo_dataset("iv_a", ivs.clone(), 2),
+            },
+            PhysicalPlan::Scan {
+                dataset: geo_dataset("iv_b", ivs.clone(), 2),
+            },
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                IntervalFudj::new(),
+            )))),
             1,
             1,
             vec![Value::Int64(32)],
@@ -834,7 +970,9 @@ mod tests {
         let plan = fudj_plan(
             geo_dataset("p", parks, 4),
             geo_dataset("f", fires, 4),
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())))),
+            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                SpatialFudj::new(),
+            )))),
             vec![Value::Int64(12)],
         );
         let (_, metrics) = cluster.execute(&plan).unwrap();

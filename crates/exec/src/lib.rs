@@ -27,16 +27,23 @@
 //! results), matching how these plans execute as aggregation/repartition
 //! stages in the original system.
 
+//! Workers are *persistent*: a [`Cluster`] owns a [`pool::WorkerPool`]
+//! spawned once at construction, and every phase of every query runs
+//! partition `i` on the same pool thread `i` — so per-worker counters in
+//! [`MetricsSnapshot::per_worker`] describe stable node identities.
+
 pub mod aggregate;
 pub mod exchange;
 pub mod executor;
 pub mod fudj_join;
 pub mod metrics;
 pub mod plan;
+pub mod pool;
 
 pub use executor::{Cluster, PartitionedData};
-pub use metrics::{MetricsSnapshot, NetworkModel, QueryMetrics};
+pub use metrics::{MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats};
 pub use plan::{
-    Aggregate, AggFunc, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,
+    AggFunc, Aggregate, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,
     RowPredicate, SortKey,
 };
+pub use pool::WorkerPool;

@@ -45,8 +45,49 @@ impl NetworkModel {
         if bytes == 0 {
             return Duration::ZERO;
         }
-        self.latency
-            + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+}
+
+/// Per-worker activity counters. Worker identity is stable for the
+/// lifetime of a [`crate::Cluster`] (one persistent pool thread per
+/// worker), so these accumulate across all phases of all queries run
+/// against one metrics handle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Rows this worker received from exchanges (shuffle destinations,
+    /// broadcast receivers, the gather coordinator).
+    pub rows: u64,
+    /// Serialized bytes this worker received from exchanges.
+    pub bytes: u64,
+    /// Wall-clock time this worker spent executing tasks.
+    pub busy: Duration,
+}
+
+/// Load-balance summary for one named phase: how the busiest worker
+/// compares to the average (paper Fig. 10 territory — skew is what
+/// DIVIDE's balancing objectives exist to fight).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSkew {
+    /// Phase name (e.g. `partition`, `join`).
+    pub phase: String,
+    /// Busy time of the most-loaded worker.
+    pub max: Duration,
+    /// Mean busy time across workers that participated.
+    pub mean: Duration,
+    /// Number of workers that did any work in this phase.
+    pub workers: usize,
+}
+
+impl PhaseSkew {
+    /// `max / mean` — 1.0 is perfectly balanced; higher means one
+    /// straggler dominates the phase's wall-clock time.
+    pub fn ratio(&self) -> f64 {
+        if self.mean.is_zero() {
+            1.0
+        } else {
+            self.max.as_secs_f64() / self.mean.as_secs_f64()
+        }
     }
 }
 
@@ -73,24 +114,69 @@ pub struct MetricsSnapshot {
     pub spilled_bytes: u64,
     /// Named phase durations, in completion order (phases repeat per join).
     pub phases: Vec<(String, Duration)>,
+    /// Per-worker counters, indexed by worker id. Grows on demand to the
+    /// highest worker that reported activity.
+    pub per_worker: Vec<WorkerStats>,
+    /// Per-phase, per-worker busy time: one entry per phase name (in
+    /// first-completion order), each holding a worker-indexed vector.
+    /// Repeated phases with the same name accumulate into one entry.
+    pub phase_worker_busy: Vec<(String, Vec<Duration>)>,
 }
 
 impl MetricsSnapshot {
     /// Total duration of all phases with the given name.
     pub fn phase_total(&self, name: &str) -> Duration {
-        self.phases.iter().filter(|(n, _)| n == name).map(|(_, d)| *d).sum()
+        self.phases
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .sum()
     }
 
     /// Total bytes that touched the simulated network.
     pub fn network_bytes(&self) -> u64 {
         self.bytes_shuffled + self.bytes_broadcast + self.state_bytes
     }
+
+    /// Per-phase max/mean worker busy time, in first-completion order.
+    /// Only workers with non-zero busy time in a phase count toward the
+    /// mean — a phase that fanned out to 2 of 8 workers reports 2.
+    pub fn skew_report(&self) -> Vec<PhaseSkew> {
+        self.phase_worker_busy
+            .iter()
+            .map(|(phase, busy)| {
+                let active: Vec<Duration> = busy.iter().copied().filter(|d| !d.is_zero()).collect();
+                let workers = active.len();
+                let max = active.iter().copied().max().unwrap_or(Duration::ZERO);
+                let total: Duration = active.iter().sum();
+                let mean = if workers == 0 {
+                    Duration::ZERO
+                } else {
+                    total / workers as u32
+                };
+                PhaseSkew {
+                    phase: phase.clone(),
+                    max,
+                    mean,
+                    workers,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Mutable metrics state behind the lock: the public snapshot plus the
+/// stack of currently-open phases (used to attribute worker busy time).
+#[derive(Default)]
+struct MetricsState {
+    snap: MetricsSnapshot,
+    phase_stack: Vec<String>,
 }
 
 /// Shared, thread-safe metrics handle.
 #[derive(Clone, Default)]
 pub struct QueryMetrics {
-    inner: Arc<Mutex<MetricsSnapshot>>,
+    inner: Arc<Mutex<MetricsState>>,
     network: Option<NetworkModel>,
 }
 
@@ -102,7 +188,10 @@ impl QueryMetrics {
 
     /// Metrics whose exchanges charge time against a network model.
     pub fn with_network(network: Option<NetworkModel>) -> Self {
-        QueryMetrics { inner: Arc::default(), network }
+        QueryMetrics {
+            inner: Arc::default(),
+            network,
+        }
     }
 
     /// The active network model, if any.
@@ -124,50 +213,97 @@ impl QueryMetrics {
     /// Record a shuffle of `rows` rows totalling `bytes` serialized bytes.
     pub fn record_shuffle(&self, rows: u64, bytes: u64) {
         let mut m = self.inner.lock();
-        m.rows_shuffled += rows;
-        m.bytes_shuffled += bytes;
+        m.snap.rows_shuffled += rows;
+        m.snap.bytes_shuffled += bytes;
     }
 
     /// Record a broadcast delivering `rows` row-copies / `bytes` bytes.
     pub fn record_broadcast(&self, rows: u64, bytes: u64) {
         let mut m = self.inner.lock();
-        m.rows_broadcast += rows;
-        m.bytes_broadcast += bytes;
+        m.snap.rows_broadcast += rows;
+        m.snap.bytes_broadcast += bytes;
     }
 
     /// Record movement of join state (summary/PPlan) bytes.
     pub fn record_state_bytes(&self, bytes: u64) {
-        self.inner.lock().state_bytes += bytes;
+        self.inner.lock().snap.state_bytes += bytes;
     }
 
     /// Count `n` verify calls.
     pub fn record_verify_calls(&self, n: u64) {
-        self.inner.lock().verify_calls += n;
+        self.inner.lock().snap.verify_calls += n;
     }
 
     /// Count `n` pairs dropped by dedup.
     pub fn record_dedup_rejections(&self, n: u64) {
-        self.inner.lock().dedup_rejections += n;
+        self.inner.lock().snap.dedup_rejections += n;
     }
 
     /// Record rows/bytes written to spill files.
     pub fn record_spill(&self, rows: u64, bytes: u64) {
         let mut m = self.inner.lock();
-        m.spilled_rows += rows;
-        m.spilled_bytes += bytes;
+        m.snap.spilled_rows += rows;
+        m.snap.spilled_bytes += bytes;
     }
 
-    /// Time a phase and record it under `name`.
+    /// Time a phase and record it under `name`. While `f` runs, worker
+    /// busy time reported via [`Self::charge_worker_busy`] is attributed
+    /// to this phase (innermost phase wins when nested).
     pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.inner.lock().phase_stack.push(name.to_owned());
         let start = Instant::now();
         let out = f();
-        self.inner.lock().phases.push((name.to_owned(), start.elapsed()));
+        let elapsed = start.elapsed();
+        let mut m = self.inner.lock();
+        m.phase_stack.pop();
+        m.snap.phases.push((name.to_owned(), elapsed));
         out
+    }
+
+    /// Attribute `busy` wall-clock task time to `worker`, both in the
+    /// lifetime per-worker totals and under the currently-open phase (if
+    /// any). Called by the worker pool after each task completes.
+    pub fn charge_worker_busy(&self, worker: usize, busy: Duration) {
+        let mut m = self.inner.lock();
+        if m.snap.per_worker.len() <= worker {
+            m.snap.per_worker.resize(worker + 1, WorkerStats::default());
+        }
+        m.snap.per_worker[worker].busy += busy;
+        if let Some(phase) = m.phase_stack.last().cloned() {
+            let entry = match m
+                .snap
+                .phase_worker_busy
+                .iter_mut()
+                .find(|(n, _)| *n == phase)
+            {
+                Some((_, v)) => v,
+                None => {
+                    m.snap.phase_worker_busy.push((phase, Vec::new()));
+                    &mut m.snap.phase_worker_busy.last_mut().expect("just pushed").1
+                }
+            };
+            if entry.len() <= worker {
+                entry.resize(worker + 1, Duration::ZERO);
+            }
+            entry[worker] += busy;
+        }
+    }
+
+    /// Record that `worker` received `rows` rows / `bytes` serialized
+    /// bytes from an exchange. Called at shuffle/broadcast destinations
+    /// and by the gather coordinator.
+    pub fn charge_worker_io(&self, worker: usize, rows: u64, bytes: u64) {
+        let mut m = self.inner.lock();
+        if m.snap.per_worker.len() <= worker {
+            m.snap.per_worker.resize(worker + 1, WorkerStats::default());
+        }
+        m.snap.per_worker[worker].rows += rows;
+        m.snap.per_worker[worker].bytes += bytes;
     }
 
     /// Copy out the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.lock().clone()
+        self.inner.lock().snap.clone()
     }
 }
 
@@ -196,14 +332,91 @@ mod tests {
     #[test]
     fn phases_record_and_sum() {
         let m = QueryMetrics::new();
-        let v = m.phase("summarize", || 42);
+        let slept = Duration::from_millis(5);
+        let v = m.phase("summarize", || {
+            std::thread::sleep(slept);
+            42
+        });
         assert_eq!(v, 42);
-        m.phase("summarize", || ());
+        m.phase("summarize", || std::thread::sleep(slept));
         m.phase("join", || ());
         let s = m.snapshot();
         assert_eq!(s.phases.len(), 3);
-        assert!(s.phase_total("summarize") >= Duration::ZERO);
+        // The two timed "summarize" phases each slept 5 ms, so their sum
+        // must measure at least that — a zero reading would mean the
+        // timer never ran.
+        assert!(
+            s.phase_total("summarize") >= slept * 2,
+            "expected >= {:?}, got {:?}",
+            slept * 2,
+            s.phase_total("summarize")
+        );
+        assert!(s.phase_total("summarize") > s.phase_total("join"));
         assert_eq!(s.phase_total("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_busy_attributed_to_open_phase() {
+        let m = QueryMetrics::new();
+        m.phase("partition", || {
+            m.charge_worker_busy(0, Duration::from_millis(30));
+            m.charge_worker_busy(2, Duration::from_millis(10));
+        });
+        m.phase("join", || {
+            m.charge_worker_busy(0, Duration::from_millis(8));
+        });
+        // Outside any phase: counted in lifetime totals only.
+        m.charge_worker_busy(1, Duration::from_millis(4));
+
+        let s = m.snapshot();
+        assert_eq!(s.per_worker.len(), 3);
+        assert_eq!(s.per_worker[0].busy, Duration::from_millis(38));
+        assert_eq!(s.per_worker[1].busy, Duration::from_millis(4));
+        assert_eq!(s.per_worker[2].busy, Duration::from_millis(10));
+
+        let skew = s.skew_report();
+        assert_eq!(skew.len(), 2);
+        assert_eq!(skew[0].phase, "partition");
+        assert_eq!(skew[0].workers, 2, "worker 1 was idle in partition");
+        assert_eq!(skew[0].max, Duration::from_millis(30));
+        assert_eq!(skew[0].mean, Duration::from_millis(20));
+        assert!((skew[0].ratio() - 1.5).abs() < 1e-9);
+        assert_eq!(skew[1].phase, "join");
+        assert_eq!(skew[1].workers, 1);
+        assert!((skew[1].ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_phases_accumulate_worker_busy() {
+        let m = QueryMetrics::new();
+        for _ in 0..2 {
+            m.phase("join", || m.charge_worker_busy(1, Duration::from_millis(3)));
+        }
+        let s = m.snapshot();
+        assert_eq!(
+            s.phase_worker_busy.len(),
+            1,
+            "same-named phases share an entry"
+        );
+        assert_eq!(s.phase_worker_busy[0].1[1], Duration::from_millis(6));
+    }
+
+    #[test]
+    fn worker_io_counters_accumulate() {
+        let m = QueryMetrics::new();
+        m.charge_worker_io(1, 10, 130);
+        m.charge_worker_io(1, 5, 65);
+        m.charge_worker_io(0, 1, 13);
+        let s = m.snapshot();
+        assert_eq!(
+            s.per_worker[1],
+            WorkerStats {
+                rows: 15,
+                bytes: 195,
+                busy: Duration::ZERO
+            }
+        );
+        assert_eq!(s.per_worker[0].rows, 1);
     }
 
     #[test]

@@ -44,12 +44,20 @@ pub struct Aggregate {
 impl Aggregate {
     /// `COUNT(*) AS name`.
     pub fn count_star(name: impl Into<String>) -> Self {
-        Aggregate { func: AggFunc::Count, input: None, name: name.into() }
+        Aggregate {
+            func: AggFunc::Count,
+            input: None,
+            name: name.into(),
+        }
     }
 
     /// `func(column) AS name`.
     pub fn on(func: AggFunc, column: usize, name: impl Into<String>) -> Self {
-        Aggregate { func, input: Some(column), name: name.into() }
+        Aggregate {
+            func,
+            input: Some(column),
+            name: name.into(),
+        }
     }
 
     /// Output type of this aggregate.
@@ -92,12 +100,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending sort on a column.
     pub fn asc(column: usize) -> Self {
-        SortKey { column, descending: false }
+        SortKey {
+            column,
+            descending: false,
+        }
     }
 
     /// Descending sort on a column.
     pub fn desc(column: usize) -> Self {
-        SortKey { column, descending: true }
+        SortKey {
+            column,
+            descending: true,
+        }
     }
 }
 
@@ -163,13 +177,24 @@ pub enum PhysicalPlan {
     /// Scan a stored dataset.
     Scan { dataset: Arc<Dataset> },
     /// Keep rows satisfying the predicate.
-    Filter { input: Box<PhysicalPlan>, predicate: RowPredicate },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: RowPredicate,
+    },
     /// Map every row (projection / computed columns).
-    Project { input: Box<PhysicalPlan>, mapper: RowMapper, schema: SchemaRef },
+    Project {
+        input: Box<PhysicalPlan>,
+        mapper: RowMapper,
+        schema: SchemaRef,
+    },
     /// The FUDJ distributed join.
     FudjJoin(FudjJoinNode),
     /// On-top baseline: broadcast right side, nested loop with a predicate.
-    NlJoin { left: Box<PhysicalPlan>, right: Box<PhysicalPlan>, predicate: JoinPredicate },
+    NlJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        predicate: JoinPredicate,
+    },
     /// Two-step hash aggregation.
     HashAggregate {
         input: Box<PhysicalPlan>,
@@ -177,9 +202,15 @@ pub enum PhysicalPlan {
         aggregates: Vec<Aggregate>,
     },
     /// Global sort (gathers to one worker).
-    Sort { input: Box<PhysicalPlan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
     /// Keep the first `limit` rows (after any sort).
-    Limit { input: Box<PhysicalPlan>, limit: usize },
+    Limit {
+        input: Box<PhysicalPlan>,
+        limit: usize,
+    },
 }
 
 impl PhysicalPlan {
@@ -193,10 +224,16 @@ impl PhysicalPlan {
             PhysicalPlan::NlJoin { left, right, .. } => {
                 Arc::new(left.schema().join(&right.schema()))
             }
-            PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
                 let in_schema = input.schema();
-                let mut fields: Vec<Field> =
-                    group_by.iter().map(|&i| in_schema.fields()[i].clone()).collect();
+                let mut fields: Vec<Field> = group_by
+                    .iter()
+                    .map(|&i| in_schema.fields()[i].clone())
+                    .collect();
                 for agg in aggregates {
                     fields.push(Field::new(agg.name.clone(), agg.output_type(&in_schema)));
                 }
@@ -230,14 +267,21 @@ impl PhysicalPlan {
                 input.explain_into(depth + 1, out);
             }
             PhysicalPlan::FudjJoin(node) => {
-                let match_kind =
-                    if node.join.uses_default_match() { "hash" } else { "theta-nlj" };
+                let match_kind = if node.join.uses_default_match() {
+                    "hash"
+                } else {
+                    "theta-nlj"
+                };
                 let _ = writeln!(
                     out,
                     "{pad}FudjJoin [{} | match: {match_kind} | dedup: {:?}{}]",
                     node.join.name(),
                     node.join.dedup_mode(),
-                    if node.self_join { " | self-join: summarize once" } else { "" },
+                    if node.self_join {
+                        " | self-join: summarize once"
+                    } else {
+                        ""
+                    },
                 );
                 node.left.explain_into(depth + 1, out);
                 node.right.explain_into(depth + 1, out);
@@ -247,7 +291,11 @@ impl PhysicalPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysicalPlan::HashAggregate { input, group_by, aggregates } => {
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
                 let aggs: Vec<&str> = aggregates.iter().map(|a| a.name.as_str()).collect();
                 let _ = writeln!(out, "{pad}HashAggregate [group by {group_by:?}; {aggs:?}]");
                 input.explain_into(depth + 1, out);
@@ -301,7 +349,10 @@ mod tests {
             ],
         };
         let s = plan.schema();
-        assert_eq!(s.to_string(), "id: uuid, c: bigint, avg_v: double, max_v: bigint");
+        assert_eq!(
+            s.to_string(),
+            "id: uuid, c: bigint, avg_v: double, max_v: bigint"
+        );
     }
 
     #[test]

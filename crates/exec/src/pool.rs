@@ -1,0 +1,337 @@
+//! Persistent worker pool — the cluster's long-lived "nodes".
+//!
+//! Earlier revisions spawned a fresh batch of OS threads (via
+//! `std::thread::scope`) for every exchange stage and every per-partition
+//! operator, so a single FUDJ join created dozens of short-lived threads
+//! and no thread identity survived from one phase to the next. The pool
+//! replaces that: [`WorkerPool::new`] spawns one thread per simulated
+//! worker exactly once (when the [`crate::Cluster`] is built), and every
+//! phase of every query dispatches partition `i` to worker `i % size` —
+//! the same OS thread plays the same cluster node for the lifetime of the
+//! cluster, which is also what makes per-worker busy-time metrics
+//! meaningful.
+//!
+//! Scheduling contract: tasks submitted by one [`WorkerPool::run`] call
+//! must not themselves call back into the pool — there is no work
+//! stealing, so a worker blocking on sub-tasks queued behind itself would
+//! deadlock. Re-entrant calls are detected with a thread-local flag and
+//! degrade to inline (sequential) execution instead.
+//!
+//! A panicking task is caught on the worker, surfaced to the caller as
+//! [`FudjError::Execution`], and leaves the worker thread alive — one
+//! poisoned query cannot take down the cluster.
+
+use crate::metrics::QueryMetrics;
+use crossbeam::channel::{unbounded, Sender};
+use fudj_types::{FudjError, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit of work shipped to a worker thread.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set while this thread is executing a pool task (re-entrancy guard).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Fixed-size pool of long-lived worker threads, one per simulated
+/// cluster node.
+pub struct WorkerPool {
+    senders: Vec<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.senders.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads, named `fudj-worker-<i>`.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero or the OS refuses to spawn a thread.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = unbounded::<Task>();
+            let handle = std::thread::Builder::new()
+                .name(format!("fudj-worker-{w}"))
+                .spawn(move || {
+                    // Tasks catch their own panics, so this loop only ends
+                    // when the pool drops its sender.
+                    while let Ok(task) = rx.recv() {
+                        task();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run `f(i, item)` for every item, item `i` on worker `i % size`;
+    /// blocks until all complete. Equivalent to [`Self::run_metered`]
+    /// without metrics.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> Result<R> + Sync,
+    {
+        self.run_metered(items, None, f)
+    }
+
+    /// Run `f(i, item)` for every item in parallel and, when metrics are
+    /// given, charge each worker's busy time (attributed to the metrics'
+    /// active phase). Results come back in item order. A task that
+    /// panics yields `Err(FudjError::Execution)` for its slot without
+    /// killing its worker thread.
+    pub fn run_metered<T, R, F>(
+        &self,
+        items: Vec<T>,
+        metrics: Option<&QueryMetrics>,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> Result<R> + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Single partition, or already on a worker thread (re-entrant
+        // call): execute inline. Dispatching one task buys nothing, and
+        // re-entrant dispatch could deadlock (see module docs).
+        if n == 1 || IN_WORKER.with(|g| g.get()) {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                let start = Instant::now();
+                let result = run_task(&f, i, item);
+                if let Some(m) = metrics {
+                    m.charge_worker_busy(i % self.size(), start.elapsed());
+                }
+                out.push(result?);
+            }
+            return Ok(out);
+        }
+
+        type Done<R> = (usize, usize, std::time::Duration, Result<R>);
+        let (done_tx, done_rx) = unbounded::<Done<R>>();
+        for (i, item) in items.into_iter().enumerate() {
+            let worker = i % self.senders.len();
+            let tx = done_tx.clone();
+            let f = &f;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                IN_WORKER.with(|g| g.set(true));
+                let start = Instant::now();
+                let result = run_task(f, i, item);
+                IN_WORKER.with(|g| g.set(false));
+                // The receiver outlives every task (see below), so this
+                // send cannot fail while results are still awaited.
+                let _ = tx.send((i, worker, start.elapsed(), result));
+            });
+            // SAFETY: the task borrows `f` and moves `item`/`tx`, all of
+            // which live for the rest of this call. Every submitted task
+            // sends exactly one completion message and the loop below
+            // blocks until all `n` messages arrive, so no task (and no
+            // borrow inside it) outlives this stack frame. The worker
+            // channels cannot drop tasks unexecuted while `&self` is
+            // borrowed, because senders are only closed in `Drop`.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+            self.senders[worker]
+                .send(task)
+                .unwrap_or_else(|_| unreachable!("worker channels live as long as the pool"));
+        }
+        drop(done_tx);
+
+        let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            // Cannot disconnect before `n` sends: every task sends once
+            // and workers cannot exit while the pool is alive. Must not
+            // return before all tasks finish (safety invariant above).
+            let (i, worker, busy, result) = done_rx
+                .recv()
+                .expect("every dispatched task reports completion");
+            if let Some(m) = metrics {
+                m.charge_worker_busy(worker, busy);
+            }
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("each slot filled exactly once"))
+            .collect()
+    }
+}
+
+/// Run one task body, converting a panic into an execution error.
+fn run_task<T, R, F>(f: &F, i: usize, item: T) -> Result<R>
+where
+    F: Fn(usize, T) -> Result<R>,
+{
+    catch_unwind(AssertUnwindSafe(|| f(i, item))).unwrap_or_else(|payload| {
+        // `&*payload`: downcast the payload itself, not the `Box<dyn Any>`
+        // (which is `'static + Sized`, hence itself `Any`, and would
+        // shadow the inner string under plain `&payload` coercion).
+        Err(FudjError::Execution(format!(
+            "worker task panicked: {}",
+            panic_message(&*payload)
+        )))
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_items_in_order_preserving_slots() {
+        let pool = WorkerPool::new(4);
+        let out = pool
+            .run((0..20).collect(), |i, x: i32| Ok((i as i32, x * 2)))
+            .unwrap();
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as i32);
+            assert_eq!(*doubled, 2 * i as i32);
+        }
+    }
+
+    #[test]
+    fn same_threads_serve_across_calls() {
+        // The whole point of the pool: worker i is the same OS thread in
+        // every phase of every query on this cluster.
+        let pool = WorkerPool::new(3);
+        let names = |_: ()| {
+            pool.run(vec![0usize, 1, 2], |_, _| {
+                Ok(std::thread::current().name().unwrap_or_default().to_owned())
+            })
+            .unwrap()
+        };
+        let first = names(());
+        let second = names(());
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 3);
+        assert_eq!(
+            first.iter().collect::<HashSet<_>>().len(),
+            3,
+            "three distinct workers"
+        );
+        assert!(
+            first.iter().all(|n| n.starts_with("fudj-worker-")),
+            "{first:?}"
+        );
+    }
+
+    #[test]
+    fn borrows_from_caller_stack_work() {
+        let pool = WorkerPool::new(2);
+        let data = vec![10i64, 20, 30, 40];
+        let data_ref = &data;
+        let out = pool
+            .run(vec![0usize, 1, 2, 3], |_, i| Ok(data_ref[i] + 1))
+            .unwrap();
+        assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+
+    #[test]
+    fn panic_surfaces_as_error_without_poisoning_pool() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .run(vec![0, 1, 2, 3], |_, x: i32| {
+                if x == 2 {
+                    panic!("boom on {x}");
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("panicked") && msg.contains("boom on 2"),
+            "{msg}"
+        );
+
+        // The pool keeps working after the panic — no dead worker, no
+        // poisoned lock.
+        let ok = pool.run(vec![1, 2, 3], |_, x: i32| Ok(x * 10)).unwrap();
+        assert_eq!(ok, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn error_results_propagate_without_cancelling_other_items() {
+        let pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let result = pool.run(vec![0, 1, 2, 3], |_, x: i32| {
+            if x == 1 {
+                Err(FudjError::Execution("bad item".into()))
+            } else {
+                completed.fetch_add(1, Ordering::SeqCst);
+                Ok(x)
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::SeqCst), 3, "other items still ran");
+    }
+
+    #[test]
+    fn reentrant_use_degrades_to_inline_not_deadlock() {
+        let pool = WorkerPool::new(2);
+        // A task that (incorrectly) fans out again: must complete, inline.
+        let out = pool
+            .run(vec![0usize, 1], |_, _| {
+                let inner = pool.run(vec![10i64, 20], |_, v| Ok(v))?;
+                Ok(inner.into_iter().sum::<i64>())
+            })
+            .unwrap();
+        assert_eq!(out, vec![30, 30]);
+    }
+
+    #[test]
+    fn empty_and_single_item_fast_paths() {
+        let pool = WorkerPool::new(4);
+        assert!(pool
+            .run(Vec::<i32>::new(), |_, x| Ok(x))
+            .unwrap()
+            .is_empty());
+        assert_eq!(pool.run(vec![7], |_, x: i32| Ok(x + 1)).unwrap(), vec![8]);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests: every relational operator, executed on a multi-worker
 //! cluster, agrees with a straightforward sequential oracle.
 
-use fudj_exec::{Aggregate, AggFunc, Cluster, PhysicalPlan, SortKey};
+use fudj_exec::{AggFunc, Aggregate, Cluster, PhysicalPlan, SortKey};
 use fudj_storage::DatasetBuilder;
 use fudj_types::{DataType, Field, Row, Schema, Value};
 use proptest::prelude::*;
@@ -14,9 +14,17 @@ fn dataset(rows: &[(i64, i64, i64)], partitions: usize) -> Arc<fudj_storage::Dat
         Field::new("grp", DataType::Int64),
         Field::new("v", DataType::Int64),
     ]);
-    let d = DatasetBuilder::new("t", schema).partitions(partitions).build().unwrap();
+    let d = DatasetBuilder::new("t", schema)
+        .partitions(partitions)
+        .build()
+        .unwrap();
     for &(id, grp, v) in rows {
-        d.insert(Row::new(vec![Value::Int64(id), Value::Int64(grp), Value::Int64(v)])).unwrap();
+        d.insert(Row::new(vec![
+            Value::Int64(id),
+            Value::Int64(grp),
+            Value::Int64(v),
+        ]))
+        .unwrap();
     }
     Arc::new(d)
 }

@@ -30,7 +30,12 @@ impl UniformGrid {
         assert!(n > 0, "grid must have at least one tile per side");
         let tile_w = extent.width() / n as f64;
         let tile_h = extent.height() / n as f64;
-        UniformGrid { extent, n, tile_w, tile_h }
+        UniformGrid {
+            extent,
+            n,
+            tile_w,
+            tile_h,
+        }
     }
 
     /// Grid extent.
@@ -166,7 +171,10 @@ mod tests {
     fn overlapping_tiles_for_point_rect() {
         let g = grid4();
         let r = Rect::from_point(&Point::new(1.5, 2.5));
-        assert_eq!(g.overlapping_tiles(&r), vec![g.tile_of_point(&Point::new(1.5, 2.5))]);
+        assert_eq!(
+            g.overlapping_tiles(&r),
+            vec![g.tile_of_point(&Point::new(1.5, 2.5))]
+        );
     }
 
     #[test]
@@ -205,9 +213,15 @@ mod tests {
             .into_iter()
             .filter(|t| g.overlapping_tiles(&b).contains(t))
             .collect();
-        assert!(shared.len() > 1, "pair must be multi-assigned for the test to be meaningful");
-        let ref_tiles: Vec<u64> =
-            shared.iter().copied().filter(|&t| g.is_reference_tile(t, &a, &b)).collect();
+        assert!(
+            shared.len() > 1,
+            "pair must be multi-assigned for the test to be meaningful"
+        );
+        let ref_tiles: Vec<u64> = shared
+            .iter()
+            .copied()
+            .filter(|&t| g.is_reference_tile(t, &a, &b))
+            .collect();
         assert_eq!(ref_tiles.len(), 1, "exactly one tile reports the pair");
         // And that tile is the one holding the intersection's min corner.
         assert_eq!(ref_tiles[0], g.tile_of_point(&Point::new(1.5, 1.5)));

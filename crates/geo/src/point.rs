@@ -15,7 +15,10 @@ impl Point {
     /// Create a point. `x` and `y` must be finite.
     #[inline]
     pub fn new(x: f64, y: f64) -> Self {
-        debug_assert!(x.is_finite() && y.is_finite(), "non-finite point ({x}, {y})");
+        debug_assert!(
+            x.is_finite() && y.is_finite(),
+            "non-finite point ({x}, {y})"
+        );
         Point { x, y }
     }
 

@@ -19,7 +19,11 @@ impl Polygon {
     /// # Panics
     /// Panics if fewer than three vertices are supplied.
     pub fn new(ring: Vec<Point>) -> Self {
-        assert!(ring.len() >= 3, "polygon needs at least 3 vertices, got {}", ring.len());
+        assert!(
+            ring.len() >= 3,
+            "polygon needs at least 3 vertices, got {}",
+            ring.len()
+        );
         let mbr = Rect::from_points(ring.iter());
         Polygon { ring, mbr }
     }
@@ -137,7 +141,12 @@ impl Polygon {
 
 impl fmt::Debug for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Polygon[{} vertices, mbr {:?}]", self.ring.len(), self.mbr)
+        write!(
+            f,
+            "Polygon[{} vertices, mbr {:?}]",
+            self.ring.len(),
+            self.mbr
+        )
     }
 }
 
@@ -163,7 +172,11 @@ mod tests {
     }
 
     fn triangle() -> Polygon {
-        Polygon::new(vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(0.0, 4.0)])
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ])
     }
 
     #[test]
@@ -243,8 +256,16 @@ mod tests {
     fn mbr_overlap_but_geometry_disjoint() {
         // A big lower-right triangle (below the main diagonal) and a small
         // triangle tucked in the upper-left corner: MBRs overlap, shapes don't.
-        let a = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)]);
-        let b = Polygon::new(vec![Point::new(0.0, 9.0), Point::new(1.0, 10.0), Point::new(0.0, 10.0)]);
+        let a = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]);
+        let b = Polygon::new(vec![
+            Point::new(0.0, 9.0),
+            Point::new(1.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]);
         assert!(a.mbr().intersects(&b.mbr()));
         assert!(!a.intersects(&b));
     }

@@ -35,7 +35,12 @@ impl Rect {
     #[inline]
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
         debug_assert!(min_x <= max_x && min_y <= max_y, "inverted rect bounds");
-        Rect { min_x, min_y, max_x, max_y }
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The empty rectangle: the identity element of [`Rect::union`].
@@ -52,7 +57,12 @@ impl Rect {
     /// Degenerate rectangle covering a single point.
     #[inline]
     pub fn from_point(p: &Point) -> Self {
-        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+        Rect {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
     }
 
     /// MBR of a non-empty set of points.
@@ -73,13 +83,21 @@ impl Rect {
     /// Width (0 for empty).
     #[inline]
     pub fn width(&self) -> f64 {
-        if self.is_empty() { 0.0 } else { self.max_x - self.min_x }
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max_x - self.min_x
+        }
     }
 
     /// Height (0 for empty).
     #[inline]
     pub fn height(&self) -> f64 {
-        if self.is_empty() { 0.0 } else { self.max_y - self.min_y }
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max_y - self.min_y
+        }
     }
 
     /// Area (0 for empty).
@@ -91,7 +109,10 @@ impl Rect {
     /// Center point. Meaningless for the empty rectangle.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
     }
 
     /// Smallest rectangle covering both operands (the `∪` of the paper's
@@ -116,7 +137,11 @@ impl Rect {
             max_x: self.max_x.min(other.max_x),
             max_y: self.max_y.min(other.max_y),
         };
-        if r.is_empty() { Rect::empty() } else { r }
+        if r.is_empty() {
+            Rect::empty()
+        } else {
+            r
+        }
     }
 
     /// Grow in place to cover `p`.
@@ -164,8 +189,12 @@ impl Rect {
 
     /// Minimum distance between two rectangles (0 when they intersect).
     pub fn distance(&self, other: &Rect) -> f64 {
-        let dx = (other.min_x - self.max_x).max(self.min_x - other.max_x).max(0.0);
-        let dy = (other.min_y - self.max_y).max(self.min_y - other.max_y).max(0.0);
+        let dx = (other.min_x - self.max_x)
+            .max(self.min_x - other.max_x)
+            .max(0.0);
+        let dy = (other.min_y - self.max_y)
+            .max(self.min_y - other.max_y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -174,7 +203,11 @@ impl Rect {
     /// a joined pair is reported only by the tile containing this point.
     pub fn reference_point(&self, other: &Rect) -> Option<Point> {
         let i = self.intersection(other);
-        if i.is_empty() { None } else { Some(Point::new(i.min_x, i.min_y)) }
+        if i.is_empty() {
+            None
+        } else {
+            Some(Point::new(i.min_x, i.min_y))
+        }
     }
 }
 
@@ -183,7 +216,11 @@ impl fmt::Debug for Rect {
         if self.is_empty() {
             write!(f, "Rect(EMPTY)")
         } else {
-            write!(f, "Rect[({}, {})..({}, {})]", self.min_x, self.min_y, self.max_x, self.max_y)
+            write!(
+                f,
+                "Rect[({}, {})..({}, {})]",
+                self.min_x, self.min_y, self.max_x, self.max_y
+            )
         }
     }
 }
@@ -266,7 +303,11 @@ mod tests {
 
     #[test]
     fn from_points_covers_all() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
         let m = Rect::from_points(pts.iter());
         assert_eq!(m, r(-2.0, 0.0, 3.0, 5.0));
         for p in &pts {

@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn simple_overlap() {
         let l = vec![Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(5.0, 5.0, 6.0, 6.0)];
-        let r = vec![Rect::new(1.0, 1.0, 3.0, 3.0), Rect::new(10.0, 10.0, 11.0, 11.0)];
+        let r = vec![
+            Rect::new(1.0, 1.0, 3.0, 3.0),
+            Rect::new(10.0, 10.0, 11.0, 11.0),
+        ];
         assert_eq!(sorted(plane_sweep_join(&l, &r)), vec![(0, 0)]);
     }
 
@@ -130,7 +133,10 @@ mod tests {
         for _ in 0..10 {
             let l = gen_rects(60);
             let r = gen_rects(40);
-            assert_eq!(sorted(plane_sweep_join(&l, &r)), sorted(nested_loop_rect_join(&l, &r)));
+            assert_eq!(
+                sorted(plane_sweep_join(&l, &r)),
+                sorted(nested_loop_rect_join(&l, &r))
+            );
         }
     }
 

@@ -4,7 +4,12 @@ use fudj_geo::{plane_sweep_join, Point, Polygon, Rect, UniformGrid};
 use proptest::prelude::*;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-100.0..100.0f64, -100.0..100.0f64, 0.0..50.0f64, 0.0..50.0f64)
+    (
+        -100.0..100.0f64,
+        -100.0..100.0f64,
+        0.0..50.0f64,
+        0.0..50.0f64,
+    )
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 

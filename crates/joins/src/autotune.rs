@@ -119,7 +119,9 @@ impl FlexibleJoin for SpatialFudjAuto {
                 tuned_grid_side(&extent, count, avg_w, avg_h)
             }
         };
-        Ok(SpatialPPlan { grid: UniformGrid::new(extent, n) })
+        Ok(SpatialPPlan {
+            grid: UniformGrid::new(extent, n),
+        })
     }
 
     fn assign(&self, key: &ExtValue, pplan: &SpatialPPlan, out: &mut Vec<BucketId>) -> Result<()> {
@@ -144,17 +146,11 @@ impl FlexibleJoin for SpatialFudjAuto {
 // ---------------------------------------------------------------------------
 
 /// Interval summary with tuning statistics.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct IntervalStats {
     pub range: IntervalSummary,
     pub count: u64,
     pub sum_duration: i64,
-}
-
-impl Default for IntervalStats {
-    fn default() -> Self {
-        IntervalStats { range: IntervalSummary::default(), count: 0, sum_duration: 0 }
-    }
 }
 
 /// OIP with a self-tuned granule count
@@ -227,7 +223,12 @@ impl FlexibleJoin for IntervalFudjAuto {
         Ok(GranuleTimeline::new(range, n))
     }
 
-    fn assign(&self, key: &ExtValue, pplan: &GranuleTimeline, out: &mut Vec<BucketId>) -> Result<()> {
+    fn assign(
+        &self,
+        key: &ExtValue,
+        pplan: &GranuleTimeline,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
         out.push(pplan.assign(&key.as_interval()?));
         Ok(())
     }
@@ -274,7 +275,7 @@ mod tests {
         (0..n)
             .map(|_| {
                 let s = rng.gen_range(0i64..100_000);
-                ExtValue::LongArray(vec![s, s + rng.gen_range(0..2_000)])
+                ExtValue::LongArray(vec![s, s + rng.gen_range(0i64..2_000)])
             })
             .collect()
     }
@@ -321,7 +322,10 @@ mod tests {
         assert!(fine > coarse, "{fine} vs {coarse}");
         // Duplication rule: big keys cap the grid.
         let capped = tuned_grid_side(&extent, 100_000, 10.0, 10.0);
-        assert!(capped <= 5, "tiles must stay ≥ 2 key extents, got n={capped}");
+        assert!(
+            capped <= 5,
+            "tiles must stay ≥ 2 key extents, got n={capped}"
+        );
         // Degenerate inputs.
         assert_eq!(tuned_grid_side(&Rect::empty(), 100, 1.0, 1.0), 1);
         assert_eq!(tuned_grid_side(&extent, 0, 1.0, 1.0), 1);
@@ -349,6 +353,9 @@ mod tests {
         }
         let plan = j.divide(&s, &s, &[]).unwrap();
         let n = plan.grid.side();
-        assert!((2..=64).contains(&n), "auto-tuned side {n} out of sane range");
+        assert!(
+            (2..=64).contains(&n),
+            "auto-tuned side {n} out of sane range"
+        );
     }
 }

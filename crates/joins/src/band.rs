@@ -25,7 +25,10 @@ pub struct MinMax {
 
 impl Default for MinMax {
     fn default() -> Self {
-        MinMax { min: f64::INFINITY, max: f64::NEG_INFINITY }
+        MinMax {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ impl MinMax {
     }
 
     fn merge(self, other: MinMax) -> MinMax {
-        MinMax { min: self.min.min(other.min), max: self.max.max(other.max) }
+        MinMax {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 }
 
@@ -75,16 +81,27 @@ impl FlexibleJoin for BandJoin {
     fn divide(&self, left: &MinMax, right: &MinMax, params: &[ExtValue]) -> Result<BandPPlan> {
         let epsilon = params
             .first()
-            .ok_or_else(|| FudjError::JoinLibrary("band join requires an epsilon parameter".into()))?
+            .ok_or_else(|| {
+                FudjError::JoinLibrary("band join requires an epsilon parameter".into())
+            })?
             .as_double()?;
         if epsilon <= 0.0 || !epsilon.is_finite() {
-            return Err(FudjError::JoinLibrary(format!("epsilon must be finite and > 0, got {epsilon}")));
+            return Err(FudjError::JoinLibrary(format!(
+                "epsilon must be finite and > 0, got {epsilon}"
+            )));
         }
         let m = left.merge(*right);
-        let (origin, span) =
-            if m.min > m.max { (0.0, 0.0) } else { (m.min, (m.max - m.min).max(0.0)) };
+        let (origin, span) = if m.min > m.max {
+            (0.0, 0.0)
+        } else {
+            (m.min, (m.max - m.min).max(0.0))
+        };
         let cells = (span / epsilon).floor() as u64 + 1;
-        Ok(BandPPlan { origin, epsilon, cells })
+        Ok(BandPPlan {
+            origin,
+            epsilon,
+            cells,
+        })
     }
 
     fn assign(&self, key: &ExtValue, pplan: &BandPPlan, out: &mut Vec<BucketId>) -> Result<()> {

@@ -33,7 +33,11 @@ fn value_mbr(v: &Value) -> Result<Rect> {
     match v {
         Value::Point(p) => Ok(Rect::from_point(p)),
         Value::Polygon(poly) => Ok(poly.mbr()),
-        other => Err(FudjError::type_mismatch("point or polygon", other, "spatial join key")),
+        other => Err(FudjError::type_mismatch(
+            "point or polygon",
+            other,
+            "spatial join key",
+        )),
     }
 }
 
@@ -60,7 +64,9 @@ fn grid_param(params: &[Value], default: u32) -> Result<u32> {
         Some(p) => {
             let n = p.as_i64()?;
             if n <= 0 || n > u16::MAX as i64 {
-                return Err(FudjError::Plan(format!("grid side must be in 1..=65535, got {n}")));
+                return Err(FudjError::Plan(format!(
+                    "grid side must be in 1..=65535, got {n}"
+                )));
             }
             Ok(n as u32)
         }
@@ -108,9 +114,18 @@ impl EngineJoin for BuiltinSpatialJoin {
         Ok(())
     }
 
-    fn global_aggregate(&self, _side: Side, a: SummaryState, b: SummaryState) -> Result<SummaryState> {
-        let ra = a.downcast_ref::<Rect>().ok_or_else(|| wrong_state(self.name(), "summary"))?;
-        let rb = b.downcast_ref::<Rect>().ok_or_else(|| wrong_state(self.name(), "summary"))?;
+    fn global_aggregate(
+        &self,
+        _side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState> {
+        let ra = a
+            .downcast_ref::<Rect>()
+            .ok_or_else(|| wrong_state(self.name(), "summary"))?;
+        let rb = b
+            .downcast_ref::<Rect>()
+            .ok_or_else(|| wrong_state(self.name(), "summary"))?;
         Ok(SummaryState::new(ra.union(rb)))
     }
 
@@ -118,14 +133,31 @@ impl EngineJoin for BuiltinSpatialJoin {
         true
     }
 
-    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value]) -> Result<PPlanState> {
-        let l = left.downcast_ref::<Rect>().ok_or_else(|| wrong_state(self.name(), "summary"))?;
-        let r = right.downcast_ref::<Rect>().ok_or_else(|| wrong_state(self.name(), "summary"))?;
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState> {
+        let l = left
+            .downcast_ref::<Rect>()
+            .ok_or_else(|| wrong_state(self.name(), "summary"))?;
+        let r = right
+            .downcast_ref::<Rect>()
+            .ok_or_else(|| wrong_state(self.name(), "summary"))?;
         let n = grid_param(params, crate::spatial::DEFAULT_GRID_SIDE)?;
-        Ok(PPlanState::new(BuiltinSpatialPlan { grid: UniformGrid::new(l.intersection(r), n) }))
+        Ok(PPlanState::new(BuiltinSpatialPlan {
+            grid: UniformGrid::new(l.intersection(r), n),
+        }))
     }
 
-    fn assign(&self, _side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>) -> Result<()> {
+    fn assign(
+        &self,
+        _side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
         let plan = pplan
             .downcast_ref::<BuiltinSpatialPlan>()
             .ok_or_else(|| wrong_state(self.name(), "pplan"))?;
@@ -136,7 +168,14 @@ impl EngineJoin for BuiltinSpatialJoin {
         Ok(())
     }
 
-    fn verify(&self, _b1: BucketId, k1: &Value, _b2: BucketId, k2: &Value, _pplan: &PPlanState) -> Result<bool> {
+    fn verify(
+        &self,
+        _b1: BucketId,
+        k1: &Value,
+        _b2: BucketId,
+        k2: &Value,
+        _pplan: &PPlanState,
+    ) -> Result<bool> {
         values_intersect(k1, k2)
     }
 
@@ -144,11 +183,20 @@ impl EngineJoin for BuiltinSpatialJoin {
         DedupMode::Custom // reference point — what a hand-built PBSM uses
     }
 
-    fn dedup(&self, b1: BucketId, k1: &Value, _b2: BucketId, k2: &Value, pplan: &PPlanState) -> Result<bool> {
+    fn dedup(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        _b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
         let plan = pplan
             .downcast_ref::<BuiltinSpatialPlan>()
             .ok_or_else(|| wrong_state(self.name(), "pplan"))?;
-        Ok(plan.grid.is_reference_tile(b1, &value_mbr(k1)?, &value_mbr(k2)?))
+        Ok(plan
+            .grid
+            .is_reference_tile(b1, &value_mbr(k1)?, &value_mbr(k2)?))
     }
 }
 
@@ -185,7 +233,12 @@ impl EngineJoin for AdvancedSpatialJoin {
         self.inner.local_aggregate(side, key, summary)
     }
 
-    fn global_aggregate(&self, side: Side, a: SummaryState, b: SummaryState) -> Result<SummaryState> {
+    fn global_aggregate(
+        &self,
+        side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState> {
         self.inner.global_aggregate(side, a, b)
     }
 
@@ -193,15 +246,33 @@ impl EngineJoin for AdvancedSpatialJoin {
         true
     }
 
-    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value]) -> Result<PPlanState> {
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState> {
         self.inner.divide(left, right, params)
     }
 
-    fn assign(&self, side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>) -> Result<()> {
+    fn assign(
+        &self,
+        side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
         self.inner.assign(side, key, pplan, out)
     }
 
-    fn verify(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState) -> Result<bool> {
+    fn verify(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
         self.inner.verify(b1, k1, b2, k2, pplan)
     }
 
@@ -209,7 +280,14 @@ impl EngineJoin for AdvancedSpatialJoin {
         self.inner.dedup_mode()
     }
 
-    fn dedup(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState) -> Result<bool> {
+    fn dedup(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
         self.inner.dedup(b1, k1, b2, k2, pplan)
     }
 
@@ -276,7 +354,12 @@ impl EngineJoin for BuiltinIntervalJoin {
         Ok(())
     }
 
-    fn global_aggregate(&self, _side: Side, a: SummaryState, b: SummaryState) -> Result<SummaryState> {
+    fn global_aggregate(
+        &self,
+        _side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState> {
         let sa = a
             .downcast_ref::<IntervalSummary>()
             .ok_or_else(|| wrong_state(self.name(), "summary"))?;
@@ -290,7 +373,12 @@ impl EngineJoin for BuiltinIntervalJoin {
         true
     }
 
-    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value]) -> Result<PPlanState> {
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState> {
         let l = left
             .downcast_ref::<IntervalSummary>()
             .ok_or_else(|| wrong_state(self.name(), "summary"))?;
@@ -313,7 +401,13 @@ impl EngineJoin for BuiltinIntervalJoin {
         Ok(PPlanState::new(GranuleTimeline::new(range, n)))
     }
 
-    fn assign(&self, _side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>) -> Result<()> {
+    fn assign(
+        &self,
+        _side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
         let tl = pplan
             .downcast_ref::<GranuleTimeline>()
             .ok_or_else(|| wrong_state(self.name(), "pplan"))?;
@@ -329,7 +423,14 @@ impl EngineJoin for BuiltinIntervalJoin {
         false
     }
 
-    fn verify(&self, _b1: BucketId, k1: &Value, _b2: BucketId, k2: &Value, _pplan: &PPlanState) -> Result<bool> {
+    fn verify(
+        &self,
+        _b1: BucketId,
+        k1: &Value,
+        _b2: BucketId,
+        k2: &Value,
+        _pplan: &PPlanState,
+    ) -> Result<bool> {
         Ok(k1.as_interval()?.overlaps(&k2.as_interval()?))
     }
 
@@ -337,7 +438,14 @@ impl EngineJoin for BuiltinIntervalJoin {
         DedupMode::None
     }
 
-    fn dedup(&self, _b1: BucketId, _k1: &Value, _b2: BucketId, _k2: &Value, _pplan: &PPlanState) -> Result<bool> {
+    fn dedup(
+        &self,
+        _b1: BucketId,
+        _k1: &Value,
+        _b2: BucketId,
+        _k2: &Value,
+        _pplan: &PPlanState,
+    ) -> Result<bool> {
         Ok(true)
     }
 }
@@ -376,7 +484,12 @@ impl EngineJoin for AdvancedIntervalJoin {
         self.inner.local_aggregate(side, key, summary)
     }
 
-    fn global_aggregate(&self, side: Side, a: SummaryState, b: SummaryState) -> Result<SummaryState> {
+    fn global_aggregate(
+        &self,
+        side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState> {
         self.inner.global_aggregate(side, a, b)
     }
 
@@ -384,11 +497,22 @@ impl EngineJoin for AdvancedIntervalJoin {
         true
     }
 
-    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value]) -> Result<PPlanState> {
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState> {
         self.inner.divide(left, right, params)
     }
 
-    fn assign(&self, side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>) -> Result<()> {
+    fn assign(
+        &self,
+        side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
         self.inner.assign(side, key, pplan, out)
     }
 
@@ -400,7 +524,14 @@ impl EngineJoin for AdvancedIntervalJoin {
         false
     }
 
-    fn verify(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState) -> Result<bool> {
+    fn verify(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
         self.inner.verify(b1, k1, b2, k2, pplan)
     }
 
@@ -408,7 +539,14 @@ impl EngineJoin for AdvancedIntervalJoin {
         DedupMode::None
     }
 
-    fn dedup(&self, _b1: BucketId, _k1: &Value, _b2: BucketId, _k2: &Value, _pplan: &PPlanState) -> Result<bool> {
+    fn dedup(
+        &self,
+        _b1: BucketId,
+        _k1: &Value,
+        _b2: BucketId,
+        _k2: &Value,
+        _pplan: &PPlanState,
+    ) -> Result<bool> {
         Ok(true)
     }
 
@@ -421,11 +559,15 @@ impl EngineJoin for AdvancedIntervalJoin {
         _pplan: &PPlanState,
         emit: &mut dyn FnMut(usize, usize),
     ) -> Result<()> {
-        let left: Vec<Interval> =
-            left_keys.iter().map(Value::as_interval).collect::<Result<_>>()?;
-        let right: Vec<Interval> =
-            right_keys.iter().map(Value::as_interval).collect::<Result<_>>()?;
-        fudj_temporal::sweep::forward_scan_join_into(&left, &right, |i, j| emit(i, j));
+        let left: Vec<Interval> = left_keys
+            .iter()
+            .map(Value::as_interval)
+            .collect::<Result<_>>()?;
+        let right: Vec<Interval> = right_keys
+            .iter()
+            .map(Value::as_interval)
+            .collect::<Result<_>>()?;
+        fudj_temporal::sweep::forward_scan_join_into(&left, &right, emit);
         Ok(())
     }
 }
@@ -481,7 +623,12 @@ impl EngineJoin for BuiltinTextSimJoin {
         Ok(())
     }
 
-    fn global_aggregate(&self, _side: Side, a: SummaryState, b: SummaryState) -> Result<SummaryState> {
+    fn global_aggregate(
+        &self,
+        _side: Side,
+        a: SummaryState,
+        b: SummaryState,
+    ) -> Result<SummaryState> {
         let mut ca = a
             .downcast_ref::<TokenCounts>()
             .ok_or_else(|| wrong_state(self.name(), "summary"))?
@@ -497,13 +644,20 @@ impl EngineJoin for BuiltinTextSimJoin {
         true
     }
 
-    fn divide(&self, left: &SummaryState, right: &SummaryState, params: &[Value]) -> Result<PPlanState> {
+    fn divide(
+        &self,
+        left: &SummaryState,
+        right: &SummaryState,
+        params: &[Value],
+    ) -> Result<PPlanState> {
         let threshold = params
             .first()
             .ok_or_else(|| FudjError::Plan("text similarity join requires a threshold".into()))?
             .as_f64()?;
         if !(threshold > 0.0 && threshold <= 1.0) {
-            return Err(FudjError::Plan(format!("threshold must be in (0, 1], got {threshold}")));
+            return Err(FudjError::Plan(format!(
+                "threshold must be in (0, 1], got {threshold}"
+            )));
         }
         let mut merged = left
             .downcast_ref::<TokenCounts>()
@@ -514,10 +668,19 @@ impl EngineJoin for BuiltinTextSimJoin {
                 .downcast_ref::<TokenCounts>()
                 .ok_or_else(|| wrong_state(self.name(), "summary"))?,
         );
-        Ok(PPlanState::new(BuiltinTextPlan { ranks: TokenRanks::from_counts(&merged), threshold }))
+        Ok(PPlanState::new(BuiltinTextPlan {
+            ranks: TokenRanks::from_counts(&merged),
+            threshold,
+        }))
     }
 
-    fn assign(&self, _side: Side, key: &Value, pplan: &PPlanState, out: &mut Vec<BucketId>) -> Result<()> {
+    fn assign(
+        &self,
+        _side: Side,
+        key: &Value,
+        pplan: &PPlanState,
+        out: &mut Vec<BucketId>,
+    ) -> Result<()> {
         let plan = self.plan(pplan)?;
         let tokens = token_set(key.as_str()?);
         let ranked = plan.ranks.ranked_tokens(&tokens);
@@ -526,7 +689,14 @@ impl EngineJoin for BuiltinTextSimJoin {
         Ok(())
     }
 
-    fn verify(&self, _b1: BucketId, k1: &Value, _b2: BucketId, k2: &Value, pplan: &PPlanState) -> Result<bool> {
+    fn verify(
+        &self,
+        _b1: BucketId,
+        k1: &Value,
+        _b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
         let plan = self.plan(pplan)?;
         Ok(jaccard_of_sorted(&token_set(k1.as_str()?), &token_set(k2.as_str()?)) >= plan.threshold)
     }
@@ -535,7 +705,14 @@ impl EngineJoin for BuiltinTextSimJoin {
         DedupMode::Custom
     }
 
-    fn dedup(&self, b1: BucketId, k1: &Value, b2: BucketId, k2: &Value, pplan: &PPlanState) -> Result<bool> {
+    fn dedup(
+        &self,
+        b1: BucketId,
+        k1: &Value,
+        b2: BucketId,
+        k2: &Value,
+        pplan: &PPlanState,
+    ) -> Result<bool> {
         // Native avoidance: the pair is reported only from its smallest
         // shared prefix rank. Because match is equality, b1 == b2 here.
         debug_assert_eq!(b1, b2);
@@ -560,10 +737,14 @@ impl EngineJoin for BuiltinTextSimJoin {
         let plan = self.plan(pplan)?;
         let _ = b1;
         // Engine-side optimization: tokenize each bucket once.
-        let left_sets: Vec<Vec<String>> =
-            left_keys.iter().map(|k| Ok(token_set(k.as_str()?))).collect::<Result<_>>()?;
-        let right_sets: Vec<Vec<String>> =
-            right_keys.iter().map(|k| Ok(token_set(k.as_str()?))).collect::<Result<_>>()?;
+        let left_sets: Vec<Vec<String>> = left_keys
+            .iter()
+            .map(|k| Ok(token_set(k.as_str()?)))
+            .collect::<Result<_>>()?;
+        let right_sets: Vec<Vec<String>> = right_keys
+            .iter()
+            .map(|k| Ok(token_set(k.as_str()?)))
+            .collect::<Result<_>>()?;
         for (i, a) in left_sets.iter().enumerate() {
             for (j, b) in right_sets.iter().enumerate() {
                 if jaccard_of_sorted(a, b) >= plan.threshold {
@@ -598,7 +779,12 @@ mod tests {
             })
             .collect();
         let fires: Vec<Value> = (0..80)
-            .map(|_| Value::Point(Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))))
+            .map(|_| {
+                Value::Point(Point::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                ))
+            })
             .collect();
         (parks, fires)
     }
@@ -609,12 +795,16 @@ mod tests {
     fn builtin_spatial_equals_fudj_spatial() {
         let (parks, fires) = spatial_workload(7);
         let params = [Value::Int64(8)];
-        let builtin = reference_execute(&BuiltinSpatialJoin::new(), &parks, &fires, &params).unwrap();
+        let builtin =
+            reference_execute(&BuiltinSpatialJoin::new(), &parks, &fires, &params).unwrap();
         let fudj = FudjEngineJoin::new(Arc::new(ProxyJoin::new(SpatialFudj::new())));
         let flexible = reference_execute(&fudj, &parks, &fires, &params).unwrap();
         assert_eq!(builtin, flexible);
         assert!(!builtin.is_empty(), "fixture should produce matches");
-        assert!(fudj.translation_count() > 0, "FUDJ path crossed the boundary");
+        assert!(
+            fudj.translation_count() > 0,
+            "FUDJ path crossed the boundary"
+        );
     }
 
     #[test]
@@ -633,7 +823,7 @@ mod tests {
             (0..n)
                 .map(|_| {
                     let s = rng.gen_range(0i64..50_000);
-                    Value::Interval(Interval::new(s, s + rng.gen_range(0..2_000)))
+                    Value::Interval(Interval::new(s, s + rng.gen_range(0i64..2_000)))
                 })
                 .collect()
         };
@@ -649,14 +839,17 @@ mod tests {
 
     #[test]
     fn builtin_textsim_equals_fudj_textsim() {
-        let vocab = ["river", "trail", "lake", "peak", "camp", "view", "rock", "wood", "fern"];
+        let vocab = [
+            "river", "trail", "lake", "peak", "camp", "view", "rock", "wood", "fern",
+        ];
         let mut rng = SmallRng::seed_from_u64(4);
         let mut side = |n: usize| -> Vec<Value> {
             (0..n)
                 .map(|_| {
                     let len = rng.gen_range(2..7);
-                    let text: Vec<&str> =
-                        (0..len).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect();
+                    let text: Vec<&str> = (0..len)
+                        .map(|_| vocab[rng.gen_range(0..vocab.len())])
+                        .collect();
                     Value::str(text.join(" "))
                 })
                 .collect()
@@ -665,8 +858,7 @@ mod tests {
         let r = side(40);
         for t in [0.5, 0.8, 0.9] {
             let params = [Value::Float64(t)];
-            let builtin =
-                reference_execute(&BuiltinTextSimJoin::new(), &l, &r, &params).unwrap();
+            let builtin = reference_execute(&BuiltinTextSimJoin::new(), &l, &r, &params).unwrap();
             let fudj = FudjEngineJoin::new(Arc::new(ProxyJoin::new(TextSimilarityFudj::new())));
             let flexible = reference_execute(&fudj, &l, &r, &params).unwrap();
             assert_eq!(builtin, flexible, "t={t}");
@@ -677,11 +869,15 @@ mod tests {
     fn builtin_rejects_wrong_key_types() {
         let j = BuiltinSpatialJoin::new();
         let mut s = j.new_summary(Side::Left);
-        assert!(j.local_aggregate(Side::Left, &Value::Int64(1), &mut s).is_err());
+        assert!(j
+            .local_aggregate(Side::Left, &Value::Int64(1), &mut s)
+            .is_err());
 
         let ij = BuiltinIntervalJoin::new();
         let mut s = ij.new_summary(Side::Left);
-        assert!(ij.local_aggregate(Side::Left, &Value::str("x"), &mut s).is_err());
+        assert!(ij
+            .local_aggregate(Side::Left, &Value::str("x"), &mut s)
+            .is_err());
     }
 
     #[test]

@@ -176,7 +176,7 @@ mod tests {
             (0..n)
                 .map(|_| {
                     let s = rng.gen_range(0..10_000);
-                    (s, s + rng.gen_range(0..500))
+                    (s, s + rng.gen_range(0i64..500))
                 })
                 .collect()
         };
@@ -204,6 +204,8 @@ mod tests {
     #[test]
     fn empty_side_yields_empty_result() {
         let alg = ProxyJoin::new(IntervalFudj::new());
-        assert!(run_standalone(&alg, &[], &[iv(0, 5)], &[]).unwrap().is_empty());
+        assert!(run_standalone(&alg, &[], &[iv(0, 5)], &[])
+            .unwrap()
+            .is_empty());
     }
 }

@@ -46,12 +46,18 @@ pub const LIBRARY_NAME: &str = "flexiblejoins";
 /// | `interval.OverlappingIntervalJoinAuto` | OIP with self-tuned granules (§VIII) |
 pub fn standard_library() -> JoinLibrary {
     JoinLibrary::builder(LIBRARY_NAME)
-        .with_class("spatial.SpatialJoin", || Arc::new(ProxyJoin::new(SpatialFudj::new())))
+        .with_class("spatial.SpatialJoin", || {
+            Arc::new(ProxyJoin::new(SpatialFudj::new()))
+        })
         .with_class("spatial.SpatialJoinRefPoint", || {
-            Arc::new(ProxyJoin::new(SpatialFudj::with_dedup(SpatialDedup::ReferencePoint)))
+            Arc::new(ProxyJoin::new(SpatialFudj::with_dedup(
+                SpatialDedup::ReferencePoint,
+            )))
         })
         .with_class("spatial.SpatialJoinElimination", || {
-            Arc::new(ProxyJoin::new(SpatialFudj::with_dedup(SpatialDedup::Elimination)))
+            Arc::new(ProxyJoin::new(SpatialFudj::with_dedup(
+                SpatialDedup::Elimination,
+            )))
         })
         .with_class("interval.OverlappingIntervalJoin", || {
             Arc::new(ProxyJoin::new(IntervalFudj::new()))
@@ -60,10 +66,16 @@ pub fn standard_library() -> JoinLibrary {
             Arc::new(ProxyJoin::new(TextSimilarityFudj::new()))
         })
         .with_class("setsimilarity.SetSimilarityJoinElimination", || {
-            Arc::new(ProxyJoin::new(TextSimilarityFudj::with_dedup(TextDedup::Elimination)))
+            Arc::new(ProxyJoin::new(TextSimilarityFudj::with_dedup(
+                TextDedup::Elimination,
+            )))
         })
-        .with_class("band.BandJoin", || Arc::new(ProxyJoin::new(BandJoin::new())))
-        .with_class("spatial.SpatialJoinAuto", || Arc::new(ProxyJoin::new(SpatialFudjAuto)))
+        .with_class("band.BandJoin", || {
+            Arc::new(ProxyJoin::new(BandJoin::new()))
+        })
+        .with_class("spatial.SpatialJoinAuto", || {
+            Arc::new(ProxyJoin::new(SpatialFudjAuto))
+        })
         .with_class("interval.OverlappingIntervalJoinAuto", || {
             Arc::new(ProxyJoin::new(IntervalFudjAuto))
         })

@@ -68,7 +68,10 @@ pub(crate) fn decode_geom(key: &ExtValue) -> Result<Geom> {
     match coords.len() {
         2 => Ok(Geom::Point(Point::new(coords[0], coords[1]))),
         n if n >= 6 && n % 2 == 0 => Ok(Geom::Polygon(Polygon::new(
-            coords.chunks_exact(2).map(|c| Point::new(c[0], c[1])).collect(),
+            coords
+                .chunks_exact(2)
+                .map(|c| Point::new(c[0], c[1]))
+                .collect(),
         ))),
         n => Err(FudjError::JoinLibrary(format!(
             "spatial key must be [x, y] or a polygon ring, got {n} coordinates"
@@ -121,7 +124,9 @@ impl FlexibleJoin for SpatialFudj {
         // PBSM grids only the region both inputs cover; results can only
         // exist there.
         let extent = left.intersection(right);
-        Ok(SpatialPPlan { grid: UniformGrid::new(extent, n) })
+        Ok(SpatialPPlan {
+            grid: UniformGrid::new(extent, n),
+        })
     }
 
     fn assign(&self, key: &ExtValue, pplan: &SpatialPPlan, out: &mut Vec<BucketId>) -> Result<()> {
@@ -176,7 +181,16 @@ mod tests {
     }
 
     fn square(x0: f64, y0: f64, side: f64) -> ExtValue {
-        ExtValue::DoubleArray(vec![x0, y0, x0 + side, y0, x0 + side, y0 + side, x0, y0 + side])
+        ExtValue::DoubleArray(vec![
+            x0,
+            y0,
+            x0 + side,
+            y0,
+            x0 + side,
+            y0 + side,
+            x0,
+            y0 + side,
+        ])
     }
 
     #[test]
@@ -203,7 +217,9 @@ mod tests {
     #[test]
     fn assign_prunes_outside_joint_region() {
         let j = SpatialFudj::new();
-        let plan = SpatialPPlan { grid: UniformGrid::new(Rect::new(0.0, 0.0, 8.0, 8.0), 4) };
+        let plan = SpatialPPlan {
+            grid: UniformGrid::new(Rect::new(0.0, 0.0, 8.0, 8.0), 4),
+        };
         let mut out = Vec::new();
         j.assign(&point(100.0, 100.0), &plan, &mut out).unwrap();
         assert!(out.is_empty(), "outside record pruned");
@@ -214,12 +230,22 @@ mod tests {
     #[test]
     fn verify_point_in_polygon() {
         let j = SpatialFudj::new();
-        let plan = SpatialPPlan { grid: UniformGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 1) };
-        assert!(j.verify(&square(0.0, 0.0, 4.0), &point(2.0, 2.0), &plan).unwrap());
-        assert!(!j.verify(&square(0.0, 0.0, 4.0), &point(9.0, 9.0), &plan).unwrap());
+        let plan = SpatialPPlan {
+            grid: UniformGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 1),
+        };
+        assert!(j
+            .verify(&square(0.0, 0.0, 4.0), &point(2.0, 2.0), &plan)
+            .unwrap());
+        assert!(!j
+            .verify(&square(0.0, 0.0, 4.0), &point(9.0, 9.0), &plan)
+            .unwrap());
         assert!(j.verify(&point(1.0, 1.0), &point(1.0, 1.0), &plan).unwrap());
-        assert!(j.verify(&square(0.0, 0.0, 4.0), &square(3.0, 3.0, 4.0), &plan).unwrap());
-        assert!(j.verify(&point(0.0, 0.0), &ExtValue::Long(1), &plan).is_err());
+        assert!(j
+            .verify(&square(0.0, 0.0, 4.0), &square(3.0, 3.0, 4.0), &plan)
+            .unwrap());
+        assert!(j
+            .verify(&point(0.0, 0.0), &ExtValue::Long(1), &plan)
+            .is_err());
     }
 
     /// End-to-end PBSM through the standalone runner: parks × fire points,
@@ -237,13 +263,18 @@ mod tests {
                 Polygon::from_rect(&Rect::new(x, y, x + w, y + h))
             })
             .collect();
-        let fires: Vec<Point> =
-            (0..60).map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
+        let fires: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
 
-        let left: Vec<ExtValue> =
-            parks.iter().map(|p| to_external(&Value::polygon(p.clone())).unwrap()).collect();
-        let right: Vec<ExtValue> =
-            fires.iter().map(|p| to_external(&Value::Point(*p)).unwrap()).collect();
+        let left: Vec<ExtValue> = parks
+            .iter()
+            .map(|p| to_external(&Value::polygon(p.clone())).unwrap())
+            .collect();
+        let right: Vec<ExtValue> = fires
+            .iter()
+            .map(|p| to_external(&Value::Point(*p)).unwrap())
+            .collect();
 
         let mut oracle = Vec::new();
         for (i, park) in parks.iter().enumerate() {
@@ -305,7 +336,10 @@ mod tests {
         let right = vec![point(100.0, 100.0), point(200.0, 200.0)];
         let alg = ProxyJoin::new(SpatialFudj::new());
         let (pairs, stats) = fudj_core::standalone::run_standalone_with_stats(
-            &alg, &left, &right, &[ExtValue::Long(16)],
+            &alg,
+            &left,
+            &right,
+            &[ExtValue::Long(16)],
         )
         .unwrap();
         assert!(pairs.is_empty());

@@ -101,7 +101,10 @@ impl FlexibleJoin for TextSimilarityFudj {
         }
         let mut merged = left.clone();
         merged.merge(right);
-        Ok(TextPPlan { ranks: TokenRanks::from_counts(&merged), threshold })
+        Ok(TextPPlan {
+            ranks: TokenRanks::from_counts(&merged),
+            threshold,
+        })
     }
 
     fn assign(
@@ -113,7 +116,11 @@ impl FlexibleJoin for TextSimilarityFudj {
         let tokens = token_set(key.as_text()?);
         let ranked = pplan.ranks.ranked_tokens(&tokens);
         let p = prefix_length(ranked.len(), pplan.threshold);
-        out.extend(ranked[..p.min(ranked.len())].iter().map(|&r| r as fudj_core::BucketId));
+        out.extend(
+            ranked[..p.min(ranked.len())]
+                .iter()
+                .map(|&r| r as fudj_core::BucketId),
+        );
         Ok(())
     }
 
@@ -159,10 +166,7 @@ mod tests {
             for (j, b) in r.iter().enumerate() {
                 let sa = token_set(a);
                 let sb = token_set(b);
-                if !sa.is_empty()
-                    && !sb.is_empty()
-                    && jaccard_of_sorted(&sa, &sb) >= t
-                {
+                if !sa.is_empty() && !sb.is_empty() && jaccard_of_sorted(&sa, &sb) >= t {
                     out.push((i, j));
                 }
             }
@@ -192,19 +196,27 @@ mod tests {
             counts.observe("mid");
         }
         counts.observe("rare");
-        let plan = TextPPlan { ranks: TokenRanks::from_counts(&counts), threshold: 0.8 };
+        let plan = TextPPlan {
+            ranks: TokenRanks::from_counts(&counts),
+            threshold: 0.8,
+        };
         let mut out = Vec::new();
         // 3 distinct tokens, t=0.8 → p = 3 - ceil(2.4) + 1 = 1 → rarest only.
-        j.assign(&ExtValue::Text("common mid rare".into()), &plan, &mut out).unwrap();
+        j.assign(&ExtValue::Text("common mid rare".into()), &plan, &mut out)
+            .unwrap();
         assert_eq!(out, vec![plan.ranks.rank("rare").unwrap() as u64]);
     }
 
     #[test]
     fn empty_text_gets_no_buckets() {
         let j = TextSimilarityFudj::new();
-        let plan = TextPPlan { ranks: TokenRanks::default(), threshold: 0.9 };
+        let plan = TextPPlan {
+            ranks: TokenRanks::default(),
+            threshold: 0.9,
+        };
         let mut out = Vec::new();
-        j.assign(&ExtValue::Text("...".into()), &plan, &mut out).unwrap();
+        j.assign(&ExtValue::Text("...".into()), &plan, &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -220,7 +232,11 @@ mod tests {
                     &[ExtValue::Double(t)],
                 )
                 .unwrap();
-                assert_eq!(got, oracle(REVIEWS_A, REVIEWS_B, t), "t={t} dedup={dedup:?}");
+                assert_eq!(
+                    got,
+                    oracle(REVIEWS_A, REVIEWS_B, t),
+                    "t={t} dedup={dedup:?}"
+                );
             }
         }
     }
@@ -247,13 +263,18 @@ mod tests {
     #[test]
     fn randomized_against_oracle() {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
-        let vocab = ["river", "trail", "lake", "peak", "camp", "view", "rock", "wood"];
+        let vocab = [
+            "river", "trail", "lake", "peak", "camp", "view", "rock", "wood",
+        ];
         let mut rng = SmallRng::seed_from_u64(12);
         let mut gen_side = |n: usize| -> Vec<String> {
             (0..n)
                 .map(|_| {
                     let len = rng.gen_range(1..6);
-                    (0..len).map(|_| vocab[rng.gen_range(0..vocab.len())]).collect::<Vec<_>>().join(" ")
+                    (0..len)
+                        .map(|_| vocab[rng.gen_range(0..vocab.len())])
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 })
                 .collect()
         };
@@ -262,8 +283,7 @@ mod tests {
         let ar: Vec<&str> = a.iter().map(String::as_str).collect();
         let br: Vec<&str> = b.iter().map(String::as_str).collect();
         let alg = ProxyJoin::new(TextSimilarityFudj::new());
-        let got =
-            run_standalone(&alg, &texts(&ar), &texts(&br), &[ExtValue::Double(0.7)]).unwrap();
+        let got = run_standalone(&alg, &texts(&ar), &texts(&br), &[ExtValue::Double(0.7)]).unwrap();
         assert_eq!(got, oracle(&ar, &br, 0.7));
     }
 }

@@ -57,10 +57,17 @@ pub enum Expr {
     /// Column reference, usually qualified (`p.id`).
     Column(String),
     Literal(Value),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     Not(Box<Expr>),
     /// Scalar function call (case-insensitive name).
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
@@ -76,12 +83,19 @@ impl Expr {
 
     /// Function call.
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Call { name: name.into(), args }
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
     }
 
     /// Binary expression.
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// `self AND other`.
@@ -123,7 +137,11 @@ impl Expr {
     /// Split a conjunction into its conjuncts (`a AND b AND c` → `[a,b,c]`).
     pub fn split_conjuncts(self) -> Vec<Expr> {
         match self {
-            Expr::Binary { op: BinOp::And, left, right } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 let mut out = left.split_conjuncts();
                 out.extend(right.split_conjuncts());
                 out
@@ -210,9 +228,16 @@ impl fmt::Display for Expr {
 pub enum BoundExpr {
     Column(usize),
     Literal(Value),
-    Binary { op: BinOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    Binary {
+        op: BinOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
     Not(Box<BoundExpr>),
-    Call { name: String, args: Vec<BoundExpr> },
+    Call {
+        name: String,
+        args: Vec<BoundExpr>,
+    },
 }
 
 impl BoundExpr {
@@ -342,7 +367,9 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_error() {
-        let e = Expr::binary(BinOp::Div, Expr::col("a"), Expr::lit(0i64)).bind(&schema()).unwrap();
+        let e = Expr::binary(BinOp::Div, Expr::col("a"), Expr::lit(0i64))
+            .bind(&schema())
+            .unwrap();
         assert!(e.eval(&row()).is_err());
     }
 
@@ -379,7 +406,10 @@ mod tests {
     fn referenced_columns_are_collected() {
         let e = Expr::call(
             "st_contains",
-            vec![Expr::col("p.boundary"), Expr::call("st_makepoint", vec![Expr::col("w.lat"), Expr::col("w.lon")])],
+            vec![
+                Expr::col("p.boundary"),
+                Expr::call("st_makepoint", vec![Expr::col("w.lat"), Expr::col("w.lon")]),
+            ],
         );
         let cols = e.referenced_columns();
         assert_eq!(
@@ -390,7 +420,9 @@ mod tests {
 
     #[test]
     fn display_renders_sql_like() {
-        let e = Expr::col("a").eq(Expr::lit(1i64)).and(Expr::Not(Box::new(Expr::col("ok"))));
+        let e = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::Not(Box::new(Expr::col("ok"))));
         assert_eq!(e.to_string(), "((a = 1) AND NOT (ok))");
     }
 }

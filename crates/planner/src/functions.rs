@@ -76,9 +76,7 @@ pub fn evaluate(name: &str, args: &[Value]) -> Result<Value> {
                     // contains ⊇: every vertex of b inside a and no edge
                     // crossings — approximated by "a contains b's MBR corners
                     // and they intersect"; exact for our convex parks.
-                    Value::Bool(
-                        b_poly.ring().iter().all(|p| a_poly.contains_point(p)),
-                    )
+                    Value::Bool(b_poly.ring().iter().all(|p| a_poly.contains_point(p)))
                 }
                 (l, r) => {
                     return Err(FudjError::type_mismatch(
@@ -161,9 +159,10 @@ pub fn evaluate(name: &str, args: &[Value]) -> Result<Value> {
         }
         "parse_date" => {
             let a = args_n(name, args, 2)?;
-            let ms = fudj_temporal::parse_date(a[0].as_str()?, a[1].as_str()?).ok_or_else(|| {
-                FudjError::Execution(format!("cannot parse date {:?} as {:?}", a[0], a[1]))
-            })?;
+            let ms =
+                fudj_temporal::parse_date(a[0].as_str()?, a[1].as_str()?).ok_or_else(|| {
+                    FudjError::Execution(format!("cannot parse date {:?} as {:?}", a[0], a[1]))
+                })?;
             Value::DateTime(ms)
         }
         "abs" => {
@@ -188,9 +187,15 @@ mod tests {
 
     #[test]
     fn st_contains_point() {
-        let inside = evaluate("st_contains", &[square(), Value::Point(Point::new(5.0, 5.0))]);
+        let inside = evaluate(
+            "st_contains",
+            &[square(), Value::Point(Point::new(5.0, 5.0))],
+        );
         assert_eq!(inside.unwrap(), Value::Bool(true));
-        let outside = evaluate("st_contains", &[square(), Value::Point(Point::new(50.0, 5.0))]);
+        let outside = evaluate(
+            "st_contains",
+            &[square(), Value::Point(Point::new(50.0, 5.0))],
+        );
         assert_eq!(outside.unwrap(), Value::Bool(false));
         assert!(evaluate("st_contains", &[Value::Int64(1), Value::Int64(2)]).is_err());
     }
@@ -239,7 +244,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(v, Value::DateTime(18_993 * 86_400_000));
-        assert!(evaluate("parse_date", &[Value::str("13/99/2022"), Value::str("M/D/Y")]).is_err());
+        assert!(evaluate(
+            "parse_date",
+            &[Value::str("13/99/2022"), Value::str("M/D/Y")]
+        )
+        .is_err());
     }
 
     #[test]
@@ -264,6 +273,9 @@ mod tests {
             assert!(is_builtin(name), "{name}");
             assert_ne!(return_type(name), DataType::Null, "{name}");
         }
-        assert!(!is_builtin("text_similarity_join"), "FUDJ names are not scalar built-ins");
+        assert!(
+            !is_builtin("text_similarity_join"),
+            "FUDJ names are not scalar built-ins"
+        );
     }
 }

@@ -31,15 +31,28 @@ pub struct LogicalSortKey {
 pub enum LogicalPlan {
     /// Scan of a stored dataset under an alias; columns are exposed as
     /// `alias.column`.
-    Scan { dataset: Arc<Dataset>, alias: String },
-    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    Scan {
+        dataset: Arc<Dataset>,
+        alias: String,
+    },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
     /// Projection with output names.
-    Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<(Expr, String)>,
+    },
     /// Inner join under an arbitrary boolean condition. The optimizer
     /// rewrites this into [`LogicalPlan::FudjJoin`] when the condition
     /// carries a registered FUDJ predicate; otherwise it lowers to the
     /// on-top NLJ.
-    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, condition: Expr },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        condition: Expr,
+    },
     /// Post-rewrite FUDJ join (produced by the optimizer, not by binders).
     FudjJoin {
         left: Box<LogicalPlan>,
@@ -62,29 +75,48 @@ pub enum LogicalPlan {
         group_by: Vec<(Expr, String)>,
         aggregates: Vec<LogicalAggregate>,
     },
-    Sort { input: Box<LogicalPlan>, keys: Vec<LogicalSortKey> },
-    Limit { input: Box<LogicalPlan>, limit: usize },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<LogicalSortKey>,
+    },
+    Limit {
+        input: Box<LogicalPlan>,
+        limit: usize,
+    },
 }
 
 impl LogicalPlan {
     /// Scan helper.
     pub fn scan(dataset: Arc<Dataset>, alias: impl Into<String>) -> LogicalPlan {
-        LogicalPlan::Scan { dataset, alias: alias.into() }
+        LogicalPlan::Scan {
+            dataset,
+            alias: alias.into(),
+        }
     }
 
     /// Filter helper.
     pub fn filter(self, predicate: Expr) -> LogicalPlan {
-        LogicalPlan::Filter { input: Box::new(self), predicate }
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Join helper.
     pub fn join(self, right: LogicalPlan, condition: Expr) -> LogicalPlan {
-        LogicalPlan::Join { left: Box::new(self), right: Box::new(right), condition }
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            condition,
+        }
     }
 
     /// Project helper.
     pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
-        LogicalPlan::Project { input: Box::new(self), exprs }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
     /// Output schema (qualified names).
@@ -104,9 +136,7 @@ impl LogicalPlan {
                 Arc::new(Schema::new(
                     exprs
                         .iter()
-                        .map(|(e, name)| {
-                            Ok(Field::new(name.clone(), e.data_type(&in_schema)?))
-                        })
+                        .map(|(e, name)| Ok(Field::new(name.clone(), e.data_type(&in_schema)?)))
                         .collect::<Result<Vec<Field>>>()?,
                 ))
             }
@@ -116,7 +146,11 @@ impl LogicalPlan {
             LogicalPlan::FudjJoin { left, right, .. } => {
                 Arc::new(left.schema()?.join(right.schema()?.as_ref()))
             }
-            LogicalPlan::Aggregate { input, group_by, aggregates } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
                 let in_schema = input.schema()?;
                 let mut fields = Vec::with_capacity(group_by.len() + aggregates.len());
                 for (e, name) in group_by {
@@ -174,7 +208,10 @@ mod tests {
     fn scan_qualifies_columns() {
         let plan = LogicalPlan::scan(parks(), "p");
         let s = plan.schema().unwrap();
-        assert_eq!(s.to_string(), "p.id: uuid, p.boundary: polygon, p.tags: string");
+        assert_eq!(
+            s.to_string(),
+            "p.id: uuid, p.boundary: polygon, p.tags: string"
+        );
     }
 
     #[test]
@@ -194,9 +231,11 @@ mod tests {
         let plan = LogicalPlan::Aggregate {
             input: Box::new(LogicalPlan::scan(parks(), "p")),
             group_by: vec![(Expr::col("p.id"), "id".into())],
-            aggregates: vec![
-                LogicalAggregate { func: AggFunc::Count, input: None, name: "c".into() },
-            ],
+            aggregates: vec![LogicalAggregate {
+                func: AggFunc::Count,
+                input: None,
+                name: "c".into(),
+            }],
         };
         assert_eq!(plan.schema().unwrap().to_string(), "id: uuid, c: bigint");
     }

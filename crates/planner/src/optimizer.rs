@@ -54,7 +54,11 @@ pub fn optimize(
     rewrite(plan, registry, options)
 }
 
-fn rewrite(plan: LogicalPlan, registry: &JoinRegistry, options: &PlanOptions) -> Result<LogicalPlan> {
+fn rewrite(
+    plan: LogicalPlan,
+    registry: &JoinRegistry,
+    options: &PlanOptions,
+) -> Result<LogicalPlan> {
     Ok(match plan {
         LogicalPlan::Scan { .. } => plan,
         LogicalPlan::Filter { input, predicate } => {
@@ -63,13 +67,25 @@ fn rewrite(plan: LogicalPlan, registry: &JoinRegistry, options: &PlanOptions) ->
             // pushdown and FUDJ detection see all its conjuncts.
             let mut predicate = predicate;
             let mut input = *input;
-            while let LogicalPlan::Filter { input: inner, predicate: p } = input {
+            while let LogicalPlan::Filter {
+                input: inner,
+                predicate: p,
+            } = input
+            {
                 predicate = p.and(predicate);
                 input = *inner;
             }
             match input {
-                LogicalPlan::Join { left, right, condition } => rewrite(
-                    LogicalPlan::Join { left, right, condition: condition.and(predicate) },
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    condition,
+                } => rewrite(
+                    LogicalPlan::Join {
+                        left,
+                        right,
+                        condition: condition.and(predicate),
+                    },
                     registry,
                     options,
                 )?,
@@ -83,23 +99,33 @@ fn rewrite(plan: LogicalPlan, registry: &JoinRegistry, options: &PlanOptions) ->
             input: Box::new(rewrite(*input, registry, options)?),
             exprs,
         },
-        LogicalPlan::Join { left, right, condition } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
             let left = rewrite(*left, registry, options)?;
             let right = rewrite(*right, registry, options)?;
             rewrite_join(left, right, condition, registry, options)?
         }
         LogicalPlan::FudjJoin { .. } => plan, // already rewritten
-        LogicalPlan::Aggregate { input, group_by, aggregates } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => LogicalPlan::Aggregate {
             input: Box::new(rewrite(*input, registry, options)?),
             group_by,
             aggregates,
         },
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(rewrite(*input, registry, options)?), keys }
-        }
-        LogicalPlan::Limit { input, limit } => {
-            LogicalPlan::Limit { input: Box::new(rewrite(*input, registry, options)?), limit }
-        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(*input, registry, options)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, limit } => LogicalPlan::Limit {
+            input: Box::new(rewrite(*input, registry, options)?),
+            limit,
+        },
     })
 }
 
@@ -232,15 +258,15 @@ fn match_fudj_predicate(
             op: crate::expr::BinOp::GtEq | crate::expr::BinOp::Gt,
             left: l,
             right: r,
-        } => {
-            match (l.as_ref(), r.as_ref()) {
-                (call @ Expr::Call { .. }, Expr::Literal(v)) => (call, Some(v.clone())),
-                _ => return Ok(None),
-            }
-        }
+        } => match (l.as_ref(), r.as_ref()) {
+            (call @ Expr::Call { .. }, Expr::Literal(v)) => (call, Some(v.clone())),
+            _ => return Ok(None),
+        },
         _ => return Ok(None),
     };
-    let Expr::Call { name, args } = call else { return Ok(None) };
+    let Expr::Call { name, args } = call else {
+        return Ok(None);
+    };
     let lowered = name.to_ascii_lowercase();
     if registry.get(&lowered).is_none() {
         return Ok(None);
@@ -282,7 +308,12 @@ fn match_fudj_predicate(
         params.push(t);
     }
 
-    Ok(Some(FudjMatch { join_name: lowered, left_key, right_key, params }))
+    Ok(Some(FudjMatch {
+        join_name: lowered,
+        left_key,
+        right_key,
+        params,
+    }))
 }
 
 #[cfg(test)]
@@ -365,7 +396,14 @@ mod tests {
     fn detects_fudj_and_pushes_filters() {
         let plan = optimize(query1_logical(), &registry(), &PlanOptions::default()).unwrap();
         match plan {
-            LogicalPlan::FudjJoin { left, right, join_name, residual, self_join, .. } => {
+            LogicalPlan::FudjJoin {
+                left,
+                right,
+                join_name,
+                residual,
+                self_join,
+                ..
+            } => {
                 assert_eq!(join_name, "st_contains");
                 assert!(residual.is_none());
                 assert!(!self_join);
@@ -379,10 +417,15 @@ mod tests {
 
     #[test]
     fn force_on_top_keeps_nlj() {
-        let options = PlanOptions { force_on_top: true, ..Default::default() };
+        let options = PlanOptions {
+            force_on_top: true,
+            ..Default::default()
+        };
         let plan = optimize(query1_logical(), &registry(), &options).unwrap();
         match plan {
-            LogicalPlan::Join { condition, right, .. } => {
+            LogicalPlan::Join {
+                condition, right, ..
+            } => {
                 // FUDJ predicate stays in the NLJ condition...
                 assert!(condition.to_string().contains("st_contains"));
                 // ...but pushdown still applies.
@@ -400,12 +443,20 @@ mod tests {
             LogicalPlan::scan(parks, "b"),
             Expr::binary(
                 crate::expr::BinOp::GtEq,
-                Expr::call("jaccard_similarity", vec![Expr::col("a.tags"), Expr::col("b.tags")]),
+                Expr::call(
+                    "jaccard_similarity",
+                    vec![Expr::col("a.tags"), Expr::col("b.tags")],
+                ),
                 Expr::lit(0.5),
             ),
         );
         match optimize(plan, &reg, &PlanOptions::default()).unwrap() {
-            LogicalPlan::FudjJoin { join_name, params, self_join, .. } => {
+            LogicalPlan::FudjJoin {
+                join_name,
+                params,
+                self_join,
+                ..
+            } => {
                 assert_eq!(join_name, "jaccard_similarity");
                 assert_eq!(params, vec![Value::Float64(0.5)]);
                 assert!(self_join, "same dataset both sides, symmetric join");
@@ -420,10 +471,17 @@ mod tests {
         // st_contains(w-side key first? no — keys given right-then-left).
         let plan = LogicalPlan::scan(parks(), "p").join(
             LogicalPlan::scan(fires(), "w"),
-            Expr::call("st_contains", vec![Expr::col("w.location"), Expr::col("p.boundary")]),
+            Expr::call(
+                "st_contains",
+                vec![Expr::col("w.location"), Expr::col("p.boundary")],
+            ),
         );
         match optimize(plan, &reg, &PlanOptions::default()).unwrap() {
-            LogicalPlan::FudjJoin { left_key, right_key, .. } => {
+            LogicalPlan::FudjJoin {
+                left_key,
+                right_key,
+                ..
+            } => {
                 assert_eq!(left_key, Expr::col("p.boundary"));
                 assert_eq!(right_key, Expr::col("w.location"));
             }
@@ -457,7 +515,10 @@ mod tests {
         let plan = LogicalPlan::Filter {
             input: Box::new(LogicalPlan::scan(parks(), "p").join(
                 LogicalPlan::scan(fires(), "w"),
-                Expr::call("st_contains", vec![Expr::col("p.boundary"), Expr::col("w.location")]),
+                Expr::call(
+                    "st_contains",
+                    vec![Expr::col("p.boundary"), Expr::col("w.location")],
+                ),
             )),
             predicate: Expr::binary(
                 crate::expr::BinOp::GtEq,

@@ -21,7 +21,9 @@ pub fn lower(
     options: &PlanOptions,
 ) -> Result<PhysicalPlan> {
     Ok(match plan {
-        LogicalPlan::Scan { dataset, .. } => PhysicalPlan::Scan { dataset: dataset.clone() },
+        LogicalPlan::Scan { dataset, .. } => PhysicalPlan::Scan {
+            dataset: dataset.clone(),
+        },
 
         LogicalPlan::Filter { input, predicate } => {
             let schema = input.schema()?;
@@ -35,8 +37,10 @@ pub fn lower(
         LogicalPlan::Project { input, exprs } => {
             let in_schema = input.schema()?;
             let out_schema = plan.schema()?;
-            let bound: Vec<BoundExpr> =
-                exprs.iter().map(|(e, _)| e.bind(&in_schema)).collect::<Result<_>>()?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|(e, _)| e.bind(&in_schema))
+                .collect::<Result<_>>()?;
             PhysicalPlan::Project {
                 input: Box::new(lower(input, registry, options)?),
                 mapper: Arc::new(move |row: &Row| {
@@ -50,16 +54,18 @@ pub fn lower(
             }
         }
 
-        LogicalPlan::Join { left, right, condition } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+        } => {
             // On-top plan: NLJ with the full condition as a UDF predicate.
             let combined = left.schema()?.join(right.schema()?.as_ref());
             let bound = condition.bind(&combined)?;
             PhysicalPlan::NlJoin {
                 left: Box::new(lower(left, registry, options)?),
                 right: Box::new(lower(right, registry, options)?),
-                predicate: Arc::new(move |l: &Row, r: &Row| {
-                    bound.eval(&l.concat(r))?.as_bool()
-                }),
+                predicate: Arc::new(move |l: &Row, r: &Row| bound.eval(&l.concat(r))?.as_bool()),
             }
         }
 
@@ -77,7 +83,11 @@ pub fn lower(
             options,
         )?,
 
-        LogicalPlan::Aggregate { input, group_by, aggregates } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
             let in_schema = input.schema()?;
             // Pre-project: group expressions first, then aggregate inputs.
             let mut pre_fields: Vec<Field> = Vec::new();
@@ -90,14 +100,20 @@ pub fn lower(
             for (i, agg) in aggregates.iter().enumerate() {
                 let input_idx = match &agg.input {
                     Some(e) => {
-                        pre_fields
-                            .push(Field::new(format!("__agg_in_{i}"), e.data_type(&in_schema)?));
+                        pre_fields.push(Field::new(
+                            format!("__agg_in_{i}"),
+                            e.data_type(&in_schema)?,
+                        ));
                         pre_bound.push(e.bind(&in_schema)?);
                         Some(pre_fields.len() - 1)
                     }
                     None => None,
                 };
-                exec_aggs.push(Aggregate { func: agg.func, input: input_idx, name: agg.name.clone() });
+                exec_aggs.push(Aggregate {
+                    func: agg.func,
+                    input: input_idx,
+                    name: agg.name.clone(),
+                });
             }
             let pre_schema: SchemaRef = Arc::new(Schema::new(pre_fields));
             let pre = PhysicalPlan::Project {
@@ -228,8 +244,7 @@ fn lower_fudj_join(
     let l_len = lschema.len();
     let r_len = rschema.len();
     let logical_schema: SchemaRef = Arc::new(lschema.join(&rschema));
-    let keep: Vec<usize> =
-        (0..l_len).chain(l_len + 1..l_len + 1 + r_len).collect();
+    let keep: Vec<usize> = (0..l_len).chain(l_len + 1..l_len + 1 + r_len).collect();
     let keep_for_mapper = keep.clone();
     let stripped = PhysicalPlan::Project {
         input: Box::new(joined),
@@ -241,7 +256,10 @@ fn lower_fudj_join(
     Ok(match residual {
         Some(expr) => {
             let bound = expr.bind(&logical_schema)?;
-            PhysicalPlan::Filter { input: Box::new(stripped), predicate: predicate_closure(bound) }
+            PhysicalPlan::Filter {
+                input: Box::new(stripped),
+                predicate: predicate_closure(bound),
+            }
         }
         None => stripped,
     })
@@ -280,12 +298,15 @@ mod tests {
         let fires = Arc::new(wildfires(GeneratorConfig::new(400, 2, 4)).unwrap());
         let join = LogicalPlan::scan(parks, "p").join(
             LogicalPlan::scan(fires, "w"),
-            Expr::call("st_contains", vec![Expr::col("p.boundary"), Expr::col("w.location")])
-                .and(Expr::binary(
-                    crate::expr::BinOp::GtEq,
-                    Expr::col("w.fire_start"),
-                    Expr::lit(Value::DateTime(fudj_datagen::datasets::JAN_2022_MS)),
-                )),
+            Expr::call(
+                "st_contains",
+                vec![Expr::col("p.boundary"), Expr::col("w.location")],
+            )
+            .and(Expr::binary(
+                crate::expr::BinOp::GtEq,
+                Expr::col("w.fire_start"),
+                Expr::lit(Value::DateTime(fudj_datagen::datasets::JAN_2022_MS)),
+            )),
         );
         LogicalPlan::Limit {
             input: Box::new(LogicalPlan::Sort {
@@ -298,7 +319,10 @@ mod tests {
                         name: "num_fires".into(),
                     }],
                 }),
-                keys: vec![LogicalSortKey { expr: Expr::col("num_fires"), descending: true }],
+                keys: vec![LogicalSortKey {
+                    expr: Expr::col("num_fires"),
+                    descending: true,
+                }],
             }),
             limit: 10,
         }
@@ -309,19 +333,24 @@ mod tests {
         let reg = registry();
         let cluster = Cluster::new(3);
 
-        let fudj_plan =
-            crate::plan(query1(), &reg, &PlanOptions::default()).unwrap();
+        let fudj_plan = crate::plan(query1(), &reg, &PlanOptions::default()).unwrap();
         let (fudj_result, fudj_metrics) = cluster.execute(&fudj_plan).unwrap();
 
         let ontop_plan = crate::plan(
             query1(),
             &reg,
-            &PlanOptions { force_on_top: true, ..Default::default() },
+            &PlanOptions {
+                force_on_top: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let (ontop_result, ontop_metrics) = cluster.execute(&ontop_plan).unwrap();
 
-        assert_eq!(fudj_result.schema().to_string(), "id: uuid, num_fires: bigint");
+        assert_eq!(
+            fudj_result.schema().to_string(),
+            "id: uuid, num_fires: bigint"
+        );
         // LIMIT-free comparison: tie order under equal counts is unspecified.
         let mut a = fudj_result.rows().to_vec();
         let mut b = ontop_result.rows().to_vec();

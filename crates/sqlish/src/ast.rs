@@ -17,7 +17,10 @@ pub enum Statement {
     /// `SELECT ...`
     Select(SelectStatement),
     /// `EXPLAIN [ANALYZE] SELECT ...`
-    Explain { select: SelectStatement, analyze: bool },
+    Explain {
+        select: SelectStatement,
+        analyze: bool,
+    },
 }
 
 /// A `SELECT` query.
@@ -74,12 +77,19 @@ pub enum AstExpr {
     FloatLit(f64),
     StrLit(String),
     BoolLit(bool),
-    Binary { op: AstBinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Binary {
+        op: AstBinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
     Not(Box<AstExpr>),
     /// Function call; aggregates (`count`, `sum`, `avg`, `min`, `max`) are
     /// recognized during binding. `count(*)` / `count(1)` parse to
     /// `CountStar`.
-    Call { name: String, args: Vec<AstExpr> },
+    Call {
+        name: String,
+        args: Vec<AstExpr>,
+    },
     /// `COUNT(*)` / `COUNT(1)`.
     CountStar,
     /// `SELECT *` (select-list only; expanded by the binder).
@@ -89,7 +99,11 @@ pub enum AstExpr {
 impl AstExpr {
     /// `a AND b` helper.
     pub fn and(self, other: AstExpr) -> AstExpr {
-        AstExpr::Binary { op: AstBinOp::And, left: Box::new(self), right: Box::new(other) }
+        AstExpr::Binary {
+            op: AstBinOp::And,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Whether the expression contains an aggregate call.
@@ -123,8 +137,11 @@ mod tests {
     #[test]
     fn aggregate_detection() {
         assert!(AstExpr::CountStar.contains_aggregate());
-        assert!(AstExpr::Call { name: "AVG".into(), args: vec![AstExpr::Column("x".into())] }
-            .contains_aggregate());
+        assert!(AstExpr::Call {
+            name: "AVG".into(),
+            args: vec![AstExpr::Column("x".into())]
+        }
+        .contains_aggregate());
         assert!(!AstExpr::Call {
             name: "st_contains".into(),
             args: vec![AstExpr::Column("x".into())]

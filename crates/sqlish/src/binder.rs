@@ -27,7 +27,10 @@ pub fn bind_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalP
     let (alias, ds) = iter.next().expect("non-empty FROM");
     let mut plan = LogicalPlan::scan(ds.clone(), alias.clone());
     for (alias, ds) in iter {
-        plan = plan.join(LogicalPlan::scan(ds.clone(), alias.clone()), Expr::lit(true));
+        plan = plan.join(
+            LogicalPlan::scan(ds.clone(), alias.clone()),
+            Expr::lit(true),
+        );
     }
     if let Some(w) = &stmt.where_clause {
         plan = plan.filter(resolver.expr(w)?);
@@ -73,7 +76,11 @@ pub fn bind_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalP
                     let (func, input) = unwrap_aggregate(e, &resolver)?;
                     let base = item.alias.clone().unwrap_or_else(|| agg_default_name(func));
                     let name = unique(base, &mut used_names);
-                    aggregates.push(LogicalAggregate { func, input, name: name.clone() });
+                    aggregates.push(LogicalAggregate {
+                        func,
+                        input,
+                        name: name.clone(),
+                    });
                     output.push((Expr::col(name.clone()), name));
                 }
                 e => {
@@ -90,7 +97,11 @@ pub fn bind_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalP
             }
         }
         // Aggregate over an implicit single group when GROUP BY is absent.
-        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggregates };
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by,
+            aggregates,
+        };
         plan = plan.project(output);
     } else {
         let mut exprs: Vec<(Expr, String)> = Vec::new();
@@ -120,14 +131,23 @@ pub fn bind_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalP
             .order_by
             .iter()
             .map(|(e, desc)| {
-                Ok(LogicalSortKey { expr: resolver.expr(e)?, descending: *desc })
+                Ok(LogicalSortKey {
+                    expr: resolver.expr(e)?,
+                    descending: *desc,
+                })
             })
             .collect::<Result<Vec<_>>>()?;
-        plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
     }
 
     if let Some(n) = stmt.limit {
-        plan = LogicalPlan::Limit { input: Box::new(plan), limit: n };
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            limit: n,
+        };
     }
 
     Ok(plan)
@@ -168,7 +188,9 @@ fn unwrap_aggregate(e: &AstExpr, resolver: &Resolver<'_>) -> Result<(AggFunc, Op
                 _ => unreachable!(),
             };
             if args.len() != 1 {
-                return Err(FudjError::Plan(format!("{name} takes exactly one argument")));
+                return Err(FudjError::Plan(format!(
+                    "{name} takes exactly one argument"
+                )));
             }
             Ok((func, Some(resolver.expr(&args[0])?)))
         }
@@ -194,7 +216,10 @@ impl<'a> Resolver<'a> {
                 columns.push((format!("{alias}.{}", f.name), f.name.clone()));
             }
         }
-        Ok(Resolver { columns, _marker: std::marker::PhantomData })
+        Ok(Resolver {
+            columns,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// Qualify a bare column name if it is unambiguous; leave qualified
@@ -203,8 +228,12 @@ impl<'a> Resolver<'a> {
         if name.contains('.') {
             return Ok(name.to_owned());
         }
-        let matches: Vec<&String> =
-            self.columns.iter().filter(|(_, bare)| bare == name).map(|(q, _)| q).collect();
+        let matches: Vec<&String> = self
+            .columns
+            .iter()
+            .filter(|(_, bare)| bare == name)
+            .map(|(q, _)| q)
+            .collect();
         match matches.len() {
             0 => Ok(name.to_owned()), // alias of a projected column
             1 => Ok(matches[0].clone()),
@@ -222,11 +251,9 @@ impl<'a> Resolver<'a> {
             AstExpr::FloatLit(v) => Expr::lit(*v),
             AstExpr::StrLit(s) => Expr::lit(Value::str(s)),
             AstExpr::BoolLit(b) => Expr::lit(*b),
-            AstExpr::Binary { op, left, right } => Expr::binary(
-                convert_op(*op),
-                self.expr(left)?,
-                self.expr(right)?,
-            ),
+            AstExpr::Binary { op, left, right } => {
+                Expr::binary(convert_op(*op), self.expr(left)?, self.expr(right)?)
+            }
             AstExpr::Not(inner) => Expr::Not(Box::new(self.expr(inner)?)),
             AstExpr::Call { name, args } => {
                 if is_aggregate_name(name) {
@@ -240,10 +267,14 @@ impl<'a> Resolver<'a> {
                 )
             }
             AstExpr::CountStar => {
-                return Err(FudjError::Plan("COUNT(*) is not allowed in this clause".into()))
+                return Err(FudjError::Plan(
+                    "COUNT(*) is not allowed in this clause".into(),
+                ))
             }
             AstExpr::Wildcard => {
-                return Err(FudjError::Plan("* is only allowed in the select list".into()))
+                return Err(FudjError::Plan(
+                    "* is only allowed in the select list".into(),
+                ))
             }
         })
     }
@@ -304,7 +335,9 @@ mod tests {
     }
 
     fn bind(sql: &str) -> Result<LogicalPlan> {
-        let Statement::Select(sel) = parse(sql).unwrap() else { panic!("not a select") };
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!("not a select")
+        };
         bind_select(&sel, &catalog())
     }
 
@@ -357,7 +390,9 @@ mod tests {
 
     #[test]
     fn unknown_dataset_is_reported() {
-        let Statement::Select(sel) = parse("SELECT x FROM Ghost g").unwrap() else { panic!() };
+        let Statement::Select(sel) = parse("SELECT x FROM Ghost g").unwrap() else {
+            panic!()
+        };
         assert!(matches!(
             bind_select(&sel, &catalog()),
             Err(FudjError::DatasetNotFound(_))
@@ -367,6 +402,9 @@ mod tests {
     #[test]
     fn duplicate_output_names_are_deduplicated() {
         let plan = bind("SELECT p.tags, p.tags FROM Parks p").unwrap();
-        assert_eq!(plan.schema().unwrap().to_string(), "p.tags: string, p.tags_2: string");
+        assert_eq!(
+            plan.schema().unwrap().to_string(),
+            "p.tags: string, p.tags_2: string"
+        );
     }
 }

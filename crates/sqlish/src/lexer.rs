@@ -140,22 +140,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::NotEq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some('=') => {
-                        out.push(Token::LtEq);
-                        i += 2;
-                    }
-                    Some('>') => {
-                        out.push(Token::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::LtEq);
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    out.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     out.push(Token::GtEq);
@@ -194,7 +192,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 out.push(Token::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut is_float = false;
                 while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
@@ -240,8 +240,8 @@ mod tests {
 
     #[test]
     fn keywords_operators_literals() {
-        let toks = tokenize("SELECT p.id, COUNT(*) FROM Parks p WHERE x >= 0.5 AND y <> 'a''b'")
-            .unwrap();
+        let toks =
+            tokenize("SELECT p.id, COUNT(*) FROM Parks p WHERE x >= 0.5 AND y <> 'a''b'").unwrap();
         assert!(toks[0].is_kw("select"));
         assert!(toks.contains(&Token::GtEq));
         assert!(toks.contains(&Token::Float(0.5)));
@@ -255,7 +255,12 @@ mod tests {
         let toks = tokenize("SELECT -- inline\n 1 /* block */ + 2").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Ident("SELECT".into()), Token::Int(1), Token::Plus, Token::Int(2)]
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2)
+            ]
         );
     }
 
@@ -282,6 +287,9 @@ mod tests {
     #[test]
     fn numbers_int_vs_float() {
         let toks = tokenize("42 42.5 .5").unwrap();
-        assert_eq!(toks, vec![Token::Int(42), Token::Float(42.5), Token::Float(0.5)]);
+        assert_eq!(
+            toks,
+            vec![Token::Int(42), Token::Float(42.5), Token::Float(0.5)]
+        );
     }
 }

@@ -58,7 +58,9 @@ impl Parser {
         } else {
             Err(FudjError::Parse(format!(
                 "expected {t}, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -69,7 +71,9 @@ impl Parser {
         } else {
             Err(FudjError::Parse(format!(
                 "expected keyword {kw}, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -88,7 +92,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(FudjError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(FudjError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -96,7 +102,10 @@ impl Parser {
         if self.accept_kw("explain") {
             let analyze = self.accept_kw("analyze");
             self.expect_kw("select")?;
-            return Ok(Statement::Explain { select: self.select_body()?, analyze });
+            return Ok(Statement::Explain {
+                select: self.select_body()?,
+                analyze,
+            });
         }
         if self.accept_kw("select") {
             return Ok(Statement::Select(self.select_body()?));
@@ -120,11 +129,15 @@ impl Parser {
                     }
                 }
             }
-            return Ok(Statement::DropJoin { name: name.to_ascii_lowercase() });
+            return Ok(Statement::DropJoin {
+                name: name.to_ascii_lowercase(),
+            });
         }
         Err(FudjError::Parse(format!(
             "expected SELECT, EXPLAIN, CREATE JOIN, or DROP JOIN, found {}",
-            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            self.peek()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of input".into())
         )))
     }
 
@@ -166,11 +179,20 @@ impl Parser {
         self.expect_kw("as")?;
         let class = match self.next()? {
             Token::Str(s) => s,
-            other => return Err(FudjError::Parse(format!("expected class string, found {other}"))),
+            other => {
+                return Err(FudjError::Parse(format!(
+                    "expected class string, found {other}"
+                )))
+            }
         };
         self.expect_kw("at")?;
         let library = self.ident()?;
-        Ok(Statement::CreateJoin { name, args, class, library })
+        Ok(Statement::CreateJoin {
+            name,
+            args,
+            class,
+            library,
+        })
     }
 
     fn select_body(&mut self) -> Result<SelectStatement> {
@@ -178,10 +200,17 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             if self.accept(&Token::Star) {
-                items.push(SelectItem { expr: AstExpr::Wildcard, alias: None });
+                items.push(SelectItem {
+                    expr: AstExpr::Wildcard,
+                    alias: None,
+                });
             } else {
                 let expr = self.expr()?;
-                let alias = if self.accept_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.accept_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem { expr, alias });
             }
             if !self.accept(&Token::Comma) {
@@ -210,7 +239,11 @@ impl Parser {
             }
         }
 
-        let where_clause = if self.accept_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.accept_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.accept_kw("group") {
@@ -244,13 +277,24 @@ impl Parser {
         let limit = if self.accept_kw("limit") {
             match self.next()? {
                 Token::Int(n) if n >= 0 => Some(n as usize),
-                other => return Err(FudjError::Parse(format!("expected LIMIT count, found {other}"))),
+                other => {
+                    return Err(FudjError::Parse(format!(
+                        "expected LIMIT count, found {other}"
+                    )))
+                }
             }
         } else {
             None
         };
 
-        Ok(SelectStatement { items, from, where_clause, group_by, order_by, limit })
+        Ok(SelectStatement {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     // ---- Expression grammar (precedence climbing) -----------------------
@@ -270,7 +314,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.accept_kw("or") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary {
+                op: AstBinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -307,7 +355,11 @@ impl Parser {
             Some(op) => {
                 self.pos += 1;
                 let right = self.add_expr()?;
-                Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) })
+                Ok(AstExpr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
             }
             None => Ok(left),
         }
@@ -323,7 +375,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.mul_expr()?;
-            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -338,7 +394,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.atom()?;
-            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -440,9 +500,14 @@ mod tests {
 
     #[test]
     fn parses_drop_join_with_signature() {
-        let stmt = parse("DROP JOIN text_similarity_join(a: string, b: string, t: double);")
-            .unwrap();
-        assert_eq!(stmt, Statement::DropJoin { name: "text_similarity_join".into() });
+        let stmt =
+            parse("DROP JOIN text_similarity_join(a: string, b: string, t: double);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::DropJoin {
+                name: "text_similarity_join".into()
+            }
+        );
     }
 
     #[test]
@@ -455,11 +520,19 @@ mod tests {
              GROUP BY p.id, p.tags ORDER BY num_fires DESC LIMIT 20",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!("not a select") };
+        let Statement::Select(sel) = stmt else {
+            panic!("not a select")
+        };
         assert_eq!(sel.items.len(), 3);
         assert_eq!(sel.items[2].alias.as_deref(), Some("num_fires"));
         assert_eq!(sel.from.len(), 2);
-        assert_eq!(sel.from[1], TableRef { dataset: "Wildfires".into(), alias: "w".into() });
+        assert_eq!(
+            sel.from[1],
+            TableRef {
+                dataset: "Wildfires".into(),
+                alias: "w".into()
+            }
+        );
         assert!(sel.where_clause.is_some());
         assert_eq!(sel.group_by.len(), 2);
         assert_eq!(sel.order_by.len(), 1);
@@ -470,7 +543,9 @@ mod tests {
     #[test]
     fn count_star_and_count_one() {
         for sql in ["SELECT COUNT(*) FROM T", "SELECT COUNT(1) FROM T"] {
-            let Statement::Select(sel) = parse(sql).unwrap() else { panic!() };
+            let Statement::Select(sel) = parse(sql).unwrap() else {
+                panic!()
+            };
             assert_eq!(sel.items[0].expr, AstExpr::CountStar);
         }
     }
@@ -482,9 +557,23 @@ mod tests {
         };
         // Parses as (a + (b * 2)) >= 10.
         match &sel.items[0].expr {
-            AstExpr::Binary { op: AstBinOp::GtEq, left, .. } => match left.as_ref() {
-                AstExpr::Binary { op: AstBinOp::Add, right, .. } => {
-                    assert!(matches!(right.as_ref(), AstExpr::Binary { op: AstBinOp::Mul, .. }));
+            AstExpr::Binary {
+                op: AstBinOp::GtEq,
+                left,
+                ..
+            } => match left.as_ref() {
+                AstExpr::Binary {
+                    op: AstBinOp::Add,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        right.as_ref(),
+                        AstExpr::Binary {
+                            op: AstBinOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("{other:?}"),
             },
@@ -494,11 +583,19 @@ mod tests {
 
     #[test]
     fn and_binds_tighter_than_or() {
-        let Statement::Select(sel) = parse("SELECT * FROM T WHERE a OR b AND c").unwrap_or_else(|e| panic!("{e}")) else {
+        let Statement::Select(sel) =
+            parse("SELECT * FROM T WHERE a OR b AND c").unwrap_or_else(|e| panic!("{e}"))
+        else {
             panic!()
         };
         let w = sel.where_clause.unwrap();
-        assert!(matches!(w, AstExpr::Binary { op: AstBinOp::Or, .. }));
+        assert!(matches!(
+            w,
+            AstExpr::Binary {
+                op: AstBinOp::Or,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -520,7 +617,9 @@ mod tests {
 
     #[test]
     fn negative_literals() {
-        let Statement::Select(sel) = parse("SELECT -5, -2.5 FROM T").unwrap() else { panic!() };
+        let Statement::Select(sel) = parse("SELECT -5, -2.5 FROM T").unwrap() else {
+            panic!()
+        };
         assert_eq!(sel.items[0].expr, AstExpr::IntLit(-5));
         assert_eq!(sel.items[1].expr, AstExpr::FloatLit(-2.5));
     }

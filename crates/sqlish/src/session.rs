@@ -96,26 +96,30 @@ impl Session {
     }
 
     /// Attach a simulated network: subsequent queries charge wall-clock
-    /// time for every byte their exchanges move between workers.
+    /// time for every byte their exchanges move between workers. The
+    /// cluster's worker pool (and thus worker thread identity) is kept.
     pub fn set_network(&mut self, network: Option<NetworkModel>) {
-        let workers = self.cluster.workers();
-        self.cluster = match network {
-            Some(model) => Cluster::with_network(workers, model),
-            None => Cluster::new(workers),
-        };
+        self.cluster.set_network(network);
     }
 
-    /// The cluster this session executes on.
+    /// The cluster this session executes on (a clone shares the same
+    /// worker pool — it is the same simulated cluster).
     pub fn cluster(&self) -> Cluster {
-        self.cluster
+        self.cluster.clone()
     }
 
     /// Parse, plan, and execute one statement.
     pub fn execute(&self, sql: &str) -> Result<QueryOutput> {
         match parse(sql)? {
-            Statement::CreateJoin { name, args, class, library } => {
+            Statement::CreateJoin {
+                name,
+                args,
+                class,
+                library,
+            } => {
                 let arg_types = args.into_iter().map(|(_, t)| t).collect();
-                self.registry.create_join(&name, arg_types, class, library)?;
+                self.registry
+                    .create_join(&name, arg_types, class, library)?;
                 Ok(QueryOutput::Ack(format!("created join {name}")))
             }
             Statement::DropJoin { name } => {
@@ -181,10 +185,14 @@ mod tests {
     fn session() -> Session {
         let s = Session::new(3);
         s.install_library(standard_library());
-        s.register_dataset(parks(GeneratorConfig::new(120, 1, 3)).unwrap()).unwrap();
-        s.register_dataset(wildfires(GeneratorConfig::new(300, 2, 3)).unwrap()).unwrap();
-        s.register_dataset(nyctaxi(GeneratorConfig::new(150, 3, 3)).unwrap()).unwrap();
-        s.register_dataset(amazon_reviews(GeneratorConfig::new(120, 4, 3)).unwrap()).unwrap();
+        s.register_dataset(parks(GeneratorConfig::new(120, 1, 3)).unwrap())
+            .unwrap();
+        s.register_dataset(wildfires(GeneratorConfig::new(300, 2, 3)).unwrap())
+            .unwrap();
+        s.register_dataset(nyctaxi(GeneratorConfig::new(150, 3, 3)).unwrap())
+            .unwrap();
+        s.register_dataset(amazon_reviews(GeneratorConfig::new(120, 4, 3)).unwrap())
+            .unwrap();
         s
     }
 
@@ -199,7 +207,8 @@ mod tests {
             .unwrap();
         assert!(matches!(out, QueryOutput::Ack(_)));
         assert!(s.registry().get("st_contains").is_some());
-        s.execute("DROP JOIN st_contains(a: polygon, b: point);").unwrap();
+        s.execute("DROP JOIN st_contains(a: polygon, b: point);")
+            .unwrap();
         assert!(s.registry().get("st_contains").is_none());
     }
 
@@ -220,7 +229,9 @@ mod tests {
 
         // FUDJ plan.
         let explain = s.execute(&format!("EXPLAIN {sql}")).unwrap();
-        let QueryOutput::Plan(text) = explain else { panic!() };
+        let QueryOutput::Plan(text) = explain else {
+            panic!()
+        };
         assert!(text.contains("FudjJoin"), "{text}");
 
         let fudj = s.query(sql).unwrap();
@@ -228,7 +239,10 @@ mod tests {
 
         // On-top plan (same session data, forced NLJ).
         let mut s2 = session();
-        s2.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        s2.set_options(PlanOptions {
+            force_on_top: true,
+            ..Default::default()
+        });
         let ontop = s2.query(sql).unwrap();
 
         let mut a = fudj.rows().to_vec();
@@ -252,13 +266,19 @@ mod tests {
         let QueryOutput::Plan(text) = s.execute(&format!("EXPLAIN {sql}")).unwrap() else {
             panic!()
         };
-        assert!(text.contains("theta-nlj"), "interval join is a multi-join: {text}");
+        assert!(
+            text.contains("theta-nlj"),
+            "interval join is a multi-join: {text}"
+        );
 
         let batch = s.query(sql).unwrap();
         let fudj_count = batch.rows()[0].get(0).clone();
 
         let mut s2 = session();
-        s2.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        s2.set_options(PlanOptions {
+            force_on_top: true,
+            ..Default::default()
+        });
         let ontop_count = s2.query(sql).unwrap().rows()[0].get(0).clone();
         assert_eq!(fudj_count, ontop_count);
         assert!(fudj_count.as_i64().unwrap() > 0, "overlapping rides exist");
@@ -278,10 +298,16 @@ mod tests {
         let fudj_count = s.query(sql).unwrap().rows()[0].get(0).clone();
 
         let mut s2 = session();
-        s2.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        s2.set_options(PlanOptions {
+            force_on_top: true,
+            ..Default::default()
+        });
         let ontop_count = s2.query(sql).unwrap().rows()[0].get(0).clone();
         assert_eq!(fudj_count, ontop_count);
-        assert!(fudj_count.as_i64().unwrap() > 0, "near-duplicate reviews exist");
+        assert!(
+            fudj_count.as_i64().unwrap() > 0,
+            "near-duplicate reviews exist"
+        );
     }
 
     #[test]
@@ -342,7 +368,9 @@ mod tests {
         let s = session();
         assert!(s.execute("SELECT x FROM Ghost g").is_err());
         assert!(s.execute("DROP JOIN never_created").is_err());
-        assert!(s.query("CREATE JOIN j(a: string, b: string) RETURNS boolean AS \"x.Y\" AT nolib").is_err());
+        assert!(s
+            .query("CREATE JOIN j(a: string, b: string) RETURNS boolean AS \"x.Y\" AT nolib")
+            .is_err());
     }
 
     #[test]
@@ -352,7 +380,11 @@ mod tests {
             .query("SELECT n1.Vendor, COUNT(*) AS c FROM NYCTaxi n1 GROUP BY n1.Vendor ORDER BY n1.Vendor")
             .unwrap();
         assert_eq!(batch.len(), 2);
-        let total: i64 = batch.rows().iter().map(|r| r.get(1).as_i64().unwrap()).sum();
+        let total: i64 = batch
+            .rows()
+            .iter()
+            .map(|r| r.get(1).as_i64().unwrap())
+            .sum();
         assert_eq!(total, 150);
         let _ = Value::Int64(0);
     }

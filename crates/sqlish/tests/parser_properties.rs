@@ -10,10 +10,33 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "group" | "by" | "order" | "limit" | "as" | "and"
-                | "or" | "not" | "desc" | "asc" | "create" | "drop" | "join" | "returns"
-                | "boolean" | "at" | "explain" | "count" | "sum" | "avg" | "min" | "max"
-                | "true" | "false"
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "by"
+                | "order"
+                | "limit"
+                | "as"
+                | "and"
+                | "or"
+                | "not"
+                | "desc"
+                | "asc"
+                | "create"
+                | "drop"
+                | "join"
+                | "returns"
+                | "boolean"
+                | "at"
+                | "explain"
+                | "count"
+                | "sum"
+                | "avg"
+                | "min"
+                | "max"
+                | "true"
+                | "false"
         )
     })
 }

@@ -29,7 +29,9 @@ impl Catalog {
         let name = dataset.name().to_owned();
         let mut map = self.datasets.write();
         if map.contains_key(&name) {
-            return Err(FudjError::Catalog(format!("dataset {name:?} already exists")));
+            return Err(FudjError::Catalog(format!(
+                "dataset {name:?} already exists"
+            )));
         }
         let arc = Arc::new(dataset);
         map.insert(name, arc.clone());
@@ -81,14 +83,20 @@ mod tests {
         assert_eq!(cat.names(), vec!["Parks", "Wildfires"]);
         assert_eq!(cat.get("Parks").unwrap().name(), "Parks");
         cat.drop_dataset("Parks").unwrap();
-        assert!(matches!(cat.get("Parks"), Err(FudjError::DatasetNotFound(_))));
+        assert!(matches!(
+            cat.get("Parks"),
+            Err(FudjError::DatasetNotFound(_))
+        ));
     }
 
     #[test]
     fn duplicate_rejected() {
         let cat = Catalog::new();
         cat.register(ds("Parks")).unwrap();
-        assert!(matches!(cat.register(ds("Parks")), Err(FudjError::Catalog(_))));
+        assert!(matches!(
+            cat.register(ds("Parks")),
+            Err(FudjError::Catalog(_))
+        ));
     }
 
     #[test]

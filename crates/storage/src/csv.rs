@@ -44,7 +44,9 @@ fn field_text(v: &Value) -> Result<String> {
             .collect::<Vec<_>>()
             .join("; "),
         Value::List(_) => {
-            return Err(FudjError::Execution("list values are not CSV-exportable".into()))
+            return Err(FudjError::Execution(
+                "list values are not CSV-exportable".into(),
+            ))
         }
     })
 }
@@ -65,20 +67,19 @@ fn parse_field(text: &str, quoted: bool, dt: &DataType, line: usize) -> Result<V
     if text.is_empty() && !quoted {
         return Ok(Value::Null);
     }
-    let err = |what: &str| {
-        FudjError::Execution(format!("line {line}: cannot parse {text:?} as {what}"))
-    };
+    let err =
+        |what: &str| FudjError::Execution(format!("line {line}: cannot parse {text:?} as {what}"));
     Ok(match dt {
         DataType::Bool => Value::Bool(text.parse().map_err(|_| err("boolean"))?),
         DataType::Int64 => Value::Int64(text.parse().map_err(|_| err("bigint"))?),
         DataType::Float64 => Value::Float64(text.parse().map_err(|_| err("double"))?),
         DataType::String => Value::str(text),
-        DataType::Uuid => {
-            Value::Uuid(u128::from_str_radix(text, 16).map_err(|_| err("uuid hex"))?)
-        }
+        DataType::Uuid => Value::Uuid(u128::from_str_radix(text, 16).map_err(|_| err("uuid hex"))?),
         DataType::DateTime => Value::DateTime(text.parse().map_err(|_| err("epoch millis"))?),
         DataType::Interval => {
-            let (s, e) = text.split_once("..").ok_or_else(|| err("interval start..end"))?;
+            let (s, e) = text
+                .split_once("..")
+                .ok_or_else(|| err("interval start..end"))?;
             let start: i64 = s.trim().parse().map_err(|_| err("interval start"))?;
             let end: i64 = e.trim().parse().map_err(|_| err("interval end"))?;
             if start > end {
@@ -153,7 +154,9 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<(String, bool)>> {
         }
     }
     if in_quotes {
-        return Err(FudjError::Execution(format!("line {line_no}: unterminated quote")));
+        return Err(FudjError::Execution(format!(
+            "line {line_no}: unterminated quote"
+        )));
     }
     fields.push((cur, cur_quoted));
     Ok(fields)
@@ -166,8 +169,12 @@ pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<usize> {
     let mut w = BufWriter::new(file);
     let io_err = |e: std::io::Error| FudjError::Execution(format!("csv write: {e}"));
 
-    let header: Vec<String> =
-        dataset.schema().fields().iter().map(|f| quote(&f.name)).collect();
+    let header: Vec<String> = dataset
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| quote(&f.name))
+        .collect();
     writeln!(w, "{}", header.join(",")).map_err(io_err)?;
 
     let mut written = 0usize;
@@ -214,7 +221,10 @@ pub fn read_csv(
         .next()
         .ok_or_else(|| FudjError::Execution("csv file is empty".into()))?;
     let header = header.map_err(|e| FudjError::Execution(format!("csv read: {e}")))?;
-    let names: Vec<String> = split_record(&header, 1)?.into_iter().map(|(f, _)| f).collect();
+    let names: Vec<String> = split_record(&header, 1)?
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
     let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
     if names != expected {
         return Err(FudjError::Execution(format!(
@@ -274,7 +284,7 @@ mod tests {
             Value::Uuid(i),
             Value::Int64(-5 + i as i64),
             Value::Float64(0.1 + i as f64),
-            Value::Bool(i % 2 == 0),
+            Value::Bool(i.is_multiple_of(2)),
             Value::str(format!("tricky, \"quoted\"\nvalue {i}")),
             Value::DateTime(1_700_000_000_000 + i as i64),
             Value::Interval(Interval::new(10, 20 + i as i64)),
@@ -292,7 +302,10 @@ mod tests {
         // Note: the string contains a comma and quotes but no newline —
         // multi-line CSV records are out of scope for the line reader.
         let schema = full_schema();
-        let d = DatasetBuilder::new("t", schema.clone()).partitions(2).build().unwrap();
+        let d = DatasetBuilder::new("t", schema.clone())
+            .partitions(2)
+            .build()
+            .unwrap();
         for i in 0..10u128 {
             let mut row = sample_row(i).into_values();
             row[4] = Value::str(format!("tricky, \"quoted\" value {i}"));
@@ -318,7 +331,8 @@ mod tests {
             Field::new("v", DataType::String),
         ]);
         let d = DatasetBuilder::new("t", schema.clone()).build().unwrap();
-        d.insert(Row::new(vec![Value::Int64(1), Value::Null])).unwrap();
+        d.insert(Row::new(vec![Value::Int64(1), Value::Null]))
+            .unwrap();
         let path = temp_path("nulls");
         write_csv(&d, &path).unwrap();
         let back = read_csv(&path, "t2", schema, "id", 1).unwrap();
@@ -335,8 +349,10 @@ mod tests {
             Field::new("v", DataType::String),
         ]);
         let d = DatasetBuilder::new("t", schema.clone()).build().unwrap();
-        d.insert(Row::new(vec![Value::Int64(1), Value::str("")])).unwrap();
-        d.insert(Row::new(vec![Value::Int64(2), Value::Null])).unwrap();
+        d.insert(Row::new(vec![Value::Int64(1), Value::str("")]))
+            .unwrap();
+        d.insert(Row::new(vec![Value::Int64(2), Value::Null]))
+            .unwrap();
         let path = temp_path("emptystr");
         write_csv(&d, &path).unwrap();
         let back = read_csv(&path, "t2", schema, "id", 1).unwrap();
@@ -367,7 +383,9 @@ mod tests {
             Field::new("id", DataType::Int64),
             Field::new("span", DataType::Interval),
         ]);
-        let err = read_csv(&path, "t", schema, "id", 1).unwrap_err().to_string();
+        let err = read_csv(&path, "t", schema, "id", 1)
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("line 3"), "{err}");
         let _ = std::fs::remove_file(path);
     }
@@ -399,7 +417,9 @@ mod tests {
             Field::new("id", DataType::Int64),
             Field::new("v", DataType::Int64),
         ]);
-        let err = read_csv(&path, "t", schema, "id", 1).unwrap_err().to_string();
+        let err = read_csv(&path, "t", schema, "id", 1)
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("expected 2 fields"), "{err}");
         let _ = std::fs::remove_file(path);
     }

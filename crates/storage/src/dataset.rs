@@ -149,7 +149,9 @@ impl DatasetBuilder {
     /// Build the (empty) dataset.
     pub fn build(self) -> Result<Dataset> {
         if self.partitions == 0 {
-            return Err(FudjError::Catalog("dataset needs at least one partition".into()));
+            return Err(FudjError::Catalog(
+                "dataset needs at least one partition".into(),
+            ));
         }
         let pk_name = if self.primary_key.is_empty() {
             self.schema
@@ -181,7 +183,11 @@ mod tests {
             Field::new("id", DataType::Uuid),
             Field::new("v", DataType::Int64),
         ]);
-        DatasetBuilder::new("t", schema).primary_key("id").partitions(parts).build().unwrap()
+        DatasetBuilder::new("t", schema)
+            .primary_key("id")
+            .partitions(parts)
+            .build()
+            .unwrap()
     }
 
     fn row(id: u128, v: i64) -> Row {
@@ -206,8 +212,13 @@ mod tests {
         let d = make(8);
         d.insert(row(42, 1)).unwrap();
         d.insert(row(42, 2)).unwrap();
-        let nonempty: Vec<usize> =
-            d.partition_sizes().iter().enumerate().filter(|(_, &s)| s > 0).map(|(i, _)| i).collect();
+        let nonempty: Vec<usize> = d
+            .partition_sizes()
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(nonempty.len(), 1, "both rows in one partition");
         d.with_partition(nonempty[0], |rows| assert_eq!(rows.len(), 2));
     }
@@ -232,8 +243,14 @@ mod tests {
     #[test]
     fn builder_validation() {
         let schema = Schema::shared(vec![Field::new("id", DataType::Uuid)]);
-        assert!(DatasetBuilder::new("t", schema.clone()).partitions(0).build().is_err());
-        assert!(DatasetBuilder::new("t", schema.clone()).primary_key("nope").build().is_err());
+        assert!(DatasetBuilder::new("t", schema.clone())
+            .partitions(0)
+            .build()
+            .is_err());
+        assert!(DatasetBuilder::new("t", schema.clone())
+            .primary_key("nope")
+            .build()
+            .is_err());
         // Default pk is the first column.
         let d = DatasetBuilder::new("t", schema).build().unwrap();
         assert_eq!(d.primary_key(), 0);

@@ -17,15 +17,15 @@ fn arb_row() -> impl Strategy<Value = Vec<Value>> {
         "",
     ]);
     (
-        any::<i64>(),                                       // id
-        prop::option::of(any::<i64>()),                     // bigint
-        prop::option::of(-1e12f64..1e12),                   // double
-        prop::option::of(any::<bool>()),                    // bool
-        prop::option::of(strings),                          // string
-        prop::option::of(any::<u128>()),                    // uuid
-        prop::option::of(any::<i64>()),                     // datetime
-        prop::option::of((any::<i32>(), 0i32..1_000_000)),  // interval
-        prop::option::of((-1e6f64..1e6, -1e6f64..1e6)),     // point
+        any::<i64>(),                                                                // id
+        prop::option::of(any::<i64>()),                                              // bigint
+        prop::option::of(-1e12f64..1e12),                                            // double
+        prop::option::of(any::<bool>()),                                             // bool
+        prop::option::of(strings),                                                   // string
+        prop::option::of(any::<u128>()),                                             // uuid
+        prop::option::of(any::<i64>()),                                              // datetime
+        prop::option::of((any::<i32>(), 0i32..1_000_000)),                           // interval
+        prop::option::of((-1e6f64..1e6, -1e6f64..1e6)),                              // point
         prop::option::of(prop::collection::vec((-1e5f64..1e5, -1e5f64..1e5), 3..8)), // polygon
     )
         .prop_map(|(id, i, f, b, s, u, dt, iv, pt, poly)| {
@@ -40,7 +40,9 @@ fn arb_row() -> impl Strategy<Value = Vec<Value>> {
                 opt(s, Value::str),
                 opt(u, Value::Uuid),
                 opt(dt, Value::DateTime),
-                opt(iv, |(st, d)| Value::Interval(Interval::new(st as i64, st as i64 + d as i64))),
+                opt(iv, |(st, d)| {
+                    Value::Interval(Interval::new(st as i64, st as i64 + d as i64))
+                }),
                 opt(pt, |(x, y)| Value::Point(Point::new(x, y))),
                 opt(poly, |pts| {
                     Value::polygon(Polygon::new(

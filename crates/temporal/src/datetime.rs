@@ -16,7 +16,11 @@ fn is_leap(year: i64) -> bool {
 }
 
 fn days_in_month(year: i64, month: i64) -> i64 {
-    if month == 2 && is_leap(year) { 29 } else { DAYS_IN_MONTH[(month - 1) as usize] }
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
 }
 
 /// Days from 1970-01-01 to `year`-`month`-`day` (proleptic Gregorian).
@@ -91,7 +95,10 @@ pub fn format_millis(ms: i64) -> String {
         d -= days_in_month(year, month);
         month += 1;
     }
-    format!("{year:04}-{month:02}-{:02} {hours:02}:{minutes:02}:{seconds:02}", d + 1)
+    format!(
+        "{year:04}-{month:02}-{:02} {hours:02}:{minutes:02}:{seconds:02}",
+        d + 1
+    )
 }
 
 #[cfg(test)]

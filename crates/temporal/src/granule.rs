@@ -28,7 +28,10 @@ pub fn encode_bucket(start_granule: u32, end_granule: u32) -> u64 {
 /// Unpack a bucket id into its (start, end) granule pair.
 #[inline]
 pub fn decode_bucket(bucket: u64) -> (u32, u32) {
-    ((bucket >> GRANULE_BITS) as u32, (bucket & (MAX_GRANULES as u64 - 1)) as u32)
+    (
+        (bucket >> GRANULE_BITS) as u32,
+        (bucket & (MAX_GRANULES as u64 - 1)) as u32,
+    )
 }
 
 /// Whether two packed buckets have overlapping granule ranges — the interval
@@ -175,7 +178,10 @@ mod tests {
         ];
         for (a, b) in pairs {
             assert!(a.overlaps(&b));
-            assert!(buckets_overlap(t.assign(&a), t.assign(&b)), "{a:?} vs {b:?}");
+            assert!(
+                buckets_overlap(t.assign(&a), t.assign(&b)),
+                "{a:?} vs {b:?}"
+            );
         }
     }
 
@@ -185,7 +191,10 @@ mod tests {
         assert_eq!(t.granule_interval(0).start, 0);
         assert_eq!(t.granule_interval(9).end, 1000);
         for g in 0..9u32 {
-            assert_eq!(t.granule_interval(g).end + 1, t.granule_interval(g + 1).start);
+            assert_eq!(
+                t.granule_interval(g).end + 1,
+                t.granule_interval(g + 1).start
+            );
         }
     }
 

@@ -48,7 +48,10 @@ impl Interval {
     /// Intersection, or `None` when disjoint.
     pub fn intersection(&self, other: &Interval) -> Option<Interval> {
         if self.overlaps(other) {
-            Some(Interval::new(self.start.max(other.start), self.end.min(other.end)))
+            Some(Interval::new(
+                self.start.max(other.start),
+                self.end.min(other.end),
+            ))
         } else {
             None
         }
@@ -83,7 +86,10 @@ pub struct IntervalSummary {
 
 impl Default for IntervalSummary {
     fn default() -> Self {
-        IntervalSummary { min_start: i64::MAX, max_end: i64::MIN }
+        IntervalSummary {
+            min_start: i64::MAX,
+            max_end: i64::MIN,
+        }
     }
 }
 
@@ -112,7 +118,11 @@ impl IntervalSummary {
 
     /// The covered range as an interval, or `None` when empty.
     pub fn range(&self) -> Option<Interval> {
-        if self.is_empty() { None } else { Some(Interval::new(self.min_start, self.max_end)) }
+        if self.is_empty() {
+            None
+        } else {
+            Some(Interval::new(self.min_start, self.max_end))
+        }
     }
 }
 

@@ -129,7 +129,7 @@ mod tests {
             (0..n)
                 .map(|_| {
                     let s = rng.gen_range(0..5_000);
-                    iv(s, s + rng.gen_range(0..600))
+                    iv(s, s + rng.gen_range(0i64..600))
                 })
                 .collect()
         };

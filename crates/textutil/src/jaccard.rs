@@ -5,8 +5,14 @@
 /// token slices (as produced by [`crate::token_set`]). Runs as a linear
 /// merge with no allocation. Two empty sets have similarity 1.
 pub fn jaccard_of_sorted<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    debug_assert!(a.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()), "a not sorted/dedup");
-    debug_assert!(b.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()), "b not sorted/dedup");
+    debug_assert!(
+        a.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()),
+        "a not sorted/dedup"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()),
+        "b not sorted/dedup"
+    );
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }

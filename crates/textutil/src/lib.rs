@@ -11,4 +11,4 @@ pub mod tokenize;
 
 pub use jaccard::{jaccard_of_sorted, jaccard_similarity, jaccard_similarity_texts};
 pub use ranks::{prefix_length, TokenCounts, TokenRanks};
-pub use tokenize::{tokenize, token_set};
+pub use tokenize::{token_set, tokenize};

@@ -108,8 +108,10 @@ impl TokenRanks {
     /// Ranks of a record's distinct tokens, ascending (rarest first).
     /// Unknown tokens are skipped.
     pub fn ranked_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<u32> {
-        let mut out: Vec<u32> =
-            tokens.iter().filter_map(|t| self.rank(t.as_ref())).collect();
+        let mut out: Vec<u32> = tokens
+            .iter()
+            .filter_map(|t| self.rank(t.as_ref()))
+            .collect();
         out.sort_unstable();
         out.dedup();
         out

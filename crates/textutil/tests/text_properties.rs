@@ -1,16 +1,27 @@
 //! Property tests for tokenization, ranking, prefix filtering, and Jaccard.
 
-use fudj_text::{
-    jaccard_similarity, prefix_length, token_set, tokenize, TokenCounts, TokenRanks,
-};
+use fudj_text::{jaccard_similarity, prefix_length, token_set, tokenize, TokenCounts, TokenRanks};
 use proptest::prelude::*;
 
 fn arb_text() -> impl Strategy<Value = String> {
     // Small vocabulary so records actually overlap.
-    prop::collection::vec(prop::sample::select(vec![
-        "river", "scenic", "camping", "hiking", "lake", "trail", "forest", "peak", "view",
-        "backpacking", "fishing", "swim",
-    ]), 0..12)
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "river",
+            "scenic",
+            "camping",
+            "hiking",
+            "lake",
+            "trail",
+            "forest",
+            "peak",
+            "view",
+            "backpacking",
+            "fishing",
+            "swim",
+        ]),
+        0..12,
+    )
     .prop_map(|words| words.join(" "))
 }
 

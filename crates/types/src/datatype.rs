@@ -36,7 +36,10 @@ impl DataType {
 
     /// Whether this type supports arithmetic/ordering comparisons.
     pub fn is_numeric(&self) -> bool {
-        matches!(self, DataType::Int64 | DataType::Float64 | DataType::DateTime)
+        matches!(
+            self,
+            DataType::Int64 | DataType::Float64 | DataType::DateTime
+        )
     }
 }
 
@@ -65,7 +68,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(DataType::Int64.to_string(), "bigint");
-        assert_eq!(DataType::List(Box::new(DataType::String)).to_string(), "list<string>");
+        assert_eq!(
+            DataType::List(Box::new(DataType::String)).to_string(),
+            "list<string>"
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FudjError {
     /// A value had an unexpected runtime type.
-    TypeMismatch { expected: String, found: String, context: String },
+    TypeMismatch {
+        expected: String,
+        found: String,
+        context: String,
+    },
     /// A referenced column does not exist in the schema.
     ColumnNotFound { name: String, schema: String },
     /// A referenced dataset does not exist in the catalog.
@@ -45,8 +49,15 @@ impl FudjError {
 impl fmt::Display for FudjError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FudjError::TypeMismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            FudjError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             FudjError::ColumnNotFound { name, schema } => {
                 write!(f, "column {name:?} not found in schema [{schema}]")

@@ -153,10 +153,19 @@ pub fn to_external(v: &Value) -> Result<ExtValue> {
             // Lists translate only when homogeneous over simple scalars.
             if vs.iter().all(|v| matches!(v, Value::Str(_))) {
                 ExtValue::TextArray(
-                    vs.iter().map(|v| v.as_str().map(str::to_owned)).collect::<Result<_>>()?,
+                    vs.iter()
+                        .map(|v| v.as_str().map(str::to_owned))
+                        .collect::<Result<_>>()?,
                 )
-            } else if vs.iter().all(|v| matches!(v, Value::Int64(_) | Value::DateTime(_))) {
-                ExtValue::LongArray(vs.iter().map(|v| v.as_f64().map(|f| f as i64)).collect::<Result<_>>()?)
+            } else if vs
+                .iter()
+                .all(|v| matches!(v, Value::Int64(_) | Value::DateTime(_)))
+            {
+                ExtValue::LongArray(
+                    vs.iter()
+                        .map(|v| v.as_f64().map(|f| f as i64))
+                        .collect::<Result<_>>()?,
+                )
             } else if vs.iter().all(|v| matches!(v, Value::Float64(_))) {
                 ExtValue::DoubleArray(vs.iter().map(|v| v.as_f64()).collect::<Result<_>>()?)
             } else {

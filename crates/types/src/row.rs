@@ -112,7 +112,10 @@ impl Batch {
 
     /// Empty batch of a schema.
     pub fn empty(schema: SchemaRef) -> Self {
-        Batch { schema, rows: Vec::new() }
+        Batch {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -157,7 +160,10 @@ mod tests {
     use crate::schema::{Field, Schema};
 
     fn schema() -> SchemaRef {
-        Schema::shared(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::String)])
+        Schema::shared(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::String),
+        ])
     }
 
     #[test]

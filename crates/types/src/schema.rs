@@ -15,7 +15,10 @@ pub struct Field {
 impl Field {
     /// Create a field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -65,9 +68,13 @@ impl Schema {
 
     /// Index of column `name`, or an error naming the candidates.
     pub fn index_of(&self, name: &str) -> Result<usize> {
-        self.fields.iter().position(|f| f.name == name).ok_or_else(|| {
-            FudjError::ColumnNotFound { name: name.to_owned(), schema: self.to_string() }
-        })
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| FudjError::ColumnNotFound {
+                name: name.to_owned(),
+                schema: self.to_string(),
+            })
     }
 
     /// The field called `name`.
@@ -124,7 +131,10 @@ mod tests {
     fn index_lookup() {
         let s = sample();
         assert_eq!(s.index_of("tags").unwrap(), 1);
-        assert!(matches!(s.index_of("nope"), Err(FudjError::ColumnNotFound { .. })));
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(FudjError::ColumnNotFound { .. })
+        ));
         assert_eq!(s.field("boundary").unwrap().data_type, DataType::Polygon);
     }
 
@@ -160,6 +170,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(sample().to_string(), "id: uuid, tags: string, boundary: polygon");
+        assert_eq!(
+            sample().to_string(),
+            "id: uuid, tags: string, boundary: polygon"
+        );
     }
 }

@@ -183,9 +183,7 @@ impl Ord for Value {
             (Str(a), Str(b)) => a.cmp(b),
             (Uuid(a), Uuid(b)) => a.cmp(b),
             (Interval(a), Interval(b)) => a.cmp(b),
-            (Point(a), Point(b)) => {
-                a.x.total_cmp(&b.x).then_with(|| a.y.total_cmp(&b.y))
-            }
+            (Point(a), Point(b)) => a.x.total_cmp(&b.x).then_with(|| a.y.total_cmp(&b.y)),
             (Polygon(a), Polygon(b)) => {
                 let la = a.ring();
                 let lb = b.ring();
@@ -383,9 +381,22 @@ mod tests {
 
     #[test]
     fn ordering_null_first_then_numeric() {
-        let mut vs = vec![Value::Int64(2), Value::Null, Value::Float64(1.5), Value::Int64(-3)];
+        let mut vs = vec![
+            Value::Int64(2),
+            Value::Null,
+            Value::Float64(1.5),
+            Value::Int64(-3),
+        ];
         vs.sort();
-        assert_eq!(vs, vec![Value::Null, Value::Int64(-3), Value::Float64(1.5), Value::Int64(2)]);
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Int64(-3),
+                Value::Float64(1.5),
+                Value::Int64(2)
+            ]
+        );
     }
 
     #[test]
@@ -396,8 +407,14 @@ mod tests {
 
     #[test]
     fn interval_and_point_equality() {
-        assert_eq!(Value::Interval(Interval::new(1, 5)), Value::Interval(Interval::new(1, 5)));
-        assert_ne!(Value::Point(Point::new(0.0, 0.0)), Value::Point(Point::new(0.0, 1.0)));
+        assert_eq!(
+            Value::Interval(Interval::new(1, 5)),
+            Value::Interval(Interval::new(1, 5))
+        );
+        assert_ne!(
+            Value::Point(Point::new(0.0, 0.0)),
+            Value::Point(Point::new(0.0, 1.0))
+        );
     }
 
     #[test]

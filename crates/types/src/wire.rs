@@ -135,7 +135,9 @@ pub fn decode_value(buf: &mut impl Buf) -> Result<Value> {
             let start = buf.get_i64_le();
             let end = buf.get_i64_le();
             if start > end {
-                return Err(FudjError::Wire(format!("inverted interval [{start}, {end}]")));
+                return Err(FudjError::Wire(format!(
+                    "inverted interval [{start}, {end}]"
+                )));
             }
             Value::Interval(Interval::new(start, end))
         }
@@ -211,7 +213,10 @@ pub fn decode_batch(mut bytes: Bytes, schema: SchemaRef) -> Result<Batch> {
         rows.push(decode_row(&mut bytes)?);
     }
     if bytes.has_remaining() {
-        return Err(FudjError::Wire(format!("{} trailing bytes after batch", bytes.remaining())));
+        return Err(FudjError::Wire(format!(
+            "{} trailing bytes after batch",
+            bytes.remaining()
+        )));
     }
     Ok(Batch::new(schema, rows))
 }

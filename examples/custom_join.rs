@@ -65,10 +65,16 @@ impl FlexibleJoin for DistanceJoin {
             .ok_or_else(|| FudjError::JoinLibrary("distance join needs an epsilon".into()))?
             .as_double()?;
         if eps <= 0.0 {
-            return Err(FudjError::JoinLibrary(format!("epsilon must be > 0, got {eps}")));
+            return Err(FudjError::JoinLibrary(format!(
+                "epsilon must be > 0, got {eps}"
+            )));
         }
         let extent = l.union(r);
-        Ok(CellPlan { min_x: extent.min_x, min_y: extent.min_y, eps })
+        Ok(CellPlan {
+            min_x: extent.min_x,
+            min_y: extent.min_y,
+            eps,
+        })
     }
 
     fn assign(&self, key: &ExtValue, plan: &CellPlan, out: &mut Vec<BucketId>) -> FudjResult<()> {
@@ -107,7 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Upload OUR library — self-contained, defined in this file.
     let library = JoinLibrary::builder("mylib")
-        .with_class("geo.DistanceJoin", || Arc::new(ProxyJoin::new(DistanceJoin)))
+        .with_class("geo.DistanceJoin", || {
+            Arc::new(ProxyJoin::new(DistanceJoin))
+        })
         .build();
     session.install_library(library);
 
@@ -122,7 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let QueryOutput::Plan(plan) = session.execute(&format!("EXPLAIN {sql}"))? {
         println!("=== plan for the brand-new join ===\n{plan}");
-        assert!(plan.contains("theta-nlj"), "neighbor-cell match is a theta join");
+        assert!(
+            plan.contains("theta-nlj"),
+            "neighbor-cell match is a theta join"
+        );
     }
 
     let start = std::time::Instant::now();
@@ -137,7 +148,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          WHERE ST_Distance(f.location, w.location) <= 0.5",
     )?;
     let brute_time = start.elapsed();
-    assert_eq!(count, brute.rows()[0].get(0).as_i64()?, "same answer as brute force");
+    assert_eq!(
+        count,
+        brute.rows()[0].get(0).as_i64()?,
+        "same answer as brute force"
+    );
     println!("verified against brute-force NLJ ({brute_time:?}) ✔");
     Ok(())
 }

@@ -42,9 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let start = std::time::Instant::now();
     let out = session.execute(sql)?;
-    let QueryOutput::Rows(batch, metrics) = out else { unreachable!() };
+    let QueryOutput::Rows(batch, metrics) = out else {
+        unreachable!()
+    };
 
-    println!("=== top damaged parks ({} rows, {:?}) ===", batch.len(), start.elapsed());
+    println!(
+        "=== top damaged parks ({} rows, {:?}) ===",
+        batch.len(),
+        start.elapsed()
+    );
     for row in batch.rows() {
         println!("  {row:?}");
     }

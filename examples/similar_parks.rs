@@ -30,7 +30,10 @@ fn build_session(workers: usize, on_top: bool) -> Result<Session, Box<dyn std::e
            RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins"#,
     )?;
     if on_top {
-        session.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+        session.set_options(PlanOptions {
+            force_on_top: true,
+            ..Default::default()
+        });
     }
     Ok(session)
 }

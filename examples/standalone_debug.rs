@@ -96,7 +96,7 @@ fn workload(n: usize, seed: u64) -> Vec<Interval> {
     (0..n)
         .map(|_| {
             let s = rng.gen_range(0i64..100_000);
-            Interval::new(s, s + rng.gen_range(0..4_000))
+            Interval::new(s, s + rng.gen_range(0i64..4_000))
         })
         .collect()
 }
@@ -119,8 +119,14 @@ fn standalone(
     r: &[Interval],
 ) -> (Vec<(usize, usize)>, StandaloneStats) {
     let alg = ProxyJoin::new(join);
-    let le: Vec<ExtValue> = l.iter().map(|iv| ExtValue::LongArray(vec![iv.start, iv.end])).collect();
-    let re: Vec<ExtValue> = r.iter().map(|iv| ExtValue::LongArray(vec![iv.start, iv.end])).collect();
+    let le: Vec<ExtValue> = l
+        .iter()
+        .map(|iv| ExtValue::LongArray(vec![iv.start, iv.end]))
+        .collect();
+    let re: Vec<ExtValue> = r
+        .iter()
+        .map(|iv| ExtValue::LongArray(vec![iv.start, iv.end]))
+        .collect();
     run_standalone_with_stats(&alg, &le, &re, &[]).expect("standalone run")
 }
 
@@ -162,14 +168,19 @@ fn main() {
         Field::new("iv", DataType::Interval),
     ]);
     let make_ds = |name: &str, ivs: &[Interval]| {
-        let d = DatasetBuilder::new(name, schema.clone()).partitions(4).build().unwrap();
+        let d = DatasetBuilder::new(name, schema.clone())
+            .partitions(4)
+            .build()
+            .unwrap();
         for (i, iv) in ivs.iter().enumerate() {
-            d.insert(Row::new(vec![Value::Int64(i as i64), Value::Interval(*iv)])).unwrap();
+            d.insert(Row::new(vec![Value::Int64(i as i64), Value::Interval(*iv)]))
+                .unwrap();
         }
         Arc::new(d)
     };
-    let engine_join =
-        Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(MyIntervalJoin { buggy: false }))));
+    let engine_join = Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+        MyIntervalJoin { buggy: false },
+    ))));
 
     // Sequential engine reference first (another §VI-D-2 debugging layer)...
     let lv: Vec<Value> = left.iter().map(|iv| Value::Interval(*iv)).collect();
@@ -179,8 +190,12 @@ fn main() {
 
     // ...then the real 4-worker cluster.
     let plan = PhysicalPlan::FudjJoin(FudjJoinNode::new(
-        PhysicalPlan::Scan { dataset: make_ds("l", &left) },
-        PhysicalPlan::Scan { dataset: make_ds("r", &right) },
+        PhysicalPlan::Scan {
+            dataset: make_ds("l", &left),
+        },
+        PhysicalPlan::Scan {
+            dataset: make_ds("r", &right),
+        },
         engine_join,
         1,
         1,

@@ -42,12 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let QueryOutput::Plan(plan) = session.execute(&format!("EXPLAIN {sql}"))? {
         println!("=== optimized plan: two FUDJs in one query ===\n{plan}");
         assert!(plan.contains("spatial_join"), "inner spatial FUDJ detected");
-        assert!(plan.contains("interval_join"), "outer interval FUDJ detected");
+        assert!(
+            plan.contains("interval_join"),
+            "outer interval FUDJ detected"
+        );
     }
 
     let start = std::time::Instant::now();
     let out = session.execute(sql)?;
-    let QueryOutput::Rows(batch, metrics) = out else { unreachable!() };
+    let QueryOutput::Rows(batch, metrics) = out else {
+        unreachable!()
+    };
 
     println!(
         "=== fires in parks with nearby overlapping weather readings ({} rows, {:?}) ===",
@@ -55,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         start.elapsed()
     );
     for row in batch.rows() {
-        println!("  fire {} — {} readings, avg temp {}", row.get(0), row.get(1), row.get(2));
+        println!(
+            "  fire {} — {} readings, avg temp {}",
+            row.get(0),
+            row.get(1),
+            row.get(2)
+        );
     }
     println!(
         "\nnetwork: {} bytes shuffled, {} bytes broadcast (theta join broadcasts one side)",

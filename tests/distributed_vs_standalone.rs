@@ -18,11 +18,18 @@ use std::sync::Arc;
 
 /// Wrap keys in an (id, key) dataset split over `parts` partitions.
 fn dataset(name: &str, keys: &[Value], parts: usize) -> Arc<fudj_repro::storage::Dataset> {
-    let dt = keys.first().map(Value::data_type).unwrap_or(DataType::Int64);
+    let dt = keys
+        .first()
+        .map(Value::data_type)
+        .unwrap_or(DataType::Int64);
     let schema = Schema::shared(vec![Field::new("id", DataType::Int64), Field::new("k", dt)]);
-    let d = DatasetBuilder::new(name, schema).partitions(parts).build().unwrap();
+    let d = DatasetBuilder::new(name, schema)
+        .partitions(parts)
+        .build()
+        .unwrap();
     for (i, k) in keys.iter().enumerate() {
-        d.insert(Row::new(vec![Value::Int64(i as i64), k.clone()])).unwrap();
+        d.insert(Row::new(vec![Value::Int64(i as i64), k.clone()]))
+            .unwrap();
     }
     Arc::new(d)
 }
@@ -36,8 +43,12 @@ fn run_distributed(
     workers: usize,
 ) -> Vec<(i64, i64)> {
     let plan = PhysicalPlan::FudjJoin(FudjJoinNode::new(
-        PhysicalPlan::Scan { dataset: dataset("l", left, workers) },
-        PhysicalPlan::Scan { dataset: dataset("r", right, workers) },
+        PhysicalPlan::Scan {
+            dataset: dataset("l", left, workers),
+        },
+        PhysicalPlan::Scan {
+            dataset: dataset("r", right, workers),
+        },
         join,
         1,
         1,
@@ -62,7 +73,10 @@ fn run_via_standalone(
 ) -> Vec<(i64, i64)> {
     let el: Vec<ExtValue> = left.iter().map(|v| ext::to_external(v).unwrap()).collect();
     let er: Vec<ExtValue> = right.iter().map(|v| ext::to_external(v).unwrap()).collect();
-    let ep: Vec<ExtValue> = params.iter().map(|v| ext::to_external(v).unwrap()).collect();
+    let ep: Vec<ExtValue> = params
+        .iter()
+        .map(|v| ext::to_external(v).unwrap())
+        .collect();
     run_standalone(alg, &el, &er, &ep)
         .unwrap()
         .into_iter()
@@ -75,19 +89,19 @@ fn arb_point() -> impl Strategy<Value = Value> {
 }
 
 fn arb_poly() -> impl Strategy<Value = Value> {
-    (0.0..90.0f64, 0.0..90.0f64, 0.5..12.0f64, 0.5..12.0f64).prop_map(|(x, y, w, h)| {
-        Value::polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + h)))
-    })
+    (0.0..90.0f64, 0.0..90.0f64, 0.5..12.0f64, 0.5..12.0f64)
+        .prop_map(|(x, y, w, h)| Value::polygon(Polygon::from_rect(&Rect::new(x, y, x + w, y + h))))
 }
 
 fn arb_interval() -> impl Strategy<Value = Value> {
-    (0i64..50_000, 0i64..3_000)
-        .prop_map(|(s, d)| Value::Interval(Interval::new(s, s + d)))
+    (0i64..50_000, 0i64..3_000).prop_map(|(s, d)| Value::Interval(Interval::new(s, s + d)))
 }
 
 fn arb_text() -> impl Strategy<Value = Value> {
     prop::collection::vec(
-        prop::sample::select(vec!["river", "peak", "camp", "view", "rock", "fern", "lake"]),
+        prop::sample::select(vec![
+            "river", "peak", "camp", "view", "rock", "fern", "lake",
+        ]),
         1..6,
     )
     .prop_map(|ws| Value::str(ws.join(" ")))

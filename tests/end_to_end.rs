@@ -11,13 +11,16 @@ use fudj_repro::types::Row;
 /// Build a session with all five datasets and all paper joins registered.
 fn session(workers: usize) -> Session {
     let s = Session::new(workers);
-    s.register_dataset(parks(GeneratorConfig::new(400, 101, workers.max(2))).unwrap()).unwrap();
+    s.register_dataset(parks(GeneratorConfig::new(400, 101, workers.max(2))).unwrap())
+        .unwrap();
     s.register_dataset(wildfires(GeneratorConfig::new(900, 102, workers.max(2))).unwrap())
         .unwrap();
-    s.register_dataset(nyctaxi(GeneratorConfig::new(400, 103, workers.max(2))).unwrap()).unwrap();
+    s.register_dataset(nyctaxi(GeneratorConfig::new(400, 103, workers.max(2))).unwrap())
+        .unwrap();
     s.register_dataset(amazon_reviews(GeneratorConfig::new(350, 104, workers.max(2))).unwrap())
         .unwrap();
-    s.register_dataset(weather(GeneratorConfig::new(500, 105, workers.max(2))).unwrap()).unwrap();
+    s.register_dataset(weather(GeneratorConfig::new(500, 105, workers.max(2))).unwrap())
+        .unwrap();
     s.install_library(standard_library());
     for ddl in [
         r#"CREATE JOIN st_contains(a: polygon, b: point)
@@ -49,7 +52,10 @@ fn assert_fudj_equals_ontop(sql: &str, workers: usize) -> usize {
     let fudj = fudj_session.query(sql).unwrap();
 
     let mut ontop_session = session(workers);
-    ontop_session.set_options(PlanOptions { force_on_top: true, ..Default::default() });
+    ontop_session.set_options(PlanOptions {
+        force_on_top: true,
+        ..Default::default()
+    });
     let ontop = ontop_session.query(sql).unwrap();
 
     assert_eq!(sorted_rows(&fudj), sorted_rows(&ontop), "{sql}");
@@ -178,11 +184,15 @@ fn drop_join_reverts_to_on_top() {
     let s = session(2);
     let sql = "EXPLAIN SELECT COUNT(*) FROM Parks p, Wildfires w \
                WHERE ST_Contains(p.boundary, w.location)";
-    let QueryOutput::Plan(before) = s.execute(sql).unwrap() else { panic!() };
+    let QueryOutput::Plan(before) = s.execute(sql).unwrap() else {
+        panic!()
+    };
     assert!(before.contains("FudjJoin"));
 
     s.execute("DROP JOIN st_contains").unwrap();
-    let QueryOutput::Plan(after) = s.execute(sql).unwrap() else { panic!() };
+    let QueryOutput::Plan(after) = s.execute(sql).unwrap() else {
+        panic!()
+    };
     assert!(after.contains("NestedLoopJoin"), "{after}");
     assert!(!after.contains("FudjJoin"));
 }

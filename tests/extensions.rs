@@ -13,9 +13,12 @@ use std::sync::Arc;
 
 fn session(workers: usize) -> Session {
     let s = Session::new(workers);
-    s.register_dataset(parks(GeneratorConfig::new(500, 201, workers)).unwrap()).unwrap();
-    s.register_dataset(wildfires(GeneratorConfig::new(1_000, 202, workers)).unwrap()).unwrap();
-    s.register_dataset(nyctaxi(GeneratorConfig::new(500, 203, workers)).unwrap()).unwrap();
+    s.register_dataset(parks(GeneratorConfig::new(500, 201, workers)).unwrap())
+        .unwrap();
+    s.register_dataset(wildfires(GeneratorConfig::new(1_000, 202, workers)).unwrap())
+        .unwrap();
+    s.register_dataset(nyctaxi(GeneratorConfig::new(500, 203, workers)).unwrap())
+        .unwrap();
     s.install_library(standard_library());
     s
 }
@@ -86,7 +89,10 @@ fn sort_merge_combine_through_session() {
     .unwrap();
     let hash = s.query(SPATIAL_SQL).unwrap();
 
-    s.set_options(PlanOptions { combine: CombineStrategy::SortMerge, ..Default::default() });
+    s.set_options(PlanOptions {
+        combine: CombineStrategy::SortMerge,
+        ..Default::default()
+    });
     let merge = s.query(SPATIAL_SQL).unwrap();
     assert_eq!(sorted(&hash), sorted(&merge));
 }
@@ -101,9 +107,14 @@ fn spilling_through_session_same_answers() {
     .unwrap();
     let in_memory = s.query(SPATIAL_SQL).unwrap();
 
-    s.set_options(PlanOptions { memory_budget_rows: Some(50), ..Default::default() });
+    s.set_options(PlanOptions {
+        memory_budget_rows: Some(50),
+        ..Default::default()
+    });
     let out = s.execute(SPATIAL_SQL).unwrap();
-    let fudj_repro::sql::QueryOutput::Rows(spilled, metrics) = out else { panic!() };
+    let fudj_repro::sql::QueryOutput::Rows(spilled, metrics) = out else {
+        panic!()
+    };
     assert_eq!(sorted(&in_memory), sorted(&spilled));
     assert!(metrics.spilled_rows > 0, "tiny budget must spill");
 }
@@ -125,9 +136,10 @@ fn advanced_interval_operator_matches_fudj() {
     )
     .unwrap();
     let mut options = PlanOptions::default();
-    options
-        .join_overrides
-        .insert("overlapping_interval".into(), Arc::new(AdvancedIntervalJoin::new()));
+    options.join_overrides.insert(
+        "overlapping_interval".into(),
+        Arc::new(AdvancedIntervalJoin::new()),
+    );
     s2.set_options(options);
     let advanced = s2.query(INTERVAL_SQL).unwrap();
     assert_eq!(fudj.rows(), advanced.rows());

@@ -9,7 +9,8 @@ use fudj_repro::types::Value;
 
 fn session() -> Session {
     let s = Session::new(2);
-    s.register_dataset(parks(GeneratorConfig::new(250, 301, 2)).unwrap()).unwrap();
+    s.register_dataset(parks(GeneratorConfig::new(250, 301, 2)).unwrap())
+        .unwrap();
     s.install_library(standard_library());
     s.execute(
         r#"CREATE JOIN jaccard_similarity(a: string, b: string, t: double)
@@ -33,7 +34,10 @@ fn query2_residual_filter_and_threshold() {
         panic!()
     };
     assert!(plan.contains("FudjJoin"), "{plan}");
-    assert!(plan.contains("Filter"), "residual <> filter present: {plan}");
+    assert!(
+        plan.contains("Filter"),
+        "residual <> filter present: {plan}"
+    );
 
     let batch = s.query(sql).unwrap();
     assert!(!batch.is_empty());
@@ -75,9 +79,7 @@ fn query2_completeness() {
             if x.get(0) != y.get(0) {
                 let a = token_set(x.get(2).as_str().unwrap());
                 let b = token_set(y.get(2).as_str().unwrap());
-                if !a.is_empty()
-                    && fudj_repro::textutil::jaccard_of_sorted(&a, &b) >= 0.8
-                {
+                if !a.is_empty() && fudj_repro::textutil::jaccard_of_sorted(&a, &b) >= 0.8 {
                     expected += 1;
                 }
             }

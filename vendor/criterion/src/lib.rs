@@ -1,0 +1,276 @@
+//! Minimal, dependency-free reimplementation of the subset of `criterion`
+//! this workspace uses (no network access to crates.io in the build
+//! environment).
+//!
+//! Semantics: each benchmark is warmed up briefly, then timed over a
+//! fixed wall-clock budget, and the mean time per iteration is printed.
+//! There is no statistical analysis, HTML report, or baseline storage —
+//! numbers are for eyeballing relative cost, which is all the repo's
+//! figures/microbench harness needs offline.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) runs each
+//! benchmark exactly once to check it executes, without timing loops.
+
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group, e.g. `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher {
+    test_mode: bool,
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warmup: a few runs to populate caches and estimate cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || (warmup_start.elapsed() < self.budget / 10 && warmup_iters < 1000)
+        {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters as u32;
+
+        // Measurement: as many iterations as fit the budget, at least one.
+        let target = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / target as f64;
+        self.iters = target;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    /// Retained for API compatibility; the measurement loop is
+    /// time-budgeted rather than sample-count based.
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            budget: self.criterion.budget,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            budget: self.criterion.budget,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if self.criterion.test_mode {
+            println!("test {}/{} ... ok", self.name, id.id);
+        } else {
+            println!(
+                "{}/{}: {} ({} iters)",
+                self.name,
+                id.id,
+                fmt_ns(b.mean_ns),
+                b.iters
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Benchmark driver. `Default` reads the command line for `--test`.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut b = Bencher {
+            test_mode: false,
+            budget: Duration::from_millis(20),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(b.iters >= 1);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            budget: Duration::from_millis(20),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("assign", "fudj");
+        assert_eq!(id.id, "assign/fudj");
+    }
+}

@@ -1,0 +1,41 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Vectors of `len` elements drawn from `element`; `len` is sampled from
+/// the half-open range like upstream's `SizeRange`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range for vec strategy");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_in_range() {
+        let mut r = TestRng::for_test("vec-len");
+        let s = vec(0i64..10, 3..10);
+        for _ in 0..200 {
+            let v = s.sample(&mut r);
+            assert!((3..10).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+}

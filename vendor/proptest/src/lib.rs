@@ -1,0 +1,193 @@
+//! Minimal, dependency-free reimplementation of the subset of `proptest`
+//! this workspace uses (the build environment has no network access to
+//! crates.io, so heavyweight dev-dependencies are vendored as stubs).
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Sampling only, no shrinking.** Each property runs `cases` times
+//!   against deterministically seeded random inputs; a failing case
+//!   panics with the generated values visible in the assertion message
+//!   but is not minimized.
+//! * **`prop_assume!` skips the case** instead of rejecting-and-retrying,
+//!   so assumption-heavy properties effectively run slightly fewer cases.
+//! * **String "regex" strategies** support exactly the pattern language
+//!   used in this repo: sequences of `[class]`, `.`, and literal atoms,
+//!   each with an optional `{m,n}` repetition.
+//!
+//! Seeds derive from the property function's name, so runs are
+//! reproducible across invocations and machines.
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, spanning several magnitudes; the
+            // workspace never relies on NaN/inf from `any::<f64>()`.
+            (rng.next_f64() - 0.5) * 2e12
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated values debuggable.
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    // Upstream's prelude re-exports the crate under the name `prop` so
+    // tests can write `prop::collection::vec(...)`.
+    pub use crate as prop;
+}
+
+/// Assert inside a property; panics with the formatted message on failure
+/// (upstream returns a `TestCaseError`, which without shrinking is
+/// equivalent to a panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when the assumption does not hold. The body of
+/// each property runs inside a closure, so `return` abandons just this
+/// case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Choose between strategies, optionally weighted (`w => strat`). All
+/// branches must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Accepts an optional
+/// `#![proptest_config(...)]` header followed by `fn name(pat in strategy, ...) { body }`
+/// items, each of which becomes a `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategy = ($(($strat),)+);
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _ in 0..__cfg.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&__strategy, &mut __rng);
+                    (move || { $body })();
+                }
+            }
+        )*
+    };
+}

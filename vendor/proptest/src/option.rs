@@ -1,0 +1,48 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `None` roughly a quarter of the time, otherwise `Some` of the inner
+/// strategy's value.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut r = TestRng::for_test("option-of");
+        let s = of(0i64..10);
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..200 {
+            match s.sample(&mut r) {
+                None => none += 1,
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 0 && some > 0, "none={none} some={some}");
+    }
+}

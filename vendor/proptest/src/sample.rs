@@ -1,0 +1,37 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Uniformly pick one of the given values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_options() {
+        let mut r = TestRng::for_test("select");
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,8 @@
+//! Deserialization half of the vendored serde subset.
+//!
+//! Nothing in this workspace deserializes through serde — types derive
+//! `Deserialize` only so their declarations stay source-compatible with
+//! the real crate. The trait is therefore a pure marker.
+
+/// Marker trait standing in for upstream `de::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! Minimal, dependency-free reimplementation of the subset of `serde`
+//! this workspace uses (no network access to crates.io in the build
+//! environment).
+//!
+//! The `ser` side mirrors upstream's data model closely enough that a
+//! hand-written `Serializer` (e.g. `fudj-core`'s byte-counting
+//! serializer) compiles unchanged. The `de` side is a marker trait only:
+//! nothing in the workspace deserializes through serde.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the macro namespace; the trait re-exports above
+// live in the type namespace, so both `Serialize`s coexist.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,286 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset — no `syn`/`quote` (unavailable offline), just a
+//! small token-tree walk.
+//!
+//! Supported shapes are exactly what this workspace declares: non-generic
+//! structs (named, tuple, unit) and non-generic enums whose variants are
+//! unit, tuple, or struct-like. Anything else produces a compile error
+//! naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attributes and visibility qualifiers at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the attribute's bracket group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1; // optional pub(...) restriction
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a field/variant list on commas that sit outside both nested
+/// groups (automatic) and `<...>` type-argument nesting (tracked here).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Leading `name :` of one named-field declaration.
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let i = skip_attrs_and_vis(tokens, 0);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic types (type {name})"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_top_level(&inner)
+                    .iter()
+                    .filter_map(|f| field_name(f))
+                    .collect();
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: split_top_level(&inner).len(),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for v in split_top_level(&inner) {
+                    let j = skip_attrs_and_vis(&v, 0);
+                    let vname = match v.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        None => continue, // trailing comma
+                        other => return Err(format!("bad variant: {other:?}")),
+                    };
+                    if matches!(v.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        // discriminant (= expr): still a unit variant
+                        variants.push(Variant::Unit(vname));
+                        continue;
+                    }
+                    match v.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            variants.push(Variant::Tuple(vname, split_top_level(&inner).len()));
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            let fields = split_top_level(&inner)
+                                .iter()
+                                .filter_map(|f| field_name(f))
+                                .collect();
+                            variants.push(Variant::Struct(vname, fields));
+                        }
+                        None => variants.push(Variant::Unit(vname)),
+                        other => return Err(format!("bad variant body: {other:?}")),
+                    }
+                }
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for a {other}")),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::new();
+            b.push_str("use ::serde::ser::SerializeStruct as _;\n");
+            b.push_str(&format!(
+                "let mut st = serializer.serialize_struct({name:?}, {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                b.push_str(&format!("st.serialize_field({f:?}, &self.{f})?;\n"));
+            }
+            b.push_str("st.end()");
+            (name, b)
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut b = String::new();
+            b.push_str("use ::serde::ser::SerializeTupleStruct as _;\n");
+            b.push_str(&format!(
+                "let mut st = serializer.serialize_tuple_struct({name:?}, {arity})?;\n"
+            ));
+            for k in 0..*arity {
+                b.push_str(&format!("st.serialize_field(&self.{k})?;\n"));
+            }
+            b.push_str("st.end()");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, format!("serializer.serialize_unit_struct({name:?})")),
+        Item::Enum { name, variants } => {
+            let mut b = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                match v {
+                    Variant::Unit(vn) => b.push_str(&format!(
+                        "{name}::{vn} => serializer.serialize_unit_variant({name:?}, {idx}u32, {vn:?}),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|k| format!("__f{k}")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vn}({}) => {{\nuse ::serde::ser::SerializeTupleVariant as _;\n\
+                             let mut tv = serializer.serialize_tuple_variant({name:?}, {idx}u32, {vn:?}, {arity})?;\n",
+                            binds.join(", ")
+                        ));
+                        for bind in &binds {
+                            b.push_str(&format!("tv.serialize_field({bind})?;\n"));
+                        }
+                        b.push_str("tv.end()\n},\n");
+                    }
+                    Variant::Struct(vn, fields) => {
+                        b.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\nuse ::serde::ser::SerializeStructVariant as _;\n\
+                             let mut sv = serializer.serialize_struct_variant({name:?}, {idx}u32, {vn:?}, {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            b.push_str(&format!("sv.serialize_field({f:?}, {f})?;\n"));
+                        }
+                        b.push_str("sv.end()\n},\n");
+                    }
+                }
+            }
+            b.push('}');
+            (name, b)
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    // The vendored Deserialize is a marker trait (nothing in the
+    // workspace deserializes through serde), so the impl is empty.
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{}}"
+    )
+    .parse()
+    .unwrap()
+}
