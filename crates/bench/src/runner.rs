@@ -137,7 +137,7 @@ pub fn measure(cfg: &RunConfig) -> Measurement {
     Measurement {
         seconds,
         rows: batch.len(),
-        metrics,
+        metrics: *metrics,
     }
 }
 

@@ -1,5 +1,6 @@
 //! psql-style table rendering for result batches.
 
+use fudj_exec::MetricsSnapshot;
 use fudj_types::{Batch, Value};
 
 /// Maximum rendered width of one cell before truncation.
@@ -69,6 +70,36 @@ pub fn render_batch(batch: &Batch) -> String {
     out
 }
 
+/// Render the fault-injection/recovery counters of one query, or an empty
+/// string when the query saw no faults (so quiet runs print nothing new).
+pub fn render_fault_stats(snapshot: &MetricsSnapshot) -> String {
+    let f = &snapshot.fault;
+    if !f.any() {
+        return String::new();
+    }
+    format!(
+        "Faults: {} injected ({} panics, {} transients, {} worker losses, \
+         {} stragglers, {} drops, {} duplicates); \
+         recovered via {} task retries, {} re-executions, {} speculations, \
+         {} retransmits, {} dups discarded; {} escalations; \
+         simulated delay {} ms\n",
+        f.total_injected(),
+        f.injected_panics,
+        f.injected_transients,
+        f.injected_worker_losses,
+        f.injected_stragglers,
+        f.dropped_deliveries,
+        f.duplicated_deliveries,
+        f.task_retries,
+        f.reexecutions,
+        f.speculations,
+        f.delivery_retries,
+        f.duplicates_discarded,
+        f.retry_exhaustions,
+        f.sim_clock_ms,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +144,17 @@ mod tests {
         let schema = Schema::shared(vec![Field::new("c", DataType::Int64)]);
         let text = render_batch(&Batch::empty(schema));
         assert!(text.contains("(0 rows)"));
+    }
+
+    #[test]
+    fn fault_stats_render_only_when_faults_happened() {
+        let mut snap = MetricsSnapshot::default();
+        assert_eq!(render_fault_stats(&snap), "");
+        snap.fault.injected_transients = 2;
+        snap.fault.task_retries = 2;
+        let text = render_fault_stats(&snap);
+        assert!(text.contains("2 injected"), "{text}");
+        assert!(text.contains("2 transients"), "{text}");
+        assert!(text.contains("2 task retries"), "{text}");
     }
 }

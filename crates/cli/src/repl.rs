@@ -1,7 +1,8 @@
 //! The REPL engine: statement accumulation, meta commands, execution.
 
-use crate::render::render_batch;
+use crate::render::{render_batch, render_fault_stats};
 use fudj_datagen::GeneratorConfig;
+use fudj_exec::FaultConfig;
 use fudj_joins::standard_library;
 use fudj_sql::{QueryOutput, Session};
 use std::fmt::Write as _;
@@ -99,6 +100,7 @@ impl Repl {
                             skew.ratio(),
                         );
                     }
+                    out.push_str(&render_fault_stats(&metrics));
                 }
                 out
             }
@@ -156,6 +158,28 @@ impl Repl {
                 self.show_metrics = !self.show_metrics;
                 format!("metrics {}\n", if self.show_metrics { "on" } else { "off" })
             }
+            "chaos" => match args.first().map(String::as_str) {
+                None | Some("off") => {
+                    let was_on = self.session.faults().is_some();
+                    self.session.set_faults(None);
+                    if was_on {
+                        "chaos off\n".to_owned()
+                    } else {
+                        "chaos is off; \\chaos <seed> arms deterministic fault injection\n"
+                            .to_owned()
+                    }
+                }
+                Some(arg) => match arg.parse::<u64>() {
+                    Ok(seed) => {
+                        self.session.set_faults(Some(FaultConfig::chaos(seed)));
+                        format!(
+                            "chaos on (seed {seed}): queries now run under deterministic \
+                             fault injection; \\metrics shows recovery counters\n"
+                        )
+                    }
+                    Err(_) => format!("error: bad seed {arg:?}; usage: \\chaos <seed>\n"),
+                },
+            },
             "sample" => {
                 let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(2_000);
                 match self.load_sample(n) {
@@ -298,6 +322,9 @@ pub const HELP: &str = r#"FUDJ shell
     \d            list datasets        \joins     list registered joins
     \libraries    list join libraries  \timing    toggle query timing
     \metrics      toggle network/verify metrics after each query
+    \chaos <seed> run queries under deterministic fault injection (task
+                  panics, lost workers, stragglers, dropped/duplicated
+                  shuffles) with automatic recovery; \chaos off disarms
     \save <ds> <file.csv>             export a dataset to CSV
     \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
                                       existing dataset's)
@@ -428,6 +455,41 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("phase join:") && out.contains("skew"), "{out}");
+    }
+
+    #[test]
+    fn chaos_toggle_arms_and_disarms_fault_plan() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("chaos", &[]).contains("chaos is off"));
+        let on = r.run_meta("chaos", &["42".into()]);
+        assert!(on.contains("chaos on (seed 42)"), "{on}");
+        assert_eq!(r.session().faults().map(|f| f.seed), Some(42));
+        assert!(r.run_meta("chaos", &["off".into()]).contains("chaos off"));
+        assert!(r.session().faults().is_none());
+        assert!(r.run_meta("chaos", &["nope".into()]).contains("error"));
+    }
+
+    #[test]
+    fn chaos_query_recovers_and_reports_fault_metrics() {
+        let mut r = Repl::new(3);
+        r.run_meta("sample", &["200".into()]);
+        r.run_meta("metrics", &[]);
+
+        // Fault-free baseline for the same query.
+        let query = "SELECT COUNT(*) AS c FROM NYCTaxi n1, NYCTaxi n2 \
+             WHERE n1.Vendor = 1 AND n2.Vendor = 2 \
+               AND overlapping_interval(n1.ride_interval, n2.ride_interval);";
+        let clean = r.run_statement(query);
+        assert!(!clean.contains("Faults:"), "{clean}");
+
+        // Under chaos the query still answers identically and the fault
+        // counters surface. Seed chosen arbitrarily; any seed must work.
+        r.run_meta("chaos", &["7".into()]);
+        let chaotic = r.run_statement(query);
+        assert!(!chaotic.starts_with("error:"), "{chaotic}");
+        assert!(chaotic.contains("Faults:"), "{chaotic}");
+        let count_of = |s: &str| s.lines().nth(2).map(str::to_owned);
+        assert_eq!(count_of(&clean), count_of(&chaotic));
     }
 
     #[test]

@@ -22,6 +22,116 @@ use fudj_types::{ext, Result, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Retry/recovery policy for the execution engine: how the cluster reacts
+/// to failed tasks, lost shuffle partitions, and stragglers. Plain data,
+/// defined here (next to the engine-facing join interface) so every layer
+/// — executor, exchanges, SQL session, CLI — shares one vocabulary of
+/// knobs without depending on the exec crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per task (and per partition delivery) before the
+    /// failure escalates as a `FudjError`. The first attempt is free:
+    /// `max_retries = 4` allows up to 5 executions.
+    pub max_retries: u32,
+    /// Base of the simulated exponential backoff: attempt `k` waits
+    /// `backoff_base_ms << k` simulated milliseconds. The clock is
+    /// simulated — no wall-clock sleeping, so chaos tests stay fast and
+    /// decisions stay reproducible.
+    pub backoff_base_ms: u64,
+    /// A task whose simulated duration exceeds `straggler_multiple` × the
+    /// median task duration of its batch is speculatively re-executed on
+    /// another worker, and the faster copy wins.
+    pub straggler_multiple: u32,
+    /// Slowdown factor an injected straggler fault applies to a task's
+    /// simulated duration.
+    pub straggler_factor: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            backoff_base_ms: 10,
+            straggler_multiple: 3,
+            straggler_factor: 10,
+        }
+    }
+}
+
+/// Deterministic fault-injection configuration for the simulated cluster.
+///
+/// Every probability is an independent per-site chance in `[0, 1]`; the
+/// site (seed, dispatch step, worker, task, attempt) fully determines each
+/// decision, so a given seed always produces the identical fault schedule
+/// regardless of thread scheduling or wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed of the fault schedule.
+    pub seed: u64,
+    /// Chance a task attempt panics mid-flight (exercises the worker
+    /// pool's unwind isolation).
+    pub panic_prob: f64,
+    /// Chance a task attempt fails with a transient (retryable) error.
+    pub transient_prob: f64,
+    /// Chance the worker running a task attempt is "lost"; the task is
+    /// re-executed on the next surviving worker.
+    pub worker_loss_prob: f64,
+    /// Chance a task runs as a straggler (simulated slowdown by
+    /// [`RetryPolicy::straggler_factor`], candidate for speculation).
+    pub straggler_prob: f64,
+    /// Chance a remote shuffle/broadcast/gather partition delivery is
+    /// dropped (recovered by retransmission).
+    pub drop_prob: f64,
+    /// Chance a remote partition delivery is duplicated (recovered by
+    /// receiver-side sequence dedup).
+    pub duplicate_prob: f64,
+    /// Retry/backoff/speculation policy.
+    pub retry: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// A moderately hostile cluster: every fault class enabled at rates
+    /// that exercise all recovery paths while staying comfortably inside
+    /// the default retry budget.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            panic_prob: 0.04,
+            transient_prob: 0.06,
+            worker_loss_prob: 0.03,
+            straggler_prob: 0.08,
+            drop_prob: 0.05,
+            duplicate_prob: 0.05,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A fault plan that injects nothing — execution must be bit-for-bit
+    /// identical to running with no plan at all.
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            panic_prob: 0.0,
+            transient_prob: 0.0,
+            worker_loss_prob: 0.0,
+            straggler_prob: 0.0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Whether any fault class has a non-zero probability.
+    pub fn is_active(&self) -> bool {
+        self.panic_prob > 0.0
+            || self.transient_prob > 0.0
+            || self.worker_loss_prob > 0.0
+            || self.straggler_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+    }
+}
+
 /// A distributed partition-based join, as the engine sees it.
 pub trait EngineJoin: Send + Sync {
     /// Name for plans and metrics.

@@ -39,7 +39,7 @@ pub mod registry;
 pub mod standalone;
 pub mod state;
 
-pub use engine::{reference_execute, EngineJoin, FudjEngineJoin};
+pub use engine::{reference_execute, EngineJoin, FaultConfig, FudjEngineJoin, RetryPolicy};
 pub use flexible::{FlexibleJoin, ProxyJoin};
 pub use library::{JoinLibrary, JoinLibraryBuilder};
 pub use model::{avoidance_accepts, BucketId, DedupMode, JoinAlgorithm, Side};

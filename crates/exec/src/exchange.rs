@@ -16,13 +16,27 @@
 //!
 //! The number of exchange destinations is always the pool size — one
 //! partition per simulated worker.
+//!
+//! **Fault tolerance.** When the metrics carry an armed
+//! [`crate::fault::FaultContext`], every remote buffer delivery consults
+//! the fault plan: a *dropped* delivery is retransmitted (with simulated
+//! backoff) until it arrives or the retry budget escalates, and a
+//! *duplicated* delivery reaches the receiver twice — receivers dedup by
+//! source id (each source sends at most one buffer per destination per
+//! exchange, so the source id is the sequence number) and discard the
+//! extra copy. Retransmissions and duplicates are tracked in
+//! [`crate::fault::FaultStats`]; the canonical rows/bytes counters keep
+//! describing the *logical* traffic, so a fault plan never distorts the
+//! wire-size accounting that experiments pin.
 
+use crate::fault::FaultContext;
 use crate::metrics::QueryMetrics;
 use crate::pool::WorkerPool;
 use bytes::{Bytes, BytesMut};
 use fudj_types::{wire, Result, Row};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Rows, one vector per worker.
 pub type Parts = Vec<Vec<Row>>;
@@ -42,6 +56,10 @@ struct Outbox {
     remote: Vec<Bytes>, // indexed by destination; empty for dst == src
 }
 
+/// One destination's inbox: `(dst, rows staying local, inbound buffers
+/// tagged with their source id)`.
+type Inbox = (usize, Vec<Row>, Vec<(usize, Bytes)>);
+
 fn decode_all(buf: &mut Bytes, out: &mut Vec<Row>) -> Result<usize> {
     let mut n = 0;
     while !buf.is_empty() {
@@ -49,6 +67,25 @@ fn decode_all(buf: &mut Bytes, out: &mut Vec<Row>) -> Result<usize> {
         n += 1;
     }
     Ok(n)
+}
+
+/// The armed fault context (if any) plus a dispatch step claimed for one
+/// exchange — the deterministic key space for its delivery decisions.
+fn delivery_site(metrics: &QueryMetrics) -> Option<(Arc<FaultContext>, u64)> {
+    metrics.fault().map(|ctx| (ctx.clone(), ctx.next_step()))
+}
+
+/// How many copies of the `src → dst` buffer arrive (1 without faults;
+/// 2 under a duplicate; drops retransmit internally or escalate).
+fn delivered_copies(
+    site: &Option<(Arc<FaultContext>, u64)>,
+    src: usize,
+    dst: usize,
+) -> Result<u32> {
+    match site {
+        Some((ctx, step)) => ctx.deliver(*step, src, dst),
+        None => Ok(1),
+    }
 }
 
 /// Repartition by an arbitrary routing function `route(row) → destination`.
@@ -98,25 +135,45 @@ fn shuffle_routed(
         .flat_map(|o| o.remote.iter().map(|b| b.len() as u64))
         .sum();
 
-    // Stage 2 (parallel per destination): adopt local rows, decode inbound.
-    let mut inboxes: Vec<(usize, Vec<Row>, Vec<Bytes>)> = (0..workers)
+    // Deliver each remote buffer under the fault plan (coordinator side,
+    // deterministic order). A dropped buffer is retransmitted by
+    // `deliver`; a duplicated one lands in the inbox twice, tagged with
+    // its source id so the receiver can discard the extra copy.
+    let site = delivery_site(metrics);
+    let mut inboxes: Vec<Inbox> = (0..workers)
         .map(|dst| (dst, Vec::new(), Vec::new()))
         .collect();
     for outbox in outboxes {
         inboxes[outbox.src].1 = outbox.local;
         for (dst, buf) in outbox.remote.into_iter().enumerate() {
             if !buf.is_empty() {
-                inboxes[dst].2.push(buf);
+                for _ in 0..delivered_copies(&site, outbox.src, dst)? {
+                    inboxes[dst].2.push((outbox.src, buf.clone()));
+                }
             }
         }
     }
     let decoded = pool.run_metered(inboxes, Some(metrics), |_, (dst, local, bufs)| {
+        // Dedup by source sequence before paying for anything: duplicate
+        // copies are discarded at the receiving NIC, and the canonical
+        // byte counters describe the logical traffic only.
+        let mut seen = vec![false; workers];
+        let mut unique: Vec<Bytes> = Vec::with_capacity(bufs.len());
+        for (src, buf) in bufs {
+            if std::mem::replace(&mut seen[src], true) {
+                if let Some((ctx, _)) = &site {
+                    ctx.note_duplicate_discarded();
+                }
+                continue;
+            }
+            unique.push(buf);
+        }
         // Each destination worker pays for the bytes it receives.
-        let inbound: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+        let inbound: u64 = unique.iter().map(|b| b.len() as u64).sum();
         metrics.charge_network(inbound);
         let mut rows = local;
         let mut n = 0usize;
-        for mut buf in bufs {
+        for mut buf in unique {
             n += decode_all(&mut buf, &mut rows)?;
         }
         metrics.charge_worker_io(dst, n as u64, inbound);
@@ -179,7 +236,22 @@ pub fn broadcast(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Res
         delivered_bytes += buf.len() as u64 * receivers;
     }
 
-    // Stage 2 (parallel per destination): local clone + decode all remotes.
+    // Resolve every src → dst delivery on the coordinator, in a fixed
+    // order, before the parallel decode stage: copies[dst][src] is the
+    // number of arrived copies (drops retransmit inside `deliver`).
+    let site = delivery_site(metrics);
+    let mut copies: Vec<Vec<u32>> = vec![vec![1; workers]; workers];
+    for (dst, row) in copies.iter_mut().enumerate() {
+        for (src, (_, buf)) in encoded.iter().enumerate() {
+            if src != dst && !buf.is_empty() {
+                row[src] = delivered_copies(&site, src, dst)?;
+            }
+        }
+    }
+
+    // Stage 2 (parallel per destination): local clone + decode all
+    // remotes. Each source contributes one buffer, so a duplicated
+    // delivery is recognized by its source id and decoded only once.
     let out = pool.run_metered(
         (0..workers).collect::<Vec<usize>>(),
         Some(metrics),
@@ -197,6 +269,11 @@ pub fn broadcast(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Res
                 if src == dst {
                     rows.extend(local.iter().cloned());
                 } else {
+                    if let Some((ctx, _)) = &site {
+                        for _ in 1..copies[dst][src] {
+                            ctx.note_duplicate_discarded();
+                        }
+                    }
                     let mut b = buf.clone();
                     received += decode_all(&mut b, &mut rows)?;
                 }
@@ -226,11 +303,23 @@ pub fn gather(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result
         }
     })?;
 
+    // The coordinator pulls each worker's buffer under the fault plan:
+    // drops retransmit inside `deliver`, and a duplicated buffer is
+    // recognized by its source id and decoded only once.
+    let site = delivery_site(metrics);
     let mut out = Vec::new();
     let mut moved_rows = 0u64;
     let mut moved_bytes = 0u64;
-    for (local, buf) in encoded {
+    for (src, (local, buf)) in encoded.into_iter().enumerate() {
         out.extend(local);
+        if buf.is_empty() {
+            continue;
+        }
+        for _ in 1..delivered_copies(&site, src, 0)? {
+            if let Some((ctx, _)) = &site {
+                ctx.note_duplicate_discarded();
+            }
+        }
         moved_bytes += buf.len() as u64;
         let mut b = buf;
         moved_rows += decode_all(&mut b, &mut out)? as u64;
@@ -244,8 +333,12 @@ pub fn gather(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result
 
 /// Round-robin rows into one partition per worker (random/rebalancing
 /// exchange — what the engine does when a theta join needs *some*
-/// partitioning). Deterministic: row `j` of source partition `i` goes to
-/// worker `(i + j) % workers`.
+/// partitioning). Deterministic *global* round-robin: row `j` of source
+/// partition `i` goes to worker `(offset_i + j) % workers` where
+/// `offset_i` counts the rows of all earlier sources — so the output is
+/// level (sizes differ by at most 1) no matter how skewed the input is.
+/// (Per-source round-robin `(i + j) % workers` could stack up to one
+/// extra row per source on the same worker.)
 ///
 /// Routing is purely positional — no destination tag is appended to the
 /// row, so the shuffle serializes (and the metrics count) exactly the
@@ -254,7 +347,15 @@ pub fn gather(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result
 /// bytes per crossing row.
 pub fn rebalance(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result<Parts> {
     let workers = pool.size();
-    shuffle_routed(parts, pool, metrics, |src, j, _row| (src + j) % workers)
+    let mut offsets = Vec::with_capacity(parts.len());
+    let mut total = 0usize;
+    for p in &parts {
+        offsets.push(total);
+        total += p.len();
+    }
+    shuffle_routed(parts, pool, metrics, move |src, j, _row| {
+        (offsets[src] + j) % workers
+    })
 }
 
 #[cfg(test)]
@@ -371,6 +472,17 @@ mod tests {
         assert_eq!(out[1].len(), 5);
         // Routing is positional: rows keep exactly their original column.
         assert!(out.iter().flatten().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn rebalance_levels_skewed_multi_source_input() {
+        // Per-source round-robin `(src + j) % workers` would give worker 1
+        // two rows and worker 3 none here; global round-robin levels it.
+        let parts = vec![rows_of(&[1, 2]), rows_of(&[3, 4]), Vec::new(), Vec::new()];
+        let m = QueryMetrics::new();
+        let pool = WorkerPool::new(4);
+        let out = rebalance(parts, &pool, &m).unwrap();
+        assert!(out.iter().all(|p| p.len() == 1), "{out:?}");
     }
 
     #[test]

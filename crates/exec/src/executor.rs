@@ -22,6 +22,7 @@ pub type PartitionedData = Vec<Vec<Row>>;
 pub struct Cluster {
     workers: usize,
     network: Option<crate::metrics::NetworkModel>,
+    faults: Option<fudj_core::FaultConfig>,
     pool: Arc<WorkerPool>,
 }
 
@@ -35,6 +36,7 @@ impl Cluster {
         Cluster {
             workers,
             network: None,
+            faults: None,
             pool: Arc::new(WorkerPool::new(workers)),
         }
     }
@@ -43,6 +45,15 @@ impl Cluster {
     pub fn with_network(workers: usize, network: crate::metrics::NetworkModel) -> Self {
         let mut c = Cluster::new(workers);
         c.network = Some(network);
+        c
+    }
+
+    /// Cluster whose queries run under the seeded fault plan `config`:
+    /// every query draws a fresh deterministic schedule of injected
+    /// failures (and recoveries) from the config's seed.
+    pub fn with_faults(workers: usize, config: fudj_core::FaultConfig) -> Self {
+        let mut c = Cluster::new(workers);
+        c.faults = Some(config);
         c
     }
 
@@ -62,6 +73,17 @@ impl Cluster {
         self.network = network;
     }
 
+    /// The armed fault plan, if any.
+    pub fn faults(&self) -> Option<fudj_core::FaultConfig> {
+        self.faults
+    }
+
+    /// Arm (or disarm, with `None`) a seeded fault plan. Like
+    /// [`Cluster::set_network`], the worker pool is preserved.
+    pub fn set_faults(&mut self, faults: Option<fudj_core::FaultConfig>) {
+        self.faults = faults;
+    }
+
     /// The persistent worker pool backing this cluster.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
@@ -69,7 +91,7 @@ impl Cluster {
 
     /// Execute a plan and gather the result on the coordinator.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryMetrics)> {
-        let metrics = QueryMetrics::with_network(self.network);
+        let metrics = QueryMetrics::with_config(self.network, self.faults);
         let parts = self.execute_partitioned(plan, &metrics)?;
         let rows = exchange::gather(parts, &self.pool, &metrics)?;
         Ok((Batch::new(plan.schema(), rows), metrics))

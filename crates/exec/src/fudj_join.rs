@@ -25,6 +25,17 @@
 //!    delta Fig. 12a measures. Workers whose inputs exceed
 //!    [`FudjJoinNode::memory_budget_rows`] grace-partition to temporary
 //!    files first (§III-B spilling).
+//!
+//! Every phase runs on the cluster's fault-aware substrate: when a seeded
+//! [`fudj_core::FaultConfig`] is armed, the worker pool retries injected
+//! task failures (panics, transients, lost workers) with simulated
+//! backoff and speculatively re-executes stragglers, while the exchanges
+//! retransmit dropped partition deliveries and dedup duplicated ones —
+//! so a join under chaos produces exactly the multiset of rows a
+//! fault-free run produces, with the recovery work visible in
+//! [`crate::fault::FaultStats`]. The phase driver itself needs no
+//! fault-specific code: recovery lives entirely below the phase
+//! boundary, in [`crate::pool::WorkerPool`] and [`crate::exchange`].
 
 use crate::exchange;
 use crate::executor::{Cluster, PartitionedData};

@@ -31,16 +31,26 @@
 //! spawned once at construction, and every phase of every query runs
 //! partition `i` on the same pool thread `i` — so per-worker counters in
 //! [`MetricsSnapshot::per_worker`] describe stable node identities.
+//!
+//! The cluster can run under a deterministic *fault plan* ([`fault`]):
+//! a seeded [`FaultConfig`] injects task panics, transient errors, worker
+//! loss, stragglers, and dropped/duplicated deliveries, and the pool and
+//! exchanges recover via bounded retries with simulated-clock backoff,
+//! re-execution on surviving workers, and speculative re-execution — all
+//! reproducible from the single seed.
 
 pub mod aggregate;
 pub mod exchange;
 pub mod executor;
+pub mod fault;
 pub mod fudj_join;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
 
 pub use executor::{Cluster, PartitionedData};
+pub use fault::{DeliveryFault, FaultContext, FaultStats, TaskFault};
+pub use fudj_core::{FaultConfig, RetryPolicy};
 pub use metrics::{MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats};
 pub use plan::{
     AggFunc, Aggregate, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,

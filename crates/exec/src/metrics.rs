@@ -5,6 +5,8 @@
 //! [`QueryMetrics`] is a cheap cloneable handle shared by every operator of
 //! one query execution.
 
+use crate::fault::{FaultContext, FaultStats};
+use fudj_core::FaultConfig;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -121,6 +123,9 @@ pub struct MetricsSnapshot {
     /// first-completion order), each holding a worker-indexed vector.
     /// Repeated phases with the same name accumulate into one entry.
     pub phase_worker_busy: Vec<(String, Vec<Duration>)>,
+    /// Injected-fault and recovery counters (all zero unless the query ran
+    /// with an armed [`crate::fault::FaultContext`]).
+    pub fault: FaultStats,
 }
 
 impl MetricsSnapshot {
@@ -178,6 +183,7 @@ struct MetricsState {
 pub struct QueryMetrics {
     inner: Arc<Mutex<MetricsState>>,
     network: Option<NetworkModel>,
+    fault: Option<Arc<FaultContext>>,
 }
 
 impl QueryMetrics {
@@ -188,15 +194,37 @@ impl QueryMetrics {
 
     /// Metrics whose exchanges charge time against a network model.
     pub fn with_network(network: Option<NetworkModel>) -> Self {
+        Self::with_config(network, None)
+    }
+
+    /// Metrics armed with an optional network model and an optional
+    /// deterministic fault plan. A `faults` of `None` (or a quiet config)
+    /// makes this identical to [`Self::with_network`].
+    pub fn with_config(network: Option<NetworkModel>, faults: Option<FaultConfig>) -> Self {
         QueryMetrics {
             inner: Arc::default(),
             network,
+            fault: faults
+                .filter(FaultConfig::is_active)
+                .map(|c| Arc::new(FaultContext::new(c))),
         }
     }
 
     /// The active network model, if any.
     pub fn network(&self) -> Option<NetworkModel> {
         self.network
+    }
+
+    /// The armed fault context, if any. The worker pool and the exchange
+    /// operators consult this at every dispatch.
+    pub fn fault(&self) -> Option<&Arc<FaultContext>> {
+        self.fault.as_ref()
+    }
+
+    /// The innermost currently-open phase name, if any (used to label
+    /// fault-injection sites).
+    pub fn current_phase(&self) -> Option<String> {
+        self.inner.lock().phase_stack.last().cloned()
     }
 
     /// Charge the simulated network for one worker's receive of `bytes`
@@ -301,9 +329,13 @@ impl QueryMetrics {
         m.snap.per_worker[worker].bytes += bytes;
     }
 
-    /// Copy out the counters.
+    /// Copy out the counters (fault/recovery counters included).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.lock().snap.clone()
+        let mut snap = self.inner.lock().snap.clone();
+        if let Some(fault) = &self.fault {
+            snap.fault = fault.stats();
+        }
+        snap
     }
 }
 

@@ -21,10 +21,12 @@
 //! [`FudjError::Execution`], and leaves the worker thread alive — one
 //! poisoned query cannot take down the cluster.
 
+use crate::fault::{FaultContext, TaskFault, SIM_TASK_MS};
 use crate::metrics::QueryMetrics;
 use crossbeam::channel::{unbounded, Sender};
 use fudj_types::{FudjError, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -100,6 +102,15 @@ impl WorkerPool {
     /// active phase). Results come back in item order. A task that
     /// panics yields `Err(FudjError::Execution)` for its slot without
     /// killing its worker thread.
+    ///
+    /// When the metrics carry an armed [`FaultContext`], every task runs
+    /// inside a recovery loop: injected panics/transients are retried
+    /// with simulated exponential backoff, an injected worker loss
+    /// re-executes the task attributed to the next surviving worker, and
+    /// an exhausted retry budget escalates as [`FudjError::Execution`].
+    /// After the batch completes, tasks whose simulated duration exceeded
+    /// the policy's multiple of the batch median are speculatively
+    /// re-executed (the faster copy wins, in simulation).
     pub fn run_metered<T, R, F>(
         &self,
         items: Vec<T>,
@@ -115,40 +126,54 @@ impl WorkerPool {
         if n == 0 {
             return Ok(Vec::new());
         }
+        // One dispatch step per batch, claimed by the coordinator so the
+        // fault schedule is identical across runs of the same query.
+        let site: Option<FaultSite> =
+            metrics
+                .and_then(|m| m.fault().cloned())
+                .map(|ctx| FaultSite {
+                    step: ctx.next_step(),
+                    ctx,
+                });
+        let size = self.size();
+
         // Single partition, or already on a worker thread (re-entrant
         // call): execute inline. Dispatching one task buys nothing, and
         // re-entrant dispatch could deadlock (see module docs).
         if n == 1 || IN_WORKER.with(|g| g.get()) {
-            let mut out = Vec::with_capacity(n);
+            let mut done: Vec<TaskDone<R>> = Vec::with_capacity(n);
             for (i, item) in items.into_iter().enumerate() {
                 let start = Instant::now();
-                let result = run_task(&f, i, item);
+                let (worker, sim_ms, result) =
+                    run_task_recovered(&site, &f, i % size, size, i, item);
                 if let Some(m) = metrics {
-                    m.charge_worker_busy(i % self.size(), start.elapsed());
+                    m.charge_worker_busy(worker, start.elapsed());
                 }
-                out.push(result?);
+                done.push((i, worker, sim_ms, result));
             }
-            return Ok(out);
+            return finish_batch(&site, n, done);
         }
 
-        type Done<R> = (usize, usize, std::time::Duration, Result<R>);
-        let (done_tx, done_rx) = unbounded::<Done<R>>();
+        type Sent<R> = (TaskDone<R>, std::time::Duration);
+        let (done_tx, done_rx) = unbounded::<Sent<R>>();
         for (i, item) in items.into_iter().enumerate() {
             let worker = i % self.senders.len();
             let tx = done_tx.clone();
             let f = &f;
+            let site = &site;
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 IN_WORKER.with(|g| g.set(true));
                 let start = Instant::now();
-                let result = run_task(f, i, item);
+                let (eff_worker, sim_ms, result) =
+                    run_task_recovered(site, f, worker, size, i, item);
                 IN_WORKER.with(|g| g.set(false));
                 // The receiver outlives every task (see below), so this
                 // send cannot fail while results are still awaited.
-                let _ = tx.send((i, worker, start.elapsed(), result));
+                let _ = tx.send(((i, eff_worker, sim_ms, result), start.elapsed()));
             });
-            // SAFETY: the task borrows `f` and moves `item`/`tx`, all of
-            // which live for the rest of this call. Every submitted task
-            // sends exactly one completion message and the loop below
+            // SAFETY: the task borrows `f`/`site` and moves `item`/`tx`,
+            // all of which live for the rest of this call. Every submitted
+            // task sends exactly one completion message and the loop below
             // blocks until all `n` messages arrive, so no task (and no
             // borrow inside it) outlives this stack frame. The worker
             // channels cannot drop tasks unexecuted while `&self` is
@@ -161,23 +186,148 @@ impl WorkerPool {
         }
         drop(done_tx);
 
-        let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
+        let mut done: Vec<TaskDone<R>> = Vec::with_capacity(n);
         for _ in 0..n {
             // Cannot disconnect before `n` sends: every task sends once
             // and workers cannot exit while the pool is alive. Must not
             // return before all tasks finish (safety invariant above).
-            let (i, worker, busy, result) = done_rx
+            let (completed, busy) = done_rx
                 .recv()
                 .expect("every dispatched task reports completion");
             if let Some(m) = metrics {
-                m.charge_worker_busy(worker, busy);
+                // Busy time goes to the *effective* worker — under an
+                // injected worker loss the re-executed task's work belongs
+                // to the surviving worker that ran it.
+                m.charge_worker_busy(completed.1, busy);
             }
+            done.push(completed);
+        }
+        finish_batch(&site, n, done)
+    }
+}
+
+/// `(slot, effective worker, simulated duration ms, result)` of one task.
+type TaskDone<R> = (usize, usize, u64, Result<R>);
+
+/// A batch's fault-injection site: the armed context plus the dispatch
+/// step the coordinator claimed for this batch.
+struct FaultSite {
+    ctx: Arc<FaultContext>,
+    step: u64,
+}
+
+/// Post-process one batch: apply the speculation policy to simulated
+/// straggler durations, advance the simulated clock by the batch
+/// makespan, and collect results in slot order.
+fn finish_batch<R>(site: &Option<FaultSite>, n: usize, done: Vec<TaskDone<R>>) -> Result<Vec<R>> {
+    let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
+    if let Some(site) = site {
+        let policy = site.ctx.config().retry;
+        let mut sims: Vec<u64> = done.iter().map(|(_, _, sim, _)| *sim).collect();
+        sims.sort_unstable();
+        let median = sims[sims.len() / 2].max(1);
+        let threshold = median.saturating_mul(policy.straggler_multiple.max(1) as u64);
+        let mut makespan = 0u64;
+        for (i, _, sim, result) in done {
+            let effective = if sim > threshold {
+                // Speculative copy launched on another worker; the
+                // non-delayed copy finishes first and wins.
+                site.ctx.note_speculation();
+                SIM_TASK_MS
+            } else {
+                sim
+            };
+            makespan = makespan.max(effective);
             slots[i] = Some(result);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("each slot filled exactly once"))
-            .collect()
+        site.ctx.advance_sim_clock(makespan);
+    } else {
+        for (i, _, _, result) in done {
+            slots[i] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("each slot filled exactly once"))
+        .collect()
+}
+
+/// Execute one task under the recovery loop. Injected faults happen
+/// *before* the single real execution of `f` (a lost or panicked attempt
+/// never consumed the item), so retrying needs no `Clone` bound and the
+/// real work runs exactly once. Returns the effective worker (changes
+/// under worker loss), the simulated duration, and the result.
+fn run_task_recovered<T, R, F>(
+    site: &Option<FaultSite>,
+    f: &F,
+    worker: usize,
+    pool_size: usize,
+    i: usize,
+    item: T,
+) -> (usize, u64, Result<R>)
+where
+    F: Fn(usize, T) -> Result<R>,
+{
+    let Some(site) = site else {
+        return (worker, SIM_TASK_MS, run_task(f, i, item));
+    };
+    let ctx = &site.ctx;
+    let policy = ctx.config().retry;
+    let mut w = worker;
+    let mut attempt: u32 = 0;
+    loop {
+        let Some(fault) = ctx.task_fault(site.step, w, i, attempt) else {
+            // Healthy attempt: run the real task, straggling if injected.
+            let sim_ms = if ctx.straggles(site.step, w, i) {
+                ctx.note_straggler();
+                SIM_TASK_MS * policy.straggler_factor.max(1) as u64
+            } else {
+                SIM_TASK_MS
+            };
+            return (w, sim_ms, run_task(f, i, item));
+        };
+        ctx.note_task_fault(fault);
+        let failure = match fault {
+            TaskFault::Panic => {
+                // Genuinely unwind through the worker's catch path so the
+                // panic-isolation machinery is exercised, not simulated.
+                match run_task(
+                    &|_, _: ()| -> Result<R> {
+                        panic!("injected fault: task {i} on worker {w} (attempt {attempt})")
+                    },
+                    i,
+                    (),
+                ) {
+                    Err(e) => e,
+                    Ok(_) => unreachable!("injected panic must surface as an error"),
+                }
+            }
+            TaskFault::Transient => FudjError::Execution(format!(
+                "injected fault: transient failure of task {i} on worker {w} (attempt {attempt})"
+            )),
+            TaskFault::WorkerLoss => FudjError::Execution(format!(
+                "injected fault: worker {w} lost while running task {i} (attempt {attempt})"
+            )),
+        };
+        if attempt >= policy.max_retries {
+            ctx.note_exhaustion();
+            return (
+                w,
+                SIM_TASK_MS,
+                Err(FudjError::Execution(format!(
+                    "retry budget exhausted after {} attempts: {failure}",
+                    attempt + 1
+                ))),
+            );
+        }
+        if fault == TaskFault::WorkerLoss {
+            // Re-execute on the next surviving worker.
+            w = (w + 1) % pool_size;
+            ctx.note_reexecution();
+        }
+        ctx.backoff(attempt);
+        ctx.note_task_retry();
+        attempt += 1;
     }
 }
 
@@ -323,6 +473,83 @@ mod tests {
             })
             .unwrap();
         assert_eq!(out, vec![30, 30]);
+    }
+
+    #[test]
+    fn injected_panic_exhaustion_escalates_with_message_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let mut config = fudj_core::FaultConfig::quiet(99);
+        config.panic_prob = 1.0;
+        config.retry.max_retries = 2;
+        let m = QueryMetrics::with_config(None, Some(config));
+        let err = pool
+            .run_metered(vec![0, 1, 2], Some(&m), |_, x: i32| Ok(x))
+            .unwrap_err();
+        let msg = err.to_string();
+        // The escalation wraps the last underlying failure, so the panic
+        // message survives all the way to the caller.
+        assert!(
+            msg.contains("retry budget exhausted after 3 attempts"),
+            "{msg}"
+        );
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("injected fault"), "{msg}");
+        let f = m.snapshot().fault;
+        assert_eq!(f.injected_panics, 9, "3 tasks x 3 attempts: {f:?}");
+        assert_eq!(f.task_retries, 6);
+        assert_eq!(f.retry_exhaustions, 3);
+
+        // Every injected panic genuinely unwound on a worker thread, and
+        // the pool is immediately reusable afterwards.
+        let ok = pool.run(vec![1, 2, 3], |_, x: i32| Ok(x * 10)).unwrap();
+        assert_eq!(ok, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn injected_faults_recover_and_counters_reproduce_per_seed() {
+        let pool = WorkerPool::new(3);
+        let mut config = fudj_core::FaultConfig::chaos(4242);
+        config.retry.max_retries = 16; // never exhaust at chaos rates
+        let run = || {
+            let m = QueryMetrics::with_config(None, Some(config));
+            let out = pool
+                .run_metered((0..40).collect(), Some(&m), |_, x: i64| Ok(x * 3))
+                .unwrap();
+            (out, m.snapshot().fault)
+        };
+        let (out, f) = run();
+        assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<_>>());
+        assert!(f.total_injected() > 0, "chaos must inject: {f:?}");
+        assert_eq!(f.retry_exhaustions, 0, "{f:?}");
+        // Every non-escalated task fault costs exactly one retry, and
+        // every worker loss re-executes on a survivor.
+        assert_eq!(
+            f.task_retries,
+            f.injected_panics + f.injected_transients + f.injected_worker_losses,
+            "{f:?}"
+        );
+        assert_eq!(f.reexecutions, f.injected_worker_losses, "{f:?}");
+
+        // Same seed, fresh context: bit-identical schedule and counters.
+        let (out2, f2) = run();
+        assert_eq!(out, out2);
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn stragglers_get_speculated_and_advance_the_simulated_clock() {
+        let pool = WorkerPool::new(2);
+        let mut config = fudj_core::FaultConfig::quiet(7);
+        config.straggler_prob = 0.25;
+        let m = QueryMetrics::with_config(None, Some(config));
+        pool.run_metered((0..32).collect(), Some(&m), |_, x: i32| Ok(x))
+            .unwrap();
+        let f = m.snapshot().fault;
+        assert!(f.injected_stragglers > 0, "{f:?}");
+        // At this rate the batch median is a healthy task, so every
+        // straggler (10x median) crosses the 3x speculation threshold.
+        assert_eq!(f.speculations, f.injected_stragglers, "{f:?}");
+        assert!(f.sim_clock_ms >= SIM_TASK_MS, "{f:?}");
     }
 
     #[test]

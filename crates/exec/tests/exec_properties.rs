@@ -1,7 +1,13 @@
 //! Property tests: every relational operator, executed on a multi-worker
-//! cluster, agrees with a straightforward sequential oracle.
+//! cluster, agrees with a straightforward sequential oracle — and the
+//! exchange primitives keep their contracts when the fault plan drops or
+//! duplicates partition deliveries (recovery is supposed to be invisible
+//! at the result level).
 
-use fudj_exec::{AggFunc, Aggregate, Cluster, PhysicalPlan, SortKey};
+use fudj_exec::exchange::{gather, rebalance, route_hash, shuffle_by};
+use fudj_exec::{
+    AggFunc, Aggregate, Cluster, FaultConfig, PhysicalPlan, QueryMetrics, SortKey, WorkerPool,
+};
 use fudj_storage::DatasetBuilder;
 use fudj_types::{DataType, Field, Row, Schema, Value};
 use proptest::prelude::*;
@@ -133,6 +139,142 @@ proptest! {
             .iter()
             .map(|a| r.iter().filter(|b| a.1 == b.1).count())
             .sum();
+        prop_assert_eq!(batch.len(), expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange contracts under delivery faults.
+//
+// A fault plan with aggressive drop/duplicate rates hits the exchanges'
+// retransmission and sequence-dedup paths on nearly every run; the
+// properties below assert those recovery paths preserve each exchange's
+// contract exactly.
+// ---------------------------------------------------------------------------
+
+/// A delivery-heavy fault plan: no task faults, lots of lost and
+/// duplicated partition deliveries. The retry budget is raised so that
+/// even a 30% drop rate cannot plausibly exhaust it (0.3^17 ≈ 1e-9) —
+/// proptest draws fresh seeds every run, so the properties must hold for
+/// *all* seeds, not just lucky ones.
+fn lossy(seed: u64) -> FaultConfig {
+    let mut config = FaultConfig::quiet(seed);
+    config.drop_prob = 0.3;
+    config.duplicate_prob = 0.3;
+    config.retry.max_retries = 16;
+    config
+}
+
+fn int_rows(vals: &[i64]) -> Vec<Row> {
+    vals.iter()
+        .map(|&v| Row::new(vec![Value::Int64(v)]))
+        .collect()
+}
+
+/// Split `vals` into `parts` round-robin partitions of single-int rows.
+fn partitioned(vals: &[i64], parts: usize) -> Vec<Vec<Row>> {
+    let mut out = vec![Vec::new(); parts];
+    for (j, &v) in vals.iter().enumerate() {
+        out[j % parts].push(Row::new(vec![Value::Int64(v)]));
+    }
+    out
+}
+
+fn sorted_multiset(parts: Vec<Vec<Row>>) -> Vec<Row> {
+    let mut all: Vec<Row> = parts.into_iter().flatten().collect();
+    all.sort();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under dropped and duplicated deliveries, `shuffle_by` still
+    /// delivers exactly the input multiset, with every row on the worker
+    /// its routing hash names.
+    #[test]
+    fn shuffle_recovers_multiset_and_routing_under_delivery_faults(
+        vals in prop::collection::vec(-1000i64..1000, 0..80),
+        workers in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let pool = WorkerPool::new(workers);
+        let m = QueryMetrics::with_config(None, Some(lossy(seed)));
+        let out = shuffle_by(partitioned(&vals, workers), &pool, &m, |row| {
+            (route_hash(row.get(0)) as usize) % workers
+        }).unwrap();
+        for (w, part) in out.iter().enumerate() {
+            for row in part {
+                prop_assert_eq!((route_hash(row.get(0)) as usize) % workers, w);
+            }
+        }
+        let mut expected = int_rows(&vals);
+        expected.sort();
+        prop_assert_eq!(sorted_multiset(out), expected);
+        // Recovery bookkeeping: every drop was either retransmitted or
+        // escalated (and none escalated here), and every duplicated
+        // delivery had exactly its extra copy discarded by the receiver.
+        let f = m.snapshot().fault;
+        prop_assert_eq!(f.retry_exhaustions, 0);
+        prop_assert_eq!(f.delivery_retries, f.dropped_deliveries);
+        prop_assert_eq!(f.duplicates_discarded, f.duplicated_deliveries);
+    }
+
+    /// Rebalance levels partitions (max − min ≤ 1) even when deliveries
+    /// drop or duplicate.
+    #[test]
+    fn rebalance_levels_under_delivery_faults(
+        vals in prop::collection::vec(-1000i64..1000, 0..80),
+        src_parts in 1usize..5,
+        workers in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let pool = WorkerPool::new(workers);
+        let m = QueryMetrics::with_config(None, Some(lossy(seed)));
+        let out = rebalance(partitioned(&vals, src_parts.min(workers)), &pool, &m).unwrap();
+        let sizes: Vec<usize> = out.iter().map(Vec::len).collect();
+        let (mx, mn) = (sizes.iter().max().unwrap(), sizes.iter().min().unwrap());
+        prop_assert!(mx - mn <= 1, "sizes {:?}", sizes);
+        let mut expected = int_rows(&vals);
+        expected.sort();
+        prop_assert_eq!(sorted_multiset(out), expected);
+    }
+
+    /// Gather collects the exact multiset on the coordinator under
+    /// delivery faults.
+    #[test]
+    fn gather_recovers_multiset_under_delivery_faults(
+        vals in prop::collection::vec(-1000i64..1000, 0..80),
+        workers in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let pool = WorkerPool::new(workers);
+        let m = QueryMetrics::with_config(None, Some(lossy(seed)));
+        let mut out = gather(partitioned(&vals, workers), &pool, &m).unwrap();
+        out.sort();
+        let mut expected = int_rows(&vals);
+        expected.sort();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Task-fault injection (panics, transients, worker loss, stragglers)
+    /// is recovered transparently: a filter under heavy task chaos equals
+    /// the sequential oracle.
+    #[test]
+    fn filter_matches_oracle_under_task_faults(
+        rows in arb_rows(),
+        threshold in -100i64..100,
+        workers in 2usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Scan { dataset: dataset(&rows, 3) }),
+            predicate: Arc::new(move |row| Ok(row.get(2).as_i64()? >= threshold)),
+        };
+        let mut cluster = Cluster::new(workers);
+        cluster.set_faults(Some(FaultConfig::chaos(seed)));
+        let (batch, _) = cluster.execute(&plan).unwrap();
+        let expected = rows.iter().filter(|r| r.2 >= threshold).count();
         prop_assert_eq!(batch.len(), expected);
     }
 }

@@ -13,8 +13,9 @@ use std::sync::Arc;
 /// Result of executing one statement.
 #[derive(Debug)]
 pub enum QueryOutput {
-    /// SELECT result with its execution metrics.
-    Rows(Batch, MetricsSnapshot),
+    /// SELECT result with its execution metrics (boxed: the snapshot is
+    /// an order of magnitude larger than the other variants).
+    Rows(Batch, Box<MetricsSnapshot>),
     /// DDL acknowledgement.
     Ack(String),
     /// EXPLAIN output.
@@ -102,6 +103,18 @@ impl Session {
         self.cluster.set_network(network);
     }
 
+    /// Arm (or disarm, with `None`) a seeded fault plan: subsequent
+    /// queries run under deterministic fault injection and recovery. The
+    /// cluster's worker pool is kept, like [`Session::set_network`].
+    pub fn set_faults(&mut self, faults: Option<fudj_exec::FaultConfig>) {
+        self.cluster.set_faults(faults);
+    }
+
+    /// The armed fault plan, if any.
+    pub fn faults(&self) -> Option<fudj_exec::FaultConfig> {
+        self.cluster.faults()
+    }
+
     /// The cluster this session executes on (a clone shares the same
     /// worker pool — it is the same simulated cluster).
     pub fn cluster(&self) -> Cluster {
@@ -130,7 +143,7 @@ impl Session {
                 let logical = bind_select(&sel, &self.catalog)?;
                 let physical = fudj_planner::plan(logical, &self.registry, &self.options)?;
                 let (batch, metrics) = self.cluster.execute(&physical)?;
-                Ok(QueryOutput::Rows(batch, metrics.snapshot()))
+                Ok(QueryOutput::Rows(batch, Box::new(metrics.snapshot())))
             }
             Statement::Explain { select, analyze } => {
                 let logical = bind_select(&select, &self.catalog)?;
