@@ -100,6 +100,41 @@ pub fn render_fault_stats(snapshot: &MetricsSnapshot) -> String {
     )
 }
 
+/// Render the UDF guardrail counters of one query, or an empty string when
+/// every user callback behaved (so well-behaved runs print nothing new).
+pub fn render_udf_stats(snapshot: &MetricsSnapshot) -> String {
+    let u = &snapshot.udf;
+    if !u.any() {
+        return String::new();
+    }
+    let mut phases = Vec::new();
+    for (name, n) in [
+        ("summarize", u.summarize_violations),
+        ("merge", u.merge_violations),
+        ("divide", u.divide_violations),
+        ("assign", u.assign_violations),
+        ("match", u.match_violations),
+        ("verify", u.verify_violations),
+        ("dedup", u.dedup_violations),
+    ] {
+        if n > 0 {
+            phases.push(format!("{n} in {name}"));
+        }
+    }
+    format!(
+        "UDF guard: {} violation{} ({}); {} panics caught, {} budget overruns, \
+         {} contract breaches; {} rows quarantined, {} equality fallbacks\n",
+        u.total_violations(),
+        if u.total_violations() == 1 { "" } else { "s" },
+        phases.join(", "),
+        u.caught_panics,
+        u.budget_overruns,
+        u.contract_breaches,
+        u.quarantined_rows,
+        u.fallback_activations,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +191,21 @@ mod tests {
         assert!(text.contains("2 injected"), "{text}");
         assert!(text.contains("2 transients"), "{text}");
         assert!(text.contains("2 task retries"), "{text}");
+    }
+
+    #[test]
+    fn udf_stats_render_only_when_violations_happened() {
+        let mut snap = MetricsSnapshot::default();
+        assert_eq!(render_udf_stats(&snap), "");
+        snap.udf.assign_violations = 3;
+        snap.udf.caught_panics = 1;
+        snap.udf.budget_overruns = 2;
+        snap.udf.quarantined_rows = 3;
+        let text = render_udf_stats(&snap);
+        assert!(text.contains("3 violations"), "{text}");
+        assert!(text.contains("3 in assign"), "{text}");
+        assert!(text.contains("1 panics caught"), "{text}");
+        assert!(text.contains("3 rows quarantined"), "{text}");
+        assert!(!text.contains("in verify"), "{text}");
     }
 }

@@ -1,8 +1,8 @@
 //! The REPL engine: statement accumulation, meta commands, execution.
 
-use crate::render::{render_batch, render_fault_stats};
+use crate::render::{render_batch, render_fault_stats, render_udf_stats};
 use fudj_datagen::GeneratorConfig;
-use fudj_exec::FaultConfig;
+use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
 use fudj_joins::standard_library;
 use fudj_sql::{QueryOutput, Session};
 use std::fmt::Write as _;
@@ -101,6 +101,7 @@ impl Repl {
                         );
                     }
                     out.push_str(&render_fault_stats(&metrics));
+                    out.push_str(&render_udf_stats(&metrics));
                 }
                 out
             }
@@ -178,6 +179,28 @@ impl Repl {
                         )
                     }
                     Err(_) => format!("error: bad seed {arg:?}; usage: \\chaos <seed>\n"),
+                },
+            },
+            "guard" => match args.first().map(String::as_str) {
+                None => format!("guard mode: {}\n", guard_mode_text(self.session.guard())),
+                Some("off") => {
+                    self.session.set_guard(GuardMode::Off);
+                    "guard off: user-defined joins run unguarded\n".to_owned()
+                }
+                Some("per-join") | Some("perjoin") | Some("on") => {
+                    self.session.set_guard(GuardMode::PerJoin);
+                    "guard per-join: each join runs under its CREATE JOIN options\n".to_owned()
+                }
+                Some(arg) => match UdfPolicy::parse(arg) {
+                    Some(policy) => {
+                        self.session
+                            .set_guard(GuardMode::Override(GuardConfig::with_policy(policy)));
+                        format!("guard override: all joins now run under policy {policy}\n")
+                    }
+                    None => format!(
+                        "error: bad guard mode {arg:?}; usage: \\guard \
+                         [off|per-join|failfast|quarantine|fallback]\n"
+                    ),
                 },
             },
             "sample" => {
@@ -287,6 +310,15 @@ impl Repl {
     }
 }
 
+/// Human-readable description of a guard mode for `\guard`.
+fn guard_mode_text(mode: &GuardMode) -> String {
+    match mode {
+        GuardMode::PerJoin => "per-join (each join's CREATE JOIN options)".to_owned(),
+        GuardMode::Override(config) => format!("override (policy {})", config.policy),
+        GuardMode::Off => "off".to_owned(),
+    }
+}
+
 /// Parse a column type name (the same vocabulary as CREATE JOIN).
 fn parse_type(name: &str) -> fudj_types::Result<fudj_types::DataType> {
     use fudj_types::DataType as T;
@@ -325,6 +357,10 @@ pub const HELP: &str = r#"FUDJ shell
     \chaos <seed> run queries under deterministic fault injection (task
                   panics, lost workers, stragglers, dropped/duplicated
                   shuffles) with automatic recovery; \chaos off disarms
+    \guard [mode] show or set the UDF guardrail mode: per-join (default,
+                  honors CREATE JOIN ... WITH options), off, or a
+                  session-wide policy override (failfast, quarantine,
+                  fallback); \metrics shows per-query violation counters
     \save <ds> <file.csv>             export a dataset to CSV
     \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
                                       existing dataset's)
@@ -490,6 +526,24 @@ mod tests {
         assert!(chaotic.contains("Faults:"), "{chaotic}");
         let count_of = |s: &str| s.lines().nth(2).map(str::to_owned);
         assert_eq!(count_of(&clean), count_of(&chaotic));
+    }
+
+    #[test]
+    fn guard_toggle_sets_session_mode() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("guard", &[]).contains("per-join"));
+        assert!(r
+            .run_meta("guard", &["quarantine".into()])
+            .contains("policy quarantine"));
+        assert!(matches!(r.session().guard(), GuardMode::Override(c)
+            if c.policy == UdfPolicy::Quarantine));
+        assert!(r.run_meta("guard", &["off".into()]).contains("unguarded"));
+        assert!(matches!(r.session().guard(), GuardMode::Off));
+        assert!(r
+            .run_meta("guard", &["per-join".into()])
+            .contains("per-join"));
+        assert!(matches!(r.session().guard(), GuardMode::PerJoin));
+        assert!(r.run_meta("guard", &["wat".into()]).contains("error"));
     }
 
     #[test]

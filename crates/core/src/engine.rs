@@ -229,6 +229,14 @@ pub trait EngineJoin: Send + Sync {
         }
         Ok(())
     }
+
+    /// The guardrail handle, when the underlying algorithm is wrapped in a
+    /// [`crate::guard::GuardedJoin`]. The executor uses it to surface
+    /// [`crate::guard::UdfStats`], flush deferred violations, and decide
+    /// fallback behavior.
+    fn guard(&self) -> Option<&crate::guard::GuardHandle> {
+        None
+    }
 }
 
 /// Adapter: a registered FUDJ algorithm as an [`EngineJoin`].
@@ -238,6 +246,10 @@ pub trait EngineJoin: Send + Sync {
 pub struct FudjEngineJoin {
     alg: Arc<dyn JoinAlgorithm>,
     translations: AtomicU64,
+    /// Keeps the originating [`crate::registry::JoinDefinition`] pinned while
+    /// a plan holds this strategy, so `DROP JOIN` fails cleanly instead of
+    /// half-removing an entry a query still uses.
+    _lease: Option<crate::registry::JoinLease>,
 }
 
 impl FudjEngineJoin {
@@ -246,6 +258,17 @@ impl FudjEngineJoin {
         FudjEngineJoin {
             alg,
             translations: AtomicU64::new(0),
+            _lease: None,
+        }
+    }
+
+    /// Wrap a registered algorithm while holding a registry lease for the
+    /// lifetime of this strategy (i.e. of the physical plan).
+    pub fn with_lease(alg: Arc<dyn JoinAlgorithm>, lease: crate::registry::JoinLease) -> Self {
+        FudjEngineJoin {
+            alg,
+            translations: AtomicU64::new(0),
+            _lease: Some(lease),
         }
     }
 
@@ -357,6 +380,10 @@ impl EngineJoin for FudjEngineJoin {
             DedupMode::Custom => self.alg.dedup(b1, &e1, b2, &e2, pplan),
             _ => avoidance_accepts(self.alg.as_ref(), b1, &e1, b2, &e2, pplan),
         }
+    }
+
+    fn guard(&self) -> Option<&crate::guard::GuardHandle> {
+        self.alg.guard()
     }
 }
 

@@ -98,6 +98,14 @@ pub trait FlexibleJoin: Send + Sync + 'static {
     ) -> Result<bool> {
         Ok(true)
     }
+
+    /// Exclusive upper bound of the bucket ids `assign` may produce under
+    /// this plan, when the library can declare one. The guardrail layer
+    /// range-checks `assign` output against it; `None` (the default)
+    /// disables the check.
+    fn declared_buckets(&self, _pplan: &Self::PPlan) -> Option<BucketId> {
+        None
+    }
 }
 
 /// Adapts a typed [`FlexibleJoin`] to the engine's type-erased
@@ -253,6 +261,11 @@ impl<J: FlexibleJoin> JoinAlgorithm for ProxyJoin<J> {
     ) -> Result<bool> {
         let plan = self.pplan(pplan, "dedup")?;
         self.join.custom_dedup(b1, k1, b2, k2, plan)
+    }
+
+    fn declared_buckets(&self, pplan: &PPlanState) -> Option<BucketId> {
+        let plan = self.pplan(pplan, "declared_buckets").ok()?;
+        self.join.declared_buckets(plan)
     }
 }
 

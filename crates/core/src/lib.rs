@@ -33,6 +33,7 @@
 
 pub mod engine;
 pub mod flexible;
+pub mod guard;
 pub mod library;
 pub mod model;
 pub mod registry;
@@ -41,7 +42,11 @@ pub mod state;
 
 pub use engine::{reference_execute, EngineJoin, FaultConfig, FudjEngineJoin, RetryPolicy};
 pub use flexible::{FlexibleJoin, ProxyJoin};
+pub use guard::{
+    consume_udf_time, GuardConfig, GuardHandle, GuardMode, GuardedJoin, UdfLimits, UdfPolicy,
+    UdfStats,
+};
 pub use library::{JoinLibrary, JoinLibraryBuilder};
 pub use model::{avoidance_accepts, BucketId, DedupMode, JoinAlgorithm, Side};
-pub use registry::{JoinDefinition, JoinRegistry};
+pub use registry::{JoinDefinition, JoinLease, JoinRegistry};
 pub use state::{PPlanState, StateObject, SummaryState};

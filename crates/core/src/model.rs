@@ -160,7 +160,116 @@ pub trait JoinAlgorithm: Send + Sync {
     ) -> Result<bool> {
         Ok(true)
     }
+
+    // ------------------------------------------------------------------
+    // Guardrail hooks (PR 3)
+    // ------------------------------------------------------------------
+
+    /// Exclusive upper bound of the bucket-id range this plan may assign
+    /// into, when the library declares one. `None` (the default) disables
+    /// the guard layer's range check.
+    fn declared_buckets(&self, _pplan: &PPlanState) -> Option<BucketId> {
+        None
+    }
+
+    /// The guardrail handle, when this algorithm is a
+    /// [`crate::guard::GuardedJoin`] (or forwards to one). Engines use it to
+    /// surface [`crate::guard::UdfStats`], flush deferred violations, and
+    /// decide fallback behavior.
+    fn guard(&self) -> Option<&crate::guard::GuardHandle> {
+        None
+    }
 }
+
+/// Forward the whole [`JoinAlgorithm`] surface through a smart pointer or
+/// reference, so guards and runners can wrap `Arc<dyn JoinAlgorithm>` and
+/// `&dyn JoinAlgorithm` alike.
+macro_rules! forward_join_algorithm {
+    (($($gen:tt)*), $ty:ty) => {
+        impl<$($gen)*> JoinAlgorithm for $ty {
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn new_summary(&self, side: Side) -> SummaryState {
+                (**self).new_summary(side)
+            }
+            fn local_aggregate(
+                &self,
+                side: Side,
+                key: &ExtValue,
+                summary: &mut SummaryState,
+            ) -> Result<()> {
+                (**self).local_aggregate(side, key, summary)
+            }
+            fn global_aggregate(
+                &self,
+                side: Side,
+                a: SummaryState,
+                b: SummaryState,
+            ) -> Result<SummaryState> {
+                (**self).global_aggregate(side, a, b)
+            }
+            fn symmetric(&self) -> bool {
+                (**self).symmetric()
+            }
+            fn divide(
+                &self,
+                left: &SummaryState,
+                right: &SummaryState,
+                params: &[ExtValue],
+            ) -> Result<PPlanState> {
+                (**self).divide(left, right, params)
+            }
+            fn assign(
+                &self,
+                side: Side,
+                key: &ExtValue,
+                pplan: &PPlanState,
+                out: &mut Vec<BucketId>,
+            ) -> Result<()> {
+                (**self).assign(side, key, pplan, out)
+            }
+            fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
+                (**self).matches(b1, b2)
+            }
+            fn uses_default_match(&self) -> bool {
+                (**self).uses_default_match()
+            }
+            fn verify(
+                &self,
+                b1: BucketId,
+                k1: &ExtValue,
+                b2: BucketId,
+                k2: &ExtValue,
+                pplan: &PPlanState,
+            ) -> Result<bool> {
+                (**self).verify(b1, k1, b2, k2, pplan)
+            }
+            fn dedup_mode(&self) -> DedupMode {
+                (**self).dedup_mode()
+            }
+            fn dedup(
+                &self,
+                b1: BucketId,
+                k1: &ExtValue,
+                b2: BucketId,
+                k2: &ExtValue,
+                pplan: &PPlanState,
+            ) -> Result<bool> {
+                (**self).dedup(b1, k1, b2, k2, pplan)
+            }
+            fn declared_buckets(&self, pplan: &PPlanState) -> Option<BucketId> {
+                (**self).declared_buckets(pplan)
+            }
+            fn guard(&self) -> Option<&crate::guard::GuardHandle> {
+                (**self).guard()
+            }
+        }
+    };
+}
+
+forward_join_algorithm!(('a, T: JoinAlgorithm + ?Sized), &'a T);
+forward_join_algorithm!((T: JoinAlgorithm + ?Sized), std::sync::Arc<T>);
 
 /// The framework's default duplicate-avoidance predicate (§IV-C): re-run
 /// `assign` on both keys, enumerate matching bucket pairs in a canonical

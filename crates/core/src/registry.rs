@@ -7,12 +7,14 @@
 //! conditions (§VI-C's detection step is a lookup of the predicate function
 //! signature here).
 
+use crate::guard::GuardConfig;
 use crate::library::JoinLibrary;
 use crate::model::JoinAlgorithm;
 use fudj_types::{DataType, FudjError, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A registered join: the user-visible predicate signature plus the library
@@ -25,6 +27,25 @@ pub struct JoinDefinition {
     library: String,
     class: String,
     algorithm: Arc<dyn JoinAlgorithm>,
+    /// Guardrail configuration for queries using this join (`WITH (...)`
+    /// options of `CREATE JOIN`).
+    guard: GuardConfig,
+    /// In-flight query plans currently holding this definition. `DROP JOIN`
+    /// refuses while non-zero, so no query ever observes a half-removed
+    /// registry entry.
+    active: Arc<AtomicU64>,
+}
+
+/// RAII lease marking a [`JoinDefinition`] as referenced by an in-flight
+/// query plan. Held by the lowered plan; released on drop.
+pub struct JoinLease {
+    active: Arc<AtomicU64>,
+}
+
+impl Drop for JoinLease {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl JoinDefinition {
@@ -56,6 +77,25 @@ impl JoinDefinition {
     /// The algorithm the engine executes.
     pub fn algorithm(&self) -> &Arc<dyn JoinAlgorithm> {
         &self.algorithm
+    }
+
+    /// Guardrail configuration for this join.
+    pub fn guard(&self) -> &GuardConfig {
+        &self.guard
+    }
+
+    /// Mark this definition as referenced by an in-flight plan. While any
+    /// lease is alive, [`JoinRegistry::drop_join`] fails cleanly.
+    pub fn lease(&self) -> JoinLease {
+        self.active.fetch_add(1, Ordering::AcqRel);
+        JoinLease {
+            active: self.active.clone(),
+        }
+    }
+
+    /// Number of live leases.
+    pub fn active_leases(&self) -> u64 {
+        self.active.load(Ordering::Acquire)
     }
 }
 
@@ -117,6 +157,19 @@ impl JoinRegistry {
         class: impl Into<String>,
         library: impl Into<String>,
     ) -> Result<Arc<JoinDefinition>> {
+        self.create_join_with_guard(name, arg_types, class, library, GuardConfig::default())
+    }
+
+    /// [`Self::create_join`] with explicit guardrail options (the `WITH
+    /// (...)` clause of `CREATE JOIN`).
+    pub fn create_join_with_guard(
+        &self,
+        name: impl Into<String>,
+        arg_types: Vec<DataType>,
+        class: impl Into<String>,
+        library: impl Into<String>,
+        guard: GuardConfig,
+    ) -> Result<Arc<JoinDefinition>> {
         let name = name.into();
         let library = library.into();
         let class = class.into();
@@ -144,18 +197,29 @@ impl JoinRegistry {
             library,
             class,
             algorithm,
+            guard,
+            active: Arc::new(AtomicU64::new(0)),
         });
         joins.insert(name, def.clone());
         Ok(def)
     }
 
-    /// `DROP JOIN name(...)`.
+    /// `DROP JOIN name(...)`. Fails cleanly (entry untouched) while any
+    /// in-flight plan holds a lease on the definition.
     pub fn drop_join(&self, name: &str) -> Result<()> {
-        self.joins
-            .write()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| FudjError::JoinNotFound(name.to_owned()))
+        let mut joins = self.joins.write();
+        let def = joins
+            .get(name)
+            .ok_or_else(|| FudjError::JoinNotFound(name.to_owned()))?;
+        let leases = def.active_leases();
+        if leases > 0 {
+            return Err(FudjError::Catalog(format!(
+                "join {name:?} is referenced by {leases} in-flight quer{}",
+                if leases == 1 { "y" } else { "ies" }
+            )));
+        }
+        joins.remove(name);
+        Ok(())
     }
 
     /// FUDJ predicate detection: is `name` a registered join function?

@@ -10,8 +10,9 @@
 //! *reference semantics*: for every workload, the cluster execution must
 //! produce exactly the pairs this code produces.
 
+use crate::guard::{GuardConfig, GuardedJoin, UdfPolicy, UdfStats};
 use crate::model::{avoidance_accepts, BucketId, DedupMode, JoinAlgorithm, Side};
-use fudj_types::{ExtValue, Result};
+use fudj_types::{ExtValue, FudjError, Result};
 use std::collections::HashMap;
 
 /// Statistics the runner gathers along the way — handy when tuning a new
@@ -36,6 +37,12 @@ pub struct StandaloneStats {
 ///
 /// `params` are the query-time parameters (grid size, bucket count,
 /// similarity threshold, ...) forwarded to `divide`.
+///
+/// Like the executor, the runner never invokes user code directly: unless
+/// `alg` is already guarded, it is wrapped in a [`GuardedJoin`] with the
+/// default fail-fast [`GuardConfig`] — zero-cost for well-behaved libraries,
+/// a structured [`FudjError::UdfViolation`] instead of UB for misbehaving
+/// ones.
 pub fn run_standalone(
     alg: &dyn JoinAlgorithm,
     left_keys: &[ExtValue],
@@ -47,6 +54,54 @@ pub fn run_standalone(
 
 /// [`run_standalone`], also returning execution statistics.
 pub fn run_standalone_with_stats(
+    alg: &dyn JoinAlgorithm,
+    left_keys: &[ExtValue],
+    right_keys: &[ExtValue],
+    params: &[ExtValue],
+) -> Result<(Vec<(usize, usize)>, StandaloneStats)> {
+    if alg.guard().is_some() {
+        run_flow(alg, left_keys, right_keys, params)
+    } else {
+        let guarded = GuardedJoin::new(alg, GuardConfig::default());
+        run_flow(&guarded, left_keys, right_keys, params)
+    }
+}
+
+/// Run under an explicit guard configuration, returning the guardrail
+/// counters alongside the pairs. Under [`UdfPolicy::FallbackEquality`], a
+/// violation in a default-equality-match join degrades to the plain
+/// nested-loop equality join on the raw keys.
+pub fn run_guarded(
+    alg: &dyn JoinAlgorithm,
+    config: GuardConfig,
+    left_keys: &[ExtValue],
+    right_keys: &[ExtValue],
+    params: &[ExtValue],
+) -> Result<(Vec<(usize, usize)>, UdfStats)> {
+    let policy = config.policy;
+    let guarded = GuardedJoin::new(alg, config);
+    match run_flow(&guarded, left_keys, right_keys, params) {
+        Ok((pairs, _)) => Ok((pairs, guarded.stats())),
+        Err(FudjError::UdfViolation { .. })
+            if policy == UdfPolicy::FallbackEquality && alg.uses_default_match() =>
+        {
+            guarded.handle().note_fallback();
+            let mut pairs = Vec::new();
+            for (i, k1) in left_keys.iter().enumerate() {
+                for (j, k2) in right_keys.iter().enumerate() {
+                    if k1 == k2 {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+            Ok((pairs, guarded.stats()))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The actual three-phase flow; `alg` is expected to already be guarded.
+fn run_flow(
     alg: &dyn JoinAlgorithm,
     left_keys: &[ExtValue],
     right_keys: &[ExtValue],
@@ -70,6 +125,9 @@ pub fn run_standalone_with_stats(
     // ---- PARTITION ------------------------------------------------------
     let mut scratch: Vec<BucketId> = Vec::new();
     let mut left_buckets: HashMap<BucketId, Vec<usize>> = HashMap::new();
+    if let Some(g) = alg.guard() {
+        g.begin_partition();
+    }
     for (i, k) in left_keys.iter().enumerate() {
         scratch.clear();
         alg.assign(Side::Left, k, &pplan, &mut scratch)?;
@@ -81,6 +139,9 @@ pub fn run_standalone_with_stats(
         }
     }
     let mut right_buckets: HashMap<BucketId, Vec<usize>> = HashMap::new();
+    if let Some(g) = alg.guard() {
+        g.begin_partition();
+    }
     for (j, k) in right_keys.iter().enumerate() {
         scratch.clear();
         alg.assign(Side::Right, k, &pplan, &mut scratch)?;
@@ -119,6 +180,11 @@ pub fn run_standalone_with_stats(
     stats.matched_bucket_pairs = matched.len();
 
     let dedup_mode = alg.dedup_mode();
+    // Avoidance dedup re-invokes `assign`; give the combine phase its own
+    // fan-out window so those re-runs don't count against the partition cap.
+    if let Some(g) = alg.guard() {
+        g.begin_partition();
+    }
     let mut out: Vec<(usize, usize)> = Vec::new();
     for (b1, b2) in matched {
         let lefts = &left_buckets[&b1];
@@ -154,6 +220,12 @@ pub fn run_standalone_with_stats(
         stats.deduped_pairs += before - out.len();
     } else {
         out.sort_unstable();
+    }
+
+    // Surface any violation deferred by a callback with no `Result` channel
+    // (e.g. a panicking `matches`) — nothing gets silently swallowed.
+    if let Some(g) = alg.guard() {
+        g.check()?;
     }
     Ok((out, stats))
 }

@@ -41,7 +41,7 @@ use crate::exchange;
 use crate::executor::{Cluster, PartitionedData};
 use crate::metrics::QueryMetrics;
 use crate::plan::FudjJoinNode;
-use fudj_core::{BucketId, DedupMode, EngineJoin, PPlanState, Side, SummaryState};
+use fudj_core::{BucketId, DedupMode, EngineJoin, PPlanState, Side, SummaryState, UdfPolicy};
 use fudj_types::{FudjError, Result, Row, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -53,7 +53,80 @@ type GroupedRows = (Vec<Row>, HashMap<BucketId, Vec<usize>>);
 type SortedRows = (Vec<Row>, Vec<(BucketId, usize)>);
 
 /// Execute one FUDJ join node.
+///
+/// When the node's join is guarded, this is also the policy seat for
+/// [`UdfPolicy::FallbackEquality`]: a [`FudjError::UdfViolation`] from a
+/// default-equality-match join degrades the whole node to a plain
+/// hash-equality join on the raw keys (re-evaluating the inputs), and the
+/// guard's counters are folded into the query metrics either way.
 pub fn execute(
+    cluster: &Cluster,
+    node: &FudjJoinNode,
+    metrics: &QueryMetrics,
+) -> Result<PartitionedData> {
+    let result = execute_flexible(cluster, node, metrics);
+    let Some(guard) = node.join.guard() else {
+        return result;
+    };
+    let result = match result {
+        Err(FudjError::UdfViolation { .. })
+            if guard.policy() == UdfPolicy::FallbackEquality && node.join.uses_default_match() =>
+        {
+            guard.note_fallback();
+            equality_fallback(cluster, node, metrics)
+        }
+        other => other,
+    };
+    metrics.record_udf(&guard.stats());
+    result
+}
+
+/// The degraded path of [`UdfPolicy::FallbackEquality`]: hash-shuffle both
+/// sides by raw key value and equality-join locally — no user callbacks at
+/// all. Sound only because the planner arms this policy exclusively for
+/// joins whose match predicate is declared to be plain key equality.
+fn equality_fallback(
+    cluster: &Cluster,
+    node: &FudjJoinNode,
+    metrics: &QueryMetrics,
+) -> Result<PartitionedData> {
+    metrics.phase("fallback", || -> Result<PartitionedData> {
+        let workers = cluster.workers();
+        let left_parts = cluster.execute_partitioned(&node.left, metrics)?;
+        let right_parts = if node.self_join {
+            left_parts.clone()
+        } else {
+            cluster.execute_partitioned(&node.right, metrics)?
+        };
+        let lkey = node.left_key;
+        let rkey = node.right_key;
+        let l = exchange::shuffle_by(left_parts, cluster.pool(), metrics, |row| {
+            (exchange::route_hash(row.get(lkey)) as usize) % workers
+        })?;
+        let r = exchange::shuffle_by(right_parts, cluster.pool(), metrics, |row| {
+            (exchange::route_hash(row.get(rkey)) as usize) % workers
+        })?;
+        let zipped: Vec<(Vec<Row>, Vec<Row>)> = l.into_iter().zip(r).collect();
+        cluster.parallel_map(metrics, zipped, |(lrows, rrows)| {
+            let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+            for row in lrows {
+                table.entry(row.get(lkey).clone()).or_default().push(row);
+            }
+            let mut out = Vec::new();
+            for rrow in rrows {
+                if let Some(ls) = table.get(rrow.get(rkey)) {
+                    for lrow in ls {
+                        out.push(lrow.concat(&rrow));
+                    }
+                }
+            }
+            Ok(out)
+        })
+    })
+}
+
+/// Execute one FUDJ join node through the full flexible-join flow.
+fn execute_flexible(
     cluster: &Cluster,
     node: &FudjJoinNode,
     metrics: &QueryMetrics,
@@ -160,6 +233,11 @@ pub fn execute(
             metrics,
         };
         cluster.parallel_map(metrics, zipped, |(lrows, rrows)| {
+            // Avoidance dedup re-invokes `assign`; each combine task gets
+            // its own guard fan-out window.
+            if let Some(g) = join.guard() {
+                g.begin_partition();
+            }
             // §III-B spilling: a worker whose tagged inputs exceed the
             // memory budget grace-partitions them to disk first. Only
             // default-match joins can grace-partition (theta matches span
@@ -174,8 +252,8 @@ pub fn execute(
     })?;
 
     // ---- Duplicate elimination (extra stage) -----------------------------
-    if dedup_mode == DedupMode::Elimination {
-        return metrics.phase("dedup", || -> Result<PartitionedData> {
+    let result = if dedup_mode == DedupMode::Elimination {
+        metrics.phase("dedup", || -> Result<PartitionedData> {
             let shuffled = exchange::shuffle_by_row(joined, cluster.pool(), metrics)?;
             cluster.parallel_map(metrics, shuffled, |rows| {
                 let before = rows.len();
@@ -189,10 +267,17 @@ pub fn execute(
                 metrics.record_dedup_rejections((before - out.len()) as u64);
                 Ok(out)
             })
-        });
-    }
+        })?
+    } else {
+        joined
+    };
 
-    Ok(joined)
+    // Surface any violation deferred by a callback with no `Result` channel
+    // (a panicking theta `matches`) — nothing gets silently swallowed.
+    if let Some(g) = join.guard() {
+        g.check()?;
+    }
+    Ok(result)
 }
 
 /// SUMMARIZE one side: parallel local aggregation, gather, global merge.
@@ -240,6 +325,11 @@ fn assign_and_tag(
     metrics: &QueryMetrics,
 ) -> Result<PartitionedData> {
     cluster.parallel_map(metrics, parts, |rows| {
+        // One task = one partition: open a fresh fan-out window for the
+        // guard's per-partition assign budget.
+        if let Some(g) = join.guard() {
+            g.begin_partition();
+        }
         let mut out = Vec::with_capacity(rows.len());
         let mut buckets: Vec<BucketId> = Vec::new();
         for row in rows {

@@ -50,7 +50,9 @@ pub mod pool;
 
 pub use executor::{Cluster, PartitionedData};
 pub use fault::{DeliveryFault, FaultContext, FaultStats, TaskFault};
-pub use fudj_core::{FaultConfig, RetryPolicy};
+pub use fudj_core::{
+    FaultConfig, GuardConfig, GuardMode, GuardedJoin, RetryPolicy, UdfLimits, UdfPolicy, UdfStats,
+};
 pub use metrics::{MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats};
 pub use plan::{
     AggFunc, Aggregate, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,

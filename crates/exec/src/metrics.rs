@@ -6,7 +6,7 @@
 //! one query execution.
 
 use crate::fault::{FaultContext, FaultStats};
-use fudj_core::FaultConfig;
+use fudj_core::{FaultConfig, UdfStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -126,6 +126,9 @@ pub struct MetricsSnapshot {
     /// Injected-fault and recovery counters (all zero unless the query ran
     /// with an armed [`crate::fault::FaultContext`]).
     pub fault: FaultStats,
+    /// UDF guardrail counters (all zero unless a guarded join caught a
+    /// misbehaving callback).
+    pub udf: UdfStats,
 }
 
 impl MetricsSnapshot {
@@ -272,6 +275,13 @@ impl QueryMetrics {
         let mut m = self.inner.lock();
         m.snap.spilled_rows += rows;
         m.snap.spilled_bytes += bytes;
+    }
+
+    /// Fold one guarded join's guardrail counters into the query totals.
+    /// Called by the FUDJ join operator when a guarded join finishes (or
+    /// aborts) — once per join, with that guard's final snapshot.
+    pub fn record_udf(&self, stats: &UdfStats) {
+        self.inner.lock().snap.udf.merge(stats);
     }
 
     /// Time a phase and record it under `name`. While `f` runs, worker

@@ -4,12 +4,16 @@
 //! duplicates partition deliveries (recovery is supposed to be invisible
 //! at the result level).
 
+use fudj_core::{FudjEngineJoin, GuardConfig, GuardedJoin, JoinAlgorithm, UdfPolicy};
 use fudj_exec::exchange::{gather, rebalance, route_hash, shuffle_by};
 use fudj_exec::{
-    AggFunc, Aggregate, Cluster, FaultConfig, PhysicalPlan, QueryMetrics, SortKey, WorkerPool,
+    AggFunc, Aggregate, Cluster, FaultConfig, FudjJoinNode, PhysicalPlan, QueryMetrics, SortKey,
+    WorkerPool,
 };
+use fudj_joins::evil::{EqualityFudj, EvilJoin, EvilMode, EvilPhase};
+use fudj_joins::poisoned;
 use fudj_storage::DatasetBuilder;
-use fudj_types::{DataType, Field, Row, Schema, Value};
+use fudj_types::{DataType, ExtValue, Field, FudjError, Row, Schema, Value};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -140,6 +144,173 @@ proptest! {
             .map(|a| r.iter().filter(|b| a.1 == b.1).count())
             .sum();
         prop_assert_eq!(batch.len(), expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guardrail properties.
+//
+// The guard layer must be invisible on well-behaved joins (same results,
+// same deterministic execution counters) and must catch every injected
+// violation with the right phase attribution on misbehaving ones.
+// ---------------------------------------------------------------------------
+
+/// `(id, k)` dataset of Long keys.
+fn long_keys_dataset(keys: &[i64], partitions: usize) -> Arc<fudj_storage::Dataset> {
+    let schema = Schema::shared(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("k", DataType::Int64),
+    ]);
+    let d = DatasetBuilder::new("t", schema)
+        .partitions(partitions)
+        .build()
+        .unwrap();
+    for (i, &k) in keys.iter().enumerate() {
+        d.insert(Row::new(vec![Value::Int64(i as i64), Value::Int64(k)]))
+            .unwrap();
+    }
+    Arc::new(d)
+}
+
+fn equality_join_plan(left: &[i64], right: &[i64], alg: Arc<dyn JoinAlgorithm>) -> PhysicalPlan {
+    PhysicalPlan::FudjJoin(FudjJoinNode::new(
+        PhysicalPlan::Scan {
+            dataset: long_keys_dataset(left, 3),
+        },
+        PhysicalPlan::Scan {
+            dataset: long_keys_dataset(right, 3),
+        },
+        Arc::new(FudjEngineJoin::new(alg)),
+        1,
+        1,
+        vec![],
+    ))
+}
+
+fn sorted_id_pairs(batch: &fudj_types::Batch) -> Vec<(i64, i64)> {
+    let mut pairs: Vec<(i64, i64)> = batch
+        .rows()
+        .iter()
+        .map(|r| (r.get(0).as_i64().unwrap(), r.get(2).as_i64().unwrap()))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On a well-behaved join, the guard is invisible: identical result
+    /// pairs and identical deterministic execution counters.
+    #[test]
+    fn guarded_run_equals_unguarded_run_when_udfs_behave(
+        left in prop::collection::vec(0i64..60, 1..50),
+        right in prop::collection::vec(0i64..60, 1..50),
+        workers in 2usize..5,
+    ) {
+        let unguarded: Arc<dyn JoinAlgorithm> = Arc::new(EqualityFudj);
+        let guarded: Arc<dyn JoinAlgorithm> = Arc::new(GuardedJoin::new(
+            Arc::new(EqualityFudj) as Arc<dyn JoinAlgorithm>,
+            GuardConfig::default(),
+        ));
+
+        let (b1, m1) = Cluster::new(workers)
+            .execute(&equality_join_plan(&left, &right, unguarded))
+            .unwrap();
+        let (b2, m2) = Cluster::new(workers)
+            .execute(&equality_join_plan(&left, &right, guarded))
+            .unwrap();
+
+        prop_assert_eq!(sorted_id_pairs(&b1), sorted_id_pairs(&b2));
+        let (s1, s2) = (m1.snapshot(), m2.snapshot());
+        prop_assert_eq!(s1.rows_shuffled, s2.rows_shuffled);
+        prop_assert_eq!(s1.bytes_shuffled, s2.bytes_shuffled);
+        prop_assert_eq!(s1.rows_broadcast, s2.rows_broadcast);
+        prop_assert_eq!(s1.bytes_broadcast, s2.bytes_broadcast);
+        prop_assert_eq!(s1.state_bytes, s2.state_bytes);
+        prop_assert_eq!(s1.verify_calls, s2.verify_calls);
+        prop_assert_eq!(s1.dedup_rejections, s2.dedup_rejections);
+        prop_assert!(!s2.udf.any(), "clean run recorded violations: {:?}", s2.udf);
+    }
+
+    /// Whatever way the library misbehaves, FailFast always surfaces a
+    /// structured violation attributed to the right phase — never a wrong
+    /// answer, never a poisoned pool.
+    #[test]
+    fn injected_violations_are_always_caught_with_the_right_phase(
+        left in prop::collection::vec(0i64..60, 1..40),
+        right in prop::collection::vec(0i64..60, 1..40),
+        workers in 2usize..5,
+        mode_idx in 0usize..8,
+    ) {
+        let (mode, expect_phase) = [
+            (EvilMode::PanicIn(EvilPhase::Summarize), "summarize"),
+            (EvilMode::PanicIn(EvilPhase::Divide), "divide"),
+            (EvilMode::PanicIn(EvilPhase::Assign), "assign"),
+            (EvilMode::PanicIn(EvilPhase::Verify), "verify"),
+            (EvilMode::HangIn(EvilPhase::Summarize, 60_000), "summarize"),
+            (EvilMode::HangIn(EvilPhase::Assign, 60_000), "assign"),
+            (EvilMode::OutOfRangeBucket, "assign"),
+            (EvilMode::OverReplicate(64), "assign"),
+        ][mode_idx];
+
+        // Guarantee the poison set is hit on both sides, and (for the
+        // verify mode) that a poisoned pair actually reaches `verify`.
+        let poison = (0..1000)
+            .find(|v| poisoned(&ExtValue::Long(*v)))
+            .unwrap();
+        let mut left = left;
+        let mut right = right;
+        left.push(poison);
+        right.push(poison);
+
+        let mut config = GuardConfig::default();
+        config.limits.max_buckets_per_key = 16;
+        let guarded: Arc<dyn JoinAlgorithm> = Arc::new(GuardedJoin::new(
+            Arc::new(EvilJoin::new(Arc::new(EqualityFudj), mode)) as Arc<dyn JoinAlgorithm>,
+            config,
+        ));
+        let result = Cluster::new(workers)
+            .execute(&equality_join_plan(&left, &right, guarded));
+        match result {
+            Err(FudjError::UdfViolation { ref phase, .. }) => {
+                prop_assert_eq!(phase, expect_phase, "{:?}", mode)
+            }
+            Err(other) => {
+                prop_assert!(false, "{:?}: expected a UDF violation, got {}", mode, other)
+            }
+            Ok(_) => prop_assert!(false, "{:?}: misbehaving join produced a result", mode),
+        }
+    }
+
+    /// Quarantine under a misbehaving assign drops exactly the poisoned
+    /// keys — the surviving multiset is the clean equality join minus them.
+    #[test]
+    fn quarantine_surviving_results_match_the_oracle(
+        left in prop::collection::vec(0i64..60, 1..50),
+        right in prop::collection::vec(0i64..60, 1..50),
+        workers in 2usize..5,
+    ) {
+        let guarded: Arc<dyn JoinAlgorithm> = Arc::new(GuardedJoin::new(
+            Arc::new(EvilJoin::new(
+                Arc::new(EqualityFudj),
+                EvilMode::PanicIn(EvilPhase::Assign),
+            )) as Arc<dyn JoinAlgorithm>,
+            GuardConfig::with_policy(UdfPolicy::Quarantine),
+        ));
+        let (batch, _) = Cluster::new(workers)
+            .execute(&equality_join_plan(&left, &right, guarded))
+            .unwrap();
+        let mut expected: Vec<(i64, i64)> = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                if l == r && !poisoned(&ExtValue::Long(*l)) {
+                    expected.push((i as i64, j as i64));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(sorted_id_pairs(&batch), expected);
     }
 }
 

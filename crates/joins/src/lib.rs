@@ -22,6 +22,10 @@
 //! * [`autotune`] — the paper's §VIII future work implemented: spatial and
 //!   interval variants that derive their bucket counts from statistics
 //!   gathered during SUMMARIZE instead of a query parameter.
+//! * [`evil`] — adversarial fixtures for the guardrail layer: the
+//!   [`evil::EvilJoin`] wrapper misbehaves in one configurable way
+//!   (panic, hang, out-of-range buckets, non-determinism, replication
+//!   blow-up) so tests can prove [`fudj_core::GuardedJoin`] contains it.
 //!
 //! The [`builtin`] module contains the baselines: the same three algorithms
 //! hand-integrated against the engine's native [`fudj_core::EngineJoin`]
@@ -36,6 +40,7 @@
 pub mod autotune;
 pub mod band;
 pub mod builtin;
+pub mod evil;
 pub mod interval;
 pub mod library;
 pub mod spatial;
@@ -43,6 +48,7 @@ pub mod textsim;
 
 pub use autotune::{IntervalFudjAuto, SpatialFudjAuto};
 pub use band::BandJoin;
+pub use evil::{evil_library, poisoned, EqualityFudj, EvilJoin, EvilMode, EvilPhase};
 pub use interval::IntervalFudj;
 pub use library::standard_library;
 pub use spatial::{SpatialDedup, SpatialFudj};

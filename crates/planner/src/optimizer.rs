@@ -2,7 +2,7 @@
 
 use crate::expr::Expr;
 use crate::logical::LogicalPlan;
-use fudj_core::{EngineJoin, JoinRegistry};
+use fudj_core::{EngineJoin, GuardMode, JoinRegistry};
 use fudj_types::{FudjError, Result, Schema, Value};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -28,6 +28,11 @@ pub struct PlanOptions {
     pub combine: fudj_exec::CombineStrategy,
     /// Per-worker row budget; FUDJ joins exceeding it spill to disk.
     pub memory_budget_rows: Option<usize>,
+    /// UDF guardrail selection: each join definition's own config (the
+    /// default), a session-wide override, or off (unguarded reference runs).
+    /// Applies to registry-resolved joins only — [`Self::join_overrides`]
+    /// are trusted engine strategies and are never wrapped.
+    pub guard: GuardMode,
 }
 
 impl fmt::Debug for PlanOptions {
@@ -41,6 +46,7 @@ impl fmt::Debug for PlanOptions {
             )
             .field("combine", &self.combine)
             .field("memory_budget_rows", &self.memory_budget_rows)
+            .field("guard", &self.guard)
             .finish()
     }
 }

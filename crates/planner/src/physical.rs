@@ -9,7 +9,7 @@
 use crate::expr::{BoundExpr, Expr};
 use crate::logical::LogicalPlan;
 use crate::optimizer::PlanOptions;
-use fudj_core::{FudjEngineJoin, JoinRegistry};
+use fudj_core::{FudjEngineJoin, GuardMode, GuardedJoin, JoinAlgorithm, JoinRegistry};
 use fudj_exec::{Aggregate, FudjJoinNode, PhysicalPlan, SortKey};
 use fudj_types::{Field, FudjError, Result, Row, Schema, SchemaRef, Value};
 use std::sync::Arc;
@@ -211,13 +211,26 @@ fn lower_fudj_join(
     let rschema = right.schema()?;
 
     // Resolve the engine strategy: override first, else the registry.
+    // Registry joins run untrusted library code, so they are wrapped in the
+    // guardrail layer (per the session's GuardMode) and hold a lease that
+    // blocks DROP JOIN for the plan's lifetime. Overrides are trusted engine
+    // strategies and stay unwrapped.
     let strategy = match options.join_overrides.get(join_name) {
         Some(s) => s.clone(),
         None => {
             let def = registry
                 .get(join_name)
                 .ok_or_else(|| FudjError::JoinNotFound(join_name.to_owned()))?;
-            Arc::new(FudjEngineJoin::new(def.algorithm().clone()))
+            let config = match &options.guard {
+                GuardMode::PerJoin => Some(def.guard().clone()),
+                GuardMode::Override(config) => Some(config.clone()),
+                GuardMode::Off => None,
+            };
+            let alg: Arc<dyn JoinAlgorithm> = match config {
+                Some(config) => Arc::new(GuardedJoin::new(def.algorithm().clone(), config)),
+                None => def.algorithm().clone(),
+            };
+            Arc::new(FudjEngineJoin::with_lease(alg, def.lease()))
         }
     };
 

@@ -5,12 +5,15 @@ use fudj_types::DataType;
 /// A parsed statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
-    /// `CREATE JOIN name(a: t, ...) RETURNS boolean AS "class" AT library`
+    /// `CREATE JOIN name(a: t, ...) RETURNS boolean AS "class" AT library
+    /// [WITH (key = value, ...)]` — options configure the guardrail layer
+    /// (policy, budgets) and are interpreted by the session.
     CreateJoin {
         name: String,
         args: Vec<(String, DataType)>,
         class: String,
         library: String,
+        options: Vec<(String, String)>,
     },
     /// `DROP JOIN name(a: t, ...)`
     DropJoin { name: String },

@@ -157,7 +157,8 @@ impl Parser {
         })
     }
 
-    /// `name(a: type, ...) RETURNS boolean AS "class" AT library`
+    /// `name(a: type, ...) RETURNS boolean AS "class" AT library
+    /// [WITH (key = value, ...)]`
     fn create_join(&mut self) -> Result<Statement> {
         let name = self.ident()?.to_ascii_lowercase();
         self.expect(&Token::LParen)?;
@@ -187,11 +188,35 @@ impl Parser {
         };
         self.expect_kw("at")?;
         let library = self.ident()?;
+        let mut options = Vec::new();
+        if self.accept_kw("with") {
+            self.expect(&Token::LParen)?;
+            loop {
+                let key = self.ident()?.to_ascii_lowercase();
+                self.expect(&Token::Eq)?;
+                let value = match self.next()? {
+                    Token::Ident(s) | Token::Str(s) => s,
+                    Token::Int(n) => n.to_string(),
+                    Token::Float(f) => f.to_string(),
+                    other => {
+                        return Err(FudjError::Parse(format!(
+                            "expected option value, found {other}"
+                        )))
+                    }
+                };
+                options.push((key, value));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
         Ok(Statement::CreateJoin {
             name,
             args,
             class,
             library,
+            options,
         })
     }
 
@@ -494,7 +519,29 @@ mod tests {
                 ],
                 class: "setsimilarity.SetSimilarityJoin".into(),
                 library: "flexiblejoins".into(),
+                options: vec![],
             }
+        );
+    }
+
+    #[test]
+    fn parses_create_join_with_guard_options() {
+        let stmt = parse(
+            r#"CREATE JOIN g(a: point, b: polygon) RETURNS boolean
+               AS "spatial.SpatialJoin" AT flexiblejoins
+               WITH (policy = quarantine, budget_ms = 500, check_sample = 1);"#,
+        )
+        .unwrap();
+        let Statement::CreateJoin { options, .. } = stmt else {
+            panic!("not a create join")
+        };
+        assert_eq!(
+            options,
+            vec![
+                ("policy".to_string(), "quarantine".to_string()),
+                ("budget_ms".to_string(), "500".to_string()),
+                ("check_sample".to_string(), "1".to_string()),
+            ]
         );
     }
 

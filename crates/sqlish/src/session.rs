@@ -3,12 +3,52 @@
 use crate::ast::Statement;
 use crate::binder::bind_select;
 use crate::parser::parse;
-use fudj_core::{JoinLibrary, JoinRegistry};
+use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
 use fudj_exec::{Cluster, MetricsSnapshot, NetworkModel};
 use fudj_planner::PlanOptions;
 use fudj_storage::{Catalog, Dataset};
 use fudj_types::{Batch, Result};
 use std::sync::Arc;
+
+/// Interpret the `WITH (key = value, ...)` options of `CREATE JOIN` into a
+/// [`GuardConfig`]. Unknown keys and malformed values are catalog errors so
+/// typos fail the DDL instead of silently running unguarded.
+fn guard_config_from_options(options: &[(String, String)]) -> Result<GuardConfig> {
+    use fudj_types::FudjError;
+    let mut config = GuardConfig::default();
+    for (key, value) in options {
+        let numeric = |what: &str| {
+            value.parse::<u64>().map_err(|_| {
+                FudjError::Catalog(format!("join option {key} expects {what}, got {value:?}"))
+            })
+        };
+        match key.as_str() {
+            "policy" => {
+                config.policy = UdfPolicy::parse(value).ok_or_else(|| {
+                    FudjError::Catalog(format!(
+                        "unknown UDF policy {value:?} (expected failfast, quarantine, \
+                         or fallback)"
+                    ))
+                })?;
+            }
+            "budget_ms" | "call_budget_ms" => config.limits.call_budget_ms = numeric("ms")?,
+            "max_pplan_bytes" => config.limits.max_pplan_bytes = numeric("bytes")? as usize,
+            "max_buckets_per_key" => {
+                config.limits.max_buckets_per_key = numeric("a count")? as usize
+            }
+            "max_assign_fanout" => config.limits.max_assign_fanout = numeric("a count")?,
+            "check_sample" => config.limits.check_sample = numeric("a count")?,
+            other => {
+                return Err(FudjError::Catalog(format!(
+                    "unknown join option {other:?} (expected policy, budget_ms, \
+                     max_pplan_bytes, max_buckets_per_key, max_assign_fanout, \
+                     or check_sample)"
+                )))
+            }
+        }
+    }
+    Ok(config)
+}
 
 /// Result of executing one statement.
 #[derive(Debug)]
@@ -96,6 +136,17 @@ impl Session {
         self.options = options;
     }
 
+    /// How subsequent queries guard user-defined joins: per-join config
+    /// (the default), a session-wide override, or no guarding at all.
+    pub fn set_guard(&mut self, guard: GuardMode) {
+        self.options.guard = guard;
+    }
+
+    /// The active guard mode.
+    pub fn guard(&self) -> &GuardMode {
+        &self.options.guard
+    }
+
     /// Attach a simulated network: subsequent queries charge wall-clock
     /// time for every byte their exchanges move between workers. The
     /// cluster's worker pool (and thus worker thread identity) is kept.
@@ -129,10 +180,12 @@ impl Session {
                 args,
                 class,
                 library,
+                options,
             } => {
+                let guard = guard_config_from_options(&options)?;
                 let arg_types = args.into_iter().map(|(_, t)| t).collect();
                 self.registry
-                    .create_join(&name, arg_types, class, library)?;
+                    .create_join_with_guard(&name, arg_types, class, library, guard)?;
                 Ok(QueryOutput::Ack(format!("created join {name}")))
             }
             Statement::DropJoin { name } => {
@@ -223,6 +276,44 @@ mod tests {
         s.execute("DROP JOIN st_contains(a: polygon, b: point);")
             .unwrap();
         assert!(s.registry().get("st_contains").is_none());
+    }
+
+    #[test]
+    fn create_join_with_options_configures_the_guard() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins
+               WITH (policy = quarantine, budget_ms = 250, check_sample = 1);"#,
+        )
+        .unwrap();
+        let def = s.registry().get("st_contains").unwrap();
+        assert_eq!(def.guard().policy, UdfPolicy::Quarantine);
+        assert_eq!(def.guard().limits.call_budget_ms, 250);
+        assert_eq!(def.guard().limits.check_sample, 1);
+    }
+
+    #[test]
+    fn create_join_rejects_unknown_options() {
+        let s = session();
+        let err = s
+            .execute(
+                r#"CREATE JOIN j(a: polygon, b: point)
+                   RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins
+                   WITH (polici = quarantine);"#,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown join option"), "{err}");
+        assert!(s.registry().get("j").is_none(), "DDL must not half-apply");
+
+        let err = s
+            .execute(
+                r#"CREATE JOIN j(a: polygon, b: point)
+                   RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins
+                   WITH (policy = lenient);"#,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown UDF policy"), "{err}");
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum FudjError {
     Catalog(String),
     /// Wire-format corruption during (de)serialization.
     Wire(String),
+    /// A guarded user callback broke the UDF contract: panicked, blew a
+    /// budget, or failed a guard-layer invariant check. `phase` names the
+    /// callback (`summarize`, `merge`, `divide`, `assign`, `match`,
+    /// `verify`, `dedup`), `site` pins the offending invocation.
+    UdfViolation {
+        phase: String,
+        site: String,
+        detail: String,
+    },
 }
 
 impl FudjError {
@@ -70,6 +79,13 @@ impl fmt::Display for FudjError {
             FudjError::JoinLibrary(msg) => write!(f, "join library error: {msg}"),
             FudjError::Catalog(msg) => write!(f, "catalog error: {msg}"),
             FudjError::Wire(msg) => write!(f, "wire format error: {msg}"),
+            FudjError::UdfViolation {
+                phase,
+                site,
+                detail,
+            } => {
+                write!(f, "UDF violation in {phase} at {site}: {detail}")
+            }
         }
     }
 }

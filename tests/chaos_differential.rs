@@ -10,10 +10,13 @@
 //! `CHAOS_SEEDS=<seed> cargo test --test chaos_differential`.
 
 use fudj_repro::core::{
-    standalone::run_standalone, EngineJoin, FudjEngineJoin, JoinAlgorithm, ProxyJoin,
+    standalone::run_standalone, EngineJoin, FudjEngineJoin, GuardConfig, GuardedJoin,
+    JoinAlgorithm, ProxyJoin, UdfPolicy, UdfStats,
 };
 use fudj_repro::exec::{Cluster, FaultConfig, FaultStats, FudjJoinNode, PhysicalPlan};
 use fudj_repro::geo::{Point, Polygon, Rect};
+use fudj_repro::joins::evil::{EqualityFudj, EvilJoin, EvilMode, EvilPhase};
+use fudj_repro::joins::poisoned;
 use fudj_repro::joins::{IntervalFudj, SpatialDedup, SpatialFudj, TextSimilarityFudj};
 use fudj_repro::storage::DatasetBuilder;
 use fudj_repro::temporal::Interval;
@@ -297,6 +300,82 @@ fn different_seeds_draw_different_schedules() {
         stats.windows(2).any(|p| p[0] != p[1]),
         "four different seeds produced identical schedules: {stats:?}"
     );
+}
+
+/// Chaos × guard: an evil library under the Quarantine policy, executed
+/// under seeded fault injection. Two guarantees compose here: (a) the
+/// surviving result multiset is exactly the fault-free quarantined result
+/// for every seed, and (b) task retries re-running the same poisoned keys
+/// never double-count quarantine/violation counters (the guard dedups
+/// violation sites, so the counters are a function of the data, not of the
+/// recovery schedule).
+#[test]
+fn quarantined_evil_library_survives_chaos_without_double_counting() {
+    let poison_long = |v: i64| poisoned(&ExtValue::Long(v));
+    let pool: Vec<i64> = (0..200).collect();
+    let left: Vec<Value> = pool.iter().map(|v| Value::Int64(v % 40)).collect();
+    let right: Vec<Value> = pool.iter().map(|v| Value::Int64(v % 25)).collect();
+
+    // The guard handle is stateful (violation-site dedup), so every run
+    // gets a fresh wrapper around a fresh evil join.
+    let guarded_plan = || {
+        let evil: Arc<dyn JoinAlgorithm> = Arc::new(EvilJoin::new(
+            Arc::new(EqualityFudj),
+            EvilMode::PanicIn(EvilPhase::Assign),
+        ));
+        let engine: Arc<dyn EngineJoin> = Arc::new(FudjEngineJoin::new(Arc::new(
+            GuardedJoin::new(evil, GuardConfig::with_policy(UdfPolicy::Quarantine)),
+        )));
+        PhysicalPlan::FudjJoin(FudjJoinNode::new(
+            PhysicalPlan::Scan {
+                dataset: dataset("l", &left, WORKERS),
+            },
+            PhysicalPlan::Scan {
+                dataset: dataset("r", &right, WORKERS),
+            },
+            engine,
+            1,
+            1,
+            vec![],
+        ))
+    };
+    let run = |cluster: &Cluster| -> (Vec<(i64, i64)>, UdfStats) {
+        let (batch, metrics) = cluster.execute(&guarded_plan()).unwrap();
+        let mut pairs: Vec<(i64, i64)> = batch
+            .rows()
+            .iter()
+            .map(|r| (r.get(0).as_i64().unwrap(), r.get(2).as_i64().unwrap()))
+            .collect();
+        pairs.sort_unstable();
+        (pairs, metrics.snapshot().udf)
+    };
+
+    // Oracle: the equality join minus every pair touching a poisoned key.
+    let mut expected: Vec<(i64, i64)> = Vec::new();
+    for (i, l) in left.iter().enumerate() {
+        for (j, r) in right.iter().enumerate() {
+            if l == r && !poison_long(l.as_i64().unwrap()) {
+                expected.push((i as i64, j as i64));
+            }
+        }
+    }
+    expected.sort_unstable();
+    assert!(!expected.is_empty(), "degenerate workload");
+
+    let (clean_pairs, clean_udf) = run(&Cluster::new(WORKERS));
+    assert_eq!(clean_pairs, expected, "fault-free quarantine diverged");
+    assert!(clean_udf.quarantined_rows > 0, "{clean_udf:?}");
+    assert!(clean_udf.assign_violations > 0, "{clean_udf:?}");
+
+    for seed in seeds() {
+        let cluster = Cluster::with_faults(WORKERS, FaultConfig::chaos(seed));
+        let (pairs, udf) = run(&cluster);
+        assert_eq!(pairs, expected, "seed {seed}: surviving results diverged");
+        assert_eq!(
+            udf, clean_udf,
+            "seed {seed}: retries double-counted quarantined rows"
+        );
+    }
 }
 
 /// A quiet (all-zero-probability) fault plan is indistinguishable from no
