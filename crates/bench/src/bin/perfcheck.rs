@@ -1,9 +1,78 @@
+//! Quick perf sanity check + machine-readable summary.
+//!
+//! Runs the three paper workloads through the concurrent scheduler
+//! (so each run carries a per-query control clock), times the pool
+//! dispatch overhead against fresh thread spawning, and writes the
+//! results to `BENCH_PR4.json` at the repository root. The JSON format
+//! is documented in `EXPERIMENTS.md`.
+
 use fudj_bench::runner::{measure, RunConfig, Strategy};
 use fudj_bench::workloads::Workload;
-use fudj_exec::WorkerPool;
+use fudj_exec::{MetricsSnapshot, WorkerPool};
+use fudj_planner::PlanOptions;
+use fudj_types::Value;
+use std::fmt::Write as _;
 use std::time::Instant;
 
+/// One workload's scheduled measurement.
+struct WorkloadResult {
+    name: &'static str,
+    wall_seconds: f64,
+    rows: usize,
+    metrics: MetricsSnapshot,
+}
+
+/// Run one workload end to end through `Session::submit`, so the
+/// metrics snapshot carries the scheduler's simulated clock.
+fn scheduled_run(
+    workload: Workload,
+    records: usize,
+    workers: usize,
+    buckets: Option<i64>,
+) -> WorkloadResult {
+    let mut session = workload.session(records, workers, None);
+    let mut options = PlanOptions::default();
+    if let Some(b) = buckets {
+        options.extra_join_params.push(Value::Int64(b));
+    }
+    session.set_options(options);
+
+    let sql = workload.sql(0.9);
+    let start = Instant::now();
+    let handle = session.submit(&sql).expect("perfcheck query must submit");
+    let (batch, metrics) = handle.wait().expect("perfcheck query must run");
+    WorkloadResult {
+        name: workload.name(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        rows: batch.len(),
+        metrics,
+    }
+}
+
+/// Per-worker busy fractions of the run's wall-clock time.
+fn busy_fractions(m: &MetricsSnapshot, wall_seconds: f64) -> Vec<f64> {
+    m.per_worker
+        .iter()
+        .map(|w| {
+            if wall_seconds > 0.0 {
+                w.busy.as_secs_f64() / wall_seconds
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 fn main() {
+    // Warm + best-of-3 end-to-end numbers for the scaling headline.
     for workers in [1usize, 4] {
         let cfg = RunConfig {
             workers,
@@ -15,6 +84,20 @@ fn main() {
             .map(|_| measure(&cfg).seconds)
             .fold(f64::MAX, f64::min);
         println!("end-to-end spatial FUDJ, workers={workers}: best {best:.4}s");
+    }
+
+    // The three paper workloads, scheduled.
+    const WORKERS: usize = 4;
+    let results = [
+        scheduled_run(Workload::Spatial, 2000, WORKERS, Some(32)),
+        scheduled_run(Workload::Interval, 800, WORKERS, Some(64)),
+        scheduled_run(Workload::Text, 600, WORKERS, None),
+    ];
+    for r in &results {
+        println!(
+            "scheduled {}: {} rows, {} bytes shuffled, sim {} ms, wall {:.4}s",
+            r.name, r.rows, r.metrics.bytes_shuffled, r.metrics.sim_clock_ms, r.wall_seconds
+        );
     }
 
     // Dispatch overhead: persistent pool vs a fresh thread batch per call
@@ -47,4 +130,46 @@ fn main() {
         "dispatch of 4 tasks x {CALLS} calls: pool {pooled:?}, fresh spawn {spawned:?} ({:.1}x)",
         spawned.as_secs_f64() / pooled.as_secs_f64()
     );
+
+    // Machine-readable summary (no JSON dependency in the workspace, so
+    // the document is assembled by hand).
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 4,\n");
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let fractions: Vec<String> = busy_fractions(&r.metrics, r.wall_seconds)
+            .into_iter()
+            .map(json_f64)
+            .collect();
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"bytes_shuffled\": {}, \
+             \"simulated_ms\": {}, \"wall_seconds\": {}, \"pool_busy_fractions\": [{}]}}",
+            r.name,
+            r.rows,
+            r.metrics.bytes_shuffled,
+            r.metrics.sim_clock_ms,
+            json_f64(r.wall_seconds),
+            fractions.join(", "),
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"dispatch\": {{\"calls\": {CALLS}, \"tasks_per_call\": 4, \
+         \"pool_seconds\": {}, \"spawn_seconds\": {}, \"spawn_over_pool\": {}}}",
+        json_f64(pooled.as_secs_f64()),
+        json_f64(spawned.as_secs_f64()),
+        json_f64(spawned.as_secs_f64() / pooled.as_secs_f64()),
+    );
+    json.push_str("}\n");
+
+    // The bench crate lives at crates/bench; the JSON lands at the root.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

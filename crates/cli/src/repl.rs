@@ -4,7 +4,9 @@ use crate::render::{render_batch, render_fault_stats, render_udf_stats};
 use fudj_datagen::GeneratorConfig;
 use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
 use fudj_joins::standard_library;
+use fudj_sched::JobHandle;
 use fudj_sql::{QueryOutput, Session};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// What one line of input amounts to.
@@ -24,6 +26,8 @@ pub struct Repl {
     buffer: String,
     timing: bool,
     show_metrics: bool,
+    /// Result handles of `\submit`-ed jobs, consumed by `\await`.
+    jobs: HashMap<u64, JobHandle>,
 }
 
 impl Repl {
@@ -36,6 +40,7 @@ impl Repl {
             buffer: String::new(),
             timing: true,
             show_metrics: false,
+            jobs: HashMap::new(),
         }
     }
 
@@ -234,6 +239,68 @@ impl Repl {
                         .to_owned()
                 }
             },
+            "submit" => {
+                if args.is_empty() {
+                    return "usage: \\submit <select statement>\n".to_owned();
+                }
+                let sql = args.join(" ");
+                match self.session.submit(&sql) {
+                    Ok(handle) => {
+                        let id = handle.id();
+                        let msg =
+                            format!("job {id} submitted; \\jobs tracks it, \\await {id} waits\n");
+                        self.jobs.insert(id, handle);
+                        msg
+                    }
+                    Err(e) => format!("error: {e}\n"),
+                }
+            }
+            "jobs" => {
+                let jobs = self.session.scheduler().jobs();
+                if jobs.is_empty() {
+                    return "no jobs; \\submit <select> schedules one\n".to_owned();
+                }
+                let mut out = String::new();
+                for j in jobs {
+                    let deadline = j
+                        .deadline_ms
+                        .map(|d| format!(", deadline {d} ms"))
+                        .unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "job {}  {:<9} prio {}  stages {}/{}  sim {} ms{}  {}",
+                        j.id,
+                        j.state.to_string(),
+                        j.priority,
+                        j.stages_done,
+                        j.stages_total,
+                        j.sim_clock_ms,
+                        deadline,
+                        j.label,
+                    );
+                    if let Some(e) = &j.error {
+                        let _ = writeln!(out, "    error: {e}");
+                    }
+                }
+                out
+            }
+            "cancel" => match args.first().and_then(|a| a.parse::<u64>().ok()) {
+                Some(id) => match self.session.scheduler().cancel(id) {
+                    Ok(()) => format!("job {id} cancel requested\n"),
+                    Err(e) => format!("error: {e}\n"),
+                },
+                None => "usage: \\cancel <job id>\n".to_owned(),
+            },
+            "await" => match args.first().and_then(|a| a.parse::<u64>().ok()) {
+                Some(id) => match self.jobs.remove(&id) {
+                    Some(handle) => match handle.wait() {
+                        Ok((batch, _)) => render_batch(&batch),
+                        Err(e) => format!("error: {e}\n"),
+                    },
+                    None => format!("error: no pending handle for job {id}\n"),
+                },
+                None => "usage: \\await <job id>\n".to_owned(),
+            },
             "help" | "?" => HELP.to_owned(),
             "q" | "quit" | "exit" => String::new(),
             other => format!("unknown command \\{other}; try \\help\n"),
@@ -361,6 +428,17 @@ pub const HELP: &str = r#"FUDJ shell
                   honors CREATE JOIN ... WITH options), off, or a
                   session-wide policy override (failfast, quarantine,
                   fallback); \metrics shows per-query violation counters
+    \submit <select ...>              schedule a SELECT concurrently; honors
+                                      SET priority / deadline_ms /
+                                      memory_budget_rows
+    \jobs                             list scheduled jobs and their states
+    \await <id>                       wait for a submitted job's rows
+    \cancel <id>                      cancel a queued or running job
+  scheduler knobs (statements, end with ';'):
+    SET max_inflight_queries = N;     SET admission_queue_limit = N;
+    SET memory_quota_rows = N|off;    SET stage_slots = N;
+    SET priority = N;                 SET deadline_ms = N|off;
+    SET memory_budget_rows = N|off;
     \save <ds> <file.csv>             export a dataset to CSV
     \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
                                       existing dataset's)
@@ -544,6 +622,37 @@ mod tests {
             .contains("per-join"));
         assert!(matches!(r.session().guard(), GuardMode::PerJoin));
         assert!(r.run_meta("guard", &["wat".into()]).contains("error"));
+    }
+
+    #[test]
+    fn submit_jobs_await_cancel_lifecycle() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("jobs", &[]).contains("no jobs"));
+        assert!(r.run_meta("submit", &[]).contains("usage"));
+        r.run_meta("sample", &["200".into()]);
+
+        let args: Vec<String> = "SELECT COUNT(*) AS c FROM Parks p"
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        let out = r.run_meta("submit", &args);
+        assert!(out.contains("job 1 submitted"), "{out}");
+
+        let awaited = r.run_meta("await", &["1".into()]);
+        assert!(awaited.contains("(1 row)"), "{awaited}");
+        // The handle is consumed; a second await reports that.
+        assert!(r.run_meta("await", &["1".into()]).contains("error"));
+
+        let jobs = r.run_meta("jobs", &[]);
+        assert!(jobs.contains("job 1") && jobs.contains("done"), "{jobs}");
+
+        // Cancelling an unknown id is an error, not a panic.
+        assert!(r.run_meta("cancel", &["99".into()]).contains("error"));
+        assert!(r.run_meta("cancel", &[]).contains("usage"));
+
+        // SET knobs flow through statements into the scheduler.
+        r.run_statement("SET max_inflight_queries = 2;");
+        assert_eq!(r.session().scheduler().config().max_inflight, 2);
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct JoinDefinition {
     /// Guardrail configuration for queries using this join (`WITH (...)`
     /// options of `CREATE JOIN`).
     guard: GuardConfig,
+    /// Default per-worker row budget for queries using this join (the
+    /// `memory_budget_rows` option of `CREATE JOIN`); exceeding it makes
+    /// the join grace-partition to spill files. Session-level planner
+    /// options override it per query.
+    memory_budget_rows: Option<usize>,
     /// In-flight query plans currently holding this definition. `DROP JOIN`
     /// refuses while non-zero, so no query ever observes a half-removed
     /// registry entry.
@@ -82,6 +87,11 @@ impl JoinDefinition {
     /// Guardrail configuration for this join.
     pub fn guard(&self) -> &GuardConfig {
         &self.guard
+    }
+
+    /// Default per-worker row budget before the join spills, if declared.
+    pub fn memory_budget_rows(&self) -> Option<usize> {
+        self.memory_budget_rows
     }
 
     /// Mark this definition as referenced by an in-flight plan. While any
@@ -170,6 +180,20 @@ impl JoinRegistry {
         library: impl Into<String>,
         guard: GuardConfig,
     ) -> Result<Arc<JoinDefinition>> {
+        self.create_join_full(name, arg_types, class, library, guard, None)
+    }
+
+    /// [`Self::create_join_with_guard`] plus a default per-worker spill
+    /// budget (the `memory_budget_rows` option of `CREATE JOIN`).
+    pub fn create_join_full(
+        &self,
+        name: impl Into<String>,
+        arg_types: Vec<DataType>,
+        class: impl Into<String>,
+        library: impl Into<String>,
+        guard: GuardConfig,
+        memory_budget_rows: Option<usize>,
+    ) -> Result<Arc<JoinDefinition>> {
         let name = name.into();
         let library = library.into();
         let class = class.into();
@@ -198,6 +222,7 @@ impl JoinRegistry {
             class,
             algorithm,
             guard,
+            memory_budget_rows,
             active: Arc::new(AtomicU64::new(0)),
         });
         joins.insert(name, def.clone());

@@ -1,0 +1,141 @@
+//! Per-query control plane: cancellation, simulated-clock deadlines, and
+//! the dispatch gate the scheduler uses to interleave queries.
+//!
+//! A [`QueryControl`] is attached to a query's [`crate::QueryMetrics`]
+//! handle before execution. The worker pool consults it at every task
+//! boundary — the start of each batch, each retry attempt, and after each
+//! simulated backoff — so a cancelled or deadlined query stops at the next
+//! boundary without leaving tasks stranded: the batch that observes the
+//! stop signal still drains all its in-flight completions before
+//! returning, which is what keeps the shared pool reusable afterwards.
+//!
+//! The clock that deadlines are measured against is *simulated* (the same
+//! millisecond clock the fault layer uses): each pool batch advances it by
+//! the batch's simulated makespan, and fault-injection backoff mirrors its
+//! delays into it. No wall-clock time is read, so deadline tests are
+//! exactly reproducible.
+
+use fudj_types::{FudjError, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Cancellation token + simulated-clock deadline for one query execution.
+#[derive(Debug, Default)]
+pub struct QueryControl {
+    label: String,
+    cancelled: AtomicBool,
+    deadline_ms: Option<u64>,
+    sim_clock_ms: AtomicU64,
+}
+
+impl QueryControl {
+    /// Control block for a query labelled `label` (used in error
+    /// messages), with an optional simulated-millisecond deadline.
+    pub fn new(label: impl Into<String>, deadline_ms: Option<u64>) -> Self {
+        QueryControl {
+            label: label.into(),
+            cancelled: AtomicBool::new(false),
+            deadline_ms,
+            sim_clock_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// The query label this control block was created with.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next task
+    /// boundary that calls [`QueryControl::check`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The simulated-millisecond deadline, if any.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
+    /// Current simulated clock reading for this query.
+    pub fn sim_clock_ms(&self) -> u64 {
+        self.sim_clock_ms.load(Ordering::Relaxed)
+    }
+
+    /// Advance this query's simulated clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.sim_clock_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Fail if the query has been cancelled or its deadline has passed.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(FudjError::Cancelled(self.label.clone()));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            let now = self.sim_clock_ms();
+            if now >= deadline {
+                return Err(FudjError::Deadline(format!(
+                    "{}: simulated clock {now} ms passed deadline {deadline} ms",
+                    self.label
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scheduler hook around every pool batch. `enter` blocks until the
+/// scheduler grants this query a dispatch slot (or fails with
+/// `Cancelled`/`Deadline` if the query is stopped while waiting); `exit`
+/// releases the slot. The pool guarantees `exit` is called exactly once
+/// per successful `enter`, and never acquires the gate re-entrantly on
+/// one thread.
+pub trait DispatchGate: Send + Sync {
+    /// Wait for permission to dispatch a batch of `tasks` tasks.
+    fn enter(&self, tasks: usize) -> Result<()>;
+    /// Release the slot taken by `enter`.
+    fn exit(&self, tasks: usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_passes_then_fails_after_cancel() {
+        let c = QueryControl::new("q1", None);
+        assert!(c.check().is_ok());
+        c.cancel();
+        let err = c.check().unwrap_err();
+        assert!(
+            matches!(err, FudjError::Cancelled(ref l) if l == "q1"),
+            "{err}"
+        );
+        // Idempotent.
+        c.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_when_sim_clock_reaches_it() {
+        let c = QueryControl::new("slow", Some(500));
+        assert!(c.check().is_ok());
+        c.advance(499);
+        assert!(c.check().is_ok());
+        c.advance(1);
+        let err = c.check().unwrap_err();
+        assert!(matches!(err, FudjError::Deadline(_)), "{err}");
+        assert!(err.to_string().contains("500"), "{err}");
+    }
+
+    #[test]
+    fn no_deadline_means_only_cancellation_stops_it() {
+        let c = QueryControl::new("free", None);
+        c.advance(u64::MAX / 2);
+        assert!(c.check().is_ok());
+    }
+}

@@ -91,7 +91,23 @@ impl Cluster {
 
     /// Execute a plan and gather the result on the coordinator.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryMetrics)> {
-        let metrics = QueryMetrics::with_config(self.network, self.faults);
+        self.execute_with(plan, None, None)
+    }
+
+    /// Execute a plan under scheduler control: `control` carries the
+    /// query's cancel token and simulated-clock deadline, `gate` is the
+    /// scheduler's dispatch gate (consulted by the pool before every
+    /// batch). Both `None` is exactly [`Cluster::execute`].
+    pub fn execute_with(
+        &self,
+        plan: &PhysicalPlan,
+        control: Option<Arc<crate::control::QueryControl>>,
+        gate: Option<Arc<dyn crate::control::DispatchGate>>,
+    ) -> Result<(Batch, QueryMetrics)> {
+        let mut metrics = QueryMetrics::with_config(self.network, self.faults);
+        if let Some(ctrl) = control {
+            metrics.attach_control(ctrl, gate);
+        }
         let parts = self.execute_partitioned(plan, &metrics)?;
         let rows = exchange::gather(parts, &self.pool, &metrics)?;
         Ok((Batch::new(plan.schema(), rows), metrics))

@@ -287,13 +287,16 @@ impl FaultContext {
     }
 
     /// Advance the simulated clock by the exponential backoff of `attempt`.
-    pub fn backoff(&self, attempt: u32) {
+    /// Returns the simulated milliseconds added, so callers that track a
+    /// per-query clock (scheduler deadlines) can mirror the advance.
+    pub fn backoff(&self, attempt: u32) -> u64 {
         let ms = self
             .config
             .retry
             .backoff_base_ms
             .saturating_mul(1u64 << attempt.min(20));
         self.stats.sim_clock_ms.fetch_add(ms, Ordering::Relaxed);
+        ms
     }
 
     /// Advance the simulated clock by `ms` milliseconds.

@@ -40,6 +40,7 @@
 //! reproducible from the single seed.
 
 pub mod aggregate;
+pub mod control;
 pub mod exchange;
 pub mod executor;
 pub mod fault;
@@ -48,12 +49,15 @@ pub mod metrics;
 pub mod plan;
 pub mod pool;
 
+pub use control::{DispatchGate, QueryControl};
 pub use executor::{Cluster, PartitionedData};
 pub use fault::{DeliveryFault, FaultContext, FaultStats, TaskFault};
 pub use fudj_core::{
     FaultConfig, GuardConfig, GuardMode, GuardedJoin, RetryPolicy, UdfLimits, UdfPolicy, UdfStats,
 };
-pub use metrics::{MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats};
+pub use metrics::{
+    CounterFingerprint, MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats,
+};
 pub use plan::{
     AggFunc, Aggregate, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,
     RowPredicate, SortKey,

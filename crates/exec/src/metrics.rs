@@ -5,6 +5,7 @@
 //! [`QueryMetrics`] is a cheap cloneable handle shared by every operator of
 //! one query execution.
 
+use crate::control::{DispatchGate, QueryControl};
 use crate::fault::{FaultContext, FaultStats};
 use fudj_core::{FaultConfig, UdfStats};
 use parking_lot::Mutex;
@@ -129,6 +130,10 @@ pub struct MetricsSnapshot {
     /// UDF guardrail counters (all zero unless a guarded join caught a
     /// misbehaving callback).
     pub udf: UdfStats,
+    /// Simulated milliseconds of query execution: the control-plane clock
+    /// when a [`QueryControl`] was attached (every pool batch advances
+    /// it), else the fault layer's backoff/straggler clock.
+    pub sim_clock_ms: u64,
 }
 
 impl MetricsSnapshot {
@@ -144,6 +149,25 @@ impl MetricsSnapshot {
     /// Total bytes that touched the simulated network.
     pub fn network_bytes(&self) -> u64 {
         self.bytes_shuffled + self.bytes_broadcast + self.state_bytes
+    }
+
+    /// The deterministic-counter fingerprint of this snapshot — see
+    /// [`CounterFingerprint`].
+    pub fn fingerprint(&self) -> CounterFingerprint {
+        CounterFingerprint {
+            rows_shuffled: self.rows_shuffled,
+            bytes_shuffled: self.bytes_shuffled,
+            rows_broadcast: self.rows_broadcast,
+            bytes_broadcast: self.bytes_broadcast,
+            state_bytes: self.state_bytes,
+            verify_calls: self.verify_calls,
+            dedup_rejections: self.dedup_rejections,
+            spilled_rows: self.spilled_rows,
+            spilled_bytes: self.spilled_bytes,
+            phases: self.phases.iter().map(|(n, _)| n.clone()).collect(),
+            fault: self.fault,
+            udf: self.udf,
+        }
     }
 
     /// Per-phase max/mean worker busy time, in first-completion order.
@@ -173,6 +197,40 @@ impl MetricsSnapshot {
     }
 }
 
+/// The deterministic subset of a [`MetricsSnapshot`]: every counter that
+/// must be bit-identical between a serial and a concurrent (scheduled)
+/// execution of the same query, plus the phase-name sequence. Wall-clock
+/// durations, per-worker busy splits, and the control-plane clock are
+/// deliberately excluded — they legitimately vary with machine load and
+/// interleaving. This is what the scheduler's differential tests compare.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterFingerprint {
+    /// Rows that crossed worker boundaries in hash/random shuffles.
+    pub rows_shuffled: u64,
+    /// Serialized bytes of those rows.
+    pub bytes_shuffled: u64,
+    /// Row deliveries performed by broadcasts.
+    pub rows_broadcast: u64,
+    /// Serialized bytes delivered by broadcasts.
+    pub bytes_broadcast: u64,
+    /// Bytes of join state moved between workers.
+    pub state_bytes: u64,
+    /// `verify` invocations in join operators.
+    pub verify_calls: u64,
+    /// Output pairs dropped by duplicate handling.
+    pub dedup_rejections: u64,
+    /// Rows spilled by memory-budgeted joins.
+    pub spilled_rows: u64,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Phase names in completion order (durations excluded).
+    pub phases: Vec<String>,
+    /// Injected-fault and recovery counters.
+    pub fault: FaultStats,
+    /// UDF guardrail counters.
+    pub udf: UdfStats,
+}
+
 /// Mutable metrics state behind the lock: the public snapshot plus the
 /// stack of currently-open phases (used to attribute worker busy time).
 #[derive(Default)]
@@ -187,6 +245,8 @@ pub struct QueryMetrics {
     inner: Arc<Mutex<MetricsState>>,
     network: Option<NetworkModel>,
     fault: Option<Arc<FaultContext>>,
+    control: Option<Arc<QueryControl>>,
+    gate: Option<Arc<dyn DispatchGate>>,
 }
 
 impl QueryMetrics {
@@ -210,7 +270,32 @@ impl QueryMetrics {
             fault: faults
                 .filter(FaultConfig::is_active)
                 .map(|c| Arc::new(FaultContext::new(c))),
+            control: None,
+            gate: None,
         }
+    }
+
+    /// Attach a scheduler control plane: a per-query cancel/deadline
+    /// token and an optional dispatch gate the pool must pass through
+    /// before every batch. Used by the query scheduler; the plain
+    /// blocking path leaves both unset.
+    pub fn attach_control(
+        &mut self,
+        control: Arc<QueryControl>,
+        gate: Option<Arc<dyn DispatchGate>>,
+    ) {
+        self.control = Some(control);
+        self.gate = gate;
+    }
+
+    /// The attached cancel/deadline token, if any.
+    pub fn control(&self) -> Option<&Arc<QueryControl>> {
+        self.control.as_ref()
+    }
+
+    /// The attached dispatch gate, if any.
+    pub fn gate(&self) -> Option<&Arc<dyn DispatchGate>> {
+        self.gate.as_ref()
     }
 
     /// The active network model, if any.
@@ -308,18 +393,19 @@ impl QueryMetrics {
         }
         m.snap.per_worker[worker].busy += busy;
         if let Some(phase) = m.phase_stack.last().cloned() {
-            let entry = match m
+            let idx = match m
                 .snap
                 .phase_worker_busy
-                .iter_mut()
-                .find(|(n, _)| *n == phase)
+                .iter()
+                .position(|(n, _)| *n == phase)
             {
-                Some((_, v)) => v,
+                Some(i) => i,
                 None => {
                     m.snap.phase_worker_busy.push((phase, Vec::new()));
-                    &mut m.snap.phase_worker_busy.last_mut().expect("just pushed").1
+                    m.snap.phase_worker_busy.len() - 1
                 }
             };
+            let entry = &mut m.snap.phase_worker_busy[idx].1;
             if entry.len() <= worker {
                 entry.resize(worker + 1, Duration::ZERO);
             }
@@ -345,6 +431,10 @@ impl QueryMetrics {
         if let Some(fault) = &self.fault {
             snap.fault = fault.stats();
         }
+        snap.sim_clock_ms = match &self.control {
+            Some(ctrl) => ctrl.sim_clock_ms(),
+            None => snap.fault.sim_clock_ms,
+        };
         snap
     }
 }

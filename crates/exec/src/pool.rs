@@ -21,6 +21,7 @@
 //! [`FudjError::Execution`], and leaves the worker thread alive — one
 //! poisoned query cannot take down the cluster.
 
+use crate::control::{DispatchGate, QueryControl};
 use crate::fault::{FaultContext, TaskFault, SIM_TASK_MS};
 use crate::metrics::QueryMetrics;
 use crossbeam::channel::{unbounded, Sender};
@@ -36,6 +37,40 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 thread_local! {
     /// Set while this thread is executing a pool task (re-entrancy guard).
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Number of dispatch-gate slots this (coordinator) thread currently
+    /// holds. A batch nested inside a gated batch — e.g. an operator that
+    /// fans out again from the coordinator — must not re-acquire the
+    /// gate, or a single-slot scheduler would deadlock against itself.
+    static GATE_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII slot held on the scheduler's dispatch gate for one batch.
+struct GateGuard {
+    gate: Arc<dyn DispatchGate>,
+    tasks: usize,
+}
+
+impl GateGuard {
+    /// Acquire the gate for a batch of `tasks` tasks, unless this thread
+    /// already holds a slot (nested batch) or is a worker thread.
+    fn acquire(metrics: Option<&QueryMetrics>, tasks: usize) -> Result<Option<GateGuard>> {
+        let Some(gate) = metrics.and_then(|m| m.gate().cloned()) else {
+            return Ok(None);
+        };
+        if IN_WORKER.with(|g| g.get()) || GATE_DEPTH.with(|d| d.get()) > 0 {
+            return Ok(None);
+        }
+        gate.enter(tasks)?;
+        GATE_DEPTH.with(|d| d.set(d.get() + 1));
+        Ok(Some(GateGuard { gate, tasks }))
+    }
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        GATE_DEPTH.with(|d| d.set(d.get() - 1));
+        self.gate.exit(self.tasks);
+    }
 }
 
 /// Fixed-size pool of long-lived worker threads, one per simulated
@@ -126,6 +161,14 @@ impl WorkerPool {
         if n == 0 {
             return Ok(Vec::new());
         }
+        // Scheduler control plane: stop at this batch boundary if the
+        // query was cancelled or blew its deadline, then wait for a
+        // dispatch slot (fair-share interleaving happens between batches).
+        let ctrl: Option<Arc<QueryControl>> = metrics.and_then(|m| m.control().cloned());
+        if let Some(c) = &ctrl {
+            c.check()?;
+        }
+        let _gate = GateGuard::acquire(metrics, n)?;
         // One dispatch step per batch, claimed by the coordinator so the
         // fault schedule is identical across runs of the same query.
         let site: Option<FaultSite> =
@@ -145,13 +188,13 @@ impl WorkerPool {
             for (i, item) in items.into_iter().enumerate() {
                 let start = Instant::now();
                 let (worker, sim_ms, result) =
-                    run_task_recovered(&site, &f, i % size, size, i, item);
+                    run_task_recovered(&site, &ctrl, &f, i % size, size, i, item);
                 if let Some(m) = metrics {
                     m.charge_worker_busy(worker, start.elapsed());
                 }
                 done.push((i, worker, sim_ms, result));
             }
-            return finish_batch(&site, n, done);
+            return finish_batch(&site, &ctrl, n, done);
         }
 
         type Sent<R> = (TaskDone<R>, std::time::Duration);
@@ -161,17 +204,19 @@ impl WorkerPool {
             let tx = done_tx.clone();
             let f = &f;
             let site = &site;
+            let ctrl = &ctrl;
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 IN_WORKER.with(|g| g.set(true));
                 let start = Instant::now();
                 let (eff_worker, sim_ms, result) =
-                    run_task_recovered(site, f, worker, size, i, item);
+                    run_task_recovered(site, ctrl, f, worker, size, i, item);
                 IN_WORKER.with(|g| g.set(false));
                 // The receiver outlives every task (see below), so this
                 // send cannot fail while results are still awaited.
                 let _ = tx.send(((i, eff_worker, sim_ms, result), start.elapsed()));
             });
-            // SAFETY: the task borrows `f`/`site` and moves `item`/`tx`,
+            // SAFETY: the task borrows `f`/`site`/`ctrl` and moves
+            // `item`/`tx`,
             // all of which live for the rest of this call. Every submitted
             // task sends exactly one completion message and the loop below
             // blocks until all `n` messages arrive, so no task (and no
@@ -202,7 +247,7 @@ impl WorkerPool {
             }
             done.push(completed);
         }
-        finish_batch(&site, n, done)
+        finish_batch(&site, &ctrl, n, done)
     }
 }
 
@@ -217,9 +262,15 @@ struct FaultSite {
 }
 
 /// Post-process one batch: apply the speculation policy to simulated
-/// straggler durations, advance the simulated clock by the batch
-/// makespan, and collect results in slot order.
-fn finish_batch<R>(site: &Option<FaultSite>, n: usize, done: Vec<TaskDone<R>>) -> Result<Vec<R>> {
+/// straggler durations, advance the simulated clock (both the fault
+/// layer's and the control plane's) by the batch makespan, and collect
+/// results in slot order.
+fn finish_batch<R>(
+    site: &Option<FaultSite>,
+    ctrl: &Option<Arc<QueryControl>>,
+    n: usize,
+    done: Vec<TaskDone<R>>,
+) -> Result<Vec<R>> {
     let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
     if let Some(site) = site {
         let policy = site.ctx.config().retry;
@@ -241,14 +292,28 @@ fn finish_batch<R>(site: &Option<FaultSite>, n: usize, done: Vec<TaskDone<R>>) -
             slots[i] = Some(result);
         }
         site.ctx.advance_sim_clock(makespan);
+        if let Some(c) = ctrl {
+            c.advance(makespan);
+        }
     } else {
         for (i, _, _, result) in done {
             slots[i] = Some(result);
         }
+        if let Some(c) = ctrl {
+            // Fault-free batches still take one simulated task round, so
+            // deadlines mean something without an armed fault plan.
+            c.advance(SIM_TASK_MS);
+        }
     }
     slots
         .into_iter()
-        .map(|s| s.expect("each slot filled exactly once"))
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                Err(FudjError::Execution(
+                    "worker batch lost a task completion (slot never filled)".into(),
+                ))
+            })
+        })
         .collect()
 }
 
@@ -257,8 +322,14 @@ fn finish_batch<R>(site: &Option<FaultSite>, n: usize, done: Vec<TaskDone<R>>) -
 /// never consumed the item), so retrying needs no `Clone` bound and the
 /// real work runs exactly once. Returns the effective worker (changes
 /// under worker loss), the simulated duration, and the result.
+///
+/// An attached [`QueryControl`] is checked at the start of every attempt
+/// and again after every simulated backoff, so a cancellation or a
+/// deadline expiring *inside* the retry loop stops the task there instead
+/// of burning the rest of the retry budget.
 fn run_task_recovered<T, R, F>(
     site: &Option<FaultSite>,
+    ctrl: &Option<Arc<QueryControl>>,
     f: &F,
     worker: usize,
     pool_size: usize,
@@ -269,6 +340,11 @@ where
     F: Fn(usize, T) -> Result<R>,
 {
     let Some(site) = site else {
+        if let Some(c) = ctrl {
+            if let Err(e) = c.check() {
+                return (worker, SIM_TASK_MS, Err(e));
+            }
+        }
         return (worker, SIM_TASK_MS, run_task(f, i, item));
     };
     let ctx = &site.ctx;
@@ -276,6 +352,11 @@ where
     let mut w = worker;
     let mut attempt: u32 = 0;
     loop {
+        if let Some(c) = ctrl {
+            if let Err(e) = c.check() {
+                return (w, SIM_TASK_MS, Err(e));
+            }
+        }
         let Some(fault) = ctx.task_fault(site.step, w, i, attempt) else {
             // Healthy attempt: run the real task, straggling if injected.
             let sim_ms = if ctx.straggles(site.step, w, i) {
@@ -325,7 +406,11 @@ where
             w = (w + 1) % pool_size;
             ctx.note_reexecution();
         }
-        ctx.backoff(attempt);
+        let waited_ms = ctx.backoff(attempt);
+        if let Some(c) = ctrl {
+            // Backoff burns simulated time against this query's deadline.
+            c.advance(waited_ms);
+        }
         ctx.note_task_retry();
         attempt += 1;
     }

@@ -215,12 +215,14 @@ fn lower_fudj_join(
     // guardrail layer (per the session's GuardMode) and hold a lease that
     // blocks DROP JOIN for the plan's lifetime. Overrides are trusted engine
     // strategies and stay unwrapped.
+    let mut def_budget = None;
     let strategy = match options.join_overrides.get(join_name) {
         Some(s) => s.clone(),
         None => {
             let def = registry
                 .get(join_name)
                 .ok_or_else(|| FudjError::JoinNotFound(join_name.to_owned()))?;
+            def_budget = def.memory_budget_rows();
             let config = match &options.guard {
                 GuardMode::PerJoin => Some(def.guard().clone()),
                 GuardMode::Override(config) => Some(config.clone()),
@@ -250,7 +252,10 @@ fn lower_fudj_join(
     let mut node = FudjJoinNode::new(lplan, rplan, strategy, lkey_idx, rkey_idx, params.to_vec());
     node.self_join = self_join;
     node.combine = options.combine;
-    node.memory_budget_rows = options.memory_budget_rows;
+    // Session/query options win; the join definition's own declared
+    // budget (`CREATE JOIN ... WITH (memory_budget_rows = N)`) is the
+    // fallback.
+    node.memory_budget_rows = options.memory_budget_rows.or(def_budget);
     let joined = PhysicalPlan::FudjJoin(node);
 
     // Strip the two key columns so upper operators see the logical schema.

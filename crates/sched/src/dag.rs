@@ -1,0 +1,258 @@
+//! Plan → task-DAG decomposition.
+//!
+//! A [`TaskDag`] describes the stage/task structure a
+//! [`PhysicalPlan`] will execute as: one [`TaskStage`] per pool batch
+//! the engine dispatches, each fanning out to a number of per-partition
+//! tasks, in the order the (single-threaded, per-query) coordinator
+//! drives them. Stages are listed in dependency order — stage `i` only
+//! starts after stage `i-1` completes, matching the engine's
+//! stage-synchronous execution model.
+//!
+//! The DAG is *descriptive*: the engine does not execute it. The
+//! scheduler uses it to size admission decisions and to report progress
+//! (`\jobs` shows `stages_done / stages_total`), and tests use it to
+//! assert that interleaving points exist where they should.
+
+use fudj_core::DedupMode;
+use fudj_exec::PhysicalPlan;
+
+/// What kind of work one stage performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageKind {
+    /// Partition-local computation (filter, project, local join work).
+    Compute,
+    /// An exchange that moves rows between workers.
+    Exchange,
+    /// Coordinator-side work (divide, global sort/limit, final gather).
+    Coordinator,
+}
+
+/// One stage: a batch of per-partition tasks dispatched together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskStage {
+    /// Human-readable stage label, e.g. `join:partition`.
+    pub name: String,
+    /// What the stage does (compute / exchange / coordinator).
+    pub kind: StageKind,
+    /// Number of parallel tasks in the batch (usually the worker count).
+    pub tasks: usize,
+}
+
+/// The per-stage, per-partition task structure of one plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskDag {
+    stages: Vec<TaskStage>,
+}
+
+impl TaskDag {
+    /// Decompose `plan` for a cluster of `workers` workers.
+    pub fn from_plan(plan: &PhysicalPlan, workers: usize) -> Self {
+        let mut dag = TaskDag { stages: Vec::new() };
+        dag.visit(plan, workers);
+        // The coordinator gathers the final partitioned result.
+        dag.push("gather", StageKind::Exchange, workers);
+        dag
+    }
+
+    /// The stages in execution order.
+    pub fn stages(&self) -> &[TaskStage] {
+        &self.stages
+    }
+
+    /// Number of stages (pool batches) the plan executes as.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total per-partition tasks across all stages.
+    pub fn task_count(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    fn push(&mut self, name: &str, kind: StageKind, tasks: usize) {
+        self.stages.push(TaskStage {
+            name: name.to_owned(),
+            kind,
+            tasks: tasks.max(1),
+        });
+    }
+
+    fn visit(&mut self, plan: &PhysicalPlan, workers: usize) {
+        match plan {
+            PhysicalPlan::Scan { .. } => {
+                // Local partition reads on the coordinator; no dispatch.
+                self.push("scan", StageKind::Coordinator, 1);
+            }
+            PhysicalPlan::Filter { input, .. } => {
+                self.visit(input, workers);
+                self.push("filter", StageKind::Compute, workers);
+            }
+            PhysicalPlan::Project { input, .. } => {
+                self.visit(input, workers);
+                self.push("project", StageKind::Compute, workers);
+            }
+            PhysicalPlan::FudjJoin(node) => {
+                self.visit(&node.left, workers);
+                if !node.self_join {
+                    self.visit(&node.right, workers);
+                }
+                self.push("join:summarize", StageKind::Compute, workers);
+                self.push("join:divide", StageKind::Coordinator, 1);
+                self.push("join:partition", StageKind::Exchange, workers);
+                self.push("join:combine", StageKind::Compute, workers);
+                if node.join.dedup_mode() == DedupMode::Elimination {
+                    self.push("join:dedup", StageKind::Exchange, workers);
+                }
+            }
+            PhysicalPlan::NlJoin { left, right, .. } => {
+                self.visit(left, workers);
+                self.visit(right, workers);
+                self.push("nljoin:broadcast", StageKind::Exchange, workers);
+                self.push("nljoin:loop", StageKind::Compute, workers);
+            }
+            PhysicalPlan::HashAggregate { input, .. } => {
+                self.visit(input, workers);
+                self.push("agg:partial", StageKind::Compute, workers);
+                self.push("agg:shuffle", StageKind::Exchange, workers);
+                self.push("agg:final", StageKind::Compute, workers);
+            }
+            PhysicalPlan::Sort { input, .. } => {
+                self.visit(input, workers);
+                self.push("sort", StageKind::Coordinator, workers);
+            }
+            PhysicalPlan::Limit { input, .. } => {
+                self.visit(input, workers);
+                self.push("limit", StageKind::Coordinator, workers);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_storage::DatasetBuilder;
+    use fudj_types::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn scan() -> PhysicalPlan {
+        let schema = Schema::shared(vec![Field::new("id", DataType::Int64)]);
+        let ds = DatasetBuilder::new("t", schema)
+            .partitions(2)
+            .build()
+            .unwrap();
+        PhysicalPlan::Scan {
+            dataset: Arc::new(ds),
+        }
+    }
+
+    #[test]
+    fn aggregate_pipeline_decomposes_in_order() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: Arc::new(|_| Ok(true)),
+            }),
+            group_by: vec![0],
+            aggregates: vec![fudj_exec::Aggregate::count_star("c")],
+        };
+        let dag = TaskDag::from_plan(&plan, 4);
+        let names: Vec<&str> = dag.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "scan",
+                "filter",
+                "agg:partial",
+                "agg:shuffle",
+                "agg:final",
+                "gather"
+            ]
+        );
+        assert_eq!(dag.stage_count(), 6);
+        assert_eq!(dag.task_count(), 1 + 4 * 5);
+        assert_eq!(dag.stages()[1].kind, StageKind::Compute);
+        assert_eq!(dag.stages()[3].kind, StageKind::Exchange);
+    }
+
+    /// An [`fudj_core::EngineJoin`] that is never executed — the DAG
+    /// decomposition only reads the plan's shape.
+    struct StubJoin;
+
+    impl fudj_core::EngineJoin for StubJoin {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn new_summary(&self, _: fudj_core::Side) -> fudj_core::SummaryState {
+            unreachable!("dag tests never execute the join")
+        }
+        fn local_aggregate(
+            &self,
+            _: fudj_core::Side,
+            _: &fudj_types::Value,
+            _: &mut fudj_core::SummaryState,
+        ) -> fudj_types::Result<()> {
+            unreachable!()
+        }
+        fn global_aggregate(
+            &self,
+            _: fudj_core::Side,
+            _: fudj_core::SummaryState,
+            _: fudj_core::SummaryState,
+        ) -> fudj_types::Result<fudj_core::SummaryState> {
+            unreachable!()
+        }
+        fn symmetric(&self) -> bool {
+            true
+        }
+        fn divide(
+            &self,
+            _: &fudj_core::SummaryState,
+            _: &fudj_core::SummaryState,
+            _: &[fudj_types::Value],
+        ) -> fudj_types::Result<fudj_core::PPlanState> {
+            unreachable!()
+        }
+        fn assign(
+            &self,
+            _: fudj_core::Side,
+            _: &fudj_types::Value,
+            _: &fudj_core::PPlanState,
+            _: &mut Vec<fudj_core::BucketId>,
+        ) -> fudj_types::Result<()> {
+            unreachable!()
+        }
+        fn verify(
+            &self,
+            _: fudj_core::BucketId,
+            _: &fudj_types::Value,
+            _: fudj_core::BucketId,
+            _: &fudj_types::Value,
+            _: &fudj_core::PPlanState,
+        ) -> fudj_types::Result<bool> {
+            unreachable!()
+        }
+        fn dedup(
+            &self,
+            _: fudj_core::BucketId,
+            _: &fudj_types::Value,
+            _: fudj_core::BucketId,
+            _: &fudj_types::Value,
+            _: &fudj_core::PPlanState,
+        ) -> fudj_types::Result<bool> {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn self_join_summarizes_one_input() {
+        let mk = |self_join: bool| {
+            let mut node =
+                fudj_exec::FudjJoinNode::new(scan(), scan(), Arc::new(StubJoin), 0, 0, vec![]);
+            node.self_join = self_join;
+            TaskDag::from_plan(&PhysicalPlan::FudjJoin(node), 3)
+        };
+        // The self-join plan scans (and summarizes) its input once.
+        assert_eq!(mk(false).stage_count(), mk(true).stage_count() + 1);
+    }
+}

@@ -17,6 +17,9 @@ pub enum Statement {
     },
     /// `DROP JOIN name(a: t, ...)`
     DropJoin { name: String },
+    /// `SET key = value` — session/scheduler knobs (admission limits,
+    /// priorities, deadlines, spill budgets), interpreted by the session.
+    Set { key: String, value: String },
     /// `SELECT ...`
     Select(SelectStatement),
     /// `EXPLAIN [ANALYZE] SELECT ...`

@@ -23,10 +23,11 @@ pub fn bind_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalP
 
     // Left-deep join chain; the whole WHERE goes on top as a filter, which
     // the optimizer merges into join conditions and pushes down.
-    let mut iter = tables.iter();
-    let (alias, ds) = iter.next().expect("non-empty FROM");
+    let Some(((alias, ds), rest)) = tables.split_first() else {
+        return Err(FudjError::Parse("FROM clause is required".into()));
+    };
     let mut plan = LogicalPlan::scan(ds.clone(), alias.clone());
-    for (alias, ds) in iter {
+    for (alias, ds) in rest {
         plan = plan.join(
             LogicalPlan::scan(ds.clone(), alias.clone()),
             Expr::lit(true),

@@ -133,8 +133,23 @@ impl Parser {
                 name: name.to_ascii_lowercase(),
             });
         }
+        if self.accept_kw("set") {
+            let key = self.ident()?.to_ascii_lowercase();
+            self.expect(&Token::Eq)?;
+            let value = match self.next()? {
+                Token::Ident(s) | Token::Str(s) => s,
+                Token::Int(n) => n.to_string(),
+                Token::Float(f) => f.to_string(),
+                other => {
+                    return Err(FudjError::Parse(format!(
+                        "expected a value for SET {key}, found {other}"
+                    )))
+                }
+            };
+            return Ok(Statement::Set { key, value });
+        }
         Err(FudjError::Parse(format!(
-            "expected SELECT, EXPLAIN, CREATE JOIN, or DROP JOIN, found {}",
+            "expected SELECT, EXPLAIN, CREATE JOIN, DROP JOIN, or SET, found {}",
             self.peek()
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "end of input".into())

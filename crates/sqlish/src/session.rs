@@ -6,16 +6,18 @@ use crate::parser::parse;
 use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
 use fudj_exec::{Cluster, MetricsSnapshot, NetworkModel};
 use fudj_planner::PlanOptions;
+use fudj_sched::{JobHandle, QuerySpec, Scheduler};
 use fudj_storage::{Catalog, Dataset};
-use fudj_types::{Batch, Result};
-use std::sync::Arc;
+use fudj_types::{Batch, FudjError, Result};
+use std::sync::{Arc, Mutex};
 
 /// Interpret the `WITH (key = value, ...)` options of `CREATE JOIN` into a
-/// [`GuardConfig`]. Unknown keys and malformed values are catalog errors so
-/// typos fail the DDL instead of silently running unguarded.
-fn guard_config_from_options(options: &[(String, String)]) -> Result<GuardConfig> {
-    use fudj_types::FudjError;
+/// [`GuardConfig`] plus the join's default spill budget. Unknown keys and
+/// malformed values are catalog errors so typos fail the DDL instead of
+/// silently running unguarded.
+fn join_options(options: &[(String, String)]) -> Result<(GuardConfig, Option<usize>)> {
     let mut config = GuardConfig::default();
+    let mut budget = None;
     for (key, value) in options {
         let numeric = |what: &str| {
             value.parse::<u64>().map_err(|_| {
@@ -38,16 +40,33 @@ fn guard_config_from_options(options: &[(String, String)]) -> Result<GuardConfig
             }
             "max_assign_fanout" => config.limits.max_assign_fanout = numeric("a count")?,
             "check_sample" => config.limits.check_sample = numeric("a count")?,
+            "memory_budget_rows" => {
+                let rows = numeric("a row count")? as usize;
+                budget = (rows > 0).then_some(rows);
+            }
             other => {
                 return Err(FudjError::Catalog(format!(
                     "unknown join option {other:?} (expected policy, budget_ms, \
                      max_pplan_bytes, max_buckets_per_key, max_assign_fanout, \
-                     or check_sample)"
+                     check_sample, or memory_budget_rows)"
                 )))
             }
         }
     }
-    Ok(config)
+    Ok((config, budget))
+}
+
+/// Per-session variables set with `SET key = value`; applied to queries
+/// planned after the `SET`.
+#[derive(Clone, Copy, Debug, Default)]
+struct SessionVars {
+    /// Fair-share weight for submitted queries (0 = scheduler default).
+    priority: u32,
+    /// Simulated-clock deadline for submitted queries.
+    deadline_ms: Option<u64>,
+    /// Per-worker spill budget, overriding planner options and any
+    /// per-join default.
+    memory_budget_rows: Option<usize>,
 }
 
 /// Result of executing one statement.
@@ -86,22 +105,30 @@ impl QueryOutput {
     }
 }
 
-/// A database session: catalog + join registry + cluster + planner options.
+/// A database session: catalog + join registry + cluster + planner options
+/// + the concurrent query scheduler behind `\submit`.
 pub struct Session {
     catalog: Catalog,
     registry: JoinRegistry,
     cluster: Cluster,
     options: PlanOptions,
+    scheduler: Scheduler,
+    /// `SET`-table knobs; a `Mutex` because [`Session::execute`] takes
+    /// `&self` (sessions are shared with in-flight jobs).
+    vars: Mutex<SessionVars>,
 }
 
 impl Session {
     /// Session over a fresh catalog/registry and a cluster of `workers`.
     pub fn new(workers: usize) -> Self {
+        let cluster = Cluster::new(workers);
         Session {
             catalog: Catalog::new(),
             registry: JoinRegistry::new(),
-            cluster: Cluster::new(workers),
+            scheduler: Scheduler::new(cluster.clone()),
+            cluster,
             options: PlanOptions::default(),
+            vars: Mutex::new(SessionVars::default()),
         }
     }
 
@@ -152,6 +179,7 @@ impl Session {
     /// cluster's worker pool (and thus worker thread identity) is kept.
     pub fn set_network(&mut self, network: Option<NetworkModel>) {
         self.cluster.set_network(network);
+        self.scheduler.set_cluster(self.cluster.clone());
     }
 
     /// Arm (or disarm, with `None`) a seeded fault plan: subsequent
@@ -159,6 +187,7 @@ impl Session {
     /// cluster's worker pool is kept, like [`Session::set_network`].
     pub fn set_faults(&mut self, faults: Option<fudj_exec::FaultConfig>) {
         self.cluster.set_faults(faults);
+        self.scheduler.set_cluster(self.cluster.clone());
     }
 
     /// The armed fault plan, if any.
@@ -172,6 +201,107 @@ impl Session {
         self.cluster.clone()
     }
 
+    /// The concurrent query scheduler (`\submit` / `\jobs` / `\cancel`).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    fn vars(&self) -> SessionVars {
+        *self.vars.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Planner options with the session's `SET` variables merged in.
+    fn effective_options(&self) -> PlanOptions {
+        let vars = self.vars();
+        let mut options = self.options.clone();
+        if vars.memory_budget_rows.is_some() {
+            options.memory_budget_rows = vars.memory_budget_rows;
+        }
+        options
+    }
+
+    /// Apply one `SET key = value`. Scheduler knobs take effect for every
+    /// session sharing the scheduler; query knobs (priority, deadline,
+    /// spill budget) stick to this session's subsequent statements.
+    fn apply_set(&self, key: &str, value: &str) -> Result<QueryOutput> {
+        let numeric = || {
+            value.parse::<u64>().map_err(|_| {
+                FudjError::Execution(format!("SET {key} expects a number, got {value:?}"))
+            })
+        };
+        // `0`, `none`, and `off` clear optional knobs.
+        let cleared =
+            value == "0" || value.eq_ignore_ascii_case("none") || value.eq_ignore_ascii_case("off");
+        let optional =
+            || -> Result<Option<u64>> { Ok(if cleared { None } else { Some(numeric()?) }) };
+        let mut vars = self.vars.lock().unwrap_or_else(|e| e.into_inner());
+        match key {
+            "max_inflight_queries" => {
+                let n = numeric()?.max(1) as usize;
+                self.scheduler.reconfigure(|c| c.max_inflight = n);
+            }
+            "admission_queue_limit" => {
+                let n = numeric()? as usize;
+                self.scheduler.reconfigure(|c| c.queue_limit = n);
+            }
+            "memory_quota_rows" => {
+                let quota = optional()?;
+                self.scheduler.reconfigure(|c| c.memory_quota_rows = quota);
+            }
+            "stage_slots" => {
+                let n = numeric()?.max(1) as usize;
+                self.scheduler.reconfigure(|c| c.stage_slots = n);
+            }
+            "priority" => vars.priority = numeric()? as u32,
+            "deadline_ms" => vars.deadline_ms = optional()?,
+            "memory_budget_rows" => vars.memory_budget_rows = optional()?.map(|n| n as usize),
+            other => {
+                return Err(FudjError::Execution(format!(
+                    "unknown SET variable {other:?} (expected max_inflight_queries, \
+                     admission_queue_limit, memory_quota_rows, stage_slots, priority, \
+                     deadline_ms, or memory_budget_rows)"
+                )))
+            }
+        }
+        Ok(QueryOutput::Ack(format!("set {key} = {value}")))
+    }
+
+    /// Submit a SELECT for asynchronous scheduled execution. The query is
+    /// planned now (under the current `SET` variables) and competes with
+    /// other in-flight queries under the scheduler's admission and
+    /// fair-share policies.
+    pub fn submit(&self, sql: &str) -> Result<JobHandle> {
+        match parse(sql)? {
+            Statement::Select(sel) => {
+                let logical = bind_select(&sel, &self.catalog)?;
+                let options = self.effective_options();
+                let physical = fudj_planner::plan(logical, &self.registry, &options)?;
+                let vars = self.vars();
+                let label: String = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+                let label = if label.chars().count() > 48 {
+                    let head: String = label.chars().take(47).collect();
+                    format!("{head}…")
+                } else {
+                    label
+                };
+                let mut spec = QuerySpec::new(Arc::new(physical), label);
+                if vars.priority > 0 {
+                    spec = spec.with_priority(vars.priority);
+                }
+                if let Some(deadline) = vars.deadline_ms {
+                    spec = spec.with_deadline_ms(deadline);
+                }
+                if let Some(budget) = options.memory_budget_rows {
+                    spec = spec.with_memory_budget_rows(budget as u64);
+                }
+                self.scheduler.submit(spec)
+            }
+            other => Err(FudjError::Execution(format!(
+                "only SELECT statements can be submitted, got {other:?}"
+            ))),
+        }
+    }
+
     /// Parse, plan, and execute one statement.
     pub fn execute(&self, sql: &str) -> Result<QueryOutput> {
         match parse(sql)? {
@@ -182,25 +312,28 @@ impl Session {
                 library,
                 options,
             } => {
-                let guard = guard_config_from_options(&options)?;
+                let (guard, budget) = join_options(&options)?;
                 let arg_types = args.into_iter().map(|(_, t)| t).collect();
                 self.registry
-                    .create_join_with_guard(&name, arg_types, class, library, guard)?;
+                    .create_join_full(&name, arg_types, class, library, guard, budget)?;
                 Ok(QueryOutput::Ack(format!("created join {name}")))
             }
             Statement::DropJoin { name } => {
                 self.registry.drop_join(&name)?;
                 Ok(QueryOutput::Ack(format!("dropped join {name}")))
             }
+            Statement::Set { key, value } => self.apply_set(&key, &value),
             Statement::Select(sel) => {
                 let logical = bind_select(&sel, &self.catalog)?;
-                let physical = fudj_planner::plan(logical, &self.registry, &self.options)?;
+                let physical =
+                    fudj_planner::plan(logical, &self.registry, &self.effective_options())?;
                 let (batch, metrics) = self.cluster.execute(&physical)?;
                 Ok(QueryOutput::Rows(batch, Box::new(metrics.snapshot())))
             }
             Statement::Explain { select, analyze } => {
                 let logical = bind_select(&select, &self.catalog)?;
-                let physical = fudj_planner::plan(logical, &self.registry, &self.options)?;
+                let physical =
+                    fudj_planner::plan(logical, &self.registry, &self.effective_options())?;
                 let mut text = physical.explain();
                 if analyze {
                     use std::fmt::Write as _;
@@ -475,6 +608,112 @@ mod tests {
         assert!(s
             .query("CREATE JOIN j(a: string, b: string) RETURNS boolean AS \"x.Y\" AT nolib")
             .is_err());
+    }
+
+    #[test]
+    fn create_join_memory_budget_spills_and_matches_in_memory() {
+        let sql = "SELECT p.id, COUNT(w.id) AS num_fires \
+                   FROM Parks p, Wildfires w \
+                   WHERE ST_Contains(p.boundary, w.location) \
+                   GROUP BY p.id ORDER BY num_fires DESC";
+
+        let run = |budget_clause: &str| {
+            let s = session();
+            s.execute(&format!(
+                r#"CREATE JOIN st_contains(a: polygon, b: point)
+                   RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins{budget_clause};"#
+            ))
+            .unwrap();
+            let out = s.execute(sql).unwrap();
+            let QueryOutput::Rows(batch, metrics) = out else {
+                panic!("expected rows")
+            };
+            // The sort key (num_fires) ties across parks, so normalize the
+            // tie order before comparing.
+            let mut rows = batch.rows().to_vec();
+            rows.sort();
+            (rows, metrics.spilled_rows)
+        };
+
+        let (in_memory, spilled_none) = run("");
+        let (spilled, spilled_rows) = run(" WITH (memory_budget_rows = 4)");
+        assert_eq!(spilled_none, 0, "unbudgeted join must not spill");
+        assert!(spilled_rows > 0, "budget of 4 rows/worker must spill");
+        assert_eq!(in_memory, spilled, "grace spill must not change results");
+    }
+
+    #[test]
+    fn set_memory_budget_rows_overrides_per_query() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM Parks p, Wildfires w \
+                   WHERE st_contains(p.boundary, w.location)";
+
+        let baseline = s.execute(sql).unwrap();
+        assert_eq!(baseline.metrics().spilled_rows, 0);
+        let count = baseline.batch().rows()[0].get(0).clone();
+
+        s.execute("SET memory_budget_rows = 4").unwrap();
+        let budgeted = s.execute(sql).unwrap();
+        assert!(budgeted.metrics().spilled_rows > 0, "SET budget must spill");
+        assert_eq!(budgeted.batch().rows()[0].get(0), &count);
+
+        // `none` clears the variable again.
+        s.execute("SET memory_budget_rows = none").unwrap();
+        let cleared = s.execute(sql).unwrap();
+        assert_eq!(cleared.metrics().spilled_rows, 0);
+    }
+
+    #[test]
+    fn set_configures_scheduler_and_rejects_unknown_keys() {
+        let s = session();
+        s.execute("SET max_inflight_queries = 2").unwrap();
+        s.execute("SET admission_queue_limit = 3").unwrap();
+        s.execute("SET memory_quota_rows = 500").unwrap();
+        s.execute("SET stage_slots = 1").unwrap();
+        let config = s.scheduler().config();
+        assert_eq!(config.max_inflight, 2);
+        assert_eq!(config.queue_limit, 3);
+        assert_eq!(config.memory_quota_rows, Some(500));
+        assert_eq!(config.stage_slots, 1);
+
+        s.execute("SET memory_quota_rows = off").unwrap();
+        assert_eq!(s.scheduler().config().memory_quota_rows, None);
+
+        let err = s.execute("SET warp_drive = 9").unwrap_err();
+        assert!(err.to_string().contains("unknown SET variable"), "{err}");
+        let err = s.execute("SET priority = fast").unwrap_err();
+        assert!(err.to_string().contains("expects a number"), "{err}");
+    }
+
+    #[test]
+    fn submit_runs_selects_concurrently_with_session_vars() {
+        let s = session();
+        s.execute("SET priority = 3").unwrap();
+        s.execute("SET deadline_ms = 60000").unwrap();
+
+        let sql = "SELECT n1.Vendor, COUNT(*) AS c FROM NYCTaxi n1 \
+                   GROUP BY n1.Vendor ORDER BY n1.Vendor";
+        let serial = s.query(sql).unwrap();
+
+        let handles: Vec<_> = (0..3).map(|_| s.submit(sql).unwrap()).collect();
+        for handle in handles {
+            let id = handle.id();
+            let (batch, _) = handle.wait().unwrap();
+            assert_eq!(batch.rows(), serial.rows());
+            let info = s.scheduler().job(id).unwrap();
+            assert_eq!(info.priority, 3);
+            assert_eq!(info.deadline_ms, Some(60_000));
+            assert_eq!(info.state, fudj_sched::JobState::Done);
+        }
+
+        // Only SELECTs are submittable.
+        let err = s.submit("DROP JOIN nope").unwrap_err();
+        assert!(err.to_string().contains("only SELECT"), "{err}");
     }
 
     #[test]

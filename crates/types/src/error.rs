@@ -38,6 +38,14 @@ pub enum FudjError {
         site: String,
         detail: String,
     },
+    /// The query was cancelled (by the user or the scheduler) before it
+    /// could finish.
+    Cancelled(String),
+    /// The query's simulated-clock deadline expired mid-execution.
+    Deadline(String),
+    /// The scheduler refused to admit the query (concurrency or memory
+    /// quota exceeded and the admission queue is full).
+    Admission(String),
 }
 
 impl FudjError {
@@ -86,6 +94,9 @@ impl fmt::Display for FudjError {
             } => {
                 write!(f, "UDF violation in {phase} at {site}: {detail}")
             }
+            FudjError::Cancelled(msg) => write!(f, "query cancelled: {msg}"),
+            FudjError::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
+            FudjError::Admission(msg) => write!(f, "admission rejected: {msg}"),
         }
     }
 }

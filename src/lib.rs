@@ -10,6 +10,8 @@
 //! * [`joins`] — the paper's three example join libraries + baselines;
 //! * [`exec`] — the simulated shared-nothing cluster;
 //! * [`planner`] — the optimizer with the FUDJ rewrite rule;
+//! * [`sched`] — the concurrent query scheduler (admission control,
+//!   fair-share dispatch, cancellation, deadlines);
 //! * [`sql`] — the SQL front end (`CREATE JOIN`, SELECT subset, EXPLAIN);
 //! * [`datagen`] — seeded synthetic datasets standing in for Table I;
 //! * [`types`], [`geo`], [`textutil`], [`temporal`], [`storage`] —
@@ -44,6 +46,7 @@ pub use fudj_exec as exec;
 pub use fudj_geo as geo;
 pub use fudj_joins as joins;
 pub use fudj_planner as planner;
+pub use fudj_sched as sched;
 pub use fudj_sql as sql;
 pub use fudj_storage as storage;
 pub use fudj_temporal as temporal;
