@@ -2,13 +2,14 @@
 //!
 //! Runs the three paper workloads through the concurrent scheduler
 //! (so each run carries a per-query control clock), times the pool
-//! dispatch overhead against fresh thread spawning, and writes the
-//! results to `BENCH_PR4.json` at the repository root. The JSON format
-//! is documented in `EXPERIMENTS.md`.
+//! dispatch overhead against fresh thread spawning, measures the cost
+//! of stage checkpointing (off / on / on while surviving a worker
+//! death), and writes the results to `BENCH_PR5.json` at the repository
+//! root. The JSON format is documented in `EXPERIMENTS.md`.
 
 use fudj_bench::runner::{measure, RunConfig, Strategy};
 use fudj_bench::workloads::Workload;
-use fudj_exec::{MetricsSnapshot, WorkerPool};
+use fudj_exec::{FaultConfig, MetricsSnapshot, WorkerPool};
 use fudj_planner::PlanOptions;
 use fudj_types::Value;
 use std::fmt::Write as _;
@@ -71,6 +72,70 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// One recovery-overhead measurement: the spatial workload with a given
+/// checkpoint policy and (optionally) a seeded death-only fault plan.
+struct RecoveryRow {
+    mode: &'static str,
+    wall_seconds: f64,
+    rows: usize,
+    metrics: MetricsSnapshot,
+}
+
+fn recovery_run(
+    mode: &'static str,
+    records: usize,
+    workers: usize,
+    checkpoints: bool,
+    death_seed: Option<u64>,
+) -> RecoveryRow {
+    let mut session = Workload::Spatial.session(records, workers, None);
+    let mut options = PlanOptions::default();
+    options.extra_join_params.push(Value::Int64(32));
+    session.set_options(options);
+    if let Some(seed) = death_seed {
+        // Deaths only: the row isolates death-recovery cost, not the
+        // transient-fault retry machinery.
+        session.set_faults(Some(FaultConfig {
+            worker_death_prob: 0.35,
+            ..FaultConfig::quiet(seed)
+        }));
+    }
+    if checkpoints {
+        session
+            .execute("SET checkpoint_stages = all;")
+            .expect("checkpoint knob must apply");
+    }
+    let sql = Workload::Spatial.sql(0.9);
+    let start = Instant::now();
+    let output = session.execute(&sql).expect("perfcheck query must run");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    RecoveryRow {
+        mode,
+        wall_seconds,
+        rows: output.batch().len(),
+        metrics: output.metrics().clone(),
+    }
+}
+
+/// The death row must actually contain a death: the schedule is a pure
+/// function of the seed, so scan a small deterministic seed range for
+/// the first run that survives at least one.
+fn recovery_death_run(records: usize, workers: usize) -> RecoveryRow {
+    for seed in 1..64 {
+        let row = recovery_run(
+            "checkpoints_on_with_death",
+            records,
+            workers,
+            true,
+            Some(seed),
+        );
+        if row.metrics.recovery.deaths_survived > 0 {
+            return row;
+        }
+    }
+    panic!("no seed in 1..64 produced a worker death — death arming is broken");
+}
+
 fn main() {
     // Warm + best-of-3 end-to-end numbers for the scaling headline.
     for workers in [1usize, 4] {
@@ -131,10 +196,34 @@ fn main() {
         spawned.as_secs_f64() / pooled.as_secs_f64()
     );
 
+    // Recovery overhead: the same workload with checkpointing off, on,
+    // and on while surviving an injected worker death.
+    let recovery_rows = [
+        recovery_run("checkpoints_off", 2000, WORKERS, false, None),
+        recovery_run("checkpoints_on", 2000, WORKERS, true, None),
+        recovery_death_run(2000, WORKERS),
+    ];
+    let base_rows = recovery_rows[0].rows;
+    for r in &recovery_rows {
+        assert_eq!(r.rows, base_rows, "{}: recovery changed the answer", r.mode);
+        let rec = &r.metrics.recovery;
+        println!(
+            "recovery {}: wall {:.4}s, {} checkpoints ({} bytes), {} restored, \
+             {} recomputed, {} deaths",
+            r.mode,
+            r.wall_seconds,
+            rec.checkpoints_written,
+            rec.checkpoint_bytes_written,
+            rec.partitions_restored,
+            rec.partitions_recomputed,
+            rec.deaths_survived,
+        );
+    }
+
     // Machine-readable summary (no JSON dependency in the workspace, so
     // the document is assembled by hand).
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 4,\n");
+    json.push_str("{\n  \"pr\": 5,\n");
     let _ = writeln!(json, "  \"workers\": {WORKERS},");
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -156,6 +245,32 @@ fn main() {
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"recovery_overhead\": [\n");
+    for (i, r) in recovery_rows.iter().enumerate() {
+        let rec = &r.metrics.recovery;
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"rows\": {}, \"wall_seconds\": {}, \
+             \"checkpoints_written\": {}, \"checkpoint_bytes_written\": {}, \
+             \"checkpoints_read\": {}, \"partitions_restored\": {}, \
+             \"partitions_recomputed\": {}, \"deaths_survived\": {}}}",
+            r.mode,
+            r.rows,
+            json_f64(r.wall_seconds),
+            rec.checkpoints_written,
+            rec.checkpoint_bytes_written,
+            rec.checkpoints_read,
+            rec.partitions_restored,
+            rec.partitions_recomputed,
+            rec.deaths_survived,
+        );
+        json.push_str(if i + 1 < recovery_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"dispatch\": {{\"calls\": {CALLS}, \"tasks_per_call\": 4, \
@@ -167,7 +282,7 @@ fn main() {
     json.push_str("}\n");
 
     // The bench crate lives at crates/bench; the JSON lands at the root.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

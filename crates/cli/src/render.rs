@@ -100,6 +100,30 @@ pub fn render_fault_stats(snapshot: &MetricsSnapshot) -> String {
     )
 }
 
+/// Render the checkpoint/recovery counters of one query, or an empty
+/// string when the recovery layer was idle (so ordinary runs print
+/// nothing new).
+pub fn render_recovery_stats(snapshot: &MetricsSnapshot) -> String {
+    let r = &snapshot.recovery;
+    if !r.any() {
+        return String::new();
+    }
+    format!(
+        "Recovery: {} checkpoints written ({} bytes, {} evicted), {} read; \
+         {} deaths survived ({} partitions restored, {} recomputed, \
+         {} full-stage replays); {} workers quarantined\n",
+        r.checkpoints_written,
+        r.checkpoint_bytes_written,
+        r.checkpoints_evicted,
+        r.checkpoints_read,
+        r.deaths_survived,
+        r.partitions_restored,
+        r.partitions_recomputed,
+        r.full_stage_replays,
+        r.workers_quarantined,
+    )
+}
+
 /// Render the UDF guardrail counters of one query, or an empty string when
 /// every user callback behaved (so well-behaved runs print nothing new).
 pub fn render_udf_stats(snapshot: &MetricsSnapshot) -> String {

@@ -1,6 +1,6 @@
 //! The REPL engine: statement accumulation, meta commands, execution.
 
-use crate::render::{render_batch, render_fault_stats, render_udf_stats};
+use crate::render::{render_batch, render_fault_stats, render_recovery_stats, render_udf_stats};
 use fudj_datagen::GeneratorConfig;
 use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
 use fudj_joins::standard_library;
@@ -106,6 +106,7 @@ impl Repl {
                         );
                     }
                     out.push_str(&render_fault_stats(&metrics));
+                    out.push_str(&render_recovery_stats(&metrics));
                     out.push_str(&render_udf_stats(&metrics));
                 }
                 out
@@ -175,6 +176,18 @@ impl Repl {
                             .to_owned()
                     }
                 }
+                Some("deaths") => match args.get(1).map(|a| a.parse::<u64>()) {
+                    Some(Ok(seed)) => {
+                        self.session
+                            .set_faults(Some(FaultConfig::chaos_with_deaths(seed)));
+                        format!(
+                            "chaos on with worker deaths (seed {seed}): stage boundaries \
+                             may permanently kill a worker; SET checkpoint_stages = all \
+                             enables partial recovery, \\workers shows membership\n"
+                        )
+                    }
+                    _ => "usage: \\chaos deaths <seed>\n".to_owned(),
+                },
                 Some(arg) => match arg.parse::<u64>() {
                     Ok(seed) => {
                         self.session.set_faults(Some(FaultConfig::chaos(seed)));
@@ -185,6 +198,44 @@ impl Repl {
                     }
                     Err(_) => format!("error: bad seed {arg:?}; usage: \\chaos <seed>\n"),
                 },
+            },
+            "workers" => match args.first().map(String::as_str) {
+                None => {
+                    let mut out = String::new();
+                    for info in self.session.workers_status() {
+                        let state = match info.state {
+                            fudj_exec::WorkerState::Active => "active",
+                            fudj_exec::WorkerState::Dead => "dead",
+                            fudj_exec::WorkerState::Quarantined => "quarantined",
+                            fudj_exec::WorkerState::Decommissioned => "decommissioned",
+                        };
+                        let _ = writeln!(
+                            out,
+                            "worker {}  {:<14} {} injected failure{}",
+                            info.worker,
+                            state,
+                            info.failures,
+                            if info.failures == 1 { "" } else { "s" },
+                        );
+                    }
+                    out
+                }
+                Some("drop") => match args.get(1).and_then(|a| a.parse::<usize>().ok()) {
+                    Some(w) => match self.session.decommission_worker(w) {
+                        Ok(()) => format!(
+                            "worker {w} decommissioned; its partitions rehash onto survivors\n"
+                        ),
+                        Err(e) => format!("error: {e}\n"),
+                    },
+                    None => "usage: \\workers drop <worker id>\n".to_owned(),
+                },
+                Some("add") => match self.session.add_worker() {
+                    Ok(w) => format!("worker {w} rejoined the cluster\n"),
+                    Err(e) => format!("error: {e}\n"),
+                },
+                Some(other) => {
+                    format!("error: unknown subcommand {other:?}; usage: \\workers [drop <id>|add]\n")
+                }
             },
             "guard" => match args.first().map(String::as_str) {
                 None => format!("guard mode: {}\n", guard_mode_text(self.session.guard())),
@@ -424,6 +475,15 @@ pub const HELP: &str = r#"FUDJ shell
     \chaos <seed> run queries under deterministic fault injection (task
                   panics, lost workers, stragglers, dropped/duplicated
                   shuffles) with automatic recovery; \chaos off disarms
+    \chaos deaths <seed>              like \chaos, plus permanent worker
+                                      deaths at stage boundaries; pair with
+                                      SET checkpoint_stages = all for
+                                      partial (lineage-scoped) recovery
+    \workers      per-worker membership (active/dead/quarantined/
+                  decommissioned) and failure counts
+    \workers drop <id>                decommission a worker (partitions
+                                      rehash deterministically onto the
+                                      survivors); \workers add rejoins one
     \guard [mode] show or set the UDF guardrail mode: per-join (default,
                   honors CREATE JOIN ... WITH options), off, or a
                   session-wide policy override (failfast, quarantine,
@@ -439,6 +499,10 @@ pub const HELP: &str = r#"FUDJ shell
     SET memory_quota_rows = N|off;    SET stage_slots = N;
     SET priority = N;                 SET deadline_ms = N|off;
     SET memory_budget_rows = N|off;
+  recovery knobs (statements, end with ';'):
+    SET checkpoint_stages = all|off|'stage,stage,...';
+    SET checkpoint_budget_bytes = N|off;
+    SET worker_quarantine_threshold = N|off;
     \save <ds> <file.csv>             export a dataset to CSV
     \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
                                       existing dataset's)
@@ -604,6 +668,50 @@ mod tests {
         assert!(chaotic.contains("Faults:"), "{chaotic}");
         let count_of = |s: &str| s.lines().nth(2).map(str::to_owned);
         assert_eq!(count_of(&clean), count_of(&chaotic));
+    }
+
+    #[test]
+    fn workers_listing_and_membership_commands() {
+        let mut r = Repl::new(3);
+        let out = r.run_meta("workers", &[]);
+        assert!(out.contains("worker 0  active"), "{out}");
+        assert!(out.contains("worker 2  active"), "{out}");
+
+        let dropped = r.run_meta("workers", &["drop".into(), "1".into()]);
+        assert!(dropped.contains("decommissioned"), "{dropped}");
+        let out = r.run_meta("workers", &[]);
+        assert!(out.contains("worker 1  decommissioned"), "{out}");
+
+        // Queries still answer with a worker out of the routing set.
+        r.run_meta("sample", &["150".into()]);
+        let rows = r.run_statement("SELECT COUNT(*) AS c FROM Parks p;");
+        assert!(rows.contains("150"), "{rows}");
+
+        let added = r.run_meta("workers", &["add".into()]);
+        assert!(added.contains("worker 1 rejoined"), "{added}");
+        // At full strength another add is an error, as is dropping the
+        // last active worker twice over.
+        assert!(r.run_meta("workers", &["add".into()]).contains("error"));
+        assert!(r.run_meta("workers", &["drop".into()]).contains("usage"));
+        assert!(r.run_meta("workers", &["wat".into()]).contains("error"));
+    }
+
+    #[test]
+    fn chaos_deaths_arms_death_plan_and_recovers() {
+        let mut r = Repl::new(3);
+        assert!(r.run_meta("chaos", &["deaths".into()]).contains("usage"));
+        let on = r.run_meta("chaos", &["deaths".into(), "11".into()]);
+        assert!(on.contains("worker deaths (seed 11)"), "{on}");
+        assert!(r.session().faults().map(|f| f.worker_death_prob > 0.0) == Some(true));
+
+        r.run_meta("sample", &["200".into()]);
+        r.run_statement("SET checkpoint_stages = all;");
+        let out = r.run_statement(
+            "SELECT COUNT(*) AS c FROM NYCTaxi n1, NYCTaxi n2 \
+             WHERE n1.Vendor = 1 AND n2.Vendor = 2 \
+               AND overlapping_interval(n1.ride_interval, n2.ride_interval);",
+        );
+        assert!(!out.starts_with("error:"), "{out}");
     }
 
     #[test]

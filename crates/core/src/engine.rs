@@ -76,6 +76,12 @@ pub struct FaultConfig {
     /// Chance the worker running a task attempt is "lost"; the task is
     /// re-executed on the next surviving worker.
     pub worker_loss_prob: f64,
+    /// Chance a whole worker dies *permanently* at a stage boundary
+    /// (vs. the transient loss above): its resident partitions are gone
+    /// and it takes no further tasks. Recovery restores the lost
+    /// partitions from stage checkpoints when they cover the loss, and
+    /// falls back to a full-stage replay otherwise.
+    pub worker_death_prob: f64,
     /// Chance a task runs as a straggler (simulated slowdown by
     /// [`RetryPolicy::straggler_factor`], candidate for speculation).
     pub straggler_prob: f64,
@@ -99,10 +105,21 @@ impl FaultConfig {
             panic_prob: 0.04,
             transient_prob: 0.06,
             worker_loss_prob: 0.03,
+            worker_death_prob: 0.0,
             straggler_prob: 0.08,
             drop_prob: 0.05,
             duplicate_prob: 0.05,
             retry: RetryPolicy::default(),
+        }
+    }
+
+    /// [`FaultConfig::chaos`] plus permanent worker deaths at stage
+    /// boundaries — the harshest plan: every recovery path including
+    /// checkpoint restore / full-stage replay is exercised.
+    pub fn chaos_with_deaths(seed: u64) -> Self {
+        FaultConfig {
+            worker_death_prob: 0.12,
+            ..FaultConfig::chaos(seed)
         }
     }
 
@@ -114,6 +131,7 @@ impl FaultConfig {
             panic_prob: 0.0,
             transient_prob: 0.0,
             worker_loss_prob: 0.0,
+            worker_death_prob: 0.0,
             straggler_prob: 0.0,
             drop_prob: 0.0,
             duplicate_prob: 0.0,
@@ -126,6 +144,7 @@ impl FaultConfig {
         self.panic_prob > 0.0
             || self.transient_prob > 0.0
             || self.worker_loss_prob > 0.0
+            || self.worker_death_prob > 0.0
             || self.straggler_prob > 0.0
             || self.drop_prob > 0.0
             || self.duplicate_prob > 0.0

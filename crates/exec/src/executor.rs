@@ -5,7 +5,9 @@ use crate::exchange;
 use crate::metrics::QueryMetrics;
 use crate::plan::{Aggregate, PhysicalPlan, SortKey};
 use crate::pool::WorkerPool;
-use fudj_types::{Batch, DataType, Result, Row, Value};
+use crate::recovery::{self, ClusterRecovery, Membership, WorkerInfo};
+use fudj_storage::{CheckpointPolicy, CheckpointStore};
+use fudj_types::{Batch, DataType, FudjError, Result, Row, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -24,6 +26,7 @@ pub struct Cluster {
     network: Option<crate::metrics::NetworkModel>,
     faults: Option<fudj_core::FaultConfig>,
     pool: Arc<WorkerPool>,
+    recovery: Arc<ClusterRecovery>,
 }
 
 impl Cluster {
@@ -38,6 +41,7 @@ impl Cluster {
             network: None,
             faults: None,
             pool: Arc::new(WorkerPool::new(workers)),
+            recovery: Arc::new(ClusterRecovery::new(workers)),
         }
     }
 
@@ -89,6 +93,59 @@ impl Cluster {
         &self.pool
     }
 
+    /// The shared stage-checkpoint store (clones share one store).
+    pub fn checkpoints(&self) -> &Arc<CheckpointStore> {
+        self.recovery.store()
+    }
+
+    /// The shared worker membership (clones share one membership).
+    pub fn membership(&self) -> &Arc<Membership> {
+        self.recovery.membership()
+    }
+
+    /// Choose which stage outputs get checkpointed. `Off` (the default)
+    /// writes nothing; `All` snapshots every checkpointable boundary;
+    /// `Stages` restricts to the named stage base names.
+    pub fn set_checkpoint_policy(&self, policy: CheckpointPolicy) {
+        self.recovery.set_policy(policy);
+    }
+
+    /// The current checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.recovery.policy()
+    }
+
+    /// Bound the checkpoint store (`None` = unlimited). Shrinking evicts
+    /// oldest-first immediately.
+    pub fn set_checkpoint_budget(&self, budget_bytes: Option<u64>) {
+        self.recovery.store().set_budget(budget_bytes);
+    }
+
+    /// Set the per-worker failure-count quarantine threshold (0 disables
+    /// the circuit breaker).
+    pub fn set_quarantine_threshold(&self, threshold: u64) {
+        self.membership().set_quarantine_threshold(threshold);
+    }
+
+    /// Administratively remove worker `w` from new task grants. Its
+    /// partitions reroute to survivors (rendezvous-hashed, so unaffected
+    /// partitions don't move); the pool thread stays parked in its slot.
+    pub fn decommission_worker(&self, w: usize) -> Result<()> {
+        self.membership().decommission(w)
+    }
+
+    /// Bring a replacement worker into the first inactive slot (dead,
+    /// quarantined, or decommissioned) and return its id. The pool's
+    /// provisioned size is the elasticity ceiling.
+    pub fn add_worker(&self) -> Result<usize> {
+        self.membership().add()
+    }
+
+    /// Per-slot membership state + failure counters, for `\workers`.
+    pub fn workers_status(&self) -> Vec<WorkerInfo> {
+        self.membership().snapshot()
+    }
+
     /// Execute a plan and gather the result on the coordinator.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryMetrics)> {
         self.execute_with(plan, None, None)
@@ -108,9 +165,19 @@ impl Cluster {
         if let Some(ctrl) = control {
             metrics.attach_control(ctrl, gate);
         }
-        let parts = self.execute_partitioned(plan, &metrics)?;
-        let rows = exchange::gather(parts, &self.pool, &metrics)?;
-        Ok((Batch::new(plan.schema(), rows), metrics))
+        if let Some(rec) = self.recovery.attach(self.faults.as_ref()) {
+            metrics.attach_recovery(rec);
+        }
+        let rows = (|| {
+            let parts = self.execute_partitioned(plan, &metrics)?;
+            exchange::gather(parts, &self.pool, &metrics)
+        })();
+        if let Some(rec) = metrics.recovery() {
+            // The query's lineage is complete (or abandoned): its
+            // checkpoints can never be needed again.
+            rec.finish();
+        }
+        Ok((Batch::new(plan.schema(), rows?), metrics))
     }
 
     /// Execute a plan, leaving the result partitioned across workers.
@@ -263,9 +330,31 @@ impl Cluster {
 
         // Step 2: shuffle partials by group key, merge, finalize.
         let width = group_by.len();
-        let shuffled = exchange::shuffle_by(partials, &self.pool, metrics, |row| {
-            (exchange::route_hash(&row.values()[..width]) as usize) % self.workers
-        })?;
+        let router =
+            |row: &Row| (exchange::route_hash(&row.values()[..width]) as usize) % self.workers;
+        // A worker death at the post-shuffle boundary loses that worker's
+        // partial groups; without a checkpoint the whole shuffle replays
+        // from the (still partition-local) partials.
+        let replay_src = match metrics.recovery() {
+            Some(r) if r.deaths_armed() => Some(partials.clone()),
+            _ => None,
+        };
+        let mut shuffled = exchange::shuffle_by(partials, &self.pool, metrics, router)?;
+        recovery::stage_boundary(
+            metrics,
+            "agg:shuffle",
+            &mut [("partials", &mut shuffled)],
+            || {
+                let src = replay_src.clone().ok_or_else(|| {
+                    FudjError::Execution(
+                        "agg:shuffle replay requested without retained inputs".into(),
+                    )
+                })?;
+                Ok(vec![exchange::shuffle_by(
+                    src, &self.pool, metrics, router,
+                )?])
+            },
+        )?;
         self.parallel_map(metrics, shuffled, |rows| {
             let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
             for row in &rows {

@@ -135,6 +135,7 @@ pub const SIM_TASK_MS: u64 = 100;
 const SALT_TASK: u64 = 0x7461736b_66617532; // "task" / "fau2"
 const SALT_STRAGGLER: u64 = 0x73747261_67676c65; // "straggle"
 const SALT_DELIVERY: u64 = 0x64656c69_76657279; // "delivery"
+const SALT_DEATH: u64 = 0x64656164_6e6f6465; // "deadnode"
 
 /// One query's armed fault plan: configuration + deterministic decision
 /// oracle + recovery counters + simulated clock.
@@ -222,6 +223,26 @@ impl FaultContext {
         } else {
             None
         }
+    }
+
+    /// Whether a *permanent* worker death strikes at the stage boundary
+    /// that claimed dispatch `step`. Unlike [`TaskFault::WorkerLoss`]
+    /// (transient: the task re-executes and the worker keeps serving),
+    /// a death removes the worker and its resident partitions for good —
+    /// the recovery layer (`crate::recovery`) restores the lost
+    /// partitions from checkpoints or replays the stage.
+    ///
+    /// Returns a deterministic victim-selector word when a death strikes;
+    /// callers map it onto the currently-active worker set. Callers must
+    /// only claim a dispatch step for this site when
+    /// `worker_death_prob > 0`, so fault schedules of death-free configs
+    /// stay bit-identical to earlier revisions.
+    pub fn worker_death(&self, step: u64) -> Option<u64> {
+        let p = self.config.worker_death_prob;
+        if p <= 0.0 || self.roll(SALT_DEATH, &[step]) >= p {
+            return None;
+        }
+        Some(mix(self.config.seed ^ SALT_DEATH, &[step, u64::MAX]))
     }
 
     /// Whether the (successful) execution of `task` on `worker` straggles.

@@ -41,6 +41,7 @@ use crate::exchange;
 use crate::executor::{Cluster, PartitionedData};
 use crate::metrics::QueryMetrics;
 use crate::plan::FudjJoinNode;
+use crate::recovery;
 use fudj_core::{BucketId, DedupMode, EngineJoin, PPlanState, Side, SummaryState, UdfPolicy};
 use fudj_types::{FudjError, Result, Row, Value};
 use std::collections::{HashMap, HashSet};
@@ -178,50 +179,74 @@ fn execute_flexible(
 
     // ---- PARTITION -------------------------------------------------------
     let default_match = join.uses_default_match();
-    let (left_tagged, right_tagged) = metrics.phase("partition", || -> Result<_> {
-        let lt = assign_and_tag(
-            cluster,
-            join,
-            Side::Left,
-            left_parts,
-            node.left_key,
-            &pplan,
-            metrics,
-        )?;
-        let rt = assign_and_tag(
-            cluster,
-            join,
-            Side::Right,
-            right_parts,
-            node.right_key,
-            &pplan,
-            metrics,
-        )?;
-        if default_match {
-            // Hash partitioning by bucket id: matching buckets co-locate.
-            // Total over any row shape — an untagged row (impossible
-            // after assign_and_tag, but not worth a panic on the query
-            // path) routes to worker 0.
-            let bucket_col = |row: &Row| match row.values().last() {
-                Some(bucket) => (exchange::route_hash(bucket) as usize) % workers,
-                None => 0,
-            };
-            let l = exchange::shuffle_by(lt, cluster.pool(), metrics, bucket_col)?;
-            let r = exchange::shuffle_by(rt, cluster.pool(), metrics, bucket_col)?;
-            Ok((l, r))
-        } else {
-            // Theta multi-join: no partitioning scheme applies. Rebalance
-            // one side, broadcast the other.
-            let l = exchange::rebalance(lt, cluster.pool(), metrics)?;
-            let r = exchange::broadcast(rt, cluster.pool(), metrics)?;
-            Ok((l, r))
-        }
-    })?;
+    let run_partition =
+        |lp: PartitionedData, rp: PartitionedData| -> Result<(PartitionedData, PartitionedData)> {
+            let lt = assign_and_tag(
+                cluster,
+                join,
+                Side::Left,
+                lp,
+                node.left_key,
+                &pplan,
+                metrics,
+            )?;
+            let rt = assign_and_tag(
+                cluster,
+                join,
+                Side::Right,
+                rp,
+                node.right_key,
+                &pplan,
+                metrics,
+            )?;
+            if default_match {
+                // Hash partitioning by bucket id: matching buckets
+                // co-locate. Total over any row shape — an untagged row
+                // (impossible after assign_and_tag, but not worth a panic
+                // on the query path) routes to worker 0.
+                let bucket_col = |row: &Row| match row.values().last() {
+                    Some(bucket) => (exchange::route_hash(bucket) as usize) % workers,
+                    None => 0,
+                };
+                let l = exchange::shuffle_by(lt, cluster.pool(), metrics, bucket_col)?;
+                let r = exchange::shuffle_by(rt, cluster.pool(), metrics, bucket_col)?;
+                Ok((l, r))
+            } else {
+                // Theta multi-join: no partitioning scheme applies.
+                // Rebalance one side, broadcast the other.
+                let l = exchange::rebalance(lt, cluster.pool(), metrics)?;
+                let r = exchange::broadcast(rt, cluster.pool(), metrics)?;
+                Ok((l, r))
+            }
+        };
+    // Full-stage replay after a worker death needs the stage *inputs*;
+    // retain them only when deaths can actually strike.
+    let deaths_armed = metrics
+        .recovery()
+        .map(|r| r.deaths_armed())
+        .unwrap_or(false);
+    let partition_src = deaths_armed.then(|| (left_parts.clone(), right_parts.clone()));
+    let (mut left_tagged, mut right_tagged) =
+        metrics.phase("partition", || run_partition(left_parts, right_parts))?;
+    recovery::stage_boundary(
+        metrics,
+        "join:partition",
+        &mut [("left", &mut left_tagged), ("right", &mut right_tagged)],
+        || {
+            let (lp, rp) = partition_src.clone().ok_or_else(|| {
+                FudjError::Execution(
+                    "join:partition replay requested without retained inputs".into(),
+                )
+            })?;
+            let (l, r) = run_partition(lp, rp)?;
+            Ok(vec![l, r])
+        },
+    )?;
 
     // ---- COMBINE -----------------------------------------------------------
     let dedup_mode = join.dedup_mode();
-    let joined = metrics.phase("join", || -> Result<PartitionedData> {
-        let zipped: Vec<(Vec<Row>, Vec<Row>)> = left_tagged.into_iter().zip(right_tagged).collect();
+    let run_combine = |lt: PartitionedData, rt: PartitionedData| -> Result<PartitionedData> {
+        let zipped: Vec<(Vec<Row>, Vec<Row>)> = lt.into_iter().zip(rt).collect();
         let ctx = CombineContext {
             join,
             left_key: node.left_key,
@@ -249,7 +274,20 @@ fn execute_flexible(
                 _ => join_worker_partition(&ctx, lrows, rrows),
             }
         })
-    })?;
+    };
+    let combine_src = deaths_armed.then(|| (left_tagged.clone(), right_tagged.clone()));
+    let mut joined = metrics.phase("join", || run_combine(left_tagged, right_tagged))?;
+    recovery::stage_boundary(
+        metrics,
+        "join:combine",
+        &mut [("joined", &mut joined)],
+        || {
+            let (lt, rt) = combine_src.clone().ok_or_else(|| {
+                FudjError::Execution("join:combine replay requested without retained inputs".into())
+            })?;
+            Ok(vec![run_combine(lt, rt)?])
+        },
+    )?;
 
     // ---- Duplicate elimination (extra stage) -----------------------------
     let result = if dedup_mode == DedupMode::Elimination {

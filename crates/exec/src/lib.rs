@@ -38,6 +38,13 @@
 //! exchanges recover via bounded retries with simulated-clock backoff,
 //! re-execution on surviving workers, and speculative re-execution — all
 //! reproducible from the single seed.
+//!
+//! On top of transient faults sits the [`recovery`] layer: optional stage
+//! checkpointing into a [`fudj_storage::CheckpointStore`], lineage-scoped
+//! partial recovery from permanent *worker deaths* (recompute only the lost
+//! partitions, restore the rest from checkpoints), and elastic worker
+//! [`Membership`] with decommission/add and a failure-rate quarantine
+//! circuit breaker.
 
 pub mod aggregate;
 pub mod control;
@@ -48,6 +55,7 @@ pub mod fudj_join;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
+pub mod recovery;
 
 pub use control::{DispatchGate, QueryControl};
 pub use executor::{Cluster, PartitionedData};
@@ -63,3 +71,6 @@ pub use plan::{
     RowPredicate, SortKey,
 };
 pub use pool::WorkerPool;
+pub use recovery::{
+    ClusterRecovery, Membership, RecoveryContext, RecoveryStats, WorkerInfo, WorkerState,
+};

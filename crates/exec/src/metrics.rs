@@ -7,6 +7,7 @@
 
 use crate::control::{DispatchGate, QueryControl};
 use crate::fault::{FaultContext, FaultStats};
+use crate::recovery::{RecoveryContext, RecoveryStats};
 use fudj_core::{FaultConfig, UdfStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -130,6 +131,9 @@ pub struct MetricsSnapshot {
     /// UDF guardrail counters (all zero unless a guarded join caught a
     /// misbehaving callback).
     pub udf: UdfStats,
+    /// Checkpoint/recovery counters (all zero unless the query ran with a
+    /// [`crate::recovery::RecoveryContext`] attached).
+    pub recovery: RecoveryStats,
     /// Simulated milliseconds of query execution: the control-plane clock
     /// when a [`QueryControl`] was attached (every pool batch advances
     /// it), else the fault layer's backoff/straggler clock.
@@ -167,6 +171,7 @@ impl MetricsSnapshot {
             phases: self.phases.iter().map(|(n, _)| n.clone()).collect(),
             fault: self.fault,
             udf: self.udf,
+            recovery: self.recovery,
         }
     }
 
@@ -229,6 +234,8 @@ pub struct CounterFingerprint {
     pub fault: FaultStats,
     /// UDF guardrail counters.
     pub udf: UdfStats,
+    /// Checkpoint/recovery counters.
+    pub recovery: RecoveryStats,
 }
 
 /// Mutable metrics state behind the lock: the public snapshot plus the
@@ -245,6 +252,7 @@ pub struct QueryMetrics {
     inner: Arc<Mutex<MetricsState>>,
     network: Option<NetworkModel>,
     fault: Option<Arc<FaultContext>>,
+    recovery: Option<Arc<RecoveryContext>>,
     control: Option<Arc<QueryControl>>,
     gate: Option<Arc<dyn DispatchGate>>,
 }
@@ -270,9 +278,25 @@ impl QueryMetrics {
             fault: faults
                 .filter(FaultConfig::is_active)
                 .map(|c| Arc::new(FaultContext::new(c))),
+            recovery: None,
             control: None,
             gate: None,
         }
+    }
+
+    /// Attach a per-query recovery context (checkpointing, worker-death
+    /// survival, membership-aware routing). Attached by the cluster when
+    /// its recovery layer has anything to do; plain execution leaves it
+    /// unset and behaves exactly as before.
+    pub fn attach_recovery(&mut self, recovery: Arc<RecoveryContext>) {
+        self.recovery = Some(recovery);
+    }
+
+    /// The attached recovery context, if any. The worker pool consults it
+    /// for partition routing and failure attribution; stage boundaries
+    /// consult it for checkpointing and death injection.
+    pub fn recovery(&self) -> Option<&Arc<RecoveryContext>> {
+        self.recovery.as_ref()
     }
 
     /// Attach a scheduler control plane: a per-query cancel/deadline
@@ -430,6 +454,9 @@ impl QueryMetrics {
         let mut snap = self.inner.lock().snap.clone();
         if let Some(fault) = &self.fault {
             snap.fault = fault.stats();
+        }
+        if let Some(recovery) = &self.recovery {
+            snap.recovery = recovery.stats();
         }
         snap.sim_clock_ms = match &self.control {
             Some(ctrl) => ctrl.sim_clock_ms(),

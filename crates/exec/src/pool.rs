@@ -24,6 +24,7 @@
 use crate::control::{DispatchGate, QueryControl};
 use crate::fault::{FaultContext, TaskFault, SIM_TASK_MS};
 use crate::metrics::QueryMetrics;
+use crate::recovery::RecoveryContext;
 use crossbeam::channel::{unbounded, Sender};
 use fudj_types::{FudjError, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -179,6 +180,19 @@ impl WorkerPool {
                     ctx,
                 });
         let size = self.size();
+        // Membership-aware routing: partition i goes to its home worker
+        // i % size while that worker is active, else to the recovery
+        // layer's rendezvous pick among survivors. Quarantines flagged by
+        // worker threads since the last batch are applied here, on the
+        // coordinator, so the active set is frozen for the whole batch.
+        let rec: Option<Arc<RecoveryContext>> = metrics.and_then(|m| m.recovery().cloned());
+        if let Some(r) = &rec {
+            r.on_batch_start();
+        }
+        let route = |i: usize| match &rec {
+            Some(r) => r.route(i),
+            None => i % size,
+        };
 
         // Single partition, or already on a worker thread (re-entrant
         // call): execute inline. Dispatching one task buys nothing, and
@@ -188,7 +202,7 @@ impl WorkerPool {
             for (i, item) in items.into_iter().enumerate() {
                 let start = Instant::now();
                 let (worker, sim_ms, result) =
-                    run_task_recovered(&site, &ctrl, &f, i % size, size, i, item);
+                    run_task_recovered(&site, &ctrl, &rec, &f, route(i), size, i, item);
                 if let Some(m) = metrics {
                     m.charge_worker_busy(worker, start.elapsed());
                 }
@@ -200,22 +214,23 @@ impl WorkerPool {
         type Sent<R> = (TaskDone<R>, std::time::Duration);
         let (done_tx, done_rx) = unbounded::<Sent<R>>();
         for (i, item) in items.into_iter().enumerate() {
-            let worker = i % self.senders.len();
+            let worker = route(i);
             let tx = done_tx.clone();
             let f = &f;
             let site = &site;
             let ctrl = &ctrl;
+            let rec = &rec;
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 IN_WORKER.with(|g| g.set(true));
                 let start = Instant::now();
                 let (eff_worker, sim_ms, result) =
-                    run_task_recovered(site, ctrl, f, worker, size, i, item);
+                    run_task_recovered(site, ctrl, rec, f, worker, size, i, item);
                 IN_WORKER.with(|g| g.set(false));
                 // The receiver outlives every task (see below), so this
                 // send cannot fail while results are still awaited.
                 let _ = tx.send(((i, eff_worker, sim_ms, result), start.elapsed()));
             });
-            // SAFETY: the task borrows `f`/`site`/`ctrl` and moves
+            // SAFETY: the task borrows `f`/`site`/`ctrl`/`rec` and moves
             // `item`/`tx`,
             // all of which live for the rest of this call. Every submitted
             // task sends exactly one completion message and the loop below
@@ -327,9 +342,11 @@ fn finish_batch<R>(
 /// and again after every simulated backoff, so a cancellation or a
 /// deadline expiring *inside* the retry loop stops the task there instead
 /// of burning the rest of the retry budget.
+#[allow(clippy::too_many_arguments)] // internal helper: three optional attachments + task identity
 fn run_task_recovered<T, R, F>(
     site: &Option<FaultSite>,
     ctrl: &Option<Arc<QueryControl>>,
+    rec: &Option<Arc<RecoveryContext>>,
     f: &F,
     worker: usize,
     pool_size: usize,
@@ -368,6 +385,12 @@ where
             return (w, sim_ms, run_task(f, i, item));
         };
         ctx.note_task_fault(fault);
+        if let Some(r) = rec {
+            // Health tracking: the injected fault counts against the
+            // worker it struck (circuit-breaker input). State changes are
+            // deferred to the next batch boundary.
+            r.note_task_failure(w);
+        }
         let failure = match fault {
             TaskFault::Panic => {
                 // Genuinely unwind through the worker's catch path so the
@@ -402,8 +425,12 @@ where
             );
         }
         if fault == TaskFault::WorkerLoss {
-            // Re-execute on the next surviving worker.
-            w = (w + 1) % pool_size;
+            // Re-execute on the next surviving worker — skipping dead or
+            // quarantined slots when membership is tracked.
+            w = match rec {
+                Some(r) => r.membership().next_active_after(w),
+                None => (w + 1) % pool_size,
+            };
             ctx.note_reexecution();
         }
         let waited_ms = ctx.backoff(attempt);

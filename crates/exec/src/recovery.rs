@@ -1,0 +1,795 @@
+//! Whole-worker death, stage checkpointing, and elastic membership.
+//!
+//! PR 2's fault layer recovers *tasks*: an injected panic, transient
+//! error, or worker loss re-executes one attempt and the worker keeps
+//! serving. This module makes the failure of a whole worker — permanent,
+//! with its resident partitions gone — a first-class, survivable event:
+//!
+//! * **Stage checkpointing.** At each exchange-producing stage boundary
+//!   of the flexible-join pipeline (post-assign shuffle buckets, match
+//!   output, the aggregate shuffle), [`stage_boundary`] optionally
+//!   snapshots every partition into the cluster's shared
+//!   [`CheckpointStore`] (serialized through the wire protocol, keyed by
+//!   query/stage/partition, bounded by a byte budget with FIFO eviction).
+//! * **Lineage-scoped partial recovery.** A deterministic
+//!   `WorkerDeath` roll (one per boundary, only when
+//!   `worker_death_prob > 0`, so death-free fault schedules stay
+//!   bit-identical) kills one active worker. The partitions it held are
+//!   genuinely dropped, then restored by decoding their checkpoints —
+//!   recovery cost proportional to what was lost. Only when no
+//!   checkpoint covers a lost partition does the boundary fall back to a
+//!   full-stage replay of the producing computation.
+//! * **Elastic membership + health.** [`Membership`] tracks each worker
+//!   slot's state (active / dead / quarantined / decommissioned) and
+//!   routes partition `p` to its home worker `p % n` while that home is
+//!   active, else to a rendezvous-hash pick among the survivors — so
+//!   unaffected partitions never move when the active set changes. A
+//!   per-worker failure counter feeds a circuit breaker: a worker whose
+//!   injected-fault count crosses `worker_quarantine_threshold` is
+//!   quarantined from new task grants at the next batch boundary
+//!   (membership state only changes on the coordinator thread, between
+//!   batches, which is what keeps schedules reproducible).
+//!
+//! Everything here is observable: [`RecoveryStats`] (checkpoints
+//! written/read/evicted, partitions restored vs. recomputed, deaths
+//! survived, quarantines) folds into
+//! [`crate::MetricsSnapshot`] and the deterministic counter fingerprint.
+
+use crate::executor::PartitionedData;
+use crate::metrics::QueryMetrics;
+use fudj_storage::{CheckpointPolicy, CheckpointStore, PutOutcome};
+use fudj_types::{FudjError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for the checkpoint/recovery work of one query. Deterministic
+/// per fault seed, like [`crate::FaultStats`]; all zero unless the query
+/// ran with a [`RecoveryContext`] attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Stage partitions snapshotted into the checkpoint store.
+    pub checkpoints_written: u64,
+    /// Serialized bytes those snapshots occupy.
+    pub checkpoint_bytes_written: u64,
+    /// Checkpoints decoded to restore lost partitions.
+    pub checkpoints_read: u64,
+    /// Checkpoints evicted under byte-budget pressure during this query.
+    pub checkpoints_evicted: u64,
+    /// Lost partitions restored from checkpoints (no recomputation).
+    pub partitions_restored: u64,
+    /// Partitions recomputed because no checkpoint covered a loss.
+    pub partitions_recomputed: u64,
+    /// Stage boundaries that fell back to replaying the whole stage.
+    pub full_stage_replays: u64,
+    /// Permanent worker deaths injected and survived.
+    pub deaths_survived: u64,
+    /// Workers quarantined by the failure-rate circuit breaker.
+    pub workers_quarantined: u64,
+}
+
+impl RecoveryStats {
+    /// Whether any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+}
+
+#[derive(Default)]
+struct RecoveryCells {
+    checkpoints_written: AtomicU64,
+    checkpoint_bytes_written: AtomicU64,
+    checkpoints_read: AtomicU64,
+    checkpoints_evicted: AtomicU64,
+    partitions_restored: AtomicU64,
+    partitions_recomputed: AtomicU64,
+    full_stage_replays: AtomicU64,
+    deaths_survived: AtomicU64,
+    workers_quarantined: AtomicU64,
+}
+
+/// Lifecycle state of one worker slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Serving tasks.
+    Active,
+    /// Killed by an injected [`FaultContext::worker_death`]
+    /// (permanent; resident partitions were lost).
+    ///
+    /// [`FaultContext::worker_death`]: crate::fault::FaultContext::worker_death
+    Dead,
+    /// Removed from task grants by the failure-rate circuit breaker.
+    Quarantined,
+    /// Administratively removed via [`crate::Cluster::decommission_worker`].
+    Decommissioned,
+}
+
+/// One row of the `\workers` report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerInfo {
+    /// Worker slot id (stable pool-thread identity).
+    pub worker: usize,
+    /// Current membership state.
+    pub state: WorkerState,
+    /// Injected task faults attributed to this worker since the cluster
+    /// (or its replacement in this slot) started.
+    pub failures: u64,
+}
+
+struct Slot {
+    state: WorkerState,
+    failures: u64,
+    /// Set by worker threads when `failures` crosses the quarantine
+    /// threshold; applied (state change) only on the coordinator thread
+    /// at the next batch boundary, so in-flight batches keep a frozen
+    /// view of the active set.
+    pending_quarantine: bool,
+}
+
+/// The active-worker set of one cluster, shared by every query running on
+/// it. Membership state (dead / quarantined / decommissioned) only
+/// changes between pool batches, on the coordinator thread; worker
+/// threads may only bump failure counters.
+pub struct Membership {
+    slots: Mutex<Vec<Slot>>,
+    quarantine_threshold: AtomicU64,
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Membership")
+            .field("workers", &self.snapshot())
+            .finish()
+    }
+}
+
+/// SplitMix64-style finalizer used for rendezvous (highest-random-weight)
+/// routing — deliberately independent of the fault layer's site mixer.
+fn hrw_hash(a: u64, b: u64) -> u64 {
+    let mut h = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(31));
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+impl Membership {
+    /// All `workers` slots active, quarantine disabled.
+    pub fn new(workers: usize) -> Self {
+        Membership {
+            slots: Mutex::new(
+                (0..workers)
+                    .map(|_| Slot {
+                        state: WorkerState::Active,
+                        failures: 0,
+                        pending_quarantine: false,
+                    })
+                    .collect(),
+            ),
+            quarantine_threshold: AtomicU64::new(0),
+        }
+    }
+
+    /// Total worker slots (active or not) — the pool size.
+    pub fn size(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Number of active workers.
+    pub fn active_count(&self) -> usize {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|s| s.state == WorkerState::Active)
+            .count()
+    }
+
+    /// Whether slot `w` is serving tasks.
+    pub fn is_active(&self, w: usize) -> bool {
+        self.slots
+            .lock()
+            .get(w)
+            .map(|s| s.state == WorkerState::Active)
+            .unwrap_or(false)
+    }
+
+    /// Route partition `p` to a worker: its home slot `p % size` while
+    /// that slot is active, else the rendezvous-hash (highest-random-
+    /// weight) pick among active slots. Unaffected partitions never move
+    /// when other slots leave or join.
+    pub fn route(&self, p: usize) -> usize {
+        let slots = self.slots.lock();
+        let n = slots.len();
+        let home = p % n;
+        if slots[home].state == WorkerState::Active {
+            return home;
+        }
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == WorkerState::Active)
+            .max_by_key(|(w, _)| hrw_hash(p as u64, *w as u64))
+            .map(|(w, _)| w)
+            .unwrap_or(home)
+    }
+
+    /// The next active slot after `w` in ring order (for worker-loss
+    /// re-execution). Falls back to `w` itself when no other slot is
+    /// active.
+    pub fn next_active_after(&self, w: usize) -> usize {
+        let slots = self.slots.lock();
+        let n = slots.len();
+        for d in 1..=n {
+            let c = (w + d) % n;
+            if slots[c].state == WorkerState::Active {
+                return c;
+            }
+        }
+        w
+    }
+
+    /// Map a deterministic victim-selector word onto the active set.
+    /// Returns `None` when fewer than two workers are active — the last
+    /// survivor is never killed.
+    pub fn pick_victim(&self, selector: u64) -> Option<usize> {
+        let slots = self.slots.lock();
+        let actives: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == WorkerState::Active)
+            .map(|(w, _)| w)
+            .collect();
+        if actives.len() < 2 {
+            return None;
+        }
+        Some(actives[(selector % actives.len() as u64) as usize])
+    }
+
+    /// Mark slot `w` permanently dead. Coordinator-thread only.
+    pub fn mark_dead(&self, w: usize) {
+        let mut slots = self.slots.lock();
+        if let Some(s) = slots.get_mut(w) {
+            s.state = WorkerState::Dead;
+        }
+    }
+
+    /// Administratively remove slot `w` from task grants.
+    pub fn decommission(&self, w: usize) -> Result<()> {
+        let mut slots = self.slots.lock();
+        let active = slots
+            .iter()
+            .filter(|s| s.state == WorkerState::Active)
+            .count();
+        match slots.get_mut(w) {
+            None => Err(FudjError::Execution(format!(
+                "no such worker: {w} (cluster has {} slots)",
+                slots.len()
+            ))),
+            Some(s) if s.state != WorkerState::Active => Err(FudjError::Execution(format!(
+                "worker {w} is not active ({:?})",
+                s.state
+            ))),
+            Some(_) if active <= 1 => Err(FudjError::Execution(
+                "cannot decommission the last active worker".into(),
+            )),
+            Some(s) => {
+                s.state = WorkerState::Decommissioned;
+                Ok(())
+            }
+        }
+    }
+
+    /// Bring a replacement worker into the first inactive slot (a new
+    /// node adopting the failed node's identity, pool capacity is the
+    /// upper bound). Returns the reactivated slot id.
+    pub fn add(&self) -> Result<usize> {
+        let mut slots = self.slots.lock();
+        let slot = slots
+            .iter_mut()
+            .enumerate()
+            .find(|(_, s)| s.state != WorkerState::Active);
+        match slot {
+            None => Err(FudjError::Execution(
+                "every worker slot is already active".into(),
+            )),
+            Some((w, s)) => {
+                s.state = WorkerState::Active;
+                s.failures = 0;
+                s.pending_quarantine = false;
+                Ok(w)
+            }
+        }
+    }
+
+    /// Attribute one injected task fault to slot `w`. Worker-thread safe:
+    /// only counters and the pending-quarantine flag change here; the
+    /// state transition happens at the next [`Membership::apply_pending`].
+    pub fn record_failure(&self, w: usize) {
+        let threshold = self.quarantine_threshold.load(Ordering::Relaxed);
+        let mut slots = self.slots.lock();
+        if let Some(s) = slots.get_mut(w) {
+            s.failures += 1;
+            if threshold > 0 && s.failures >= threshold && s.state == WorkerState::Active {
+                s.pending_quarantine = true;
+            }
+        }
+    }
+
+    /// Apply pending quarantines (coordinator thread, between batches).
+    /// Never quarantines the last active worker. Returns how many workers
+    /// were newly quarantined.
+    pub fn apply_pending(&self) -> u64 {
+        let mut slots = self.slots.lock();
+        let mut active = slots
+            .iter()
+            .filter(|s| s.state == WorkerState::Active)
+            .count();
+        let mut applied = 0;
+        for s in slots.iter_mut() {
+            if s.pending_quarantine && s.state == WorkerState::Active && active > 1 {
+                s.state = WorkerState::Quarantined;
+                s.pending_quarantine = false;
+                active -= 1;
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Set the failure-count circuit-breaker threshold (0 disables).
+    pub fn set_quarantine_threshold(&self, threshold: u64) {
+        self.quarantine_threshold
+            .store(threshold, Ordering::Relaxed);
+    }
+
+    /// The current circuit-breaker threshold (0 = disabled).
+    pub fn quarantine_threshold(&self) -> u64 {
+        self.quarantine_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time view of every slot, for `\workers`.
+    pub fn snapshot(&self) -> Vec<WorkerInfo> {
+        self.slots
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(worker, s)| WorkerInfo {
+                worker,
+                state: s.state,
+                failures: s.failures,
+            })
+            .collect()
+    }
+}
+
+/// Cluster-wide recovery state: the shared checkpoint store, the
+/// checkpoint policy knobs, and the worker membership. Clones of a
+/// [`crate::Cluster`] share one of these.
+pub struct ClusterRecovery {
+    store: Arc<CheckpointStore>,
+    policy: Mutex<CheckpointPolicy>,
+    membership: Arc<Membership>,
+    query_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for ClusterRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRecovery")
+            .field("policy", &*self.policy.lock())
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+impl ClusterRecovery {
+    /// Fresh state for a cluster of `workers` slots: checkpointing off,
+    /// unlimited budget, quarantine disabled.
+    pub fn new(workers: usize) -> Self {
+        ClusterRecovery {
+            store: Arc::new(CheckpointStore::new()),
+            policy: Mutex::new(CheckpointPolicy::Off),
+            membership: Arc::new(Membership::new(workers)),
+            query_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared checkpoint store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// The shared worker membership.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
+    }
+
+    /// Replace the checkpoint policy.
+    pub fn set_policy(&self, policy: CheckpointPolicy) {
+        *self.policy.lock() = policy;
+    }
+
+    /// The current checkpoint policy.
+    pub fn policy(&self) -> CheckpointPolicy {
+        self.policy.lock().clone()
+    }
+
+    /// Attach a per-query recovery context when there is anything for it
+    /// to do: checkpointing enabled, deaths armed, quarantine armed, or
+    /// any slot not active (routing must consult membership). Otherwise
+    /// returns `None` and execution is bit-identical to a cluster without
+    /// a recovery layer.
+    pub fn attach(
+        self: &Arc<Self>,
+        faults: Option<&fudj_core::FaultConfig>,
+    ) -> Option<Arc<RecoveryContext>> {
+        let deaths_armed = faults.map(|f| f.worker_death_prob > 0.0).unwrap_or(false);
+        let needed = deaths_armed
+            || self.policy.lock().enabled()
+            || self.membership.quarantine_threshold() > 0
+            || self.membership.active_count() < self.membership.size();
+        if !needed {
+            return None;
+        }
+        Some(Arc::new(RecoveryContext {
+            shared: Arc::clone(self),
+            query: self.query_seq.fetch_add(1, Ordering::Relaxed),
+            deaths_armed,
+            cells: RecoveryCells::default(),
+        }))
+    }
+}
+
+/// One query's handle on the recovery subsystem: the shared store and
+/// membership, this query's checkpoint namespace, and its counters.
+pub struct RecoveryContext {
+    shared: Arc<ClusterRecovery>,
+    query: u64,
+    deaths_armed: bool,
+    cells: RecoveryCells,
+}
+
+impl std::fmt::Debug for RecoveryContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryContext")
+            .field("query", &self.query)
+            .field("deaths_armed", &self.deaths_armed)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RecoveryContext {
+    /// This query's checkpoint namespace.
+    pub fn query(&self) -> u64 {
+        self.query
+    }
+
+    /// Whether the armed fault plan can inject worker deaths.
+    pub fn deaths_armed(&self) -> bool {
+        self.deaths_armed
+    }
+
+    /// The cluster's shared membership.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.shared.membership
+    }
+
+    /// The cluster's shared checkpoint store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.shared.store
+    }
+
+    /// Whether the policy snapshots `stage`.
+    pub fn policy_covers(&self, stage: &str) -> bool {
+        self.shared.policy.lock().covers(stage)
+    }
+
+    /// Route partition `p` onto the active worker set.
+    pub fn route(&self, p: usize) -> usize {
+        self.shared.membership.route(p)
+    }
+
+    /// Coordinator-side batch hook: apply quarantines that worker threads
+    /// flagged since the previous batch.
+    pub fn on_batch_start(&self) {
+        let applied = self.shared.membership.apply_pending();
+        if applied > 0 {
+            self.cells
+                .workers_quarantined
+                .fetch_add(applied, Ordering::Relaxed);
+        }
+    }
+
+    /// Attribute one injected task fault to `worker` for the circuit
+    /// breaker.
+    pub fn note_task_failure(&self, worker: usize) {
+        self.shared.membership.record_failure(worker);
+    }
+
+    /// Drop this query's checkpoints (its lineage is complete).
+    pub fn finish(&self) {
+        self.shared.store.remove_query(self.query);
+    }
+
+    fn note_put(&self, outcome: PutOutcome) {
+        self.cells
+            .checkpoints_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.cells
+            .checkpoint_bytes_written
+            .fetch_add(outcome.bytes, Ordering::Relaxed);
+        self.cells
+            .checkpoints_evicted
+            .fetch_add(outcome.evicted, Ordering::Relaxed);
+    }
+
+    /// Copy out the counters.
+    pub fn stats(&self) -> RecoveryStats {
+        let c = &self.cells;
+        let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        RecoveryStats {
+            checkpoints_written: get(&c.checkpoints_written),
+            checkpoint_bytes_written: get(&c.checkpoint_bytes_written),
+            checkpoints_read: get(&c.checkpoints_read),
+            checkpoints_evicted: get(&c.checkpoints_evicted),
+            partitions_restored: get(&c.partitions_restored),
+            partitions_recomputed: get(&c.partitions_recomputed),
+            full_stage_replays: get(&c.full_stage_replays),
+            deaths_survived: get(&c.deaths_survived),
+            workers_quarantined: get(&c.workers_quarantined),
+        }
+    }
+}
+
+/// One exchange-producing stage boundary: checkpoint the stage's
+/// partitioned outputs (policy permitting), then roll for a permanent
+/// worker death and recover from it.
+///
+/// `datasets` is the stage's output — one or more named partitioned
+/// row sets (the join's partition stage produces two, `left` and
+/// `right`); all share one death roll, because a dying worker loses its
+/// resident partitions of *every* dataset at once. `replay` recomputes
+/// the whole stage from its (still-live) inputs and is only invoked when
+/// a death strikes and some lost partition has no covering checkpoint —
+/// the full-stage fallback.
+///
+/// The death roll claims a fault-context dispatch step **only when
+/// deaths are armed**, so the fault schedules of death-free configs are
+/// bit-identical to clusters without a recovery layer.
+pub fn stage_boundary(
+    metrics: &QueryMetrics,
+    stage: &str,
+    datasets: &mut [(&str, &mut PartitionedData)],
+    mut replay: impl FnMut() -> Result<Vec<PartitionedData>>,
+) -> Result<()> {
+    let Some(rec) = metrics.recovery() else {
+        return Ok(());
+    };
+
+    // 1. Snapshot this stage's partitions, dataset by dataset.
+    if rec.policy_covers(stage) {
+        for (name, parts) in datasets.iter() {
+            for (p, rows) in parts.iter().enumerate() {
+                let outcome = rec
+                    .store()
+                    .put(rec.query(), &format!("{stage}/{name}"), p, rows);
+                rec.note_put(outcome);
+            }
+        }
+    }
+
+    // 2. Roll for a permanent worker death. The step is claimed only when
+    // deaths can actually strike (see doc comment).
+    if !rec.deaths_armed() {
+        return Ok(());
+    }
+    let Some(fault) = metrics.fault() else {
+        return Ok(());
+    };
+    let step = fault.next_step();
+    let Some(selector) = fault.worker_death(step) else {
+        return Ok(());
+    };
+    let membership = rec.membership();
+    let Some(victim) = membership.pick_victim(selector) else {
+        return Ok(()); // never kill the last survivor
+    };
+
+    // Partitions resident on the victim, under the routing that placed
+    // this stage's outputs (victim still active).
+    let nparts = datasets.iter().map(|(_, p)| p.len()).max().unwrap_or(0);
+    let lost: Vec<usize> = (0..nparts)
+        .filter(|&p| membership.route(p) == victim)
+        .collect();
+    membership.mark_dead(victim);
+    rec.cells.deaths_survived.fetch_add(1, Ordering::Relaxed);
+
+    // 3. Genuinely drop the victim's partitions, then restore each from
+    // its checkpoint. Any uncovered loss forces the full-stage fallback.
+    let mut uncovered = false;
+    for (name, parts) in datasets.iter_mut() {
+        for &p in &lost {
+            if p >= parts.len() {
+                continue;
+            }
+            parts[p] = Vec::new();
+            match rec.store().get(rec.query(), &format!("{stage}/{name}"), p) {
+                Some(rows) => {
+                    parts[p] = rows?;
+                    rec.cells.checkpoints_read.fetch_add(1, Ordering::Relaxed);
+                    rec.cells
+                        .partitions_restored
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                None => uncovered = true,
+            }
+        }
+    }
+    if uncovered {
+        let recomputed = replay()?;
+        if recomputed.len() != datasets.len() {
+            return Err(FudjError::Execution(format!(
+                "stage {stage} replay produced {} datasets, expected {}",
+                recomputed.len(),
+                datasets.len()
+            )));
+        }
+        let mut total = 0u64;
+        for ((_, parts), fresh) in datasets.iter_mut().zip(recomputed) {
+            total += fresh.len() as u64;
+            **parts = fresh;
+        }
+        rec.cells
+            .partitions_recomputed
+            .fetch_add(total, Ordering::Relaxed);
+        rec.cells.full_stage_replays.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_identity_while_all_active() {
+        let m = Membership::new(4);
+        for p in 0..16 {
+            assert_eq!(m.route(p), p % 4);
+        }
+        assert_eq!(m.active_count(), 4);
+    }
+
+    #[test]
+    fn dead_home_reroutes_only_its_partitions() {
+        let m = Membership::new(4);
+        let before: Vec<usize> = (0..16).map(|p| m.route(p)).collect();
+        m.mark_dead(2);
+        for (p, &was) in before.iter().enumerate() {
+            let now = m.route(p);
+            if p % 4 == 2 {
+                assert_ne!(now, 2, "partition {p} must leave the dead worker");
+                assert!(m.is_active(now));
+            } else {
+                assert_eq!(now, was, "unaffected partition {p} must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn rerouting_is_stable_per_partition() {
+        let m = Membership::new(5);
+        m.mark_dead(1);
+        let a: Vec<usize> = (0..20).map(|p| m.route(p)).collect();
+        let b: Vec<usize> = (0..20).map(|p| m.route(p)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decommission_guards_last_worker_and_unknown_slots() {
+        let m = Membership::new(2);
+        m.decommission(0).unwrap();
+        let err = m.decommission(1).unwrap_err();
+        assert!(err.to_string().contains("last active"), "{err}");
+        assert!(m.decommission(7).is_err());
+        assert!(m.decommission(0).is_err(), "already decommissioned");
+    }
+
+    #[test]
+    fn add_reactivates_the_freed_slot() {
+        let m = Membership::new(3);
+        m.decommission(1).unwrap();
+        assert_eq!(m.active_count(), 2);
+        assert_eq!(m.add().unwrap(), 1, "replacement adopts the freed slot");
+        assert_eq!(m.active_count(), 3);
+        let err = m.add().unwrap_err();
+        assert!(err.to_string().contains("already active"), "{err}");
+    }
+
+    #[test]
+    fn victim_pick_spares_the_last_survivor() {
+        let m = Membership::new(2);
+        assert!(m.pick_victim(12345).is_some());
+        m.mark_dead(0);
+        assert_eq!(m.pick_victim(12345), None);
+    }
+
+    #[test]
+    fn quarantine_applies_only_at_batch_boundaries() {
+        let m = Membership::new(3);
+        m.set_quarantine_threshold(2);
+        m.record_failure(1);
+        assert!(m.is_active(1), "below threshold");
+        m.record_failure(1);
+        assert!(m.is_active(1), "pending until the coordinator applies it");
+        assert_eq!(m.apply_pending(), 1);
+        assert!(!m.is_active(1));
+        assert_eq!(
+            m.snapshot()[1],
+            WorkerInfo {
+                worker: 1,
+                state: WorkerState::Quarantined,
+                failures: 2
+            }
+        );
+        assert_eq!(m.apply_pending(), 0, "idempotent");
+    }
+
+    #[test]
+    fn quarantine_never_empties_the_cluster() {
+        let m = Membership::new(2);
+        m.set_quarantine_threshold(1);
+        m.record_failure(0);
+        m.record_failure(1);
+        assert_eq!(m.apply_pending(), 1, "one survivor is spared");
+        assert_eq!(m.active_count(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let m = Membership::new(2);
+        for _ in 0..100 {
+            m.record_failure(0);
+        }
+        assert_eq!(m.apply_pending(), 0);
+        assert!(m.is_active(0));
+        assert_eq!(m.snapshot()[0].failures, 100);
+    }
+
+    #[test]
+    fn next_active_skips_inactive_slots() {
+        let m = Membership::new(4);
+        m.mark_dead(1);
+        m.mark_dead(2);
+        assert_eq!(m.next_active_after(0), 3);
+        assert_eq!(m.next_active_after(3), 0);
+    }
+
+    #[test]
+    fn attach_is_none_when_nothing_is_armed() {
+        let shared = Arc::new(ClusterRecovery::new(3));
+        assert!(shared.attach(None).is_none());
+        assert!(
+            shared
+                .attach(Some(&fudj_core::FaultConfig::chaos(1)))
+                .is_none(),
+            "chaos without deaths needs no recovery layer"
+        );
+        assert!(shared
+            .attach(Some(&fudj_core::FaultConfig::chaos_with_deaths(1)))
+            .is_some());
+        shared.set_policy(CheckpointPolicy::All);
+        assert!(shared.attach(None).is_some());
+    }
+
+    #[test]
+    fn attach_engages_once_membership_shrinks() {
+        let shared = Arc::new(ClusterRecovery::new(3));
+        shared.membership().decommission(2).unwrap();
+        assert!(
+            shared.attach(None).is_some(),
+            "routing must consult membership after a decommission"
+        );
+    }
+}

@@ -292,19 +292,29 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
         Gt => Value::Bool(l > r),
         GtEq => Value::Bool(l >= r),
         Add | Sub | Mul | Div => {
-            // Integer arithmetic when both operands are integral.
+            // Integer arithmetic when both operands are integral. Checked:
+            // overflow on user data is a query error, not a panic.
             if let (Value::Int64(a), Value::Int64(b)) = (l, r) {
+                let overflow =
+                    || FudjError::Execution(format!("integer overflow evaluating {a} {op:?} {b}"));
                 match op {
-                    Add => Value::Int64(a + b),
-                    Sub => Value::Int64(a - b),
-                    Mul => Value::Int64(a * b),
+                    Add => Value::Int64(a.checked_add(*b).ok_or_else(overflow)?),
+                    Sub => Value::Int64(a.checked_sub(*b).ok_or_else(overflow)?),
+                    Mul => Value::Int64(a.checked_mul(*b).ok_or_else(overflow)?),
                     Div => {
                         if *b == 0 {
                             return Err(FudjError::Execution("division by zero".into()));
                         }
                         Value::Float64(*a as f64 / *b as f64)
                     }
-                    _ => unreachable!(),
+                    // The outer arm admits only arithmetic operators; a
+                    // mismatch here is a planner defect, surfaced as an
+                    // error rather than a query-path panic.
+                    other => {
+                        return Err(FudjError::Execution(format!(
+                            "non-arithmetic operator {other:?} reached integer arithmetic"
+                        )))
+                    }
                 }
             } else {
                 let a = l.as_f64()?;
@@ -319,11 +329,21 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                         }
                         Value::Float64(a / b)
                     }
-                    _ => unreachable!(),
+                    other => {
+                        return Err(FudjError::Execution(format!(
+                            "non-arithmetic operator {other:?} reached float arithmetic"
+                        )))
+                    }
                 }
             }
         }
-        And | Or => unreachable!("handled in eval"),
+        // `eval` short-circuits the logical operators before calling here;
+        // seeing one is a dispatch defect, not grounds for a panic.
+        And | Or => {
+            return Err(FudjError::Execution(format!(
+                "logical operator {op:?} reached eval_binary without short-circuit handling"
+            )))
+        }
     })
 }
 

@@ -12,6 +12,14 @@
 //! scheduler uses it to size admission decisions and to report progress
 //! (`\jobs` shows `stages_done / stages_total`), and tests use it to
 //! assert that interleaving points exist where they should.
+//!
+//! Each stage also carries *lineage* metadata: which upstream stages
+//! produced its inputs ([`TaskStage::inputs`]), and whether the engine
+//! can snapshot its output into the checkpoint store
+//! ([`TaskStage::checkpointable`]). [`TaskDag::replay_chain`] walks those
+//! edges to answer the recovery question — if this stage's output is
+//! lost, which stages must re-run? — stopping at checkpointable
+//! ancestors whose outputs can be restored instead of recomputed.
 
 use fudj_core::DedupMode;
 use fudj_exec::PhysicalPlan;
@@ -36,6 +44,13 @@ pub struct TaskStage {
     pub kind: StageKind,
     /// Number of parallel tasks in the batch (usually the worker count).
     pub tasks: usize,
+    /// Indices of the stages whose outputs this stage consumes. Empty
+    /// for source stages (scans).
+    pub inputs: Vec<usize>,
+    /// Whether the engine can snapshot this stage's output into the
+    /// checkpoint store (the exchange-producing join/aggregate
+    /// boundaries `recovery::stage_boundary` instruments).
+    pub checkpointable: bool,
 }
 
 /// The per-stage, per-partition task structure of one plan.
@@ -44,13 +59,17 @@ pub struct TaskDag {
     stages: Vec<TaskStage>,
 }
 
+/// Stage names whose outputs the engine's recovery layer can snapshot
+/// (the boundaries `fudj_exec::recovery::stage_boundary` instruments).
+const CHECKPOINTABLE: [&str; 3] = ["join:partition", "join:combine", "agg:shuffle"];
+
 impl TaskDag {
     /// Decompose `plan` for a cluster of `workers` workers.
     pub fn from_plan(plan: &PhysicalPlan, workers: usize) -> Self {
         let mut dag = TaskDag { stages: Vec::new() };
-        dag.visit(plan, workers);
+        let out = dag.visit(plan, workers);
         // The coordinator gathers the final partitioned result.
-        dag.push("gather", StageKind::Exchange, workers);
+        dag.push("gather", StageKind::Exchange, workers, vec![out]);
         dag
     }
 
@@ -69,60 +88,105 @@ impl TaskDag {
         self.stages.iter().map(|s| s.tasks).sum()
     }
 
-    fn push(&mut self, name: &str, kind: StageKind, tasks: usize) {
+    /// Indices of the stages the recovery layer can checkpoint.
+    pub fn checkpointable_stages(&self) -> Vec<usize> {
+        (0..self.stages.len())
+            .filter(|&i| self.stages[i].checkpointable)
+            .collect()
+    }
+
+    /// Which stages must re-run if stage `idx`'s output is lost, in
+    /// execution order (ending with `idx` itself). The walk follows
+    /// lineage edges upstream but stops at checkpointable ancestors:
+    /// their outputs can be restored from the store instead of
+    /// recomputed, so nothing above them re-runs. With checkpointing
+    /// off, callers should treat every stage as uncovered and the chain
+    /// extends to the sources — pass `assume_checkpoints = false` for
+    /// that reading.
+    pub fn replay_chain(&self, idx: usize, assume_checkpoints: bool) -> Vec<usize> {
+        let mut needed = vec![false; self.stages.len()];
+        let mut frontier = vec![idx];
+        while let Some(i) = frontier.pop() {
+            if needed[i] {
+                continue;
+            }
+            needed[i] = true;
+            for &dep in &self.stages[i].inputs {
+                // A checkpointable ancestor's output is restorable —
+                // the chain does not extend through it.
+                if !(assume_checkpoints && self.stages[dep].checkpointable) {
+                    frontier.push(dep);
+                }
+            }
+        }
+        (0..self.stages.len()).filter(|&i| needed[i]).collect()
+    }
+
+    /// Push a stage consuming the outputs of `inputs`; returns its index.
+    fn push(&mut self, name: &str, kind: StageKind, tasks: usize, inputs: Vec<usize>) -> usize {
         self.stages.push(TaskStage {
             name: name.to_owned(),
             kind,
             tasks: tasks.max(1),
+            inputs,
+            checkpointable: CHECKPOINTABLE.contains(&name),
         });
+        self.stages.len() - 1
     }
 
-    fn visit(&mut self, plan: &PhysicalPlan, workers: usize) {
+    /// Decompose one subtree; returns the index of the stage producing
+    /// its output.
+    fn visit(&mut self, plan: &PhysicalPlan, workers: usize) -> usize {
         match plan {
             PhysicalPlan::Scan { .. } => {
                 // Local partition reads on the coordinator; no dispatch.
-                self.push("scan", StageKind::Coordinator, 1);
+                self.push("scan", StageKind::Coordinator, 1, vec![])
             }
             PhysicalPlan::Filter { input, .. } => {
-                self.visit(input, workers);
-                self.push("filter", StageKind::Compute, workers);
+                let i = self.visit(input, workers);
+                self.push("filter", StageKind::Compute, workers, vec![i])
             }
             PhysicalPlan::Project { input, .. } => {
-                self.visit(input, workers);
-                self.push("project", StageKind::Compute, workers);
+                let i = self.visit(input, workers);
+                self.push("project", StageKind::Compute, workers, vec![i])
             }
             PhysicalPlan::FudjJoin(node) => {
-                self.visit(&node.left, workers);
+                let l = self.visit(&node.left, workers);
+                let mut ins = vec![l];
                 if !node.self_join {
-                    self.visit(&node.right, workers);
+                    ins.push(self.visit(&node.right, workers));
                 }
-                self.push("join:summarize", StageKind::Compute, workers);
-                self.push("join:divide", StageKind::Coordinator, 1);
-                self.push("join:partition", StageKind::Exchange, workers);
-                self.push("join:combine", StageKind::Compute, workers);
+                let s = self.push("join:summarize", StageKind::Compute, workers, ins.clone());
+                let d = self.push("join:divide", StageKind::Coordinator, 1, vec![s]);
+                // Partitioning reads the raw inputs plus the divide plan.
+                ins.push(d);
+                let p = self.push("join:partition", StageKind::Exchange, workers, ins);
+                let c = self.push("join:combine", StageKind::Compute, workers, vec![p]);
                 if node.join.dedup_mode() == DedupMode::Elimination {
-                    self.push("join:dedup", StageKind::Exchange, workers);
+                    self.push("join:dedup", StageKind::Exchange, workers, vec![c])
+                } else {
+                    c
                 }
             }
             PhysicalPlan::NlJoin { left, right, .. } => {
-                self.visit(left, workers);
-                self.visit(right, workers);
-                self.push("nljoin:broadcast", StageKind::Exchange, workers);
-                self.push("nljoin:loop", StageKind::Compute, workers);
+                let l = self.visit(left, workers);
+                let r = self.visit(right, workers);
+                let b = self.push("nljoin:broadcast", StageKind::Exchange, workers, vec![l, r]);
+                self.push("nljoin:loop", StageKind::Compute, workers, vec![b])
             }
             PhysicalPlan::HashAggregate { input, .. } => {
-                self.visit(input, workers);
-                self.push("agg:partial", StageKind::Compute, workers);
-                self.push("agg:shuffle", StageKind::Exchange, workers);
-                self.push("agg:final", StageKind::Compute, workers);
+                let i = self.visit(input, workers);
+                let p = self.push("agg:partial", StageKind::Compute, workers, vec![i]);
+                let s = self.push("agg:shuffle", StageKind::Exchange, workers, vec![p]);
+                self.push("agg:final", StageKind::Compute, workers, vec![s])
             }
             PhysicalPlan::Sort { input, .. } => {
-                self.visit(input, workers);
-                self.push("sort", StageKind::Coordinator, workers);
+                let i = self.visit(input, workers);
+                self.push("sort", StageKind::Coordinator, workers, vec![i])
             }
             PhysicalPlan::Limit { input, .. } => {
-                self.visit(input, workers);
-                self.push("limit", StageKind::Coordinator, workers);
+                let i = self.visit(input, workers);
+                self.push("limit", StageKind::Coordinator, workers, vec![i])
             }
         }
     }
@@ -242,6 +306,68 @@ mod tests {
         ) -> fudj_types::Result<bool> {
             unreachable!()
         }
+    }
+
+    #[test]
+    fn lineage_edges_follow_the_pipeline() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(scan()),
+            group_by: vec![0],
+            aggregates: vec![fudj_exec::Aggregate::count_star("c")],
+        };
+        let dag = TaskDag::from_plan(&plan, 4);
+        // scan → agg:partial → agg:shuffle → agg:final → gather, each
+        // consuming exactly its predecessor.
+        for (i, stage) in dag.stages().iter().enumerate().skip(1) {
+            assert_eq!(stage.inputs, vec![i - 1], "stage {}", stage.name);
+        }
+        assert!(dag.stages()[0].inputs.is_empty());
+        assert_eq!(dag.checkpointable_stages(), vec![2]); // agg:shuffle
+    }
+
+    #[test]
+    fn replay_chain_stops_at_checkpointable_ancestors() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(scan()),
+            group_by: vec![0],
+            aggregates: vec![fudj_exec::Aggregate::count_star("c")],
+        };
+        let dag = TaskDag::from_plan(&plan, 4);
+        // Stage 3 is agg:final; its input agg:shuffle (2) is
+        // checkpointable. With checkpoints assumed, losing agg:final
+        // costs only itself; without, the chain runs back to the scan.
+        assert_eq!(dag.replay_chain(3, true), vec![3]);
+        assert_eq!(dag.replay_chain(3, false), vec![0, 1, 2, 3]);
+        // Losing the checkpointable stage itself re-runs it (restore
+        // handles covered partitions; the chain is the uncovered cost)
+        // but still cuts off above it only via *other* checkpoints.
+        assert_eq!(dag.replay_chain(2, true), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn join_replay_chain_is_lineage_scoped() {
+        let node = fudj_exec::FudjJoinNode::new(scan(), scan(), Arc::new(StubJoin), 0, 0, vec![]);
+        let dag = TaskDag::from_plan(&PhysicalPlan::FudjJoin(node), 3);
+        let names: Vec<&str> = dag.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "scan",
+                "scan",
+                "join:summarize",
+                "join:divide",
+                "join:partition",
+                "join:combine",
+                "gather"
+            ]
+        );
+        // join:combine (5) reads join:partition (4), which is
+        // checkpointable: a loss below combine never re-runs the
+        // summarize/divide prefix when checkpoints cover partition.
+        assert_eq!(dag.replay_chain(5, true), vec![5]);
+        // Without checkpoints the whole upstream pipeline replays.
+        assert_eq!(dag.replay_chain(5, false), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(dag.checkpointable_stages(), vec![4, 5]);
     }
 
     #[test]

@@ -4,9 +4,10 @@ use crate::ast::Statement;
 use crate::binder::bind_select;
 use crate::parser::parse;
 use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
-use fudj_exec::{Cluster, MetricsSnapshot, NetworkModel};
+use fudj_exec::{Cluster, MetricsSnapshot, NetworkModel, WorkerInfo};
 use fudj_planner::PlanOptions;
 use fudj_sched::{JobHandle, QuerySpec, Scheduler};
+use fudj_storage::CheckpointPolicy;
 use fudj_storage::{Catalog, Dataset};
 use fudj_types::{Batch, FudjError, Result};
 use std::sync::{Arc, Mutex};
@@ -206,6 +207,25 @@ impl Session {
         &self.scheduler
     }
 
+    /// Per-worker membership state and failure counts (`\workers`).
+    pub fn workers_status(&self) -> Vec<WorkerInfo> {
+        self.cluster.workers_status()
+    }
+
+    /// Permanently remove worker `w` from the routing set. Its partitions
+    /// deterministically rendezvous-rehash onto the survivors; removing
+    /// the last active worker is an error.
+    pub fn decommission_worker(&self, w: usize) -> Result<()> {
+        self.cluster.decommission_worker(w)
+    }
+
+    /// Re-activate a previously decommissioned/dead/quarantined worker
+    /// slot (the replacement node adopts the slot's identity). Errors
+    /// when the cluster is already at full strength.
+    pub fn add_worker(&self) -> Result<usize> {
+        self.cluster.add_worker()
+    }
+
     fn vars(&self) -> SessionVars {
         *self.vars.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -255,11 +275,36 @@ impl Session {
             "priority" => vars.priority = numeric()? as u32,
             "deadline_ms" => vars.deadline_ms = optional()?,
             "memory_budget_rows" => vars.memory_budget_rows = optional()?.map(|n| n as usize),
+            // Recovery knobs live on the shared cluster (its recovery
+            // layer is one `Arc` across every clone), so no
+            // scheduler re-attach is needed.
+            "checkpoint_budget_bytes" => self.cluster.set_checkpoint_budget(optional()?),
+            "checkpoint_stages" => {
+                let policy = if cleared {
+                    CheckpointPolicy::Off
+                } else if value.eq_ignore_ascii_case("all") {
+                    CheckpointPolicy::All
+                } else {
+                    CheckpointPolicy::Stages(
+                        value
+                            .split(',')
+                            .map(|s| s.trim().to_owned())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                };
+                self.cluster.set_checkpoint_policy(policy);
+            }
+            "worker_quarantine_threshold" => {
+                self.cluster
+                    .set_quarantine_threshold(optional()?.unwrap_or(0));
+            }
             other => {
                 return Err(FudjError::Execution(format!(
                     "unknown SET variable {other:?} (expected max_inflight_queries, \
                      admission_queue_limit, memory_quota_rows, stage_slots, priority, \
-                     deadline_ms, or memory_budget_rows)"
+                     deadline_ms, memory_budget_rows, checkpoint_budget_bytes, \
+                     checkpoint_stages, or worker_quarantine_threshold)"
                 )))
             }
         }

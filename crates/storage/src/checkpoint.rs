@@ -1,0 +1,375 @@
+//! Stage-output checkpoints for lineage-scoped recovery.
+//!
+//! The engine's flexible-join pipeline is staged (summarize → divide →
+//! partition → combine → dedup), and each exchange-producing stage
+//! materializes one row vector per worker. A [`CheckpointStore`] keeps an
+//! optional serialized copy of those per-partition outputs, keyed by
+//! `(query fingerprint, stage, partition)`, so that a worker that dies
+//! *permanently* at a later boundary only costs the recovery layer a
+//! deserialize of the partitions it held — not a replay of every upstream
+//! stage. Rows are serialized through the same `wire` protocol the
+//! exchanges use, so checkpoint bytes are directly comparable to the
+//! shuffle byte counters.
+//!
+//! The store is shared by every query on a cluster (clones of a
+//! `Cluster` share one store) and bounded by a byte budget: inserting past
+//! the budget evicts the oldest checkpoints first, FIFO over insertion
+//! order. An evicted checkpoint is not an error — recovery simply falls
+//! back to full-stage replay for losses it no longer covers.
+
+use bytes::{Buf, Bytes, BytesMut};
+use fudj_types::{wire, Result, Row};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Which stage outputs the engine checkpoints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// No checkpoints are written (the default).
+    #[default]
+    Off,
+    /// Every checkpointable stage boundary is snapshotted.
+    All,
+    /// Only stages whose base name (the part before any `/` dataset
+    /// suffix, e.g. `join:partition`) appears in the list.
+    Stages(Vec<String>),
+}
+
+impl CheckpointPolicy {
+    /// Whether `stage` (possibly suffixed, e.g. `join:partition/left`)
+    /// should be checkpointed under this policy.
+    pub fn covers(&self, stage: &str) -> bool {
+        let base = stage.split('/').next().unwrap_or(stage);
+        match self {
+            CheckpointPolicy::Off => false,
+            CheckpointPolicy::All => true,
+            CheckpointPolicy::Stages(names) => names.iter().any(|n| n == base),
+        }
+    }
+
+    /// Whether any stage can be checkpointed at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, CheckpointPolicy::Off)
+    }
+}
+
+/// Identity of one checkpointed partition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    query: u64,
+    stage: String,
+    partition: usize,
+}
+
+/// Outcome of one [`CheckpointStore::put`]: how many serialized bytes the
+/// checkpoint occupies and how many older checkpoints were evicted to
+/// make room for it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Serialized size of the stored partition.
+    pub bytes: u64,
+    /// Checkpoints evicted (FIFO) to fit the byte budget.
+    pub evicted: u64,
+}
+
+/// Lifetime counters for one store (across all queries that used it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStoreStats {
+    /// Partitions written.
+    pub written: u64,
+    /// Serialized bytes written.
+    pub bytes_written: u64,
+    /// Partitions read back.
+    pub read: u64,
+    /// Partitions evicted under byte-budget pressure.
+    pub evicted: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<Key, Vec<u8>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Key>,
+    total_bytes: u64,
+    budget_bytes: Option<u64>,
+    stats: CheckpointStoreStats,
+}
+
+/// Byte-budgeted, shared store of serialized stage-partition outputs.
+#[derive(Default)]
+pub struct CheckpointStore {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CheckpointStore")
+            .field("entries", &inner.entries.len())
+            .field("total_bytes", &inner.total_bytes)
+            .field("budget_bytes", &inner.budget_bytes)
+            .finish()
+    }
+}
+
+impl CheckpointStore {
+    /// An empty store with no byte budget (unlimited).
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// An empty store that evicts past `budget_bytes` serialized bytes.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        let store = CheckpointStore::default();
+        store.inner.lock().budget_bytes = Some(budget_bytes);
+        store
+    }
+
+    /// Replace the byte budget (`None` = unlimited). Shrinking the budget
+    /// evicts immediately until the store fits.
+    pub fn set_budget(&self, budget_bytes: Option<u64>) {
+        let mut inner = self.inner.lock();
+        inner.budget_bytes = budget_bytes;
+        evict_to_budget(&mut inner);
+    }
+
+    /// The current byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.inner.lock().budget_bytes
+    }
+
+    /// Serialize and store one partition of one stage's output,
+    /// overwriting any previous checkpoint with the same key. Returns the
+    /// serialized size and how many older checkpoints were evicted.
+    pub fn put(&self, query: u64, stage: &str, partition: usize, rows: &[Row]) -> PutOutcome {
+        let mut buf = BytesMut::with_capacity(16 + rows.len() * 32);
+        for row in rows {
+            wire::encode_row(row, &mut buf);
+        }
+        let bytes = buf.len() as u64;
+        let key = Key {
+            query,
+            stage: stage.to_owned(),
+            partition,
+        };
+        let mut inner = self.inner.lock();
+        match inner.entries.insert(key.clone(), buf.to_vec()) {
+            // Overwrite: the key keeps its place in the eviction order and
+            // the byte total swaps the old size for the new one.
+            Some(old) => inner.total_bytes = inner.total_bytes - old.len() as u64 + bytes,
+            None => {
+                inner.order.push_back(key);
+                inner.total_bytes += bytes;
+            }
+        }
+        inner.stats.written += 1;
+        inner.stats.bytes_written += bytes;
+        let evicted = evict_to_budget(&mut inner);
+        PutOutcome { bytes, evicted }
+    }
+
+    /// Decode and return one checkpointed partition, or `None` when no
+    /// checkpoint covers `(query, stage, partition)` (never written, or
+    /// already evicted).
+    pub fn get(&self, query: u64, stage: &str, partition: usize) -> Option<Result<Vec<Row>>> {
+        let key = Key {
+            query,
+            stage: stage.to_owned(),
+            partition,
+        };
+        let bytes = {
+            let mut inner = self.inner.lock();
+            let bytes = inner.entries.get(&key)?.clone();
+            inner.stats.read += 1;
+            bytes
+        };
+        let mut rows = Vec::new();
+        let mut cursor = Bytes::from(bytes);
+        while cursor.has_remaining() {
+            match wire::decode_row(&mut cursor) {
+                Ok(row) => rows.push(row),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(rows))
+    }
+
+    /// Whether a checkpoint covers `(query, stage, partition)`.
+    pub fn covers(&self, query: u64, stage: &str, partition: usize) -> bool {
+        let key = Key {
+            query,
+            stage: stage.to_owned(),
+            partition,
+        };
+        self.inner.lock().entries.contains_key(&key)
+    }
+
+    /// Drop every checkpoint belonging to `query` (called when the query
+    /// finishes — its lineage can no longer need them).
+    pub fn remove_query(&self, query: u64) {
+        let mut inner = self.inner.lock();
+        let removed: Vec<Key> = inner
+            .order
+            .iter()
+            .filter(|k| k.query == query)
+            .cloned()
+            .collect();
+        for key in removed {
+            if let Some(bytes) = inner.entries.remove(&key) {
+                inner.total_bytes -= bytes.len() as u64;
+            }
+        }
+        inner.order.retain(|k| k.query != query);
+    }
+
+    /// Number of live checkpoints.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialized bytes currently held.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().total_bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CheckpointStoreStats {
+        self.inner.lock().stats
+    }
+}
+
+/// Evict FIFO until the store fits its budget; returns how many
+/// checkpoints were dropped.
+fn evict_to_budget(inner: &mut Inner) -> u64 {
+    let Some(budget) = inner.budget_bytes else {
+        return 0;
+    };
+    let mut evicted = 0;
+    while inner.total_bytes > budget {
+        let Some(key) = inner.order.pop_front() else {
+            break;
+        };
+        if let Some(bytes) = inner.entries.remove(&key) {
+            inner.total_bytes -= bytes.len() as u64;
+            inner.stats.evicted += 1;
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fudj_types::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int64(i), Value::str("payload")])
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(row).collect()
+    }
+
+    #[test]
+    fn put_get_round_trips_rows() {
+        let store = CheckpointStore::new();
+        let original = rows(5);
+        let outcome = store.put(1, "join:partition", 0, &original);
+        assert!(outcome.bytes > 0);
+        assert_eq!(outcome.evicted, 0);
+        let back = store.get(1, "join:partition", 0).unwrap().unwrap();
+        assert_eq!(back, original);
+        assert!(store.covers(1, "join:partition", 0));
+        assert!(!store.covers(1, "join:partition", 1));
+        assert!(!store.covers(2, "join:partition", 0));
+        assert_eq!(store.stats().written, 1);
+        assert_eq!(store.stats().read, 1);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let store = CheckpointStore::new();
+        assert!(store.get(9, "join:combine", 3).is_none());
+        assert_eq!(store.stats().read, 0);
+    }
+
+    #[test]
+    fn rewrite_replaces_without_double_counting_bytes() {
+        let store = CheckpointStore::new();
+        store.put(1, "s", 0, &rows(10));
+        let total_after_first = store.total_bytes();
+        store.put(1, "s", 0, &rows(2));
+        assert!(store.total_bytes() < total_after_first);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(1, "s", 0).unwrap().unwrap(), rows(2));
+    }
+
+    #[test]
+    fn budget_evicts_oldest_first() {
+        let store = CheckpointStore::new();
+        let one = store.put(1, "s", 0, &rows(4)).bytes;
+        // Budget fits exactly two checkpoints of this shape.
+        store.set_budget(Some(one * 2));
+        store.put(1, "s", 1, &rows(4));
+        let outcome = store.put(1, "s", 2, &rows(4));
+        assert_eq!(outcome.evicted, 1, "third insert evicts the first");
+        assert!(!store.covers(1, "s", 0), "oldest evicted");
+        assert!(store.covers(1, "s", 1));
+        assert!(store.covers(1, "s", 2));
+        assert_eq!(store.stats().evicted, 1);
+        assert!(store.total_bytes() <= one * 2);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_immediately() {
+        let store = CheckpointStore::new();
+        for p in 0..6 {
+            store.put(1, "s", p, &rows(8));
+        }
+        let per = store.total_bytes() / 6;
+        store.set_budget(Some(per * 2));
+        assert!(store.total_bytes() <= per * 2);
+        assert!(store.len() <= 2);
+        assert!(store.stats().evicted >= 4);
+    }
+
+    #[test]
+    fn remove_query_drops_only_that_query() {
+        let store = CheckpointStore::new();
+        store.put(1, "s", 0, &rows(3));
+        store.put(2, "s", 0, &rows(3));
+        store.remove_query(1);
+        assert!(!store.covers(1, "s", 0));
+        assert!(store.covers(2, "s", 0));
+        assert_eq!(store.len(), 1);
+        store.remove_query(2);
+        assert!(store.is_empty());
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn policy_matches_base_stage_names() {
+        assert!(!CheckpointPolicy::Off.covers("join:partition"));
+        assert!(!CheckpointPolicy::Off.enabled());
+        assert!(CheckpointPolicy::All.covers("join:partition/left"));
+        let some = CheckpointPolicy::Stages(vec!["join:partition".into()]);
+        assert!(some.covers("join:partition"));
+        assert!(some.covers("join:partition/right"), "suffix stripped");
+        assert!(!some.covers("join:combine"));
+        assert!(some.enabled());
+    }
+
+    #[test]
+    fn empty_partition_checkpoints_as_empty() {
+        let store = CheckpointStore::new();
+        let outcome = store.put(1, "s", 0, &[]);
+        assert_eq!(outcome.bytes, 0);
+        assert_eq!(store.get(1, "s", 0).unwrap().unwrap(), Vec::<Row>::new());
+    }
+}

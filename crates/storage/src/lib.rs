@@ -8,9 +8,11 @@
 //! [`Catalog`] names datasets for the planner and the SQL front end.
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod csv;
 pub mod dataset;
 
 pub use catalog::Catalog;
+pub use checkpoint::{CheckpointPolicy, CheckpointStore, CheckpointStoreStats, PutOutcome};
 pub use csv::{read_csv, write_csv};
 pub use dataset::{Dataset, DatasetBuilder};

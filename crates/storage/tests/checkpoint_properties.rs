@@ -1,0 +1,84 @@
+//! Property tests: the checkpoint store round-trips arbitrary rows through
+//! the wire format, and its byte accounting agrees with what `encode_row`
+//! actually produces (so checkpoint bytes are comparable to the shuffle
+//! byte meters).
+
+use bytes::BytesMut;
+use fudj_geo::{Point, Polygon};
+use fudj_storage::CheckpointStore;
+use fudj_temporal::Interval;
+use fudj_types::{wire, Row, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int64),
+        // Finite floats only: the engine never stores NaN/inf.
+        (-1e15f64..1e15).prop_map(Value::Float64),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::str),
+        any::<u128>().prop_map(Value::Uuid),
+        any::<i64>().prop_map(Value::DateTime),
+        (any::<i32>(), 0i32..1_000_000)
+            .prop_map(|(s, d)| Value::Interval(Interval::new(s as i64, s as i64 + d as i64))),
+        (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y)| Value::Point(Point::new(x, y))),
+        prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 3..8).prop_map(|pts| {
+            Value::polygon(Polygon::new(
+                pts.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+            ))
+        }),
+    ]
+}
+
+fn arb_partition() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        prop::collection::vec(arb_value(), 0..6).prop_map(Row::new),
+        0..12,
+    )
+}
+
+proptest! {
+    /// put → get restores the exact rows, and the reported checkpoint
+    /// size equals the sum of the rows' wire encodings.
+    #[test]
+    fn checkpoint_roundtrip_and_byte_accounting(parts in prop::collection::vec(arb_partition(), 1..4)) {
+        let store = CheckpointStore::new();
+        let mut expected_total = 0u64;
+        for (p, rows) in parts.iter().enumerate() {
+            let outcome = store.put(7, "join:partition/left", p, rows);
+            let mut buf = BytesMut::new();
+            for row in rows {
+                wire::encode_row(row, &mut buf);
+            }
+            prop_assert_eq!(outcome.bytes, buf.len() as u64, "partition {}", p);
+            prop_assert_eq!(outcome.evicted, 0);
+            expected_total += buf.len() as u64;
+        }
+        prop_assert_eq!(store.total_bytes(), expected_total);
+        prop_assert_eq!(store.stats().bytes_written, expected_total);
+        for (p, rows) in parts.iter().enumerate() {
+            let restored = store.get(7, "join:partition/left", p).unwrap().unwrap();
+            prop_assert_eq!(&restored, rows, "partition {}", p);
+        }
+        // Unknown keys stay misses even with data present.
+        prop_assert!(store.get(7, "join:partition/right", 0).is_none());
+        prop_assert!(store.get(8, "join:partition/left", 0).is_none());
+    }
+
+    /// Eviction under a byte budget never corrupts surviving checkpoints
+    /// and never reports a total above the budget.
+    #[test]
+    fn eviction_preserves_survivors(parts in prop::collection::vec(arb_partition(), 2..6), budget in 1u64..4096) {
+        let store = CheckpointStore::with_budget(budget);
+        for (p, rows) in parts.iter().enumerate() {
+            store.put(1, "agg:shuffle/partials", p, rows);
+        }
+        prop_assert!(store.total_bytes() <= budget);
+        for (p, rows) in parts.iter().enumerate() {
+            if let Some(restored) = store.get(1, "agg:shuffle/partials", p) {
+                prop_assert_eq!(&restored.unwrap(), rows, "partition {}", p);
+            }
+        }
+    }
+}

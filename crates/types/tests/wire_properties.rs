@@ -4,7 +4,7 @@
 use bytes::{Buf, BytesMut};
 use fudj_geo::{Point, Polygon};
 use fudj_temporal::Interval;
-use fudj_types::{ext, wire, DataType, Value};
+use fudj_types::{ext, wire, DataType, Row, Value};
 use proptest::prelude::*;
 
 fn arb_scalar() -> impl Strategy<Value = Value> {
@@ -34,7 +34,40 @@ fn arb_value() -> impl Strategy<Value = Value> {
     ]
 }
 
+fn arb_row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(arb_value(), 0..8).prop_map(Row::new)
+}
+
 proptest! {
+    /// Whole rows round-trip: any mix of the engine's data types survives
+    /// decode(encode(r)) bit-for-bit with no bytes left over.
+    #[test]
+    fn row_roundtrip(row in arb_row()) {
+        let mut buf = BytesMut::new();
+        wire::encode_row(&row, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = wire::decode_row(&mut bytes).unwrap();
+        prop_assert_eq!(back, row);
+        prop_assert!(!bytes.has_remaining());
+    }
+
+    /// A row's encoded size is exactly its width prefix plus its values'
+    /// encodings — the invariant the exchange and checkpoint byte meters
+    /// rely on when they charge `encode_row` output lengths to their
+    /// network/storage counters.
+    #[test]
+    fn row_encoded_size_is_sum_of_value_encodings(row in arb_row()) {
+        let mut whole = BytesMut::new();
+        wire::encode_row(&row, &mut whole);
+        let mut expected = 4; // u32 width prefix
+        for v in row.values() {
+            let mut one = BytesMut::new();
+            wire::encode_value(v, &mut one);
+            expected += one.len();
+        }
+        prop_assert_eq!(whole.len(), expected);
+    }
+
     #[test]
     fn wire_roundtrip(v in arb_value()) {
         let mut buf = BytesMut::new();

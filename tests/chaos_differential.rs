@@ -271,6 +271,45 @@ fn chaotic_runs_match_fault_free_oracle_across_seeds() {
     assert_eq!(total.duplicates_discarded, total.duplicated_deliveries);
 }
 
+/// The matrix extended with the permanent-death fault class: full chaos
+/// (panics, transients, losses, stragglers, drops, duplicates) *plus*
+/// `WorkerDeath` at stage boundaries, with checkpointing on. Results must
+/// still be bit-identical to the fault-free oracle for every seed, and
+/// the matrix as a whole must genuinely kill workers (a death-free run
+/// of this test would prove nothing).
+#[test]
+fn chaos_with_worker_deaths_still_matches_oracle() {
+    use fudj_repro::storage::CheckpointPolicy;
+
+    let seeds = seeds();
+    let mut deaths = 0;
+    let mut restored = 0;
+    for w in workloads() {
+        let expected = oracle(&w);
+        for &seed in &seeds {
+            let cluster = Cluster::with_faults(WORKERS, FaultConfig::chaos_with_deaths(seed));
+            cluster.set_checkpoint_policy(CheckpointPolicy::All);
+            let (batch, metrics) = cluster.execute(&plan(&w)).unwrap();
+            let mut pairs: Vec<(i64, i64)> = batch
+                .rows()
+                .iter()
+                .map(|r| (r.get(0).as_i64().unwrap(), r.get(2).as_i64().unwrap()))
+                .collect();
+            pairs.sort_unstable();
+            assert_eq!(
+                pairs, expected,
+                "{} diverged from the oracle under death seed {seed}",
+                w.name
+            );
+            let r = metrics.snapshot().recovery;
+            deaths += r.deaths_survived;
+            restored += r.partitions_restored;
+        }
+    }
+    assert!(deaths > 0, "no worker deaths injected across the matrix");
+    assert!(restored > 0, "no partition was ever checkpoint-restored");
+}
+
 /// Same seed ⇒ identical fault schedule, identical counters, identical
 /// results. This is the property that makes chaos testing debuggable.
 #[test]
