@@ -5,14 +5,21 @@
 //! dispatch overhead against fresh thread spawning, measures the cost
 //! of stage checkpointing (off / on / on while surviving a worker
 //! death), and writes the results to `BENCH_PR5.json` at the repository
-//! root. The JSON format is documented in `EXPERIMENTS.md`.
+//! root. It then sweeps the hybrid-hash memory budget (unbounded, 50%,
+//! 10%, 1% of the per-worker COMBINE input) across all four join
+//! classes and writes the runtime-vs-budget curves to `BENCH_PR6.json`.
+//! Both JSON formats are documented in `EXPERIMENTS.md`.
 
 use fudj_bench::runner::{measure, RunConfig, Strategy};
 use fudj_bench::workloads::Workload;
-use fudj_exec::{FaultConfig, MetricsSnapshot, WorkerPool};
+use fudj_core::FudjEngineJoin;
+use fudj_exec::{Cluster, FaultConfig, FudjJoinNode, MetricsSnapshot, PhysicalPlan, WorkerPool};
+use fudj_joins::EqualityFudj;
 use fudj_planner::PlanOptions;
-use fudj_types::Value;
+use fudj_storage::DatasetBuilder;
+use fudj_types::{DataType, Field, Row, Schema, Value};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One workload's scheduled measurement.
@@ -134,6 +141,236 @@ fn recovery_death_run(records: usize, workers: usize) -> RecoveryRow {
         }
     }
     panic!("no seed in 1..64 produced a worker death — death arming is broken");
+}
+
+/// One point on a join class's runtime-vs-budget curve.
+struct SweepPoint {
+    label: &'static str,
+    budget: Option<usize>,
+    rows: usize,
+    wall_seconds: f64,
+    metrics: MetricsSnapshot,
+}
+
+/// One join class's full budget sweep.
+struct SweepCurve {
+    class: &'static str,
+    /// Theta classes ignore the budget (they broadcast, never spill).
+    theta: bool,
+    points: Vec<SweepPoint>,
+}
+
+/// Budget steps of the sweep: fractions of the measured per-worker
+/// COMBINE input, so "50%" means half of what one spilling task sees.
+const SWEEP_STEPS: [(&str, Option<u64>); 4] = [
+    ("unbounded", None),
+    ("50%", Some(2)),
+    ("10%", Some(10)),
+    ("1%", Some(100)),
+];
+
+/// Sweep one SQL workload: run unbounded to size the per-worker COMBINE
+/// input (≈ shuffled rows / workers for default-match classes), then
+/// re-run at each budget fraction through `SET memory_budget_rows`.
+fn sweep_sql(
+    class: &'static str,
+    workload: Workload,
+    records: usize,
+    workers: usize,
+) -> SweepCurve {
+    let mut points = Vec::new();
+    let mut per_task = 0u64;
+    for (label, divisor) in SWEEP_STEPS {
+        let budget = divisor.map(|d| ((per_task / d) as usize).max(4));
+        let session = workload.session(records, workers, None);
+        if let Some(b) = budget {
+            session
+                .execute(&format!("SET memory_budget_rows = {b};"))
+                .expect("budget knob must apply");
+        }
+        let sql = workload.sql(0.9);
+        let start = Instant::now();
+        let output = session.execute(&sql).expect("sweep query must run");
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let metrics = output.metrics().clone();
+        if divisor.is_none() {
+            // Theta classes broadcast instead of shuffling; their curve
+            // exists to document that the budget is ignored, so any
+            // positive base works.
+            per_task = (metrics.rows_shuffled.max(metrics.rows_broadcast) / workers as u64).max(8);
+        }
+        points.push(SweepPoint {
+            label,
+            budget,
+            rows: output.batch().len(),
+            wall_seconds,
+            metrics,
+        });
+    }
+    SweepCurve {
+        class,
+        theta: workload == Workload::Interval,
+        points,
+    }
+}
+
+/// Sweep the equality class directly on a cluster (the SQL surface has
+/// no equality workload): Zipf-ish skewed long keys, same budget steps.
+fn sweep_equality(workers: usize) -> SweepCurve {
+    let n = 1_200usize;
+    let keys = |salt: u64| -> Vec<Value> {
+        let mut x = 0x9E37_79B9 ^ salt;
+        (0..n)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                Value::Int64((64f64.powf(u) as i64).min(63))
+            })
+            .collect()
+    };
+    let dataset = |name: &str, keys: &[Value]| {
+        let schema = Schema::shared(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("k", DataType::Int64),
+        ]);
+        let d = DatasetBuilder::new(name, schema)
+            .partitions(workers)
+            .build()
+            .unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            d.insert(Row::new(vec![Value::Int64(i as i64), k.clone()]))
+                .unwrap();
+        }
+        Arc::new(d)
+    };
+    let (l, r) = (keys(1), keys(2));
+    let cluster = Cluster::new(workers);
+    let mut points = Vec::new();
+    // Equality tags each row exactly once, so the per-worker COMBINE
+    // input is known up front (unlike the SQL classes, whose tag
+    // amplification is measured from the unbounded run).
+    let per_task = ((2 * n) / workers) as u64;
+    for (label, divisor) in SWEEP_STEPS {
+        let budget = divisor.map(|d| ((per_task / d) as usize).max(4));
+        let mut node = FudjJoinNode::new(
+            PhysicalPlan::Scan {
+                dataset: dataset("sweep_l", &l),
+            },
+            PhysicalPlan::Scan {
+                dataset: dataset("sweep_r", &r),
+            },
+            Arc::new(FudjEngineJoin::new(Arc::new(EqualityFudj))),
+            1,
+            1,
+            vec![],
+        );
+        node.memory_budget_rows = budget;
+        let start = Instant::now();
+        let (batch, metrics) = cluster
+            .execute(&PhysicalPlan::FudjJoin(node))
+            .expect("equality sweep must run");
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let metrics = metrics.snapshot();
+        points.push(SweepPoint {
+            label,
+            budget,
+            rows: batch.len(),
+            wall_seconds,
+            metrics,
+        });
+    }
+    SweepCurve {
+        class: "Equality",
+        theta: false,
+        points,
+    }
+}
+
+/// Run the PR6 budget sweep across all four join classes, sanity-check
+/// graceful degradation, and assemble the `BENCH_PR6.json` document.
+fn budget_sweep(workers: usize) -> String {
+    let curves = [
+        sweep_sql("Spatial", Workload::Spatial, 1_600, workers),
+        sweep_sql("Interval", Workload::Interval, 500, workers),
+        sweep_sql("Set-similarity", Workload::Text, 500, workers),
+        sweep_equality(workers),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 6,\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str("  \"budget_sweep\": [\n");
+    for (ci, c) in curves.iter().enumerate() {
+        let base_rows = c.points[0].rows;
+        for (pi, p) in c.points.iter().enumerate() {
+            // Graceful degradation, not a cliff: every budget returns the
+            // same answer, and for spillable classes the spill volume
+            // rises monotonically as the budget shrinks.
+            assert_eq!(
+                p.rows, base_rows,
+                "{}/{}: budget changed the answer",
+                c.class, p.label
+            );
+            let m = &p.metrics;
+            if c.theta {
+                assert_eq!(m.spilled_rows, 0, "{}: theta class spilled", c.class);
+            } else if pi > 0 {
+                assert!(
+                    m.spilled_bytes >= c.points[pi - 1].metrics.spilled_bytes,
+                    "{}: spill volume not monotone in budget",
+                    c.class
+                );
+            }
+            if !c.theta && pi + 1 == c.points.len() {
+                assert!(m.spilled_rows > 0, "{}: 1% budget never spilled", c.class);
+            }
+            println!(
+                "sweep {} @ {}: {} rows, wall {:.4}s, spilled {} rows / {} bytes, \
+                 {} resident / {} spilled parts, depth {}, {} BNL",
+                c.class,
+                p.label,
+                p.rows,
+                p.wall_seconds,
+                m.spilled_rows,
+                m.spilled_bytes,
+                m.spill_resident_partitions,
+                m.spill_spilled_partitions,
+                m.spill_recursion_depth,
+                m.spill_bnl_fallbacks,
+            );
+            let budget = p
+                .budget
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".to_owned());
+            let _ = write!(
+                json,
+                "    {{\"class\": \"{}\", \"budget_label\": \"{}\", \"budget_rows\": {}, \
+                 \"rows\": {}, \"wall_seconds\": {}, \"spilled_rows\": {}, \
+                 \"spilled_bytes\": {}, \"resident_partitions\": {}, \
+                 \"spilled_partitions\": {}, \"passes\": {}, \"recursion_depth\": {}, \
+                 \"bnl_fallbacks\": {}, \"peak_resident_rows\": {}}}",
+                c.class,
+                p.label,
+                budget,
+                p.rows,
+                json_f64(p.wall_seconds),
+                m.spilled_rows,
+                m.spilled_bytes,
+                m.spill_resident_partitions,
+                m.spill_spilled_partitions,
+                m.spill_passes,
+                m.spill_recursion_depth,
+                m.spill_bnl_fallbacks,
+                m.spill_peak_resident_rows,
+            );
+            let last = ci + 1 == curves.len() && pi + 1 == c.points.len();
+            json.push_str(if last { "\n" } else { ",\n" });
+        }
+    }
+    json.push_str("  ]\n}\n");
+    json
 }
 
 fn main() {
@@ -284,6 +521,14 @@ fn main() {
     // The bench crate lives at crates/bench; the JSON lands at the root.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
     match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    // PR6: runtime-vs-budget curves for the hybrid-hash COMBINE.
+    let sweep = budget_sweep(WORKERS);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
+    match std::fs::write(&path, &sweep) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

@@ -124,6 +124,33 @@ pub fn render_recovery_stats(snapshot: &MetricsSnapshot) -> String {
     )
 }
 
+/// Render the hybrid-hash spill counters of one query, or an empty string
+/// when no join spilled (so in-memory runs print nothing new).
+pub fn render_spill_stats(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.spilled_rows == 0 && snapshot.spill_passes == 0 {
+        return String::new();
+    }
+    format!(
+        "Spill: {} rows / {} bytes to disk; {} resident + {} spilled \
+         sub-partitions over {} pass{}; recursion depth {}, {} BNL \
+         fallback{}; peak resident {} rows\n",
+        snapshot.spilled_rows,
+        snapshot.spilled_bytes,
+        snapshot.spill_resident_partitions,
+        snapshot.spill_spilled_partitions,
+        snapshot.spill_passes,
+        if snapshot.spill_passes == 1 { "" } else { "es" },
+        snapshot.spill_recursion_depth,
+        snapshot.spill_bnl_fallbacks,
+        if snapshot.spill_bnl_fallbacks == 1 {
+            ""
+        } else {
+            "s"
+        },
+        snapshot.spill_peak_resident_rows,
+    )
+}
+
 /// Render the UDF guardrail counters of one query, or an empty string when
 /// every user callback behaved (so well-behaved runs print nothing new).
 pub fn render_udf_stats(snapshot: &MetricsSnapshot) -> String {
@@ -215,6 +242,27 @@ mod tests {
         assert!(text.contains("2 injected"), "{text}");
         assert!(text.contains("2 transients"), "{text}");
         assert!(text.contains("2 task retries"), "{text}");
+    }
+
+    #[test]
+    fn spill_stats_render_only_when_a_join_spilled() {
+        let mut snap = MetricsSnapshot::default();
+        assert_eq!(render_spill_stats(&snap), "");
+        snap.spilled_rows = 120;
+        snap.spilled_bytes = 4_800;
+        snap.spill_resident_partitions = 12;
+        snap.spill_spilled_partitions = 4;
+        snap.spill_passes = 2;
+        snap.spill_recursion_depth = 1;
+        snap.spill_bnl_fallbacks = 1;
+        snap.spill_peak_resident_rows = 10;
+        let text = render_spill_stats(&snap);
+        assert!(text.contains("120 rows / 4800 bytes"), "{text}");
+        assert!(text.contains("12 resident + 4 spilled"), "{text}");
+        assert!(text.contains("2 passes"), "{text}");
+        assert!(text.contains("recursion depth 1"), "{text}");
+        assert!(text.contains("1 BNL fallback;"), "{text}");
+        assert!(text.contains("peak resident 10 rows"), "{text}");
     }
 
     #[test]

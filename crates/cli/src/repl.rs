@@ -1,6 +1,8 @@
 //! The REPL engine: statement accumulation, meta commands, execution.
 
-use crate::render::{render_batch, render_fault_stats, render_recovery_stats, render_udf_stats};
+use crate::render::{
+    render_batch, render_fault_stats, render_recovery_stats, render_spill_stats, render_udf_stats,
+};
 use fudj_datagen::GeneratorConfig;
 use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
 use fudj_joins::standard_library;
@@ -105,6 +107,7 @@ impl Repl {
                             skew.ratio(),
                         );
                     }
+                    out.push_str(&render_spill_stats(&metrics));
                     out.push_str(&render_fault_stats(&metrics));
                     out.push_str(&render_recovery_stats(&metrics));
                     out.push_str(&render_udf_stats(&metrics));
@@ -498,7 +501,9 @@ pub const HELP: &str = r#"FUDJ shell
     SET max_inflight_queries = N;     SET admission_queue_limit = N;
     SET memory_quota_rows = N|off;    SET stage_slots = N;
     SET priority = N;                 SET deadline_ms = N|off;
-    SET memory_budget_rows = N|off;
+  spill knobs (statements, end with ';'):
+    SET memory_budget_rows = N|off;   SET spill_fanout = N|off;
+    SET spill_recursion_limit = N|off;  (0 = always block-nested-loop)
   recovery knobs (statements, end with ';'):
     SET checkpoint_stages = all|off|'stage,stage,...';
     SET checkpoint_budget_bytes = N|off;

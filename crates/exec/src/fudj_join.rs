@@ -264,12 +264,12 @@ fn execute_flexible(
                 g.begin_partition();
             }
             // §III-B spilling: a worker whose tagged inputs exceed the
-            // memory budget grace-partitions them to disk first. Only
-            // default-match joins can grace-partition (theta matches span
+            // memory budget runs the memory-adaptive hybrid-hash COMBINE.
+            // Only default-match joins can spill (theta matches span
             // bucket-hash partitions).
             match node.memory_budget_rows {
                 Some(budget) if default_match && lrows.len() + rrows.len() > budget => {
-                    spill_and_join(&ctx, lrows, rrows, budget)
+                    crate::spill::hybrid_hash_join(&ctx, lrows, rrows, budget, &node.spill)
                 }
                 _ => join_worker_partition(&ctx, lrows, rrows),
             }
@@ -389,7 +389,7 @@ fn assign_and_tag(
 /// execution error, not a panic — this sits on the query path and a
 /// misbehaving UDF must not take the process down.
 #[inline]
-fn bucket_of(row: &Row) -> Result<BucketId> {
+pub(crate) fn bucket_of(row: &Row) -> Result<BucketId> {
     match row.values().last() {
         Some(Value::Int64(b)) => Ok(*b as BucketId),
         other => Err(FudjError::Execution(format!(
@@ -414,19 +414,19 @@ fn group_by_bucket(rows: Vec<Row>) -> Result<GroupedRows> {
 }
 
 /// Everything one worker's COMBINE needs, bundled to keep signatures sane.
-struct CombineContext<'a> {
-    join: &'a dyn EngineJoin,
-    left_key: usize,
-    right_key: usize,
-    pplan: &'a PPlanState,
-    default_match: bool,
-    dedup_mode: DedupMode,
-    combine: crate::plan::CombineStrategy,
-    metrics: &'a QueryMetrics,
+pub(crate) struct CombineContext<'a> {
+    pub(crate) join: &'a dyn EngineJoin,
+    pub(crate) left_key: usize,
+    pub(crate) right_key: usize,
+    pub(crate) pplan: &'a PPlanState,
+    pub(crate) default_match: bool,
+    pub(crate) dedup_mode: DedupMode,
+    pub(crate) combine: crate::plan::CombineStrategy,
+    pub(crate) metrics: &'a QueryMetrics,
 }
 
 /// COMBINE on one worker: match local bucket pairs, run local joins, dedup.
-fn join_worker_partition(
+pub(crate) fn join_worker_partition(
     ctx: &CombineContext<'_>,
     lrows: Vec<Row>,
     rrows: Vec<Row>,
@@ -595,80 +595,6 @@ fn join_bucket_pair(
     }
     ctx.metrics.record_dedup_rejections(rejections);
     Ok(())
-}
-
-/// Grace-partition an over-budget worker input to temporary files, then join
-/// each sub-partition in memory — §III-B's memory-budget-aware spilling.
-///
-/// Bucket ids are hashed into a fan-out chosen so each sub-partition fits
-/// the budget on average; because the join is a default-match (equality)
-/// join, matching buckets always land in the same sub-partition.
-fn spill_and_join(
-    ctx: &CombineContext<'_>,
-    lrows: Vec<Row>,
-    rrows: Vec<Row>,
-    budget: usize,
-) -> Result<Vec<Row>> {
-    use std::io::{Read, Write};
-
-    let total = lrows.len() + rrows.len();
-    let fanout = total.div_ceil(budget.max(1)).clamp(2, 256);
-
-    let dir = std::env::temp_dir();
-    static SPILL_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let run = SPILL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let path_of = |side: &str, f: usize| {
-        dir.join(format!(
-            "fudj-spill-{}-{run}-{side}-{f}.bin",
-            std::process::id()
-        ))
-    };
-
-    // Write both sides into fan-out files keyed by bucket hash.
-    let mut spilled_rows = 0u64;
-    let mut spilled_bytes = 0u64;
-    let mut write_side = |side: &str, rows: Vec<Row>| -> Result<()> {
-        let mut buffers: Vec<bytes::BytesMut> = vec![bytes::BytesMut::new(); fanout];
-        for row in rows {
-            let f = (exchange::route_hash(&bucket_of(&row)?) as usize) % fanout;
-            fudj_types::wire::encode_row(&row, &mut buffers[f]);
-            spilled_rows += 1;
-        }
-        for (f, buf) in buffers.into_iter().enumerate() {
-            spilled_bytes += buf.len() as u64;
-            let mut file = std::fs::File::create(path_of(side, f))
-                .map_err(|e| FudjError::Execution(format!("spill create failed: {e}")))?;
-            file.write_all(&buf)
-                .map_err(|e| FudjError::Execution(format!("spill write failed: {e}")))?;
-        }
-        Ok(())
-    };
-    write_side("l", lrows)?;
-    write_side("r", rrows)?;
-    ctx.metrics.record_spill(spilled_rows, spilled_bytes);
-
-    // Join sub-partition by sub-partition; at most one is in memory at once.
-    let read_side = |side: &str, f: usize| -> Result<Vec<Row>> {
-        let path = path_of(side, f);
-        let mut data = Vec::new();
-        std::fs::File::open(&path)
-            .and_then(|mut file| file.read_to_end(&mut data))
-            .map_err(|e| FudjError::Execution(format!("spill read failed: {e}")))?;
-        let _ = std::fs::remove_file(&path);
-        let mut bytes = bytes::Bytes::from(data);
-        let mut rows = Vec::new();
-        while !bytes.is_empty() {
-            rows.push(fudj_types::wire::decode_row(&mut bytes)?);
-        }
-        Ok(rows)
-    };
-    let mut out = Vec::new();
-    for f in 0..fanout {
-        let l = read_side("l", f)?;
-        let r = read_side("r", f)?;
-        out.extend(join_worker_partition(ctx, l, r)?);
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -1069,6 +995,94 @@ mod tests {
         assert_eq!(m1.snapshot().spilled_rows, 0);
         assert!(m2.snapshot().spilled_rows > 0, "budget 10 must spill");
         assert!(m2.snapshot().spilled_bytes > 0);
+    }
+
+    #[test]
+    fn spill_working_set_stays_within_budget_plus_one_row() {
+        // Regression: the old grace path buffered every encoded row of both
+        // sides in memory before writing a single byte. The hybrid-hash
+        // COMBINE streams through bounded write buffers, so the peak
+        // resident working set of a spilling task must never exceed the
+        // budget by more than the row that triggered the eviction.
+        let (parks, fires) = spatial_values(77, 60, 160);
+        let budget = 24usize;
+        let cluster = Cluster::new(2);
+        let mk = |budget: Option<usize>| {
+            let mut node = FudjJoinNode::new(
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("wp_{budget:?}"), parks.clone(), 2),
+                },
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("wf_{budget:?}"), fires.clone(), 2),
+                },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                    SpatialFudj::new(),
+                )))),
+                1,
+                1,
+                vec![Value::Int64(8)],
+            );
+            node.memory_budget_rows = budget;
+            PhysicalPlan::FudjJoin(node)
+        };
+        let (in_memory, _) = cluster.execute(&mk(None)).unwrap();
+        let (spilled, metrics) = cluster.execute(&mk(Some(budget))).unwrap();
+        assert_eq!(id_pairs(&in_memory), id_pairs(&spilled));
+        let s = metrics.snapshot();
+        assert!(s.spilled_rows > 0, "workload must actually spill: {s:?}");
+        assert!(s.spill_peak_resident_rows > 0);
+        assert!(
+            s.spill_peak_resident_rows <= budget as u64 + 1,
+            "peak resident {} rows exceeds budget {budget} + 1",
+            s.spill_peak_resident_rows,
+        );
+    }
+
+    #[test]
+    fn tiny_budget_recurses_instead_of_overflowing_fanout() {
+        // Regression: the old path clamped its fan-out and then joined
+        // whatever landed in each sub-partition in memory, silently
+        // blowing the budget on a tiny budget with a large input. The
+        // hybrid-hash COMBINE must recursively repartition instead (and
+        // still produce exactly the in-memory result).
+        let (parks, fires) = spatial_values(91, 80, 240);
+        let cluster = Cluster::new(1);
+        let mk = |budget: Option<usize>, fanout: usize| {
+            let mut node = FudjJoinNode::new(
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("rp_{budget:?}"), parks.clone(), 1),
+                },
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("rf_{budget:?}"), fires.clone(), 1),
+                },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                    SpatialFudj::new(),
+                )))),
+                1,
+                1,
+                vec![Value::Int64(8)],
+            );
+            node.memory_budget_rows = budget;
+            node.spill.fanout = fanout;
+            PhysicalPlan::FudjJoin(node)
+        };
+        let (in_memory, _) = cluster.execute(&mk(None, 16)).unwrap();
+        // Fan-out 2 with budget 6: the first pass cannot come close to
+        // budget-sized sub-partitions, so correctness depends on recursion.
+        let (spilled, metrics) = cluster.execute(&mk(Some(6), 2)).unwrap();
+        assert_eq!(id_pairs(&in_memory), id_pairs(&spilled));
+        assert!(!in_memory.is_empty());
+        let s = metrics.snapshot();
+        assert!(s.spilled_rows > 0);
+        assert!(
+            s.spill_recursion_depth >= 1,
+            "tiny budget + fanout 2 must recurse: {s:?}"
+        );
+        assert!(s.spill_passes >= 3, "recursion implies extra passes: {s:?}");
+        assert!(
+            s.spill_peak_resident_rows <= 6 + 1,
+            "recursion must not blow the budget: {s:?}"
+        );
     }
 
     #[test]

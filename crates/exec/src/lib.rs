@@ -56,6 +56,7 @@ pub mod metrics;
 pub mod plan;
 pub mod pool;
 pub mod recovery;
+pub mod spill;
 
 pub use control::{DispatchGate, QueryControl};
 pub use executor::{Cluster, PartitionedData};
@@ -74,3 +75,4 @@ pub use pool::WorkerPool;
 pub use recovery::{
     ClusterRecovery, Membership, RecoveryContext, RecoveryStats, WorkerInfo, WorkerState,
 };
+pub use spill::{SpillConfig, SpillStats};

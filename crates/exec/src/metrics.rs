@@ -116,6 +116,22 @@ pub struct MetricsSnapshot {
     pub spilled_rows: u64,
     /// Bytes written to spill files.
     pub spilled_bytes: u64,
+    /// Sub-partitions the hybrid-hash COMBINE kept memory-resident.
+    pub spill_resident_partitions: u64,
+    /// Sub-partitions the hybrid-hash COMBINE streamed to disk.
+    pub spill_spilled_partitions: u64,
+    /// Partitioning passes run by spilling joins (1 per spill plus 1 per
+    /// recursive repartitioning of an over-budget sub-partition).
+    pub spill_passes: u64,
+    /// Deepest recursive repartitioning level reached (0 = first pass).
+    pub spill_recursion_depth: u64,
+    /// Sub-partitions joined by the block-nested-loop fallback (recursion
+    /// depth cap hit, or a single hot bucket that rehashing cannot split).
+    pub spill_bnl_fallbacks: u64,
+    /// Largest row working set a spilling COMBINE task ever held resident
+    /// (slot memory plus unflushed write buffers); bounded by the budget
+    /// plus one write batch.
+    pub spill_peak_resident_rows: u64,
     /// Named phase durations, in completion order (phases repeat per join).
     pub phases: Vec<(String, Duration)>,
     /// Per-worker counters, indexed by worker id. Grows on demand to the
@@ -168,6 +184,12 @@ impl MetricsSnapshot {
             dedup_rejections: self.dedup_rejections,
             spilled_rows: self.spilled_rows,
             spilled_bytes: self.spilled_bytes,
+            spill_resident_partitions: self.spill_resident_partitions,
+            spill_spilled_partitions: self.spill_spilled_partitions,
+            spill_passes: self.spill_passes,
+            spill_recursion_depth: self.spill_recursion_depth,
+            spill_bnl_fallbacks: self.spill_bnl_fallbacks,
+            spill_peak_resident_rows: self.spill_peak_resident_rows,
             phases: self.phases.iter().map(|(n, _)| n.clone()).collect(),
             fault: self.fault,
             udf: self.udf,
@@ -228,6 +250,18 @@ pub struct CounterFingerprint {
     pub spilled_rows: u64,
     /// Bytes written to spill files.
     pub spilled_bytes: u64,
+    /// Sub-partitions kept memory-resident by the hybrid-hash COMBINE.
+    pub spill_resident_partitions: u64,
+    /// Sub-partitions streamed to disk by the hybrid-hash COMBINE.
+    pub spill_spilled_partitions: u64,
+    /// Partitioning passes run by spilling joins.
+    pub spill_passes: u64,
+    /// Deepest recursive repartitioning level reached.
+    pub spill_recursion_depth: u64,
+    /// Sub-partitions joined by the block-nested-loop fallback.
+    pub spill_bnl_fallbacks: u64,
+    /// Largest resident row working set of any spilling COMBINE task.
+    pub spill_peak_resident_rows: u64,
     /// Phase names in completion order (durations excluded).
     pub phases: Vec<String>,
     /// Injected-fault and recovery counters.
@@ -384,6 +418,23 @@ impl QueryMetrics {
         let mut m = self.inner.lock();
         m.snap.spilled_rows += rows;
         m.snap.spilled_bytes += bytes;
+    }
+
+    /// Fold one hybrid-hash spill run's counters into the query totals.
+    /// Called once per spilling COMBINE task, after it succeeds — volume
+    /// and partition counters accumulate, depth and peak-working-set are
+    /// high-water marks across tasks.
+    pub fn record_spill_run(&self, stats: &crate::spill::SpillStats) {
+        let mut m = self.inner.lock();
+        let s = &mut m.snap;
+        s.spilled_rows += stats.spilled_rows;
+        s.spilled_bytes += stats.spilled_bytes;
+        s.spill_resident_partitions += stats.resident_partitions;
+        s.spill_spilled_partitions += stats.spilled_partitions;
+        s.spill_passes += stats.passes;
+        s.spill_recursion_depth = s.spill_recursion_depth.max(stats.max_depth);
+        s.spill_bnl_fallbacks += stats.bnl_fallbacks;
+        s.spill_peak_resident_rows = s.spill_peak_resident_rows.max(stats.peak_resident_rows);
     }
 
     /// Fold one guarded join's guardrail counters into the query totals.

@@ -133,11 +133,14 @@ pub struct FudjJoinNode {
     pub self_join: bool,
     /// Local bucket-matching strategy.
     pub combine: CombineStrategy,
-    /// When set, a worker whose tagged rows exceed this budget grace-
-    /// partitions them to temporary files and joins sub-partition by
-    /// sub-partition — §III-B's "memory budget-aware operators that can
-    /// spill to the disk". Applies to default-match joins.
+    /// When set, a worker whose tagged rows exceed this budget runs the
+    /// memory-adaptive hybrid-hash COMBINE: as many sub-partitions as fit
+    /// stay resident, the rest stream to spill files — §III-B's "memory
+    /// budget-aware operators that can spill to the disk". Applies to
+    /// default-match joins.
     pub memory_budget_rows: Option<usize>,
+    /// Hybrid-hash tuning (fan-out, recursion cap, write batch).
+    pub spill: crate::spill::SpillConfig,
     schema: SchemaRef,
 }
 
@@ -162,6 +165,7 @@ impl FudjJoinNode {
             self_join: false,
             combine: CombineStrategy::default(),
             memory_budget_rows: None,
+            spill: crate::spill::SpillConfig::default(),
             schema,
         }
     }

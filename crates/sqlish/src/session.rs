@@ -68,6 +68,10 @@ struct SessionVars {
     /// Per-worker spill budget, overriding planner options and any
     /// per-join default.
     memory_budget_rows: Option<usize>,
+    /// Hybrid-hash spill fan-out (sub-partitions per pass).
+    spill_fanout: Option<usize>,
+    /// Hybrid-hash recursive-repartition depth cap.
+    spill_recursion_limit: Option<usize>,
 }
 
 /// Result of executing one statement.
@@ -237,6 +241,12 @@ impl Session {
         if vars.memory_budget_rows.is_some() {
             options.memory_budget_rows = vars.memory_budget_rows;
         }
+        if vars.spill_fanout.is_some() {
+            options.spill_fanout = vars.spill_fanout;
+        }
+        if vars.spill_recursion_limit.is_some() {
+            options.spill_recursion_limit = vars.spill_recursion_limit;
+        }
         options
     }
 
@@ -275,6 +285,17 @@ impl Session {
             "priority" => vars.priority = numeric()? as u32,
             "deadline_ms" => vars.deadline_ms = optional()?,
             "memory_budget_rows" => vars.memory_budget_rows = optional()?.map(|n| n as usize),
+            "spill_fanout" => vars.spill_fanout = optional()?.map(|n| n as usize),
+            "spill_recursion_limit" => {
+                // 0 is a meaningful cap (never recurse, straight to the
+                // block-nested-loop fallback), so only none/off clear it.
+                vars.spill_recursion_limit =
+                    if value.eq_ignore_ascii_case("none") || value.eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        Some(numeric()? as usize)
+                    };
+            }
             // Recovery knobs live on the shared cluster (its recovery
             // layer is one `Arc` across every clone), so no
             // scheduler re-attach is needed.
@@ -303,7 +324,8 @@ impl Session {
                 return Err(FudjError::Execution(format!(
                     "unknown SET variable {other:?} (expected max_inflight_queries, \
                      admission_queue_limit, memory_quota_rows, stage_slots, priority, \
-                     deadline_ms, memory_budget_rows, checkpoint_budget_bytes, \
+                     deadline_ms, memory_budget_rows, spill_fanout, \
+                     spill_recursion_limit, checkpoint_budget_bytes, \
                      checkpoint_stages, or worker_quarantine_threshold)"
                 )))
             }
@@ -711,6 +733,46 @@ mod tests {
         s.execute("SET memory_budget_rows = none").unwrap();
         let cleared = s.execute(sql).unwrap();
         assert_eq!(cleared.metrics().spilled_rows, 0);
+    }
+
+    #[test]
+    fn set_spill_knobs_tune_hybrid_hash_and_preserve_results() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM Parks p, Wildfires w \
+                   WHERE st_contains(p.boundary, w.location)";
+
+        s.execute("SET memory_budget_rows = 4").unwrap();
+        let default_knobs = s.execute(sql).unwrap();
+        let count = default_knobs.batch().rows()[0].get(0).clone();
+        assert!(default_knobs.metrics().spilled_rows > 0);
+
+        // A narrow fan-out with recursion allowed still answers correctly.
+        s.execute("SET spill_fanout = 2").unwrap();
+        let narrow = s.execute(sql).unwrap();
+        assert_eq!(narrow.batch().rows()[0].get(0), &count);
+        assert!(narrow.metrics().spill_passes >= 1);
+
+        // recursion_limit = 0 forbids repartitioning: over-budget
+        // sub-partitions must take the block-nested-loop fallback.
+        s.execute("SET spill_recursion_limit = 0").unwrap();
+        let bnl = s.execute(sql).unwrap();
+        assert_eq!(bnl.batch().rows()[0].get(0), &count);
+        assert_eq!(bnl.metrics().spill_recursion_depth, 0);
+        assert!(
+            bnl.metrics().spill_bnl_fallbacks > 0,
+            "depth cap 0 with a 4-row budget must hit the BNL fallback"
+        );
+
+        // `off` restores the engine defaults.
+        s.execute("SET spill_fanout = off").unwrap();
+        s.execute("SET spill_recursion_limit = off").unwrap();
+        let restored = s.execute(sql).unwrap();
+        assert_eq!(restored.batch().rows()[0].get(0), &count);
     }
 
     #[test]

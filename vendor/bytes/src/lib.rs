@@ -121,6 +121,16 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest
+    /// (upstream semantics; upstream shares storage, this copies).
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
 }
 
 impl From<&[u8]> for BytesMut {
@@ -141,6 +151,12 @@ impl std::ops::Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -265,6 +281,27 @@ mod tests {
         b.copy_to_slice(&mut s);
         assert_eq!(&s, b"abc");
         assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn split_to_takes_front_keeps_rest() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"headtail");
+        let head = buf.split_to(4);
+        assert_eq!(&head[..], b"head");
+        assert_eq!(&buf[..], b"tail");
+        let empty = buf.split_to(0);
+        assert!(empty.is_empty());
+        assert_eq!(&buf[..], b"tail");
+    }
+
+    #[test]
+    fn deref_mut_allows_in_place_patching() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"\0\0\0\0rest");
+        buf[0..4].copy_from_slice(&7u32.to_le_bytes());
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u32_le(), 7);
     }
 
     #[test]
