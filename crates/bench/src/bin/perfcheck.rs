@@ -7,13 +7,19 @@
 //! death), and writes the results to `BENCH_PR5.json` at the repository
 //! root. It then sweeps the hybrid-hash memory budget (unbounded, 50%,
 //! 10%, 1% of the per-worker COMBINE input) across all four join
-//! classes and writes the runtime-vs-budget curves to `BENCH_PR6.json`.
-//! Both JSON formats are documented in `EXPERIMENTS.md`.
+//! classes and writes the runtime-vs-budget curves to `BENCH_PR6.json`,
+//! and finally races the row-at-a-time engine against the columnar
+//! stride engine on scan/filter/aggregate pipelines, writing the
+//! speedups to `BENCH_PR7.json`. All three JSON formats are documented
+//! in `EXPERIMENTS.md`.
 
 use fudj_bench::runner::{measure, RunConfig, Strategy};
 use fudj_bench::workloads::Workload;
 use fudj_core::FudjEngineJoin;
-use fudj_exec::{Cluster, FaultConfig, FudjJoinNode, MetricsSnapshot, PhysicalPlan, WorkerPool};
+use fudj_exec::{
+    AggFunc, Aggregate, Cluster, CmpOp, ColumnCompare, ExecMode, FaultConfig, FudjJoinNode,
+    MetricsSnapshot, PhysicalPlan, WorkerPool,
+};
 use fudj_joins::EqualityFudj;
 use fudj_planner::PlanOptions;
 use fudj_storage::DatasetBuilder;
@@ -373,6 +379,206 @@ fn budget_sweep(workers: usize) -> String {
     json
 }
 
+/// One row-vs-columnar race over the same physical plan and cluster.
+struct ModePoint {
+    workload: &'static str,
+    rows_in: usize,
+    rows_out: usize,
+    row_seconds: f64,
+    columnar_seconds: f64,
+}
+
+impl ModePoint {
+    fn speedup(&self) -> f64 {
+        self.row_seconds / self.columnar_seconds
+    }
+}
+
+/// Time one plan under one execution mode, returning the sorted result,
+/// the counter fingerprint source, and the best wall time over `rounds`
+/// timed runs. Callers interleave row and columnar rounds so a noisy
+/// scheduling burst penalizes both engines, not whichever one it hit.
+struct ModeRace {
+    rows: Vec<Row>,
+    snap: MetricsSnapshot,
+    best: f64,
+}
+
+fn race_mode(cluster: &Cluster, plan: &PhysicalPlan, mode: ExecMode, rounds: usize) -> ModeRace {
+    let mut best = f64::MAX;
+    let mut kept = None;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let (batch, metrics) = cluster.execute_mode(plan, Some(mode)).unwrap();
+        let wall = start.elapsed().as_secs_f64();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.exec_mode, mode, "executor ignored the mode override");
+        best = best.min(wall);
+        if kept.is_none() {
+            let mut rows = batch.into_rows();
+            rows.sort();
+            kept = Some((rows, snap));
+        }
+    }
+    let (rows, snap) = kept.unwrap();
+    ModeRace { rows, snap, best }
+}
+
+/// Race the row engine against the columnar engine on the pipelines the
+/// stride kernels target — scan+filter, scan+aggregate, and the fused
+/// scan+filter+aggregate — and assemble `BENCH_PR7.json`. Asserts that
+/// both engines return bit-identical answers with identical logical
+/// counter fingerprints, and that the columnar engine clears 1.5x
+/// rows/sec on at least two of the pipelines.
+fn exec_mode_sweep(workers: usize) -> String {
+    const N: usize = 480_000;
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("grp", DataType::Int64),
+        Field::new("val", DataType::Int64),
+    ]));
+    let data = DatasetBuilder::new("Fact", schema)
+        .partitions(workers)
+        .build()
+        .unwrap();
+    // Deterministic xorshift fill: 4096 groups, values in [0, 10_000).
+    // The group count is large enough that the row engine's
+    // `Vec<Value>`-keyed hash table feels every probe (alloc + deep hash
+    // + deep compare), which is exactly the overhead the columnar
+    // engine's i64 slot map amortizes away.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..N {
+        let grp = (next() % 4096) as i64;
+        let val = (next() % 10_000) as i64;
+        data.insert(Row::new(vec![
+            Value::Int64(i as i64),
+            Value::Int64(grp),
+            Value::Int64(val),
+        ]))
+        .unwrap();
+    }
+    let data = Arc::new(data);
+
+    let scan = || PhysicalPlan::Scan {
+        dataset: data.clone(),
+    };
+    let cmp = |column: usize, op: CmpOp, lit: i64| ColumnCompare {
+        column,
+        op,
+        literal: Value::Int64(lit),
+    };
+    let filter = |input: PhysicalPlan, compares: Vec<ColumnCompare>| PhysicalPlan::VecFilter {
+        input: Box::new(input),
+        compares,
+    };
+    // ~78%-pass conjunction: real pruning work for the filter kernels.
+    let selective = || {
+        vec![
+            cmp(1, CmpOp::GtEq, 64),
+            cmp(1, CmpOp::NotEq, 300),
+            cmp(2, CmpOp::Lt, 9_000),
+        ]
+    };
+    // ~99%-pass predicate: almost everything flows through to the
+    // aggregation, so this pipeline measures filter + aggregate together
+    // rather than the filter alone.
+    let pass_heavy = || vec![cmp(2, CmpOp::Lt, 9_900)];
+    let project = |input: PhysicalPlan| PhysicalPlan::VecProject {
+        input: Box::new(input),
+        columns: vec![1],
+        schema: Arc::new(Schema::new(vec![Field::new("grp", DataType::Int64)])),
+    };
+    let aggregate = |input: PhysicalPlan| PhysicalPlan::HashAggregate {
+        input: Box::new(input),
+        group_by: vec![1],
+        aggregates: vec![
+            Aggregate::count_star("c"),
+            Aggregate::on(AggFunc::Sum, 2, "s"),
+            Aggregate::on(AggFunc::Avg, 2, "a"),
+        ],
+    };
+    let plans = [
+        ("scan_filter_project", project(filter(scan(), selective()))),
+        ("group_aggregate", aggregate(scan())),
+        (
+            "filter_group_aggregate",
+            aggregate(filter(scan(), pass_heavy())),
+        ),
+    ];
+
+    let cluster = Cluster::new(workers);
+    let mut points = Vec::new();
+    for (name, plan) in &plans {
+        let row = race_mode(&cluster, plan, ExecMode::Row, 6);
+        let col = race_mode(&cluster, plan, ExecMode::Columnar, 6);
+        assert_eq!(row.rows, col.rows, "{name}: engines disagree on the answer");
+        assert_eq!(
+            row.snap.fingerprint(),
+            col.snap.fingerprint(),
+            "{name}: engines disagree on logical counters"
+        );
+        assert!(!row.rows.is_empty(), "{name}: degenerate workload");
+        points.push(ModePoint {
+            workload: name,
+            rows_in: N,
+            rows_out: row.rows.len(),
+            row_seconds: row.best,
+            columnar_seconds: col.best,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 7,\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"rows\": {N},");
+    json.push_str("  \"exec_mode_sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "exec-mode {}: {} -> {} rows, row {:.4}s ({:.0} rows/s), \
+             columnar {:.4}s ({:.0} rows/s), speedup {:.2}x",
+            p.workload,
+            p.rows_in,
+            p.rows_out,
+            p.row_seconds,
+            p.rows_in as f64 / p.row_seconds,
+            p.columnar_seconds,
+            p.rows_in as f64 / p.columnar_seconds,
+            p.speedup(),
+        );
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \
+             \"row_seconds\": {}, \"columnar_seconds\": {}, \
+             \"row_rows_per_sec\": {}, \"columnar_rows_per_sec\": {}, \
+             \"speedup\": {}, \"counters_match\": true}}",
+            p.workload,
+            p.rows_in,
+            p.rows_out,
+            json_f64(p.row_seconds),
+            json_f64(p.columnar_seconds),
+            json_f64(p.rows_in as f64 / p.row_seconds),
+            json_f64(p.rows_in as f64 / p.columnar_seconds),
+            json_f64(p.speedup()),
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let cleared = points.iter().filter(|p| p.speedup() >= 1.5).count();
+    assert!(
+        cleared >= 2,
+        "columnar engine cleared 1.5x on only {cleared} of {} pipelines",
+        points.len()
+    );
+    json
+}
+
 fn main() {
     // Warm + best-of-3 end-to-end numbers for the scaling headline.
     for workers in [1usize, 4] {
@@ -529,6 +735,14 @@ fn main() {
     let sweep = budget_sweep(WORKERS);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
     match std::fs::write(&path, &sweep) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    // PR7: row engine vs columnar stride engine on the same plans.
+    let modes = exec_mode_sweep(WORKERS);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json");
+    match std::fs::write(&path, &modes) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

@@ -70,6 +70,11 @@ pub fn render_batch(batch: &Batch) -> String {
     out
 }
 
+/// Render the execution mode one query ran under (row vs columnar).
+pub fn render_exec_mode(snapshot: &MetricsSnapshot) -> String {
+    format!("Exec mode: {}\n", snapshot.exec_mode)
+}
+
 /// Render the fault-injection/recovery counters of one query, or an empty
 /// string when the query saw no faults (so quiet runs print nothing new).
 pub fn render_fault_stats(snapshot: &MetricsSnapshot) -> String {
@@ -230,6 +235,17 @@ mod tests {
         let schema = Schema::shared(vec![Field::new("c", DataType::Int64)]);
         let text = render_batch(&Batch::empty(schema));
         assert!(text.contains("(0 rows)"));
+    }
+
+    #[test]
+    fn exec_mode_renders_for_both_engines() {
+        let mut snap = MetricsSnapshot {
+            exec_mode: fudj_exec::ExecMode::Columnar,
+            ..Default::default()
+        };
+        assert_eq!(render_exec_mode(&snap), "Exec mode: columnar\n");
+        snap.exec_mode = fudj_exec::ExecMode::Row;
+        assert_eq!(render_exec_mode(&snap), "Exec mode: row\n");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The REPL engine: statement accumulation, meta commands, execution.
 
 use crate::render::{
-    render_batch, render_fault_stats, render_recovery_stats, render_spill_stats, render_udf_stats,
+    render_batch, render_exec_mode, render_fault_stats, render_recovery_stats, render_spill_stats,
+    render_udf_stats,
 };
 use fudj_datagen::GeneratorConfig;
 use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
@@ -81,6 +82,7 @@ impl Repl {
                     let _ = writeln!(out, "Time: {:?}", start.elapsed());
                 }
                 if self.show_metrics {
+                    out.push_str(&render_exec_mode(&metrics));
                     let _ = writeln!(
                         out,
                         "Network: {} bytes shuffled, {} broadcast, {} state; verify calls: {}",
@@ -504,6 +506,8 @@ pub const HELP: &str = r#"FUDJ shell
   spill knobs (statements, end with ';'):
     SET memory_budget_rows = N|off;   SET spill_fanout = N|off;
     SET spill_recursion_limit = N|off;  (0 = always block-nested-loop)
+  execution knobs (statements, end with ';'):
+    SET exec_mode = row|columnar|off; (off = engine default, columnar)
   recovery knobs (statements, end with ';'):
     SET checkpoint_stages = all|off|'stage,stage,...';
     SET checkpoint_budget_bytes = N|off;

@@ -190,6 +190,31 @@ pub trait EngineJoin: Send + Sync {
         out: &mut Vec<BucketId>,
     ) -> Result<()>;
 
+    /// Bucket ids for a whole key slice: `each(i, buckets)` is called once
+    /// per key, in order, with that key's sorted, deduplicated bucket
+    /// list. The columnar executor calls this once per partition stride
+    /// instead of once per row, amortizing the call boundary the paper's
+    /// §VII-B measures; batch-aware operators can override it to assign a
+    /// slice in one pass. The default loops [`EngineJoin::assign`], so a
+    /// guarded join keeps its per-call panic/violation attribution.
+    fn assign_slice(
+        &self,
+        side: Side,
+        keys: &[&Value],
+        pplan: &PPlanState,
+        each: &mut dyn FnMut(usize, &[BucketId]),
+    ) -> Result<()> {
+        let mut buckets: Vec<BucketId> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            buckets.clear();
+            self.assign(side, key, pplan, &mut buckets)?;
+            buckets.sort_unstable();
+            buckets.dedup();
+            each(i, &buckets);
+        }
+        Ok(())
+    }
+
     /// Bucket matching (default equality).
     fn matches(&self, b1: BucketId, b2: BucketId) -> bool {
         b1 == b2

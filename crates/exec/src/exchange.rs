@@ -31,9 +31,10 @@
 
 use crate::fault::FaultContext;
 use crate::metrics::QueryMetrics;
+use crate::mode::ExecMode;
 use crate::pool::WorkerPool;
 use bytes::{Bytes, BytesMut};
-use fudj_types::{wire, Result, Row};
+use fudj_types::{wire, ColumnReader, Result, Row};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -322,7 +323,19 @@ pub fn gather(parts: Parts, pool: &WorkerPool, metrics: &QueryMetrics) -> Result
         }
         moved_bytes += buf.len() as u64;
         let mut b = buf;
-        moved_rows += decode_all(&mut b, &mut out)? as u64;
+        // Columnar mode rebuilds each inbound stream as typed columns
+        // through the zero-copy reader; same bytes, same rows, same
+        // order — the counters cannot tell the difference.
+        moved_rows += match metrics.exec_mode() {
+            ExecMode::Columnar => {
+                let mut reader = ColumnReader::new();
+                reader.read_stream(&mut b)?;
+                let n = reader.rows();
+                out.extend(reader.finish().to_rows());
+                n as u64
+            }
+            ExecMode::Row => decode_all(&mut b, &mut out)? as u64,
+        };
     }
     // The coordinator receives everything over its single link.
     metrics.charge_network(moved_bytes);

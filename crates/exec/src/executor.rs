@@ -1,8 +1,10 @@
 //! The cluster executor.
 
 use crate::aggregate::Accumulator;
+use crate::columnar;
 use crate::exchange;
 use crate::metrics::QueryMetrics;
+use crate::mode::ExecMode;
 use crate::plan::{Aggregate, PhysicalPlan, SortKey};
 use crate::pool::WorkerPool;
 use crate::recovery::{self, ClusterRecovery, Membership, WorkerInfo};
@@ -146,9 +148,22 @@ impl Cluster {
         self.membership().snapshot()
     }
 
-    /// Execute a plan and gather the result on the coordinator.
+    /// Execute a plan and gather the result on the coordinator. The
+    /// evaluation strategy comes from [`ExecMode::from_env`] (columnar
+    /// unless `FUDJ_EXEC_MODE=row`).
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryMetrics)> {
         self.execute_with(plan, None, None)
+    }
+
+    /// Execute a plan under an explicit evaluation strategy. `None` means
+    /// the environment default — what `SET exec_mode` leaves in place when
+    /// the session never touched the knob.
+    pub fn execute_mode(
+        &self,
+        plan: &PhysicalPlan,
+        mode: Option<ExecMode>,
+    ) -> Result<(Batch, QueryMetrics)> {
+        self.execute_with_mode(plan, None, None, mode.unwrap_or_else(ExecMode::from_env))
     }
 
     /// Execute a plan under scheduler control: `control` carries the
@@ -161,7 +176,20 @@ impl Cluster {
         control: Option<Arc<crate::control::QueryControl>>,
         gate: Option<Arc<dyn crate::control::DispatchGate>>,
     ) -> Result<(Batch, QueryMetrics)> {
+        self.execute_with_mode(plan, control, gate, ExecMode::from_env())
+    }
+
+    /// The full execution entry point: scheduler control plus an explicit
+    /// evaluation strategy.
+    pub fn execute_with_mode(
+        &self,
+        plan: &PhysicalPlan,
+        control: Option<Arc<crate::control::QueryControl>>,
+        gate: Option<Arc<dyn crate::control::DispatchGate>>,
+        mode: ExecMode,
+    ) -> Result<(Batch, QueryMetrics)> {
         let mut metrics = QueryMetrics::with_config(self.network, self.faults);
+        metrics.set_exec_mode(mode);
         if let Some(ctrl) = control {
             metrics.attach_control(ctrl, gate);
         }
@@ -189,12 +217,21 @@ impl Cluster {
         match plan {
             PhysicalPlan::Scan { dataset } => {
                 // Map storage partitions onto workers round-robin: local
-                // disk reads, no network cost.
-                let mut parts: PartitionedData = vec![Vec::new(); self.workers];
+                // disk reads, no network cost. Each worker materializes
+                // its own partitions in parallel — the read was serial on
+                // the coordinator once, which Amdahl-capped every
+                // downstream operator's scaling.
+                let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); self.workers];
                 for p in 0..dataset.partition_count() {
-                    parts[p % self.workers].extend(dataset.partition_rows(p));
+                    assigned[p % self.workers].push(p);
                 }
-                Ok(parts)
+                self.parallel_map(metrics, assigned, |ps| {
+                    let mut rows = Vec::new();
+                    for p in ps {
+                        rows.extend(dataset.partition_rows(p));
+                    }
+                    Ok(rows)
+                })
             }
 
             PhysicalPlan::Filter { input, predicate } => {
@@ -207,6 +244,21 @@ impl Cluster {
                         }
                     }
                     Ok(out)
+                })
+            }
+
+            PhysicalPlan::VecFilter { input, compares } => {
+                let parts = self.execute_partitioned(input, metrics)?;
+                let mode = metrics.exec_mode();
+                self.parallel_map(metrics, parts, |rows| {
+                    Ok(columnar::filter_rows(rows, compares, mode))
+                })
+            }
+
+            PhysicalPlan::VecProject { input, columns, .. } => {
+                let parts = self.execute_partitioned(input, metrics)?;
+                self.parallel_map(metrics, parts, |rows| {
+                    Ok(columnar::project_rows(rows, columns))
                 })
             }
 
@@ -301,9 +353,19 @@ impl Cluster {
             })
             .collect();
         let parts = self.execute_partitioned(input, metrics)?;
+        let mode = metrics.exec_mode();
 
         // Step 1: per-worker partial aggregation.
         let partials = self.parallel_map(metrics, parts, |rows| {
+            if mode == ExecMode::Columnar {
+                // Stride fast path: single-i64-key grouping with typed
+                // accumulation; declines (→ row path) on other shapes.
+                if let Some(out) =
+                    columnar::partial_aggregate(&rows, group_by, aggregates, &float_sum)
+                {
+                    return out;
+                }
+            }
             let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
             for row in &rows {
                 let key: Vec<Value> = group_by.iter().map(|&i| row.get(i).clone()).collect();

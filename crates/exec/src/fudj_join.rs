@@ -362,6 +362,7 @@ fn assign_and_tag(
     pplan: &PPlanState,
     metrics: &QueryMetrics,
 ) -> Result<PartitionedData> {
+    let mode = metrics.exec_mode();
     cluster.parallel_map(metrics, parts, |rows| {
         // One task = one partition: open a fresh fan-out window for the
         // guard's per-partition assign budget.
@@ -369,16 +370,31 @@ fn assign_and_tag(
             g.begin_partition();
         }
         let mut out = Vec::with_capacity(rows.len());
-        let mut buckets: Vec<BucketId> = Vec::new();
-        for row in rows {
-            buckets.clear();
-            join.assign(side, row.get(key_col), pplan, &mut buckets)?;
-            buckets.sort_unstable();
-            buckets.dedup();
-            for &b in &buckets {
-                let mut tagged = row.clone();
-                tagged.push(Value::Int64(b as i64));
-                out.push(tagged);
+        match mode {
+            crate::mode::ExecMode::Columnar => {
+                // Stride path: slice out the key column and cross the UDF
+                // boundary once per partition via `assign_slice` — the
+                // batch-level amortization of the per-call overhead. The
+                // callback sees sorted, deduplicated buckets per key, so
+                // the tagged output is identical to the row path's.
+                let keys: Vec<&Value> = rows.iter().map(|r| r.get(key_col)).collect();
+                join.assign_slice(side, &keys, pplan, &mut |i, buckets| {
+                    for &b in buckets {
+                        out.push(rows[i].with_appended(Value::Int64(b as i64)));
+                    }
+                })?;
+            }
+            crate::mode::ExecMode::Row => {
+                let mut buckets: Vec<BucketId> = Vec::new();
+                for row in rows {
+                    buckets.clear();
+                    join.assign(side, row.get(key_col), pplan, &mut buckets)?;
+                    buckets.sort_unstable();
+                    buckets.dedup();
+                    for &b in &buckets {
+                        out.push(row.with_appended(Value::Int64(b as i64)));
+                    }
+                }
             }
         }
         Ok(out)
@@ -404,11 +420,8 @@ fn group_by_bucket(rows: Vec<Row>) -> Result<GroupedRows> {
     let mut groups: HashMap<BucketId, Vec<usize>> = HashMap::new();
     for row in rows {
         let b = bucket_of(&row)?;
-        let width = row.len() - 1;
-        let mut values = row.into_values();
-        values.truncate(width);
         groups.entry(b).or_default().push(stripped.len());
-        stripped.push(Row::new(values));
+        stripped.push(row.prefix(row.len() - 1));
     }
     Ok((stripped, groups))
 }
@@ -478,11 +491,8 @@ fn sort_merge_partition(
         let mut tagged = Vec::with_capacity(rows.len());
         for row in rows {
             let b = bucket_of(&row)?;
-            let width = row.len() - 1;
-            let mut values = row.into_values();
-            values.truncate(width);
             tagged.push((b, stripped.len()));
-            stripped.push(Row::new(values));
+            stripped.push(row.prefix(row.len() - 1));
         }
         tagged.sort_unstable();
         Ok((stripped, tagged))

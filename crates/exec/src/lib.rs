@@ -47,12 +47,14 @@
 //! circuit breaker.
 
 pub mod aggregate;
+pub mod columnar;
 pub mod control;
 pub mod exchange;
 pub mod executor;
 pub mod fault;
 pub mod fudj_join;
 pub mod metrics;
+pub mod mode;
 pub mod plan;
 pub mod pool;
 pub mod recovery;
@@ -67,9 +69,10 @@ pub use fudj_core::{
 pub use metrics::{
     CounterFingerprint, MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats,
 };
+pub use mode::ExecMode;
 pub use plan::{
-    AggFunc, Aggregate, CombineStrategy, FudjJoinNode, JoinPredicate, PhysicalPlan, RowMapper,
-    RowPredicate, SortKey,
+    AggFunc, Aggregate, CmpOp, ColumnCompare, CombineStrategy, FudjJoinNode, JoinPredicate,
+    PhysicalPlan, RowMapper, RowPredicate, SortKey,
 };
 pub use pool::WorkerPool;
 pub use recovery::{

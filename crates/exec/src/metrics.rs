@@ -7,6 +7,7 @@
 
 use crate::control::{DispatchGate, QueryControl};
 use crate::fault::{FaultContext, FaultStats};
+use crate::mode::ExecMode;
 use crate::recovery::{RecoveryContext, RecoveryStats};
 use fudj_core::{FaultConfig, UdfStats};
 use parking_lot::Mutex;
@@ -154,6 +155,11 @@ pub struct MetricsSnapshot {
     /// when a [`QueryControl`] was attached (every pool batch advances
     /// it), else the fault layer's backoff/straggler clock.
     pub sim_clock_ms: u64,
+    /// Evaluation strategy the query ran under. Display-only: it is
+    /// deliberately *not* part of [`CounterFingerprint`], because the whole
+    /// point of the columnar differential oracle is that both modes produce
+    /// identical logical counters.
+    pub exec_mode: ExecMode,
 }
 
 impl MetricsSnapshot {
@@ -289,6 +295,7 @@ pub struct QueryMetrics {
     recovery: Option<Arc<RecoveryContext>>,
     control: Option<Arc<QueryControl>>,
     gate: Option<Arc<dyn DispatchGate>>,
+    exec_mode: ExecMode,
 }
 
 impl QueryMetrics {
@@ -315,7 +322,19 @@ impl QueryMetrics {
             recovery: None,
             control: None,
             gate: None,
+            exec_mode: ExecMode::default(),
         }
+    }
+
+    /// Stamp the evaluation strategy this query runs under. Set once by
+    /// the cluster before execution starts; it only labels snapshots.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The evaluation strategy operators should use for vectorizable work.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Attach a per-query recovery context (checkpointing, worker-death
@@ -513,6 +532,7 @@ impl QueryMetrics {
             Some(ctrl) => ctrl.sim_clock_ms(),
             None => snap.fault.sim_clock_ms,
         };
+        snap.exec_mode = self.exec_mode;
         snap
     }
 }

@@ -20,6 +20,61 @@ pub type RowMapper = Arc<dyn Fn(&Row) -> Result<Row> + Send + Sync>;
 /// Compiled two-row join predicate (the on-top NLJ's UDF condition).
 pub type JoinPredicate = Arc<dyn Fn(&Row, &Row) -> Result<bool> + Send + Sync>;
 
+/// Comparison operator of a vectorized filter kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    /// Whether an `Ordering` of `column <cmp> literal` satisfies this op.
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::NotEq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::LtEq => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::GtEq => ord != Less,
+        }
+    }
+
+    /// SQL-ish spelling, for EXPLAIN output.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+}
+
+/// One `column <op> literal` comparison of a vectorized filter. Semantics
+/// are [`Value`]'s total order — exactly what the planner's interpreted
+/// `eval_binary` uses — so row and columnar evaluation agree bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct ColumnCompare {
+    pub column: usize,
+    pub op: CmpOp,
+    pub literal: Value,
+}
+
+impl ColumnCompare {
+    /// Evaluate against one row (the row-mode kernel).
+    pub fn eval_row(&self, row: &Row) -> bool {
+        self.op.matches(row.get(self.column).cmp(&self.literal))
+    }
+}
+
 /// Aggregate function kinds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggFunc {
@@ -185,6 +240,21 @@ pub enum PhysicalPlan {
         input: Box<PhysicalPlan>,
         predicate: RowPredicate,
     },
+    /// Planner-compiled filter: a conjunction of `column <op> literal`
+    /// comparisons. Row mode evaluates per row; columnar mode builds a
+    /// selection bitmap over typed column strides. Both agree with the
+    /// closure a [`PhysicalPlan::Filter`] would have carried.
+    VecFilter {
+        input: Box<PhysicalPlan>,
+        compares: Vec<ColumnCompare>,
+    },
+    /// Planner-compiled projection: pure column selection/reorder with no
+    /// computed expressions, vectorizable as whole-column moves.
+    VecProject {
+        input: Box<PhysicalPlan>,
+        columns: Vec<usize>,
+        schema: SchemaRef,
+    },
     /// Map every row (projection / computed columns).
     Project {
         input: Box<PhysicalPlan>,
@@ -223,6 +293,8 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::Scan { dataset } => dataset.schema().clone(),
             PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::VecFilter { input, .. } => input.schema(),
+            PhysicalPlan::VecProject { schema, .. } => schema.clone(),
             PhysicalPlan::Project { schema, .. } => schema.clone(),
             PhysicalPlan::FudjJoin(node) => node.schema(),
             PhysicalPlan::NlJoin { left, right, .. } => {
@@ -264,6 +336,19 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Filter { input, .. } => {
                 let _ = writeln!(out, "{pad}Filter");
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::VecFilter { input, compares } => {
+                let cs: Vec<String> = compares
+                    .iter()
+                    .map(|c| format!("#{} {} {}", c.column, c.op.symbol(), c.literal))
+                    .collect();
+                let _ = writeln!(out, "{pad}VecFilter [{}]", cs.join(" and "));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::VecProject { input, columns, .. } => {
+                let cs: Vec<String> = columns.iter().map(|c| format!("#{c}")).collect();
+                let _ = writeln!(out, "{pad}VecProject [{}]", cs.join(", "));
                 input.explain_into(depth + 1, out);
             }
             PhysicalPlan::Project { input, schema, .. } => {

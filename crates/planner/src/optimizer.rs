@@ -41,6 +41,11 @@ pub struct PlanOptions {
     /// Applies to registry-resolved joins only — [`Self::join_overrides`]
     /// are trusted engine strategies and are never wrapped.
     pub guard: GuardMode,
+    /// Execution-mode override (`SET exec_mode = row|columnar`); the
+    /// executor default ([`fudj_exec::ExecMode::from_env`]) applies when
+    /// unset. Plans are identical either way — the mode only selects the
+    /// evaluation strategy at the executor.
+    pub exec_mode: Option<fudj_exec::ExecMode>,
 }
 
 impl fmt::Debug for PlanOptions {
@@ -57,6 +62,7 @@ impl fmt::Debug for PlanOptions {
             .field("spill_fanout", &self.spill_fanout)
             .field("spill_recursion_limit", &self.spill_recursion_limit)
             .field("guard", &self.guard)
+            .field("exec_mode", &self.exec_mode)
             .finish()
     }
 }

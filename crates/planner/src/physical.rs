@@ -6,11 +6,11 @@
 //! override from [`PlanOptions::join_overrides`]), and computed join keys
 //! become appended key columns the join operator can address by index.
 
-use crate::expr::{BoundExpr, Expr};
+use crate::expr::{BinOp, BoundExpr, Expr};
 use crate::logical::LogicalPlan;
 use crate::optimizer::PlanOptions;
 use fudj_core::{FudjEngineJoin, GuardMode, GuardedJoin, JoinAlgorithm, JoinRegistry};
-use fudj_exec::{Aggregate, FudjJoinNode, PhysicalPlan, SortKey};
+use fudj_exec::{Aggregate, CmpOp, ColumnCompare, FudjJoinNode, PhysicalPlan, SortKey};
 use fudj_types::{Field, FudjError, Result, Row, Schema, SchemaRef, Value};
 use std::sync::Arc;
 
@@ -28,10 +28,7 @@ pub fn lower(
         LogicalPlan::Filter { input, predicate } => {
             let schema = input.schema()?;
             let bound = predicate.bind(&schema)?;
-            PhysicalPlan::Filter {
-                input: Box::new(lower(input, registry, options)?),
-                predicate: predicate_closure(bound),
-            }
+            lower_filter(lower(input, registry, options)?, bound)
         }
 
         LogicalPlan::Project { input, exprs } => {
@@ -41,16 +38,25 @@ pub fn lower(
                 .iter()
                 .map(|(e, _)| e.bind(&in_schema))
                 .collect::<Result<_>>()?;
-            PhysicalPlan::Project {
-                input: Box::new(lower(input, registry, options)?),
-                mapper: Arc::new(move |row: &Row| {
-                    let mut values = Vec::with_capacity(bound.len());
-                    for b in &bound {
-                        values.push(b.eval(row)?);
-                    }
-                    Ok(Row::new(values))
-                }),
-                schema: out_schema,
+            let child = lower(input, registry, options)?;
+            if let Some(columns) = compile_columns(&bound) {
+                PhysicalPlan::VecProject {
+                    input: Box::new(child),
+                    columns,
+                    schema: out_schema,
+                }
+            } else {
+                PhysicalPlan::Project {
+                    input: Box::new(child),
+                    mapper: Arc::new(move |row: &Row| {
+                        let mut values = Vec::with_capacity(bound.len());
+                        for b in &bound {
+                            values.push(b.eval(row)?);
+                        }
+                        Ok(Row::new(values))
+                    }),
+                    schema: out_schema,
+                }
             }
         }
 
@@ -168,6 +174,96 @@ fn predicate_closure(bound: BoundExpr) -> fudj_exec::RowPredicate {
     Arc::new(move |row: &Row| bound.eval(row)?.as_bool())
 }
 
+/// Emit the vectorizable [`PhysicalPlan::VecFilter`] when the predicate is a
+/// conjunction of column-vs-literal comparisons, else the interpreted
+/// closure [`PhysicalPlan::Filter`]. Both evaluate comparisons through the
+/// same [`Value`] total order, so results are identical.
+fn lower_filter(child: PhysicalPlan, bound: BoundExpr) -> PhysicalPlan {
+    match compile_compares(&bound) {
+        Some(compares) => PhysicalPlan::VecFilter {
+            input: Box::new(child),
+            compares,
+        },
+        None => PhysicalPlan::Filter {
+            input: Box::new(child),
+            predicate: predicate_closure(bound),
+        },
+    }
+}
+
+fn cmp_op_of(op: BinOp) -> Option<CmpOp> {
+    Some(match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::NotEq => CmpOp::NotEq,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::LtEq => CmpOp::LtEq,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::GtEq => CmpOp::GtEq,
+        _ => return None,
+    })
+}
+
+/// Mirror a comparison so the column lands on the left: `lit < col` ≡
+/// `col > lit`.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::GtEq => CmpOp::LtEq,
+        CmpOp::Eq | CmpOp::NotEq => op,
+    }
+}
+
+/// Decompose a bound predicate into a conjunction of column-vs-literal
+/// comparisons, if that is all it is.
+fn compile_compares(bound: &BoundExpr) -> Option<Vec<ColumnCompare>> {
+    let mut out = Vec::new();
+    collect_compares(bound, &mut out).then_some(out)
+}
+
+fn collect_compares(bound: &BoundExpr, out: &mut Vec<ColumnCompare>) -> bool {
+    let BoundExpr::Binary { op, left, right } = bound else {
+        return false;
+    };
+    if *op == BinOp::And {
+        return collect_compares(left, out) && collect_compares(right, out);
+    }
+    let Some(op) = cmp_op_of(*op) else {
+        return false;
+    };
+    match (left.as_ref(), right.as_ref()) {
+        (BoundExpr::Column(c), BoundExpr::Literal(v)) => {
+            out.push(ColumnCompare {
+                column: *c,
+                op,
+                literal: v.clone(),
+            });
+            true
+        }
+        (BoundExpr::Literal(v), BoundExpr::Column(c)) => {
+            out.push(ColumnCompare {
+                column: *c,
+                op: mirror(op),
+                literal: v.clone(),
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// A projection that only reorders/drops columns compiles to index lookups.
+fn compile_columns(bound: &[BoundExpr]) -> Option<Vec<usize>> {
+    bound
+        .iter()
+        .map(|b| match b {
+            BoundExpr::Column(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Append a computed key column to a child plan.
 fn with_key_column(
     child: PhysicalPlan,
@@ -269,10 +365,9 @@ fn lower_fudj_join(
     let r_len = rschema.len();
     let logical_schema: SchemaRef = Arc::new(lschema.join(&rschema));
     let keep: Vec<usize> = (0..l_len).chain(l_len + 1..l_len + 1 + r_len).collect();
-    let keep_for_mapper = keep.clone();
-    let stripped = PhysicalPlan::Project {
+    let stripped = PhysicalPlan::VecProject {
         input: Box::new(joined),
-        mapper: Arc::new(move |row: &Row| Ok(row.project(&keep_for_mapper))),
+        columns: keep,
         schema: logical_schema.clone(),
     };
 
@@ -280,10 +375,7 @@ fn lower_fudj_join(
     Ok(match residual {
         Some(expr) => {
             let bound = expr.bind(&logical_schema)?;
-            PhysicalPlan::Filter {
-                input: Box::new(stripped),
-                predicate: predicate_closure(bound),
-            }
+            lower_filter(stripped, bound)
         }
         None => stripped,
     })

@@ -142,11 +142,11 @@ impl TaskDag {
                 // Local partition reads on the coordinator; no dispatch.
                 self.push("scan", StageKind::Coordinator, 1, vec![])
             }
-            PhysicalPlan::Filter { input, .. } => {
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::VecFilter { input, .. } => {
                 let i = self.visit(input, workers);
                 self.push("filter", StageKind::Compute, workers, vec![i])
             }
-            PhysicalPlan::Project { input, .. } => {
+            PhysicalPlan::Project { input, .. } | PhysicalPlan::VecProject { input, .. } => {
                 let i = self.visit(input, workers);
                 self.push("project", StageKind::Compute, workers, vec![i])
             }

@@ -18,7 +18,7 @@
 //! fails with [`FudjError::Admission`].
 
 use crate::dag::TaskDag;
-use fudj_exec::{Cluster, DispatchGate, MetricsSnapshot, PhysicalPlan, QueryControl};
+use fudj_exec::{Cluster, DispatchGate, ExecMode, MetricsSnapshot, PhysicalPlan, QueryControl};
 use fudj_types::{Batch, FudjError, Result};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -67,6 +67,9 @@ pub struct QuerySpec {
     /// Declared memory appetite, charged against the scheduler's
     /// aggregate quota while the query runs.
     pub memory_budget_rows: Option<u64>,
+    /// Execution-mode override (`SET exec_mode`); the executor default
+    /// ([`ExecMode::from_env`]) applies when unset.
+    pub exec_mode: Option<ExecMode>,
 }
 
 impl QuerySpec {
@@ -78,6 +81,7 @@ impl QuerySpec {
             priority: 1,
             deadline_ms: None,
             memory_budget_rows: None,
+            exec_mode: None,
         }
     }
 
@@ -94,6 +98,12 @@ impl QuerySpec {
     }
 
     /// Declare a memory budget, in rows.
+    /// Pin the execution mode (row vs columnar) for this query.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = Some(mode);
+        self
+    }
+
     pub fn with_memory_budget_rows(mut self, rows: u64) -> Self {
         self.memory_budget_rows = Some(rows);
         self
@@ -550,9 +560,10 @@ impl Scheduler {
         let cluster = self.cluster.clone();
         let plan = spec.plan.clone();
         let label = spec.label.clone();
+        let mode = spec.exec_mode.unwrap_or_else(ExecMode::from_env);
         std::thread::Builder::new()
             .name(format!("fudj-sched-job-{id}"))
-            .spawn(move || run_job(inner, cluster, plan, id, ctrl, tx))
+            .spawn(move || run_job(inner, cluster, plan, id, ctrl, mode, tx))
             .map_err(|e| FudjError::Execution(format!("failed to spawn job thread: {e}")))?;
         Ok(JobHandle {
             id,
@@ -620,6 +631,7 @@ fn run_job(
     plan: Arc<PhysicalPlan>,
     id: u64,
     ctrl: Arc<QueryControl>,
+    mode: ExecMode,
     tx: mpsc::Sender<Result<JobOutput>>,
 ) {
     // Admission wait: parked until the FIFO queue hands this job a slot.
@@ -646,7 +658,7 @@ fn run_job(
         ctrl: ctrl.clone(),
     });
     let result = cluster
-        .execute_with(&plan, Some(ctrl.clone()), Some(gate))
+        .execute_with_mode(&plan, Some(ctrl.clone()), Some(gate), mode)
         .map(|(batch, metrics)| (batch, metrics.snapshot()));
 
     let final_state = match &result {

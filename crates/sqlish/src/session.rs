@@ -4,7 +4,7 @@ use crate::ast::Statement;
 use crate::binder::bind_select;
 use crate::parser::parse;
 use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
-use fudj_exec::{Cluster, MetricsSnapshot, NetworkModel, WorkerInfo};
+use fudj_exec::{Cluster, ExecMode, MetricsSnapshot, NetworkModel, WorkerInfo};
 use fudj_planner::PlanOptions;
 use fudj_sched::{JobHandle, QuerySpec, Scheduler};
 use fudj_storage::CheckpointPolicy;
@@ -72,6 +72,9 @@ struct SessionVars {
     spill_fanout: Option<usize>,
     /// Hybrid-hash recursive-repartition depth cap.
     spill_recursion_limit: Option<usize>,
+    /// Execution mode (row vs columnar); the executor default applies
+    /// when unset.
+    exec_mode: Option<ExecMode>,
 }
 
 /// Result of executing one statement.
@@ -247,6 +250,9 @@ impl Session {
         if vars.spill_recursion_limit.is_some() {
             options.spill_recursion_limit = vars.spill_recursion_limit;
         }
+        if vars.exec_mode.is_some() {
+            options.exec_mode = vars.exec_mode;
+        }
         options
     }
 
@@ -286,6 +292,17 @@ impl Session {
             "deadline_ms" => vars.deadline_ms = optional()?,
             "memory_budget_rows" => vars.memory_budget_rows = optional()?.map(|n| n as usize),
             "spill_fanout" => vars.spill_fanout = optional()?.map(|n| n as usize),
+            "exec_mode" => {
+                vars.exec_mode = if cleared {
+                    None
+                } else {
+                    Some(ExecMode::parse(value).ok_or_else(|| {
+                        FudjError::Execution(format!(
+                            "SET exec_mode expects row or columnar, got {value:?}"
+                        ))
+                    })?)
+                };
+            }
             "spill_recursion_limit" => {
                 // 0 is a meaningful cap (never recurse, straight to the
                 // block-nested-loop fallback), so only none/off clear it.
@@ -325,7 +342,7 @@ impl Session {
                     "unknown SET variable {other:?} (expected max_inflight_queries, \
                      admission_queue_limit, memory_quota_rows, stage_slots, priority, \
                      deadline_ms, memory_budget_rows, spill_fanout, \
-                     spill_recursion_limit, checkpoint_budget_bytes, \
+                     spill_recursion_limit, exec_mode, checkpoint_budget_bytes, \
                      checkpoint_stages, or worker_quarantine_threshold)"
                 )))
             }
@@ -361,6 +378,9 @@ impl Session {
                 if let Some(budget) = options.memory_budget_rows {
                     spec = spec.with_memory_budget_rows(budget as u64);
                 }
+                if let Some(mode) = options.exec_mode {
+                    spec = spec.with_exec_mode(mode);
+                }
                 self.scheduler.submit(spec)
             }
             other => Err(FudjError::Execution(format!(
@@ -392,20 +412,21 @@ impl Session {
             Statement::Set { key, value } => self.apply_set(&key, &value),
             Statement::Select(sel) => {
                 let logical = bind_select(&sel, &self.catalog)?;
-                let physical =
-                    fudj_planner::plan(logical, &self.registry, &self.effective_options())?;
-                let (batch, metrics) = self.cluster.execute(&physical)?;
+                let options = self.effective_options();
+                let physical = fudj_planner::plan(logical, &self.registry, &options)?;
+                let (batch, metrics) = self.cluster.execute_mode(&physical, options.exec_mode)?;
                 Ok(QueryOutput::Rows(batch, Box::new(metrics.snapshot())))
             }
             Statement::Explain { select, analyze } => {
                 let logical = bind_select(&select, &self.catalog)?;
-                let physical =
-                    fudj_planner::plan(logical, &self.registry, &self.effective_options())?;
+                let options = self.effective_options();
+                let physical = fudj_planner::plan(logical, &self.registry, &options)?;
                 let mut text = physical.explain();
                 if analyze {
                     use std::fmt::Write as _;
                     let start = std::time::Instant::now();
-                    let (batch, metrics) = self.cluster.execute(&physical)?;
+                    let (batch, metrics) =
+                        self.cluster.execute_mode(&physical, options.exec_mode)?;
                     let elapsed = start.elapsed();
                     let m = metrics.snapshot();
                     let _ = writeln!(text, "---");
@@ -773,6 +794,41 @@ mod tests {
         s.execute("SET spill_recursion_limit = off").unwrap();
         let restored = s.execute(sql).unwrap();
         assert_eq!(restored.batch().rows()[0].get(0), &count);
+    }
+
+    #[test]
+    fn set_exec_mode_switches_engine_and_preserves_answers() {
+        let s = session();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins;"#,
+        )
+        .unwrap();
+        let sql = "SELECT p.id, COUNT(w.id) AS c FROM Parks p, Wildfires w \
+                   WHERE st_contains(p.boundary, w.location) \
+                     AND w.fire_start >= parse_date('01/01/2022', 'M/D/Y') \
+                   GROUP BY p.id ORDER BY p.id";
+
+        s.execute("SET exec_mode = columnar").unwrap();
+        let columnar = s.execute(sql).unwrap();
+        assert_eq!(columnar.metrics().exec_mode, ExecMode::Columnar);
+
+        s.execute("SET exec_mode = row").unwrap();
+        let row = s.execute(sql).unwrap();
+        assert_eq!(row.metrics().exec_mode, ExecMode::Row);
+
+        assert_eq!(row.batch().rows(), columnar.batch().rows());
+        assert_eq!(
+            row.metrics().fingerprint(),
+            columnar.metrics().fingerprint(),
+            "logical counters must not depend on the execution mode"
+        );
+
+        // Bad values error; `off` clears back to the engine default.
+        let err = s.execute("SET exec_mode = turbo").unwrap_err();
+        assert!(err.to_string().contains("row or columnar"), "{err}");
+        s.execute("SET exec_mode = off").unwrap();
+        assert!(s.query(sql).is_ok());
     }
 
     #[test]

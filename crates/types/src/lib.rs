@@ -14,6 +14,7 @@
 //! * [`wire`] — a compact binary row format used by exchange operators so
 //!   the simulated cluster's shuffled-byte accounting is honest.
 
+pub mod column;
 pub mod datatype;
 pub mod error;
 pub mod ext;
@@ -22,6 +23,7 @@ pub mod schema;
 pub mod value;
 pub mod wire;
 
+pub use column::{ColumnReader, ColumnVec, ColumnarBatch, SelectionBitmap};
 pub use datatype::DataType;
 pub use error::{FudjError, Result};
 pub use ext::ExtValue;

@@ -3,17 +3,25 @@
 use crate::schema::SchemaRef;
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
-/// One tuple. Cloning a row shallow-copies its `Arc`-backed values.
+/// One tuple. The value buffer is `Arc`-shared, so cloning a row is a
+/// refcount bump and dropping a shared clone frees nothing — a scan can
+/// hand every operator the stored rows without touching the allocator,
+/// which used to dominate scan-heavy pipelines. Rows are immutable in
+/// exchange: the widening ops ([`Row::push`], [`Row::with_appended`])
+/// build a fresh buffer.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Row {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
 
 impl Row {
     /// Row from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Row { values }
+        Row {
+            values: values.into(),
+        }
     }
 
     /// The values in column order.
@@ -45,33 +53,68 @@ impl Row {
     }
 
     /// Append a value (used when operators widen rows, e.g. UNNEST adds the
-    /// bucket id column).
+    /// bucket id column). Copy-on-write: builds a fresh buffer — prefer
+    /// [`Row::with_appended`] when the original row is kept anyway.
     pub fn push(&mut self, v: Value) {
-        self.values.push(v);
+        *self = self.with_appended(v);
+    }
+
+    /// This row widened by one trailing value, in a single allocation.
+    pub fn with_appended(&self, v: Value) -> Row {
+        Row {
+            values: self
+                .values
+                .iter()
+                .cloned()
+                .chain(std::iter::once(v))
+                .collect(),
+        }
+    }
+
+    /// This row truncated to its first `n` columns, in a single allocation.
+    pub fn prefix(&self, n: usize) -> Row {
+        Row {
+            values: self.values[..n].iter().cloned().collect(),
+        }
     }
 
     /// Concatenate two rows (join output).
     pub fn concat(&self, other: &Row) -> Row {
-        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
-        values.extend_from_slice(&self.values);
-        values.extend_from_slice(&other.values);
-        Row { values }
+        Row {
+            values: self
+                .values
+                .iter()
+                .chain(other.values.iter())
+                .cloned()
+                .collect(),
+        }
     }
 
     /// New row keeping only the columns at `indices`, in that order.
     pub fn project(&self, indices: &[usize]) -> Row {
-        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+        Row {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
     }
 
-    /// Consume into the value vector.
+    /// Copy out the value vector. (The buffer may be shared with other
+    /// clones of this row, so this clones the values.)
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.to_vec()
     }
 }
 
 impl From<Vec<Value>> for Row {
     fn from(values: Vec<Value>) -> Self {
         Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

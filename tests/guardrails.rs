@@ -230,6 +230,72 @@ fn pool_survives_guarded_failures_and_keeps_answering() {
     assert_eq!(count_of(&s, JOIN_SQL), oracle(false));
 }
 
+// -- columnar mode: guard semantics must survive the batch UDF boundary -----
+
+/// Under `exec_mode = columnar` the executor crosses the assign boundary
+/// once per partition stride (`assign_slice`), not once per row. A guarded
+/// evil join panicking mid-stride must still attribute the violation to the
+/// `assign` phase with per-call isolation — FailFast errors identically,
+/// Quarantine drops exactly the poisoned keys, and the counters match the
+/// row-mode run bit for bit.
+#[test]
+fn columnar_mode_attributes_mid_stride_panics_to_assign() {
+    for mode in ["row", "columnar"] {
+        let s = session(3);
+        s.execute(&format!("SET exec_mode = {mode}")).unwrap();
+        create_evil_join(&s, "evil.PanicAssign", "");
+        let err = s.query(JOIN_SQL).unwrap_err();
+        match err {
+            FudjError::UdfViolation { ref phase, .. } => {
+                assert_eq!(phase, "assign", "{mode}: {err}")
+            }
+            other => panic!("{mode}: expected a UDF violation, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn columnar_quarantine_matches_row_mode_exactly() {
+    let run = |mode: &str| {
+        let s = session(3);
+        s.execute(&format!("SET exec_mode = {mode}")).unwrap();
+        create_evil_join(&s, "evil.PanicAssign", "WITH (policy = quarantine)");
+        let out = s.execute(JOIN_SQL).unwrap();
+        let count = out.batch().rows()[0].get(0).as_i64().unwrap();
+        (count, out.metrics().fingerprint())
+    };
+    let (count_r, fp_r) = run("row");
+    let (count_c, fp_c) = run("columnar");
+    assert_eq!(count_r, oracle(true), "row-mode quarantine diverged");
+    assert_eq!(count_c, oracle(true), "columnar quarantine diverged");
+    assert_eq!(
+        fp_r, fp_c,
+        "quarantine counters must not depend on the execution mode"
+    );
+    assert!(fp_r.udf.quarantined_rows > 0, "{:?}", fp_r.udf);
+    assert!(fp_r.udf.assign_violations > 0, "{:?}", fp_r.udf);
+}
+
+/// Pool hygiene under columnar mode: a mid-stride panic must not poison
+/// the worker pool — the same session keeps answering, in both modes.
+#[test]
+fn pool_stays_healthy_after_columnar_mid_stride_panics() {
+    let s = session(3);
+    s.execute("SET exec_mode = columnar").unwrap();
+    create_evil_join(&s, "evil.PanicAssign", "");
+    for _ in 0..3 {
+        let err = s.query(JOIN_SQL).unwrap_err();
+        assert!(matches!(err, FudjError::UdfViolation { .. }), "{err}");
+        assert_eq!(count_of(&s, "SELECT COUNT(*) AS c FROM A a"), 60);
+    }
+    // Flipping back to row mode on the same pool also still works.
+    s.execute("SET exec_mode = row").unwrap();
+    assert_eq!(count_of(&s, "SELECT COUNT(*) AS c FROM B b"), 45);
+    s.execute("DROP JOIN same_key").unwrap();
+    create_evil_join(&s, "evil.Tame", "");
+    assert_eq!(count_of(&s, JOIN_SQL), oracle(false));
+}
+
 // -- satellite 2: DROP JOIN on an in-flight definition ----------------------
 
 #[test]

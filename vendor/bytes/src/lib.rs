@@ -17,6 +17,10 @@ pub trait Buf {
     fn copy_to_slice(&mut self, dst: &mut [u8]);
     /// Advance the cursor by `n` bytes.
     fn advance(&mut self, n: usize);
+    /// The unread remainder as a contiguous slice, without advancing
+    /// (upstream `Buf::chunk`; every buffer here is contiguous, so this
+    /// is the whole remainder rather than upstream's "first chunk").
+    fn chunk(&self) -> &[u8];
 
     /// Whether any bytes remain.
     fn has_remaining(&self) -> bool {
@@ -160,12 +164,14 @@ impl std::ops::DerefMut for BytesMut {
     }
 }
 
-/// Immutable shared byte storage with a read cursor. Cloning is O(1)
-/// (an `Arc` bump) and each clone reads independently.
+/// Immutable shared byte storage with a read cursor and an end bound.
+/// Cloning is O(1) (an `Arc` bump) and each clone reads independently;
+/// [`Bytes::slice`] produces zero-copy sub-views over the same storage.
 #[derive(Clone, Default, Debug)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     pos: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -174,7 +180,7 @@ impl Bytes {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.pos
     }
 
     pub fn is_empty(&self) -> bool {
@@ -183,7 +189,7 @@ impl Bytes {
 
     /// The unread remainder as a slice.
     pub fn chunk(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.pos..self.end]
     }
 
     /// From a static slice (copies here; upstream borrows, which only
@@ -192,11 +198,14 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
-    /// A sub-view of the unread remainder (shares storage upstream;
-    /// copies here).
+    /// A zero-copy sub-view of the unread remainder: shares the backing
+    /// storage (upstream semantics) and narrows the window to `range`,
+    /// interpreted relative to [`Bytes::chunk`].
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the unread remainder.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
-        let chunk = self.chunk();
         let start = match range.start_bound() {
             Bound::Included(&s) => s,
             Bound::Excluded(&s) => s + 1,
@@ -205,17 +214,28 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&e) => e + 1,
             Bound::Excluded(&e) => e,
-            Bound::Unbounded => chunk.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes::from(chunk[start..end].to_vec())
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of bounds (len {})",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            pos: self.pos + start,
+            end: self.pos + end,
+        }
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
         Bytes {
             data: Arc::new(data),
             pos: 0,
+            end,
         }
     }
 }
@@ -255,6 +275,10 @@ impl Buf for Bytes {
     fn advance(&mut self, n: usize) {
         assert!(n <= self.remaining(), "advance out of bounds");
         self.pos += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        Bytes::chunk(self)
     }
 }
 
@@ -302,6 +326,58 @@ mod tests {
         buf[0..4].copy_from_slice(&7u32.to_le_bytes());
         let mut b = buf.freeze();
         assert_eq!(b.get_u32_le(), 7);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_bounded() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"0123456789");
+        let b = buf.freeze();
+        let mid = b.slice(2..7);
+        // Shares storage: no new allocation behind the sub-view.
+        assert_eq!(Arc::strong_count(&b.data), 2);
+        assert_eq!(&mid[..], b"23456");
+        assert_eq!(mid.len(), 5);
+        // Reads respect the end bound.
+        let mut cur = mid.clone();
+        let mut out = [0u8; 5];
+        cur.copy_to_slice(&mut out);
+        assert_eq!(&out, b"23456");
+        assert!(!cur.has_remaining());
+        // Slice-of-slice composes offsets.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], b"34");
+        assert_eq!(Arc::strong_count(&b.data), 4);
+    }
+
+    #[test]
+    fn slice_is_relative_to_the_cursor() {
+        let mut b = Bytes::from(&b"abcdef"[..]);
+        b.advance(2);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], b"de");
+        let all = b.slice(..);
+        assert_eq!(&all[..], b"cdef");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        let b = Bytes::from(&b"abc"[..]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn chunk_is_available_through_the_trait() {
+        fn peek_first(buf: &impl Buf) -> Option<u8> {
+            buf.chunk().first().copied()
+        }
+        let mut b = Bytes::from(&b"xyz"[..]);
+        assert_eq!(peek_first(&b), Some(b'x'));
+        b.advance(1);
+        assert_eq!(peek_first(&b), Some(b'y'));
+        assert_eq!(b.chunk(), b"yz");
+        assert_eq!(b.remaining(), 2, "chunk must not advance");
     }
 
     #[test]
