@@ -8,10 +8,12 @@
 //! root. It then sweeps the hybrid-hash memory budget (unbounded, 50%,
 //! 10%, 1% of the per-worker COMBINE input) across all four join
 //! classes and writes the runtime-vs-budget curves to `BENCH_PR6.json`,
-//! and finally races the row-at-a-time engine against the columnar
-//! stride engine on scan/filter/aggregate pipelines, writing the
-//! speedups to `BENCH_PR7.json`. All three JSON formats are documented
-//! in `EXPERIMENTS.md`.
+//! races the row-at-a-time engine against the columnar stride engine on
+//! scan/filter/aggregate pipelines, writing the speedups to
+//! `BENCH_PR7.json`, and finally measures ingest throughput under the
+//! durability knobs (no store / fsync-every-write / every-64 / off)
+//! plus snapshot and recovery-replay cost, writing `BENCH_PR8.json`.
+//! All four JSON formats are documented in `EXPERIMENTS.md`.
 
 use fudj_bench::runner::{measure, RunConfig, Strategy};
 use fudj_bench::workloads::Workload;
@@ -161,7 +163,9 @@ struct SweepPoint {
 /// One join class's full budget sweep.
 struct SweepCurve {
     class: &'static str,
-    /// Theta classes ignore the budget (they broadcast, never spill).
+    /// Theta classes broadcast, so hash repartitioning is unsound for
+    /// them; over budget they spill both sides whole and block-nested-
+    /// loop, which makes their spill volume flat across budgeted points.
     theta: bool,
     points: Vec<SweepPoint>,
 }
@@ -320,16 +324,23 @@ fn budget_sweep(workers: usize) -> String {
                 c.class, p.label
             );
             let m = &p.metrics;
-            if c.theta {
-                assert_eq!(m.spilled_rows, 0, "{}: theta class spilled", c.class);
-            } else if pi > 0 {
+            if c.theta && pi > 0 {
+                // A budgeted theta run spills both sides whole and takes
+                // the block-nested-loop path instead of repartitioning.
+                assert!(
+                    m.spill_bnl_fallbacks > 0,
+                    "{}: budgeted theta run never took the BNL path",
+                    c.class
+                );
+            }
+            if pi > 0 {
                 assert!(
                     m.spilled_bytes >= c.points[pi - 1].metrics.spilled_bytes,
                     "{}: spill volume not monotone in budget",
                     c.class
                 );
             }
-            if !c.theta && pi + 1 == c.points.len() {
+            if pi + 1 == c.points.len() {
                 assert!(m.spilled_rows > 0, "{}: 1% budget never spilled", c.class);
             }
             println!(
@@ -579,6 +590,168 @@ fn exec_mode_sweep(workers: usize) -> String {
     json
 }
 
+/// One durable-ingest measurement.
+struct IngestPoint {
+    mode: &'static str,
+    wall_seconds: f64,
+    wal_records: u64,
+    wal_bytes: u64,
+    fsyncs: u64,
+}
+
+/// PR8: ingest throughput with no store, fsync-every-write,
+/// fsync-every-64, and fsync-off durability, plus the snapshot and
+/// recovery-replay cost on the fully-synced store. Durable modes must
+/// not change the ingested row count, and recovery must restore every
+/// row. Assembles `BENCH_PR8.json`.
+fn durability_sweep() -> String {
+    use fudj_sql::Session;
+    const ROWS: usize = 20_000;
+    const BATCH: usize = 200;
+
+    let dir_for = |mode: &str| {
+        std::env::temp_dir().join(format!("fudj-wal-bench-{}-{mode}", std::process::id()))
+    };
+    let kv_schema = || {
+        Schema::shared(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("tag", DataType::String),
+        ])
+    };
+    let ingest = |session: &Session| {
+        let d = session.catalog().get("kv").unwrap();
+        for b in 0..(ROWS / BATCH) {
+            d.insert_all((0..BATCH).map(|i| {
+                let id = (b * BATCH + i) as i64;
+                Row::new(vec![Value::Int64(id), Value::str(format!("t{}", id % 7))])
+            }))
+            .unwrap();
+        }
+    };
+
+    let modes: [(&'static str, Option<&'static str>); 4] = [
+        ("in_memory", None),
+        ("wal_fsync_every_write", Some("sync")),
+        ("wal_fsync_every_64", Some("64")),
+        ("wal_fsync_off", Some("off")),
+    ];
+    let mut points = Vec::new();
+    for (mode, durability) in modes {
+        let session = Session::new(4);
+        if let Some(knob) = durability {
+            let dir = dir_for(mode);
+            let _ = std::fs::remove_dir_all(&dir);
+            session
+                .execute(&format!("SET durability = {knob};"))
+                .expect("durability knob must apply");
+            session
+                .execute(&format!("SET wal_dir = '{}';", dir.display()))
+                .expect("wal_dir must open");
+        }
+        session
+            .register_dataset(
+                DatasetBuilder::new("kv", kv_schema())
+                    .primary_key("id")
+                    .partitions(4)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let start = Instant::now();
+        ingest(&session);
+        let wall_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            session.catalog().get("kv").unwrap().len(),
+            ROWS,
+            "{mode}: durability changed the ingested row count"
+        );
+        let stats = session.durable().map(|s| s.stats()).unwrap_or_default();
+        println!(
+            "durable ingest {mode}: {ROWS} rows in {wall_seconds:.4}s ({:.0} rows/s), \
+             {} WAL records ({} bytes), {} fsyncs",
+            ROWS as f64 / wall_seconds,
+            stats.wal_records_appended,
+            stats.wal_bytes_appended,
+            stats.wal_fsyncs,
+        );
+        points.push(IngestPoint {
+            mode,
+            wall_seconds,
+            wal_records: stats.wal_records_appended,
+            wal_bytes: stats.wal_bytes_appended,
+            fsyncs: stats.wal_fsyncs,
+        });
+    }
+
+    // Recovery replay + snapshot cost on the fully-synced store.
+    let dir = dir_for("wal_fsync_every_write");
+    let session = Session::new(4);
+    let start = Instant::now();
+    session
+        .execute(&format!("SET wal_dir = '{}';", dir.display()))
+        .expect("recovery open must succeed");
+    let replay_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        session.catalog().get("kv").expect("recovered table").len(),
+        ROWS,
+        "recovery lost rows"
+    );
+    let store = session.durable().unwrap();
+    let replay = store.stats();
+    let start = Instant::now();
+    session.persist().expect("snapshot must write");
+    let snapshot_seconds = start.elapsed().as_secs_f64();
+    let snap = store.stats();
+    println!(
+        "durable recovery: {} records / {} rows replayed in {replay_seconds:.4}s; \
+         snapshot {} bytes in {snapshot_seconds:.4}s",
+        replay.wal_records_replayed, replay.rows_replayed, snap.snapshot_bytes_written,
+    );
+    drop(session);
+    for (mode, durability) in modes {
+        if durability.is_some() {
+            let _ = std::fs::remove_dir_all(dir_for(mode));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 8,\n");
+    let _ = writeln!(json, "  \"rows\": {ROWS},");
+    let _ = writeln!(json, "  \"batch_rows\": {BATCH},");
+    json.push_str("  \"ingest\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"wall_seconds\": {}, \"rows_per_sec\": {}, \
+             \"wal_records\": {}, \"wal_bytes\": {}, \"fsyncs\": {}}}",
+            p.mode,
+            json_f64(p.wall_seconds),
+            json_f64(ROWS as f64 / p.wall_seconds),
+            p.wal_records,
+            p.wal_bytes,
+            p.fsyncs,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"wall_seconds\": {}, \"records_replayed\": {}, \
+         \"rows_replayed\": {}}},",
+        json_f64(replay_seconds),
+        replay.wal_records_replayed,
+        replay.rows_replayed,
+    );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"wall_seconds\": {}, \"bytes\": {}}}",
+        json_f64(snapshot_seconds),
+        snap.snapshot_bytes_written,
+    );
+    json.push_str("}\n");
+    json
+}
+
 fn main() {
     // Warm + best-of-3 end-to-end numbers for the scaling headline.
     for workers in [1usize, 4] {
@@ -743,6 +916,14 @@ fn main() {
     let modes = exec_mode_sweep(WORKERS);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json");
     match std::fs::write(&path, &modes) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    // PR8: ingest throughput under the durability knobs + recovery cost.
+    let durability = durability_sweep();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json");
+    match std::fs::write(&path, &durability) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

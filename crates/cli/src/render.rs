@@ -129,6 +129,46 @@ pub fn render_recovery_stats(snapshot: &MetricsSnapshot) -> String {
     )
 }
 
+/// Render the WAL/snapshot durability counters of one query, or an empty
+/// string when no durable store is attached (so non-durable sessions
+/// print nothing new).
+pub fn render_durability_stats(snapshot: &MetricsSnapshot) -> String {
+    let d = &snapshot.durability;
+    if !d.any() {
+        return String::new();
+    }
+    let mut out = format!(
+        "Durability: {} WAL records appended ({} bytes, {} fsyncs), \
+         {} snapshot{} ({} bytes); {} records / {} rows replayed\n",
+        d.wal_records_appended,
+        d.wal_bytes_appended,
+        d.wal_fsyncs,
+        d.snapshots_written,
+        if d.snapshots_written == 1 { "" } else { "s" },
+        d.snapshot_bytes_written,
+        d.wal_records_replayed,
+        d.rows_replayed,
+    );
+    let damage = d.torn_tails_truncated
+        + d.corrupt_records_quarantined
+        + d.corrupt_snapshots_quarantined
+        + d.replay_quarantined;
+    if damage > 0 || d.faults_injected > 0 {
+        out.push_str(&format!(
+            "  storage faults: {} injected ({} fsyncs dropped); {} torn tails \
+             truncated, {} corrupt records + {} corrupt snapshots quarantined, \
+             {} inconsistent replays skipped\n",
+            d.faults_injected,
+            d.fsyncs_dropped,
+            d.torn_tails_truncated,
+            d.corrupt_records_quarantined,
+            d.corrupt_snapshots_quarantined,
+            d.replay_quarantined,
+        ));
+    }
+    out
+}
+
 /// Render the hybrid-hash spill counters of one query, or an empty string
 /// when no join spilled (so in-memory runs print nothing new).
 pub fn render_spill_stats(snapshot: &MetricsSnapshot) -> String {
@@ -279,6 +319,26 @@ mod tests {
         assert!(text.contains("recursion depth 1"), "{text}");
         assert!(text.contains("1 BNL fallback;"), "{text}");
         assert!(text.contains("peak resident 10 rows"), "{text}");
+    }
+
+    #[test]
+    fn durability_stats_render_only_when_a_store_is_attached() {
+        let mut snap = MetricsSnapshot::default();
+        assert_eq!(render_durability_stats(&snap), "");
+        snap.durability.wal_records_appended = 9;
+        snap.durability.wal_bytes_appended = 512;
+        snap.durability.wal_fsyncs = 9;
+        snap.durability.snapshots_written = 1;
+        let text = render_durability_stats(&snap);
+        assert!(text.contains("9 WAL records appended"), "{text}");
+        assert!(text.contains("1 snapshot ("), "{text}");
+        assert!(!text.contains("storage faults"), "{text}");
+
+        snap.durability.faults_injected = 3;
+        snap.durability.torn_tails_truncated = 1;
+        let text = render_durability_stats(&snap);
+        assert!(text.contains("3 injected"), "{text}");
+        assert!(text.contains("1 torn tails truncated"), "{text}");
     }
 
     #[test]

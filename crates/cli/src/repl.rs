@@ -1,8 +1,8 @@
 //! The REPL engine: statement accumulation, meta commands, execution.
 
 use crate::render::{
-    render_batch, render_exec_mode, render_fault_stats, render_recovery_stats, render_spill_stats,
-    render_udf_stats,
+    render_batch, render_durability_stats, render_exec_mode, render_fault_stats,
+    render_recovery_stats, render_spill_stats, render_udf_stats,
 };
 use fudj_datagen::GeneratorConfig;
 use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
@@ -112,6 +112,7 @@ impl Repl {
                     out.push_str(&render_spill_stats(&metrics));
                     out.push_str(&render_fault_stats(&metrics));
                     out.push_str(&render_recovery_stats(&metrics));
+                    out.push_str(&render_durability_stats(&metrics));
                     out.push_str(&render_udf_stats(&metrics));
                 }
                 out
@@ -181,6 +182,31 @@ impl Repl {
                             .to_owned()
                     }
                 }
+                Some("disk") => match args.get(1).map(String::as_str) {
+                    Some("off") => {
+                        self.session.set_disk_faults(None);
+                        "disk chaos off; the next SET wal_dir uses the real filesystem\n"
+                            .to_owned()
+                    }
+                    Some(arg) => match arg.parse::<u64>() {
+                        Ok(seed) => {
+                            self.session
+                                .set_disk_faults(Some(fudj_storage::StorageFaultConfig::chaos(
+                                    seed,
+                                )));
+                            format!(
+                                "disk chaos on (seed {seed}): the next SET wal_dir opens its \
+                                 store over a fault-injecting filesystem (torn writes, \
+                                 dropped fsyncs, bit flips); \\metrics shows durability \
+                                 counters\n"
+                            )
+                        }
+                        Err(_) => {
+                            format!("error: bad seed {arg:?}; usage: \\chaos disk <seed>|off\n")
+                        }
+                    },
+                    None => "usage: \\chaos disk <seed>|off\n".to_owned(),
+                },
                 Some("deaths") => match args.get(1).map(|a| a.parse::<u64>()) {
                     Some(Ok(seed)) => {
                         self.session
@@ -357,6 +383,17 @@ impl Repl {
                 },
                 None => "usage: \\await <job id>\n".to_owned(),
             },
+            "persist" => match self.session.persist() {
+                Ok(()) => {
+                    let store = self.session.durable().expect("persist succeeded");
+                    format!(
+                        "snapshot v{} written to {}; WAL compacted\n",
+                        store.version(),
+                        store.dir().display(),
+                    )
+                }
+                Err(e) => format!("error: {e}\n"),
+            },
             "help" | "?" => HELP.to_owned(),
             "q" | "quit" | "exit" => String::new(),
             other => format!("unknown command \\{other}; try \\help\n"),
@@ -512,6 +549,16 @@ pub const HELP: &str = r#"FUDJ shell
     SET checkpoint_stages = all|off|'stage,stage,...';
     SET checkpoint_budget_bytes = N|off;
     SET worker_quarantine_threshold = N|off;
+  persistence knobs (statements, end with ';'):
+    SET wal_dir = '<path>'|off;       open a crash-consistent store: replay
+                                      committed state, then WAL every table
+                                      append and CREATE/DROP JOIN
+    SET durability = sync|N|off;      fsync every record / every N / never
+    \persist                          write an atomic snapshot and compact
+                                      the WAL behind it
+    \chaos disk <seed>                the next SET wal_dir injects seeded
+                                      torn writes, dropped fsyncs, and bit
+                                      flips; \chaos disk off disarms
     \save <ds> <file.csv>             export a dataset to CSV
     \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
                                       existing dataset's)
@@ -770,6 +817,39 @@ mod tests {
         // SET knobs flow through statements into the scheduler.
         r.run_statement("SET max_inflight_queries = 2;");
         assert_eq!(r.session().scheduler().config().max_inflight, 2);
+    }
+
+    #[test]
+    fn persist_and_chaos_disk_meta_commands() {
+        let mut r = Repl::new(2);
+        // Without an open store, \persist is a clean error.
+        assert!(r.run_meta("persist", &[]).contains("error"));
+        assert!(r.run_meta("chaos", &["disk".into()]).contains("usage"));
+        let on = r.run_meta("chaos", &["disk".into(), "77".into()]);
+        assert!(on.contains("disk chaos on (seed 77)"), "{on}");
+        assert_eq!(r.session().disk_faults().map(|c| c.seed), Some(77));
+        assert!(r
+            .run_meta("chaos", &["disk".into(), "off".into()])
+            .contains("disk chaos off"));
+        assert!(r.session().disk_faults().is_none());
+        assert!(r
+            .run_meta("chaos", &["disk".into(), "nope".into()])
+            .contains("error"));
+
+        // Full round-trip: open a store, see durability counters in the
+        // metrics block, snapshot via \persist.
+        let dir = std::env::temp_dir().join(format!("fudj-cli-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        r.run_meta("sample", &["150".into()]);
+        r.run_meta("metrics", &[]);
+        let out = r.run_statement(&format!("SET wal_dir = '{}';", dir.display()));
+        assert!(out.contains("set wal_dir"), "{out}");
+        let q = r.run_statement("SELECT COUNT(*) AS c FROM Parks p;");
+        assert!(q.contains("Durability:"), "{q}");
+        let persisted = r.run_meta("persist", &[]);
+        assert!(persisted.contains("snapshot v"), "{persisted}");
+        assert!(persisted.contains("WAL compacted"), "{persisted}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use guard::{
 };
 pub use library::{JoinLibrary, JoinLibraryBuilder};
 pub use model::{avoidance_accepts, BucketId, DedupMode, JoinAlgorithm, Side};
-pub use registry::{JoinDefinition, JoinLease, JoinRegistry};
+pub use registry::{JoinDefinition, JoinLease, JoinRegistry, RegistryEvent, RegistrySink};
 pub use state::{PPlanState, StateObject, SummaryState};

@@ -126,11 +126,31 @@ impl fmt::Debug for JoinDefinition {
     }
 }
 
+/// A registry mutation offered to a [`RegistrySink`] *before* it is
+/// applied. Borrowed, so sinks cannot retain stale definitions.
+pub enum RegistryEvent<'a> {
+    /// `CREATE JOIN` about to insert this definition.
+    Created(&'a JoinDefinition),
+    /// `DROP JOIN` about to remove the named join.
+    Dropped(&'a str),
+}
+
+/// Observer invoked after a registry mutation has passed all validation
+/// (library/class resolution, arity, duplicate and lease checks) but
+/// before it lands in the map. Returning an error aborts the DDL with
+/// the registry untouched — this is the log-before-apply hook the
+/// durability layer uses to WAL `CREATE JOIN` / `DROP JOIN`.
+pub trait RegistrySink: Send + Sync {
+    /// Observe (and possibly veto) a validated mutation.
+    fn on_event(&self, event: RegistryEvent<'_>) -> Result<()>;
+}
+
 /// Thread-safe registry of installed libraries and created joins.
 #[derive(Default)]
 pub struct JoinRegistry {
     libraries: RwLock<HashMap<String, Arc<JoinLibrary>>>,
     joins: RwLock<HashMap<String, Arc<JoinDefinition>>>,
+    sink: RwLock<Option<Arc<dyn RegistrySink>>>,
 }
 
 impl JoinRegistry {
@@ -225,6 +245,9 @@ impl JoinRegistry {
             memory_budget_rows,
             active: Arc::new(AtomicU64::new(0)),
         });
+        if let Some(sink) = self.sink.read().clone() {
+            sink.on_event(RegistryEvent::Created(&def))?;
+        }
         joins.insert(name, def.clone());
         Ok(def)
     }
@@ -243,8 +266,17 @@ impl JoinRegistry {
                 if leases == 1 { "y" } else { "ies" }
             )));
         }
+        if let Some(sink) = self.sink.read().clone() {
+            sink.on_event(RegistryEvent::Dropped(name))?;
+        }
         joins.remove(name);
         Ok(())
+    }
+
+    /// Install (or with `None`, remove) the mutation observer. Used by the
+    /// durability layer to WAL join DDL before it takes effect.
+    pub fn set_sink(&self, sink: Option<Arc<dyn RegistrySink>>) {
+        *self.sink.write() = sink;
     }
 
     /// FUDJ predicate detection: is `name` a registered join function?
@@ -373,6 +405,69 @@ mod tests {
                 "flexiblejoins"
             )
             .is_err());
+    }
+
+    #[test]
+    fn sink_observes_validated_mutations_and_can_veto() {
+        use parking_lot::Mutex;
+        struct Recorder {
+            events: Mutex<Vec<String>>,
+            veto: std::sync::atomic::AtomicBool,
+        }
+        impl RegistrySink for Recorder {
+            fn on_event(&self, event: RegistryEvent<'_>) -> Result<()> {
+                if self.veto.load(Ordering::Acquire) {
+                    return Err(FudjError::Storage("disk full".into()));
+                }
+                self.events.lock().push(match event {
+                    RegistryEvent::Created(def) => format!("create {}", def.name()),
+                    RegistryEvent::Dropped(name) => format!("drop {name}"),
+                });
+                Ok(())
+            }
+        }
+        let reg = registry_with_lib();
+        let rec = Arc::new(Recorder {
+            events: Mutex::new(Vec::new()),
+            veto: std::sync::atomic::AtomicBool::new(false),
+        });
+        reg.set_sink(Some(rec.clone()));
+
+        // Invalid DDL never reaches the sink.
+        assert!(reg
+            .create_join("bad", vec![DataType::String], "x.Y", "flexiblejoins")
+            .is_err());
+        assert!(rec.events.lock().is_empty());
+
+        reg.create_join(
+            "j",
+            vec![DataType::String, DataType::String],
+            "setsimilarity.SetSimilarityJoin",
+            "flexiblejoins",
+        )
+        .unwrap();
+        reg.drop_join("j").unwrap();
+        assert_eq!(*rec.events.lock(), vec!["create j", "drop j"]);
+
+        // A vetoing sink aborts the DDL with the registry untouched.
+        rec.veto.store(true, Ordering::Release);
+        assert!(reg
+            .create_join(
+                "j2",
+                vec![DataType::String, DataType::String],
+                "setsimilarity.SetSimilarityJoin",
+                "flexiblejoins",
+            )
+            .is_err());
+        assert!(reg.get("j2").is_none());
+        reg.set_sink(None);
+        reg.create_join(
+            "j2",
+            vec![DataType::String, DataType::String],
+            "setsimilarity.SetSimilarityJoin",
+            "flexiblejoins",
+        )
+        .unwrap();
     }
 
     #[test]

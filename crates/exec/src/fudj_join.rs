@@ -264,12 +264,18 @@ fn execute_flexible(
                 g.begin_partition();
             }
             // §III-B spilling: a worker whose tagged inputs exceed the
-            // memory budget runs the memory-adaptive hybrid-hash COMBINE.
-            // Only default-match joins can spill (theta matches span
-            // bucket-hash partitions).
+            // memory budget spills. Default-match joins grace-partition
+            // through the memory-adaptive hybrid-hash COMBINE; theta
+            // joins (matches span bucket-hash partitions, so hash
+            // partitioning is unsound) stream both sides to disk and
+            // join block-nested within the budget.
             match node.memory_budget_rows {
-                Some(budget) if default_match && lrows.len() + rrows.len() > budget => {
-                    crate::spill::hybrid_hash_join(&ctx, lrows, rrows, budget, &node.spill)
+                Some(budget) if lrows.len() + rrows.len() > budget => {
+                    if default_match {
+                        crate::spill::hybrid_hash_join(&ctx, lrows, rrows, budget, &node.spill)
+                    } else {
+                        crate::spill::theta_bnl_join(&ctx, lrows, rrows, budget, &node.spill)
+                    }
                 }
                 _ => join_worker_partition(&ctx, lrows, rrows),
             }
@@ -1096,8 +1102,11 @@ mod tests {
     }
 
     #[test]
-    fn theta_join_ignores_spill_budget() {
-        // Theta joins cannot grace-partition; a budget must not break them.
+    fn theta_join_over_budget_spills_block_nested_and_matches_in_memory() {
+        // Theta joins cannot grace-partition (matches span bucket-hash
+        // sub-partitions), so an over-budget theta worker streams both
+        // sides to disk and joins block-nested — same answer, bounded
+        // memory, spill counters visible.
         let mut rng = SmallRng::seed_from_u64(31);
         let ivs: Vec<Value> = (0..50)
             .map(|_| {
@@ -1106,24 +1115,39 @@ mod tests {
             })
             .collect();
         let cluster = Cluster::new(2);
-        let mut node = FudjJoinNode::new(
-            PhysicalPlan::Scan {
-                dataset: geo_dataset("iv_a", ivs.clone(), 2),
-            },
-            PhysicalPlan::Scan {
-                dataset: geo_dataset("iv_b", ivs.clone(), 2),
-            },
-            Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
-                IntervalFudj::new(),
-            )))),
-            1,
-            1,
-            vec![Value::Int64(32)],
+        let mk = |budget: Option<usize>| {
+            let mut node = FudjJoinNode::new(
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("iv_a_{budget:?}"), ivs.clone(), 2),
+                },
+                PhysicalPlan::Scan {
+                    dataset: geo_dataset(&format!("iv_b_{budget:?}"), ivs.clone(), 2),
+                },
+                Arc::new(FudjEngineJoin::new(Arc::new(ProxyJoin::new(
+                    IntervalFudj::new(),
+                )))),
+                1,
+                1,
+                vec![Value::Int64(32)],
+            );
+            node.memory_budget_rows = budget;
+            PhysicalPlan::FudjJoin(node)
+        };
+        let (in_memory, m1) = cluster.execute(&mk(None)).unwrap();
+        let (spilled, m2) = cluster.execute(&mk(Some(5))).unwrap();
+        assert!(!in_memory.is_empty());
+        assert_eq!(id_pairs(&in_memory), id_pairs(&spilled));
+        assert_eq!(m1.snapshot().spilled_rows, 0);
+        let s = m2.snapshot();
+        assert!(s.spilled_rows > 0, "budget 5 must spill: {s:?}");
+        assert!(
+            s.spill_bnl_fallbacks > 0,
+            "theta spill is block-nested: {s:?}"
         );
-        node.memory_budget_rows = Some(5);
-        let (batch, metrics) = cluster.execute(&PhysicalPlan::FudjJoin(node)).unwrap();
-        assert!(!batch.is_empty());
-        assert_eq!(metrics.snapshot().spilled_rows, 0);
+        assert!(
+            s.spill_peak_resident_rows <= 5 + 1,
+            "block pairs must respect the budget: {s:?}"
+        );
     }
 
     #[test]

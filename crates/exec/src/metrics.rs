@@ -151,6 +151,10 @@ pub struct MetricsSnapshot {
     /// Checkpoint/recovery counters (all zero unless the query ran with a
     /// [`crate::recovery::RecoveryContext`] attached).
     pub recovery: RecoveryStats,
+    /// Durability counters (all zero unless the session has a durable
+    /// store open — stamped by the session after execution, since the WAL
+    /// lives at session scope, not query scope).
+    pub durability: fudj_storage::DurabilityStats,
     /// Simulated milliseconds of query execution: the control-plane clock
     /// when a [`QueryControl`] was attached (every pool batch advances
     /// it), else the fault layer's backoff/straggler clock.
@@ -200,6 +204,7 @@ impl MetricsSnapshot {
             fault: self.fault,
             udf: self.udf,
             recovery: self.recovery,
+            durability: self.durability,
         }
     }
 
@@ -276,6 +281,10 @@ pub struct CounterFingerprint {
     pub udf: UdfStats,
     /// Checkpoint/recovery counters.
     pub recovery: RecoveryStats,
+    /// Durability counters (WAL/snapshot/recovery work plus injected
+    /// storage faults). Zero-by-default, so suites that never arm
+    /// durability keep their fingerprints unchanged.
+    pub durability: fudj_storage::DurabilityStats,
 }
 
 /// Mutable metrics state behind the lock: the public snapshot plus the

@@ -36,10 +36,12 @@
 //! it on drop, so an error anywhere mid-join (a UDF violation under
 //! FailFast, an I/O failure) leaves no `fudj-spill-*` litter behind.
 //!
-//! Only default-match joins spill: their matches never cross bucket-hash
-//! sub-partitions, so the union of per-sub-partition joins is exactly the
-//! in-memory join. Theta joins ignore the budget (matches span
-//! partitions), which [`crate::fudj_join`] enforces before calling here.
+//! Only default-match joins take the hybrid-hash path: their matches
+//! never cross bucket-hash sub-partitions, so the union of
+//! per-sub-partition joins is exactly the in-memory join. Theta joins
+//! (matches span partitions) spill through [`theta_bnl_join`] instead:
+//! both sides stream to disk whole and join block against block, which
+//! is sound for any match predicate.
 
 use crate::exchange;
 use crate::fudj_join::{bucket_of, join_worker_partition, CombineContext};
@@ -332,6 +334,49 @@ pub(crate) fn hybrid_hash_join(
         &mut stats,
         &mut out,
     )?;
+    ctx.metrics.record_spill_run(&stats);
+    Ok(out)
+}
+
+/// Entry point for over-budget *theta* joins: matches span bucket-hash
+/// sub-partitions, so hash grace-partitioning is unsound for them —
+/// instead both sides stream to disk whole and join block against block
+/// within the budget. Each (left row, right row) pair is considered in
+/// exactly one block pair, so the union over blocks is exactly the
+/// in-memory theta join and the logical counters are preserved (see
+/// [`block_nested_join`]).
+pub(crate) fn theta_bnl_join(
+    ctx: &CombineContext<'_>,
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    budget: usize,
+    cfg: &SpillConfig,
+) -> Result<Vec<Row>> {
+    let batch = cfg.write_batch_rows.max(1);
+    let spill_side = |rows: Vec<Row>, side: usize| -> Result<ClosedSide> {
+        let mut w = SideWriter::create(0, 0, side)?;
+        for row in rows {
+            w.push(&row);
+            if w.buffered_rows >= batch {
+                w.flush()?;
+            }
+        }
+        w.finish()
+    };
+    let lc = spill_side(lrows, 0)?;
+    let rc = spill_side(rrows, 1)?;
+    let mut stats = SpillStats {
+        passes: 1,
+        spilled_partitions: 1,
+        spilled_rows: lc.rows + rc.rows,
+        spilled_bytes: lc.bytes + rc.bytes,
+        bnl_fallbacks: 1,
+        ..SpillStats::default()
+    };
+    let mut out = Vec::new();
+    if lc.rows > 0 && rc.rows > 0 {
+        block_nested_join(ctx, &lc, &rc, budget, &mut stats, &mut out)?;
+    }
     ctx.metrics.record_spill_run(&stats);
     Ok(out)
 }

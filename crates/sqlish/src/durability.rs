@@ -1,0 +1,242 @@
+//! Session-level durability wiring.
+//!
+//! Bridges the storage crate's crash-consistent [`DurableStore`] into the
+//! live session objects: sink adapters WAL every catalog/registry mutation
+//! and dataset append *before* it takes effect (log-before-apply), and
+//! [`replay_into`] rebuilds catalog + registry from a [`RecoveredState`]
+//! on `SET wal_dir`. The session attaches the sinks only *after* replay,
+//! so recovered state is never re-logged.
+
+use fudj_core::{
+    GuardConfig, JoinDefinition, JoinRegistry, RegistryEvent, RegistrySink, UdfPolicy,
+};
+use fudj_storage::wal::{parse_data_type, GuardSpec, JoinSpec, WalRecord};
+use fudj_storage::{
+    AppendSink, Catalog, CatalogSink, Dataset, DatasetBuilder, DurableStore, RecoveredState,
+    SnapshotState, SnapshotTable,
+};
+use fudj_types::{Field, FudjError, Result, Row, Schema};
+use std::sync::Arc;
+
+/// The one sink adapter: logs every mutation it observes to the WAL and
+/// vetoes the mutation when the log write fails (so a full disk or an
+/// injected crash aborts the DDL/insert with state untouched).
+pub(crate) struct WalHook {
+    store: Arc<DurableStore>,
+}
+
+impl WalHook {
+    pub(crate) fn new(store: Arc<DurableStore>) -> Arc<Self> {
+        Arc::new(WalHook { store })
+    }
+}
+
+impl AppendSink for WalHook {
+    fn on_append(&self, table: &str, rows: &[Row]) -> Result<()> {
+        self.store.append(&WalRecord::Append {
+            table: table.to_owned(),
+            rows: rows.to_vec(),
+        })
+    }
+}
+
+impl CatalogSink for WalHook {
+    fn on_register(&self, dataset: &Arc<Dataset>) -> Result<()> {
+        self.store.append(&create_table_record(dataset))?;
+        let rows = dataset.all_rows();
+        if !rows.is_empty() {
+            self.store.append(&WalRecord::Append {
+                table: dataset.name().to_owned(),
+                rows,
+            })?;
+        }
+        // Future inserts into this dataset go through the WAL too.
+        dataset.attach_sink(WalHook::new(self.store.clone()));
+        Ok(())
+    }
+
+    fn on_drop(&self, name: &str) -> Result<()> {
+        self.store.append(&WalRecord::DropTable {
+            name: name.to_owned(),
+        })
+    }
+}
+
+impl RegistrySink for WalHook {
+    fn on_event(&self, event: RegistryEvent<'_>) -> Result<()> {
+        let record = match event {
+            RegistryEvent::Created(def) => WalRecord::CreateJoin(join_spec_of(def)),
+            RegistryEvent::Dropped(name) => WalRecord::DropJoin {
+                name: name.to_owned(),
+            },
+        };
+        self.store.append(&record)
+    }
+}
+
+/// A [`JoinDefinition`] flattened into its WAL form.
+pub(crate) fn join_spec_of(def: &JoinDefinition) -> JoinSpec {
+    let guard = def.guard();
+    JoinSpec {
+        name: def.name().to_owned(),
+        library: def.library().to_owned(),
+        class: def.class().to_owned(),
+        arg_types: def.arg_types().iter().map(|t| t.to_string()).collect(),
+        guard: GuardSpec {
+            policy: guard.policy.to_string(),
+            call_budget_ms: guard.limits.call_budget_ms,
+            max_pplan_bytes: guard.limits.max_pplan_bytes as u64,
+            max_buckets_per_key: guard.limits.max_buckets_per_key as u64,
+            max_assign_fanout: guard.limits.max_assign_fanout,
+            check_sample: guard.limits.check_sample,
+        },
+        memory_budget_rows: def.memory_budget_rows().map(|n| n as u64),
+    }
+}
+
+/// Inverse of [`join_spec_of`]: re-create the join in `registry`.
+fn recreate_join(registry: &JoinRegistry, spec: &JoinSpec) -> Result<()> {
+    let arg_types = spec
+        .arg_types
+        .iter()
+        .map(|t| parse_data_type(t))
+        .collect::<Result<Vec<_>>>()?;
+    let mut guard = GuardConfig::default();
+    guard.policy = UdfPolicy::parse(&spec.guard.policy).ok_or_else(|| {
+        FudjError::Storage(format!(
+            "recovered join {:?} has unknown guard policy {:?}",
+            spec.name, spec.guard.policy
+        ))
+    })?;
+    guard.limits.call_budget_ms = spec.guard.call_budget_ms;
+    guard.limits.max_pplan_bytes = spec.guard.max_pplan_bytes as usize;
+    guard.limits.max_buckets_per_key = spec.guard.max_buckets_per_key as usize;
+    guard.limits.max_assign_fanout = spec.guard.max_assign_fanout;
+    guard.limits.check_sample = spec.guard.check_sample;
+    registry.create_join_full(
+        &spec.name,
+        arg_types,
+        &spec.class,
+        &spec.library,
+        guard,
+        spec.memory_budget_rows.map(|n| n as usize),
+    )?;
+    Ok(())
+}
+
+/// The `CREATE TABLE` WAL record for a live dataset.
+fn create_table_record(dataset: &Dataset) -> WalRecord {
+    let schema = dataset.schema();
+    WalRecord::CreateTable {
+        name: dataset.name().to_owned(),
+        fields: schema
+            .fields()
+            .iter()
+            .map(|f| (f.name.clone(), f.data_type.to_string()))
+            .collect(),
+        primary_key: schema.fields()[dataset.primary_key()].name.clone(),
+        partitions: dataset.partition_count() as u32,
+    }
+}
+
+/// Rebuild a live [`Dataset`] from its snapshot/replay image.
+fn rebuild_dataset(table: &SnapshotTable) -> Result<Dataset> {
+    let fields = table
+        .fields
+        .iter()
+        .map(|(name, ty)| parse_data_type(ty).map(|t| Field::new(name.clone(), t)))
+        .collect::<Result<Vec<_>>>()?;
+    let dataset = DatasetBuilder::new(&table.name, Schema::shared(fields))
+        .primary_key(&table.primary_key)
+        .partitions(table.partitions as usize)
+        .build()?;
+    dataset.insert_all(table.rows.iter().cloned())?;
+    Ok(dataset)
+}
+
+/// Apply a recovered state to the live catalog and registry. Durable state
+/// is the source of truth: a recovered table or join whose name is already
+/// live (e.g. re-registered fixture data before `SET wal_dir`) replaces
+/// the in-memory version.
+pub(crate) fn replay_into(
+    state: &RecoveredState,
+    catalog: &Catalog,
+    registry: &JoinRegistry,
+) -> Result<()> {
+    for table in &state.tables {
+        if catalog.get(&table.name).is_ok() {
+            catalog.drop_dataset(&table.name)?;
+        }
+        catalog.register(rebuild_dataset(table)?)?;
+    }
+    for spec in &state.joins {
+        if registry.get(&spec.name).is_some() {
+            registry.drop_join(&spec.name)?;
+        }
+        recreate_join(registry, spec)?;
+    }
+    Ok(())
+}
+
+/// WAL the live objects that predate the store (registered before `SET
+/// wal_dir` and absent from the recovered state), so the log is a complete
+/// image of the session.
+pub(crate) fn seed_existing(
+    store: &DurableStore,
+    recovered: &RecoveredState,
+    catalog: &Catalog,
+    registry: &JoinRegistry,
+) -> Result<()> {
+    for name in catalog.names() {
+        if recovered.tables.iter().any(|t| t.name == name) {
+            continue;
+        }
+        let dataset = catalog.get(&name)?;
+        store.append(&create_table_record(&dataset))?;
+        let rows = dataset.all_rows();
+        if !rows.is_empty() {
+            store.append(&WalRecord::Append { table: name, rows })?;
+        }
+    }
+    for name in registry.join_names() {
+        if recovered.joins.iter().any(|j| j.name == name) {
+            continue;
+        }
+        if let Some(def) = registry.get(&name) {
+            store.append(&WalRecord::CreateJoin(join_spec_of(&def)))?;
+        }
+    }
+    Ok(())
+}
+
+/// A point-in-time snapshot image of the live catalog + registry (the
+/// store stamps `last_seq` itself when it writes the snapshot).
+pub(crate) fn snapshot_state(catalog: &Catalog, registry: &JoinRegistry) -> Result<SnapshotState> {
+    let mut tables = Vec::new();
+    for name in catalog.names() {
+        let dataset = catalog.get(&name)?;
+        let schema = dataset.schema();
+        tables.push(SnapshotTable {
+            name,
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| (f.name.clone(), f.data_type.to_string()))
+                .collect(),
+            primary_key: schema.fields()[dataset.primary_key()].name.clone(),
+            partitions: dataset.partition_count() as u32,
+            rows: dataset.all_rows(),
+        });
+    }
+    let joins = registry
+        .join_names()
+        .iter()
+        .filter_map(|n| registry.get(n))
+        .map(|def| join_spec_of(&def))
+        .collect();
+    Ok(SnapshotState {
+        last_seq: 0,
+        joins,
+        tables,
+    })
+}

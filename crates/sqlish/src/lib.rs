@@ -16,6 +16,7 @@
 
 pub mod ast;
 pub mod binder;
+mod durability;
 pub mod lexer;
 pub mod parser;
 pub mod session;

@@ -2,13 +2,14 @@
 
 use crate::ast::Statement;
 use crate::binder::bind_select;
+use crate::durability::{self, WalHook};
 use crate::parser::parse;
 use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
 use fudj_exec::{Cluster, ExecMode, MetricsSnapshot, NetworkModel, WorkerInfo};
 use fudj_planner::PlanOptions;
 use fudj_sched::{JobHandle, QuerySpec, Scheduler};
 use fudj_storage::CheckpointPolicy;
-use fudj_storage::{Catalog, Dataset};
+use fudj_storage::{Catalog, Dataset, DiskFs, DurableStore, FaultFs, StorageFaultConfig, Vfs};
 use fudj_types::{Batch, FudjError, Result};
 use std::sync::{Arc, Mutex};
 
@@ -75,6 +76,10 @@ struct SessionVars {
     /// Execution mode (row vs columnar); the executor default applies
     /// when unset.
     exec_mode: Option<ExecMode>,
+    /// WAL fsync cadence (`SET durability`): 1 = every record, N = every
+    /// N records, 0 = never. Remembered here so it also applies to a
+    /// store opened *after* the `SET`.
+    durability_sync_every: Option<u64>,
 }
 
 /// Result of executing one statement.
@@ -124,6 +129,11 @@ pub struct Session {
     /// `SET`-table knobs; a `Mutex` because [`Session::execute`] takes
     /// `&self` (sessions are shared with in-flight jobs).
     vars: Mutex<SessionVars>,
+    /// The crash-consistent store behind `SET wal_dir`, when open.
+    durable: Mutex<Option<Arc<DurableStore>>>,
+    /// Armed storage-fault plan (`\chaos disk`): the *next* `SET wal_dir`
+    /// opens its store over a fault-injecting in-memory filesystem.
+    disk_faults: Mutex<Option<StorageFaultConfig>>,
 }
 
 impl Session {
@@ -137,6 +147,8 @@ impl Session {
             cluster,
             options: PlanOptions::default(),
             vars: Mutex::new(SessionVars::default()),
+            durable: Mutex::new(None),
+            disk_faults: Mutex::new(None),
         }
     }
 
@@ -235,6 +247,92 @@ impl Session {
 
     fn vars(&self) -> SessionVars {
         *self.vars.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The open durable store, if `SET wal_dir` is active.
+    pub fn durable(&self) -> Option<Arc<DurableStore>> {
+        self.durable
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Arm (or with `None`, disarm) deterministic storage faults. Takes
+    /// effect at the *next* `SET wal_dir`, which then opens its store over
+    /// a fault-injecting in-memory filesystem instead of the real disk.
+    pub fn set_disk_faults(&self, faults: Option<StorageFaultConfig>) {
+        *self.disk_faults.lock().unwrap_or_else(|e| e.into_inner()) = faults;
+    }
+
+    /// The armed storage-fault plan, if any.
+    pub fn disk_faults(&self) -> Option<StorageFaultConfig> {
+        self.disk_faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Open (or re-open) a crash-consistent store at `dir`: replay its
+    /// committed state into the catalog/registry, then WAL every
+    /// subsequent catalog, registry, and append mutation. Equivalent to
+    /// `SET wal_dir = <dir>`.
+    pub fn open_wal(&self, dir: &str) -> Result<()> {
+        let vfs: Arc<dyn Vfs> = match self.disk_faults() {
+            Some(cfg) => FaultFs::new(cfg),
+            None => Arc::new(DiskFs::new()),
+        };
+        self.open_wal_with(dir, vfs)
+    }
+
+    /// [`Session::open_wal`] over a caller-supplied filesystem — the
+    /// crash-restart harness passes the same [`FaultFs`] across simulated
+    /// process restarts.
+    pub fn open_wal_with(&self, dir: &str, vfs: Arc<dyn Vfs>) -> Result<()> {
+        self.close_wal();
+        let (store, recovered) = DurableStore::open(dir, vfs)?;
+        let store = Arc::new(store);
+        if let Some(n) = self.vars().durability_sync_every {
+            store.set_sync_every(n);
+        }
+        // Replay first, attach sinks after: recovered state must not be
+        // re-logged.
+        durability::replay_into(&recovered, &self.catalog, &self.registry)?;
+        durability::seed_existing(&store, &recovered, &self.catalog, &self.registry)?;
+        let hook = WalHook::new(store.clone());
+        for name in self.catalog.names() {
+            if let Ok(dataset) = self.catalog.get(&name) {
+                dataset.attach_sink(hook.clone());
+            }
+        }
+        self.catalog.set_sink(Some(hook.clone()));
+        self.registry.set_sink(Some(hook));
+        *self.durable.lock().unwrap_or_else(|e| e.into_inner()) = Some(store);
+        Ok(())
+    }
+
+    /// Detach the durable store (`SET wal_dir = off`). Already-logged
+    /// state stays on disk; subsequent mutations are in-memory only.
+    pub fn close_wal(&self) {
+        let mut durable = self.durable.lock().unwrap_or_else(|e| e.into_inner());
+        if durable.take().is_some() {
+            self.catalog.set_sink(None);
+            self.registry.set_sink(None);
+            for name in self.catalog.names() {
+                if let Ok(dataset) = self.catalog.get(&name) {
+                    dataset.detach_sink();
+                }
+            }
+        }
+    }
+
+    /// Write an atomic snapshot of the current catalog + registry and
+    /// compact the WAL behind it (`\persist` in the REPL).
+    pub fn persist(&self) -> Result<()> {
+        let store = self.durable().ok_or_else(|| {
+            FudjError::Storage("no wal_dir open (SET wal_dir = <path> first)".into())
+        })?;
+        let state = durability::snapshot_state(&self.catalog, &self.registry)?;
+        store.snapshot(&state)
     }
 
     /// Planner options with the session's `SET` variables merged in.
@@ -337,13 +435,38 @@ impl Session {
                 self.cluster
                     .set_quarantine_threshold(optional()?.unwrap_or(0));
             }
+            "wal_dir" => {
+                drop(vars);
+                if cleared {
+                    self.close_wal();
+                } else {
+                    self.open_wal(value)?;
+                }
+            }
+            "durability" => {
+                // sync = fsync every record, N = every N records,
+                // off/none = never (the OS decides when bytes land).
+                let n = if value.eq_ignore_ascii_case("sync") {
+                    1
+                } else if cleared {
+                    0
+                } else {
+                    numeric()?
+                };
+                vars.durability_sync_every = Some(n);
+                drop(vars);
+                if let Some(store) = self.durable() {
+                    store.set_sync_every(n);
+                }
+            }
             other => {
                 return Err(FudjError::Execution(format!(
                     "unknown SET variable {other:?} (expected max_inflight_queries, \
                      admission_queue_limit, memory_quota_rows, stage_slots, priority, \
                      deadline_ms, memory_budget_rows, spill_fanout, \
                      spill_recursion_limit, exec_mode, checkpoint_budget_bytes, \
-                     checkpoint_stages, or worker_quarantine_threshold)"
+                     checkpoint_stages, worker_quarantine_threshold, wal_dir, \
+                     or durability)"
                 )))
             }
         }
@@ -415,7 +538,14 @@ impl Session {
                 let options = self.effective_options();
                 let physical = fudj_planner::plan(logical, &self.registry, &options)?;
                 let (batch, metrics) = self.cluster.execute_mode(&physical, options.exec_mode)?;
-                Ok(QueryOutput::Rows(batch, Box::new(metrics.snapshot())))
+                let mut snapshot = metrics.snapshot();
+                if let Some(store) = self.durable() {
+                    // Durability is session-scoped (one WAL outlives many
+                    // queries), so the session stamps the store's counters
+                    // into each snapshot rather than the executor.
+                    snapshot.durability = store.stats();
+                }
+                Ok(QueryOutput::Rows(batch, Box::new(snapshot)))
             }
             Statement::Explain { select, analyze } => {
                 let logical = bind_select(&select, &self.catalog)?;
@@ -445,6 +575,19 @@ impl Session {
                         m.dedup_rejections,
                         m.spilled_rows,
                     );
+                    if let Some(store) = self.durable() {
+                        let d = store.stats();
+                        let _ = writeln!(
+                            text,
+                            "durability: {} wal records ({} bytes), {} fsyncs, \
+                             {} snapshots, {} replayed",
+                            d.wal_records_appended,
+                            d.wal_bytes_appended,
+                            d.wal_fsyncs,
+                            d.snapshots_written,
+                            d.wal_records_replayed,
+                        );
+                    }
                 }
                 Ok(QueryOutput::Plan(text))
             }
@@ -877,6 +1020,160 @@ mod tests {
         // Only SELECTs are submittable.
         let err = s.submit("DROP JOIN nope").unwrap_err();
         assert!(err.to_string().contains("only SELECT"), "{err}");
+    }
+
+    fn wal_test_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fudj-wal-session-{}-{tag}", std::process::id()))
+    }
+
+    fn kv_dataset() -> Dataset {
+        use fudj_types::{DataType, Field, Row, Schema};
+        let dataset = fudj_storage::DatasetBuilder::new(
+            "kv",
+            Schema::shared(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("tag", DataType::String),
+            ]),
+        )
+        .primary_key("id")
+        .partitions(2)
+        .build()
+        .unwrap();
+        dataset
+            .insert(Row::new(vec![Value::Int64(1), Value::str("seed")]))
+            .unwrap();
+        dataset
+    }
+
+    #[test]
+    fn set_wal_dir_replays_tables_joins_and_appends_across_restart() {
+        use fudj_types::Row;
+        let dir = wal_test_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let s = Session::new(2);
+            s.install_library(standard_library());
+            let kv = s.register_dataset(kv_dataset()).unwrap();
+            s.execute(&format!("SET wal_dir = '{}'", dir.display()))
+                .unwrap();
+            // Post-open mutations are WALed: appends, join DDL.
+            kv.insert(Row::new(vec![Value::Int64(2), Value::str("waled")]))
+                .unwrap();
+            kv.insert(Row::new(vec![Value::Int64(3), Value::str("waled")]))
+                .unwrap();
+            s.execute(
+                r#"CREATE JOIN st_contains(a: polygon, b: point)
+                   RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins
+                   WITH (policy = quarantine, budget_ms = 250, memory_budget_rows = 8);"#,
+            )
+            .unwrap();
+            // The session stamps durability counters into query metrics.
+            let out = s.execute("SELECT COUNT(*) FROM kv k").unwrap();
+            assert!(out.metrics().durability.wal_records_appended > 0);
+            assert!(out.metrics().durability.wal_fsyncs > 0, "default is sync");
+        }
+        // "Restart": a fresh session recovers tables, rows, and join DDL.
+        let s = Session::new(2);
+        s.install_library(standard_library());
+        s.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        let kv = s.catalog().get("kv").unwrap();
+        assert_eq!(kv.len(), 3, "seeded + 2 WALed rows survive the restart");
+        let def = s.registry().get("st_contains").expect("join DDL recovered");
+        assert_eq!(def.guard().policy, UdfPolicy::Quarantine);
+        assert_eq!(def.guard().limits.call_budget_ms, 250);
+        assert_eq!(def.memory_budget_rows(), Some(8));
+        let batch = s.query("SELECT COUNT(*) FROM kv k").unwrap();
+        assert_eq!(batch.rows()[0].get(0).as_i64().unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_durability_controls_fsync_cadence_and_persist_compacts() {
+        use fudj_types::Row;
+        let dir = wal_test_dir("persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Session::new(2);
+        s.install_library(standard_library());
+        let kv = s.register_dataset(kv_dataset()).unwrap();
+        // The cadence knob is remembered even before the store opens.
+        s.execute("SET durability = 16").unwrap();
+        s.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        let store = s.durable().expect("store open");
+        assert_eq!(store.sync_every(), 16);
+        s.execute("SET durability = sync").unwrap();
+        assert_eq!(store.sync_every(), 1);
+        s.execute("SET durability = off").unwrap();
+        assert_eq!(store.sync_every(), 0);
+
+        for i in 10..30 {
+            kv.insert(Row::new(vec![Value::Int64(i), Value::str("bulk")]))
+                .unwrap();
+        }
+        let v0 = store.version();
+        s.persist().unwrap();
+        assert_eq!(store.version(), v0 + 1, "snapshot advances the version");
+        assert!(store.stats().snapshots_written > 0);
+
+        // Recovery from the snapshot (plus empty tail) sees every row.
+        let s2 = Session::new(2);
+        s2.install_library(standard_library());
+        s2.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        assert_eq!(s2.catalog().get("kv").unwrap().len(), 21);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_wal_dir_off_detaches_and_stops_logging() {
+        use fudj_types::Row;
+        let dir = wal_test_dir("detach");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Session::new(2);
+        s.install_library(standard_library());
+        let kv = s.register_dataset(kv_dataset()).unwrap();
+        s.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        s.execute("SET wal_dir = off").unwrap();
+        assert!(s.durable().is_none());
+        kv.insert(Row::new(vec![Value::Int64(99), Value::str("lost")]))
+            .unwrap();
+
+        let s2 = Session::new(2);
+        s2.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        assert_eq!(
+            s2.catalog().get("kv").unwrap().len(),
+            1,
+            "rows inserted after detach are not durable"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_wal_dir_unwritable_path_is_a_clean_error() {
+        // Tests run as root, so permission bits don't block writes; a path
+        // nested *under a regular file* fails even for root (ENOTDIR).
+        let blocker = wal_test_dir("blocker");
+        let _ = std::fs::remove_dir_all(&blocker);
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let s = Session::new(2);
+        let err = s
+            .execute(&format!(
+                "SET wal_dir = '{}'",
+                blocker.join("nested").display()
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("storage error"), "{err}");
+        assert!(
+            s.durable().is_none(),
+            "failed open leaves no half-attached store"
+        );
+        // The session stays usable.
+        s.register_dataset(kv_dataset()).unwrap();
+        assert!(s.query("SELECT COUNT(*) FROM kv k").is_ok());
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

@@ -11,16 +11,33 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Observer of catalog mutations, called *before* the map changes
+/// (log-before-apply). The durability layer uses it to WAL table DDL and
+/// to attach append sinks to newly registered datasets; an error aborts
+/// the mutation.
+pub trait CatalogSink: Send + Sync {
+    /// A dataset is about to be registered.
+    fn on_register(&self, dataset: &Arc<Dataset>) -> Result<()>;
+    /// A dataset is about to be dropped.
+    fn on_drop(&self, name: &str) -> Result<()>;
+}
+
 /// A thread-safe name → dataset map.
 #[derive(Default)]
 pub struct Catalog {
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    sink: RwLock<Option<Arc<dyn CatalogSink>>>,
 }
 
 impl Catalog {
     /// Empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach or detach the mutation observer.
+    pub fn set_sink(&self, sink: Option<Arc<dyn CatalogSink>>) {
+        *self.sink.write() = sink;
     }
 
     /// Register a dataset under its own name. Fails on duplicates — matching
@@ -34,6 +51,9 @@ impl Catalog {
             )));
         }
         let arc = Arc::new(dataset);
+        if let Some(sink) = self.sink.read().clone() {
+            sink.on_register(&arc)?;
+        }
         map.insert(name, arc.clone());
         Ok(arc)
     }
@@ -49,11 +69,15 @@ impl Catalog {
 
     /// Drop a dataset (`DROP DATASET`).
     pub fn drop_dataset(&self, name: &str) -> Result<()> {
-        self.datasets
-            .write()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| FudjError::DatasetNotFound(name.to_owned()))
+        let mut map = self.datasets.write();
+        if !map.contains_key(name) {
+            return Err(FudjError::DatasetNotFound(name.to_owned()));
+        }
+        if let Some(sink) = self.sink.read().clone() {
+            sink.on_drop(name)?;
+        }
+        map.remove(name);
+        Ok(())
     }
 
     /// Names of all registered datasets, sorted.
@@ -103,5 +127,38 @@ mod tests {
     fn drop_missing_errors() {
         let cat = Catalog::new();
         assert!(cat.drop_dataset("ghost").is_err());
+    }
+
+    #[test]
+    fn sink_observes_and_can_veto_mutations() {
+        struct Log(parking_lot::Mutex<Vec<String>>, bool);
+        impl CatalogSink for Log {
+            fn on_register(&self, dataset: &Arc<Dataset>) -> Result<()> {
+                self.0.lock().push(format!("+{}", dataset.name()));
+                if self.1 {
+                    return Err(FudjError::Storage("no".into()));
+                }
+                Ok(())
+            }
+            fn on_drop(&self, name: &str) -> Result<()> {
+                self.0.lock().push(format!("-{name}"));
+                Ok(())
+            }
+        }
+        let cat = Catalog::new();
+        let log = Arc::new(Log(parking_lot::Mutex::new(Vec::new()), false));
+        cat.set_sink(Some(log.clone()));
+        cat.register(ds("Parks")).unwrap();
+        cat.drop_dataset("Parks").unwrap();
+        assert_eq!(*log.0.lock(), vec!["+Parks", "-Parks"]);
+        // A vetoing sink aborts registration entirely.
+        cat.set_sink(Some(Arc::new(Log(
+            parking_lot::Mutex::new(Vec::new()),
+            true,
+        ))));
+        assert!(cat.register(ds("Lakes")).is_err());
+        cat.set_sink(None);
+        assert!(cat.get("Lakes").is_err(), "vetoed dataset not registered");
+        cat.register(ds("Lakes")).unwrap();
     }
 }

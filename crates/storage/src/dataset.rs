@@ -4,6 +4,15 @@ use fudj_types::{FudjError, Result, Row, SchemaRef, Value};
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Observer of row appends, called *before* the in-memory partitions
+/// change (log-before-apply). The durability layer attaches one per
+/// dataset; an error aborts the insert so the WAL never lags the state.
+pub trait AppendSink: Send + Sync {
+    /// Called with the validated rows about to be appended to `table`.
+    fn on_append(&self, table: &str, rows: &[Row]) -> Result<()>;
+}
 
 /// A named dataset hash-partitioned by primary key across storage
 /// partitions, one partition per (simulated) cluster node.
@@ -12,6 +21,7 @@ pub struct Dataset {
     schema: SchemaRef,
     primary_key: usize,
     partitions: RwLock<Vec<Vec<Row>>>,
+    sink: RwLock<Option<Arc<dyn AppendSink>>>,
 }
 
 impl std::fmt::Debug for Dataset {
@@ -57,9 +67,17 @@ impl Dataset {
         self.len() == 0
     }
 
-    /// Insert a row, routed by the hash of its primary key — the storage
-    /// partitioning AsterixDB applies on ingestion.
-    pub fn insert(&self, row: Row) -> Result<()> {
+    /// Attach an append observer (the durability layer's WAL hook).
+    pub fn attach_sink(&self, sink: Arc<dyn AppendSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    /// Detach the append observer, if any.
+    pub fn detach_sink(&self) {
+        *self.sink.write() = None;
+    }
+
+    fn validate(&self, row: &Row) -> Result<()> {
         if row.len() != self.schema.len() {
             return Err(FudjError::Execution(format!(
                 "row width {} does not match schema of dataset {:?}",
@@ -67,29 +85,61 @@ impl Dataset {
                 self.name
             )));
         }
-        let mut parts = self.partitions.write();
-        let idx = partition_of(row.get(self.primary_key), parts.len());
-        parts[idx].push(row);
         Ok(())
     }
 
-    /// Bulk insert.
+    /// Route one validated row to its partition.
+    fn apply(&self, row: Row) {
+        let mut parts = self.partitions.write();
+        let idx = partition_of(row.get(self.primary_key), parts.len());
+        parts[idx].push(row);
+    }
+
+    /// Insert a row, routed by the hash of its primary key — the storage
+    /// partitioning AsterixDB applies on ingestion. When a sink is
+    /// attached the row is logged first; a sink error aborts the insert.
+    pub fn insert(&self, row: Row) -> Result<()> {
+        self.validate(&row)?;
+        if let Some(sink) = self.sink.read().clone() {
+            sink.on_append(&self.name, std::slice::from_ref(&row))?;
+        }
+        self.apply(row);
+        Ok(())
+    }
+
+    /// Bulk insert: validated and logged as one batch (one WAL record),
+    /// then applied. A sink error aborts the whole batch before any row
+    /// lands.
     pub fn insert_all(&self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        let rows: Vec<Row> = rows.into_iter().collect();
+        for row in &rows {
+            self.validate(row)?;
+        }
+        if let Some(sink) = self.sink.read().clone() {
+            sink.on_append(&self.name, &rows)?;
+        }
         for row in rows {
-            self.insert(row)?;
+            self.apply(row);
         }
         Ok(())
     }
 
-    /// Run `f` over one partition's rows without copying them out.
+    /// Run `f` over one partition's rows without copying them out. An
+    /// out-of-range partition index sees an empty slice (the panic-free
+    /// contract of the storage audit — no partition simply has no rows).
     pub fn with_partition<R>(&self, partition: usize, f: impl FnOnce(&[Row]) -> R) -> R {
         let parts = self.partitions.read();
-        f(&parts[partition])
+        f(parts.get(partition).map_or(&[][..], Vec::as_slice))
     }
 
     /// Rows of one partition, cloned (cheap: values are `Arc`-backed).
+    /// Out-of-range partitions are empty, never a panic.
     pub fn partition_rows(&self, partition: usize) -> Vec<Row> {
-        self.partitions.read()[partition].clone()
+        self.partitions
+            .read()
+            .get(partition)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// All rows in partition order — test/debug convenience.
@@ -169,6 +219,7 @@ impl DatasetBuilder {
             schema: self.schema,
             primary_key,
             partitions: RwLock::new(vec![Vec::new(); self.partitions]),
+            sink: RwLock::new(None),
         })
     }
 }
@@ -238,6 +289,43 @@ mod tests {
     fn rejects_wrong_width() {
         let d = make(1);
         assert!(d.insert(Row::new(vec![Value::Uuid(1)])).is_err());
+    }
+
+    #[test]
+    fn out_of_range_partition_is_empty_not_a_panic() {
+        let d = make(2);
+        d.insert(row(1, 1)).unwrap();
+        assert!(d.partition_rows(99).is_empty());
+        d.with_partition(99, |rows| assert!(rows.is_empty()));
+    }
+
+    #[test]
+    fn sink_sees_rows_before_apply_and_can_abort() {
+        struct Recorder(parking_lot::Mutex<Vec<(String, usize)>>, bool);
+        impl AppendSink for Recorder {
+            fn on_append(&self, table: &str, rows: &[Row]) -> Result<()> {
+                self.0.lock().push((table.to_owned(), rows.len()));
+                if self.1 {
+                    return Err(FudjError::Storage("log full".into()));
+                }
+                Ok(())
+            }
+        }
+        let d = make(2);
+        let ok = Arc::new(Recorder(parking_lot::Mutex::new(Vec::new()), false));
+        d.attach_sink(ok.clone());
+        d.insert(row(1, 1)).unwrap();
+        d.insert_all((2..5).map(|i| row(i, 0))).unwrap();
+        assert_eq!(*ok.0.lock(), vec![("t".to_owned(), 1), ("t".to_owned(), 3)]);
+        assert_eq!(d.len(), 4);
+        // A failing sink aborts before any row lands.
+        let bad = Arc::new(Recorder(parking_lot::Mutex::new(Vec::new()), true));
+        d.attach_sink(bad);
+        assert!(d.insert_all((5..8).map(|i| row(i, 0))).is_err());
+        assert_eq!(d.len(), 4, "failed batch left no rows behind");
+        d.detach_sink();
+        d.insert(row(9, 9)).unwrap();
+        assert_eq!(d.len(), 5);
     }
 
     #[test]

@@ -11,8 +11,16 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod csv;
 pub mod dataset;
+pub mod durable;
+pub mod faultfs;
+pub mod snapshot;
+pub mod wal;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogSink};
 pub use checkpoint::{CheckpointPolicy, CheckpointStore, CheckpointStoreStats, PutOutcome};
 pub use csv::{read_csv, write_csv};
-pub use dataset::{Dataset, DatasetBuilder};
+pub use dataset::{AppendSink, Dataset, DatasetBuilder};
+pub use durable::{DurabilityStats, DurableStore, RecoveredState, CRASH_POINTS};
+pub use faultfs::{DiskFs, FaultFs, StorageFaultConfig, Vfs, VfsFaultCounters};
+pub use snapshot::{SnapshotState, SnapshotTable};
+pub use wal::{parse_data_type, replay_wal, GuardSpec, JoinSpec, WalRecord};

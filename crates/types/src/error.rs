@@ -46,6 +46,13 @@ pub enum FudjError {
     /// The scheduler refused to admit the query (concurrency or memory
     /// quota exceeded and the admission queue is full).
     Admission(String),
+    /// A durable-storage failure (WAL/snapshot I/O, unwritable directory,
+    /// unrecoverable manifest).
+    Storage(String),
+    /// A *simulated* crash injected by the storage fault layer. Only the
+    /// crash-restart harness should ever observe this variant; it marks
+    /// the point where a real process would have died.
+    Crash(String),
 }
 
 impl FudjError {
@@ -97,6 +104,8 @@ impl fmt::Display for FudjError {
             FudjError::Cancelled(msg) => write!(f, "query cancelled: {msg}"),
             FudjError::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
             FudjError::Admission(msg) => write!(f, "admission rejected: {msg}"),
+            FudjError::Storage(msg) => write!(f, "storage error: {msg}"),
+            FudjError::Crash(msg) => write!(f, "simulated crash: {msg}"),
         }
     }
 }

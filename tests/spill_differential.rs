@@ -257,8 +257,10 @@ fn spill_counters(snap: &MetricsSnapshot) -> [u64; 8] {
 
 /// The tentpole differential: on Zipf-skewed inputs, every join class
 /// returns identical results and identical logical counters whether it
-/// joins in memory or spills under a tight budget — and the default-match
-/// classes genuinely spill while the theta class genuinely does not.
+/// joins in memory or spills under a tight budget — the default-match
+/// classes through hybrid-hash sub-partitions, the theta class by
+/// spilling both sides whole and block-nested-looping (hash
+/// repartitioning is unsound for cross-bucket matches).
 #[test]
 fn spilled_equals_in_memory_across_join_classes_under_skew() {
     let cluster = Cluster::new(WORKERS);
@@ -277,16 +279,18 @@ fn spilled_equals_in_memory_across_join_classes_under_skew() {
             "{}: spilling changed verify/dedup counts",
             w.name
         );
+        assert!(
+            sp_snap.spilled_rows > 0,
+            "{}: budget {BUDGET} did not spill",
+            w.name
+        );
+        assert!(sp_snap.spill_spilled_partitions > 0, "{}", w.name);
         if w.theta {
-            assert_eq!(sp_snap.spilled_rows, 0, "{}: theta join spilled", w.name);
-            assert_eq!(sp_snap.spill_passes, 0, "{}: theta join spilled", w.name);
-        } else {
             assert!(
-                sp_snap.spilled_rows > 0,
-                "{}: budget {BUDGET} did not spill",
+                sp_snap.spill_bnl_fallbacks > 0,
+                "{}: budgeted theta run never took the BNL path",
                 w.name
             );
-            assert!(sp_snap.spill_spilled_partitions > 0, "{}", w.name);
         }
         assert_eq!(
             mem_snap.spilled_rows, 0,
