@@ -12,8 +12,12 @@
 //! scan/filter/aggregate pipelines, writing the speedups to
 //! `BENCH_PR7.json`, and finally measures ingest throughput under the
 //! durability knobs (no store / fsync-every-write / every-64 / off)
-//! plus snapshot and recovery-replay cost, writing `BENCH_PR8.json`.
-//! All four JSON formats are documented in `EXPERIMENTS.md`.
+//! plus snapshot and recovery-replay cost, writing `BENCH_PR8.json`,
+//! and replays seeded multi-tenant workloads through the serving tier
+//! (caches on vs off, uniform vs shape-skewed, three priority classes),
+//! writing `BENCH_PR9.json`. Every emitted file gets a one-line
+//! `wrote <file> (<n> rows)` summary, and all the JSON formats are
+//! documented in `EXPERIMENTS.md`.
 
 use fudj_bench::runner::{measure, RunConfig, Strategy};
 use fudj_bench::workloads::Workload;
@@ -84,6 +88,22 @@ fn json_f64(x: f64) -> String {
         format!("{x:.6}")
     } else {
         "null".to_owned()
+    }
+}
+
+/// Write one `BENCH_PR*.json` to the repository root and print a one-line
+/// summary: the file written and how many data rows it carries (nested
+/// JSON objects, one per measurement).
+fn write_bench(file: &str, json: &str) {
+    let rows = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\""))
+        .count();
+    // The bench crate lives at crates/bench; the JSON lands at the root.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{file}"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {} ({rows} rows)", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 
@@ -897,34 +917,21 @@ fn main() {
     );
     json.push_str("}\n");
 
-    // The bench crate lives at crates/bench; the JSON lands at the root.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    write_bench("BENCH_PR5.json", &json);
 
     // PR6: runtime-vs-budget curves for the hybrid-hash COMBINE.
     let sweep = budget_sweep(WORKERS);
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
-    match std::fs::write(&path, &sweep) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    write_bench("BENCH_PR6.json", &sweep);
 
     // PR7: row engine vs columnar stride engine on the same plans.
     let modes = exec_mode_sweep(WORKERS);
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json");
-    match std::fs::write(&path, &modes) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    write_bench("BENCH_PR7.json", &modes);
 
     // PR8: ingest throughput under the durability knobs + recovery cost.
     let durability = durability_sweep();
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json");
-    match std::fs::write(&path, &durability) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    write_bench("BENCH_PR8.json", &durability);
+
+    // PR9: multi-tenant serving-tier mixes (caches on/off, fairness).
+    let serving = fudj_bench::serving::serving_sweep();
+    write_bench("BENCH_PR9.json", &serving);
 }

@@ -24,6 +24,7 @@
 
 pub mod loc;
 pub mod runner;
+pub mod serving;
 pub mod workloads;
 
 pub use runner::{measure, JoinKind, Strategy};

@@ -1,0 +1,221 @@
+//! Serving-tier latency and throughput sweep backing `BENCH_PR9.json`.
+//!
+//! Replays the same seeded multi-tenant workload through a
+//! [`fudj_serve::ServingTier`] four ways — {uniform, shape-skewed} ×
+//! {caches on, caches off} — and once more under a three-class priority
+//! mix for fairness. Each mix reports wall-clock throughput, simulated
+//! latency percentiles, and cache hit rates; the headline claim (the
+//! paper's §VII-B amortization argument) is that on the shape-skewed mix
+//! the caches buy at least 1.5× throughput.
+
+use fudj_exec::ServingStats;
+use fudj_serve::{
+    generate, sample_session, LatencyHistogram, MixProfile, ServingTier, WorkloadConfig,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tenants in every mix.
+pub const TENANTS: u32 = 12;
+/// Statements replayed per mix.
+pub const OPS: usize = 180;
+/// Workload seed (shared so on/off runs see identical statements).
+pub const SEED: u64 = 42;
+/// Records per sample dataset.
+const RECORDS: usize = 60;
+/// Workers in the sample engine.
+const WORKERS: usize = 2;
+/// Priority classes in every mix (priority = 1 + tenant % 3).
+const PRIORITY_CLASSES: u32 = 3;
+
+/// One measured mix.
+pub struct MixRun {
+    pub name: &'static str,
+    pub caches: &'static str,
+    pub wall_seconds: f64,
+    pub ops_per_second: f64,
+    pub stats: ServingStats,
+    pub latency: LatencyHistogram,
+}
+
+/// Hit fraction with a 0/0 guard.
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Replay the seeded workload through a fresh engine + tier.
+fn run_mix(name: &'static str, profile: MixProfile, caches_on: bool) -> (MixRun, ServingTier) {
+    let session = Arc::new(sample_session(RECORDS, WORKERS).expect("sample session builds"));
+    if !caches_on {
+        session
+            .execute("SET result_cache = off;")
+            .expect("knob applies");
+        session
+            .execute("SET plan_cache_entries = 0;")
+            .expect("knob applies");
+    }
+    let tier = ServingTier::new(session);
+    let ops = generate(&WorkloadConfig {
+        tenants: TENANTS,
+        ops: OPS,
+        seed: SEED,
+        profile,
+        priority_classes: PRIORITY_CLASSES,
+    });
+    let start = Instant::now();
+    for op in &ops {
+        tier.serve_with_priority(op.tenant, op.priority, &op.sql)
+            .expect("workload statement serves");
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let run = MixRun {
+        name,
+        caches: if caches_on { "on" } else { "off" },
+        wall_seconds,
+        ops_per_second: OPS as f64 / wall_seconds.max(1e-9),
+        stats: tier.stats(),
+        latency: tier.global_latency(),
+    };
+    (run, tier)
+}
+
+/// Per-priority-class latency of one served tier (fairness view).
+fn fairness_rows(tier: &ServingTier) -> Vec<(u32, LatencyHistogram)> {
+    let mut classes: Vec<(u32, LatencyHistogram)> = (1..=PRIORITY_CLASSES)
+        .map(|p| (p, LatencyHistogram::new()))
+        .collect();
+    for tenant in tier.tenant_ids() {
+        if let Some(h) = tier.tenant_latency(tenant) {
+            let class = 1 + tenant % PRIORITY_CLASSES;
+            if let Some((_, merged)) = classes.iter_mut().find(|(p, _)| *p == class) {
+                merged.merge(&h);
+            }
+        }
+    }
+    classes
+}
+
+/// Run the four mixes + fairness view and assemble `BENCH_PR9.json`.
+/// Panics if the shape-skewed mix does not clear the 1.5× cache speedup
+/// the PR claims.
+pub fn serving_sweep() -> String {
+    let mixes = [
+        run_mix("uniform", MixProfile::Uniform, true),
+        run_mix("uniform", MixProfile::Uniform, false),
+        run_mix("shape_skewed", MixProfile::ShapeSkewed(1.1), true),
+        run_mix("shape_skewed", MixProfile::ShapeSkewed(1.1), false),
+    ];
+
+    for (m, _) in &mixes {
+        println!(
+            "serving {} caches {}: {:.4}s wall ({:.0} stmts/s), sim p50 {} / p99 {} ms, \
+             plan hit rate {:.2}, result hit rate {:.2}",
+            m.name,
+            m.caches,
+            m.wall_seconds,
+            m.ops_per_second,
+            m.latency.p50(),
+            m.latency.p99(),
+            rate(m.stats.plan_cache_hits, m.stats.plan_cache_misses),
+            rate(m.stats.result_cache_hits, m.stats.result_cache_misses),
+        );
+    }
+
+    let skew_on = &mixes[2].0;
+    let skew_off = &mixes[3].0;
+    let speedup = skew_on.ops_per_second / skew_off.ops_per_second.max(1e-9);
+    println!("serving shape_skewed caches on/off throughput: {speedup:.2}x");
+    assert!(
+        speedup >= 1.5,
+        "caches must buy >= 1.5x throughput on the shape-skewed mix, got {speedup:.2}x"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 9,\n");
+    let _ = writeln!(
+        json,
+        "  \"workers\": {WORKERS}, \"tenants\": {TENANTS}, \"ops_per_mix\": {OPS}, \
+         \"seed\": {SEED}, \"priority_classes\": {PRIORITY_CLASSES},"
+    );
+    json.push_str("  \"mixes\": [\n");
+    for (i, (m, _)) in mixes.iter().enumerate() {
+        let s = &m.stats;
+        let _ = write!(
+            json,
+            "    {{\"mix\": \"{}\", \"caches\": \"{}\", \"wall_seconds\": {}, \
+             \"ops_per_second\": {}, \"p50_sim_ms\": {}, \"p99_sim_ms\": {}, \
+             \"max_sim_ms\": {}, \"plan_hit_rate\": {}, \"result_hit_rate\": {}, \
+             \"result_invalidations\": {}, \"admissions\": {}, \"rejections\": {}, \
+             \"queue_depth_high_water\": {}}}",
+            m.name,
+            m.caches,
+            json_f64(m.wall_seconds),
+            json_f64(m.ops_per_second),
+            m.latency.p50(),
+            m.latency.p99(),
+            m.latency.max(),
+            json_f64(rate(s.plan_cache_hits, s.plan_cache_misses)),
+            json_f64(rate(s.result_cache_hits, s.result_cache_misses)),
+            s.result_cache_invalidations,
+            s.admissions,
+            s.rejections,
+            s.queue_depth_high_water,
+        );
+        json.push_str(if i + 1 < mixes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"skew_caches_on_over_off_throughput\": {},",
+        json_f64(speedup)
+    );
+
+    // Fairness: per-priority-class simulated latency on the skewed
+    // caches-on tier (priority = 1 + tenant % classes).
+    let classes = fairness_rows(&mixes[2].1);
+    json.push_str("  \"fairness\": [\n");
+    for (i, (class, h)) in classes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"priority\": {}, \"ops\": {}, \"p50_sim_ms\": {}, \
+             \"p99_sim_ms\": {}, \"max_sim_ms\": {}}}",
+            class,
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max(),
+        );
+        json.push_str(if i + 1 < classes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_emits_all_mixes_and_clears_the_speedup_bar() {
+        let json = serving_sweep();
+        assert!(json.contains("\"pr\": 9"));
+        assert_eq!(json.matches("\"mix\": \"uniform\"").count(), 2);
+        assert_eq!(json.matches("\"mix\": \"shape_skewed\"").count(), 2);
+        assert_eq!(json.matches("\"priority\": ").count(), 3);
+        assert!(json.contains("\"skew_caches_on_over_off_throughput\""));
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod render;
 pub mod repl;
+pub mod serve_demo;
 
 pub use render::render_batch;
 pub use repl::{Repl, ReplCommand};

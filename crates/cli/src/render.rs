@@ -231,6 +231,31 @@ pub fn render_udf_stats(snapshot: &MetricsSnapshot) -> String {
     )
 }
 
+/// Render the serving-tier counters of one response, or an empty string
+/// when the statement did not pass through a serving tier (so plain REPL
+/// queries print nothing new).
+pub fn render_serving_stats(snapshot: &MetricsSnapshot) -> String {
+    let s = &snapshot.serving;
+    if !s.any() {
+        return String::new();
+    }
+    format!(
+        "Serving: plans {} hit / {} miss / {} evicted; results {} hit / \
+         {} miss / {} evicted, {} invalidated by ingest; {} admitted, \
+         {} rejected; queue depth high-water {}\n",
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+        s.plan_cache_evictions,
+        s.result_cache_hits,
+        s.result_cache_misses,
+        s.result_cache_evictions,
+        s.result_cache_invalidations,
+        s.admissions,
+        s.rejections,
+        s.queue_depth_high_water,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +380,24 @@ mod tests {
         assert!(text.contains("1 panics caught"), "{text}");
         assert!(text.contains("3 rows quarantined"), "{text}");
         assert!(!text.contains("in verify"), "{text}");
+    }
+
+    #[test]
+    fn serving_stats_render_only_when_a_tier_was_involved() {
+        let mut snap = MetricsSnapshot::default();
+        assert_eq!(render_serving_stats(&snap), "");
+        snap.serving.admissions = 5;
+        snap.serving.plan_cache_hits = 3;
+        snap.serving.plan_cache_misses = 2;
+        snap.serving.result_cache_hits = 2;
+        snap.serving.result_cache_misses = 3;
+        snap.serving.result_cache_invalidations = 1;
+        snap.serving.queue_depth_high_water = 4;
+        let text = render_serving_stats(&snap);
+        assert!(text.contains("plans 3 hit / 2 miss"), "{text}");
+        assert!(text.contains("results 2 hit / 3 miss"), "{text}");
+        assert!(text.contains("1 invalidated by ingest"), "{text}");
+        assert!(text.contains("5 admitted, 0 rejected"), "{text}");
+        assert!(text.contains("queue depth high-water 4"), "{text}");
     }
 }

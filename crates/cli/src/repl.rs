@@ -2,7 +2,7 @@
 
 use crate::render::{
     render_batch, render_durability_stats, render_exec_mode, render_fault_stats,
-    render_recovery_stats, render_spill_stats, render_udf_stats,
+    render_recovery_stats, render_serving_stats, render_spill_stats, render_udf_stats,
 };
 use fudj_datagen::GeneratorConfig;
 use fudj_exec::{FaultConfig, GuardConfig, GuardMode, UdfPolicy};
@@ -114,6 +114,7 @@ impl Repl {
                     out.push_str(&render_recovery_stats(&metrics));
                     out.push_str(&render_durability_stats(&metrics));
                     out.push_str(&render_udf_stats(&metrics));
+                    out.push_str(&render_serving_stats(&metrics));
                 }
                 out
             }
@@ -394,6 +395,13 @@ impl Repl {
                 }
                 Err(e) => format!("error: {e}\n"),
             },
+            "serve" => match args.first().and_then(|a| a.parse::<u64>().ok()) {
+                Some(seed) => match crate::serve_demo::run(seed) {
+                    Ok(report) => report,
+                    Err(e) => format!("error: {e}\n"),
+                },
+                None => "usage: \\serve <seed>\n".to_owned(),
+            },
             "help" | "?" => HELP.to_owned(),
             "q" | "quit" | "exit" => String::new(),
             other => format!("unknown command \\{other}; try \\help\n"),
@@ -536,6 +544,10 @@ pub const HELP: &str = r#"FUDJ shell
     \jobs                             list scheduled jobs and their states
     \await <id>                       wait for a submitted job's rows
     \cancel <id>                      cancel a queued or running job
+    \serve <seed>                     run a seeded multi-tenant workload
+                                      through the serving tier (plan +
+                                      result caches) and report hit rates
+                                      and latency percentiles
   scheduler knobs (statements, end with ';'):
     SET max_inflight_queries = N;     SET admission_queue_limit = N;
     SET memory_quota_rows = N|off;    SET stage_slots = N;
@@ -545,6 +557,9 @@ pub const HELP: &str = r#"FUDJ shell
     SET spill_recursion_limit = N|off;  (0 = always block-nested-loop)
   execution knobs (statements, end with ';'):
     SET exec_mode = row|columnar|off; (off = engine default, columnar)
+  serving knobs (statements, end with ';'; read by serving tiers):
+    SET plan_cache_entries = N|none;  SET result_cache_entries = N|none;
+    SET result_cache = on|off;        (0 entries disables a cache)
   recovery knobs (statements, end with ';'):
     SET checkpoint_stages = all|off|'stage,stage,...';
     SET checkpoint_budget_bytes = N|off;
@@ -623,6 +638,54 @@ mod tests {
         assert!(r.run_meta("metrics", &[]).contains("on"));
         assert!(r.run_meta("nonsense", &[]).contains("unknown"));
         assert!(r.run_meta("help", &[]).contains("CREATE JOIN"));
+    }
+
+    #[test]
+    fn every_dispatched_meta_command_is_in_help() {
+        // Parse the top-level dispatch arms of `run_meta` out of this very
+        // source file: they are the lines whose first non-space character
+        // opens a string literal (inner matches arm on `Some(..)`/`None`/
+        // enum variants instead), so a new `\command` arm without a
+        // matching `\help` line fails here.
+        let source = include_str!("repl.rs");
+        let body = source
+            .split("fn run_meta")
+            .nth(1)
+            .and_then(|s| s.split("fn load_sample").next())
+            .expect("run_meta body precedes load_sample");
+        let mut arms = 0;
+        for line in body.lines() {
+            let trimmed = line.trim_start();
+            if !trimmed.starts_with('"') || !trimmed.contains("=>") {
+                continue;
+            }
+            let lhs = trimmed.split("=>").next().unwrap();
+            let commands: Vec<&str> = lhs
+                .split('|')
+                .map(str::trim)
+                .filter_map(|t| t.strip_prefix('"').and_then(|t| t.strip_suffix('"')))
+                .collect();
+            if commands.is_empty() {
+                continue;
+            }
+            arms += 1;
+            assert!(
+                commands.iter().any(|c| HELP.contains(&format!("\\{c}"))),
+                "run_meta arm {commands:?} has no \\command line in HELP"
+            );
+        }
+        assert!(arms >= 15, "expected the dispatch arms, found {arms}");
+    }
+
+    #[test]
+    fn serve_demo_reports_caches_and_latency() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("serve", &[]).contains("usage"));
+        assert!(r.run_meta("serve", &["x".into()]).contains("usage"));
+        let out = r.run_meta("serve", &["5".into()]);
+        assert!(out.contains("served 64 statements"), "{out}");
+        assert!(out.contains("latency (sim ms): p50"), "{out}");
+        assert!(out.contains("results"), "{out}");
     }
 
     #[test]

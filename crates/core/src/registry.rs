@@ -151,6 +151,11 @@ pub struct JoinRegistry {
     libraries: RwLock<HashMap<String, Arc<JoinLibrary>>>,
     joins: RwLock<HashMap<String, Arc<JoinDefinition>>>,
     sink: RwLock<Option<Arc<dyn RegistrySink>>>,
+    /// DDL version: bumped on every successful `CREATE JOIN` / `DROP
+    /// JOIN`. A plan cached before a DDL may reference a definition that
+    /// no longer exists (or carry a stale guard config), so result/plan
+    /// caches fold this into their keys.
+    ddl_epoch: AtomicU64,
 }
 
 impl JoinRegistry {
@@ -249,6 +254,7 @@ impl JoinRegistry {
             sink.on_event(RegistryEvent::Created(&def))?;
         }
         joins.insert(name, def.clone());
+        self.ddl_epoch.fetch_add(1, Ordering::AcqRel);
         Ok(def)
     }
 
@@ -270,7 +276,14 @@ impl JoinRegistry {
             sink.on_event(RegistryEvent::Dropped(name))?;
         }
         joins.remove(name);
+        self.ddl_epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
+    }
+
+    /// DDL epoch: advances on every successful join create/drop, never on
+    /// lookups or library installs. Part of result-cache keys.
+    pub fn ddl_epoch(&self) -> u64 {
+        self.ddl_epoch.load(Ordering::Acquire)
     }
 
     /// Install (or with `None`, remove) the mutation observer. Used by the
@@ -354,6 +367,27 @@ mod tests {
         reg.drop_join("text_similarity_join").unwrap();
         assert!(reg.get("text_similarity_join").is_none());
         assert!(reg.drop_join("text_similarity_join").is_err());
+    }
+
+    #[test]
+    fn ddl_epoch_tracks_join_ddl() {
+        let reg = registry_with_lib();
+        assert_eq!(reg.ddl_epoch(), 0);
+        reg.create_join(
+            "j",
+            vec![DataType::String, DataType::String],
+            "setsimilarity.SetSimilarityJoin",
+            "flexiblejoins",
+        )
+        .unwrap();
+        assert_eq!(reg.ddl_epoch(), 1);
+        let _ = reg.get("j");
+        let _ = reg.join_names();
+        assert_eq!(reg.ddl_epoch(), 1, "lookups never bump");
+        assert!(reg.drop_join("ghost").is_err());
+        assert_eq!(reg.ddl_epoch(), 1, "failed DDL never bumps");
+        reg.drop_join("j").unwrap();
+        assert_eq!(reg.ddl_epoch(), 2);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub use fudj_core::{
     FaultConfig, GuardConfig, GuardMode, GuardedJoin, RetryPolicy, UdfLimits, UdfPolicy, UdfStats,
 };
 pub use metrics::{
-    CounterFingerprint, MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, WorkerStats,
+    CounterFingerprint, MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, ServingStats,
+    WorkerStats,
 };
 pub use mode::ExecMode;
 pub use plan::{

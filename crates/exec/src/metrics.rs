@@ -96,6 +96,42 @@ impl PhaseSkew {
     }
 }
 
+/// Serving-tier counters: plan/result cache effectiveness and admission
+/// outcomes, accumulated per tier (one tier outlives many queries, like
+/// the durable store behind [`fudj_storage::DurabilityStats`]). All zero
+/// unless the query went through `fudj-serve`, which stamps its counters
+/// into each response snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Statements the tier admitted and ran (or answered from cache).
+    pub admissions: u64,
+    /// Statements rejected by scheduler admission control.
+    pub rejections: u64,
+    /// Statements that reused a cached physical plan (no bind/plan).
+    pub plan_cache_hits: u64,
+    /// Statements that had to bind + plan.
+    pub plan_cache_misses: u64,
+    /// Plans evicted by the plan cache's LRU bound.
+    pub plan_cache_evictions: u64,
+    /// Statements answered from the result cache (no execution).
+    pub result_cache_hits: u64,
+    /// Statements that had to execute (no usable cached result).
+    pub result_cache_misses: u64,
+    /// Cached results discarded because a table/DDL epoch moved on.
+    pub result_cache_invalidations: u64,
+    /// Results evicted by the result cache's LRU bound.
+    pub result_cache_evictions: u64,
+    /// Deepest scheduler queue observed while the tier submitted work.
+    pub queue_depth_high_water: u64,
+}
+
+impl ServingStats {
+    /// Whether any serving work was recorded.
+    pub fn any(&self) -> bool {
+        *self != ServingStats::default()
+    }
+}
+
 /// Point-in-time copy of the counters.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSnapshot {
@@ -155,6 +191,10 @@ pub struct MetricsSnapshot {
     /// store open — stamped by the session after execution, since the WAL
     /// lives at session scope, not query scope).
     pub durability: fudj_storage::DurabilityStats,
+    /// Serving-tier counters (all zero unless the statement went through
+    /// `fudj-serve`, which stamps its tier-scoped counters into each
+    /// response snapshot — like durability, serving outlives one query).
+    pub serving: ServingStats,
     /// Simulated milliseconds of query execution: the control-plane clock
     /// when a [`QueryControl`] was attached (every pool batch advances
     /// it), else the fault layer's backoff/straggler clock.
@@ -205,6 +245,7 @@ impl MetricsSnapshot {
             udf: self.udf,
             recovery: self.recovery,
             durability: self.durability,
+            serving: self.serving,
         }
     }
 
@@ -285,6 +326,10 @@ pub struct CounterFingerprint {
     /// storage faults). Zero-by-default, so suites that never arm
     /// durability keep their fingerprints unchanged.
     pub durability: fudj_storage::DurabilityStats,
+    /// Serving-tier counters. Zero-by-default like durability; note they
+    /// are *tier*-scoped, so differentials comparing a cached tier against
+    /// a cache-off oracle zero this field before comparing.
+    pub serving: ServingStats,
 }
 
 /// Mutable metrics state behind the lock: the public snapshot plus the

@@ -1,0 +1,163 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! Serving latencies (simulated-clock milliseconds) span five orders of
+//! magnitude — a result-cache hit is 0 ms, a cold three-way FUDJ join can
+//! be tens of seconds — so the buckets are powers of two: bucket *i*
+//! holds values whose bit length is *i* (bucket 0 = exactly 0, bucket 1 =
+//! 1, bucket 2 = 2..=3, …). 64 buckets cover the whole `u64` range with a
+//! fixed footprint and no allocation, and quantiles are a prefix walk.
+//! Quantile answers are the upper bound of the chosen bucket (≤ 2×
+//! overestimate), with the exact observed maximum tracked separately.
+
+/// Number of buckets: one per possible bit length of a `u64`, plus zero.
+const BUCKETS: usize = 65;
+
+/// A latency histogram with power-of-two buckets.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (the largest value it can hold).
+    fn bucket_top(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value_ms: u64) {
+        self.buckets[Self::bucket_of(value_ms)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value_ms);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`,
+    /// clamped to the exact max. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_top(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LatencyHistogram::bucket_top(2), 3);
+    }
+
+    #[test]
+    fn quantiles_walk_the_prefix() {
+        let mut h = LatencyHistogram::new();
+        for v in [0, 0, 1, 2, 3, 6, 7, 120, 130, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 900);
+        // rank 5 (p50) lands in bucket 2 (values 2..=3) → top = 3.
+        assert_eq!(h.p50(), 3);
+        // p99 → rank 10 → last bucket, capped at the exact max.
+        assert_eq!(h.p99(), 900);
+        assert_eq!(h.quantile(0.0), 0);
+        // All-zero latencies (pure cache hits) report 0 everywhere.
+        let mut zeros = LatencyHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.p99(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 300);
+        assert!(a.p99() >= 300 - 45); // within the bucket top, capped at max
+    }
+}

@@ -1,0 +1,60 @@
+//! Sample-universe session setup shared by the serving tests, the
+//! `\serve` REPL command, and the PR 9 benchmark.
+
+use fudj_datagen::GeneratorConfig;
+use fudj_joins::standard_library;
+use fudj_sql::Session;
+use fudj_types::Result;
+
+/// A session over the five sample datasets with the paper's joins
+/// registered — the universe every [`crate::workload`] shape targets.
+/// `records` scales the base table size (Wildfires gets 2×).
+pub fn sample_session(records: usize, workers: usize) -> Result<Session> {
+    let parts = workers.max(1);
+    let session = Session::new(workers);
+    session.install_library(standard_library());
+    session.register_dataset(fudj_datagen::parks(GeneratorConfig::new(
+        records, 1, parts,
+    ))?)?;
+    session.register_dataset(fudj_datagen::wildfires(GeneratorConfig::new(
+        2 * records,
+        2,
+        parts,
+    ))?)?;
+    session.register_dataset(fudj_datagen::nyctaxi(GeneratorConfig::new(
+        records, 3, parts,
+    ))?)?;
+    session.register_dataset(fudj_datagen::amazon_reviews(GeneratorConfig::new(
+        records, 4, parts,
+    ))?)?;
+    session.register_dataset(fudj_datagen::weather(GeneratorConfig::new(
+        records, 5, parts,
+    ))?)?;
+    for ddl in [
+        r#"CREATE JOIN st_contains(a: polygon, b: point)
+           RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins"#,
+        r#"CREATE JOIN overlapping_interval(a: interval, b: interval)
+           RETURNS boolean AS "interval.OverlappingIntervalJoin" AT flexiblejoins"#,
+        r#"CREATE JOIN similarity_jaccard(a: string, b: string, t: double)
+           RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins"#,
+    ] {
+        session.execute(ddl)?;
+    }
+    Ok(session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_session_answers_every_workload_shape() {
+        let session = sample_session(40, 2).unwrap();
+        for shape in crate::workload::SHAPES {
+            let sql = (shape.sql)(1);
+            session
+                .query(&sql)
+                .unwrap_or_else(|e| panic!("shape {} failed: {e}\n{sql}", shape.name));
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The serving tier: many logical tenants multiplexed over one engine.
+//!
+//! [`ServingTier`] sits between untrusted statement streams and a shared
+//! [`Session`], adding the §VII-B amortization the paper argues for: the
+//! translation work (parse → bind → plan) runs once per distinct query
+//! shape, and repeated reads are answered from a result cache that is
+//! *provably* never stale — every cached entry carries the epoch vector
+//! of the tables (and DDL state) it was computed from, and ingest bumps
+//! those epochs, so a lookup whose epochs moved recomputes instead of
+//! serving the old answer.
+//!
+//! ## Cache keys
+//!
+//! Both caches key on `(canonical shape text, literal parameter values)`
+//! — see [`fudj_sql::fingerprint`]. The full canonical text (not just its
+//! 64-bit hash) is the key, so hash collisions cannot alias two shapes.
+//! Result entries additionally store the epoch vector; equality of the
+//! stored and current vectors is the freshness proof.
+//!
+//! ## Concurrency
+//!
+//! The tier's mutable state lives behind one mutex, released around
+//! planning and execution (the expensive parts), so concurrent tenants
+//! overlap in the scheduler. Epochs are read *before* execution: if
+//! ingest lands mid-query the entry is tagged with the older vector and
+//! the next lookup conservatively recomputes — over-invalidation is
+//! possible, stale reads are not.
+
+use crate::cache::LruCache;
+use crate::histogram::LatencyHistogram;
+use fudj_exec::{MetricsSnapshot, PhysicalPlan, ServingStats};
+use fudj_sched::{JobState, QuerySpec};
+use fudj_sql::ast::{SelectStatement, Statement};
+use fudj_sql::{parse, QueryOutput, Session};
+use fudj_types::{Batch, FudjError, Result, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key: canonical shape text plus the literal parameter values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    text: String,
+    params: Vec<Value>,
+}
+
+/// The versions a cached result was computed from. Equality with the
+/// current vector proves freshness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct EpochVec {
+    /// (dataset, ingest epoch) for every referenced table, in first-use
+    /// order with duplicates removed.
+    tables: Vec<(String, u64)>,
+    /// Catalog DDL epoch (dataset register/drop).
+    catalog_ddl: u64,
+    /// Join-registry DDL epoch (CREATE/DROP JOIN).
+    registry_ddl: u64,
+}
+
+struct CachedResult {
+    batch: Batch,
+    snapshot: MetricsSnapshot,
+    epochs: EpochVec,
+}
+
+#[derive(Default)]
+struct TierState {
+    plans: LruCache<CacheKey, Arc<PhysicalPlan>>,
+    results: LruCache<CacheKey, CachedResult>,
+    invalidations: u64,
+    admissions: u64,
+    rejections: u64,
+    queue_depth_high_water: u64,
+    global: LatencyHistogram,
+    tenants: HashMap<u32, LatencyHistogram>,
+}
+
+impl TierState {
+    fn stats(&self) -> ServingStats {
+        let p = self.plans.counters();
+        let r = self.results.counters();
+        ServingStats {
+            admissions: self.admissions,
+            rejections: self.rejections,
+            plan_cache_hits: p.hits,
+            plan_cache_misses: p.misses,
+            plan_cache_evictions: p.evictions,
+            result_cache_hits: r.hits,
+            result_cache_misses: r.misses,
+            result_cache_invalidations: self.invalidations,
+            result_cache_evictions: r.evictions,
+            queue_depth_high_water: self.queue_depth_high_water,
+        }
+    }
+
+    fn record_latency(&mut self, tenant: u32, ms: u64) {
+        self.global.record(ms);
+        self.tenants.entry(tenant).or_default().record(ms);
+    }
+}
+
+/// A multi-tenant serving front over one [`Session`].
+pub struct ServingTier {
+    session: Arc<Session>,
+    state: Mutex<TierState>,
+}
+
+impl ServingTier {
+    pub fn new(session: Arc<Session>) -> Self {
+        let config = session.serving_config();
+        let mut state = TierState::default();
+        state.plans.set_capacity(config.plan_cache_entries);
+        state.results.set_capacity(config.result_cache_entries);
+        ServingTier {
+            session,
+            state: Mutex::new(state),
+        }
+    }
+
+    /// The underlying session (catalog, registry, scheduler).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServingStats {
+        self.lock().stats()
+    }
+
+    /// The all-tenants latency histogram.
+    pub fn global_latency(&self) -> LatencyHistogram {
+        self.lock().global.clone()
+    }
+
+    /// One tenant's latency histogram, if it has issued statements.
+    pub fn tenant_latency(&self, tenant: u32) -> Option<LatencyHistogram> {
+        self.lock().tenants.get(&tenant).cloned()
+    }
+
+    /// Tenants with recorded latencies.
+    pub fn tenant_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.lock().tenants.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Serve one statement for `tenant` at scheduler priority 1.
+    pub fn serve(&self, tenant: u32, sql: &str) -> Result<QueryOutput> {
+        self.serve_with_priority(tenant, 1, sql)
+    }
+
+    /// Serve one statement for `tenant` with an explicit fair-share
+    /// priority. SELECT and EXECUTE go through the caches and the
+    /// scheduler; PREPARE registers a template; everything else (SET,
+    /// DDL, EXPLAIN) passes through to the session.
+    pub fn serve_with_priority(
+        &self,
+        tenant: u32,
+        priority: u32,
+        sql: &str,
+    ) -> Result<QueryOutput> {
+        match parse(sql)? {
+            Statement::Select(sel) => self.serve_select(tenant, priority, &sel),
+            Statement::Execute { name, params } => {
+                let template = self.session.prepared_statement(&name).ok_or_else(|| {
+                    FudjError::Execution(format!(
+                        "no prepared statement {name:?} (PREPARE it first)"
+                    ))
+                })?;
+                let values = params
+                    .iter()
+                    .map(fudj_sql::fingerprint::literal_value)
+                    .collect::<Result<Vec<_>>>()?;
+                let bound = fudj_sql::substitute_params(&template, &values)?;
+                self.serve_select(tenant, priority, &bound)
+            }
+            Statement::Prepare { name, select } => {
+                self.session.prepare_statement(&name, select);
+                Ok(QueryOutput::Ack(format!("prepared {name}")))
+            }
+            _ => self.session.execute(sql),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TierState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current epoch vector for `tables` (first-use order, deduped).
+    /// `None` when a table is unknown — the planner will produce the
+    /// proper error on the uncached path.
+    fn current_epochs(&self, tables: &[String]) -> Option<EpochVec> {
+        let catalog = self.session.catalog();
+        let mut seen: Vec<(String, u64)> = Vec::with_capacity(tables.len());
+        for name in tables {
+            if seen.iter().any(|(n, _)| n == name) {
+                continue;
+            }
+            let dataset = catalog.get(name).ok()?;
+            seen.push((name.clone(), dataset.epoch()));
+        }
+        Some(EpochVec {
+            tables: seen,
+            catalog_ddl: catalog.ddl_epoch(),
+            registry_ddl: self.session.registry().ddl_epoch(),
+        })
+    }
+
+    fn serve_select(
+        &self,
+        tenant: u32,
+        priority: u32,
+        sel: &SelectStatement,
+    ) -> Result<QueryOutput> {
+        let config = self.session.serving_config();
+        let shape = fudj_sql::shape_of(sel);
+        let key = CacheKey {
+            text: shape.text,
+            params: shape.params,
+        };
+        let epochs = self.current_epochs(&shape.tables);
+        let results_on = config.result_cache_enabled && config.result_cache_entries > 0;
+
+        {
+            let mut state = self.lock();
+            // Live `SET plan_cache_entries` / `result_cache_entries`.
+            state.plans.set_capacity(config.plan_cache_entries);
+            if results_on {
+                state.results.set_capacity(config.result_cache_entries);
+            }
+
+            if results_on {
+                if let Some(now) = &epochs {
+                    let fresh = match state.results.peek(&key) {
+                        Some(hit) if &hit.epochs == now => true,
+                        Some(_) => {
+                            // Present but computed from older epochs:
+                            // ingest or DDL happened in between. Count the
+                            // invalidation, drop the entry, recompute.
+                            state.invalidations += 1;
+                            state.results.remove(&key);
+                            false
+                        }
+                        None => false,
+                    };
+                    if fresh {
+                        // Count the hit (and touch recency) now that we
+                        // know the entry is servable.
+                        let hit = state.results.get(&key).expect("peeked fresh entry");
+                        let batch = hit.batch.clone();
+                        let mut snapshot = hit.snapshot.clone();
+                        state.record_latency(tenant, 0);
+                        snapshot.serving = state.stats();
+                        return Ok(QueryOutput::Rows(batch, Box::new(snapshot)));
+                    }
+                    // Not servable: count the miss on the cache itself.
+                    let _ = state.results.get(&key);
+                }
+            }
+        }
+
+        // Plan-cache lookup; on a miss, plan outside the lock.
+        let plans_on = config.plan_cache_entries > 0;
+        let cached_plan = if plans_on {
+            self.lock().plans.get(&key).cloned()
+        } else {
+            None
+        };
+        let plan = match cached_plan {
+            Some(plan) => plan,
+            None => {
+                let plan = Arc::new(self.session.plan_select(sel)?);
+                if plans_on {
+                    self.lock().plans.insert(key.clone(), plan.clone());
+                }
+                plan
+            }
+        };
+
+        // Execute through the scheduler under the tenant's priority.
+        let label = format!("tenant {tenant}: {}", key.text);
+        let options = self.session.effective_options();
+        let mut spec = QuerySpec::new(plan, label).with_priority(priority.max(1));
+        if let Some(mode) = options.exec_mode {
+            spec = spec.with_exec_mode(mode);
+        }
+        if let Some(budget) = options.memory_budget_rows {
+            spec = spec.with_memory_budget_rows(budget as u64);
+        }
+        let handle = match self.session.scheduler().submit(spec) {
+            Ok(handle) => {
+                let queued = self
+                    .session
+                    .scheduler()
+                    .jobs()
+                    .iter()
+                    .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+                    .count() as u64;
+                let mut state = self.lock();
+                state.admissions += 1;
+                state.queue_depth_high_water = state.queue_depth_high_water.max(queued);
+                handle
+            }
+            Err(err) => {
+                self.lock().rejections += 1;
+                return Err(err);
+            }
+        };
+        let (batch, mut snapshot) = handle.wait()?;
+
+        let mut state = self.lock();
+        state.record_latency(tenant, snapshot.sim_clock_ms);
+        if results_on {
+            if let Some(epochs) = epochs {
+                state.results.insert(
+                    key,
+                    CachedResult {
+                        batch: batch.clone(),
+                        snapshot: snapshot.clone(),
+                        epochs,
+                    },
+                );
+            }
+        }
+        snapshot.serving = state.stats();
+        Ok(QueryOutput::Rows(batch, Box::new(snapshot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sample_session;
+    use fudj_types::Row;
+
+    fn tier() -> ServingTier {
+        ServingTier::new(Arc::new(sample_session(40, 2).unwrap()))
+    }
+
+    fn rows(out: &QueryOutput) -> Vec<Row> {
+        out.batch().rows().to_vec()
+    }
+
+    #[test]
+    fn repeated_query_hits_both_caches_with_identical_rows() {
+        let t = tier();
+        let sql = "SELECT n.Vendor, COUNT(*) AS c FROM NYCTaxi n \
+                   GROUP BY n.Vendor ORDER BY n.Vendor";
+        let first = t.serve(1, sql).unwrap();
+        let again = t.serve(2, sql).unwrap();
+        assert_eq!(rows(&first), rows(&again));
+        let stats = t.stats();
+        assert_eq!(stats.result_cache_hits, 1);
+        assert_eq!(stats.result_cache_misses, 1);
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert_eq!(stats.admissions, 1, "the hit never reached the engine");
+        // The hit is free on the simulated clock.
+        assert_eq!(t.tenant_latency(2).unwrap().max(), 0);
+        assert!(t.tenant_latency(1).unwrap().max() > 0);
+        // Fingerprints match modulo the tier-scoped serving counters.
+        let mut a = first.metrics().fingerprint();
+        let mut b = again.metrics().fingerprint();
+        a.serving = Default::default();
+        b.serving = Default::default();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn literal_changes_share_the_plan_shape_not_the_result() {
+        let t = tier();
+        let a = t
+            .serve(1, "SELECT n.id FROM NYCTaxi n WHERE n.Vendor = 1 LIMIT 3")
+            .unwrap();
+        let b = t
+            .serve(1, "SELECT n.id FROM NYCTaxi n WHERE n.Vendor = 2 LIMIT 3")
+            .unwrap();
+        assert_ne!(rows(&a), rows(&b));
+        let stats = t.stats();
+        // Same shape, different parameter: both plan-cache keys include
+        // the literal values, so no false sharing of either cache.
+        assert_eq!(stats.result_cache_hits, 0);
+        assert_eq!(stats.plan_cache_hits, 0);
+        assert_eq!(stats.admissions, 2);
+        // Re-running the first literal is a double hit.
+        t.serve(1, "SELECT n.id FROM NYCTaxi n  WHERE n.Vendor = 1 LIMIT 3")
+            .unwrap();
+        assert_eq!(t.stats().result_cache_hits, 1);
+    }
+
+    #[test]
+    fn ingest_between_identical_queries_forces_recompute() {
+        let t = tier();
+        let sql = "SELECT COUNT(*) AS c FROM NYCTaxi n";
+        let before = t.serve(7, sql).unwrap();
+        t.serve(7, sql).unwrap();
+        assert_eq!(t.stats().result_cache_hits, 1, "warm hit before ingest");
+
+        // Append one row directly to the dataset (the serving tier must
+        // see the epoch move no matter who ingests).
+        let taxi = t.session().catalog().get("NYCTaxi").unwrap();
+        let mut values = taxi.all_rows()[0].clone().into_values();
+        values[0] = Value::Uuid(0xfeed_beef);
+        taxi.insert(Row::new(values)).unwrap();
+
+        let after = t.serve(7, sql).unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.result_cache_invalidations, 1, "epoch moved");
+        assert_eq!(stats.result_cache_hits, 1, "stale entry must not hit");
+        let n0 = rows(&before)[0].get(0).as_i64().unwrap();
+        let n1 = rows(&after)[0].get(0).as_i64().unwrap();
+        assert_eq!(n1, n0 + 1, "recomputed answer sees the new row");
+
+        // And the refreshed entry serves hits again.
+        t.serve(7, sql).unwrap();
+        assert_eq!(t.stats().result_cache_hits, 2);
+    }
+
+    #[test]
+    fn ddl_bumps_invalidate_without_table_writes() {
+        let t = tier();
+        let sql = "SELECT COUNT(*) FROM Parks p, Wildfires w \
+                   WHERE st_contains(p.boundary, w.location)";
+        t.serve(1, sql).unwrap();
+        t.serve(1, sql).unwrap();
+        assert_eq!(t.stats().result_cache_hits, 1);
+        // CREATE JOIN bumps the registry DDL epoch: cached results may
+        // have been planned against the old registry.
+        t.serve(
+            1,
+            r#"CREATE JOIN jaccard_sim2(a: string, b: string, t: double)
+               RETURNS boolean AS "setsimilarity.SetSimilarityJoin" AT flexiblejoins"#,
+        )
+        .unwrap();
+        t.serve(1, sql).unwrap();
+        assert_eq!(t.stats().result_cache_invalidations, 1);
+    }
+
+    #[test]
+    fn set_result_cache_off_bypasses_without_stale_risk() {
+        let t = tier();
+        let sql = "SELECT r.overall, COUNT(*) AS c FROM AmazonReview r \
+                   GROUP BY r.overall ORDER BY r.overall";
+        t.serve(1, sql).unwrap();
+        t.session().execute("SET result_cache = off").unwrap();
+        let a = t.serve(1, sql).unwrap();
+        let b = t.serve(1, sql).unwrap();
+        assert_eq!(rows(&a), rows(&b));
+        let stats = t.stats();
+        assert_eq!(stats.result_cache_hits, 0, "off means every run executes");
+        assert_eq!(stats.admissions, 3);
+        // Re-enabling serves the surviving (still-fresh) entry again.
+        t.session().execute("SET result_cache = on").unwrap();
+        t.serve(1, sql).unwrap();
+        t.serve(1, sql).unwrap();
+        assert_eq!(t.stats().result_cache_hits, 2, "re-enabled and warm");
+    }
+
+    #[test]
+    fn prepared_statements_serve_through_the_caches() {
+        let t = tier();
+        t.serve(
+            3,
+            "PREPARE by_vendor AS SELECT COUNT(*) AS c FROM NYCTaxi n WHERE n.Vendor = $1",
+        )
+        .unwrap();
+        let a = t.serve(3, "EXECUTE by_vendor(1)").unwrap();
+        let b = t.serve(4, "EXECUTE by_vendor(1)").unwrap();
+        assert_eq!(rows(&a), rows(&b));
+        assert_eq!(t.stats().result_cache_hits, 1);
+        // EXECUTE and the equivalent literal SELECT share one shape.
+        t.serve(5, "SELECT COUNT(*) AS c FROM NYCTaxi n WHERE n.Vendor = 1")
+            .unwrap();
+        assert_eq!(t.stats().result_cache_hits, 2);
+    }
+
+    #[test]
+    fn admission_rejections_are_counted() {
+        let t = tier();
+        t.session().execute("SET memory_quota_rows = 10").unwrap();
+        t.session().execute("SET memory_budget_rows = 100").unwrap();
+        let err = t
+            .serve(1, "SELECT n.id FROM NYCTaxi n LIMIT 2")
+            .unwrap_err();
+        assert!(matches!(err, FudjError::Admission(_)), "{err}");
+        assert_eq!(t.stats().rejections, 1);
+        assert_eq!(t.stats().admissions, 0);
+    }
+
+    #[test]
+    fn plan_cache_evicts_at_capacity() {
+        let t = tier();
+        t.session().execute("SET plan_cache_entries = 2").unwrap();
+        t.session().execute("SET result_cache = off").unwrap();
+        for vendor in [1, 2, 1, 2] {
+            t.serve(
+                1,
+                &format!("SELECT n.id FROM NYCTaxi n WHERE n.Vendor = {vendor} LIMIT 2"),
+            )
+            .unwrap();
+        }
+        assert_eq!(t.stats().plan_cache_hits, 2, "both keys fit");
+        // A third distinct key evicts the LRU one.
+        t.serve(
+            1,
+            "SELECT r.id FROM AmazonReview r WHERE r.overall = 5 LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(t.stats().plan_cache_evictions, 1);
+    }
+}

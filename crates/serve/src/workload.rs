@@ -1,0 +1,323 @@
+//! Deterministic multi-tenant workload generation.
+//!
+//! A workload is a seeded sequence of (tenant, priority, SQL) operations
+//! drawn from a fixed pool of query *shapes* over the standard sample
+//! datasets (see [`crate::sample`]): point lookups, FUDJ joins across the
+//! paper's four classes (spatial, interval, text similarity, equality),
+//! and aggregates. Shape popularity follows a Zipf distribution in the
+//! skewed profile — the regime where plan/result caching pays — and is
+//! uniform otherwise. The same seed always yields the same op sequence,
+//! which is what lets the serving differential replay one workload
+//! through both the cached tier and the cache-off oracle.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// The paper-aligned class of one query shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryClass {
+    PointLookup,
+    SpatialJoin,
+    IntervalJoin,
+    TextJoin,
+    EqualityJoin,
+    Aggregate,
+}
+
+impl QueryClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::PointLookup => "point_lookup",
+            QueryClass::SpatialJoin => "spatial_join",
+            QueryClass::IntervalJoin => "interval_join",
+            QueryClass::TextJoin => "text_join",
+            QueryClass::EqualityJoin => "equality_join",
+            QueryClass::Aggregate => "aggregate",
+        }
+    }
+}
+
+/// One shape: a SQL template with a small integer parameter domain.
+/// Small domains are deliberate — repeated (shape, parameter) pairs are
+/// what exercises the result cache.
+pub struct ShapeSpec {
+    pub name: &'static str,
+    pub class: QueryClass,
+    /// Parameter domain: the template is instantiated with `1..=domain`.
+    pub domain: i64,
+    pub sql: fn(i64) -> String,
+}
+
+/// The full shape pool over the sample datasets.
+pub const SHAPES: &[ShapeSpec] = &[
+    ShapeSpec {
+        name: "taxi_by_vendor",
+        class: QueryClass::PointLookup,
+        domain: 2,
+        sql: |p| format!("SELECT n.id, n.Vendor FROM NYCTaxi n WHERE n.Vendor = {p} LIMIT 3"),
+    },
+    ShapeSpec {
+        name: "reviews_by_stars",
+        class: QueryClass::PointLookup,
+        domain: 5,
+        sql: |p| format!("SELECT r.id FROM AmazonReview r WHERE r.overall = {p} LIMIT 3"),
+    },
+    ShapeSpec {
+        name: "vendor_counts",
+        class: QueryClass::Aggregate,
+        domain: 1,
+        sql: |_| {
+            "SELECT n.Vendor, COUNT(*) AS c FROM NYCTaxi n \
+             GROUP BY n.Vendor ORDER BY n.Vendor"
+                .to_owned()
+        },
+    },
+    ShapeSpec {
+        name: "temp_histogram",
+        class: QueryClass::Aggregate,
+        domain: 3,
+        sql: |p| {
+            format!(
+                "SELECT w.temp, COUNT(*) AS c FROM Weather w WHERE w.temp >= {p} \
+                 GROUP BY w.temp ORDER BY w.temp LIMIT 10"
+            )
+        },
+    },
+    ShapeSpec {
+        name: "fires_in_parks",
+        class: QueryClass::SpatialJoin,
+        domain: 1,
+        sql: |_| {
+            "SELECT COUNT(*) FROM Parks p, Wildfires w \
+             WHERE st_contains(p.boundary, w.location)"
+                .to_owned()
+        },
+    },
+    ShapeSpec {
+        name: "overlapping_rides",
+        class: QueryClass::IntervalJoin,
+        domain: 2,
+        sql: |p| {
+            format!(
+                "SELECT COUNT(*) FROM NYCTaxi n1, NYCTaxi n2 \
+                 WHERE n1.Vendor = 1 AND n2.Vendor = {p} \
+                   AND overlapping_interval(n1.ride_interval, n2.ride_interval)"
+            )
+        },
+    },
+    ShapeSpec {
+        name: "near_duplicate_reviews",
+        class: QueryClass::TextJoin,
+        domain: 2,
+        sql: |p| {
+            format!(
+                "SELECT COUNT(*) FROM AmazonReview r1, AmazonReview r2 \
+                 WHERE r1.overall = 5 AND r2.overall = {p} \
+                   AND similarity_jaccard(r1.review, r2.review) >= 0.9"
+            )
+        },
+    },
+    ShapeSpec {
+        name: "stars_join_vendors",
+        class: QueryClass::EqualityJoin,
+        domain: 1,
+        sql: |_| {
+            "SELECT r.overall, COUNT(*) AS c FROM AmazonReview r, NYCTaxi n \
+             WHERE r.overall = n.Vendor GROUP BY r.overall ORDER BY r.overall"
+                .to_owned()
+        },
+    },
+];
+
+/// How shape popularity is distributed across the pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MixProfile {
+    /// Every shape equally likely — the cache-hostile baseline.
+    Uniform,
+    /// Zipf-distributed shape popularity with the given exponent
+    /// (`s ≈ 1.1` matches the repeated-dashboard-query regime).
+    ShapeSkewed(f64),
+}
+
+/// Workload parameters. Priorities cycle through `1..=priority_classes`
+/// by tenant, so a 3-class mix exercises the scheduler's fair-share
+/// weights.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    pub tenants: u32,
+    pub ops: usize,
+    pub seed: u64,
+    pub profile: MixProfile,
+    pub priority_classes: u32,
+}
+
+/// One generated operation.
+#[derive(Clone, Debug)]
+pub struct Op {
+    pub tenant: u32,
+    pub priority: u32,
+    pub shape: &'static str,
+    pub class: QueryClass,
+    pub sql: String,
+}
+
+/// Zipf(s) sampler over ranks `0..n` via a precomputed CDF (the vendored
+/// `rand` has no Zipf distribution). Rank 0 is the most popular.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against accumulated rounding keeping the last bound < 1.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.iter().position(|&c| u < c).unwrap_or(0)
+    }
+}
+
+/// Generate the op sequence for `config`. Deterministic in the seed.
+pub fn generate(config: &WorkloadConfig) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let zipf = match config.profile {
+        MixProfile::ShapeSkewed(s) => Some(Zipf::new(SHAPES.len(), s)),
+        MixProfile::Uniform => None,
+    };
+    let classes = config.priority_classes.max(1);
+    (0..config.ops)
+        .map(|_| {
+            let shape = match &zipf {
+                Some(z) => &SHAPES[z.sample(&mut rng)],
+                None => &SHAPES[rng.gen_range(0..SHAPES.len())],
+            };
+            let tenant = rng.gen_range(0..config.tenants.max(1));
+            let param = rng.gen_range(1..=shape.domain);
+            Op {
+                tenant,
+                priority: 1 + tenant % classes,
+                shape: shape.name,
+                class: shape.class,
+                sql: (shape.sql)(param),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn counts(ops: &[Op]) -> HashMap<&'static str, usize> {
+        let mut m = HashMap::new();
+        for op in ops {
+            *m.entry(op.shape).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let config = WorkloadConfig {
+            tenants: 100,
+            ops: 200,
+            seed: 42,
+            profile: MixProfile::ShapeSkewed(1.1),
+            priority_classes: 3,
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!((x.tenant, &x.sql), (y.tenant, &y.sql));
+        }
+        let c = generate(&WorkloadConfig { seed: 43, ..config });
+        assert!(
+            a.iter().zip(c.iter()).any(|(x, y)| x.sql != y.sql),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let z = Zipf::new(8, 1.1);
+        let mut hist = [0usize; 8];
+        for _ in 0..4000 {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            hist[0] > 3 * hist[7],
+            "rank 0 must dominate rank 7: {hist:?}"
+        );
+        assert!(
+            hist[0] > hist[1] && hist[1] > hist[3],
+            "monotone-ish decay: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_profile_repeats_shapes_more_than_uniform() {
+        let base = WorkloadConfig {
+            tenants: 50,
+            ops: 400,
+            seed: 11,
+            profile: MixProfile::Uniform,
+            priority_classes: 3,
+        };
+        let uniform = counts(&generate(&base));
+        let skewed = counts(&generate(&WorkloadConfig {
+            profile: MixProfile::ShapeSkewed(1.2),
+            ..base
+        }));
+        let top_uniform = uniform.values().max().copied().unwrap_or(0);
+        let top_skewed = skewed.values().max().copied().unwrap_or(0);
+        assert!(
+            top_skewed > top_uniform,
+            "skew concentrates repetitions: {top_skewed} vs {top_uniform}"
+        );
+        // Priorities cycle 1..=3 by tenant.
+        for op in generate(&base) {
+            assert!((1..=3).contains(&op.priority));
+            assert_eq!(op.priority, 1 + op.tenant % 3);
+        }
+    }
+
+    #[test]
+    fn every_query_class_appears() {
+        let ops = generate(&WorkloadConfig {
+            tenants: 20,
+            ops: 300,
+            seed: 5,
+            profile: MixProfile::Uniform,
+            priority_classes: 2,
+        });
+        for class in [
+            QueryClass::PointLookup,
+            QueryClass::SpatialJoin,
+            QueryClass::IntervalJoin,
+            QueryClass::TextJoin,
+            QueryClass::EqualityJoin,
+            QueryClass::Aggregate,
+        ] {
+            assert!(
+                ops.iter().any(|op| op.class == class),
+                "class {} missing from a 300-op uniform mix",
+                class.name()
+            );
+        }
+    }
+}

@@ -27,6 +27,15 @@ pub enum Statement {
         select: SelectStatement,
         analyze: bool,
     },
+    /// `PREPARE name AS SELECT ...` — parse once, run many times with
+    /// `EXECUTE`. The SELECT may reference positional parameters `$1…$n`.
+    Prepare {
+        name: String,
+        select: SelectStatement,
+    },
+    /// `EXECUTE name [(value, ...)]` — run a prepared statement with the
+    /// given literal parameter values substituted for `$1…$n`.
+    Execute { name: String, params: Vec<AstExpr> },
 }
 
 /// A `SELECT` query.
@@ -83,6 +92,9 @@ pub enum AstExpr {
     FloatLit(f64),
     StrLit(String),
     BoolLit(bool),
+    /// Positional parameter `$n` (1-based) of a prepared statement;
+    /// substituted with a literal before binding.
+    Param(u32),
     Binary {
         op: AstBinOp,
         left: Box<AstExpr>,

@@ -252,6 +252,12 @@ impl<'a> Resolver<'a> {
             AstExpr::FloatLit(v) => Expr::lit(*v),
             AstExpr::StrLit(s) => Expr::lit(Value::str(s)),
             AstExpr::BoolLit(b) => Expr::lit(*b),
+            AstExpr::Param(n) => {
+                return Err(FudjError::Plan(format!(
+                    "unbound parameter ${n}: parameters are only valid inside PREPARE; \
+                     run the statement with EXECUTE <name>(values...)"
+                )))
+            }
             AstExpr::Binary { op, left, right } => {
                 Expr::binary(convert_op(*op), self.expr(left)?, self.expr(right)?)
             }

@@ -15,6 +15,8 @@ pub enum Token {
     Float(f64),
     /// String literal (single- or double-quoted).
     Str(String),
+    /// Prepared-statement parameter placeholder `$1`, `$2`, … (1-based).
+    Param(u32),
     LParen,
     RParen,
     Comma,
@@ -47,6 +49,7 @@ impl fmt::Display for Token {
             Token::Int(v) => write!(f, "{v}"),
             Token::Float(v) => write!(f, "{v}"),
             Token::Str(s) => write!(f, "{s:?}"),
+            Token::Param(n) => write!(f, "${n}"),
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
             Token::Comma => write!(f, ","),
@@ -162,6 +165,26 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     out.push(Token::Gt);
                     i += 1;
                 }
+            }
+            '$' => {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let digits: String = bytes[start..i].iter().collect();
+                if digits.is_empty() {
+                    return Err(FudjError::Parse(
+                        "expected a parameter number after '$' (e.g. $1)".into(),
+                    ));
+                }
+                let n = digits.parse::<u32>().map_err(|e| {
+                    FudjError::Parse(format!("bad parameter number ${digits}: {e}"))
+                })?;
+                if n == 0 {
+                    return Err(FudjError::Parse("parameters are numbered from $1".into()));
+                }
+                out.push(Token::Param(n));
             }
             '\'' | '"' => {
                 let quote = c;
@@ -282,6 +305,16 @@ mod tests {
         assert!(tokenize("SELECT 'unterminated").is_err());
         assert!(tokenize("a ? b").is_err());
         assert!(tokenize("/* no end").is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        let toks = tokenize("WHERE x = $1 AND y >= $12").unwrap();
+        assert!(toks.contains(&Token::Param(1)));
+        assert!(toks.contains(&Token::Param(12)));
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("$0").is_err());
+        assert!(tokenize("$x").is_err());
     }
 
     #[test]

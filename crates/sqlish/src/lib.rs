@@ -8,7 +8,10 @@
 //!   [ORDER BY ... [DESC]] [LIMIT n]` — the shape of Queries 1–3 and 5,
 //!   with scalar built-ins and aggregate functions;
 //! * `EXPLAIN SELECT ...` — renders the optimized physical plan, which is
-//!   how the tests (and a curious user) confirm a FUDJ operator was chosen.
+//!   how the tests (and a curious user) confirm a FUDJ operator was chosen;
+//! * `PREPARE name AS SELECT ... $1 ...` / `EXECUTE name(values...)` —
+//!   parse once, run many times; the serving tier keys its plan and result
+//!   caches on the [`fingerprint`] of the normalized statement.
 //!
 //! [`Session`] wires the catalog, the join registry, the planner, and a
 //! cluster together: `session.execute(sql)` goes from text to a result
@@ -17,9 +20,11 @@
 pub mod ast;
 pub mod binder;
 mod durability;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod session;
 
+pub use fingerprint::{param_count, shape_of, substitute_params, StatementShape};
 pub use parser::parse;
-pub use session::{QueryOutput, Session};
+pub use session::{QueryOutput, ServingConfig, Session};

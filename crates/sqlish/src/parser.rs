@@ -133,6 +133,40 @@ impl Parser {
                 name: name.to_ascii_lowercase(),
             });
         }
+        if self.accept_kw("prepare") {
+            let name = self.ident()?.to_ascii_lowercase();
+            self.expect_kw("as")?;
+            self.expect_kw("select")?;
+            return Ok(Statement::Prepare {
+                name,
+                select: self.select_body()?,
+            });
+        }
+        if self.accept_kw("execute") {
+            let name = self.ident()?.to_ascii_lowercase();
+            let mut params = Vec::new();
+            if self.accept(&Token::LParen) && !self.accept(&Token::RParen) {
+                loop {
+                    let value = self.atom()?;
+                    match &value {
+                        AstExpr::IntLit(_)
+                        | AstExpr::FloatLit(_)
+                        | AstExpr::StrLit(_)
+                        | AstExpr::BoolLit(_) => params.push(value),
+                        other => {
+                            return Err(FudjError::Parse(format!(
+                                "EXECUTE parameters must be literals, found {other:?}"
+                            )))
+                        }
+                    }
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            return Ok(Statement::Execute { name, params });
+        }
         if self.accept_kw("set") {
             let key = self.ident()?.to_ascii_lowercase();
             self.expect(&Token::Eq)?;
@@ -149,7 +183,8 @@ impl Parser {
             return Ok(Statement::Set { key, value });
         }
         Err(FudjError::Parse(format!(
-            "expected SELECT, EXPLAIN, CREATE JOIN, DROP JOIN, or SET, found {}",
+            "expected SELECT, EXPLAIN, CREATE JOIN, DROP JOIN, PREPARE, EXECUTE, or SET, \
+             found {}",
             self.peek()
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "end of input".into())
@@ -448,6 +483,7 @@ impl Parser {
             Token::Int(v) => Ok(AstExpr::IntLit(v)),
             Token::Float(v) => Ok(AstExpr::FloatLit(v)),
             Token::Str(s) => Ok(AstExpr::StrLit(s)),
+            Token::Param(n) => Ok(AstExpr::Param(n)),
             Token::Minus => {
                 let inner = self.atom()?;
                 Ok(match inner {
@@ -675,6 +711,51 @@ mod tests {
         assert!(parse("SELECT x FROM t WHERE").is_err());
         assert!(parse("CREATE JOIN j(a string) RETURNS boolean AS \"c\" AT l").is_err());
         assert!(parse("SELECT x FROM t extra garbage here").is_err());
+    }
+
+    #[test]
+    fn prepare_and_execute() {
+        let stmt =
+            parse("PREPARE fires AS SELECT COUNT(*) FROM Wildfires w WHERE w.acres >= $1").unwrap();
+        let Statement::Prepare { name, select } = stmt else {
+            panic!("not a prepare")
+        };
+        assert_eq!(name, "fires");
+        assert!(select.where_clause.is_some());
+
+        let stmt = parse("EXECUTE fires (2.5)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Execute {
+                name: "fires".into(),
+                params: vec![AstExpr::FloatLit(2.5)],
+            }
+        );
+        // No parameters, both spellings.
+        assert!(matches!(
+            parse("EXECUTE fires").unwrap(),
+            Statement::Execute { ref params, .. } if params.is_empty()
+        ));
+        assert!(matches!(
+            parse("EXECUTE fires ()").unwrap(),
+            Statement::Execute { ref params, .. } if params.is_empty()
+        ));
+        // Negative and mixed literal parameters.
+        let Statement::Execute { params, .. } = parse("EXECUTE fires (-3, 'x', true)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            params,
+            vec![
+                AstExpr::IntLit(-3),
+                AstExpr::StrLit("x".into()),
+                AstExpr::BoolLit(true),
+            ]
+        );
+        // Non-literal parameters are rejected.
+        let err = parse("EXECUTE fires (w.acres)").unwrap_err();
+        assert!(err.to_string().contains("must be literals"), "{err}");
     }
 
     #[test]

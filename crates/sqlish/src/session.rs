@@ -1,16 +1,18 @@
 //! The session façade: SQL text in, results out.
 
-use crate::ast::Statement;
+use crate::ast::{SelectStatement, Statement};
 use crate::binder::bind_select;
 use crate::durability::{self, WalHook};
+use crate::fingerprint;
 use crate::parser::parse;
 use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
-use fudj_exec::{Cluster, ExecMode, MetricsSnapshot, NetworkModel, WorkerInfo};
+use fudj_exec::{Cluster, ExecMode, MetricsSnapshot, NetworkModel, PhysicalPlan, WorkerInfo};
 use fudj_planner::PlanOptions;
 use fudj_sched::{JobHandle, QuerySpec, Scheduler};
 use fudj_storage::CheckpointPolicy;
 use fudj_storage::{Catalog, Dataset, DiskFs, DurableStore, FaultFs, StorageFaultConfig, Vfs};
 use fudj_types::{Batch, FudjError, Result};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Interpret the `WITH (key = value, ...)` options of `CREATE JOIN` into a
@@ -80,6 +82,39 @@ struct SessionVars {
     /// N records, 0 = never. Remembered here so it also applies to a
     /// store opened *after* the `SET`.
     durability_sync_every: Option<u64>,
+    /// Serving-tier plan-cache capacity (`SET plan_cache_entries`).
+    plan_cache_entries: Option<usize>,
+    /// Serving-tier result-cache capacity (`SET result_cache_entries`).
+    result_cache_entries: Option<usize>,
+    /// Serving-tier result cache switch (`SET result_cache = on|off`).
+    result_cache_enabled: Option<bool>,
+}
+
+/// Largest accepted cache capacity: caches are per-tier in-memory maps,
+/// so an absurd `SET` is a knob typo, not a provisioning request.
+pub const MAX_CACHE_ENTRIES: usize = 1 << 20;
+
+/// Serving-tier cache configuration, assembled from the session's `SET`
+/// variables (engine defaults where unset). Read by `fudj-serve` before
+/// each statement so live `SET` changes take effect immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Plan-cache LRU capacity (entries).
+    pub plan_cache_entries: usize,
+    /// Result-cache LRU capacity (entries).
+    pub result_cache_entries: usize,
+    /// Whether result caching is enabled at all.
+    pub result_cache_enabled: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            plan_cache_entries: 256,
+            result_cache_entries: 1024,
+            result_cache_enabled: true,
+        }
+    }
 }
 
 /// Result of executing one statement.
@@ -134,6 +169,8 @@ pub struct Session {
     /// Armed storage-fault plan (`\chaos disk`): the *next* `SET wal_dir`
     /// opens its store over a fault-injecting in-memory filesystem.
     disk_faults: Mutex<Option<StorageFaultConfig>>,
+    /// Named templates from `PREPARE`, consumed by `EXECUTE`.
+    prepared: Mutex<HashMap<String, SelectStatement>>,
 }
 
 impl Session {
@@ -149,6 +186,7 @@ impl Session {
             vars: Mutex::new(SessionVars::default()),
             durable: Mutex::new(None),
             disk_faults: Mutex::new(None),
+            prepared: Mutex::new(HashMap::new()),
         }
     }
 
@@ -249,6 +287,43 @@ impl Session {
         *self.vars.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The serving-tier cache configuration under the current `SET`
+    /// variables (engine defaults where unset).
+    pub fn serving_config(&self) -> ServingConfig {
+        let vars = self.vars();
+        let defaults = ServingConfig::default();
+        ServingConfig {
+            plan_cache_entries: vars
+                .plan_cache_entries
+                .unwrap_or(defaults.plan_cache_entries),
+            result_cache_entries: vars
+                .result_cache_entries
+                .unwrap_or(defaults.result_cache_entries),
+            result_cache_enabled: vars
+                .result_cache_enabled
+                .unwrap_or(defaults.result_cache_enabled),
+        }
+    }
+
+    /// Store a `PREPARE`d SELECT template under `name` (replacing any
+    /// previous statement of that name, like PostgreSQL's `DEALLOCATE` +
+    /// re-`PREPARE` shorthand).
+    pub fn prepare_statement(&self, name: &str, select: SelectStatement) {
+        self.prepared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_owned(), select);
+    }
+
+    /// Look up a `PREPARE`d template by name.
+    pub fn prepared_statement(&self, name: &str) -> Option<SelectStatement> {
+        self.prepared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
     /// The open durable store, if `SET wal_dir` is active.
     pub fn durable(&self) -> Option<Arc<DurableStore>> {
         self.durable
@@ -336,7 +411,7 @@ impl Session {
     }
 
     /// Planner options with the session's `SET` variables merged in.
-    fn effective_options(&self) -> PlanOptions {
+    pub fn effective_options(&self) -> PlanOptions {
         let vars = self.vars();
         let mut options = self.options.clone();
         if vars.memory_budget_rows.is_some() {
@@ -352,6 +427,39 @@ impl Session {
             options.exec_mode = vars.exec_mode;
         }
         options
+    }
+
+    /// Bind and optimize a SELECT under the current `SET` variables —
+    /// the parse→bind→plan work the serving tier's plan cache amortizes.
+    pub fn plan_select(&self, sel: &SelectStatement) -> Result<PhysicalPlan> {
+        let logical = bind_select(sel, &self.catalog)?;
+        fudj_planner::plan(logical, &self.registry, &self.effective_options())
+    }
+
+    /// Execute an already-planned query on the session's cluster, with
+    /// durability counters stamped in (the path `execute` and the serving
+    /// tier's cache-miss recompute share).
+    pub fn execute_physical(
+        &self,
+        physical: &PhysicalPlan,
+        exec_mode: Option<ExecMode>,
+    ) -> Result<(Batch, MetricsSnapshot)> {
+        let (batch, metrics) = self.cluster.execute_mode(physical, exec_mode)?;
+        let mut snapshot = metrics.snapshot();
+        if let Some(store) = self.durable() {
+            // Durability is session-scoped (one WAL outlives many
+            // queries), so the session stamps the store's counters
+            // into each snapshot rather than the executor.
+            snapshot.durability = store.stats();
+        }
+        Ok((batch, snapshot))
+    }
+
+    fn run_select(&self, sel: &SelectStatement) -> Result<QueryOutput> {
+        let physical = self.plan_select(sel)?;
+        let exec_mode = self.effective_options().exec_mode;
+        let (batch, snapshot) = self.execute_physical(&physical, exec_mode)?;
+        Ok(QueryOutput::Rows(batch, Box::new(snapshot)))
     }
 
     /// Apply one `SET key = value`. Scheduler knobs take effect for every
@@ -435,6 +543,38 @@ impl Session {
                 self.cluster
                     .set_quarantine_threshold(optional()?.unwrap_or(0));
             }
+            "plan_cache_entries" | "result_cache_entries" => {
+                // 0 is a meaningful capacity (cache disabled), so like
+                // spill_recursion_limit only none/off restore the default.
+                let capped =
+                    if value.eq_ignore_ascii_case("none") || value.eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        let n = numeric()?;
+                        if n as usize > MAX_CACHE_ENTRIES {
+                            return Err(FudjError::Execution(format!(
+                                "SET {key} expects at most {MAX_CACHE_ENTRIES} entries, got {n}"
+                            )));
+                        }
+                        Some(n as usize)
+                    };
+                if key == "plan_cache_entries" {
+                    vars.plan_cache_entries = capped;
+                } else {
+                    vars.result_cache_entries = capped;
+                }
+            }
+            "result_cache" => {
+                vars.result_cache_enabled = if value.eq_ignore_ascii_case("on") {
+                    Some(true)
+                } else if value.eq_ignore_ascii_case("off") {
+                    Some(false)
+                } else {
+                    return Err(FudjError::Execution(format!(
+                        "SET result_cache expects on or off, got {value:?}"
+                    )));
+                };
+            }
             "wal_dir" => {
                 drop(vars);
                 if cleared {
@@ -466,7 +606,8 @@ impl Session {
                      deadline_ms, memory_budget_rows, spill_fanout, \
                      spill_recursion_limit, exec_mode, checkpoint_budget_bytes, \
                      checkpoint_stages, worker_quarantine_threshold, wal_dir, \
-                     or durability)"
+                     durability, plan_cache_entries, result_cache_entries, \
+                     or result_cache)"
                 )))
             }
         }
@@ -533,19 +674,27 @@ impl Session {
                 Ok(QueryOutput::Ack(format!("dropped join {name}")))
             }
             Statement::Set { key, value } => self.apply_set(&key, &value),
-            Statement::Select(sel) => {
-                let logical = bind_select(&sel, &self.catalog)?;
-                let options = self.effective_options();
-                let physical = fudj_planner::plan(logical, &self.registry, &options)?;
-                let (batch, metrics) = self.cluster.execute_mode(&physical, options.exec_mode)?;
-                let mut snapshot = metrics.snapshot();
-                if let Some(store) = self.durable() {
-                    // Durability is session-scoped (one WAL outlives many
-                    // queries), so the session stamps the store's counters
-                    // into each snapshot rather than the executor.
-                    snapshot.durability = store.stats();
-                }
-                Ok(QueryOutput::Rows(batch, Box::new(snapshot)))
+            Statement::Select(sel) => self.run_select(&sel),
+            Statement::Prepare { name, select } => {
+                let params = fingerprint::param_count(&select);
+                self.prepare_statement(&name, select);
+                Ok(QueryOutput::Ack(format!(
+                    "prepared {name} ({params} parameter{})",
+                    if params == 1 { "" } else { "s" }
+                )))
+            }
+            Statement::Execute { name, params } => {
+                let select = self.prepared_statement(&name).ok_or_else(|| {
+                    FudjError::Execution(format!(
+                        "no prepared statement {name:?} (PREPARE it first)"
+                    ))
+                })?;
+                let values = params
+                    .iter()
+                    .map(fingerprint::literal_value)
+                    .collect::<Result<Vec<_>>>()?;
+                let bound = fingerprint::substitute_params(&select, &values)?;
+                self.run_select(&bound)
             }
             Statement::Explain { select, analyze } => {
                 let logical = bind_select(&select, &self.catalog)?;
@@ -1174,6 +1323,76 @@ mod tests {
         s.register_dataset(kv_dataset()).unwrap();
         assert!(s.query("SELECT COUNT(*) FROM kv k").is_ok());
         let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn prepare_and_execute_match_direct_select() {
+        let s = session();
+        s.execute(
+            "PREPARE vendor_count AS \
+             SELECT COUNT(*) AS c FROM NYCTaxi n WHERE n.Vendor = $1",
+        )
+        .unwrap();
+        let prepared = s.execute("EXECUTE vendor_count(1)").unwrap();
+        let direct = s
+            .query("SELECT COUNT(*) AS c FROM NYCTaxi n WHERE n.Vendor = 1")
+            .unwrap();
+        assert_eq!(prepared.batch().rows(), direct.rows());
+
+        // A different parameter reaches a different answer.
+        let other = s.execute("EXECUTE vendor_count(2)").unwrap();
+        let a = prepared.batch().rows()[0].get(0).as_i64().unwrap();
+        let b = other.batch().rows()[0].get(0).as_i64().unwrap();
+        assert_eq!(a + b, 150, "the two vendors partition the taxi rides");
+
+        // Arity mismatches, unknown names, and raw `$n` outside PREPARE
+        // are all clean errors.
+        let err = s.execute("EXECUTE vendor_count()").unwrap_err();
+        assert!(err.to_string().contains("takes 1 parameter"), "{err}");
+        let err = s.execute("EXECUTE vendor_count(1, 2)").unwrap_err();
+        assert!(err.to_string().contains("takes 1 parameter"), "{err}");
+        let err = s.execute("EXECUTE nope(1)").unwrap_err();
+        assert!(err.to_string().contains("no prepared statement"), "{err}");
+        let err = s
+            .execute("SELECT COUNT(*) FROM NYCTaxi n WHERE n.Vendor = $1")
+            .unwrap_err();
+        assert!(err.to_string().contains("unbound parameter"), "{err}");
+    }
+
+    #[test]
+    fn serving_knobs_set_and_error_paths() {
+        let s = session();
+        assert_eq!(s.serving_config(), ServingConfig::default());
+        s.execute("SET plan_cache_entries = 8").unwrap();
+        s.execute("SET result_cache_entries = 0").unwrap();
+        s.execute("SET result_cache = off").unwrap();
+        let cfg = s.serving_config();
+        assert_eq!(cfg.plan_cache_entries, 8);
+        assert_eq!(cfg.result_cache_entries, 0, "0 disables, not defaults");
+        assert!(!cfg.result_cache_enabled);
+        s.execute("SET result_cache = on").unwrap();
+        s.execute("SET plan_cache_entries = none").unwrap();
+        let cfg = s.serving_config();
+        assert!(cfg.result_cache_enabled);
+        assert_eq!(
+            cfg.plan_cache_entries,
+            ServingConfig::default().plan_cache_entries,
+            "none restores the engine default"
+        );
+
+        // Error paths: non-numeric, out-of-range, bad switch value, and
+        // the unknown-knob message advertising the serving knobs.
+        let err = s.execute("SET plan_cache_entries = many").unwrap_err();
+        assert!(err.to_string().contains("expects a number"), "{err}");
+        let err = s
+            .execute("SET result_cache_entries = 99999999")
+            .unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
+        let err = s.execute("SET result_cache = sometimes").unwrap_err();
+        assert!(err.to_string().contains("on or off"), "{err}");
+        let err = s.execute("SET plan_cache = 1").unwrap_err();
+        assert!(err.to_string().contains("unknown SET variable"), "{err}");
+        assert!(err.to_string().contains("result_cache"), "{err}");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::dataset::Dataset;
 use fudj_types::{FudjError, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Observer of catalog mutations, called *before* the map changes
@@ -27,6 +28,10 @@ pub trait CatalogSink: Send + Sync {
 pub struct Catalog {
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
     sink: RwLock<Option<Arc<dyn CatalogSink>>>,
+    /// DDL version: bumped on every successful register/drop. Result
+    /// caches fold it into their keys so table-level DDL (which can swap a
+    /// whole dataset under an unchanged name) invalidates coarsely.
+    ddl_epoch: AtomicU64,
 }
 
 impl Catalog {
@@ -55,6 +60,7 @@ impl Catalog {
             sink.on_register(&arc)?;
         }
         map.insert(name, arc.clone());
+        self.ddl_epoch.fetch_add(1, Ordering::AcqRel);
         Ok(arc)
     }
 
@@ -77,7 +83,14 @@ impl Catalog {
             sink.on_drop(name)?;
         }
         map.remove(name);
+        self.ddl_epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
+    }
+
+    /// DDL epoch: advances on every successful register/drop, never on
+    /// reads. Part of result-cache keys.
+    pub fn ddl_epoch(&self) -> u64 {
+        self.ddl_epoch.load(Ordering::Acquire)
     }
 
     /// Names of all registered datasets, sorted.
@@ -111,6 +124,21 @@ mod tests {
             cat.get("Parks"),
             Err(FudjError::DatasetNotFound(_))
         ));
+    }
+
+    #[test]
+    fn ddl_epoch_tracks_mutations_not_reads() {
+        let cat = Catalog::new();
+        assert_eq!(cat.ddl_epoch(), 0);
+        cat.register(ds("Parks")).unwrap();
+        assert_eq!(cat.ddl_epoch(), 1);
+        let _ = cat.get("Parks");
+        let _ = cat.names();
+        assert_eq!(cat.ddl_epoch(), 1, "reads never bump");
+        assert!(cat.register(ds("Parks")).is_err());
+        assert_eq!(cat.ddl_epoch(), 1, "failed DDL never bumps");
+        cat.drop_dataset("Parks").unwrap();
+        assert_eq!(cat.ddl_epoch(), 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use fudj_types::{FudjError, Result, Row, SchemaRef, Value};
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Observer of row appends, called *before* the in-memory partitions
@@ -22,6 +23,10 @@ pub struct Dataset {
     primary_key: usize,
     partitions: RwLock<Vec<Vec<Row>>>,
     sink: RwLock<Option<Arc<dyn AppendSink>>>,
+    /// Monotonic ingest version: bumped once per successful insert (single
+    /// or batch). Result caches key on it, so an append — however small —
+    /// makes every cached result over this table unreachable.
+    epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for Dataset {
@@ -67,6 +72,14 @@ impl Dataset {
         self.len() == 0
     }
 
+    /// Ingest epoch: starts at 0 and advances on every successful
+    /// `insert`/`insert_all` (after the sink accepted the rows). Reading
+    /// the epoch before running a query and comparing afterwards detects
+    /// concurrent ingest; caches use it as part of their keys.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// Attach an append observer (the durability layer's WAL hook).
     pub fn attach_sink(&self, sink: Arc<dyn AppendSink>) {
         *self.sink.write() = Some(sink);
@@ -104,6 +117,7 @@ impl Dataset {
             sink.on_append(&self.name, std::slice::from_ref(&row))?;
         }
         self.apply(row);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -118,8 +132,12 @@ impl Dataset {
         if let Some(sink) = self.sink.read().clone() {
             sink.on_append(&self.name, &rows)?;
         }
+        let applied = !rows.is_empty();
         for row in rows {
             self.apply(row);
+        }
+        if applied {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
         }
         Ok(())
     }
@@ -220,6 +238,7 @@ impl DatasetBuilder {
             primary_key,
             partitions: RwLock::new(vec![Vec::new(); self.partitions]),
             sink: RwLock::new(None),
+            epoch: AtomicU64::new(0),
         })
     }
 }
@@ -326,6 +345,32 @@ mod tests {
         d.detach_sink();
         d.insert(row(9, 9)).unwrap();
         assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn epoch_advances_on_ingest_only() {
+        let d = make(2);
+        assert_eq!(d.epoch(), 0);
+        d.insert(row(1, 1)).unwrap();
+        assert_eq!(d.epoch(), 1);
+        d.insert_all((2..5).map(|i| row(i, 0))).unwrap();
+        assert_eq!(d.epoch(), 2, "a batch bumps the epoch once");
+        d.insert_all(std::iter::empty()).unwrap();
+        assert_eq!(d.epoch(), 2, "an empty batch changes nothing");
+        // Reads never bump.
+        let _ = d.all_rows();
+        let _ = d.partition_sizes();
+        assert_eq!(d.epoch(), 2);
+        // A failed insert (sink veto) leaves the epoch alone.
+        struct Veto;
+        impl AppendSink for Veto {
+            fn on_append(&self, _: &str, _: &[Row]) -> Result<()> {
+                Err(FudjError::Storage("no".into()))
+            }
+        }
+        d.attach_sink(Arc::new(Veto));
+        assert!(d.insert(row(9, 9)).is_err());
+        assert_eq!(d.epoch(), 2, "vetoed insert must not look like ingest");
     }
 
     #[test]

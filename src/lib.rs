@@ -12,6 +12,8 @@
 //! * [`planner`] — the optimizer with the FUDJ rewrite rule;
 //! * [`sched`] — the concurrent query scheduler (admission control,
 //!   fair-share dispatch, cancellation, deadlines);
+//! * [`serve`] — the multi-tenant serving tier (plan/result caches with
+//!   epoch-based ingest invalidation, latency histograms);
 //! * [`sql`] — the SQL front end (`CREATE JOIN`, SELECT subset, EXPLAIN);
 //! * [`datagen`] — seeded synthetic datasets standing in for Table I;
 //! * [`types`], [`geo`], [`textutil`], [`temporal`], [`storage`] —
@@ -47,6 +49,7 @@ pub use fudj_geo as geo;
 pub use fudj_joins as joins;
 pub use fudj_planner as planner;
 pub use fudj_sched as sched;
+pub use fudj_serve as serve;
 pub use fudj_sql as sql;
 pub use fudj_storage as storage;
 pub use fudj_temporal as temporal;
