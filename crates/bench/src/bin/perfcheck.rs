@@ -15,7 +15,11 @@
 //! plus snapshot and recovery-replay cost, writing `BENCH_PR8.json`,
 //! and replays seeded multi-tenant workloads through the serving tier
 //! (caches on vs off, uniform vs shape-skewed, three priority classes),
-//! writing `BENCH_PR9.json`. Every emitted file gets a one-line
+//! writing `BENCH_PR9.json`, and sweeps crash-restart resumption of a
+//! join-heavy journaled query across checkpoint cadences (no stage
+//! boundaries / aggregate boundary only / every boundary), writing the
+//! reopen-and-resume times plus the redo work saved to
+//! `BENCH_PR10.json`. Every emitted file gets a one-line
 //! `wrote <file> (<n> rows)` summary, and all the JSON formats are
 //! documented in `EXPERIMENTS.md`.
 
@@ -772,6 +776,204 @@ fn durability_sweep() -> String {
     json
 }
 
+/// One crash-resume measurement: a checkpoint cadence, where the crash
+/// struck, and what the restart paid to finish the query.
+struct ResumePoint {
+    cadence: &'static str,
+    crash_site: &'static str,
+    crash_hit: u64,
+    uninterrupted_seconds: f64,
+    checkpoint_frames: u64,
+    checkpoint_bytes: u64,
+    reopen_resume_seconds: f64,
+    resumed_from: Option<String>,
+    stages_resumed: u64,
+    resume_rows_restored: u64,
+    full_replays: u64,
+}
+
+/// PR10: crash-restart resumption cost vs checkpoint cadence on a
+/// join-heavy journaled query. For each cadence, run the query once
+/// uninterrupted (baseline time + checkpoint write overhead), then crash
+/// the process at the last durable journal record the cadence emits,
+/// reopen the same virtual disk, and time the reopen-and-resume. Coarser
+/// cadences pay less during the run and redo more after the crash; the
+/// no-boundary cadence must fall back to a full replay. Assembles
+/// `BENCH_PR10.json`.
+fn crash_resume_sweep() -> String {
+    use fudj_datagen::{parks, wildfires, GeneratorConfig};
+    use fudj_joins::standard_library;
+    use fudj_sql::Session;
+    use fudj_storage::{FaultFs, StorageFaultConfig};
+
+    const RECORDS: usize = 600;
+    const SEED: u64 = 7;
+    const SQL: &str = "SELECT p.id, COUNT(w.id) AS num_fires FROM Parks p, Wildfires w \
+         WHERE ST_Contains(p.boundary, w.location) GROUP BY p.id ORDER BY num_fires DESC";
+
+    let make_session = || {
+        let s = Session::new(4);
+        s.install_library(standard_library());
+        s.register_dataset(parks(GeneratorConfig::new(RECORDS, 1, 4)).unwrap())
+            .unwrap();
+        s.register_dataset(wildfires(GeneratorConfig::new(2 * RECORDS, 2, 4)).unwrap())
+            .unwrap();
+        s.execute(
+            r#"CREATE JOIN st_contains(a: polygon, b: point)
+               RETURNS boolean AS "spatial.SpatialJoin" AT flexiblejoins"#,
+        )
+        .unwrap();
+        s
+    };
+    // `nostage` names no real boundary, so the journal records submit and
+    // finish only — a crash mid-query always resumes via full replay.
+    let cadences: [(&'static str, &'static str, &'static str, u64); 4] = [
+        ("no_boundaries", "nostage", "journal:submit", 1),
+        ("agg_boundary_only", "agg:shuffle", "journal:stage", 1),
+        ("every_boundary", "all", "journal:stage", 2),
+        ("every_boundary_late_crash", "all", "journal:stage", 3),
+    ];
+
+    let mut points = Vec::new();
+    let mut base_rows = None;
+    for (cadence, stages, crash_site, crash_hit) in cadences {
+        // Uninterrupted baseline under the same cadence (fresh disk).
+        let session = make_session();
+        session.execute("SET checkpoint_durable = on").unwrap();
+        session
+            .execute(&format!("SET checkpoint_stages = '{stages}'"))
+            .unwrap();
+        session
+            .open_wal_with(
+                &format!("/bench-pr10-base-{cadence}"),
+                FaultFs::new(StorageFaultConfig::quiet(SEED)),
+            )
+            .unwrap();
+        let start = Instant::now();
+        let out = session.execute(SQL).expect("baseline query must run");
+        let uninterrupted_seconds = start.elapsed().as_secs_f64();
+        let rows = out.batch().len();
+        assert_eq!(
+            *base_rows.get_or_insert(rows),
+            rows,
+            "{cadence}: answer drifted"
+        );
+        let stats = session.cluster().checkpoints().stats();
+        let (checkpoint_frames, checkpoint_bytes) = (
+            stats.durable_frames_written,
+            stats.durable_frame_bytes_written,
+        );
+        drop(session);
+
+        // Crash run: die at the cadence's last durable journal record.
+        let fs = FaultFs::new(StorageFaultConfig::crash_at(SEED, crash_site, crash_hit));
+        let dir = format!("/bench-pr10-crash-{cadence}");
+        let session = make_session();
+        session.execute("SET checkpoint_durable = on").unwrap();
+        session
+            .execute(&format!("SET checkpoint_stages = '{stages}'"))
+            .unwrap();
+        session.open_wal_with(&dir, fs.clone()).unwrap();
+        assert!(
+            session.execute(SQL).is_err(),
+            "{cadence}: the armed {crash_site} crash never fired"
+        );
+        drop(session);
+
+        // Restart: reopen the same disk; the open replays the WAL and
+        // re-executes the unfinished query from its last boundary.
+        fs.reopen_after_crash();
+        let session = make_session();
+        session.execute("SET checkpoint_durable = on").unwrap();
+        session
+            .execute(&format!("SET checkpoint_stages = '{stages}'"))
+            .unwrap();
+        let start = Instant::now();
+        session.open_wal_with(&dir, fs).expect("reopen must resume");
+        let reopen_resume_seconds = start.elapsed().as_secs_f64();
+        let mut resumed = session.take_resumed();
+        assert_eq!(resumed.len(), 1, "{cadence}: expected one pending query");
+        let resumed = resumed.remove(0);
+        let (batch, snapshot) = resumed.result.expect("resume must succeed");
+        assert_eq!(batch.len(), rows, "{cadence}: resume changed the answer");
+        let rec = &snapshot.recovery;
+        if crash_site == "journal:stage" {
+            assert!(
+                rec.stages_resumed > 0,
+                "{cadence}: boundary cadence fell back to full replay"
+            );
+        } else {
+            // No boundary was ever committed, so there is no resume spec:
+            // the restart re-executes the query from scratch.
+            assert_eq!(
+                rec.stages_resumed, 0,
+                "{cadence}: resumed without a boundary"
+            );
+            assert!(
+                resumed.resumed_from.is_none(),
+                "{cadence}: phantom boundary"
+            );
+        }
+        println!(
+            "crash resume {cadence}: baseline {uninterrupted_seconds:.4}s \
+             ({checkpoint_frames} durable frames, {checkpoint_bytes} bytes), \
+             reopen+resume {reopen_resume_seconds:.4}s from {:?} \
+             ({} stages resumed, {} rows restored, {} full replays)",
+            resumed.resumed_from,
+            rec.stages_resumed,
+            rec.resume_rows_restored,
+            rec.resume_full_replays,
+        );
+        points.push(ResumePoint {
+            cadence,
+            crash_site,
+            crash_hit,
+            uninterrupted_seconds,
+            checkpoint_frames,
+            checkpoint_bytes,
+            reopen_resume_seconds,
+            resumed_from: resumed.resumed_from,
+            stages_resumed: rec.stages_resumed,
+            resume_rows_restored: rec.resume_rows_restored,
+            full_replays: rec.resume_full_replays,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 10,\n");
+    json.push_str("  \"workload\": \"spatial_join_group_by\",\n");
+    let _ = writeln!(json, "  \"parks\": {RECORDS},");
+    let _ = writeln!(json, "  \"wildfires\": {},", 2 * RECORDS);
+    json.push_str("  \"cadences\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"cadence\": \"{}\", \"crash_site\": \"{}\", \"crash_hit\": {}, \
+             \"uninterrupted_seconds\": {}, \"checkpoint_frames\": {}, \
+             \"checkpoint_bytes\": {}, \"reopen_resume_seconds\": {}, \
+             \"resumed_from\": {}, \"stages_resumed\": {}, \
+             \"resume_rows_restored\": {}, \"full_replays\": {}}}",
+            p.cadence,
+            p.crash_site,
+            p.crash_hit,
+            json_f64(p.uninterrupted_seconds),
+            p.checkpoint_frames,
+            p.checkpoint_bytes,
+            json_f64(p.reopen_resume_seconds),
+            match &p.resumed_from {
+                Some(s) => format!("\"{s}\""),
+                None => "null".to_owned(),
+            },
+            p.stages_resumed,
+            p.resume_rows_restored,
+            p.full_replays,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 fn main() {
     // Warm + best-of-3 end-to-end numbers for the scaling headline.
     for workers in [1usize, 4] {
@@ -934,4 +1136,8 @@ fn main() {
     // PR9: multi-tenant serving-tier mixes (caches on/off, fairness).
     let serving = fudj_bench::serving::serving_sweep();
     write_bench("BENCH_PR9.json", &serving);
+
+    // PR10: crash-restart resume cost vs checkpoint cadence.
+    let resume = crash_resume_sweep();
+    write_bench("BENCH_PR10.json", &resume);
 }

@@ -113,7 +113,7 @@ pub fn render_recovery_stats(snapshot: &MetricsSnapshot) -> String {
     if !r.any() {
         return String::new();
     }
-    format!(
+    let mut out = format!(
         "Recovery: {} checkpoints written ({} bytes, {} evicted), {} read; \
          {} deaths survived ({} partitions restored, {} recomputed, \
          {} full-stage replays); {} workers quarantined\n",
@@ -126,7 +126,19 @@ pub fn render_recovery_stats(snapshot: &MetricsSnapshot) -> String {
         r.partitions_recomputed,
         r.full_stage_replays,
         r.workers_quarantined,
-    )
+    );
+    if r.stages_resumed + r.resume_full_replays > 0 {
+        out.push_str(&format!(
+            "  crash resume: {} stage{} resumed ({} rows restored), \
+             {} full replay{}\n",
+            r.stages_resumed,
+            if r.stages_resumed == 1 { "" } else { "s" },
+            r.resume_rows_restored,
+            r.resume_full_replays,
+            if r.resume_full_replays == 1 { "" } else { "s" },
+        ));
+    }
+    out
 }
 
 /// Render the WAL/snapshot durability counters of one query, or an empty

@@ -118,7 +118,29 @@ impl Repl {
                 }
                 out
             }
-            Ok(QueryOutput::Ack(msg)) => format!("{msg}\n"),
+            Ok(QueryOutput::Ack(msg)) => {
+                let mut out = format!("{msg}\n");
+                // `SET wal_dir` journal-resumes queries the previous
+                // incarnation left unfinished; deliver their results here
+                // (exactly once — the drain empties the session's buffer).
+                for r in self.session.take_resumed() {
+                    match &r.result {
+                        Ok((batch, _)) => {
+                            let how = r
+                                .resumed_from
+                                .as_deref()
+                                .map(|s| format!("from the {s} checkpoint"))
+                                .unwrap_or_else(|| "via full replay".to_owned());
+                            let _ = writeln!(out, "resumed unfinished query ({how}): {}", r.sql);
+                            out.push_str(&render_batch(batch));
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "error: resume of {:?} failed: {e}", r.sql);
+                        }
+                    }
+                }
+                out
+            }
             Ok(QueryOutput::Plan(plan)) => plan,
             Err(e) => format!("error: {e}\n"),
         }
@@ -186,7 +208,8 @@ impl Repl {
                 Some("disk") => match args.get(1).map(String::as_str) {
                     Some("off") => {
                         self.session.set_disk_faults(None);
-                        "disk chaos off; the next SET wal_dir uses the real filesystem\n"
+                        "disk chaos off; the next SET wal_dir uses the real filesystem \
+                         (a dir opened under chaos reopens its simulated disk, quieted)\n"
                             .to_owned()
                     }
                     Some(arg) => match arg.parse::<u64>() {
@@ -207,6 +230,30 @@ impl Repl {
                         }
                     },
                     None => "usage: \\chaos disk <seed>|off\n".to_owned(),
+                },
+                Some("crash") => match args.get(1).map(|a| a.parse::<u64>()) {
+                    Some(Ok(seed)) => {
+                        // Whole-process crash: the seed deterministically
+                        // picks a crash site across the WAL, snapshot,
+                        // checkpoint, and query-journal write paths.
+                        let sites: Vec<&str> = fudj_storage::QUERY_CRASH_POINTS
+                            .iter()
+                            .chain(fudj_storage::CRASH_POINTS)
+                            .copied()
+                            .collect();
+                        let site = sites[(seed as usize) % sites.len()];
+                        let hit = 1 + seed % 3;
+                        self.session
+                            .set_disk_faults(Some(fudj_storage::StorageFaultConfig::crash_at(
+                                seed, site, hit,
+                            )));
+                        format!(
+                            "crash chaos on (seed {seed}): the next SET wal_dir opens its \
+                             store over a filesystem that dies at {site} (hit {hit}); \
+                             reopen the same wal_dir to journal-resume in-flight queries\n"
+                        )
+                    }
+                    _ => "usage: \\chaos crash <seed>\n".to_owned(),
                 },
                 Some("deaths") => match args.get(1).map(|a| a.parse::<u64>()) {
                     Some(Ok(seed)) => {
@@ -569,11 +616,20 @@ pub const HELP: &str = r#"FUDJ shell
                                       committed state, then WAL every table
                                       append and CREATE/DROP JOIN
     SET durability = sync|N|off;      fsync every record / every N / never
+    SET checkpoint_durable = on|off;  journal queries and write their stage
+                                      checkpoints through the WAL's
+                                      filesystem; a reopened wal_dir then
+                                      resumes in-flight queries from their
+                                      last committed stage boundary
     \persist                          write an atomic snapshot and compact
                                       the WAL behind it
     \chaos disk <seed>                the next SET wal_dir injects seeded
                                       torn writes, dropped fsyncs, and bit
                                       flips; \chaos disk off disarms
+    \chaos crash <seed>               the next SET wal_dir dies at a seeded
+                                      crash site (WAL, snapshot, checkpoint,
+                                      or query-journal write); reopen the
+                                      same wal_dir to journal-resume
     \save <ds> <file.csv>             export a dataset to CSV
     \load <ds> <file.csv> [c:t,...]   import CSV (new schema or an
                                       existing dataset's)
@@ -880,6 +936,57 @@ mod tests {
         // SET knobs flow through statements into the scheduler.
         r.run_statement("SET max_inflight_queries = 2;");
         assert_eq!(r.session().scheduler().config().max_inflight, 2);
+    }
+
+    #[test]
+    fn chaos_crash_arms_a_seeded_crash_site() {
+        let mut r = Repl::new(2);
+        assert!(r.run_meta("chaos", &["crash".into()]).contains("usage"));
+        assert!(r
+            .run_meta("chaos", &["crash".into(), "nope".into()])
+            .contains("usage"));
+        let on = r.run_meta("chaos", &["crash".into(), "3".into()]);
+        assert!(on.contains("crash chaos on (seed 3)"), "{on}");
+        let cfg = r.session.disk_faults().expect("fault plan armed");
+        let (site, hit) = cfg.crash_point.expect("crash point set");
+        assert!(
+            fudj_storage::QUERY_CRASH_POINTS.contains(&site.as_str())
+                || fudj_storage::CRASH_POINTS.contains(&site.as_str()),
+            "{site}"
+        );
+        assert!((1..=3).contains(&hit));
+        // Different seeds can reach every site class.
+        let other = r.run_meta("chaos", &["crash".into(), "4".into()]);
+        assert!(other.contains("crash chaos on (seed 4)"), "{other}");
+        assert!(r
+            .run_meta("chaos", &["disk".into(), "off".into()])
+            .contains("off"));
+    }
+
+    #[test]
+    fn chaos_crash_reopen_journal_resumes_in_flight_query() {
+        let mut r = Repl::new(2);
+        r.run_meta("sample", &["100".into()]);
+        r.run_statement("SET checkpoint_durable = on;");
+        // Seed 0 → journal:submit, hit 1: the first query's journal
+        // entry lands durably, then the simulated disk dies.
+        let on = r.run_meta("chaos", &["crash".into(), "0".into()]);
+        assert!(on.contains("journal:submit"), "{on}");
+        r.run_statement("SET wal_dir = '/repl-crash';");
+        assert!(
+            r.session().disk_faults().is_none(),
+            "the crash plan is consumed by the open it poisons"
+        );
+        let killed = r.run_statement("SELECT COUNT(*) AS c FROM Parks p;");
+        assert!(killed.contains("simulated crash"), "{killed}");
+        // Reopening the same wal_dir restarts the simulated disk and
+        // delivers the journal-resumed result in the SET's output.
+        let reopened = r.run_statement("SET wal_dir = '/repl-crash';");
+        assert!(reopened.contains("resumed unfinished query"), "{reopened}");
+        assert!(reopened.contains("100"), "{reopened}");
+        // Exactly once: a further reopen finds a sealed journal.
+        let again = r.run_statement("SET wal_dir = '/repl-crash';");
+        assert!(!again.contains("resumed"), "{again}");
     }
 
     #[test]

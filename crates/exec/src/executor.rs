@@ -188,12 +188,30 @@ impl Cluster {
         gate: Option<Arc<dyn crate::control::DispatchGate>>,
         mode: ExecMode,
     ) -> Result<(Batch, QueryMetrics)> {
+        self.execute_with_opts(plan, control, gate, mode, None)
+    }
+
+    /// [`Cluster::execute_with_mode`] plus an optional [`QueryTag`]: the
+    /// crash-tolerance identity of a journaled query (stable checkpoint
+    /// namespace, `StageCommitted` journal sink, and — when re-running a
+    /// crashed query — the resume point recovered from the journal).
+    pub fn execute_with_opts(
+        &self,
+        plan: &PhysicalPlan,
+        control: Option<Arc<crate::control::QueryControl>>,
+        gate: Option<Arc<dyn crate::control::DispatchGate>>,
+        mode: ExecMode,
+        tag: Option<crate::recovery::QueryTag>,
+    ) -> Result<(Batch, QueryMetrics)> {
         let mut metrics = QueryMetrics::with_config(self.network, self.faults);
         metrics.set_exec_mode(mode);
         if let Some(ctrl) = control {
             metrics.attach_control(ctrl, gate);
         }
-        if let Some(rec) = self.recovery.attach(self.faults.as_ref()) {
+        if let Some(rec) = self
+            .recovery
+            .attach_tagged(self.faults.as_ref(), tag.as_ref())
+        {
             metrics.attach_recovery(rec);
         }
         let rows = (|| {
@@ -352,6 +370,19 @@ impl Cluster {
                 )
             })
             .collect();
+        // Crash-restart resume: a durably committed `agg:shuffle` boundary
+        // means the shuffled partials survive on disk — skip input
+        // evaluation, partial aggregation, and the shuffle entirely and go
+        // straight to merge/finalize. A partly covered boundary falls back
+        // to the full path below, which is always correct.
+        if let Some(mut datasets) = metrics
+            .recovery()
+            .and_then(|r| r.try_resume("agg:shuffle", &["partials"], self.workers))
+        {
+            let shuffled = datasets.pop().unwrap_or_default();
+            return self.merge_partials(shuffled, group_by, aggregates, &float_sum, metrics);
+        }
+
         let parts = self.execute_partitioned(input, metrics)?;
         let mode = metrics.exec_mode();
 
@@ -417,6 +448,21 @@ impl Cluster {
                 )?])
             },
         )?;
+        self.merge_partials(shuffled, group_by, aggregates, &float_sum, metrics)
+    }
+
+    /// Step 2 of the hash aggregate: merge shuffled partial rows per
+    /// group and finalize. Split out so a crash-restart resume can enter
+    /// here directly with partials restored from durable checkpoints.
+    fn merge_partials(
+        &self,
+        shuffled: PartitionedData,
+        group_by: &[usize],
+        aggregates: &[Aggregate],
+        float_sum: &[bool],
+        metrics: &QueryMetrics,
+    ) -> Result<PartitionedData> {
+        let width = group_by.len();
         self.parallel_map(metrics, shuffled, |rows| {
             let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
             for row in &rows {
@@ -424,7 +470,7 @@ impl Cluster {
                 let accs = groups.entry(key).or_insert_with(|| {
                     aggregates
                         .iter()
-                        .zip(&float_sum)
+                        .zip(float_sum)
                         .map(|(a, &fs)| Accumulator::new(a, fs))
                         .collect()
                 });

@@ -135,6 +135,20 @@ fn execute_flexible(
     let join = node.join.as_ref();
     let workers = cluster.workers();
 
+    // Crash-restart resume: a durably committed `join:combine` boundary
+    // means the joined output survives on disk — skip input evaluation and
+    // SUMMARIZE / DIVIDE / PARTITION / COMBINE entirely, re-running only
+    // the post-boundary work (duplicate elimination and the guard check).
+    // A partly covered boundary falls back to the full flow, which is
+    // always correct.
+    if let Some(mut datasets) = metrics
+        .recovery()
+        .and_then(|r| r.try_resume("join:combine", &["joined"], workers))
+    {
+        let joined = datasets.pop().unwrap_or_default();
+        return finish_join(cluster, join, joined, metrics);
+    }
+
     // Evaluate inputs (self-join: once).
     let left_parts = cluster.execute_partitioned(&node.left, metrics)?;
     let right_parts = if node.self_join {
@@ -295,8 +309,20 @@ fn execute_flexible(
         },
     )?;
 
-    // ---- Duplicate elimination (extra stage) -----------------------------
-    let result = if dedup_mode == DedupMode::Elimination {
+    finish_join(cluster, join, joined, metrics)
+}
+
+/// The post-COMBINE tail of the flexible-join flow: the optional duplicate
+/// *elimination* stage (one more shuffle + distinct) and the deferred
+/// guard-violation check. Split out so a crash-restart resume can enter
+/// here directly with the joined output restored from durable checkpoints.
+fn finish_join(
+    cluster: &Cluster,
+    join: &dyn EngineJoin,
+    joined: PartitionedData,
+    metrics: &QueryMetrics,
+) -> Result<PartitionedData> {
+    let result = if join.dedup_mode() == DedupMode::Elimination {
         metrics.phase("dedup", || -> Result<PartitionedData> {
             let shuffled = exchange::shuffle_by_row(joined, cluster.pool(), metrics)?;
             cluster.parallel_map(metrics, shuffled, |rows| {

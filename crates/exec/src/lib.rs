@@ -66,6 +66,7 @@ pub use fault::{DeliveryFault, FaultContext, FaultStats, TaskFault};
 pub use fudj_core::{
     FaultConfig, GuardConfig, GuardMode, GuardedJoin, RetryPolicy, UdfLimits, UdfPolicy, UdfStats,
 };
+pub use metrics::{apply_seed, flatten_counters};
 pub use metrics::{
     CounterFingerprint, MetricsSnapshot, NetworkModel, PhaseSkew, QueryMetrics, ServingStats,
     WorkerStats,
@@ -77,6 +78,7 @@ pub use plan::{
 };
 pub use pool::WorkerPool;
 pub use recovery::{
-    ClusterRecovery, Membership, RecoveryContext, RecoveryStats, WorkerInfo, WorkerState,
+    ClusterRecovery, CounterSeed, Membership, QueryJournal, QueryTag, RecoveryContext,
+    RecoveryStats, ResumeSpec, WorkerInfo, WorkerState,
 };
 pub use spill::{SpillConfig, SpillStats};

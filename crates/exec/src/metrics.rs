@@ -332,6 +332,118 @@ pub struct CounterFingerprint {
     pub serving: ServingStats,
 }
 
+/// Flatten a snapshot's logical counters into `(name, value)` pairs —
+/// the payload of a journaled `StageCommitted` record. Covers every
+/// numeric [`CounterFingerprint`] counter plus the recovery counters
+/// (`recovery.` prefix); fault, UDF, durability, and serving counters are
+/// deliberately excluded — the first two are zero under the storage-only
+/// crash fault plan, the last two are stamped at session/tier scope after
+/// execution and normalized by the restart differential.
+pub fn flatten_counters(snap: &MetricsSnapshot) -> Vec<(String, u64)> {
+    let r = &snap.recovery;
+    vec![
+        ("rows_shuffled".into(), snap.rows_shuffled),
+        ("bytes_shuffled".into(), snap.bytes_shuffled),
+        ("rows_broadcast".into(), snap.rows_broadcast),
+        ("bytes_broadcast".into(), snap.bytes_broadcast),
+        ("state_bytes".into(), snap.state_bytes),
+        ("verify_calls".into(), snap.verify_calls),
+        ("dedup_rejections".into(), snap.dedup_rejections),
+        ("spilled_rows".into(), snap.spilled_rows),
+        ("spilled_bytes".into(), snap.spilled_bytes),
+        (
+            "spill_resident_partitions".into(),
+            snap.spill_resident_partitions,
+        ),
+        (
+            "spill_spilled_partitions".into(),
+            snap.spill_spilled_partitions,
+        ),
+        ("spill_passes".into(), snap.spill_passes),
+        ("spill_recursion_depth".into(), snap.spill_recursion_depth),
+        ("spill_bnl_fallbacks".into(), snap.spill_bnl_fallbacks),
+        (
+            "spill_peak_resident_rows".into(),
+            snap.spill_peak_resident_rows,
+        ),
+        ("recovery.checkpoints_written".into(), r.checkpoints_written),
+        (
+            "recovery.checkpoint_bytes_written".into(),
+            r.checkpoint_bytes_written,
+        ),
+        ("recovery.checkpoints_read".into(), r.checkpoints_read),
+        ("recovery.checkpoints_evicted".into(), r.checkpoints_evicted),
+        ("recovery.partitions_restored".into(), r.partitions_restored),
+        (
+            "recovery.partitions_recomputed".into(),
+            r.partitions_recomputed,
+        ),
+        ("recovery.full_stage_replays".into(), r.full_stage_replays),
+        ("recovery.deaths_survived".into(), r.deaths_survived),
+        ("recovery.workers_quarantined".into(), r.workers_quarantined),
+        ("recovery.stages_resumed".into(), r.stages_resumed),
+        (
+            "recovery.resume_rows_restored".into(),
+            r.resume_rows_restored,
+        ),
+        ("recovery.resume_full_replays".into(), r.resume_full_replays),
+    ]
+}
+
+/// Apply a resume's counter seed to a snapshot: the journaled values of
+/// the skipped upstream work fold into this run's counters (sums for
+/// volume counters, `max` for the two high-water marks), and the skipped
+/// phases are prepended with zero durations so the phase-name sequence —
+/// part of the fingerprint — matches an uninterrupted run. Unknown names
+/// are ignored (journals written by a newer build replay cleanly).
+pub fn apply_seed(snap: &mut MetricsSnapshot, seed: &crate::recovery::CounterSeed) {
+    for (name, v) in &seed.counters {
+        let v = *v;
+        let r = &mut snap.recovery;
+        match name.as_str() {
+            "rows_shuffled" => snap.rows_shuffled += v,
+            "bytes_shuffled" => snap.bytes_shuffled += v,
+            "rows_broadcast" => snap.rows_broadcast += v,
+            "bytes_broadcast" => snap.bytes_broadcast += v,
+            "state_bytes" => snap.state_bytes += v,
+            "verify_calls" => snap.verify_calls += v,
+            "dedup_rejections" => snap.dedup_rejections += v,
+            "spilled_rows" => snap.spilled_rows += v,
+            "spilled_bytes" => snap.spilled_bytes += v,
+            "spill_resident_partitions" => snap.spill_resident_partitions += v,
+            "spill_spilled_partitions" => snap.spill_spilled_partitions += v,
+            "spill_passes" => snap.spill_passes += v,
+            "spill_recursion_depth" => {
+                snap.spill_recursion_depth = snap.spill_recursion_depth.max(v)
+            }
+            "spill_bnl_fallbacks" => snap.spill_bnl_fallbacks += v,
+            "spill_peak_resident_rows" => {
+                snap.spill_peak_resident_rows = snap.spill_peak_resident_rows.max(v)
+            }
+            "recovery.checkpoints_written" => r.checkpoints_written += v,
+            "recovery.checkpoint_bytes_written" => r.checkpoint_bytes_written += v,
+            "recovery.checkpoints_read" => r.checkpoints_read += v,
+            "recovery.checkpoints_evicted" => r.checkpoints_evicted += v,
+            "recovery.partitions_restored" => r.partitions_restored += v,
+            "recovery.partitions_recomputed" => r.partitions_recomputed += v,
+            "recovery.full_stage_replays" => r.full_stage_replays += v,
+            "recovery.deaths_survived" => r.deaths_survived += v,
+            "recovery.workers_quarantined" => r.workers_quarantined += v,
+            "recovery.stages_resumed" => r.stages_resumed += v,
+            "recovery.resume_rows_restored" => r.resume_rows_restored += v,
+            "recovery.resume_full_replays" => r.resume_full_replays += v,
+            _ => {}
+        }
+    }
+    let mut phases: Vec<(String, Duration)> = seed
+        .phases
+        .iter()
+        .map(|n| (n.clone(), Duration::ZERO))
+        .collect();
+    phases.append(&mut snap.phases);
+    snap.phases = phases;
+}
+
 /// Mutable metrics state behind the lock: the public snapshot plus the
 /// stack of currently-open phases (used to attribute worker busy time).
 #[derive(Default)]
@@ -581,6 +693,11 @@ impl QueryMetrics {
         }
         if let Some(recovery) = &self.recovery {
             snap.recovery = recovery.stats();
+            // A resumed query seeds the counters of the skipped upstream
+            // work, so the final fingerprint matches an uninterrupted run.
+            if let Some(seed) = recovery.seed() {
+                apply_seed(&mut snap, &seed);
+            }
         }
         snap.sim_clock_ms = match &self.control {
             Some(ctrl) => ctrl.sim_clock_ms(),

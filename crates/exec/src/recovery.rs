@@ -66,6 +66,14 @@ pub struct RecoveryStats {
     pub deaths_survived: u64,
     /// Workers quarantined by the failure-rate circuit breaker.
     pub workers_quarantined: u64,
+    /// Stage boundaries this query resumed from (durable checkpoints
+    /// restored instead of re-executing everything upstream).
+    pub stages_resumed: u64,
+    /// Rows restored from durable checkpoints by crash-restart resume.
+    pub resume_rows_restored: u64,
+    /// Resumes that fell back to full replay because some partition of
+    /// the committed stage had no decodable durable checkpoint.
+    pub resume_full_replays: u64,
 }
 
 impl RecoveryStats {
@@ -86,6 +94,76 @@ struct RecoveryCells {
     full_stage_replays: AtomicU64,
     deaths_survived: AtomicU64,
     workers_quarantined: AtomicU64,
+    stages_resumed: AtomicU64,
+    resume_rows_restored: AtomicU64,
+    resume_full_replays: AtomicU64,
+}
+
+/// Logical counter values captured at a durably committed stage boundary.
+/// When a crashed query resumes past that boundary, the skipped upstream
+/// work's counters are seeded from here so the resumed run's final
+/// [`crate::CounterFingerprint`] matches an uninterrupted execution.
+/// Fault/UDF guardrail counters are deliberately not seeded: resume runs
+/// under the storage fault plan (whole-process crashes), not the task
+/// fault plan, so both sides of the restart differential see zeros there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSeed {
+    /// `(counter name, value)` pairs — see
+    /// [`crate::metrics::flatten_counters`] for the names.
+    pub counters: Vec<(String, u64)>,
+    /// Phase names completed before the boundary, in completion order.
+    pub phases: Vec<String>,
+}
+
+/// Where a resumed query restarts: the last durably committed stage
+/// boundary plus the counter seed journaled with it.
+#[derive(Clone, Debug)]
+pub struct ResumeSpec {
+    /// Stage name of the committed boundary (e.g. `join:combine`).
+    pub stage: String,
+    /// Counters journaled at that boundary.
+    pub seed: CounterSeed,
+}
+
+/// Sink for durable query-journal records emitted at stage boundaries.
+/// Implemented over the session's [`fudj_storage::DurableStore`]; a write
+/// failure (including an injected crash) aborts the query so a boundary
+/// is never treated as committed without the record on disk.
+pub trait QueryJournal: Send + Sync {
+    /// Durably record that `stage` of the query named by `fingerprint`
+    /// committed, with the logical counters observed at the boundary.
+    fn stage_committed(
+        &self,
+        fingerprint: u64,
+        stage: &str,
+        counters: &[(String, u64)],
+        phases: &[String],
+    ) -> Result<()>;
+}
+
+/// Identity and crash-tolerance state of one journaled query: its stable
+/// statement fingerprint (the checkpoint namespace, so durable frames
+/// survive a process restart under the same key), the journal sink, and
+/// an optional resume point recovered from the journal.
+#[derive(Clone)]
+pub struct QueryTag {
+    /// Stable statement fingerprint — the durable checkpoint namespace.
+    pub fingerprint: u64,
+    /// Journal sink for `StageCommitted` records (`None` = checkpoint
+    /// durably but journal nothing).
+    pub journal: Option<Arc<dyn QueryJournal>>,
+    /// Resume point, when this execution re-runs a crashed query.
+    pub resume: Option<ResumeSpec>,
+}
+
+impl std::fmt::Debug for QueryTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryTag")
+            .field("fingerprint", &self.fingerprint)
+            .field("journal", &self.journal.is_some())
+            .field("resume", &self.resume)
+            .finish()
+    }
 }
 
 /// Lifecycle state of one worker slot.
@@ -423,18 +501,40 @@ impl ClusterRecovery {
         self: &Arc<Self>,
         faults: Option<&fudj_core::FaultConfig>,
     ) -> Option<Arc<RecoveryContext>> {
+        self.attach_tagged(faults, None)
+    }
+
+    /// [`ClusterRecovery::attach`] for a journaled query: a tag always
+    /// attaches (the journal and resume machinery need a context even when
+    /// no fault plan is armed), and the tag's statement fingerprint
+    /// replaces the per-cluster sequence number as the checkpoint
+    /// namespace — stable across a process restart, which is what lets a
+    /// resumed execution find the crashed run's durable frames.
+    pub fn attach_tagged(
+        self: &Arc<Self>,
+        faults: Option<&fudj_core::FaultConfig>,
+        tag: Option<&QueryTag>,
+    ) -> Option<Arc<RecoveryContext>> {
         let deaths_armed = faults.map(|f| f.worker_death_prob > 0.0).unwrap_or(false);
-        let needed = deaths_armed
+        let needed = tag.is_some()
+            || deaths_armed
             || self.policy.lock().enabled()
             || self.membership.quarantine_threshold() > 0
             || self.membership.active_count() < self.membership.size();
         if !needed {
             return None;
         }
+        let query = match tag {
+            Some(t) => t.fingerprint,
+            None => self.query_seq.fetch_add(1, Ordering::Relaxed),
+        };
         Some(Arc::new(RecoveryContext {
             shared: Arc::clone(self),
-            query: self.query_seq.fetch_add(1, Ordering::Relaxed),
+            query,
             deaths_armed,
+            journal: tag.and_then(|t| t.journal.clone()),
+            resume: Mutex::new(tag.and_then(|t| t.resume.clone())),
+            consumed_seed: Mutex::new(None),
             cells: RecoveryCells::default(),
         }))
     }
@@ -446,6 +546,12 @@ pub struct RecoveryContext {
     shared: Arc<ClusterRecovery>,
     query: u64,
     deaths_armed: bool,
+    /// Journal sink for `StageCommitted` records (journaled queries only).
+    journal: Option<Arc<dyn QueryJournal>>,
+    /// Pending resume point; taken by the first stage that matches it.
+    resume: Mutex<Option<ResumeSpec>>,
+    /// Counter seed of a consumed resume, applied at snapshot time.
+    consumed_seed: Mutex<Option<CounterSeed>>,
     cells: RecoveryCells,
 }
 
@@ -512,6 +618,74 @@ impl RecoveryContext {
         self.shared.store.remove_query(self.query);
     }
 
+    /// The journal sink, when this query is journaled.
+    pub fn journal(&self) -> Option<&Arc<dyn QueryJournal>> {
+        self.journal.as_ref()
+    }
+
+    /// The counter seed of a consumed resume, if any — applied by
+    /// [`crate::metrics::QueryMetrics::snapshot`] so the skipped upstream
+    /// work still shows up in the final counters.
+    pub fn seed(&self) -> Option<CounterSeed> {
+        self.consumed_seed.lock().clone()
+    }
+
+    /// Attempt to resume execution at `stage`: when the pending resume
+    /// point names this stage, restore every partition of every named
+    /// dataset from the durable checkpoint tier. Returns the restored
+    /// datasets (in `datasets` order, `nparts` partitions each) on
+    /// success. A non-matching stage leaves the resume point pending for
+    /// the site that owns it. A matching stage with any missing or
+    /// undecodable partition consumes the resume point, counts a
+    /// [`RecoveryStats::resume_full_replays`], and returns `None` — the
+    /// caller re-executes from scratch, which is always correct.
+    pub fn try_resume(
+        &self,
+        stage: &str,
+        datasets: &[&str],
+        nparts: usize,
+    ) -> Option<Vec<PartitionedData>> {
+        let spec = {
+            let mut pending = self.resume.lock();
+            match pending.as_ref() {
+                Some(spec) if spec.stage == stage => pending.take()?,
+                _ => return None,
+            }
+        };
+        let mut restored: Vec<PartitionedData> = Vec::with_capacity(datasets.len());
+        let mut rows_restored = 0u64;
+        for name in datasets {
+            let mut parts: PartitionedData = Vec::with_capacity(nparts);
+            for p in 0..nparts {
+                match self.store().get(self.query, &format!("{stage}/{name}"), p) {
+                    Some(Ok(rows)) => {
+                        rows_restored += rows.len() as u64;
+                        parts.push(rows);
+                    }
+                    // A miss or a quarantined/undecodable frame: the
+                    // committed boundary is not fully covered on disk
+                    // (budget eviction or torn frames), so replay fully.
+                    Some(Err(_)) | None => {
+                        self.cells
+                            .resume_full_replays
+                            .fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                }
+            }
+            restored.push(parts);
+        }
+        self.cells.stages_resumed.fetch_add(1, Ordering::Relaxed);
+        self.cells
+            .checkpoints_read
+            .fetch_add((datasets.len() * nparts) as u64, Ordering::Relaxed);
+        self.cells
+            .resume_rows_restored
+            .fetch_add(rows_restored, Ordering::Relaxed);
+        *self.consumed_seed.lock() = Some(spec.seed);
+        Some(restored)
+    }
+
     fn note_put(&self, outcome: PutOutcome) {
         self.cells
             .checkpoints_written
@@ -538,6 +712,9 @@ impl RecoveryContext {
             full_stage_replays: get(&c.full_stage_replays),
             deaths_survived: get(&c.deaths_survived),
             workers_quarantined: get(&c.workers_quarantined),
+            stages_resumed: get(&c.stages_resumed),
+            resume_rows_restored: get(&c.resume_rows_restored),
+            resume_full_replays: get(&c.resume_full_replays),
         }
     }
 }
@@ -567,15 +744,35 @@ pub fn stage_boundary(
         return Ok(());
     };
 
-    // 1. Snapshot this stage's partitions, dataset by dataset.
+    // 1. Snapshot this stage's partitions, dataset by dataset. A put can
+    // now fail (the durable tier write-through hits injected crash
+    // sites); the error propagates so a crashed boundary is never
+    // journaled as committed.
     if rec.policy_covers(stage) {
         for (name, parts) in datasets.iter() {
             for (p, rows) in parts.iter().enumerate() {
                 let outcome = rec
                     .store()
-                    .put(rec.query(), &format!("{stage}/{name}"), p, rows);
+                    .put(rec.query(), &format!("{stage}/{name}"), p, rows)?;
                 rec.note_put(outcome);
             }
+        }
+        // 1b. Journal the boundary as durably committed — strictly after
+        // every frame of the stage is on disk, so a `StageCommitted`
+        // record always implies restorable coverage (modulo later budget
+        // eviction, which resume detects and survives via full replay).
+        if let Some(journal) = rec.journal() {
+            let snap = metrics.snapshot();
+            journal.stage_committed(
+                rec.query(),
+                stage,
+                &crate::metrics::flatten_counters(&snap),
+                &snap
+                    .phases
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>(),
+            )?;
         }
     }
 

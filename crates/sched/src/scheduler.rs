@@ -70,6 +70,11 @@ pub struct QuerySpec {
     /// Execution-mode override (`SET exec_mode`); the executor default
     /// ([`ExecMode::from_env`]) applies when unset.
     pub exec_mode: Option<ExecMode>,
+    /// Crash-tolerance identity of a journaled query: stable checkpoint
+    /// namespace, stage-commit journal sink, and an optional resume point
+    /// recovered from the durable query journal. `None` (the default)
+    /// executes exactly as before.
+    pub tag: Option<fudj_exec::QueryTag>,
 }
 
 impl QuerySpec {
@@ -82,6 +87,7 @@ impl QuerySpec {
             deadline_ms: None,
             memory_budget_rows: None,
             exec_mode: None,
+            tag: None,
         }
     }
 
@@ -106,6 +112,12 @@ impl QuerySpec {
 
     pub fn with_memory_budget_rows(mut self, rows: u64) -> Self {
         self.memory_budget_rows = Some(rows);
+        self
+    }
+
+    /// Attach a crash-tolerance [`fudj_exec::QueryTag`].
+    pub fn with_query_tag(mut self, tag: fudj_exec::QueryTag) -> Self {
+        self.tag = Some(tag);
         self
     }
 }
@@ -307,7 +319,7 @@ impl SchedState {
         for k in 0..n {
             let idx = (self.rr_cursor + k) % n;
             let cand = self.running[idx];
-            let Some(job) = self.jobs.get(&cand) else {
+            let Some(job) = self.jobs.get_mut(&cand) else {
                 continue;
             };
             if !job.waiting {
@@ -316,10 +328,6 @@ impl SchedState {
             if cand != id {
                 return false;
             }
-            let job = self
-                .jobs
-                .get_mut(&cand)
-                .expect("job checked present just above");
             job.credits = job.credits.saturating_sub(1);
             if job.credits == 0 {
                 job.credits = job.priority.max(1);
@@ -561,9 +569,10 @@ impl Scheduler {
         let plan = spec.plan.clone();
         let label = spec.label.clone();
         let mode = spec.exec_mode.unwrap_or_else(ExecMode::from_env);
+        let tag = spec.tag.clone();
         std::thread::Builder::new()
             .name(format!("fudj-sched-job-{id}"))
-            .spawn(move || run_job(inner, cluster, plan, id, ctrl, mode, tx))
+            .spawn(move || run_job(inner, cluster, plan, id, ctrl, mode, tag, tx))
             .map_err(|e| FudjError::Execution(format!("failed to spawn job thread: {e}")))?;
         Ok(JobHandle {
             id,
@@ -625,6 +634,7 @@ impl Scheduler {
 /// Body of one job's coordinator thread: wait for admission, execute the
 /// plan under the control plane, classify the outcome, release admission
 /// resources, deliver the result.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     inner: Arc<SchedInner>,
     cluster: Cluster,
@@ -632,6 +642,7 @@ fn run_job(
     id: u64,
     ctrl: Arc<QueryControl>,
     mode: ExecMode,
+    tag: Option<fudj_exec::QueryTag>,
     tx: mpsc::Sender<Result<JobOutput>>,
 ) {
     // Admission wait: parked until the FIFO queue hands this job a slot.
@@ -658,7 +669,7 @@ fn run_job(
         ctrl: ctrl.clone(),
     });
     let result = cluster
-        .execute_with_mode(&plan, Some(ctrl.clone()), Some(gate), mode)
+        .execute_with_opts(&plan, Some(ctrl.clone()), Some(gate), mode, tag)
         .map(|(batch, metrics)| (batch, metrics.snapshot()));
 
     let final_state = match &result {

@@ -159,7 +159,7 @@ impl ServingTier {
         sql: &str,
     ) -> Result<QueryOutput> {
         match parse(sql)? {
-            Statement::Select(sel) => self.serve_select(tenant, priority, &sel),
+            Statement::Select(sel) => self.serve_select(tenant, priority, &sel, sql),
             Statement::Execute { name, params } => {
                 let template = self.session.prepared_statement(&name).ok_or_else(|| {
                     FudjError::Execution(format!(
@@ -171,7 +171,7 @@ impl ServingTier {
                     .map(fudj_sql::fingerprint::literal_value)
                     .collect::<Result<Vec<_>>>()?;
                 let bound = fudj_sql::substitute_params(&template, &values)?;
-                self.serve_select(tenant, priority, &bound)
+                self.serve_select(tenant, priority, &bound, sql)
             }
             Statement::Prepare { name, select } => {
                 self.session.prepare_statement(&name, select);
@@ -205,11 +205,21 @@ impl ServingTier {
         })
     }
 
+    /// Drain the session's journal-driven resume results: queries (SELECT
+    /// or EXECUTE) that were in flight when the previous process died,
+    /// re-executed exactly once by the reopening `SET wal_dir`. A serving
+    /// deployment calls this after restart to deliver the recovered
+    /// results; the tier's caches start cold, so nothing stale survives.
+    pub fn take_resumed(&self) -> Vec<fudj_sql::ResumedQuery> {
+        self.session.take_resumed()
+    }
+
     fn serve_select(
         &self,
         tenant: u32,
         priority: u32,
         sel: &SelectStatement,
+        sql: &str,
     ) -> Result<QueryOutput> {
         let config = self.session.serving_config();
         let shape = fudj_sql::shape_of(sel);
@@ -286,6 +296,13 @@ impl ServingTier {
         if let Some(budget) = options.memory_budget_rows {
             spec = spec.with_memory_budget_rows(budget as u64);
         }
+        // Journal the statement (verbatim text) when `checkpoint_durable`
+        // is armed: a crash mid-execution leaves it in-flight in the WAL,
+        // and the next restart re-executes it exactly once.
+        let tag = self.session.journal_submit(sql)?;
+        if let Some(tag) = &tag {
+            spec = spec.with_query_tag(tag.clone());
+        }
         let handle = match self.session.scheduler().submit(spec) {
             Ok(handle) => {
                 let queued = self
@@ -306,6 +323,9 @@ impl ServingTier {
             }
         };
         let (batch, mut snapshot) = handle.wait()?;
+        if let Some(tag) = &tag {
+            self.session.journal_finish(tag)?;
+        }
 
         let mut state = self.lock();
         state.record_latency(tenant, snapshot.sim_clock_ms);

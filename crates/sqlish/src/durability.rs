@@ -62,6 +62,40 @@ impl CatalogSink for WalHook {
     }
 }
 
+/// Journal sink handed to the executor through a
+/// [`fudj_exec::QueryTag`]: each resumable stage boundary of a journaled
+/// query logs a `StageCommitted` record *after* its checkpoint frames
+/// are durable, through the `journal:stage` crash site.
+pub(crate) struct JournalHook {
+    store: Arc<DurableStore>,
+}
+
+impl JournalHook {
+    pub(crate) fn new(store: Arc<DurableStore>) -> Arc<Self> {
+        Arc::new(JournalHook { store })
+    }
+}
+
+impl fudj_exec::QueryJournal for JournalHook {
+    fn stage_committed(
+        &self,
+        fingerprint: u64,
+        stage: &str,
+        counters: &[(String, u64)],
+        phases: &[String],
+    ) -> Result<()> {
+        self.store.append_journal(
+            &WalRecord::StageCommitted {
+                fingerprint,
+                stage: stage.to_owned(),
+                counters: counters.to_vec(),
+                phases: phases.to_vec(),
+            },
+            "journal:stage",
+        )
+    }
+}
+
 impl RegistrySink for WalHook {
     fn on_event(&self, event: RegistryEvent<'_>) -> Result<()> {
         let record = match event {

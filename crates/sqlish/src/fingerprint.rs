@@ -286,6 +286,14 @@ fn op_text(op: AstBinOp) -> &'static str {
     }
 }
 
+/// Stable fingerprint of a statement's verbatim text. Keys the query
+/// journal across restarts: the resuming process recomputes the same
+/// value from the journaled SQL, so durable checkpoints written under
+/// this fingerprint are found again after a crash.
+pub fn statement_fingerprint(sql: &str) -> u64 {
+    fnv1a(sql.as_bytes())
+}
+
 /// FNV-1a, 64-bit: tiny, dependency-free, stable across runs and
 /// platforms (unlike `DefaultHasher`, whose seed is unspecified).
 fn fnv1a(bytes: &[u8]) -> u64 {

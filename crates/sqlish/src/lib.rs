@@ -25,6 +25,8 @@ pub mod lexer;
 pub mod parser;
 pub mod session;
 
-pub use fingerprint::{param_count, shape_of, substitute_params, StatementShape};
+pub use fingerprint::{
+    param_count, shape_of, statement_fingerprint, substitute_params, StatementShape,
+};
 pub use parser::parse;
-pub use session::{QueryOutput, ServingConfig, Session};
+pub use session::{QueryOutput, ResumedQuery, ServingConfig, Session};

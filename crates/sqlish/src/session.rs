@@ -2,15 +2,22 @@
 
 use crate::ast::{SelectStatement, Statement};
 use crate::binder::bind_select;
-use crate::durability::{self, WalHook};
+use crate::durability::{self, JournalHook, WalHook};
 use crate::fingerprint;
 use crate::parser::parse;
 use fudj_core::{GuardConfig, GuardMode, JoinLibrary, JoinRegistry, UdfPolicy};
-use fudj_exec::{Cluster, ExecMode, MetricsSnapshot, NetworkModel, PhysicalPlan, WorkerInfo};
+use fudj_exec::{
+    Cluster, CounterSeed, ExecMode, MetricsSnapshot, NetworkModel, PhysicalPlan, QueryTag,
+    ResumeSpec, WorkerInfo,
+};
 use fudj_planner::PlanOptions;
 use fudj_sched::{JobHandle, QuerySpec, Scheduler};
+use fudj_storage::wal::WalRecord;
 use fudj_storage::CheckpointPolicy;
-use fudj_storage::{Catalog, Dataset, DiskFs, DurableStore, FaultFs, StorageFaultConfig, Vfs};
+use fudj_storage::{
+    fold_journal, Catalog, Dataset, DiskFs, DurableStore, FaultFs, PendingQuery,
+    StorageFaultConfig, Vfs, CHECKPOINT_DIR,
+};
 use fudj_types::{Batch, FudjError, Result};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -88,6 +95,38 @@ struct SessionVars {
     result_cache_entries: Option<usize>,
     /// Serving-tier result cache switch (`SET result_cache = on|off`).
     result_cache_enabled: Option<bool>,
+    /// Whether stage checkpoints of journaled queries write through to
+    /// the durable store (`SET checkpoint_durable = on|off`). Remembered
+    /// here so it also arms a store opened *after* the `SET`.
+    checkpoint_durable: bool,
+}
+
+/// Stages a crashed query can resume from: their checkpoints carry the
+/// complete post-boundary input (`join:combine` holds the joined rows
+/// before duplicate handling, `agg:shuffle` the shuffled partials before
+/// the final merge). Earlier boundaries need in-memory state a restart
+/// cannot reconstruct, so they fall back to full replay.
+const RESUMABLE_STAGES: &[&str] = &["join:combine", "agg:shuffle"];
+
+/// Outcome of one journal-driven resume performed while reopening a WAL:
+/// a query that was submitted but not finished when the process died,
+/// re-executed to completion (exactly-once — its `QueryFinished` record
+/// is logged before the result is handed over).
+#[derive(Debug)]
+pub struct ResumedQuery {
+    /// Stable statement fingerprint from the journal.
+    pub fingerprint: u64,
+    /// The journaled SQL text, verbatim.
+    pub sql: String,
+    /// Stage boundary the re-execution restarted from; `None` means no
+    /// resumable boundary had committed (full replay). The executor may
+    /// still fall back to full replay when the checkpoints under this
+    /// boundary turn out lost or corrupt — `RecoveryStats` counts that.
+    pub resumed_from: Option<String>,
+    /// The re-executed result (rows + metrics — the snapshot carries the
+    /// journal's counter seed, so it equals an uninterrupted run's), or
+    /// why the resume failed.
+    pub result: Result<(Batch, Box<MetricsSnapshot>)>,
 }
 
 /// Largest accepted cache capacity: caches are per-tier in-memory maps,
@@ -169,8 +208,16 @@ pub struct Session {
     /// Armed storage-fault plan (`\chaos disk`): the *next* `SET wal_dir`
     /// opens its store over a fault-injecting in-memory filesystem.
     disk_faults: Mutex<Option<StorageFaultConfig>>,
+    /// The simulated disk behind the last fault-armed `SET wal_dir`, keyed
+    /// by dir. Reopening the same dir reuses it — that reopen *is* the
+    /// process restart, so the surviving bytes (and the query journal)
+    /// must still be there for resume.
+    fault_disk: Mutex<Option<(String, Arc<FaultFs>)>>,
     /// Named templates from `PREPARE`, consumed by `EXECUTE`.
     prepared: Mutex<HashMap<String, SelectStatement>>,
+    /// Results of journal-driven resumes from the last `SET wal_dir`,
+    /// drained by [`Session::take_resumed`].
+    resumed: Mutex<Vec<ResumedQuery>>,
 }
 
 impl Session {
@@ -186,7 +233,9 @@ impl Session {
             vars: Mutex::new(SessionVars::default()),
             durable: Mutex::new(None),
             disk_faults: Mutex::new(None),
+            fault_disk: Mutex::new(None),
             prepared: Mutex::new(HashMap::new()),
+            resumed: Mutex::new(Vec::new()),
         }
     }
 
@@ -332,6 +381,13 @@ impl Session {
             .clone()
     }
 
+    /// Drain the results of journal-driven resumes performed by the last
+    /// `SET wal_dir`: each entry is a query the previous process had
+    /// submitted but not finished, now re-executed exactly once.
+    pub fn take_resumed(&self) -> Vec<ResumedQuery> {
+        std::mem::take(&mut *self.resumed.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
     /// Arm (or with `None`, disarm) deterministic storage faults. Takes
     /// effect at the *next* `SET wal_dir`, which then opens its store over
     /// a fault-injecting in-memory filesystem instead of the real disk.
@@ -352,10 +408,36 @@ impl Session {
     /// subsequent catalog, registry, and append mutation. Equivalent to
     /// `SET wal_dir = <dir>`.
     pub fn open_wal(&self, dir: &str) -> Result<()> {
-        let vfs: Arc<dyn Vfs> = match self.disk_faults() {
-            Some(cfg) => FaultFs::new(cfg),
-            None => Arc::new(DiskFs::new()),
+        let armed = self.disk_faults();
+        let vfs: Arc<dyn Vfs> = {
+            let mut disk = self.fault_disk.lock().unwrap_or_else(|e| e.into_inner());
+            match (disk.as_ref(), armed) {
+                // Reopening the dir whose simulated disk we already hold:
+                // this reopen *is* the process restart. Keep the surviving
+                // bytes, clear the crash poison, disarm the fired crash
+                // point — `open_wal_with` then journal-resumes whatever
+                // the previous incarnation left unfinished. A freshly
+                // armed plan still applies (a resume can crash again).
+                (Some((d, fs)), cfg) if d == dir => {
+                    let fs = fs.clone();
+                    fs.reopen_after_crash();
+                    fs.set_config(cfg.unwrap_or_else(|| StorageFaultConfig::quiet(0)));
+                    fs
+                }
+                (_, Some(cfg)) => {
+                    let fs = FaultFs::new(cfg);
+                    *disk = Some((dir.to_owned(), fs.clone()));
+                    fs
+                }
+                (_, None) => Arc::new(DiskFs::new()),
+            }
         };
+        // A crash plan is one-shot: it poisons the store this open
+        // creates, and the reopen that follows plays the restart — so
+        // consume it now rather than crash the resume at the same site.
+        if self.disk_faults().is_some_and(|c| c.crash_point.is_some()) {
+            self.set_disk_faults(None);
+        }
         self.open_wal_with(dir, vfs)
     }
 
@@ -381,8 +463,173 @@ impl Session {
         }
         self.catalog.set_sink(Some(hook.clone()));
         self.registry.set_sink(Some(hook));
-        *self.durable.lock().unwrap_or_else(|e| e.into_inner()) = Some(store);
+        *self.durable.lock().unwrap_or_else(|e| e.into_inner()) = Some(store.clone());
+
+        // Crash-restart resumption: fold the recovered query journal into
+        // pending queries and re-execute each from its last durably
+        // committed stage boundary. The durable checkpoint tier attaches
+        // first (resume reads its frames); when only the resume needed it
+        // — `checkpoint_durable` is off this session — it detaches again
+        // and the checkpoint policy reverts.
+        let pending = fold_journal(&recovered.journal);
+        let durable_vars = self.vars().checkpoint_durable;
+        let prior_policy = self.cluster.checkpoint_policy();
+        if durable_vars || !pending.is_empty() {
+            self.attach_checkpoint_tier(&store)?;
+        }
+        if !pending.is_empty() {
+            let results: Vec<ResumedQuery> = pending
+                .into_iter()
+                .map(|query| self.resume_pending(&store, query))
+                .collect();
+            self.resumed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(results);
+            if !durable_vars {
+                self.cluster.checkpoints().detach_durable();
+                self.cluster.set_checkpoint_policy(prior_policy);
+            }
+        }
         Ok(())
+    }
+
+    /// Route the cluster's checkpoint store through the durable store's
+    /// filesystem (same fault plan covers WAL and checkpoints), enabling
+    /// checkpointing when it was off — a durable tier with no boundaries
+    /// to persist would be inert.
+    fn attach_checkpoint_tier(&self, store: &DurableStore) -> Result<()> {
+        let dir = store.dir().join(CHECKPOINT_DIR);
+        self.cluster
+            .checkpoints()
+            .attach_durable(store.vfs(), dir)?;
+        if matches!(self.cluster.checkpoint_policy(), CheckpointPolicy::Off) {
+            self.cluster.set_checkpoint_policy(CheckpointPolicy::All);
+        }
+        Ok(())
+    }
+
+    /// Re-execute one unfinished journaled query during WAL reopen.
+    fn resume_pending(&self, store: &Arc<DurableStore>, query: PendingQuery) -> ResumedQuery {
+        let resumed_from = query
+            .committed
+            .iter()
+            .rev()
+            .find(|c| RESUMABLE_STAGES.contains(&c.stage.as_str()))
+            .map(|c| c.stage.clone());
+        let result = self.resume_execute(store, &query);
+        ResumedQuery {
+            fingerprint: query.fingerprint,
+            sql: query.sql,
+            resumed_from,
+            result,
+        }
+    }
+
+    /// Plan the journaled SQL under its journaled options and execute it
+    /// with a resume spec pointing at the last committed resumable stage
+    /// (none committed → full replay). Logs `QueryFinished` *before*
+    /// returning the rows: a crash in between re-runs the query on the
+    /// next reopen, but a delivered result is never re-delivered.
+    fn resume_execute(
+        &self,
+        store: &Arc<DurableStore>,
+        query: &PendingQuery,
+    ) -> Result<(Batch, Box<MetricsSnapshot>)> {
+        let sel = match parse(&query.sql)? {
+            Statement::Select(sel) => sel,
+            // In-flight EXECUTEs journal their verbatim text; the serving
+            // deployment re-PREPAREs its templates at boot (before `SET
+            // wal_dir`), so the name resolves again here.
+            Statement::Execute { name, params } => {
+                let template = self.prepared_statement(&name).ok_or_else(|| {
+                    FudjError::Storage(format!(
+                        "journaled EXECUTE references unprepared statement {name:?} \
+                         (re-PREPARE it before SET wal_dir)"
+                    ))
+                })?;
+                let values = params
+                    .iter()
+                    .map(fingerprint::literal_value)
+                    .collect::<Result<Vec<_>>>()?;
+                fingerprint::substitute_params(&template, &values)?
+            }
+            other => {
+                return Err(FudjError::Storage(format!(
+                    "query journal replayed a non-SELECT statement: {other:?}"
+                )))
+            }
+        };
+        let options = self.options_from_journal(&query.options);
+        let logical = bind_select(&sel, &self.catalog)?;
+        let physical = fudj_planner::plan(logical, &self.registry, &options)?;
+        let resume = query
+            .committed
+            .iter()
+            .rev()
+            .find(|c| RESUMABLE_STAGES.contains(&c.stage.as_str()))
+            .map(|c| ResumeSpec {
+                stage: c.stage.clone(),
+                seed: CounterSeed {
+                    counters: c.counters.clone(),
+                    phases: c.phases.clone(),
+                },
+            });
+        let tag = QueryTag {
+            fingerprint: query.fingerprint,
+            journal: Some(JournalHook::new(store.clone())),
+            resume,
+        };
+        let (batch, snapshot) =
+            self.execute_physical_tagged(&physical, options.exec_mode, Some(tag))?;
+        store.append_journal(
+            &WalRecord::QueryFinished {
+                fingerprint: query.fingerprint,
+            },
+            "journal:finish",
+        )?;
+        Ok((batch, Box::new(snapshot)))
+    }
+
+    /// The session knobs a resumed query must be re-planned under,
+    /// serialized into the `QuerySubmitted` journal record.
+    fn journal_options(&self) -> Vec<(String, String)> {
+        let options = self.effective_options();
+        let mut pairs = Vec::new();
+        if let Some(mode) = options.exec_mode {
+            let name = match mode {
+                ExecMode::Row => "row",
+                ExecMode::Columnar => "columnar",
+            };
+            pairs.push(("exec_mode".to_owned(), name.to_owned()));
+        }
+        if let Some(n) = options.memory_budget_rows {
+            pairs.push(("memory_budget_rows".to_owned(), n.to_string()));
+        }
+        if let Some(n) = options.spill_fanout {
+            pairs.push(("spill_fanout".to_owned(), n.to_string()));
+        }
+        if let Some(n) = options.spill_recursion_limit {
+            pairs.push(("spill_recursion_limit".to_owned(), n.to_string()));
+        }
+        pairs
+    }
+
+    /// Invert [`Session::journal_options`]: the session's base planner
+    /// options with the journaled knobs re-applied. Unknown keys are
+    /// ignored (a newer process replaying an older journal).
+    fn options_from_journal(&self, pairs: &[(String, String)]) -> PlanOptions {
+        let mut options = self.options.clone();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "exec_mode" => options.exec_mode = ExecMode::parse(value),
+                "memory_budget_rows" => options.memory_budget_rows = value.parse().ok(),
+                "spill_fanout" => options.spill_fanout = value.parse().ok(),
+                "spill_recursion_limit" => options.spill_recursion_limit = value.parse().ok(),
+                _ => {}
+            }
+        }
+        options
     }
 
     /// Detach the durable store (`SET wal_dir = off`). Already-logged
@@ -444,7 +691,23 @@ impl Session {
         physical: &PhysicalPlan,
         exec_mode: Option<ExecMode>,
     ) -> Result<(Batch, MetricsSnapshot)> {
-        let (batch, metrics) = self.cluster.execute_mode(physical, exec_mode)?;
+        self.execute_physical_tagged(physical, exec_mode, None)
+    }
+
+    /// [`Session::execute_physical`] plus a crash-tolerance [`QueryTag`]:
+    /// the tag pins the checkpoint namespace to the statement fingerprint,
+    /// routes stage commits into the query journal, and — when resuming —
+    /// carries the journal's resume point.
+    pub fn execute_physical_tagged(
+        &self,
+        physical: &PhysicalPlan,
+        exec_mode: Option<ExecMode>,
+        tag: Option<QueryTag>,
+    ) -> Result<(Batch, MetricsSnapshot)> {
+        let mode = exec_mode.unwrap_or_else(ExecMode::from_env);
+        let (batch, metrics) = self
+            .cluster
+            .execute_with_opts(physical, None, None, mode, tag)?;
         let mut snapshot = metrics.snapshot();
         if let Some(store) = self.durable() {
             // Durability is session-scoped (one WAL outlives many
@@ -460,6 +723,66 @@ impl Session {
         let exec_mode = self.effective_options().exec_mode;
         let (batch, snapshot) = self.execute_physical(&physical, exec_mode)?;
         Ok(QueryOutput::Rows(batch, Box::new(snapshot)))
+    }
+
+    /// [`Session::run_select`] with the query journal armed when `SET
+    /// checkpoint_durable = on` over an open WAL: `QuerySubmitted` is
+    /// logged before execution, stage boundaries journal through the
+    /// [`QueryTag`], and `QueryFinished` seals the entry after the
+    /// result materializes. A crash anywhere in between leaves a journal
+    /// the next `SET wal_dir` resumes from.
+    fn run_select_journaled(&self, sel: &SelectStatement, sql: &str) -> Result<QueryOutput> {
+        let physical = self.plan_select(sel)?;
+        let exec_mode = self.effective_options().exec_mode;
+        let Some(tag) = self.journal_submit(sql)? else {
+            let (batch, snapshot) = self.execute_physical(&physical, exec_mode)?;
+            return Ok(QueryOutput::Rows(batch, Box::new(snapshot)));
+        };
+        let (batch, snapshot) =
+            self.execute_physical_tagged(&physical, exec_mode, Some(tag.clone()))?;
+        self.journal_finish(&tag)?;
+        Ok(QueryOutput::Rows(batch, Box::new(snapshot)))
+    }
+
+    /// When the query journal is armed (`SET checkpoint_durable = on`
+    /// over an open WAL), log `QuerySubmitted` for `sql` and return the
+    /// [`QueryTag`] its execution must carry; `None` when journaling is
+    /// off. The caller seals the entry with [`Session::journal_finish`]
+    /// once the result has been delivered — a crash in between leaves a
+    /// journal the next `SET wal_dir` resumes from.
+    pub fn journal_submit(&self, sql: &str) -> Result<Option<QueryTag>> {
+        let store = match self.durable() {
+            Some(store) if self.vars().checkpoint_durable => store,
+            _ => return Ok(None),
+        };
+        let fingerprint = fingerprint::statement_fingerprint(sql);
+        store.append_journal(
+            &WalRecord::QuerySubmitted {
+                fingerprint,
+                sql: sql.to_owned(),
+                options: self.journal_options(),
+            },
+            "journal:submit",
+        )?;
+        Ok(Some(QueryTag {
+            fingerprint,
+            journal: Some(JournalHook::new(store)),
+            resume: None,
+        }))
+    }
+
+    /// Seal a journaled query: its result has been delivered, so the
+    /// journal entry and its durable checkpoints are dead on replay.
+    pub fn journal_finish(&self, tag: &QueryTag) -> Result<()> {
+        if let Some(store) = self.durable() {
+            store.append_journal(
+                &WalRecord::QueryFinished {
+                    fingerprint: tag.fingerprint,
+                },
+                "journal:finish",
+            )?;
+        }
+        Ok(())
     }
 
     /// Apply one `SET key = value`. Scheduler knobs take effect for every
@@ -539,6 +862,29 @@ impl Session {
                 };
                 self.cluster.set_checkpoint_policy(policy);
             }
+            "checkpoint_durable" => {
+                let on = if value.eq_ignore_ascii_case("on") {
+                    true
+                } else if value.eq_ignore_ascii_case("off") {
+                    false
+                } else {
+                    return Err(FudjError::Execution(format!(
+                        "SET checkpoint_durable expects on or off, got {value:?}"
+                    )));
+                };
+                vars.checkpoint_durable = on;
+                drop(vars);
+                if on {
+                    // Arms immediately when a WAL is already open;
+                    // otherwise the next `SET wal_dir` attaches the tier
+                    // (the knob is remembered, like durability).
+                    if let Some(store) = self.durable() {
+                        self.attach_checkpoint_tier(&store)?;
+                    }
+                } else {
+                    self.cluster.checkpoints().detach_durable();
+                }
+            }
             "worker_quarantine_threshold" => {
                 self.cluster
                     .set_quarantine_threshold(optional()?.unwrap_or(0));
@@ -605,9 +951,9 @@ impl Session {
                      admission_queue_limit, memory_quota_rows, stage_slots, priority, \
                      deadline_ms, memory_budget_rows, spill_fanout, \
                      spill_recursion_limit, exec_mode, checkpoint_budget_bytes, \
-                     checkpoint_stages, worker_quarantine_threshold, wal_dir, \
-                     durability, plan_cache_entries, result_cache_entries, \
-                     or result_cache)"
+                     checkpoint_stages, checkpoint_durable, \
+                     worker_quarantine_threshold, wal_dir, durability, \
+                     plan_cache_entries, result_cache_entries, or result_cache)"
                 )))
             }
         }
@@ -674,7 +1020,7 @@ impl Session {
                 Ok(QueryOutput::Ack(format!("dropped join {name}")))
             }
             Statement::Set { key, value } => self.apply_set(&key, &value),
-            Statement::Select(sel) => self.run_select(&sel),
+            Statement::Select(sel) => self.run_select_journaled(&sel, sql),
             Statement::Prepare { name, select } => {
                 let params = fingerprint::param_count(&select);
                 self.prepare_statement(&name, select);
@@ -1272,6 +1618,145 @@ mod tests {
             .unwrap();
         assert_eq!(s2.catalog().get("kv").unwrap().len(), 21);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_durable_journals_and_seals_queries() {
+        let dir = wal_test_dir("journal-seal");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let s = Session::new(2);
+            s.install_library(standard_library());
+            s.register_dataset(kv_dataset()).unwrap();
+            // Knob set before the WAL opens is remembered (like
+            // durability) and arms the tier at open.
+            s.execute("SET checkpoint_durable = on").unwrap();
+            s.execute(&format!("SET wal_dir = '{}'", dir.display()))
+                .unwrap();
+            assert!(s.cluster().checkpoints().durable_enabled());
+            let store = s.durable().unwrap();
+            let before = store.stats().journal_records_appended;
+            let batch = s
+                .query("SELECT k.tag, COUNT(*) AS c FROM kv k GROUP BY k.tag")
+                .unwrap();
+            assert_eq!(batch.len(), 1);
+            let stats = store.stats();
+            assert!(
+                stats.journal_records_appended >= before + 3,
+                "submit + at least one stage commit + finish, got {}",
+                stats.journal_records_appended - before
+            );
+            let ckpt = s.cluster().checkpoints().stats();
+            assert!(ckpt.durable_frames_written > 0, "{ckpt:?}");
+            assert_eq!(
+                s.cluster().checkpoints().durable_frames(),
+                Vec::<String>::new(),
+                "finished queries drop their durable frames eagerly"
+            );
+
+            let err = s.execute("SET checkpoint_durable = maybe").unwrap_err();
+            assert!(err.to_string().contains("expects on or off"), "{err}");
+            s.execute("SET checkpoint_durable = off").unwrap();
+            assert!(!s.cluster().checkpoints().durable_enabled());
+        }
+        // Reopen: every journaled query finished, so nothing resumes.
+        let s2 = Session::new(2);
+        s2.install_library(standard_library());
+        s2.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        assert!(
+            s2.take_resumed().is_empty(),
+            "sealed journal resumes nothing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unfinished_journaled_query_resumes_exactly_once_on_reopen() {
+        let dir = wal_test_dir("journal-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sql = "SELECT COUNT(*) AS c FROM kv k";
+        {
+            let s = Session::new(2);
+            s.install_library(standard_library());
+            s.register_dataset(kv_dataset()).unwrap();
+            s.execute(&format!("SET wal_dir = '{}'", dir.display()))
+                .unwrap();
+            // Simulate a crash after submit: the journal holds a
+            // QuerySubmitted with no QueryFinished.
+            let store = s.durable().unwrap();
+            store
+                .append_journal(
+                    &WalRecord::QuerySubmitted {
+                        fingerprint: fingerprint::statement_fingerprint(sql),
+                        sql: sql.to_owned(),
+                        options: Vec::new(),
+                    },
+                    "journal:submit",
+                )
+                .unwrap();
+        }
+        // First reopen resumes it (full replay — no stage committed)…
+        let s2 = Session::new(2);
+        s2.install_library(standard_library());
+        s2.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        let mut resumed = s2.take_resumed();
+        assert_eq!(resumed.len(), 1, "one pending query");
+        let r = resumed.pop().unwrap();
+        assert_eq!(r.sql, sql);
+        assert_eq!(r.resumed_from, None, "no boundary committed");
+        let (batch, _snapshot) = r.result.unwrap();
+        assert_eq!(batch.rows()[0].get(0).as_i64().unwrap(), 1);
+        assert!(
+            !s2.cluster().checkpoints().durable_enabled(),
+            "resume-only attach detaches after replay when the knob is off"
+        );
+        // …and seals it: the second reopen finds a finished journal.
+        let s3 = Session::new(2);
+        s3.install_library(standard_library());
+        s3.execute(&format!("SET wal_dir = '{}'", dir.display()))
+            .unwrap();
+        assert!(
+            s3.take_resumed().is_empty(),
+            "QueryFinished sealed the resume — exactly once"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_crash_open_reopens_same_simulated_disk_and_resumes() {
+        let sql = "SELECT COUNT(*) AS c FROM kv k";
+        let s = Session::new(2);
+        s.install_library(standard_library());
+        s.register_dataset(kv_dataset()).unwrap();
+        s.execute("SET checkpoint_durable = on").unwrap();
+        // `\chaos crash`: the next SET wal_dir opens over a simulated
+        // disk that dies at the first query submission (journal durable,
+        // execution never ran).
+        s.set_disk_faults(Some(StorageFaultConfig::crash_at(0, "journal:submit", 1)));
+        s.execute("SET wal_dir = '/sim-crash'").unwrap();
+        assert!(
+            s.disk_faults().is_none(),
+            "a crash plan is one-shot — consumed by the open it poisons"
+        );
+        let err = s.query(sql).unwrap_err();
+        assert!(matches!(err, FudjError::Crash(_)), "{err}");
+        // Reopening the same dir plays the process restart: the simulated
+        // disk (and the query journal on it) survives, the poison clears,
+        // and the in-flight query resumes.
+        s.execute("SET wal_dir = '/sim-crash'").unwrap();
+        let mut resumed = s.take_resumed();
+        assert_eq!(resumed.len(), 1, "journal survived the reopen");
+        let r = resumed.pop().unwrap();
+        assert_eq!(r.sql, sql);
+        let (batch, _) = r.result.unwrap();
+        assert_eq!(batch.rows()[0].get(0).as_i64().unwrap(), 1);
+        // The restarted disk is quiet: the same query now runs clean, and
+        // a third reopen finds a sealed journal.
+        s.query(sql).unwrap();
+        s.execute("SET wal_dir = '/sim-crash'").unwrap();
+        assert!(s.take_resumed().is_empty(), "resume sealed exactly once");
     }
 
     #[test]

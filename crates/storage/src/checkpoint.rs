@@ -17,10 +17,20 @@
 //! order. An evicted checkpoint is not an error — recovery simply falls
 //! back to full-stage replay for losses it no longer covers.
 
-use bytes::{Buf, Bytes, BytesMut};
+use crate::faultfs::Vfs;
+use crate::wal::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fudj_types::{wire, Result, Row};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// First eight bytes of every durable checkpoint frame file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FUDJCKP1";
+
+/// Sub-directory of the WAL dir holding durable checkpoint frames.
+pub const CHECKPOINT_DIR: &str = "checkpoints";
 
 /// Which stage outputs the engine checkpoints.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -83,6 +93,107 @@ pub struct CheckpointStoreStats {
     pub read: u64,
     /// Partitions evicted under byte-budget pressure.
     pub evicted: u64,
+    /// Durable checkpoint frames written through the Vfs.
+    pub durable_frames_written: u64,
+    /// Durable checkpoint frame bytes written (framing included).
+    pub durable_frame_bytes_written: u64,
+    /// Durable frames read back from disk (resume restores).
+    pub durable_frames_read: u64,
+    /// Durable frames rejected as corrupt (bad magic, framing, checksum,
+    /// identity, or row payload) — never mis-decoded, counted and skipped.
+    pub durable_frames_quarantined: u64,
+}
+
+/// Where durable checkpoint frames land: the same Vfs as the WAL, so the
+/// fault injector's torn writes / bit flips / dropped fsyncs / crash
+/// sites apply to checkpoints exactly like every other durable byte.
+struct DurableTier {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+}
+
+/// `ckpt-{query:016x}-{stage}-{partition}.fckpt`, stage sanitized to
+/// filename-safe characters (identity is re-verified from the frame body
+/// on read, so sanitization collisions cannot alias checkpoints).
+fn frame_name(query: u64, stage: &str, partition: usize) -> String {
+    let safe: String = stage
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("ckpt-{query:016x}-{safe}-{partition}.fckpt")
+}
+
+/// Frame-file prefix of every checkpoint belonging to `query`.
+fn query_prefix(query: u64) -> String {
+    format!("ckpt-{query:016x}-")
+}
+
+/// Encode one durable frame: magic, then `len | body | crc32(body)` with
+/// body = query ++ stage ++ partition ++ row count ++ wire rows.
+fn encode_frame(query: u64, stage: &str, partition: usize, rows: &[Row]) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(32 + rows.len() * 32);
+    body.put_u64_le(query);
+    body.put_u32_le(stage.len() as u32);
+    body.put_slice(stage.as_bytes());
+    body.put_u32_le(partition as u32);
+    body.put_u32_le(rows.len() as u32);
+    for row in rows {
+        wire::encode_row(row, &mut body);
+    }
+    let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + body.len() + 8);
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Decode one durable frame, verifying framing, checksum, and identity.
+/// Any mismatch is `None` — corrupt frames are never mis-decoded.
+fn decode_frame(bytes: &[u8], query: u64, stage: &str, partition: usize) -> Option<Vec<Row>> {
+    let rest = bytes.strip_prefix(CHECKPOINT_MAGIC.as_slice())?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if rest.len() != 4 + len + 4 {
+        return None;
+    }
+    let body = &rest[4..4 + len];
+    let stored = u32::from_le_bytes([
+        rest[4 + len],
+        rest[4 + len + 1],
+        rest[4 + len + 2],
+        rest[4 + len + 3],
+    ]);
+    if crc32(body) != stored {
+        return None;
+    }
+    let mut buf = Bytes::from(body.to_vec());
+    if buf.remaining() < 8 + 4 || buf.get_u64_le() != query {
+        return None;
+    }
+    let stage_len = buf.get_u32_le() as usize;
+    if buf.remaining() < stage_len {
+        return None;
+    }
+    let stage_bytes = buf.chunk()[..stage_len].to_vec();
+    buf.advance(stage_len);
+    if stage_bytes != stage.as_bytes() {
+        return None;
+    }
+    if buf.remaining() < 8 || buf.get_u32_le() as usize != partition {
+        return None;
+    }
+    let nrows = buf.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+    for _ in 0..nrows {
+        rows.push(wire::decode_row(&mut buf).ok()?);
+    }
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(rows)
 }
 
 #[derive(Default)]
@@ -95,10 +206,13 @@ struct Inner {
     stats: CheckpointStoreStats,
 }
 
-/// Byte-budgeted, shared store of serialized stage-partition outputs.
+/// Byte-budgeted, shared store of serialized stage-partition outputs,
+/// with an optional durable tier that mirrors every put to checksummed
+/// frame files on the WAL's filesystem.
 #[derive(Default)]
 pub struct CheckpointStore {
     inner: Mutex<Inner>,
+    durable: Mutex<Option<DurableTier>>,
 }
 
 impl std::fmt::Debug for CheckpointStore {
@@ -138,10 +252,40 @@ impl CheckpointStore {
         self.inner.lock().budget_bytes
     }
 
+    /// Attach the durable tier: every subsequent put is mirrored to a
+    /// checksummed frame file under `dir` on `vfs` (the WAL's filesystem,
+    /// so its fault plan applies to checkpoints too).
+    pub fn attach_durable(&self, vfs: Arc<dyn Vfs>, dir: impl Into<PathBuf>) -> Result<()> {
+        let dir = dir.into();
+        vfs.create_dir_all(&dir)?;
+        *self.durable.lock() = Some(DurableTier { vfs, dir });
+        Ok(())
+    }
+
+    /// Detach the durable tier (frames already on disk stay there).
+    pub fn detach_durable(&self) {
+        *self.durable.lock() = None;
+    }
+
+    /// Whether the durable tier is attached.
+    pub fn durable_enabled(&self) -> bool {
+        self.durable.lock().is_some()
+    }
+
     /// Serialize and store one partition of one stage's output,
     /// overwriting any previous checkpoint with the same key. Returns the
-    /// serialized size and how many older checkpoints were evicted.
-    pub fn put(&self, query: u64, stage: &str, partition: usize, rows: &[Row]) -> PutOutcome {
+    /// serialized size and how many older checkpoints were evicted. With
+    /// the durable tier attached the frame is also written and fsynced to
+    /// disk (passing the `checkpoint:write` / `checkpoint:sync` crash
+    /// sites), and disk failures — including injected crashes — surface
+    /// as the error.
+    pub fn put(
+        &self,
+        query: u64,
+        stage: &str,
+        partition: usize,
+        rows: &[Row],
+    ) -> Result<PutOutcome> {
         let mut buf = BytesMut::with_capacity(16 + rows.len() * 32);
         for row in rows {
             wire::encode_row(row, &mut buf);
@@ -152,25 +296,44 @@ impl CheckpointStore {
             stage: stage.to_owned(),
             partition,
         };
-        let mut inner = self.inner.lock();
-        match inner.entries.insert(key.clone(), buf.to_vec()) {
-            // Overwrite: the key keeps its place in the eviction order and
-            // the byte total swaps the old size for the new one.
-            Some(old) => inner.total_bytes = inner.total_bytes - old.len() as u64 + bytes,
-            None => {
-                inner.order.push_back(key);
-                inner.total_bytes += bytes;
+        let outcome = {
+            let mut inner = self.inner.lock();
+            match inner.entries.insert(key, buf.to_vec()) {
+                // Overwrite: the key keeps its place in the eviction order
+                // and the byte total swaps the old size for the new one.
+                Some(old) => inner.total_bytes = inner.total_bytes - old.len() as u64 + bytes,
+                None => {
+                    inner.order.push_back(Key {
+                        query,
+                        stage: stage.to_owned(),
+                        partition,
+                    });
+                    inner.total_bytes += bytes;
+                }
             }
+            inner.stats.written += 1;
+            inner.stats.bytes_written += bytes;
+            let evicted = evict_to_budget(&mut inner);
+            PutOutcome { bytes, evicted }
+        };
+        let tier = self.durable.lock();
+        if let Some(tier) = tier.as_ref() {
+            let frame = encode_frame(query, stage, partition, rows);
+            let path = tier.dir.join(frame_name(query, stage, partition));
+            tier.vfs.write_file(&path, &frame)?;
+            tier.vfs.crash_site("checkpoint:write")?;
+            tier.vfs.sync(&path)?;
+            tier.vfs.crash_site("checkpoint:sync")?;
+            let mut inner = self.inner.lock();
+            inner.stats.durable_frames_written += 1;
+            inner.stats.durable_frame_bytes_written += frame.len() as u64;
         }
-        inner.stats.written += 1;
-        inner.stats.bytes_written += bytes;
-        let evicted = evict_to_budget(&mut inner);
-        PutOutcome { bytes, evicted }
+        Ok(outcome)
     }
 
     /// Decode and return one checkpointed partition, or `None` when no
-    /// checkpoint covers `(query, stage, partition)` (never written, or
-    /// already evicted).
+    /// checkpoint covers `(query, stage, partition)` (never written,
+    /// evicted, or — on the durable fallback path — corrupt on disk).
     pub fn get(&self, query: u64, stage: &str, partition: usize) -> Option<Result<Vec<Row>>> {
         let key = Key {
             query,
@@ -179,47 +342,109 @@ impl CheckpointStore {
         };
         let bytes = {
             let mut inner = self.inner.lock();
-            let bytes = inner.entries.get(&key)?.clone();
-            inner.stats.read += 1;
-            bytes
+            match inner.entries.get(&key) {
+                Some(bytes) => {
+                    let bytes = bytes.clone();
+                    inner.stats.read += 1;
+                    Some(bytes)
+                }
+                None => None,
+            }
         };
-        let mut rows = Vec::new();
-        let mut cursor = Bytes::from(bytes);
-        while cursor.has_remaining() {
-            match wire::decode_row(&mut cursor) {
-                Ok(row) => rows.push(row),
-                Err(e) => return Some(Err(e)),
+        if let Some(bytes) = bytes {
+            let mut rows = Vec::new();
+            let mut cursor = Bytes::from(bytes);
+            while cursor.has_remaining() {
+                match wire::decode_row(&mut cursor) {
+                    Ok(row) => rows.push(row),
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            return Some(Ok(rows));
+        }
+        // Memory miss: fall back to the durable tier. A frame that fails
+        // any check (magic, framing, checksum, identity, row payload) is
+        // quarantined — uncovered, never mis-decoded.
+        let tier = self.durable.lock();
+        let tier = tier.as_ref()?;
+        let path = tier.dir.join(frame_name(query, stage, partition));
+        let raw = tier.vfs.read(&path).ok()?;
+        match decode_frame(&raw, query, stage, partition) {
+            Some(rows) => {
+                let mut inner = self.inner.lock();
+                inner.stats.read += 1;
+                inner.stats.durable_frames_read += 1;
+                Some(Ok(rows))
+            }
+            None => {
+                self.inner.lock().stats.durable_frames_quarantined += 1;
+                None
             }
         }
-        Some(Ok(rows))
     }
 
-    /// Whether a checkpoint covers `(query, stage, partition)`.
+    /// Whether a checkpoint covers `(query, stage, partition)` — in
+    /// memory, or (durable tier attached) as a frame file on disk.
     pub fn covers(&self, query: u64, stage: &str, partition: usize) -> bool {
         let key = Key {
             query,
             stage: stage.to_owned(),
             partition,
         };
-        self.inner.lock().entries.contains_key(&key)
+        if self.inner.lock().entries.contains_key(&key) {
+            return true;
+        }
+        let tier = self.durable.lock();
+        match tier.as_ref() {
+            Some(tier) => tier
+                .vfs
+                .exists(&tier.dir.join(frame_name(query, stage, partition))),
+            None => false,
+        }
     }
 
     /// Drop every checkpoint belonging to `query` (called when the query
-    /// finishes — its lineage can no longer need them).
+    /// finishes — its lineage can no longer need them). Durable frames
+    /// are removed best-effort: a disk that is failing (or has simulated-
+    /// crashed) must not turn query completion into an error, and frames
+    /// that survive an actual crash are exactly what resume reads.
     pub fn remove_query(&self, query: u64) {
-        let mut inner = self.inner.lock();
-        let removed: Vec<Key> = inner
-            .order
-            .iter()
-            .filter(|k| k.query == query)
-            .cloned()
-            .collect();
-        for key in removed {
-            if let Some(bytes) = inner.entries.remove(&key) {
-                inner.total_bytes -= bytes.len() as u64;
+        {
+            let mut inner = self.inner.lock();
+            let removed: Vec<Key> = inner
+                .order
+                .iter()
+                .filter(|k| k.query == query)
+                .cloned()
+                .collect();
+            for key in removed {
+                if let Some(bytes) = inner.entries.remove(&key) {
+                    inner.total_bytes -= bytes.len() as u64;
+                }
+            }
+            inner.order.retain(|k| k.query != query);
+        }
+        let tier = self.durable.lock();
+        if let Some(tier) = tier.as_ref() {
+            let prefix = query_prefix(query);
+            if let Ok(names) = tier.vfs.list(&tier.dir) {
+                for name in names {
+                    if name.starts_with(&prefix) {
+                        let _ = tier.vfs.remove(&tier.dir.join(name));
+                    }
+                }
             }
         }
-        inner.order.retain(|k| k.query != query);
+    }
+
+    /// Names of durable frame files currently on disk (the crash-resume
+    /// litter scan), empty when no durable tier is attached.
+    pub fn durable_frames(&self) -> Vec<String> {
+        let tier = self.durable.lock();
+        match tier.as_ref() {
+            Some(tier) => tier.vfs.list(&tier.dir).unwrap_or_default(),
+            None => Vec::new(),
+        }
     }
 
     /// Number of live checkpoints.
@@ -280,7 +505,7 @@ mod tests {
     fn put_get_round_trips_rows() {
         let store = CheckpointStore::new();
         let original = rows(5);
-        let outcome = store.put(1, "join:partition", 0, &original);
+        let outcome = store.put(1, "join:partition", 0, &original).unwrap();
         assert!(outcome.bytes > 0);
         assert_eq!(outcome.evicted, 0);
         let back = store.get(1, "join:partition", 0).unwrap().unwrap();
@@ -302,9 +527,9 @@ mod tests {
     #[test]
     fn rewrite_replaces_without_double_counting_bytes() {
         let store = CheckpointStore::new();
-        store.put(1, "s", 0, &rows(10));
+        store.put(1, "s", 0, &rows(10)).unwrap();
         let total_after_first = store.total_bytes();
-        store.put(1, "s", 0, &rows(2));
+        store.put(1, "s", 0, &rows(2)).unwrap();
         assert!(store.total_bytes() < total_after_first);
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(1, "s", 0).unwrap().unwrap(), rows(2));
@@ -313,11 +538,11 @@ mod tests {
     #[test]
     fn budget_evicts_oldest_first() {
         let store = CheckpointStore::new();
-        let one = store.put(1, "s", 0, &rows(4)).bytes;
+        let one = store.put(1, "s", 0, &rows(4)).unwrap().bytes;
         // Budget fits exactly two checkpoints of this shape.
         store.set_budget(Some(one * 2));
-        store.put(1, "s", 1, &rows(4));
-        let outcome = store.put(1, "s", 2, &rows(4));
+        store.put(1, "s", 1, &rows(4)).unwrap();
+        let outcome = store.put(1, "s", 2, &rows(4)).unwrap();
         assert_eq!(outcome.evicted, 1, "third insert evicts the first");
         assert!(!store.covers(1, "s", 0), "oldest evicted");
         assert!(store.covers(1, "s", 1));
@@ -330,7 +555,7 @@ mod tests {
     fn shrinking_budget_evicts_immediately() {
         let store = CheckpointStore::new();
         for p in 0..6 {
-            store.put(1, "s", p, &rows(8));
+            store.put(1, "s", p, &rows(8)).unwrap();
         }
         let per = store.total_bytes() / 6;
         store.set_budget(Some(per * 2));
@@ -342,8 +567,8 @@ mod tests {
     #[test]
     fn remove_query_drops_only_that_query() {
         let store = CheckpointStore::new();
-        store.put(1, "s", 0, &rows(3));
-        store.put(2, "s", 0, &rows(3));
+        store.put(1, "s", 0, &rows(3)).unwrap();
+        store.put(2, "s", 0, &rows(3)).unwrap();
         store.remove_query(1);
         assert!(!store.covers(1, "s", 0));
         assert!(store.covers(2, "s", 0));
@@ -368,8 +593,92 @@ mod tests {
     #[test]
     fn empty_partition_checkpoints_as_empty() {
         let store = CheckpointStore::new();
-        let outcome = store.put(1, "s", 0, &[]);
+        let outcome = store.put(1, "s", 0, &[]).unwrap();
         assert_eq!(outcome.bytes, 0);
         assert_eq!(store.get(1, "s", 0).unwrap().unwrap(), Vec::<Row>::new());
+    }
+
+    #[test]
+    fn finished_query_checkpoints_never_evict_live_coverage() {
+        // Regression: a completed long query's checkpoints are dropped
+        // eagerly at finish (remove_query), so they cannot sit in the
+        // FIFO and push a live query's recovery coverage out of budget.
+        let store = CheckpointStore::new();
+        let one = store.put(1, "s", 0, &rows(4)).unwrap().bytes;
+        store.set_budget(Some(one * 3));
+        for p in 1..3 {
+            store.put(1, "s", p, &rows(4)).unwrap();
+        }
+        // Query 1 finishes: eager drop frees the whole budget.
+        store.remove_query(1);
+        assert_eq!(store.total_bytes(), 0);
+        // Query 2 now fits entirely — zero evictions under the same
+        // budget that query 1 had filled.
+        let mut evicted = 0;
+        for p in 0..3 {
+            evicted += store.put(2, "s", p, &rows(4)).unwrap().evicted;
+        }
+        assert_eq!(evicted, 0, "finished query must not pressure live one");
+        assert!((0..3).all(|p| store.covers(2, "s", p)));
+    }
+
+    #[test]
+    fn durable_tier_round_trips_and_survives_memory_loss() {
+        use crate::faultfs::{FaultFs, StorageFaultConfig};
+        let fs = FaultFs::new(StorageFaultConfig::quiet(11));
+        let store = CheckpointStore::new();
+        store
+            .attach_durable(fs.clone(), "/wal/checkpoints")
+            .unwrap();
+        let original = rows(6);
+        store.put(7, "join:combine/joined", 2, &original).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.durable_frames_written, 1);
+        assert!(stats.durable_frame_bytes_written > 0);
+
+        // A fresh store over the same filesystem (the post-crash process)
+        // has no memory tier but reads the frame back from disk.
+        let fresh = CheckpointStore::new();
+        fresh.attach_durable(fs, "/wal/checkpoints").unwrap();
+        assert!(fresh.covers(7, "join:combine/joined", 2));
+        let back = fresh.get(7, "join:combine/joined", 2).unwrap().unwrap();
+        assert_eq!(back, original);
+        assert_eq!(fresh.stats().durable_frames_read, 1);
+
+        // Identity is verified: the same file never answers for another
+        // key, and remove_query deletes the frames.
+        assert!(!fresh.covers(7, "join:combine/joined", 0));
+        assert!(fresh.get(8, "join:combine/joined", 2).is_none());
+        fresh.remove_query(7);
+        assert!(!fresh.covers(7, "join:combine/joined", 2));
+        assert!(fresh.durable_frames().is_empty());
+    }
+
+    #[test]
+    fn corrupt_durable_frames_are_quarantined_not_decoded() {
+        use crate::faultfs::{FaultFs, StorageFaultConfig};
+        let fs = FaultFs::new(StorageFaultConfig::quiet(12));
+        let store = CheckpointStore::new();
+        store
+            .attach_durable(fs.clone(), "/wal/checkpoints")
+            .unwrap();
+        store.put(3, "agg:shuffle/partials", 1, &rows(5)).unwrap();
+        let name = store.durable_frames().pop().unwrap();
+        let path = std::path::Path::new("/wal/checkpoints").join(&name);
+        let mut bytes = fs.read(&path).unwrap();
+        // Flip one payload bit: the checksum must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs.write_file(&path, &bytes).unwrap();
+        let fresh = CheckpointStore::new();
+        fresh
+            .attach_durable(fs.clone(), "/wal/checkpoints")
+            .unwrap();
+        assert!(fresh.get(3, "agg:shuffle/partials", 1).is_none());
+        assert_eq!(fresh.stats().durable_frames_quarantined, 1);
+        // Truncation is detected the same way.
+        fs.truncate(&path, 9).unwrap();
+        assert!(fresh.get(3, "agg:shuffle/partials", 1).is_none());
+        assert_eq!(fresh.stats().durable_frames_quarantined, 2);
     }
 }

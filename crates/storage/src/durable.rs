@@ -67,6 +67,11 @@ pub struct DurabilityStats {
     /// Replayed records dropped as inconsistent (duplicate DDL, appends
     /// to unknown tables, width-mismatched rows).
     pub replay_quarantined: u64,
+    /// Query-journal records appended (`QuerySubmitted` /
+    /// `StageCommitted` / `QueryFinished`).
+    pub journal_records_appended: u64,
+    /// Query-journal records recovered during replay.
+    pub journal_records_replayed: u64,
     /// Storage faults injected by the fault layer (bit flips + dropped
     /// fsyncs + simulated crashes).
     pub faults_injected: u64,
@@ -87,6 +92,11 @@ pub struct RecoveredState {
     pub tables: Vec<SnapshotTable>,
     /// Registered joins in creation order.
     pub joins: Vec<JoinSpec>,
+    /// Query-journal records (`QuerySubmitted` / `StageCommitted` /
+    /// `QueryFinished`) in sequence order. The session folds these into
+    /// pending queries and resumes the unfinished ones; journal records
+    /// are never part of the table/join state above.
+    pub journal: Vec<(u64, WalRecord)>,
 }
 
 impl RecoveredState {
@@ -160,8 +170,87 @@ impl RecoveredState {
                 }
                 Ok(0)
             }
+            // Journal records are routed into `journal` before apply();
+            // reaching here means a caller bug, so quarantine rather than
+            // corrupt table/join state.
+            WalRecord::QuerySubmitted { .. }
+            | WalRecord::StageCommitted { .. }
+            | WalRecord::QueryFinished { .. } => Err(()),
         }
     }
+}
+
+/// One stage boundary a pending query durably committed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommittedStage {
+    /// Stage name (`join:partition`, `join:combine`, `agg:shuffle`).
+    pub stage: String,
+    /// Flattened logical counters at the boundary.
+    pub counters: Vec<(String, u64)>,
+    /// Phase names completed before the boundary, in order.
+    pub phases: Vec<String>,
+}
+
+/// A journaled query that never logged `QueryFinished` — the resume
+/// protocol's unit of work after a crash.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingQuery {
+    /// Stable statement fingerprint.
+    pub fingerprint: u64,
+    /// The statement text, verbatim.
+    pub sql: String,
+    /// `(knob, value)` pairs to re-apply before re-planning.
+    pub options: Vec<(String, String)>,
+    /// Committed stage boundaries in commit order (deduped by stage —
+    /// a second crash during resume re-commits the same boundary).
+    pub committed: Vec<CommittedStage>,
+}
+
+/// Fold replayed journal records into the set of still-pending queries:
+/// `QuerySubmitted` opens one (idempotently — a resume re-submits under
+/// the same fingerprint), `StageCommitted` appends a boundary (deduped by
+/// stage name), `QueryFinished` closes it. Orphan records whose
+/// submission was compacted away by a snapshot are dropped — a documented
+/// limitation, never an error.
+pub fn fold_journal(records: &[(u64, WalRecord)]) -> Vec<PendingQuery> {
+    let mut pending: Vec<PendingQuery> = Vec::new();
+    for (_, rec) in records {
+        match rec {
+            WalRecord::QuerySubmitted {
+                fingerprint,
+                sql,
+                options,
+            } if !pending.iter().any(|p| p.fingerprint == *fingerprint) => {
+                pending.push(PendingQuery {
+                    fingerprint: *fingerprint,
+                    sql: sql.clone(),
+                    options: options.clone(),
+                    committed: Vec::new(),
+                });
+            }
+            WalRecord::StageCommitted {
+                fingerprint,
+                stage,
+                counters,
+                phases,
+            } => {
+                if let Some(p) = pending.iter_mut().find(|p| p.fingerprint == *fingerprint) {
+                    if !p.committed.iter().any(|c| &c.stage == stage) {
+                        p.committed.push(CommittedStage {
+                            stage: stage.clone(),
+                            counters: counters.clone(),
+                            phases: phases.clone(),
+                        });
+                    }
+                }
+            }
+            WalRecord::QueryFinished { fingerprint } => {
+                pending.retain(|p| p.fingerprint != *fingerprint);
+            }
+            _ => {}
+        }
+    }
+    pending
 }
 
 struct Inner {
@@ -263,6 +352,7 @@ impl DurableStore {
         let mut recovered = RecoveredState {
             tables: base.tables,
             joins: base.joins,
+            journal: Vec::new(),
         };
         let mut last_seq = base.last_seq;
         let mut wal_versions: Vec<u64> = names
@@ -292,6 +382,20 @@ impl DurableStore {
         let mut quarantined_rows = 0u64;
         for (seq, rec) in merged {
             if seq <= base.last_seq {
+                continue;
+            }
+            if matches!(
+                rec,
+                WalRecord::QuerySubmitted { .. }
+                    | WalRecord::StageCommitted { .. }
+                    | WalRecord::QueryFinished { .. }
+            ) {
+                // Journal records bypass table/join state: the session
+                // folds them into pending queries for resume.
+                stats.wal_records_replayed += 1;
+                stats.journal_records_replayed += 1;
+                recovered.journal.push((seq, rec));
+                last_seq = last_seq.max(seq);
                 continue;
             }
             match recovered.apply(rec, &mut quarantined_rows) {
@@ -334,6 +438,12 @@ impl DurableStore {
         &self.dir
     }
 
+    /// The filesystem this store writes through. The durable checkpoint
+    /// tier shares it so one fault plan covers WAL and checkpoints alike.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.vfs.clone()
+    }
+
     /// Current snapshot/segment version.
     pub fn version(&self) -> u64 {
         self.inner.lock().version
@@ -369,6 +479,18 @@ impl DurableStore {
             inner.stats.wal_fsyncs += 1;
             inner.appends_since_sync = 0;
         }
+        Ok(())
+    }
+
+    /// Append one query-journal record and force it durable regardless of
+    /// the fsync cadence (a stage boundary only counts as committed once
+    /// its journal record is on disk), then pass through the named crash
+    /// site so the restart harness can kill the process exactly here.
+    pub fn append_journal(&self, record: &WalRecord, site: &str) -> Result<()> {
+        self.append(record)?;
+        self.flush()?;
+        self.inner.lock().stats.journal_records_appended += 1;
+        self.vfs.crash_site(site)?;
         Ok(())
     }
 
@@ -464,6 +586,19 @@ pub const CRASH_POINTS: &[&str] = &[
     "manifest:write",
     "manifest:rename",
     "compact:cleanup",
+];
+
+/// Crash points specific to the query journal + durable checkpoint tier,
+/// in the order a journaled query passes through them. Kept separate from
+/// [`CRASH_POINTS`] so the ingest/DDL crash harness stays unchanged; the
+/// whole-process restart harness (`tests/restart_differential.rs`)
+/// iterates both lists as `\chaos crash` sites.
+pub const QUERY_CRASH_POINTS: &[&str] = &[
+    "journal:submit",
+    "checkpoint:write",
+    "checkpoint:sync",
+    "journal:stage",
+    "journal:finish",
 ];
 
 #[cfg(test)]

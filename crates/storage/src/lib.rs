@@ -17,10 +17,15 @@ pub mod snapshot;
 pub mod wal;
 
 pub use catalog::{Catalog, CatalogSink};
-pub use checkpoint::{CheckpointPolicy, CheckpointStore, CheckpointStoreStats, PutOutcome};
+pub use checkpoint::{
+    CheckpointPolicy, CheckpointStore, CheckpointStoreStats, PutOutcome, CHECKPOINT_DIR,
+};
 pub use csv::{read_csv, write_csv};
 pub use dataset::{AppendSink, Dataset, DatasetBuilder};
-pub use durable::{DurabilityStats, DurableStore, RecoveredState, CRASH_POINTS};
+pub use durable::{
+    fold_journal, CommittedStage, DurabilityStats, DurableStore, PendingQuery, RecoveredState,
+    CRASH_POINTS, QUERY_CRASH_POINTS,
+};
 pub use faultfs::{DiskFs, FaultFs, StorageFaultConfig, Vfs, VfsFaultCounters};
 pub use snapshot::{SnapshotState, SnapshotTable};
 pub use wal::{parse_data_type, replay_wal, GuardSpec, JoinSpec, WalRecord};

@@ -181,6 +181,38 @@ pub enum WalRecord {
         /// Join name.
         name: String,
     },
+    /// Query journal: a statement entered execution under the durable
+    /// query journal. `fingerprint` keys the query across restarts (a
+    /// stable hash of the SQL text); `options` are the session knobs
+    /// needed to re-plan it identically on resume.
+    QuerySubmitted {
+        /// Stable statement fingerprint.
+        fingerprint: u64,
+        /// The statement text, verbatim.
+        sql: String,
+        /// `(knob, value)` pairs to re-apply before re-planning.
+        options: Vec<(String, String)>,
+    },
+    /// Query journal: a stage boundary of `fingerprint` committed — its
+    /// output partitions are durable in the checkpoint tier and the
+    /// logical counters at the boundary are `counters`/`phases` (opaque
+    /// name/value pairs; the executor owns their meaning).
+    StageCommitted {
+        /// Statement fingerprint this boundary belongs to.
+        fingerprint: u64,
+        /// Stage name (`join:partition`, `join:combine`, `agg:shuffle`).
+        stage: String,
+        /// Flattened logical counters at the boundary.
+        counters: Vec<(String, u64)>,
+        /// Phase names completed before the boundary, in order.
+        phases: Vec<String>,
+    },
+    /// Query journal: the statement finished (result delivered); its
+    /// journal entries and durable checkpoints are dead on replay.
+    QueryFinished {
+        /// Statement fingerprint.
+        fingerprint: u64,
+    },
 }
 
 const KIND_CREATE_TABLE: u8 = 1;
@@ -188,6 +220,9 @@ const KIND_DROP_TABLE: u8 = 2;
 const KIND_APPEND: u8 = 3;
 const KIND_CREATE_JOIN: u8 = 4;
 const KIND_DROP_JOIN: u8 = 5;
+const KIND_QUERY_SUBMITTED: u8 = 6;
+const KIND_STAGE_COMMITTED: u8 = 7;
+const KIND_QUERY_FINISHED: u8 = 8;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -275,6 +310,43 @@ impl WalRecord {
                 buf.put_u8(KIND_DROP_JOIN);
                 put_str(buf, name);
             }
+            WalRecord::QuerySubmitted {
+                fingerprint,
+                sql,
+                options,
+            } => {
+                buf.put_u8(KIND_QUERY_SUBMITTED);
+                buf.put_u64_le(*fingerprint);
+                put_str(buf, sql);
+                buf.put_u32_le(options.len() as u32);
+                for (key, value) in options {
+                    put_str(buf, key);
+                    put_str(buf, value);
+                }
+            }
+            WalRecord::StageCommitted {
+                fingerprint,
+                stage,
+                counters,
+                phases,
+            } => {
+                buf.put_u8(KIND_STAGE_COMMITTED);
+                buf.put_u64_le(*fingerprint);
+                put_str(buf, stage);
+                buf.put_u32_le(counters.len() as u32);
+                for (name, value) in counters {
+                    put_str(buf, name);
+                    buf.put_u64_le(*value);
+                }
+                buf.put_u32_le(phases.len() as u32);
+                for phase in phases {
+                    put_str(buf, phase);
+                }
+            }
+            WalRecord::QueryFinished { fingerprint } => {
+                buf.put_u8(KIND_QUERY_FINISHED);
+                buf.put_u64_le(*fingerprint);
+            }
         }
     }
 
@@ -360,6 +432,55 @@ impl WalRecord {
             KIND_DROP_JOIN => WalRecord::DropJoin {
                 name: get_str(buf, "join name")?,
             },
+            KIND_QUERY_SUBMITTED => {
+                need(buf, 8, "query fingerprint")?;
+                let fingerprint = buf.get_u64_le();
+                let sql = get_str(buf, "query sql")?;
+                need(buf, 4, "option count")?;
+                let nopts = buf.get_u32_le() as usize;
+                let mut options = Vec::with_capacity(nopts.min(64));
+                for _ in 0..nopts {
+                    let key = get_str(buf, "option key")?;
+                    let value = get_str(buf, "option value")?;
+                    options.push((key, value));
+                }
+                WalRecord::QuerySubmitted {
+                    fingerprint,
+                    sql,
+                    options,
+                }
+            }
+            KIND_STAGE_COMMITTED => {
+                need(buf, 8, "query fingerprint")?;
+                let fingerprint = buf.get_u64_le();
+                let stage = get_str(buf, "stage name")?;
+                need(buf, 4, "counter count")?;
+                let ncounters = buf.get_u32_le() as usize;
+                let mut counters = Vec::with_capacity(ncounters.min(256));
+                for _ in 0..ncounters {
+                    let name = get_str(buf, "counter name")?;
+                    need(buf, 8, "counter value")?;
+                    counters.push((name, buf.get_u64_le()));
+                }
+                need(buf, 4, "phase count")?;
+                let nphases = buf.get_u32_le() as usize;
+                let mut phases = Vec::with_capacity(nphases.min(64));
+                for _ in 0..nphases {
+                    phases.push(get_str(buf, "phase name")?);
+                }
+                WalRecord::StageCommitted {
+                    fingerprint,
+                    stage,
+                    counters,
+                    phases,
+                }
+            }
+            KIND_QUERY_FINISHED => {
+                need(buf, 8, "query fingerprint")?;
+                WalRecord::QueryFinished {
+                    fingerprint: buf.get_u64_le(),
+                }
+            }
             other => {
                 return Err(FudjError::Wire(format!("unknown log record kind {other}")));
             }
@@ -515,6 +636,26 @@ mod tests {
             WalRecord::DropTable {
                 name: "parks".into(),
             },
+            WalRecord::QuerySubmitted {
+                fingerprint: 0xfeed_beef_dead_cafe,
+                sql: "SELECT COUNT(*) FROM parks p".into(),
+                options: vec![
+                    ("exec_mode".into(), "columnar".into()),
+                    ("memory_budget_rows".into(), "64".into()),
+                ],
+            },
+            WalRecord::StageCommitted {
+                fingerprint: 0xfeed_beef_dead_cafe,
+                stage: "join:combine".into(),
+                counters: vec![
+                    ("rows_shuffled".into(), 123),
+                    ("bytes_shuffled".into(), 456),
+                ],
+                phases: vec!["summarize".into(), "divide".into()],
+            },
+            WalRecord::QueryFinished {
+                fingerprint: 0xfeed_beef_dead_cafe,
+            },
         ]
     }
 
@@ -535,7 +676,7 @@ mod tests {
         let back: Vec<WalRecord> = replay.records.iter().map(|(_, r)| r.clone()).collect();
         assert_eq!(back, records);
         let seqs: Vec<u64> = replay.records.iter().map(|(s, _)| *s).collect();
-        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(seqs, (1..=records.len() as u64).collect::<Vec<_>>());
     }
 
     #[test]

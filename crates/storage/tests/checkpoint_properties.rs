@@ -46,7 +46,7 @@ proptest! {
         let store = CheckpointStore::new();
         let mut expected_total = 0u64;
         for (p, rows) in parts.iter().enumerate() {
-            let outcome = store.put(7, "join:partition/left", p, rows);
+            let outcome = store.put(7, "join:partition/left", p, rows).unwrap();
             let mut buf = BytesMut::new();
             for row in rows {
                 wire::encode_row(row, &mut buf);
@@ -72,7 +72,7 @@ proptest! {
     fn eviction_preserves_survivors(parts in prop::collection::vec(arb_partition(), 2..6), budget in 1u64..4096) {
         let store = CheckpointStore::with_budget(budget);
         for (p, rows) in parts.iter().enumerate() {
-            store.put(1, "agg:shuffle/partials", p, rows);
+            store.put(1, "agg:shuffle/partials", p, rows).unwrap();
         }
         prop_assert!(store.total_bytes() <= budget);
         for (p, rows) in parts.iter().enumerate() {
@@ -81,4 +81,49 @@ proptest! {
             }
         }
     }
+}
+
+/// Finishing a query drops its checkpoints *eagerly* (not by waiting for
+/// global FIFO eviction): under a budget that only fits one query's
+/// working set, dropping the finished query's entries must leave the
+/// full headroom to the query that is still running.
+#[test]
+fn finished_query_drop_relieves_eviction_pressure() {
+    let row = || {
+        Row::new(vec![
+            Value::Int64(42),
+            Value::str("payload-payload-payload"),
+        ])
+    };
+    let rows: Vec<Row> = (0..8).map(|_| row()).collect();
+    let per_part = {
+        let probe = CheckpointStore::new();
+        probe.put(0, "probe", 0, &rows).unwrap().bytes
+    };
+    // Budget fits ~6 partitions: query 1's four partitions plus a little.
+    let store = CheckpointStore::with_budget(per_part * 6);
+    for p in 0..4 {
+        store.put(1, "join:combine/joined", p, &rows).unwrap();
+    }
+    // Query 1 finishes → its checkpoints drop eagerly.
+    store.remove_query(1);
+    assert_eq!(store.len(), 0);
+    assert_eq!(store.total_bytes(), 0);
+    // Query 2 now writes four partitions of its own. With eager drop the
+    // budget holds them all — nothing is evicted. (Under pure global
+    // FIFO, query 1's stale entries would have forced evictions here.)
+    let mut evicted = 0;
+    for p in 0..4 {
+        evicted += store
+            .put(2, "join:combine/joined", p, &rows)
+            .unwrap()
+            .evicted;
+    }
+    assert_eq!(evicted, 0, "eager drop must leave query 2 the full budget");
+    for p in 0..4 {
+        let restored = store.get(2, "join:combine/joined", p).unwrap().unwrap();
+        assert_eq!(restored, rows);
+    }
+    // A finished query's keys are really gone, not shadowed.
+    assert!(store.get(1, "join:combine/joined", 0).is_none());
 }

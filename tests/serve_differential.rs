@@ -15,7 +15,8 @@
 use fudj_repro::exec::FaultConfig;
 use fudj_repro::serve::{generate, sample_session, MixProfile, ServingTier, WorkloadConfig};
 use fudj_repro::sql::{QueryOutput, Session};
-use fudj_repro::types::{Row, Value};
+use fudj_repro::storage::{FaultFs, StorageFaultConfig};
+use fudj_repro::types::{FudjError, Row, Value};
 use std::sync::Arc;
 
 const RECORDS: usize = 60;
@@ -166,4 +167,112 @@ fn ingest_between_identical_queries_is_never_stale() {
     assert_eq!(stats.result_cache_hits, 1, "stale entry must not hit");
     assert_eq!(stats.result_cache_invalidations, 1, "epoch move detected");
     assert_eq!(stats.plan_cache_hits, 1, "recompute reused the cached plan");
+}
+
+/// Kill the tier's process mid-workload and restart it: the journaled
+/// in-flight EXECUTE is delivered exactly once through `take_resumed`,
+/// the recovered epochs admit zero stale result-cache hits (the first
+/// post-restart serve recomputes over WAL-recovered data, ingest and
+/// all), and the plan cache repopulates on the first re-execution.
+#[test]
+fn tier_kill_and_restart_resumes_in_flight_execute_without_stale_reads() {
+    const PREPARE: &str =
+        "PREPARE by_vendor AS SELECT COUNT(*) AS c FROM NYCTaxi n WHERE n.Vendor = $1";
+    const COUNT_SQL: &str = "SELECT COUNT(*) AS c FROM NYCTaxi n";
+    const EXECUTE_SQL: &str = "EXECUTE by_vendor(1)";
+    let count = |out: &QueryOutput| match out {
+        QueryOutput::Rows(b, _) => b.rows()[0].get(0).as_i64().unwrap(),
+        other => panic!("{other:?}"),
+    };
+
+    // Crash on the *second* QuerySubmitted append: the first SELECT seals
+    // normally, the EXECUTE's journal entry lands durably but the process
+    // dies before the statement runs — the in-flight window the journal
+    // exists for.
+    let fs = FaultFs::new(StorageFaultConfig::crash_at(7, "journal:submit", 2));
+    let dir = "/serve-kill-resume";
+
+    let first = sample_session(RECORDS, WORKERS).expect("sample session");
+    first.execute(PREPARE).unwrap();
+    first.execute("SET checkpoint_durable = on").unwrap();
+    first.open_wal_with(dir, fs.clone()).unwrap();
+    let tier = ServingTier::new(Arc::new(first));
+
+    let warm = tier.serve(3, COUNT_SQL).unwrap();
+    tier.serve(3, COUNT_SQL).unwrap();
+    assert_eq!(
+        tier.stats().result_cache_hits,
+        1,
+        "warm hit before the kill"
+    );
+    ingest(tier.session(), 1);
+    let killed = tier.serve(5, EXECUTE_SQL);
+    assert!(
+        matches!(killed, Err(FudjError::Crash(_))),
+        "the armed journal:finish crash must kill the in-flight EXECUTE: {killed:?}"
+    );
+    drop(tier);
+
+    // Restart: rebuild the session, re-PREPARE the deployment's templates
+    // *before* reopening (journaled EXECUTEs resolve by name), reopen the
+    // same virtual disk, and stand up a fresh tier over it.
+    fs.reopen_after_crash();
+    let second = sample_session(RECORDS, WORKERS).expect("sample session");
+    second.execute(PREPARE).unwrap();
+    second.execute("SET checkpoint_durable = on").unwrap();
+    second.open_wal_with(dir, fs).unwrap();
+    let tier = ServingTier::new(Arc::new(second));
+
+    // The in-flight EXECUTE comes back exactly once, with the answer an
+    // uninterrupted oracle (same data, same ingest) computes.
+    let oracle = sample_session(RECORDS, WORKERS).expect("sample session");
+    oracle.execute(PREPARE).unwrap();
+    ingest(&oracle, 1);
+    let want = oracle.execute(EXECUTE_SQL).unwrap();
+    let resumed = tier.take_resumed();
+    assert_eq!(
+        resumed.len(),
+        1,
+        "exactly the one unfinished EXECUTE resumes"
+    );
+    assert_eq!(resumed[0].sql, EXECUTE_SQL);
+    let (batch, _) = resumed[0].result.as_ref().expect("resume must succeed");
+    assert_eq!(
+        batch.rows(),
+        want.batch().rows(),
+        "resumed EXECUTE diverges"
+    );
+
+    // Zero stale reads: the restarted tier's caches are cold, so the first
+    // serve recomputes — over recovered data that includes the pre-crash
+    // ingest — instead of replaying the pre-crash cached answer.
+    let recomputed = tier.serve(3, COUNT_SQL).unwrap();
+    assert_eq!(
+        count(&recomputed),
+        count(&warm) + 1,
+        "restart must not lose the journaled ingest"
+    );
+    assert_eq!(
+        tier.stats().result_cache_hits,
+        0,
+        "a pre-crash cache entry leaked across the restart"
+    );
+    tier.serve(3, COUNT_SQL).unwrap();
+    assert_eq!(tier.stats().result_cache_hits, 1, "fresh cache works again");
+
+    // Plan-cache repopulation: the first EXECUTE re-execution caches its
+    // plan; after an ingest invalidates the result entry, the recompute
+    // reuses that plan instead of re-planning from scratch.
+    tier.serve(5, EXECUTE_SQL).unwrap();
+    ingest(tier.session(), 2);
+    tier.serve(5, EXECUTE_SQL).unwrap();
+    let stats = tier.stats();
+    assert!(
+        stats.result_cache_invalidations >= 1,
+        "post-restart ingest must invalidate the cached result: {stats:?}"
+    );
+    assert_eq!(
+        stats.plan_cache_hits, 1,
+        "first re-execution must repopulate the plan cache: {stats:?}"
+    );
 }
